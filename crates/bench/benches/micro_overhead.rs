@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the paper's "negligible overhead" claims
+//! (§V.E.2): the per-request decision path must cost microseconds, not
+//! milliseconds — cost-model evaluation, CDT/DMT lookups, and the full
+//! `plan_io` redirection decision.
+//!
+//! Run: `cargo bench -p s4d-bench --bench micro_overhead`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use s4d_bench::testbed;
+use s4d_cache::{Cdt, Dmt, S4dCache, S4dConfig};
+use s4d_cost::BenefitEvaluator;
+use s4d_mpiio::{AppRequest, Cluster, Middleware, Rank};
+use s4d_pfs::FileId;
+use s4d_sim::SimTime;
+use s4d_storage::IoKind;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let tb = testbed(1);
+    let eval: BenefitEvaluator<(u32, u64)> = BenefitEvaluator::new(tb.cost_params());
+    c.bench_function("cost_model_evaluate", |b| {
+        b.iter(|| {
+            eval.evaluate_at_distance(
+                black_box(512 * 1024 * 1024),
+                black_box(4096),
+                black_box(16 * 1024),
+            )
+        })
+    });
+}
+
+fn bench_cdt(c: &mut Criterion) {
+    let mut cdt = Cdt::new(1 << 20);
+    for i in 0..100_000u64 {
+        cdt.insert(FileId(i % 16), i * 16384, 16384);
+    }
+    c.bench_function("cdt_lookup_100k_entries", |b| {
+        b.iter(|| cdt.contains(black_box(FileId(3)), black_box(51_200 * 16384), 16384))
+    });
+}
+
+fn bench_dmt(c: &mut Criterion) {
+    let mut dmt = Dmt::new();
+    for i in 0..100_000u64 {
+        dmt.insert(FileId(i % 16), i * 32768, 16384, FileId(100), i * 16384, false);
+    }
+    c.bench_function("dmt_view_100k_extents", |b| {
+        b.iter(|| dmt.view(black_box(FileId(5)), black_box(50_000 * 32768), 16384))
+    });
+}
+
+fn bench_plan_io(c: &mut Criterion) {
+    let tb = testbed(2);
+    let mut cluster = Cluster::paper_testbed(3);
+    let mut mw = S4dCache::new(S4dConfig::new(1 << 30), tb.cost_params());
+    let file = mw.open(&mut cluster, Rank(0), "bench").unwrap();
+    let mut offset = 0u64;
+    c.bench_function("s4d_plan_io_write_16k", |b| {
+        b.iter(|| {
+            offset = (offset + 16 * 1024 * 37) % (1 << 28);
+            let req = AppRequest {
+                rank: Rank(0),
+                file,
+                kind: IoKind::Write,
+                offset,
+                len: 16 * 1024,
+                data: None,
+            };
+            mw.plan_io(&mut cluster, SimTime::ZERO, black_box(&req))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cost_model,
+    bench_cdt,
+    bench_dmt,
+    bench_plan_io
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Quick calibration probe: prints the headline comparisons so the model
+//! parameters can be sanity-checked against the paper's shapes without
+//! running the full bench suite.
+
+use s4d_bench::{campaign_scripts, run_s4d, run_stock, testbed, Scale};
+use s4d_cache::S4dConfig;
+use s4d_workloads::{AccessPattern, IorConfig};
+
+fn main() {
+    let tb = testbed(0x54D);
+    let scale = Scale::from_env();
+
+    // --- Fig. 1 shape: stock seq vs random reads across request sizes ---
+    println!("-- Fig.1 probe: stock IOR read, 16 procs, seq vs random --");
+    for req_kib in [4u64, 16, 64, 256, 1024, 4096] {
+        let file_size = scale.bytes(2 << 30);
+        let mk = |pattern| {
+            IorConfig {
+                file_name: format!("fig1_{req_kib}_{pattern:?}"),
+                file_size,
+                processes: 16,
+                request_size: req_kib * 1024,
+                pattern,
+                do_write: true,
+                do_read: true,
+                seed: 7,
+            }
+            .scripts()
+        };
+        let seq = run_stock(&tb, mk(AccessPattern::Sequential), Vec::new());
+        let rnd = run_stock(&tb, mk(AccessPattern::Random), Vec::new());
+        println!(
+            "  {req_kib:>5} KiB  seq read {:>8.1} MiB/s   random read {:>8.1} MiB/s   ratio {:.2}",
+            seq.read_mibs(),
+            rnd.read_mibs(),
+            seq.read_mibs() / rnd.read_mibs().max(1e-9),
+        );
+    }
+
+    // --- Fig. 6 shape: campaign, stock vs s4d ---
+    println!("-- Fig.6 probe: campaign (6 seq + 4 random), 32 procs --");
+    for req_kib in [16u64, 4096] {
+        let (cfg, scripts) = campaign_scripts(32, req_kib * 1024, scale);
+        let stock = run_stock(&tb, scripts, Vec::new());
+        let (cfg2, scripts) = campaign_scripts(32, req_kib * 1024, scale);
+        assert_eq!(cfg.total_data_bytes(), cfg2.total_data_bytes());
+        let capacity = cfg.total_data_bytes() / 5; // 20 %
+        let s4d = run_s4d(&tb, S4dConfig::new(capacity), scripts, Vec::new());
+        println!(
+            "  {req_kib:>5} KiB  stock write {:>8.1}  s4d write {:>8.1}  ({})   c_ops share {:.1}%",
+            stock.write_mibs(),
+            s4d.write_mibs(),
+            s4d_bench::table::speedup_pct(stock.write_mibs(), s4d.write_mibs()),
+            s4d.report.tiers.cserver_op_share(),
+        );
+        println!(
+            "           stock read  {:>8.1}  s4d read  {:>8.1}  ({})",
+            stock.read_mibs(),
+            s4d.read_mibs(),
+            s4d_bench::table::speedup_pct(stock.read_mibs(), s4d.read_mibs()),
+        );
+        println!(
+            "           s4d metrics: critical {} / evaluated {}, cache writes {}, denied {}",
+            s4d.metrics.critical,
+            s4d.metrics.evaluated,
+            s4d.metrics.writes_to_cache,
+            s4d.metrics.admission_denied_space,
+        );
+        println!(
+            "           flushes {} ({} MiB), fetches {}, evictions {} ({} MiB), journal {} writes ({} KiB), lazy {}",
+            s4d.metrics.flushes,
+            s4d.metrics.flushed_bytes >> 20,
+            s4d.metrics.fetches,
+            s4d.metrics.evictions,
+            s4d.metrics.evicted_bytes >> 20,
+            s4d.metrics.journal_writes,
+            s4d.metrics.journal_bytes >> 10,
+            s4d.metrics.lazy_marks,
+        );
+        println!(
+            "           sim end {:.1}s stock / {:.1}s s4d; cap {} MiB",
+            stock.report.end_time.as_secs_f64(),
+            s4d.report.end_time.as_secs_f64(),
+            capacity >> 20,
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Plain-text table rendering for bench output.
+
+/// Renders a simple aligned table with a title, header row, and data rows.
+///
+/// ```
+/// use s4d_bench::table::render;
+/// let out = render(
+///     "Demo",
+///     &["size", "MB/s"],
+///     &[vec!["8KB".into(), "12.5".into()]],
+/// );
+/// assert!(out.contains("Demo"));
+/// assert!(out.contains("8KB"));
+/// ```
+pub fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a throughput value as the paper prints them.
+pub fn mibs(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage improvement of `new` over `base`.
+pub fn speedup_pct(base: f64, new: f64) -> String {
+    if base <= 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", (new - base) / base * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render(
+            "T",
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333333".into(), "4".into()],
+            ],
+        );
+        assert!(t.starts_with("== T =="));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("long-header"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mibs(12.345), "12.35");
+        assert_eq!(speedup_pct(100.0, 150.0), "+50.0%");
+        assert_eq!(speedup_pct(100.0, 90.0), "-10.0%");
+        assert_eq!(speedup_pct(0.0, 90.0), "n/a");
+    }
+}

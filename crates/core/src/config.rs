@@ -1,0 +1,190 @@
+//! S4D-Cache configuration.
+
+use s4d_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How the Data Identifier classifies requests as performance-critical.
+///
+/// The paper's policy is [`AdmissionPolicy::Benefit`]; the others exist for
+/// the ablation study (what do you lose without the cost model?).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum AdmissionPolicy {
+    /// The paper's policy: critical iff the cost-model benefit `B > 0`.
+    #[default]
+    Benefit,
+    /// Admit everything (a conventional non-selective cache).
+    AlwaysAdmit,
+    /// Admit nothing (stock behaviour with S4D bookkeeping overhead).
+    NeverAdmit,
+    /// Admit requests strictly smaller than the threshold, ignoring
+    /// randomness (a naive size-based heuristic).
+    SizeBelow(u64),
+}
+
+/// Tunables of the S4D-Cache middleware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct S4dConfig {
+    /// Total CServer space the cache may occupy, bytes (the paper sets it
+    /// to 20 % of the application's data size in §V.A).
+    pub cache_capacity: u64,
+    /// Rebuilder wake period (§III.F "triggered periodically").
+    pub rebuild_period: SimDuration,
+    /// Maximum dirty extents flushed per wake.
+    pub max_flush_per_wake: usize,
+    /// Maximum critical read ranges fetched per wake.
+    pub max_fetch_per_wake: usize,
+    /// Maximum entries the Critical Data Table retains (oldest evicted).
+    pub cdt_max_entries: usize,
+    /// Admission policy (the paper's is the default).
+    pub admission: AdmissionPolicy,
+    /// Fig. 11 mode: perform every lookup and cost evaluation but never
+    /// redirect, so the middleware's bookkeeping overhead can be measured
+    /// in isolation.
+    pub force_miss: bool,
+    /// Simulated CPU cost of the per-request decision path (cost-model
+    /// evaluation + CDT/DMT lookups), charged before a request's plan
+    /// starts. The paper measures this overhead to be negligible (§V.E.2).
+    pub decision_overhead: SimDuration,
+    /// DMT journal group-commit size: mutation records accumulate and are
+    /// written to the CServer journal file once this many are pending (the
+    /// paper's Berkeley DB layer provides the same effect through its
+    /// write-ahead log's group commit). `1` journals synchronously with
+    /// every mutating request.
+    pub journal_batch_records: u64,
+    /// Retain the full journal record log in memory (for crash-recovery
+    /// tests and journal inspection; real deployments read the journal
+    /// file back instead).
+    pub record_journal_log: bool,
+    /// CARL-style persistent placement (the paper's predecessor system,
+    /// §II.C): critical data is *placed* on the CServers permanently
+    /// instead of cached — the Rebuilder never flushes, so CServer space
+    /// is never reclaimed and, once full, further critical data stays on
+    /// the DServers. Isolates what the paper's cache semantics (write-back
+    /// + eviction) add over static placement.
+    pub persistent_placement: bool,
+    /// When true, critical read misses are fetched *eagerly* as part of the
+    /// request (ablation); the paper's design is lazy (`false`): the miss is
+    /// only marked in the CDT and the Rebuilder fetches later, keeping read
+    /// response time low (§III.E).
+    pub eager_read_fetch: bool,
+}
+
+impl S4dConfig {
+    /// Creates a configuration with the paper's defaults and the given
+    /// cache capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_capacity == 0`.
+    pub fn new(cache_capacity: u64) -> Self {
+        assert!(cache_capacity > 0, "cache capacity must be positive");
+        S4dConfig {
+            cache_capacity,
+            rebuild_period: SimDuration::from_secs(1),
+            max_flush_per_wake: 16384,
+            max_fetch_per_wake: 64,
+            cdt_max_entries: 1 << 20,
+            admission: AdmissionPolicy::Benefit,
+            force_miss: false,
+            decision_overhead: SimDuration::from_micros(2),
+            journal_batch_records: 64,
+            record_journal_log: false,
+            persistent_placement: false,
+            eager_read_fetch: false,
+        }
+    }
+
+    /// Enables CARL-style persistent placement (no flushing/eviction).
+    pub fn with_persistent_placement(mut self, on: bool) -> Self {
+        self.persistent_placement = on;
+        self
+    }
+
+    /// Enables in-memory retention of the journal record log.
+    pub fn with_journal_log(mut self, on: bool) -> Self {
+        self.record_journal_log = on;
+        self
+    }
+
+    /// Sets the journal group-commit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records == 0`.
+    pub fn with_journal_batch(mut self, records: u64) -> Self {
+        assert!(records > 0, "journal batch must be positive");
+        self.journal_batch_records = records;
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Enables Fig.-11 force-miss mode.
+    pub fn with_force_miss(mut self, on: bool) -> Self {
+        self.force_miss = on;
+        self
+    }
+
+    /// Sets the Rebuilder period.
+    pub fn with_rebuild_period(mut self, period: SimDuration) -> Self {
+        self.rebuild_period = period;
+        self
+    }
+
+    /// Enables eager read fetching (ablation).
+    pub fn with_eager_read_fetch(mut self, on: bool) -> Self {
+        self.eager_read_fetch = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = S4dConfig::new(1 << 30);
+        assert_eq!(c.admission, AdmissionPolicy::Benefit);
+        assert!(!c.force_miss);
+        assert!(!c.eager_read_fetch);
+        assert_eq!(c.rebuild_period, SimDuration::from_secs(1));
+        assert_eq!(c.cache_capacity, 1 << 30);
+    }
+
+    #[test]
+    fn journal_batch_builder() {
+        let c = S4dConfig::new(1).with_journal_batch(1);
+        assert_eq!(c.journal_batch_records, 1);
+        assert_eq!(S4dConfig::new(1).journal_batch_records, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "journal batch must be positive")]
+    fn rejects_zero_journal_batch() {
+        S4dConfig::new(1).with_journal_batch(0);
+    }
+
+    #[test]
+    fn builders() {
+        let c = S4dConfig::new(1)
+            .with_admission(AdmissionPolicy::AlwaysAdmit)
+            .with_force_miss(true)
+            .with_rebuild_period(SimDuration::from_millis(100))
+            .with_eager_read_fetch(true);
+        assert_eq!(c.admission, AdmissionPolicy::AlwaysAdmit);
+        assert!(c.force_miss);
+        assert!(c.eager_read_fetch);
+        assert_eq!(c.rebuild_period, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cache capacity must be positive")]
+    fn rejects_zero_capacity() {
+        S4dConfig::new(0);
+    }
+}

@@ -1,0 +1,781 @@
+//! The Data Mapping Table (paper §III.D, Fig. 5).
+//!
+//! The DMT tracks which ranges of each original file are cached, where in
+//! the cache file they live (`C_file`, `C_offset`), and whether the cached
+//! copy is dirty (`D_flag`). The in-memory organisation is an interval map
+//! per file; persistence works through mutation records ([`crate::journal`])
+//! that the middleware group-commits to a CServer journal file — the paper
+//! implements this with Berkeley DB (§IV.A), whose key-value records serve
+//! the same role.
+//!
+//! Two recency indices — one for clean extents, one for dirty — support the
+//! Redirector's eviction policy ("a clean space will be the candidate based
+//! on a LRU policy", §III.E) and the Rebuilder's oldest-first flushing, each
+//! in time proportional to the work done rather than to the table size.
+
+use std::collections::{BTreeMap, HashMap};
+
+use s4d_pfs::FileId;
+use serde::{Deserialize, Serialize};
+
+use crate::journal::JournalRecord;
+
+/// One mapped extent of an original file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapExtent {
+    /// Length in bytes.
+    pub len: u64,
+    /// Cache file holding the bytes.
+    pub c_file: FileId,
+    /// Offset within the cache file.
+    pub c_offset: u64,
+    /// The paper's `D_flag`: cached copy newer than DServers.
+    pub dirty: bool,
+    /// Bumped on every overwrite; used to detect writes racing a flush.
+    pub version: u64,
+    /// LRU timestamp (internal; lives in the index matching `dirty`).
+    touch: u64,
+}
+
+/// A covered piece of a queried range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoveredPiece {
+    /// Offset in the original file where the piece starts.
+    pub d_offset: u64,
+    /// Piece length.
+    pub len: u64,
+    /// Cache file holding it.
+    pub c_file: FileId,
+    /// Offset of the piece within the cache file.
+    pub c_offset: u64,
+    /// Whether the cached copy is dirty.
+    pub dirty: bool,
+}
+
+/// The result of a range query: covered pieces and uncovered gaps, both in
+/// file order, exactly tiling the queried range.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RangeView {
+    /// Cached pieces.
+    pub pieces: Vec<CoveredPiece>,
+    /// Uncovered `(offset, len)` gaps.
+    pub gaps: Vec<(u64, u64)>,
+}
+
+impl RangeView {
+    /// True if the whole range is cached.
+    pub fn fully_covered(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// True if nothing of the range is cached.
+    pub fn fully_missed(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Bytes covered.
+    pub fn covered_bytes(&self) -> u64 {
+        self.pieces.iter().map(|p| p.len).sum()
+    }
+}
+
+/// The Data Mapping Table.
+#[derive(Debug, Clone, Default)]
+pub struct Dmt {
+    files: HashMap<FileId, BTreeMap<u64, MapExtent>>,
+    /// Recency index of clean extents: touch → (file, d_offset).
+    lru_clean: BTreeMap<u64, (FileId, u64)>,
+    /// Recency index of dirty extents.
+    lru_dirty: BTreeMap<u64, (FileId, u64)>,
+    next_touch: u64,
+    mapped: u64,
+    dirty_total: u64,
+    entry_count: usize,
+    /// Mutation records accumulated since the last journal drain.
+    pending_journal: Vec<JournalRecord>,
+    /// Lifetime mutation records (metadata-size accounting, §V.E.1).
+    journal_total: u64,
+}
+
+impl Dmt {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Dmt::default()
+    }
+
+    /// Total bytes currently mapped.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Total dirty bytes (maintained incrementally).
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty_total
+    }
+
+    /// Number of extents.
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// Lifetime mutation records (each costs [`crate::DMT_RECORD_BYTES`]
+    /// of journal space).
+    pub fn journal_records_total(&self) -> u64 {
+        self.journal_total
+    }
+
+    /// Drains the mutation records accumulated since the last drain — the
+    /// middleware serialises these into the next synchronous journal write,
+    /// and crash recovery replays them (see [`crate::journal`]).
+    pub fn take_pending_journal(&mut self) -> Vec<JournalRecord> {
+        std::mem::take(&mut self.pending_journal)
+    }
+
+    /// Iterates over every live extent as `(file, d_offset, extent)`.
+    pub fn iter_extents(&self) -> impl Iterator<Item = (FileId, u64, &MapExtent)> {
+        self.files
+            .iter()
+            .flat_map(|(&f, m)| m.iter().map(move |(&o, e)| (f, o, e)))
+    }
+
+    fn record(&mut self, r: JournalRecord) {
+        self.pending_journal.push(r);
+        self.journal_total += 1;
+    }
+
+    fn bump(&mut self) -> u64 {
+        let t = self.next_touch;
+        self.next_touch += 1;
+        t
+    }
+
+    fn index(&mut self, dirty: bool) -> &mut BTreeMap<u64, (FileId, u64)> {
+        if dirty {
+            &mut self.lru_dirty
+        } else {
+            &mut self.lru_clean
+        }
+    }
+
+    /// Queries coverage of `[offset, offset+len)`.
+    pub fn view(&self, file: FileId, offset: u64, len: u64) -> RangeView {
+        let mut view = RangeView::default();
+        if len == 0 {
+            return view;
+        }
+        let end = offset + len;
+        let mut cursor = offset;
+        if let Some(map) = self.files.get(&file) {
+            // Start from the extent at or before `offset`.
+            let start_key = map
+                .range(..=offset)
+                .next_back()
+                .filter(|(&s, e)| s + e.len > offset)
+                .map(|(&s, _)| s)
+                .unwrap_or(offset);
+            for (&s, e) in map.range(start_key..end) {
+                let e_end = s + e.len;
+                if e_end <= offset || s >= end {
+                    continue;
+                }
+                let lo = s.max(offset);
+                let hi = e_end.min(end);
+                if lo > cursor {
+                    view.gaps.push((cursor, lo - cursor));
+                }
+                view.pieces.push(CoveredPiece {
+                    d_offset: lo,
+                    len: hi - lo,
+                    c_file: e.c_file,
+                    c_offset: e.c_offset + (lo - s),
+                    dirty: e.dirty,
+                });
+                cursor = hi;
+            }
+        }
+        if cursor < end {
+            view.gaps.push((cursor, end - cursor));
+        }
+        view
+    }
+
+    /// Inserts a new extent mapping `[d_offset, d_offset+len)` →
+    /// `(c_file, c_offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing extent (the caller must
+    /// only insert into gaps) or `len == 0`.
+    pub fn insert(
+        &mut self,
+        file: FileId,
+        d_offset: u64,
+        len: u64,
+        c_file: FileId,
+        c_offset: u64,
+        dirty: bool,
+    ) {
+        assert!(len > 0, "cannot map an empty extent");
+        let view = self.view(file, d_offset, len);
+        assert!(
+            view.fully_missed(),
+            "DMT insert overlaps an existing extent at {file}:{d_offset}+{len}"
+        );
+        let touch = self.bump();
+        self.index(dirty).insert(touch, (file, d_offset));
+        self.files.entry(file).or_default().insert(
+            d_offset,
+            MapExtent {
+                len,
+                c_file,
+                c_offset,
+                dirty,
+                version: 0,
+                touch,
+            },
+        );
+        self.mapped += len;
+        if dirty {
+            self.dirty_total += len;
+        }
+        self.entry_count += 1;
+        self.record(JournalRecord::Insert {
+            d_file: file,
+            d_offset,
+            len,
+            c_file,
+            c_offset,
+            dirty,
+        });
+    }
+
+    /// Refreshes the LRU position of every extent overlapping the range.
+    pub fn touch_range(&mut self, file: FileId, offset: u64, len: u64) {
+        let keys = self.overlapping_keys(file, offset, len);
+        for key in keys {
+            let touch = self.bump();
+            let map = self.files.get_mut(&file).expect("key implies file");
+            let e = map.get_mut(&key).expect("key just observed");
+            let (old_touch, dirty) = (e.touch, e.dirty);
+            e.touch = touch;
+            let idx = self.index(dirty);
+            idx.remove(&old_touch);
+            idx.insert(touch, (file, key));
+        }
+    }
+
+    /// Marks `[offset, offset+len)` dirty, splitting boundary extents so
+    /// only the written bytes are flagged. Bytes of the range not covered
+    /// by the DMT are ignored (the caller routes them elsewhere).
+    pub fn mark_dirty(&mut self, file: FileId, offset: u64, len: u64) {
+        let keys = self.overlapping_keys(file, offset, len);
+        for key in keys {
+            self.split_off(file, key, offset, offset + len);
+        }
+        // After splitting, flag every fully contained extent.
+        let keys = self.overlapping_keys(file, offset, len);
+        for key in keys {
+            let touch = self.bump();
+            let map = self.files.get_mut(&file).expect("key implies file");
+            let e = map.get_mut(&key).expect("key just observed");
+            debug_assert!(key >= offset && key + e.len <= offset + len);
+            let was_dirty = e.dirty;
+            let (old_touch, e_len) = (e.touch, e.len);
+            e.dirty = true;
+            e.version += 1;
+            e.touch = touch;
+            self.index(was_dirty).remove(&old_touch);
+            self.lru_dirty.insert(touch, (file, key));
+            if !was_dirty {
+                self.dirty_total += e_len;
+            }
+            self.record(JournalRecord::SetDirty {
+                d_file: file,
+                d_offset: key,
+                len: e_len,
+            });
+        }
+    }
+
+    /// Marks the extent at exactly `d_offset` clean, provided its version
+    /// still matches (no write raced the flush). Returns whether it did.
+    pub fn mark_clean_if(&mut self, file: FileId, d_offset: u64, version: u64) -> bool {
+        let Some(e) = self
+            .files
+            .get_mut(&file)
+            .and_then(|m| m.get_mut(&d_offset))
+        else {
+            return false;
+        };
+        if e.version != version || !e.dirty {
+            return false;
+        }
+        e.dirty = false;
+        let (touch, len) = (e.touch, e.len);
+        self.lru_dirty.remove(&touch);
+        self.lru_clean.insert(touch, (file, d_offset));
+        self.dirty_total -= len;
+        self.record(JournalRecord::SetClean {
+            d_file: file,
+            d_offset,
+        });
+        true
+    }
+
+    /// Marks the extent at exactly `d_offset` clean unconditionally —
+    /// used by journal replay, where the persisted record is authoritative.
+    /// Returns whether such an extent existed.
+    pub fn force_clean(&mut self, file: FileId, d_offset: u64) -> bool {
+        let Some(e) = self
+            .files
+            .get_mut(&file)
+            .and_then(|m| m.get_mut(&d_offset))
+        else {
+            return false;
+        };
+        if e.dirty {
+            e.dirty = false;
+            let (touch, len) = (e.touch, e.len);
+            self.lru_dirty.remove(&touch);
+            self.lru_clean.insert(touch, (file, d_offset));
+            self.dirty_total -= len;
+            self.record(JournalRecord::SetClean {
+                d_file: file,
+                d_offset,
+            });
+        }
+        true
+    }
+
+    /// The extent starting exactly at `d_offset`, if any.
+    pub fn get(&self, file: FileId, d_offset: u64) -> Option<&MapExtent> {
+        self.files.get(&file).and_then(|m| m.get(&d_offset))
+    }
+
+    /// Removes the extent starting exactly at `d_offset`.
+    pub fn remove(&mut self, file: FileId, d_offset: u64) -> Option<MapExtent> {
+        let e = self.files.get_mut(&file)?.remove(&d_offset)?;
+        if e.dirty {
+            self.lru_dirty.remove(&e.touch);
+            self.dirty_total -= e.len;
+        } else {
+            self.lru_clean.remove(&e.touch);
+        }
+        self.mapped -= e.len;
+        self.entry_count -= 1;
+        self.record(JournalRecord::Remove {
+            d_file: file,
+            d_offset,
+        });
+        Some(e)
+    }
+
+    /// Selects and removes clean extents in LRU order until at least
+    /// `bytes` of cache space are reclaimed (or no clean extents remain).
+    /// Returns the victims as `(file, d_offset, extent)`. Cost is
+    /// proportional to the number of victims, not the table size.
+    pub fn evict_clean_lru(&mut self, bytes: u64) -> Vec<(FileId, u64, MapExtent)> {
+        self.evict_clean_lru_excluding(bytes, |_, _, _| false)
+    }
+
+    /// Like [`Dmt::evict_clean_lru`], but skips extents for which
+    /// `is_pinned(file, d_offset, len)` returns true — the Redirector pins
+    /// ranges referenced by in-flight reads so eviction cannot discard
+    /// bytes a queued sub-request is about to return.
+    pub fn evict_clean_lru_excluding(
+        &mut self,
+        bytes: u64,
+        is_pinned: impl Fn(FileId, u64, u64) -> bool,
+    ) -> Vec<(FileId, u64, MapExtent)> {
+        let mut victim_keys = Vec::new();
+        let mut reclaimed = 0u64;
+        for (_, &(file, d_off)) in self.lru_clean.iter() {
+            if reclaimed >= bytes {
+                break;
+            }
+            let len = self
+                .get(file, d_off)
+                .expect("clean index entries are live")
+                .len;
+            if is_pinned(file, d_off, len) {
+                continue;
+            }
+            reclaimed += len;
+            victim_keys.push((file, d_off));
+        }
+        victim_keys
+            .into_iter()
+            .map(|(file, d_off)| {
+                let e = self.remove(file, d_off).expect("victim exists");
+                (file, d_off, e)
+            })
+            .collect()
+    }
+
+    /// Up to `limit` dirty extents, least recently used first, as
+    /// `(file, d_offset, extent)` snapshots. Cost is `O(limit)`.
+    pub fn dirty_lru(&self, limit: usize) -> Vec<(FileId, u64, MapExtent)> {
+        self.lru_dirty
+            .values()
+            .take(limit)
+            .map(|&(file, d_off)| {
+                let e = self.get(file, d_off).expect("dirty index entries are live");
+                debug_assert!(e.dirty);
+                (file, d_off, *e)
+            })
+            .collect()
+    }
+
+    fn overlapping_keys(&self, file: FileId, offset: u64, len: u64) -> Vec<u64> {
+        let Some(map) = self.files.get(&file) else {
+            return Vec::new();
+        };
+        if len == 0 {
+            return Vec::new();
+        }
+        let end = offset + len;
+        let start_key = map
+            .range(..=offset)
+            .next_back()
+            .filter(|(&s, e)| s + e.len > offset)
+            .map(|(&s, _)| s)
+            .unwrap_or(offset);
+        map.range(start_key..end)
+            .filter(|(&s, e)| s < end && s + e.len > offset)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Splits the extent at `key` so that no extent straddles `lo` or `hi`.
+    fn split_off(&mut self, file: FileId, key: u64, lo: u64, hi: u64) {
+        let map = self.files.get_mut(&file).expect("file exists");
+        let e = *map.get(&key).expect("key exists");
+        let e_end = key + e.len;
+        let cut_lo = lo.max(key);
+        let cut_hi = hi.min(e_end);
+        if cut_lo == key && cut_hi == e_end {
+            return; // fully inside, no split needed
+        }
+        // Remove and re-insert up to three pieces.
+        map.remove(&key);
+        self.index(e.dirty).remove(&e.touch);
+        self.entry_count -= 1;
+        self.mapped -= e.len;
+        if e.dirty {
+            self.dirty_total -= e.len;
+        }
+        let mut pieces: Vec<(u64, u64)> = Vec::new();
+        if cut_lo > key {
+            pieces.push((key, cut_lo - key));
+        }
+        pieces.push((cut_lo, cut_hi - cut_lo));
+        if e_end > cut_hi {
+            pieces.push((cut_hi, e_end - cut_hi));
+        }
+        for (p_off, p_len) in pieces {
+            let touch = self.bump();
+            self.index(e.dirty).insert(touch, (file, p_off));
+            self.files.entry(file).or_default().insert(
+                p_off,
+                MapExtent {
+                    len: p_len,
+                    c_file: e.c_file,
+                    c_offset: e.c_offset + (p_off - key),
+                    dirty: e.dirty,
+                    version: e.version,
+                    touch,
+                },
+            );
+            self.entry_count += 1;
+            self.mapped += p_len;
+            if e.dirty {
+                self.dirty_total += p_len;
+            }
+        }
+        // No journal record: replaying the SetDirty that triggered the
+        // split reproduces it exactly.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const F: FileId = FileId(1);
+    const CF: FileId = FileId(100);
+
+    #[test]
+    fn empty_view_is_one_gap() {
+        let d = Dmt::new();
+        let v = d.view(F, 10, 90);
+        assert!(v.fully_missed());
+        assert_eq!(v.gaps, vec![(10, 90)]);
+        assert_eq!(v.covered_bytes(), 0);
+        assert!(d.view(F, 0, 0).gaps.is_empty());
+    }
+
+    #[test]
+    fn insert_and_exact_hit() {
+        let mut d = Dmt::new();
+        d.insert(F, 100, 50, CF, 0, true);
+        let v = d.view(F, 100, 50);
+        assert!(v.fully_covered());
+        assert_eq!(v.pieces.len(), 1);
+        let p = v.pieces[0];
+        assert_eq!(p.c_file, CF);
+        assert_eq!(p.c_offset, 0);
+        assert!(p.dirty);
+        assert_eq!(d.mapped_bytes(), 50);
+        assert_eq!(d.dirty_bytes(), 50);
+        assert_eq!(d.entry_count(), 1);
+    }
+
+    #[test]
+    fn partial_overlap_translates_offsets() {
+        let mut d = Dmt::new();
+        d.insert(F, 100, 50, CF, 1000, false);
+        let v = d.view(F, 120, 100);
+        assert_eq!(v.pieces.len(), 1);
+        assert_eq!(v.pieces[0].d_offset, 120);
+        assert_eq!(v.pieces[0].len, 30);
+        assert_eq!(v.pieces[0].c_offset, 1020);
+        assert_eq!(v.gaps, vec![(150, 70)]);
+    }
+
+    #[test]
+    fn view_tiles_range_with_multiple_extents() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, false);
+        d.insert(F, 20, 10, CF, 10, false);
+        d.insert(F, 40, 10, CF, 20, true);
+        let v = d.view(F, 0, 60);
+        assert_eq!(v.pieces.len(), 3);
+        assert_eq!(v.gaps, vec![(10, 10), (30, 10), (50, 10)]);
+        assert_eq!(v.covered_bytes(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps an existing extent")]
+    fn insert_rejects_overlap() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 100, CF, 0, false);
+        d.insert(F, 50, 10, CF, 500, false);
+    }
+
+    #[test]
+    fn mark_dirty_splits_boundaries() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 100, CF, 0, false);
+        d.mark_dirty(F, 30, 40);
+        // Now three extents: [0,30) clean, [30,70) dirty, [70,100) clean.
+        assert_eq!(d.entry_count(), 3);
+        assert_eq!(d.mapped_bytes(), 100);
+        let v = d.view(F, 0, 100);
+        assert_eq!(v.pieces.len(), 3);
+        assert!(!v.pieces[0].dirty);
+        assert!(v.pieces[1].dirty);
+        assert!(!v.pieces[2].dirty);
+        // Cache offsets remain contiguous through the split.
+        assert_eq!(v.pieces[0].c_offset, 0);
+        assert_eq!(v.pieces[1].c_offset, 30);
+        assert_eq!(v.pieces[2].c_offset, 70);
+        assert_eq!(d.dirty_bytes(), 40);
+    }
+
+    #[test]
+    fn mark_clean_respects_version() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, false);
+        d.mark_dirty(F, 0, 10);
+        let v = d.get(F, 0).unwrap().version;
+        // A racing write bumps the version.
+        d.mark_dirty(F, 0, 10);
+        assert!(!d.mark_clean_if(F, 0, v), "stale version must not clean");
+        let v2 = d.get(F, 0).unwrap().version;
+        assert!(d.mark_clean_if(F, 0, v2));
+        assert!(!d.get(F, 0).unwrap().dirty);
+        assert_eq!(d.dirty_bytes(), 0);
+        assert!(!d.mark_clean_if(F, 0, v2), "already clean");
+        assert!(!d.mark_clean_if(F, 999, 0), "absent extent");
+    }
+
+    #[test]
+    fn force_clean_ignores_versions() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, true);
+        assert!(d.force_clean(F, 0));
+        assert!(!d.get(F, 0).unwrap().dirty);
+        assert_eq!(d.dirty_bytes(), 0);
+        assert!(d.force_clean(F, 0), "idempotent on clean extents");
+        assert!(!d.force_clean(F, 99), "absent extent reported");
+    }
+
+    #[test]
+    fn eviction_prefers_lru_clean() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, false); // oldest
+        d.insert(F, 100, 10, CF, 10, false);
+        d.insert(F, 200, 10, CF, 20, true); // dirty: not evictable
+        // Touch the oldest so the middle becomes LRU.
+        d.touch_range(F, 0, 10);
+        let victims = d.evict_clean_lru(10);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].1, 100, "middle extent was least recently used");
+        assert_eq!(d.entry_count(), 2);
+        // Asking for more than clean space yields what exists.
+        let victims = d.evict_clean_lru(1000);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].1, 0);
+        assert!(d.evict_clean_lru(1).is_empty(), "only dirty data remains");
+        assert_eq!(d.dirty_bytes(), 10);
+    }
+
+    #[test]
+    fn eviction_skips_pinned_ranges() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, false);
+        d.insert(F, 100, 10, CF, 10, false);
+        // Pin the older extent: the newer one must be evicted instead.
+        let victims =
+            d.evict_clean_lru_excluding(5, |_, off, len| off < 10 && off + len > 0);
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].1, 100);
+        // With everything pinned, nothing is evicted.
+        assert!(d
+            .evict_clean_lru_excluding(1000, |_, _, _| true)
+            .is_empty());
+    }
+
+    #[test]
+    fn dirty_lru_lists_oldest_first() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, true);
+        d.insert(F, 100, 10, CF, 10, true);
+        d.insert(F, 200, 10, CF, 20, false);
+        let dirty = d.dirty_lru(10);
+        assert_eq!(dirty.len(), 2);
+        assert_eq!(dirty[0].1, 0);
+        assert_eq!(dirty[1].1, 100);
+        assert_eq!(d.dirty_lru(1).len(), 1);
+    }
+
+    #[test]
+    fn clean_transition_preserves_recency_order() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, true); // oldest
+        d.insert(F, 100, 10, CF, 10, false);
+        // Cleaning the dirty extent moves it to the clean index with its
+        // original (older) recency: it becomes the eviction candidate.
+        let v = d.get(F, 0).unwrap().version;
+        d.mark_clean_if(F, 0, v);
+        let victims = d.evict_clean_lru(5);
+        assert_eq!(victims[0].1, 0);
+    }
+
+    #[test]
+    fn remove_updates_accounting() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, true);
+        assert!(d.remove(F, 0).is_some());
+        assert!(d.remove(F, 0).is_none());
+        assert_eq!(d.mapped_bytes(), 0);
+        assert_eq!(d.dirty_bytes(), 0);
+        assert_eq!(d.entry_count(), 0);
+    }
+
+    #[test]
+    fn journal_accounting_drains() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, false);
+        d.mark_dirty(F, 0, 10);
+        let records = d.take_pending_journal();
+        assert!(records.len() >= 2);
+        assert!(matches!(records[0], JournalRecord::Insert { .. }));
+        assert!(d.take_pending_journal().is_empty());
+        assert!(d.journal_records_total() >= 2);
+        assert_eq!(d.iter_extents().count(), 1);
+    }
+
+    // Model-based test: the DMT must agree with a per-byte map under a
+    // random sequence of inserts (into gaps), dirty markings, cleanings,
+    // and evictions; the incremental dirty counter must agree with a
+    // recount.
+    proptest! {
+        #[test]
+        fn prop_matches_byte_model(
+            ops in proptest::collection::vec((0u64..200, 1u64..40, 0u8..4), 1..60)
+        ) {
+            const N: usize = 256;
+            // byte -> Option<(c_byte, dirty)>
+            let mut model: Vec<Option<(u64, bool)>> = vec![None; N];
+            let mut d = Dmt::new();
+            let mut next_c = 0u64;
+            for (off, len, kind) in ops {
+                let len = len.min(N as u64 - off);
+                if len == 0 { continue; }
+                match kind {
+                    0 => {
+                        // Insert the gaps of this range as fresh extents.
+                        let view = d.view(F, off, len);
+                        for (g_off, g_len) in view.gaps {
+                            d.insert(F, g_off, g_len, CF, next_c, false);
+                            for b in g_off..g_off + g_len {
+                                model[b as usize] = Some((next_c + (b - g_off), false));
+                            }
+                            next_c += g_len;
+                        }
+                    }
+                    1 => {
+                        d.mark_dirty(F, off, len);
+                        for b in off..off + len {
+                            if let Some((c, _)) = model[b as usize] {
+                                model[b as usize] = Some((c, true));
+                            }
+                        }
+                    }
+                    2 => {
+                        // Clean whatever extent starts exactly at `off`.
+                        if d.force_clean(F, off) {
+                            let e = d.get(F, off).unwrap();
+                            for b in off..off + e.len {
+                                if let Some((c, _)) = model[b as usize] {
+                                    model[b as usize] = Some((c, false));
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        // Evict up to `len` clean bytes.
+                        for (_, v_off, e) in d.evict_clean_lru(len) {
+                            for b in v_off..v_off + e.len {
+                                model[b as usize] = None;
+                            }
+                        }
+                    }
+                }
+            }
+            // Compare every byte through view().
+            let v = d.view(F, 0, N as u64);
+            let mut got: Vec<Option<(u64, bool)>> = vec![None; N];
+            for p in &v.pieces {
+                for i in 0..p.len {
+                    got[(p.d_offset + i) as usize] = Some((p.c_offset + i, p.dirty));
+                }
+            }
+            prop_assert_eq!(&got, &model);
+            let mapped: u64 = model.iter().filter(|b| b.is_some()).count() as u64;
+            prop_assert_eq!(d.mapped_bytes(), mapped);
+            let dirty: u64 = model.iter().filter(|b| matches!(b, Some((_, true)))).count() as u64;
+            prop_assert_eq!(d.dirty_bytes(), dirty);
+            // Index consistency: every index entry points at a live extent
+            // with matching dirtiness; counts add up.
+            prop_assert_eq!(
+                d.entry_count(),
+                d.iter_extents().count()
+            );
+            let dirty_entries = d.iter_extents().filter(|(_, _, e)| e.dirty).count();
+            prop_assert_eq!(d.dirty_lru(usize::MAX).len(), dirty_entries);
+        }
+    }
+}

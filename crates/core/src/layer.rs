@@ -1,0 +1,1284 @@
+//! The S4D-Cache middleware: Identifier + Redirector + Rebuilder.
+
+use std::collections::{HashMap, HashSet};
+
+use s4d_cost::{BenefitEvaluator, CostParams};
+use s4d_mpiio::{
+    AppRequest, BackgroundPoll, Cluster, Middleware, MiddlewareError, Plan, PlannedIo, Rank, Tier,
+};
+use s4d_pfs::{FileId, Priority};
+use s4d_sim::{SimDuration, SimTime};
+use s4d_storage::IoKind;
+
+use crate::cdt::Cdt;
+use crate::config::{AdmissionPolicy, S4dConfig};
+use crate::dmt::Dmt;
+use crate::journal::{self, JournalRecord};
+use crate::metrics::S4dMetrics;
+use crate::space::SpaceManager;
+use crate::DMT_RECORD_BYTES;
+
+/// Journal file size bound: the journal wraps (checkpoints) at this offset.
+const JOURNAL_WRAP: u64 = 256 * 1024 * 1024;
+
+/// Largest file-contiguous run the Rebuilder moves as one group.
+const MAX_GROUP_BYTES: u64 = 4 * 1024 * 1024;
+
+/// One dirty extent inside a flush group.
+#[derive(Debug, Clone, Copy)]
+struct FlushItem {
+    orig: FileId,
+    d_offset: u64,
+    len: u64,
+    c_file: FileId,
+    c_offset: u64,
+    version: u64,
+}
+
+/// A background action awaiting plan completion.
+#[derive(Debug, Clone)]
+enum Pending {
+    /// A foreground read finished: release its eviction pins.
+    Unpin(Vec<(FileId, u64, u64)>),
+    /// Several actions share one plan (e.g. unpin + eager fetch).
+    Multi(Vec<Pending>),
+    /// Flush of a run of file-contiguous dirty extents back to DServers.
+    /// Grouping adjacent extents turns many small cache writes into one
+    /// large sequential DServer write — the data *reorganisation* of
+    /// §III.F, and a large part of why buffering random writes pays off.
+    Flush(Vec<FlushItem>),
+    /// Fetch of the gaps of a run of adjacent flagged CDT entries.
+    Fetch {
+        orig: FileId,
+        /// The `(offset, len)` CDT keys whose `C_flag` this fetch clears.
+        cdt_keys: Vec<(u64, u64)>,
+        /// `(d_offset, len, c_file, c_offset)` pieces reserved for the data.
+        pieces: Vec<(u64, u64, FileId, u64)>,
+    },
+}
+
+/// The Smart Selective SSD Cache middleware (the paper's Fig. 3).
+///
+/// See the crate-level documentation for the component mapping; the
+/// [`s4d_mpiio::Middleware`] implementation below is the integration point
+/// the paper realises by modifying the `MPI_File_*` entry points (§IV.B).
+#[derive(Debug)]
+pub struct S4dCache {
+    config: S4dConfig,
+    evaluator: BenefitEvaluator<(u32, u64)>,
+    cdt: Cdt,
+    dmt: Dmt,
+    space: SpaceManager,
+    /// Original file → its cache file in CPFS.
+    cache_file_of: HashMap<FileId, FileId>,
+    /// The DMT journal file in CPFS.
+    journal_file: Option<FileId>,
+    journal_offset: u64,
+    pending: HashMap<u64, Pending>,
+    next_tag: u64,
+    inflight_flush: HashSet<(FileId, u64)>,
+    inflight_fetch: HashSet<(FileId, u64, u64)>,
+    /// Ranges referenced by in-flight foreground reads; eviction must not
+    /// discard them (a queued sub-request would read freed space).
+    pins: Vec<(FileId, u64, u64)>,
+    /// Records awaiting the next group-committed journal write.
+    journal_pending: Vec<JournalRecord>,
+    /// Full record log (kept only when the config asks; crash-recovery
+    /// tests read it back as "the journal file's contents").
+    journal_log: Vec<JournalRecord>,
+    metrics: S4dMetrics,
+}
+
+impl S4dCache {
+    /// Creates the middleware from a configuration and the cost-model
+    /// parameters (derive the latter from the same device presets the
+    /// cluster uses — see [`s4d_cost::CostParams::from_hardware`]).
+    pub fn new(config: S4dConfig, params: CostParams) -> Self {
+        let cdt_cap = config.cdt_max_entries;
+        S4dCache {
+            config,
+            evaluator: BenefitEvaluator::new(params),
+            cdt: Cdt::new(cdt_cap),
+            dmt: Dmt::new(),
+            space: SpaceManager::new(1),
+            cache_file_of: HashMap::new(),
+            journal_file: None,
+            journal_offset: 0,
+            pending: HashMap::new(),
+            next_tag: 1,
+            inflight_flush: HashSet::new(),
+            inflight_fetch: HashSet::new(),
+            pins: Vec::new(),
+            journal_pending: Vec::new(),
+            journal_log: Vec::new(),
+            metrics: S4dMetrics::default(),
+        }
+    }
+
+    /// Reconstructs a middleware after a crash from the persisted journal
+    /// record stream: the DMT is replayed and the space allocator rebuilt
+    /// from the live extents. The CDT and LRU recency are volatile
+    /// (memory-only, as in the paper) and start empty; cache files are
+    /// re-associated as applications re-open their files.
+    pub fn recover(config: S4dConfig, params: CostParams, records: &[JournalRecord]) -> Self {
+        let dmt = journal::replay(records);
+        let space = SpaceManager::rebuild(
+            config.cache_capacity,
+            dmt.iter_extents()
+                .map(|(_, _, e)| (e.c_file, e.c_offset, e.len)),
+        );
+        let mut s = S4dCache::new(config, params);
+        s.dmt = dmt;
+        s.space = space;
+        s
+    }
+
+    /// The retained journal record log (empty unless
+    /// [`S4dConfig::record_journal_log`] is set).
+    pub fn journal_log(&self) -> &[JournalRecord] {
+        &self.journal_log
+    }
+
+    /// Moves any not-yet-committed mutation records into the retained log
+    /// (the equivalent of a final group commit before clean shutdown).
+    /// Without this, a crash loses the last un-batched records and
+    /// recovery lands on the previous committed state — which is exactly
+    /// the guarantee a write-ahead journal gives.
+    pub fn sync_journal_log(&mut self) {
+        // When the log is not retained, the records simply stay pending
+        // for the next simulated journal write instead of being dropped.
+        self.collect_pending_records();
+    }
+
+    /// The middleware's counters.
+    pub fn metrics(&self) -> &S4dMetrics {
+        &self.metrics
+    }
+
+    /// The Critical Data Table (read-only view).
+    pub fn cdt(&self) -> &Cdt {
+        &self.cdt
+    }
+
+    /// The Data Mapping Table (read-only view).
+    pub fn dmt(&self) -> &Dmt {
+        &self.dmt
+    }
+
+    /// The space manager (read-only view).
+    pub fn space(&self) -> &SpaceManager {
+        &self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &S4dConfig {
+        &self.config
+    }
+
+    fn ensure_space_manager(&mut self) {
+        if self.space.capacity() != self.config.cache_capacity {
+            self.space = SpaceManager::new(self.config.cache_capacity);
+        }
+    }
+
+    fn ensure_journal(&mut self, cluster: &mut Cluster) -> FileId {
+        match self.journal_file {
+            Some(f) => f,
+            None => {
+                let f = cluster.cpfs_mut().create_or_open("__dmt_journal");
+                self.journal_file = Some(f);
+                f
+            }
+        }
+    }
+
+    /// Classifies a request per the configured admission policy, inserting
+    /// critical ranges into the CDT (the Data Identifier, §III.C).
+    fn identify(&mut self, req: &AppRequest) -> bool {
+        self.metrics.evaluated += 1;
+        let benefit = self
+            .evaluator
+            .evaluate((req.rank.0, req.file.0), req.offset, req.len);
+        let critical = match self.config.admission {
+            AdmissionPolicy::Benefit => benefit.is_critical(),
+            AdmissionPolicy::AlwaysAdmit => true,
+            AdmissionPolicy::NeverAdmit => false,
+            AdmissionPolicy::SizeBelow(t) => req.len < t,
+        };
+        if critical {
+            self.metrics.critical += 1;
+            self.cdt.insert(req.file, req.offset, req.len);
+        }
+        critical
+    }
+
+    /// Makes room for `len` more cache bytes, evicting clean LRU extents if
+    /// needed (Algorithm 1 lines 4–10). Returns whether the space now fits.
+    fn make_room(&mut self, cluster: &mut Cluster, len: u64) -> bool {
+        if self.space.fits(len) {
+            return true;
+        }
+        let needed = len - self.space.available();
+        let pins = std::mem::take(&mut self.pins);
+        let victims = self.dmt.evict_clean_lru_excluding(needed, |file, off, elen| {
+            pins.iter()
+                .any(|&(p_file, p_off, p_len)| {
+                    p_file == file && p_off < off + elen && off < p_off + p_len
+                })
+        });
+        self.pins = pins;
+        for (_file, _d_off, ext) in &victims {
+            self.space.release(ext.c_file, ext.c_offset, ext.len);
+            // Dropping the cached bytes is a metadata operation; the data
+            // still lives on DServers because the extent was clean.
+            let _ = cluster.cpfs_mut().discard(ext.c_file, ext.c_offset, ext.len);
+            self.metrics.evictions += 1;
+            self.metrics.evicted_bytes += ext.len;
+        }
+        self.space.fits(len)
+    }
+
+    /// Accumulates pending DMT mutations and appends a journal write to
+    /// `ops` once a group-commit batch is full.
+    fn journal_op(&mut self, cluster: &mut Cluster, ops: &mut Vec<PlannedIo>) {
+        self.collect_pending_records();
+        if (self.journal_pending.len() as u64) < self.config.journal_batch_records {
+            return;
+        }
+        if let Some(op) = self.drain_journal(cluster, Priority::Normal) {
+            ops.push(op);
+        }
+    }
+
+    fn collect_pending_records(&mut self) {
+        let fresh = self.dmt.take_pending_journal();
+        if self.config.record_journal_log {
+            self.journal_log.extend_from_slice(&fresh);
+        }
+        self.journal_pending.extend(fresh);
+    }
+
+    /// Builds a journal write covering every pending record, if any.
+    fn drain_journal(&mut self, cluster: &mut Cluster, priority: Priority) -> Option<PlannedIo> {
+        self.collect_pending_records();
+        if self.journal_pending.is_empty() {
+            return None;
+        }
+        let journal = self.ensure_journal(cluster);
+        let len = self.journal_pending.len() as u64 * DMT_RECORD_BYTES;
+        self.journal_pending.clear();
+        let op = PlannedIo {
+            tier: Tier::CServers,
+            file: journal,
+            kind: IoKind::Write,
+            offset: self.journal_offset,
+            len,
+            priority,
+            data: None,
+            app_offset: None,
+        };
+        self.journal_offset = (self.journal_offset + len) % JOURNAL_WRAP;
+        self.metrics.journal_writes += 1;
+        self.metrics.journal_bytes += len;
+        Some(op)
+    }
+
+    /// Algorithm 1, write side.
+    fn plan_write(&mut self, cluster: &mut Cluster, req: &AppRequest, critical: bool) -> Plan {
+        let cache = *self
+            .cache_file_of
+            .get(&req.file)
+            .expect("plan_io on a file the middleware opened");
+        let mut ops: Vec<PlannedIo> = Vec::new();
+        let view = self.dmt.view(req.file, req.offset, req.len);
+        let mut used_cache = false;
+
+        // Mapped parts: the request is already served by CServers (line 22).
+        for piece in &view.pieces {
+            self.dmt.mark_dirty(req.file, piece.d_offset, piece.len);
+            ops.push(self.data_op(
+                Tier::CServers,
+                piece.c_file,
+                IoKind::Write,
+                piece.c_offset,
+                piece.len,
+                piece.d_offset,
+                req,
+            ));
+            used_cache = true;
+        }
+
+        // Unmapped parts: admit if critical and space permits (lines 3–14).
+        let gap_total: u64 = view.gaps.iter().map(|&(_, l)| l).sum();
+        let admit = critical && gap_total > 0 && {
+            let ok = self.make_room(cluster, gap_total);
+            if !ok {
+                self.metrics.admission_denied_space += 1;
+            }
+            ok
+        };
+        for &(g_off, g_len) in &view.gaps {
+            if admit {
+                let pieces = self
+                    .space
+                    .alloc(cache, g_len)
+                    .expect("make_room guaranteed capacity");
+                let mut cursor = g_off;
+                for p in pieces {
+                    self.dmt
+                        .insert(req.file, cursor, p.len, cache, p.c_offset, true);
+                    ops.push(self.data_op(
+                        Tier::CServers,
+                        cache,
+                        IoKind::Write,
+                        p.c_offset,
+                        p.len,
+                        cursor,
+                        req,
+                    ));
+                    cursor += p.len;
+                }
+                used_cache = true;
+            } else {
+                ops.push(self.data_op(
+                    Tier::DServers,
+                    req.file,
+                    IoKind::Write,
+                    g_off,
+                    g_len,
+                    g_off,
+                    req,
+                ));
+            }
+        }
+        if used_cache {
+            self.metrics.writes_to_cache += 1;
+        } else {
+            self.metrics.writes_to_disk += 1;
+        }
+        self.journal_op(cluster, &mut ops);
+        Plan {
+            tag: 0,
+            lead_in: self.config.decision_overhead,
+            phases: vec![ops],
+        }
+    }
+
+    /// Algorithm 1, read side (with the lazy `C_flag` marking of §III.E).
+    fn plan_read(&mut self, cluster: &mut Cluster, req: &AppRequest, critical: bool) -> Plan {
+        let cache = *self
+            .cache_file_of
+            .get(&req.file)
+            .expect("plan_io on a file the middleware opened");
+        let mut ops: Vec<PlannedIo> = Vec::new();
+        let view = self.dmt.view(req.file, req.offset, req.len);
+        self.dmt.touch_range(req.file, req.offset, req.len);
+        for piece in &view.pieces {
+            ops.push(self.data_op(
+                Tier::CServers,
+                piece.c_file,
+                IoKind::Read,
+                piece.c_offset,
+                piece.len,
+                piece.d_offset,
+                req,
+            ));
+        }
+        for &(g_off, g_len) in &view.gaps {
+            ops.push(self.data_op(
+                Tier::DServers,
+                req.file,
+                IoKind::Read,
+                g_off,
+                g_len,
+                g_off,
+                req,
+            ));
+        }
+        let mut plan = Plan {
+            tag: 0,
+            lead_in: self.config.decision_overhead,
+            phases: vec![ops],
+        };
+        if !view.pieces.is_empty() {
+            // Pin the cached pieces this read references until the plan
+            // completes, so eviction cannot free space under a queued
+            // sub-request.
+            let ranges: Vec<(FileId, u64, u64)> = view
+                .pieces
+                .iter()
+                .map(|p| (req.file, p.d_offset, p.len))
+                .collect();
+            self.pins.extend(ranges.iter().copied());
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            self.pending.insert(tag, Pending::Unpin(ranges));
+            plan.tag = tag;
+        }
+        if view.fully_covered() {
+            self.metrics.read_full_hits += 1;
+        } else {
+            if view.fully_missed() {
+                self.metrics.read_misses += 1;
+            } else {
+                self.metrics.read_partial_hits += 1;
+            }
+            if critical {
+                if self.config.eager_read_fetch {
+                    self.plan_eager_fetch(cluster, req, cache, &view.gaps, &mut plan);
+                } else if self.cdt.set_c_flag(req.file, req.offset, req.len) {
+                    // Lazy caching: mark for the Rebuilder (line 18).
+                    self.metrics.lazy_marks += 1;
+                }
+            }
+        }
+        self.journal_op(cluster, &mut plan.phases[0]);
+        plan
+    }
+
+    /// Eager-fetch ablation: append a second phase writing the missed gaps
+    /// into the cache as part of the request itself.
+    fn plan_eager_fetch(
+        &mut self,
+        cluster: &mut Cluster,
+        req: &AppRequest,
+        cache: FileId,
+        gaps: &[(u64, u64)],
+        plan: &mut Plan,
+    ) {
+        let total: u64 = gaps.iter().map(|&(_, l)| l).sum();
+        if total == 0 || !self.make_room(cluster, total) {
+            self.metrics.admission_denied_space += 1;
+            return;
+        }
+        let mut phase = Vec::new();
+        let mut pieces = Vec::new();
+        for &(g_off, g_len) in gaps {
+            let allocs = self
+                .space
+                .alloc(cache, g_len)
+                .expect("make_room guaranteed capacity");
+            let mut cursor = g_off;
+            for p in allocs {
+                phase.push(PlannedIo {
+                    tier: Tier::CServers,
+                    file: cache,
+                    kind: IoKind::Write,
+                    offset: p.c_offset,
+                    len: p.len,
+                    priority: Priority::Normal,
+                    data: None,
+                    app_offset: None,
+                });
+                pieces.push((cursor, p.len, cache, p.c_offset));
+                cursor += p.len;
+            }
+        }
+        let fetch = Pending::Fetch {
+            orig: req.file,
+            cdt_keys: vec![(req.offset, req.len)],
+            pieces,
+        };
+        if plan.tag != 0 {
+            // The read already registered an Unpin action; chain them.
+            let existing = self
+                .pending
+                .remove(&plan.tag)
+                .expect("tagged plan has a pending action");
+            self.pending
+                .insert(plan.tag, Pending::Multi(vec![existing, fetch]));
+        } else {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            self.pending.insert(tag, fetch);
+            plan.tag = tag;
+        }
+        self.metrics.fetches += 1;
+        self.metrics.fetched_bytes += total;
+        plan.phases.push(phase);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn data_op(
+        &self,
+        tier: Tier,
+        file: FileId,
+        kind: IoKind,
+        offset: u64,
+        len: u64,
+        app_offset: u64,
+        req: &AppRequest,
+    ) -> PlannedIo {
+        let data = match (kind, &req.data) {
+            (IoKind::Write, Some(full)) => {
+                let at = (app_offset - req.offset) as usize;
+                Some(full[at..at + len as usize].to_vec())
+            }
+            _ => None,
+        };
+        PlannedIo {
+            tier,
+            file,
+            kind,
+            offset,
+            len,
+            priority: Priority::Normal,
+            data,
+            app_offset: Some(app_offset),
+        }
+    }
+
+    /// Builds the Rebuilder's flush plans (dirty → DServers, §III.F step 1).
+    ///
+    /// Adjacent dirty extents of the same file are flushed as one group:
+    /// the CServer reads of a group run concurrently (merged where the
+    /// cache-file ranges happen to be contiguous too), and the DServer
+    /// write is a single large sequential I/O.
+    fn build_flushes(&mut self, plans: &mut Vec<Plan>) {
+        let mut candidates = self.dmt.dirty_lru(self.config.max_flush_per_wake);
+        candidates.retain(|(f, d, _)| !self.inflight_flush.contains(&(*f, *d)));
+        candidates.sort_by_key(|(f, d, _)| (f.0, *d));
+        let mut i = 0;
+        while i < candidates.len() {
+            let (file, start, first) = candidates[i];
+            let mut items = vec![FlushItem {
+                orig: file,
+                d_offset: start,
+                len: first.len,
+                c_file: first.c_file,
+                c_offset: first.c_offset,
+                version: first.version,
+            }];
+            let mut end = start + first.len;
+            let mut j = i + 1;
+            while j < candidates.len() {
+                let (f2, d2, e2) = candidates[j];
+                if f2 == file && d2 == end && (end - start) + e2.len <= MAX_GROUP_BYTES {
+                    items.push(FlushItem {
+                        orig: f2,
+                        d_offset: d2,
+                        len: e2.len,
+                        c_file: e2.c_file,
+                        c_offset: e2.c_offset,
+                        version: e2.version,
+                    });
+                    end = d2 + e2.len;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            i = j;
+            // Phase 1: read the cached bytes (merge cache-contiguous runs).
+            let mut reads: Vec<PlannedIo> = Vec::new();
+            for item in &items {
+                if let Some(last) = reads.last_mut() {
+                    if last.file == item.c_file && last.offset + last.len == item.c_offset {
+                        last.len += item.len;
+                        continue;
+                    }
+                }
+                reads.push(PlannedIo {
+                    tier: Tier::CServers,
+                    file: item.c_file,
+                    kind: IoKind::Read,
+                    offset: item.c_offset,
+                    len: item.len,
+                    priority: Priority::Background,
+                    data: None,
+                    app_offset: None,
+                });
+            }
+            // Phase 2: one sequential write to the original file.
+            let write = PlannedIo {
+                tier: Tier::DServers,
+                file,
+                kind: IoKind::Write,
+                offset: start,
+                len: end - start,
+                priority: Priority::Background,
+                data: None,
+                app_offset: None,
+            };
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            self.metrics.flushes += items.len() as u64;
+            self.metrics.flushed_bytes += end - start;
+            for item in &items {
+                self.inflight_flush.insert((item.orig, item.d_offset));
+            }
+            self.pending.insert(tag, Pending::Flush(items));
+            plans.push(Plan {
+                tag,
+                lead_in: SimDuration::ZERO,
+                phases: vec![reads, vec![write]],
+            });
+        }
+    }
+
+    /// Builds the Rebuilder's fetch plans (CDT `C_flag` data → CServers,
+    /// §III.F step 2). Adjacent flagged entries of a file are fetched as
+    /// one group so sequential critical data costs one large DServer read.
+    fn build_fetches(&mut self, cluster: &mut Cluster, plans: &mut Vec<Plan>) {
+        let mut flagged = self.cdt.flagged(self.config.max_fetch_per_wake);
+        flagged.retain(|e| !self.inflight_fetch.contains(&(e.file, e.offset, e.len)));
+        flagged.sort_by_key(|e| (e.file.0, e.offset));
+        let mut i = 0;
+        while i < flagged.len() {
+            let file = flagged[i].file;
+            let start = flagged[i].offset;
+            let mut end = start + flagged[i].len;
+            let mut keys = vec![(flagged[i].offset, flagged[i].len)];
+            let mut j = i + 1;
+            while j < flagged.len() {
+                let e = &flagged[j];
+                if e.file == file && e.offset == end && (end - start) + e.len <= MAX_GROUP_BYTES {
+                    end = e.offset + e.len;
+                    keys.push((e.offset, e.len));
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            i = j;
+            let Some(&cache) = self.cache_file_of.get(&file) else {
+                continue;
+            };
+            let view = self.dmt.view(file, start, end - start);
+            if view.fully_covered() {
+                for &(o, l) in &keys {
+                    self.cdt.clear_c_flag(file, o, l);
+                }
+                continue;
+            }
+            let total: u64 = view.gaps.iter().map(|&(_, l)| l).sum();
+            if !self.make_room(cluster, total) {
+                // No clean space to reclaim: stop fetching this wake.
+                break;
+            }
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            let mut pieces = Vec::new();
+            for &(g_off, g_len) in &view.gaps {
+                reads.push(PlannedIo {
+                    tier: Tier::DServers,
+                    file,
+                    kind: IoKind::Read,
+                    offset: g_off,
+                    len: g_len,
+                    priority: Priority::Background,
+                    data: None,
+                    app_offset: None,
+                });
+                let allocs = self
+                    .space
+                    .alloc(cache, g_len)
+                    .expect("make_room guaranteed capacity");
+                let mut cursor = g_off;
+                for p in allocs {
+                    writes.push(PlannedIo {
+                        tier: Tier::CServers,
+                        file: cache,
+                        kind: IoKind::Write,
+                        offset: p.c_offset,
+                        len: p.len,
+                        priority: Priority::Background,
+                        data: None,
+                        app_offset: None,
+                    });
+                    pieces.push((cursor, p.len, cache, p.c_offset));
+                    cursor += p.len;
+                }
+            }
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            for &(o, l) in &keys {
+                self.inflight_fetch.insert((file, o, l));
+            }
+            self.pending.insert(
+                tag,
+                Pending::Fetch {
+                    orig: file,
+                    cdt_keys: keys,
+                    pieces,
+                },
+            );
+            self.metrics.fetches += 1;
+            self.metrics.fetched_bytes += total;
+            plans.push(Plan {
+                tag,
+                lead_in: SimDuration::ZERO,
+                phases: vec![reads, writes],
+            });
+        }
+    }
+
+    fn apply_pending(&mut self, cluster: &mut Cluster, action: Option<Pending>) {
+        match action {
+            Some(Pending::Multi(actions)) => {
+                for a in actions {
+                    self.apply_pending(cluster, Some(a));
+                }
+            }
+            Some(Pending::Unpin(ranges)) => {
+                for range in ranges {
+                    if let Some(i) = self.pins.iter().position(|&p| p == range) {
+                        self.pins.swap_remove(i);
+                    }
+                }
+            }
+            Some(Pending::Flush(items)) => self.finish_flush_group(cluster, items),
+            Some(Pending::Fetch {
+                orig,
+                cdt_keys,
+                pieces,
+            }) => self.finish_fetch(cluster, orig, cdt_keys, pieces),
+            None => {}
+        }
+    }
+
+    fn finish_flush_group(&mut self, cluster: &mut Cluster, items: Vec<FlushItem>) {
+        for item in items {
+            // Apply the data effect of the simulated copy (current bytes —
+            // if a write raced the flush, DServers receive the newest data
+            // and the extent simply stays dirty for a later flush).
+            let _ = cluster.copy_range(
+                (Tier::CServers, item.c_file, item.c_offset),
+                (Tier::DServers, item.orig, item.d_offset),
+                item.len,
+            );
+            self.dmt
+                .mark_clean_if(item.orig, item.d_offset, item.version);
+            self.inflight_flush.remove(&(item.orig, item.d_offset));
+        }
+    }
+
+    fn finish_fetch(
+        &mut self,
+        cluster: &mut Cluster,
+        orig: FileId,
+        cdt_keys: Vec<(u64, u64)>,
+        pieces: Vec<(u64, u64, FileId, u64)>,
+    ) {
+        for (d_off, len, c_file, c_off) in pieces {
+            // A foreground write may have mapped (parts of) this range while
+            // the fetch was in flight; only fill the still-missing gaps and
+            // return the rest of the reservation.
+            let view = self.dmt.view(orig, d_off, len);
+            for &(g_off, g_len) in &view.gaps {
+                let rel = g_off - d_off;
+                let _ = cluster.copy_range(
+                    (Tier::DServers, orig, g_off),
+                    (Tier::CServers, c_file, c_off + rel),
+                    g_len,
+                );
+                self.dmt
+                    .insert(orig, g_off, g_len, c_file, c_off + rel, false);
+            }
+            // Give back the parts of the reservation that a racing write
+            // already mapped elsewhere.
+            for piece in &view.pieces {
+                let rel = piece.d_offset - d_off;
+                self.space.release(c_file, c_off + rel, piece.len);
+            }
+        }
+        for (o, l) in cdt_keys {
+            self.cdt.clear_c_flag(orig, o, l);
+            self.inflight_fetch.remove(&(orig, o, l));
+        }
+    }
+}
+
+impl Middleware for S4dCache {
+    fn open(
+        &mut self,
+        cluster: &mut Cluster,
+        _rank: Rank,
+        name: &str,
+    ) -> Result<FileId, MiddlewareError> {
+        self.ensure_space_manager();
+        self.ensure_journal(cluster);
+        let orig = cluster.opfs_mut().create_or_open(name);
+        // The paper opens a correlating cache file alongside each original
+        // file (MPI_File_open, §IV.B).
+        let cache_name = format!("{name}.cache");
+        let cache = cluster.cpfs_mut().create_or_open(&cache_name);
+        self.cache_file_of.insert(orig, cache);
+        Ok(orig)
+    }
+
+    fn plan_io(&mut self, cluster: &mut Cluster, _now: SimTime, req: &AppRequest) -> Plan {
+        let critical = self.identify(req);
+        if self.config.force_miss {
+            // Fig. 11 mode: full bookkeeping, no redirection.
+            let mut op = PlannedIo::data_op(
+                Tier::DServers,
+                req.file,
+                req.kind,
+                req.offset,
+                req.len,
+                req.offset,
+            );
+            op.data = req.data.clone();
+            match req.kind {
+                IoKind::Write => self.metrics.writes_to_disk += 1,
+                IoKind::Read => self.metrics.read_misses += 1,
+            }
+            return Plan {
+                tag: 0,
+                lead_in: self.config.decision_overhead,
+                phases: vec![vec![op]],
+            };
+        }
+        match req.kind {
+            IoKind::Write => self.plan_write(cluster, req, critical),
+            IoKind::Read => self.plan_read(cluster, req, critical),
+        }
+    }
+
+    fn close(
+        &mut self,
+        _cluster: &mut Cluster,
+        _rank: Rank,
+        _file: FileId,
+    ) -> Result<(), MiddlewareError> {
+        // Cached data outlives the open (that is the point of the second-run
+        // read experiments); nothing to tear down per close.
+        Ok(())
+    }
+
+    fn on_plan_complete(&mut self, cluster: &mut Cluster, _now: SimTime, tag: u64) {
+        let action = self.pending.remove(&tag);
+        self.apply_pending(cluster, action);
+    }
+
+
+    fn poll_background(&mut self, cluster: &mut Cluster, now: SimTime) -> BackgroundPoll {
+        if self.config.force_miss {
+            return BackgroundPoll {
+                plans: Vec::new(),
+                next_wake: Some(now + self.config.rebuild_period),
+                work_pending: false,
+            };
+        }
+        let mut plans = Vec::new();
+        if !self.config.persistent_placement {
+            // CARL-style placement keeps data on the CServers for good:
+            // nothing is ever written back, so there is nothing to flush.
+            self.build_flushes(&mut plans);
+        }
+        self.build_fetches(cluster, &mut plans);
+        // Persist any straggling journal records with background priority.
+        if let Some(op) = self.drain_journal(cluster, Priority::Background) {
+            plans.push(Plan::single_phase(vec![op]));
+        }
+        let work_pending = !plans.is_empty()
+            || !self.pending.is_empty()
+            || (!self.config.persistent_placement && self.dmt.dirty_bytes() > 0);
+        BackgroundPoll {
+            plans,
+            next_wake: Some(now + self.config.rebuild_period),
+            work_pending,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "s4d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4d_storage::presets;
+
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * 1024;
+
+    fn params_small() -> CostParams {
+        CostParams::from_hardware(
+            &presets::hdd_seagate_st3250(),
+            &presets::ssd_ocz_revodrive_x2(),
+            2,
+            1,
+            64 * KIB,
+        )
+        .with_network_bandwidth(117.0e6)
+    }
+
+    fn setup(capacity: u64) -> (Cluster, S4dCache, FileId) {
+        // Journal batch of 1 so tests can observe per-request journaling.
+        let config = S4dConfig::new(capacity).with_journal_batch(1);
+        let mut cluster = Cluster::paper_testbed_small(9);
+        let mut mw = S4dCache::new(config, params_small());
+        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+        (cluster, mw, f)
+    }
+
+    fn write_req(file: FileId, offset: u64, len: u64) -> AppRequest {
+        AppRequest {
+            rank: Rank(0),
+            file,
+            kind: IoKind::Write,
+            offset,
+            len,
+            data: None,
+        }
+    }
+
+    fn read_req(file: FileId, offset: u64, len: u64) -> AppRequest {
+        AppRequest {
+            rank: Rank(0),
+            file,
+            kind: IoKind::Read,
+            offset,
+            len,
+            data: None,
+        }
+    }
+
+    fn tiers_of(plan: &Plan) -> Vec<Tier> {
+        plan.phases
+            .iter()
+            .flatten()
+            .filter(|op| op.app_offset.is_some())
+            .map(|op| op.tier)
+            .collect()
+    }
+
+    #[test]
+    fn critical_write_is_admitted_to_cservers() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
+        assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB);
+        assert_eq!(mw.dmt().dirty_bytes(), 16 * KIB);
+        assert!(mw.cdt().contains(f, 0, 16 * KIB));
+        assert_eq!(mw.metrics().writes_to_cache, 1);
+        // The plan carries a journal write for the DMT mutation.
+        let journal_ops: Vec<_> = plan.phases[0]
+            .iter()
+            .filter(|op| op.app_offset.is_none())
+            .collect();
+        assert_eq!(journal_ops.len(), 1);
+        assert_eq!(journal_ops[0].tier, Tier::CServers);
+        assert!(journal_ops[0].len >= DMT_RECORD_BYTES);
+    }
+
+    #[test]
+    fn large_write_goes_to_dservers() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 8 * MIB));
+        assert_eq!(tiers_of(&plan), vec![Tier::DServers]);
+        assert_eq!(mw.dmt().mapped_bytes(), 0);
+        assert!(!mw.cdt().contains(f, 0, 8 * MIB));
+        assert_eq!(mw.metrics().writes_to_disk, 1);
+    }
+
+    #[test]
+    fn write_hit_updates_cache_and_stays_dirty() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
+        assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB, "no double mapping");
+        assert_eq!(mw.metrics().writes_to_cache, 2);
+    }
+
+    #[test]
+    fn read_hit_served_from_cache_miss_from_disk() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        let hit = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&hit), vec![Tier::CServers]);
+        assert_eq!(mw.metrics().read_full_hits, 1);
+        let miss = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, MIB, 16 * KIB));
+        assert_eq!(tiers_of(&miss), vec![Tier::DServers]);
+        assert_eq!(mw.metrics().read_misses, 1);
+    }
+
+    #[test]
+    fn partial_hit_splits_across_tiers() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        // Read 32 KiB: first 16 cached, second 16 not.
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 32 * KIB));
+        let tiers = tiers_of(&plan);
+        assert!(tiers.contains(&Tier::CServers));
+        assert!(tiers.contains(&Tier::DServers));
+        assert_eq!(mw.metrics().read_partial_hits, 1);
+    }
+
+    #[test]
+    fn critical_read_miss_is_lazily_marked() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
+        // Served from DServers now...
+        assert_eq!(tiers_of(&plan), vec![Tier::DServers]);
+        // ...but flagged for the Rebuilder.
+        assert_eq!(mw.metrics().lazy_marks, 1);
+        assert_eq!(mw.cdt().flagged(10).len(), 1);
+    }
+
+    #[test]
+    fn capacity_exhaustion_spills_to_dservers() {
+        // Cache of 32 KiB: the first critical write fills it; the second
+        // (all-dirty cache, nothing evictable) must spill.
+        let (mut cluster, mut mw, f) = setup(32 * KIB);
+        let p1 = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
+        assert_eq!(tiers_of(&p1), vec![Tier::CServers]);
+        let p2 = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 32 * KIB));
+        assert_eq!(tiers_of(&p2), vec![Tier::DServers]);
+        assert_eq!(mw.metrics().admission_denied_space, 1);
+        assert_eq!(mw.metrics().writes_to_disk, 1);
+    }
+
+    #[test]
+    fn clean_lru_space_is_reused() {
+        let (mut cluster, mut mw, f) = setup(32 * KIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
+        // Flush the dirty extent so it becomes clean.
+        let mut plans = Vec::new();
+        mw.build_flushes(&mut plans);
+        assert_eq!(plans.len(), 1);
+        let tag = plans[0].tag;
+        mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
+        assert_eq!(mw.dmt().dirty_bytes(), 0);
+        // A new critical write now evicts the clean extent and is admitted.
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 32 * KIB));
+        assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
+        assert_eq!(mw.metrics().evictions, 1);
+        assert_eq!(mw.metrics().evicted_bytes, 32 * KIB);
+        // The evicted range now misses.
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 32 * KIB));
+        assert_eq!(tiers_of(&plan), vec![Tier::DServers]);
+    }
+
+    #[test]
+    fn inflight_reads_pin_extents_against_eviction() {
+        // Regression test for a data-loss race found by the equivalence
+        // property suite: a clean extent referenced by a queued read must
+        // not be evicted (the read would return freed space).
+        let (mut cluster, mut mw, f) = setup(32 * KIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
+        // Make it clean via a flush cycle.
+        let mut plans = Vec::new();
+        mw.build_flushes(&mut plans);
+        let tag = plans[0].tag;
+        mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
+        assert_eq!(mw.dmt().dirty_bytes(), 0);
+        // A read of the cached range is now "in flight" (plan issued, not
+        // yet complete).
+        let read_plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 32 * KIB));
+        assert_ne!(read_plan.tag, 0, "read plans carry an unpin action");
+        // A critical write elsewhere wants space; the only clean extent is
+        // pinned, so admission must FAIL (spill to DServers), not evict.
+        let w = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 4 * MIB, 32 * KIB));
+        assert_eq!(tiers_of(&w), vec![Tier::DServers]);
+        assert_eq!(mw.metrics().evictions, 0, "pinned extent survived");
+        assert_eq!(mw.dmt().mapped_bytes(), 32 * KIB);
+        // Once the read completes, the pin lifts and eviction proceeds.
+        mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), read_plan.tag);
+        let w = mw.plan_io(&mut cluster, SimTime::from_secs(1), &write_req(f, 8 * MIB, 32 * KIB));
+        assert_eq!(tiers_of(&w), vec![Tier::CServers]);
+        assert_eq!(mw.metrics().evictions, 1);
+    }
+
+    #[test]
+    fn rebuilder_flush_cycle_marks_clean() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
+        assert_eq!(poll.plans.len(), 1);
+        assert!(poll.work_pending);
+        let plan = &poll.plans[0];
+        // Flush = background read from CServers, then background write to D.
+        assert_eq!(plan.phases.len(), 2);
+        assert_eq!(plan.phases[0][0].tier, Tier::CServers);
+        assert_eq!(plan.phases[0][0].priority, Priority::Background);
+        assert_eq!(plan.phases[1][0].tier, Tier::DServers);
+        // A second poll must not re-issue the in-flight flush.
+        let poll2 = mw.poll_background(&mut cluster, SimTime::from_secs(1));
+        assert!(poll2.plans.is_empty());
+        assert!(poll2.work_pending);
+        mw.on_plan_complete(&mut cluster, SimTime::from_secs(2), plan.tag);
+        assert_eq!(mw.dmt().dirty_bytes(), 0);
+        assert_eq!(mw.metrics().flushes, 1);
+        // The clean transition's journal record drains on the next wake...
+        let poll3 = mw.poll_background(&mut cluster, SimTime::from_secs(3));
+        assert_eq!(poll3.plans.len(), 1, "journal drain only");
+        assert!(poll3.plans[0]
+            .phases
+            .iter()
+            .flatten()
+            .all(|op| op.app_offset.is_none()));
+        // ...after which the Rebuilder is fully idle.
+        let poll4 = mw.poll_background(&mut cluster, SimTime::from_secs(4));
+        assert!(poll4.plans.is_empty());
+        assert!(!poll4.work_pending, "everything clean and settled");
+    }
+
+    #[test]
+    fn rebuilder_fetch_cycle_caches_flagged_reads() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
+        assert_eq!(mw.cdt().flagged(10).len(), 1);
+        let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
+        assert_eq!(poll.plans.len(), 1);
+        let plan = &poll.plans[0];
+        assert_eq!(plan.phases.len(), 2);
+        assert_eq!(plan.phases[0][0].tier, Tier::DServers);
+        assert_eq!(plan.phases[0][0].kind, IoKind::Read);
+        assert_eq!(plan.phases[1][0].tier, Tier::CServers);
+        assert_eq!(plan.phases[1][0].kind, IoKind::Write);
+        mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), plan.tag);
+        // Mapped clean; the C_flag is cleared; a re-read now hits.
+        assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB);
+        assert_eq!(mw.dmt().dirty_bytes(), 0);
+        assert!(mw.cdt().flagged(10).is_empty());
+        let plan = mw.plan_io(&mut cluster, SimTime::from_secs(2), &read_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
+        assert_eq!(mw.metrics().read_full_hits, 1);
+    }
+
+    #[test]
+    fn force_miss_mode_never_redirects() {
+        let mut cluster = Cluster::paper_testbed_small(9);
+        let mut mw = S4dCache::new(
+            S4dConfig::new(64 * MIB).with_force_miss(true),
+            params_small(),
+        );
+        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+        let w = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&w), vec![Tier::DServers]);
+        let r = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&r), vec![Tier::DServers]);
+        // Bookkeeping still ran (the overhead the paper measures).
+        assert_eq!(mw.metrics().evaluated, 2);
+        assert!(!w.lead_in.is_zero());
+        let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
+        assert!(poll.plans.is_empty());
+    }
+
+    #[test]
+    fn never_admit_policy_behaves_like_stock() {
+        let mut cluster = Cluster::paper_testbed_small(9);
+        let mut mw = S4dCache::new(
+            S4dConfig::new(64 * MIB).with_admission(AdmissionPolicy::NeverAdmit),
+            params_small(),
+        );
+        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+        let w = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&w), vec![Tier::DServers]);
+        assert_eq!(mw.metrics().critical, 0);
+        assert!(mw.cdt().is_empty());
+    }
+
+    #[test]
+    fn always_admit_caches_large_writes_too() {
+        let mut cluster = Cluster::paper_testbed_small(9);
+        let mut mw = S4dCache::new(
+            S4dConfig::new(64 * MIB).with_admission(AdmissionPolicy::AlwaysAdmit),
+            params_small(),
+        );
+        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+        let w = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 8 * MIB));
+        assert_eq!(tiers_of(&w), vec![Tier::CServers]);
+    }
+
+    #[test]
+    fn eager_fetch_ablation_adds_cache_fill_phase() {
+        let mut cluster = Cluster::paper_testbed_small(9);
+        let mut mw = S4dCache::new(
+            S4dConfig::new(64 * MIB).with_eager_read_fetch(true),
+            params_small(),
+        );
+        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
+        assert_eq!(plan.phases.len(), 2, "read phase + cache-fill phase");
+        assert!(plan.tag != 0);
+        mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), plan.tag);
+        assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB);
+        let again = mw.plan_io(&mut cluster, SimTime::from_secs(2), &read_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&again), vec![Tier::CServers]);
+    }
+
+    #[test]
+    fn journal_group_commit_batches() {
+        let mut cluster = Cluster::paper_testbed_small(9);
+        let mut mw = S4dCache::new(
+            S4dConfig::new(64 * MIB).with_journal_batch(4),
+            params_small(),
+        );
+        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+        // Each admitted write produces one DMT insert record; no journal op
+        // until four records accumulate.
+        for i in 0..3u64 {
+            let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, i * MIB, 16 * KIB));
+            assert!(
+                plan.phases[0].iter().all(|op| op.app_offset.is_some()),
+                "no journal op before the batch fills"
+            );
+        }
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 3 * MIB, 16 * KIB));
+        let journal: Vec<_> = plan.phases[0]
+            .iter()
+            .filter(|op| op.app_offset.is_none())
+            .collect();
+        assert_eq!(journal.len(), 1, "batch full: one grouped journal write");
+        assert_eq!(journal[0].len, 4 * DMT_RECORD_BYTES);
+        // The Rebuilder persists stragglers with background priority.
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 4 * MIB, 16 * KIB));
+        let poll = mw.poll_background(&mut cluster, SimTime::from_secs(1));
+        let has_bg_journal = poll.plans.iter().any(|p| {
+            p.phases.iter().flatten().any(|op| {
+                op.app_offset.is_none()
+                    && op.priority == Priority::Background
+                    && op.kind == IoKind::Write
+                    && op.file == FileId(0)
+            })
+        });
+        assert!(has_bg_journal, "pending records drain on the next wake");
+    }
+
+    #[test]
+    fn persistent_placement_never_flushes_and_fills_up() {
+        let mut cluster = Cluster::paper_testbed_small(9);
+        let mut mw = S4dCache::new(
+            S4dConfig::new(32 * KIB).with_persistent_placement(true),
+            params_small(),
+        );
+        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+        // Fill the placement space.
+        let p = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
+        assert_eq!(tiers_of(&p), vec![Tier::CServers]);
+        // The Rebuilder never flushes in placement mode; its only activity
+        // is draining the pending journal records of the placement itself.
+        let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
+        assert!(poll
+            .plans
+            .iter()
+            .flat_map(|p| p.phases.iter().flatten())
+            .all(|op| op.app_offset.is_none() && op.kind == IoKind::Write));
+        let poll = mw.poll_background(&mut cluster, SimTime::from_secs(1));
+        assert!(poll.plans.is_empty());
+        assert!(!poll.work_pending);
+        // A later critical write cannot be placed: space never frees.
+        let p = mw.plan_io(&mut cluster, SimTime::from_secs(5), &write_req(f, MIB, 32 * KIB));
+        assert_eq!(tiers_of(&p), vec![Tier::DServers]);
+        assert_eq!(mw.metrics().flushes, 0);
+        assert_eq!(mw.metrics().evictions, 0);
+        // Placed data keeps serving reads from the CServers.
+        let p = mw.plan_io(&mut cluster, SimTime::from_secs(6), &read_req(f, 0, 32 * KIB));
+        assert_eq!(tiers_of(&p), vec![Tier::CServers]);
+    }
+
+    #[test]
+    fn open_creates_cache_file_and_journal() {
+        let (cluster, mw, f) = setup(64 * MIB);
+        assert!(mw.cache_file_of.contains_key(&f));
+        assert!(cluster.cpfs().open("data.cache").is_ok());
+        assert!(cluster.cpfs().open("__dmt_journal").is_ok());
+        assert_eq!(mw.name(), "s4d");
+    }
+}

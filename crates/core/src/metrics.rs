@@ -1,0 +1,89 @@
+//! Middleware-level counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters the S4D-Cache middleware accumulates across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct S4dMetrics {
+    /// Requests priced by the cost model.
+    pub evaluated: u64,
+    /// Requests classified performance-critical (CDT insertions attempted).
+    pub critical: u64,
+    /// Write requests (fully or partly) absorbed by CServers.
+    pub writes_to_cache: u64,
+    /// Write requests sent entirely to DServers.
+    pub writes_to_disk: u64,
+    /// Read requests served entirely from CServers.
+    pub read_full_hits: u64,
+    /// Read requests partially served from CServers.
+    pub read_partial_hits: u64,
+    /// Read requests missing CServers entirely.
+    pub read_misses: u64,
+    /// Read misses whose CDT entry was flagged for lazy fetching.
+    pub lazy_marks: u64,
+    /// Clean extents evicted to make room.
+    pub evictions: u64,
+    /// Bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
+    /// Dirty extents flushed back to DServers by the Rebuilder.
+    pub flushes: u64,
+    /// Bytes flushed.
+    pub flushed_bytes: u64,
+    /// Ranges fetched into CServers by the Rebuilder.
+    pub fetches: u64,
+    /// Bytes fetched.
+    pub fetched_bytes: u64,
+    /// Synchronous journal writes issued.
+    pub journal_writes: u64,
+    /// Journal bytes written.
+    pub journal_bytes: u64,
+    /// Cache admissions denied for lack of space (after eviction).
+    pub admission_denied_space: u64,
+}
+
+impl S4dMetrics {
+    /// Fraction of evaluated requests that were critical, in `[0, 1]`.
+    pub fn critical_ratio(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.critical as f64 / self.evaluated as f64
+        }
+    }
+
+    /// Read hit ratio (full hits over all reads), in `[0, 1]`.
+    pub fn read_hit_ratio(&self) -> f64 {
+        let reads = self.read_full_hits + self.read_partial_hits + self.read_misses;
+        if reads == 0 {
+            0.0
+        } else {
+            self.read_full_hits as f64 / reads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty() {
+        let m = S4dMetrics::default();
+        assert_eq!(m.critical_ratio(), 0.0);
+        assert_eq!(m.read_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let m = S4dMetrics {
+            evaluated: 10,
+            critical: 4,
+            read_full_hits: 3,
+            read_partial_hits: 1,
+            read_misses: 6,
+            ..Default::default()
+        };
+        assert!((m.critical_ratio() - 0.4).abs() < 1e-12);
+        assert!((m.read_hit_ratio() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,281 @@
+//! CServer cache-space management.
+//!
+//! Tracks how much of the configured cache capacity is in use, hands out
+//! extents within per-original-file cache files, and recycles space freed
+//! by eviction. Allocation never fails on fragmentation: a request may be
+//! satisfied by several non-contiguous pieces (each becomes its own DMT
+//! extent), so the only failure mode is genuine lack of capacity.
+
+use std::collections::HashMap;
+
+use s4d_pfs::FileId;
+
+/// One allocated piece within a cache file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocPiece {
+    /// Offset within the cache file.
+    pub c_offset: u64,
+    /// Piece length.
+    pub len: u64,
+}
+
+/// Cache-space allocator over the CServers.
+#[derive(Debug, Clone)]
+pub struct SpaceManager {
+    capacity: u64,
+    allocated: u64,
+    /// Per cache file: next fresh (never-used) offset.
+    bump: HashMap<FileId, u64>,
+    /// Per cache file: freed extents available for reuse.
+    free: HashMap<FileId, Vec<(u64, u64)>>,
+    alloc_ops: u64,
+    free_ops: u64,
+}
+
+impl SpaceManager {
+    /// Creates a manager over `capacity` bytes of total cache space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        SpaceManager {
+            capacity,
+            allocated: 0,
+            bump: HashMap::new(),
+            free: HashMap::new(),
+            alloc_ops: 0,
+            free_ops: 0,
+        }
+    }
+
+    /// Total capacity, bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes still available without eviction.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    /// `(allocations, frees)` performed, for reports.
+    pub fn churn(&self) -> (u64, u64) {
+        (self.alloc_ops, self.free_ops)
+    }
+
+    /// True if `len` more bytes fit without eviction.
+    pub fn fits(&self, len: u64) -> bool {
+        len <= self.available()
+    }
+
+    /// Allocates `len` bytes in `c_file`, reusing freed extents first and
+    /// extending the file otherwise. Returns the pieces (file order), or
+    /// `None` if capacity is insufficient — the caller then evicts clean
+    /// space and retries, or falls back to DServers.
+    pub fn alloc(&mut self, c_file: FileId, len: u64) -> Option<Vec<AllocPiece>> {
+        if len == 0 || !self.fits(len) {
+            return if len == 0 { Some(Vec::new()) } else { None };
+        }
+        let mut pieces = Vec::new();
+        let mut remaining = len;
+        let free = self.free.entry(c_file).or_default();
+        while remaining > 0 {
+            match free.pop() {
+                Some((off, flen)) => {
+                    let take = flen.min(remaining);
+                    pieces.push(AllocPiece {
+                        c_offset: off,
+                        len: take,
+                    });
+                    if take < flen {
+                        free.push((off + take, flen - take));
+                    }
+                    remaining -= take;
+                }
+                None => {
+                    let bump = self.bump.entry(c_file).or_insert(0);
+                    pieces.push(AllocPiece {
+                        c_offset: *bump,
+                        len: remaining,
+                    });
+                    *bump += remaining;
+                    remaining = 0;
+                }
+            }
+        }
+        self.allocated += len;
+        self.alloc_ops += 1;
+        Some(pieces)
+    }
+
+    /// Rebuilds allocator state from the live extents of a recovered DMT.
+    ///
+    /// Each cache file's bump pointer restarts past its highest recovered
+    /// extent; space between recovered extents is not returned to the free
+    /// lists (post-recovery fragmentation is reclaimed as extents are
+    /// evicted), so the allocator can never hand out a live range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recovered extents exceed `capacity`.
+    pub fn rebuild(capacity: u64, extents: impl Iterator<Item = (FileId, u64, u64)>) -> Self {
+        let mut s = SpaceManager::new(capacity);
+        for (c_file, c_offset, len) in extents {
+            s.allocated += len;
+            let bump = s.bump.entry(c_file).or_insert(0);
+            *bump = (*bump).max(c_offset + len);
+        }
+        assert!(
+            s.allocated <= capacity,
+            "recovered extents ({}) exceed capacity ({capacity})",
+            s.allocated
+        );
+        s
+    }
+
+    /// Returns an extent to the pool (after eviction or file deletion).
+    pub fn release(&mut self, c_file: FileId, c_offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        debug_assert!(self.allocated >= len, "releasing more than allocated");
+        self.allocated = self.allocated.saturating_sub(len);
+        self.free.entry(c_file).or_default().push((c_offset, len));
+        self.free_ops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CF: FileId = FileId(9);
+
+    #[test]
+    fn fresh_allocations_bump() {
+        let mut s = SpaceManager::new(1000);
+        let a = s.alloc(CF, 100).unwrap();
+        assert_eq!(a, vec![AllocPiece { c_offset: 0, len: 100 }]);
+        let b = s.alloc(CF, 50).unwrap();
+        assert_eq!(b, vec![AllocPiece { c_offset: 100, len: 50 }]);
+        assert_eq!(s.allocated(), 150);
+        assert_eq!(s.available(), 850);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut s = SpaceManager::new(100);
+        assert!(s.alloc(CF, 60).is_some());
+        assert!(s.alloc(CF, 60).is_none(), "only 40 left");
+        assert!(s.fits(40));
+        assert!(!s.fits(41));
+        assert!(s.alloc(CF, 40).is_some());
+        assert_eq!(s.available(), 0);
+    }
+
+    #[test]
+    fn released_space_is_reused_possibly_fragmented() {
+        let mut s = SpaceManager::new(100);
+        s.alloc(CF, 100).unwrap();
+        s.release(CF, 10, 20);
+        s.release(CF, 50, 20);
+        assert_eq!(s.allocated(), 60);
+        let pieces = s.alloc(CF, 30).unwrap();
+        // 30 bytes out of two 20-byte holes: must be 2 pieces.
+        assert_eq!(pieces.len(), 2);
+        let total: u64 = pieces.iter().map(|p| p.len).sum();
+        assert_eq!(total, 30);
+        assert_eq!(s.allocated(), 90);
+    }
+
+    #[test]
+    fn zero_len_alloc_is_empty() {
+        let mut s = SpaceManager::new(10);
+        assert_eq!(s.alloc(CF, 0).unwrap(), Vec::new());
+        s.release(CF, 0, 0);
+        assert_eq!(s.allocated(), 0);
+    }
+
+    #[test]
+    fn distinct_files_have_distinct_spaces() {
+        let mut s = SpaceManager::new(1000);
+        let a = s.alloc(FileId(1), 10).unwrap();
+        let b = s.alloc(FileId(2), 10).unwrap();
+        assert_eq!(a[0].c_offset, 0);
+        assert_eq!(b[0].c_offset, 0, "each cache file starts at zero");
+    }
+
+    #[test]
+    fn churn_counters() {
+        let mut s = SpaceManager::new(100);
+        s.alloc(CF, 10).unwrap();
+        s.release(CF, 0, 10);
+        assert_eq!(s.churn(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        SpaceManager::new(0);
+    }
+
+    #[test]
+    fn rebuild_resumes_past_recovered_extents() {
+        let extents = vec![(CF, 0u64, 30u64), (CF, 50, 20), (FileId(2), 10, 5)];
+        let mut s = SpaceManager::rebuild(100, extents.into_iter());
+        assert_eq!(s.allocated(), 55);
+        // New allocations in CF start past offset 70.
+        let a = s.alloc(CF, 10).unwrap();
+        assert_eq!(a[0].c_offset, 70);
+        // And in file 2 past offset 15.
+        let b = s.alloc(FileId(2), 10).unwrap();
+        assert_eq!(b[0].c_offset, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed capacity")]
+    fn rebuild_rejects_overflow() {
+        SpaceManager::rebuild(10, vec![(CF, 0u64, 20u64)].into_iter());
+    }
+
+    proptest! {
+        /// Allocated bytes always equal the sum of live pieces, never
+        /// exceed capacity, and pieces returned by a single alloc never
+        /// overlap each other or previously live pieces.
+        #[test]
+        fn prop_no_overlap_and_conservation(
+            ops in proptest::collection::vec((1u64..64, any::<bool>()), 1..60)
+        ) {
+            let mut s = SpaceManager::new(512);
+            // live pieces as (offset, len), kept sorted for overlap checks
+            let mut live: Vec<AllocPiece> = Vec::new();
+            for (len, do_free) in ops {
+                if do_free && !live.is_empty() {
+                    let p = live.swap_remove(0);
+                    s.release(CF, p.c_offset, p.len);
+                } else if let Some(pieces) = s.alloc(CF, len) {
+                    for p in pieces {
+                        // No overlap with anything live.
+                        for q in &live {
+                            let disjoint = p.c_offset + p.len <= q.c_offset
+                                || q.c_offset + q.len <= p.c_offset;
+                            prop_assert!(disjoint, "overlap {:?} vs {:?}", p, q);
+                        }
+                        live.push(p);
+                    }
+                }
+                let live_total: u64 = live.iter().map(|p| p.len).sum();
+                prop_assert_eq!(s.allocated(), live_total);
+                prop_assert!(s.allocated() <= s.capacity());
+            }
+        }
+    }
+}

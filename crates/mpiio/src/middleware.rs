@@ -1,0 +1,187 @@
+//! The middleware plug-in interface and the stock (baseline) middleware.
+
+use std::collections::HashMap;
+
+use s4d_pfs::FileId;
+use s4d_sim::SimTime;
+use s4d_storage::IoKind;
+
+use crate::cluster::Cluster;
+use crate::types::{
+    AppRequest, MiddlewareError, Plan, PlannedIo, Rank, Tier,
+};
+
+/// Work returned by [`Middleware::poll_background`].
+#[derive(Debug, Default)]
+pub struct BackgroundPoll {
+    /// Plans to execute as background activity (not tied to a process).
+    pub plans: Vec<Plan>,
+    /// When to poll again; `None` stops background polling.
+    pub next_wake: Option<SimTime>,
+    /// True while flushable/fetchable work remains or completions are in
+    /// flight — drives [`crate::Runner::drain_background`] termination.
+    pub work_pending: bool,
+}
+
+/// The seam where S4D-Cache plugs into MPI-IO.
+///
+/// The paper modifies `MPI_File_open`, `MPI_File_read`, `MPI_File_write`,
+/// `MPI_File_close` (§IV.B); this trait mirrors those interception points:
+///
+/// * [`open`](Middleware::open) / [`close`](Middleware::close) — file
+///   lifecycle (S4D-Cache opens/closes the companion cache file here);
+/// * [`plan_io`](Middleware::plan_io) — for each application read/write,
+///   decide where the bytes physically go and return the execution plan;
+/// * [`poll_background`](Middleware::poll_background) — the Rebuilder's
+///   periodic trigger (the paper's background I/O helper thread);
+/// * [`on_plan_complete`](Middleware::on_plan_complete) — invoked when a
+///   tagged plan finishes, for metadata state transitions (mark flushed
+///   data clean, mark fetched data cached).
+pub trait Middleware {
+    /// Resolves (creating if necessary) `name` for `rank`, returning the
+    /// id of the file in the *original* file system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError`] if the underlying file system refuses.
+    fn open(
+        &mut self,
+        cluster: &mut Cluster,
+        rank: Rank,
+        name: &str,
+    ) -> Result<FileId, MiddlewareError>;
+
+    /// Plans the physical I/O for one application request.
+    fn plan_io(&mut self, cluster: &mut Cluster, now: SimTime, req: &AppRequest) -> Plan;
+
+    /// Closes a file for `rank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError`] on invalid handles.
+    fn close(
+        &mut self,
+        cluster: &mut Cluster,
+        rank: Rank,
+        file: FileId,
+    ) -> Result<(), MiddlewareError>;
+
+    /// Called when a plan with a non-zero tag has fully completed.
+    fn on_plan_complete(&mut self, _cluster: &mut Cluster, _now: SimTime, _tag: u64) {}
+
+    /// Background (Rebuilder) trigger. The default implementation has no
+    /// background activity.
+    fn poll_background(&mut self, _cluster: &mut Cluster, _now: SimTime) -> BackgroundPoll {
+        BackgroundPoll::default()
+    }
+
+    /// A short name for reports ("stock", "s4d").
+    fn name(&self) -> &str;
+}
+
+/// The baseline: unmodified MPI-IO over the original file system. Every
+/// request goes to the DServers untouched; the CServers sit idle.
+#[derive(Debug, Default)]
+pub struct StockMiddleware {
+    open_counts: HashMap<FileId, usize>,
+}
+
+impl StockMiddleware {
+    /// Creates the baseline middleware.
+    pub fn new() -> Self {
+        StockMiddleware::default()
+    }
+}
+
+impl Middleware for StockMiddleware {
+    fn open(
+        &mut self,
+        cluster: &mut Cluster,
+        _rank: Rank,
+        name: &str,
+    ) -> Result<FileId, MiddlewareError> {
+        let id = cluster.opfs_mut().create_or_open(name);
+        *self.open_counts.entry(id).or_insert(0) += 1;
+        Ok(id)
+    }
+
+    fn plan_io(&mut self, _cluster: &mut Cluster, _now: SimTime, req: &AppRequest) -> Plan {
+        let mut op = PlannedIo::data_op(
+            Tier::DServers,
+            req.file,
+            req.kind,
+            req.offset,
+            req.len,
+            req.offset,
+        );
+        if req.kind == IoKind::Write {
+            op.data = req.data.clone();
+        }
+        Plan::single_phase(vec![op])
+    }
+
+    fn close(
+        &mut self,
+        _cluster: &mut Cluster,
+        _rank: Rank,
+        file: FileId,
+    ) -> Result<(), MiddlewareError> {
+        if let Some(n) = self.open_counts.get_mut(&file) {
+            *n = n.saturating_sub(1);
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "stock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_passes_straight_through() {
+        let mut cluster = Cluster::paper_testbed_small(1);
+        let mut mw = StockMiddleware::new();
+        let f = mw.open(&mut cluster, Rank(0), "a.dat").unwrap();
+        let req = AppRequest {
+            rank: Rank(0),
+            file: f,
+            kind: IoKind::Write,
+            offset: 4096,
+            len: 8192,
+            data: None,
+        };
+        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &req);
+        assert_eq!(plan.phases.len(), 1);
+        assert_eq!(plan.phases[0].len(), 1);
+        let op = &plan.phases[0][0];
+        assert_eq!(op.tier, Tier::DServers);
+        assert_eq!(op.offset, 4096);
+        assert_eq!(op.len, 8192);
+        assert_eq!(op.app_offset, Some(4096));
+        assert_eq!(plan.tag, 0);
+        mw.close(&mut cluster, Rank(0), f).unwrap();
+        assert_eq!(mw.name(), "stock");
+    }
+
+    #[test]
+    fn stock_open_is_idempotent_per_name() {
+        let mut cluster = Cluster::paper_testbed_small(1);
+        let mut mw = StockMiddleware::new();
+        let a = mw.open(&mut cluster, Rank(0), "same").unwrap();
+        let b = mw.open(&mut cluster, Rank(1), "same").unwrap();
+        assert_eq!(a, b, "all ranks share one file");
+    }
+
+    #[test]
+    fn default_background_poll_is_inert() {
+        let mut cluster = Cluster::paper_testbed_small(1);
+        let mut mw = StockMiddleware::new();
+        let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
+        assert!(poll.plans.is_empty());
+        assert!(poll.next_wake.is_none());
+    }
+}

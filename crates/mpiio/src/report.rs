@@ -1,0 +1,196 @@
+//! Run metrics and the final report.
+
+use s4d_sim::stats::{BandwidthMeter, LatencyHistogram};
+use s4d_sim::{SimDuration, SimTime};
+use s4d_storage::IoKind;
+
+use crate::types::Tier;
+
+/// Per-tier request/byte counters for application-visible traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCounts {
+    /// Application I/Os (or fragments thereof) dispatched to DServers.
+    pub d_ops: u64,
+    /// Bytes dispatched to DServers.
+    pub d_bytes: u64,
+    /// Application I/Os (or fragments thereof) dispatched to CServers.
+    pub c_ops: u64,
+    /// Bytes dispatched to CServers.
+    pub c_bytes: u64,
+}
+
+impl TierCounts {
+    /// Records one dispatched op.
+    pub fn record(&mut self, tier: Tier, bytes: u64) {
+        match tier {
+            Tier::DServers => {
+                self.d_ops += 1;
+                self.d_bytes += bytes;
+            }
+            Tier::CServers => {
+                self.c_ops += 1;
+                self.c_bytes += bytes;
+            }
+        }
+    }
+
+    /// Percentage of ops that went to CServers (the paper's Table III),
+    /// or 0 when nothing was dispatched.
+    pub fn cserver_op_share(&self) -> f64 {
+        let total = self.d_ops + self.c_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.c_ops as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+/// Per-direction (read/write) application-level metrics.
+#[derive(Debug, Clone, Default)]
+pub struct KindReport {
+    /// Bytes and op counts.
+    pub meter: BandwidthMeter,
+    /// Per-request latency distribution.
+    pub latency: LatencyHistogram,
+    /// Time of the first request issue, if any.
+    pub first_issue: Option<SimTime>,
+    /// Time of the last request completion, if any.
+    pub last_completion: Option<SimTime>,
+}
+
+impl KindReport {
+    /// Records one completed application request.
+    pub fn record(&mut self, issued: SimTime, completed: SimTime, bytes: u64) {
+        self.meter.add(bytes);
+        self.latency.record(completed - issued);
+        self.first_issue = Some(match self.first_issue {
+            Some(t) => t.min(issued),
+            None => issued,
+        });
+        self.last_completion = Some(match self.last_completion {
+            Some(t) => t.max(completed),
+            None => completed,
+        });
+    }
+
+    /// The active span from first issue to last completion.
+    pub fn span(&self) -> SimDuration {
+        match (self.first_issue, self.last_completion) {
+            (Some(a), Some(b)) => b - a,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Aggregate application throughput over the active span, MiB/s.
+    pub fn throughput_mibs(&self) -> f64 {
+        self.meter.mib_per_sec(self.span())
+    }
+}
+
+/// The result of one simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Write-side application metrics.
+    pub writes: KindReport,
+    /// Read-side application metrics.
+    pub reads: KindReport,
+    /// Where application traffic was dispatched (Table III's measurement).
+    pub tiers: TierCounts,
+    /// Bytes moved by background (Rebuilder) plans.
+    pub background_bytes: u64,
+    /// Background plans completed.
+    pub background_plans: u64,
+    /// Overhead (journal/metadata) bytes written by middleware plans.
+    pub overhead_bytes: u64,
+    /// Simulated instant at which the run finished.
+    pub end_time: SimTime,
+    /// Total events processed by the engine.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Metrics for one direction.
+    pub fn kind(&self, kind: IoKind) -> &KindReport {
+        match kind {
+            IoKind::Write => &self.writes,
+            IoKind::Read => &self.reads,
+        }
+    }
+
+    /// Mutable metrics for one direction.
+    pub(crate) fn kind_mut(&mut self, kind: IoKind) -> &mut KindReport {
+        match kind {
+            IoKind::Write => &mut self.writes,
+            IoKind::Read => &mut self.reads,
+        }
+    }
+
+    /// Number of completed application requests in one direction.
+    pub fn app_ops(&self, kind: IoKind) -> u64 {
+        self.kind(kind).meter.ops()
+    }
+
+    /// Aggregate throughput over both directions' union span, MiB/s.
+    pub fn total_throughput_mibs(&self) -> f64 {
+        let bytes = self.writes.meter.bytes() + self.reads.meter.bytes();
+        let first = match (self.writes.first_issue, self.reads.first_issue) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let last = match (self.writes.last_completion, self.reads.last_completion) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        match (first, last) {
+            (Some(a), Some(b)) if b > a => {
+                bytes as f64 / s4d_sim::stats::MIB / (b - a).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_counts_and_share() {
+        let mut t = TierCounts::default();
+        assert_eq!(t.cserver_op_share(), 0.0);
+        t.record(Tier::DServers, 100);
+        t.record(Tier::CServers, 50);
+        t.record(Tier::CServers, 50);
+        assert_eq!(t.d_ops, 1);
+        assert_eq!(t.c_ops, 2);
+        assert_eq!(t.d_bytes, 100);
+        assert_eq!(t.c_bytes, 100);
+        assert!((t.cserver_op_share() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn kind_report_spans_and_throughput() {
+        let mut k = KindReport::default();
+        assert_eq!(k.span(), SimDuration::ZERO);
+        assert_eq!(k.throughput_mibs(), 0.0);
+        let t0 = SimTime::from_secs(1);
+        let t1 = SimTime::from_secs(3);
+        k.record(t0, t1, 2 * 1024 * 1024);
+        k.record(t0, SimTime::from_secs(2), 2 * 1024 * 1024);
+        assert_eq!(k.span(), SimDuration::from_secs(2));
+        assert!((k.throughput_mibs() - 2.0).abs() < 1e-9);
+        assert_eq!(k.meter.ops(), 2);
+    }
+
+    #[test]
+    fn run_report_total_throughput() {
+        let mut r = RunReport::default();
+        r.writes.record(SimTime::ZERO, SimTime::from_secs(1), 1024 * 1024);
+        r.reads
+            .record(SimTime::from_secs(1), SimTime::from_secs(2), 1024 * 1024);
+        assert!((r.total_throughput_mibs() - 1.0).abs() < 1e-9);
+        assert_eq!(r.app_ops(IoKind::Write), 1);
+        assert_eq!(r.app_ops(IoKind::Read), 1);
+    }
+}

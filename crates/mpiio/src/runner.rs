@@ -1,0 +1,897 @@
+//! The discrete-event execution engine.
+//!
+//! The [`Runner`] owns the [`Cluster`], a [`Middleware`] implementation and
+//! one [`ProcessScript`] per simulated MPI process. It drives everything
+//! through `s4d-sim`'s event loop:
+//!
+//! * a process executes its script; opens/closes are instantaneous control
+//!   operations, reads/writes become middleware [`Plan`]s;
+//! * a plan's phases run sequentially; the ops of a phase are decomposed
+//!   into per-server sub-requests and submitted concurrently;
+//! * file servers service one sub-request at a time (foreground before
+//!   background) — each completion is an event;
+//! * the middleware's background hook (the Rebuilder) is polled on the
+//!   schedule it requests.
+
+use std::collections::HashMap;
+
+use s4d_pfs::{SubReqId, SubRequest};
+use s4d_sim::{Engine, EventQueue, SimDuration, SimTime, World};
+use s4d_storage::IoKind;
+
+use crate::cluster::Cluster;
+use crate::middleware::Middleware;
+use crate::report::RunReport;
+use crate::script::ProcessScript;
+use crate::types::{AppOp, AppRequest, Plan, Rank, Tier};
+
+/// Observation hooks for tracing tools.
+///
+/// All methods default to no-ops; implement the ones you need.
+pub trait IoObserver {
+    /// A planned application-data op was dispatched to a tier.
+    fn on_dispatch(
+        &mut self,
+        _now: SimTime,
+        _rank: Rank,
+        _tier: Tier,
+        _kind: IoKind,
+        _app_offset: u64,
+        _len: u64,
+    ) {
+    }
+
+    /// An application request fully completed.
+    fn on_request_complete(
+        &mut self,
+        _now: SimTime,
+        _rank: Rank,
+        _kind: IoKind,
+        _offset: u64,
+        _len: u64,
+        _issued: SimTime,
+    ) {
+    }
+
+    /// A completed application *read* with its assembled bytes (functional
+    /// runs only; `None` in timing runs).
+    fn on_read_data(&mut self, _rank: Rank, _offset: u64, _len: u64, _data: Option<&[u8]>) {}
+}
+
+/// Runner tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Time charged to a process for each `open` (metadata round-trip).
+    pub open_cost: SimDuration,
+    /// Hard stop: panic if the simulation passes this horizon (guards
+    /// against runaway configurations). `SimTime::MAX` disables it.
+    pub horizon: SimTime,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            open_cost: SimDuration::from_micros(500),
+            horizon: SimTime::MAX,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    ProcessWake(usize),
+    ServerDone { tier: Tier, server: usize },
+    PlanStart(u64),
+    BackgroundWake,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcStatus {
+    Running,
+    AtBarrier,
+    Finished,
+}
+
+struct Proc {
+    rank: Rank,
+    script: Box<dyn ProcessScript>,
+    /// Open-file slots, MPI-style: close frees a slot, open reuses the
+    /// lowest free slot (so a chained workload's `FileHandle(0)` always
+    /// names its own current file).
+    handles: Vec<Option<s4d_pfs::FileId>>,
+    /// Per-slot individual file pointers (`MPI_File_seek` state).
+    cursors: Vec<u64>,
+    status: ProcStatus,
+}
+
+/// Who a plan belongs to.
+enum PlanOwner {
+    Process {
+        index: usize,
+        issued: SimTime,
+        kind: IoKind,
+        offset: u64,
+        len: u64,
+        read_buf: Option<Vec<u8>>,
+    },
+    Background,
+}
+
+struct PlanExec {
+    plan: Plan,
+    phase: usize,
+    outstanding: usize,
+    owner: PlanOwner,
+}
+
+struct SubMeta {
+    plan_id: u64,
+    /// Offset of the planned op within its file.
+    op_offset: u64,
+    /// Application-file offset the op's bytes belong to, if data-carrying.
+    app_offset: Option<u64>,
+    /// `(file_offset_within_op_file, len)` segments of this sub-request.
+    segments: Vec<(u64, u64)>,
+}
+
+struct State<M: Middleware> {
+    cluster: Cluster,
+    middleware: M,
+    procs: Vec<Proc>,
+    config: RunnerConfig,
+    plans: HashMap<u64, PlanExec>,
+    next_plan: u64,
+    subs: HashMap<SubReqId, SubMeta>,
+    next_sub: u64,
+    barrier_waiting: usize,
+    finished: usize,
+    background_armed: bool,
+    drain_mode: bool,
+    report: RunReport,
+    observers: Vec<Box<dyn IoObserver>>,
+}
+
+/// Drives one simulated run to completion.
+///
+/// See the crate-level example. After [`Runner::run`], recover the pieces
+/// with [`Runner::into_parts`] to inspect middleware state or reuse the
+/// cluster for a second run (the paper's "second run" read experiments).
+pub struct Runner<M: Middleware> {
+    state: State<M>,
+}
+
+impl<M: Middleware> Runner<M> {
+    /// Creates a runner over `scripts.len()` processes with default config.
+    ///
+    /// `seed` is reserved for future stochastic components of the runner
+    /// itself; determinism currently comes from the cluster and scripts.
+    pub fn new(
+        cluster: Cluster,
+        middleware: M,
+        scripts: Vec<impl ProcessScript + 'static>,
+        seed: u64,
+    ) -> Self {
+        let _ = seed;
+        let procs = scripts
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Proc {
+                rank: Rank(i as u32),
+                script: Box::new(s) as Box<dyn ProcessScript>,
+                handles: Vec::new(),
+                cursors: Vec::new(),
+                status: ProcStatus::Running,
+            })
+            .collect();
+        Runner {
+            state: State {
+                cluster,
+                middleware,
+                procs,
+                config: RunnerConfig::default(),
+                plans: HashMap::new(),
+                next_plan: 1,
+                subs: HashMap::new(),
+                next_sub: 0,
+                barrier_waiting: 0,
+                finished: 0,
+                background_armed: false,
+                drain_mode: false,
+                report: RunReport::default(),
+                observers: Vec::new(),
+            },
+        }
+    }
+
+    /// Replaces the default configuration.
+    pub fn with_config(mut self, config: RunnerConfig) -> Self {
+        self.state.config = config;
+        self
+    }
+
+    /// Registers a tracing observer.
+    pub fn add_observer(&mut self, obs: Box<dyn IoObserver>) {
+        self.state.observers.push(obs);
+    }
+
+    /// Runs every process script to completion (plus in-flight background
+    /// work) and returns the report.
+    pub fn run(&mut self) -> RunReport {
+        let mut engine: Engine<Event> = Engine::new();
+        for i in 0..self.state.procs.len() {
+            engine.queue_mut().push(SimTime::ZERO, Event::ProcessWake(i));
+        }
+        engine.queue_mut().push(SimTime::ZERO, Event::BackgroundWake);
+        self.state.background_armed = true;
+        self.state.drain_mode = false;
+        let horizon = self.state.config.horizon;
+        let end = engine.run_until(&mut self.state, horizon);
+        assert!(
+            engine.queue().is_empty(),
+            "simulation hit the configured horizon with work pending"
+        );
+        self.state.report.end_time = end;
+        self.state.report.events = engine.processed();
+        self.state.report.clone()
+    }
+
+    /// Runs only background (Rebuilder) work until the middleware reports
+    /// none left. Used between a workload's first and second run.
+    pub fn drain_background(&mut self, start: SimTime) -> SimTime {
+        let mut engine: Engine<Event> = Engine::new();
+        engine.queue_mut().push(start, Event::BackgroundWake);
+        self.state.background_armed = true;
+        self.state.drain_mode = true;
+        let horizon = self.state.config.horizon;
+        let end = engine.run_until(&mut self.state, horizon);
+        self.state.drain_mode = false;
+        end
+    }
+
+    /// Takes the runner apart: cluster, middleware, and the latest report.
+    pub fn into_parts(self) -> (Cluster, M, RunReport) {
+        (self.state.cluster, self.state.middleware, self.state.report)
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &RunReport {
+        &self.state.report
+    }
+
+    /// The cluster (e.g. to pre-create files before running).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.state.cluster
+    }
+
+    /// The middleware (e.g. to inspect cache state after running).
+    pub fn middleware(&self) -> &M {
+        &self.state.middleware
+    }
+}
+
+impl<M: Middleware> World<Event> for State<M> {
+    fn handle(&mut self, now: SimTime, ev: Event, q: &mut EventQueue<Event>) {
+        match ev {
+            Event::ProcessWake(i) => self.advance_process(now, i, q),
+            Event::ServerDone { tier, server } => self.server_done(now, tier, server, q),
+            Event::PlanStart(id) => {
+                let exec = self
+                    .plans
+                    .remove(&id)
+                    .expect("PlanStart names a deferred plan");
+                self.start_plan(now, id, exec, q);
+            }
+            Event::BackgroundWake => self.background_wake(now, q),
+        }
+    }
+}
+
+impl<M: Middleware> State<M> {
+    /// Executes control ops until the process blocks on I/O, a barrier,
+    /// think time, or finishes.
+    fn advance_process(&mut self, now: SimTime, i: usize, q: &mut EventQueue<Event>) {
+        let mut now = now;
+        loop {
+            let op = match self.procs[i].script.next_op() {
+                Some(op) => op,
+                None => {
+                    if self.procs[i].status != ProcStatus::Finished {
+                        self.procs[i].status = ProcStatus::Finished;
+                        self.finished += 1;
+                        self.maybe_release_barrier(now, q);
+                    }
+                    return;
+                }
+            };
+            match op {
+                AppOp::Open { name } => {
+                    let rank = self.procs[i].rank;
+                    let file = self
+                        .middleware
+                        .open(&mut self.cluster, rank, &name)
+                        .unwrap_or_else(|e| panic!("{rank} failed to open {name:?}: {e}"));
+                    let proc = &mut self.procs[i];
+                    match proc.handles.iter().position(|h| h.is_none()) {
+                        Some(slot) => {
+                            proc.handles[slot] = Some(file);
+                            proc.cursors[slot] = 0;
+                        }
+                        None => {
+                            proc.handles.push(Some(file));
+                            proc.cursors.push(0);
+                        }
+                    }
+                    now += self.config.open_cost;
+                }
+                AppOp::Close { handle } => {
+                    let rank = self.procs[i].rank;
+                    let file = self.procs[i]
+                        .handles
+                        .get_mut(handle.0)
+                        .and_then(Option::take)
+                        .unwrap_or_else(|| panic!("{rank} closed unopened handle {}", handle.0));
+                    self.middleware
+                        .close(&mut self.cluster, rank, file)
+                        .unwrap_or_else(|e| panic!("{rank} failed to close: {e}"));
+                }
+                AppOp::Think { duration } => {
+                    q.push(now + duration, Event::ProcessWake(i));
+                    return;
+                }
+                AppOp::Barrier => {
+                    self.procs[i].status = ProcStatus::AtBarrier;
+                    self.barrier_waiting += 1;
+                    self.maybe_release_barrier(now, q);
+                    return;
+                }
+                AppOp::Seek { handle, offset } => {
+                    let rank = self.procs[i].rank;
+                    if self.procs[i].handles.get(handle.0).copied().flatten().is_none() {
+                        panic!("{rank} seeked unopened handle {}", handle.0);
+                    }
+                    self.procs[i].cursors[handle.0] = offset;
+                }
+                AppOp::IoAtCursor {
+                    handle,
+                    kind,
+                    len,
+                    data,
+                } => {
+                    let offset = *self.procs[i]
+                        .cursors
+                        .get(handle.0)
+                        .unwrap_or_else(|| {
+                            let rank = self.procs[i].rank;
+                            panic!("{rank} used unopened handle {}", handle.0)
+                        });
+                    self.procs[i].cursors[handle.0] = offset + len;
+                    self.dispatch_io(now, i, handle, kind, offset, len, data, q);
+                    return;
+                }
+                AppOp::Io {
+                    handle,
+                    kind,
+                    offset,
+                    len,
+                    data,
+                } => {
+                    self.dispatch_io(now, i, handle, kind, offset, len, data, q);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Resolves a handle and launches the middleware plan for one I/O.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_io(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        handle: crate::types::FileHandle,
+        kind: IoKind,
+        offset: u64,
+        len: u64,
+        data: Option<Vec<u8>>,
+        q: &mut EventQueue<Event>,
+    ) {
+        let rank = self.procs[i].rank;
+        let file = self.procs[i]
+            .handles
+            .get(handle.0)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("{rank} used unopened handle {}", handle.0));
+        let req = AppRequest {
+            rank,
+            file,
+            kind,
+            offset,
+            len,
+            data,
+        };
+        let plan = self.middleware.plan_io(&mut self.cluster, now, &req);
+        let owner = PlanOwner::Process {
+            index: i,
+            issued: now,
+            kind,
+            offset,
+            len,
+            read_buf: None,
+        };
+        self.launch_plan(now, plan, owner, q);
+    }
+
+    fn maybe_release_barrier(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        if self.barrier_waiting > 0 && self.barrier_waiting + self.finished == self.procs.len() {
+            self.barrier_waiting = 0;
+            for (j, p) in self.procs.iter_mut().enumerate() {
+                if p.status == ProcStatus::AtBarrier {
+                    p.status = ProcStatus::Running;
+                    q.push(now, Event::ProcessWake(j));
+                }
+            }
+        }
+    }
+
+    fn launch_plan(
+        &mut self,
+        now: SimTime,
+        plan: Plan,
+        owner: PlanOwner,
+        q: &mut EventQueue<Event>,
+    ) {
+        let plan_id = self.next_plan;
+        self.next_plan += 1;
+        let exec = PlanExec {
+            plan,
+            phase: 0,
+            outstanding: 0,
+            owner,
+        };
+        if !exec.plan.lead_in.is_zero() {
+            // Charge the middleware's decision time before any I/O starts.
+            self.plans.insert(plan_id, exec);
+            q.push(now + exec_lead_in(&self.plans[&plan_id]), Event::PlanStart(plan_id));
+            return;
+        }
+        self.start_plan(now, plan_id, exec, q);
+    }
+
+    fn start_plan(
+        &mut self,
+        now: SimTime,
+        plan_id: u64,
+        mut exec: PlanExec,
+        q: &mut EventQueue<Event>,
+    ) {
+        let launched = self.submit_phase(now, plan_id, &mut exec, q);
+        exec.outstanding = launched;
+        if launched == 0 {
+            // Empty plan (or zero-length ops only): completes instantly.
+            self.complete_plan(now, exec, q);
+        } else {
+            self.plans.insert(plan_id, exec);
+        }
+    }
+
+    /// Submits every op of the current phase; returns how many sub-requests
+    /// were created. Empty phases are skipped (advancing `exec.phase`).
+    fn submit_phase(
+        &mut self,
+        now: SimTime,
+        plan_id: u64,
+        exec: &mut PlanExec,
+        q: &mut EventQueue<Event>,
+    ) -> usize {
+        while exec.phase < exec.plan.phases.len() {
+            let phase_idx = exec.phase;
+            let mut created = 0;
+            let ops = exec.plan.phases[phase_idx].clone();
+            for op in &ops {
+                if op.len == 0 {
+                    continue;
+                }
+                self.account_dispatch(now, exec, op);
+                let subranges = self
+                    .cluster
+                    .pfs_mut(op.tier)
+                    .plan(op.file, op.kind, op.offset, op.len)
+                    .unwrap_or_else(|e| panic!("planning {op:?}: {e}"));
+                let layout = self.cluster.pfs(op.tier).layout();
+                for sub in subranges {
+                    let id = SubReqId(self.next_sub);
+                    self.next_sub += 1;
+                    let segments = layout.file_segments(&sub);
+                    let data = op.data.as_ref().map(|full| {
+                        let mut buf = Vec::with_capacity(sub.len as usize);
+                        for (seg_off, seg_len) in &segments {
+                            let at = (seg_off - op.offset) as usize;
+                            buf.extend_from_slice(&full[at..at + *seg_len as usize]);
+                        }
+                        buf
+                    });
+                    self.subs.insert(
+                        id,
+                        SubMeta {
+                            plan_id,
+                            op_offset: op.offset,
+                            app_offset: op.app_offset,
+                            segments,
+                        },
+                    );
+                    let sr = SubRequest {
+                        id,
+                        file: op.file,
+                        kind: op.kind,
+                        local_offset: sub.local_offset,
+                        len: sub.len,
+                        priority: op.priority,
+                        data,
+                    };
+                    let tier = op.tier;
+                    let server_idx = sub.server;
+                    let started = self
+                        .cluster
+                        .pfs_mut(tier)
+                        .server_mut(server_idx)
+                        .expect("planned server exists")
+                        .submit(now, sr);
+                    if let Some(s) = started {
+                        q.push(
+                            s.completes_at,
+                            Event::ServerDone {
+                                tier,
+                                server: server_idx,
+                            },
+                        );
+                    }
+                    created += 1;
+                }
+            }
+            if created > 0 {
+                return created;
+            }
+            exec.phase += 1;
+        }
+        0
+    }
+
+    fn account_dispatch(&mut self, now: SimTime, exec: &PlanExec, op: &crate::types::PlannedIo) {
+        match (&exec.owner, op.app_offset) {
+            (PlanOwner::Process { index, kind, .. }, Some(app_off)) => {
+                self.report.tiers.record(op.tier, op.len);
+                let rank = self.procs[*index].rank;
+                let kind = *kind;
+                for obs in &mut self.observers {
+                    obs.on_dispatch(now, rank, op.tier, kind, app_off, op.len);
+                }
+            }
+            (PlanOwner::Process { .. }, None) => {
+                self.report.overhead_bytes += op.len;
+            }
+            (PlanOwner::Background, _) => {
+                self.report.background_bytes += op.len;
+            }
+        }
+    }
+
+    fn server_done(&mut self, now: SimTime, tier: Tier, server: usize, q: &mut EventQueue<Event>) {
+        let (completed, next) = self
+            .cluster
+            .pfs_mut(tier)
+            .server_mut(server)
+            .expect("event names a real server")
+            .on_complete(now);
+        if let Some(s) = next {
+            q.push(s.completes_at, Event::ServerDone { tier, server });
+        }
+        let meta = self
+            .subs
+            .remove(&completed.id)
+            .expect("completed sub-request was registered");
+        let mut exec = match self.plans.remove(&meta.plan_id) {
+            Some(e) => e,
+            None => unreachable!("sub-request's plan is live"),
+        };
+        // Scatter functional read bytes into the owner's buffer.
+        if let (Some(data), Some(app_off)) = (&completed.data, meta.app_offset) {
+            if let PlanOwner::Process {
+                offset,
+                len,
+                read_buf,
+                ..
+            } = &mut exec.owner
+            {
+                let buf = read_buf.get_or_insert_with(|| vec![0u8; *len as usize]);
+                let mut cursor = 0usize;
+                for (seg_off, seg_len) in &meta.segments {
+                    let app_pos = app_off + (seg_off - meta.op_offset);
+                    let at = (app_pos - *offset) as usize;
+                    let n = *seg_len as usize;
+                    buf[at..at + n].copy_from_slice(&data[cursor..cursor + n]);
+                    cursor += n;
+                }
+            }
+        }
+        exec.outstanding -= 1;
+        if exec.outstanding > 0 {
+            self.plans.insert(meta.plan_id, exec);
+            return;
+        }
+        // Phase finished: next phase or plan completion.
+        exec.phase += 1;
+        let plan_id = meta.plan_id;
+        let launched = self.submit_phase(now, plan_id, &mut exec, q);
+        if launched > 0 {
+            exec.outstanding = launched;
+            self.plans.insert(plan_id, exec);
+        } else {
+            self.complete_plan(now, exec, q);
+        }
+    }
+
+    fn complete_plan(&mut self, now: SimTime, exec: PlanExec, q: &mut EventQueue<Event>) {
+        if exec.plan.tag != 0 {
+            self.middleware
+                .on_plan_complete(&mut self.cluster, now, exec.plan.tag);
+        }
+        self.finish_plan_owner(now, exec.owner, q);
+    }
+
+    fn finish_plan_owner(&mut self, now: SimTime, owner: PlanOwner, q: &mut EventQueue<Event>) {
+        match owner {
+            PlanOwner::Process {
+                index,
+                issued,
+                kind,
+                offset,
+                len,
+                read_buf,
+            } => {
+                self.report.kind_mut(kind).record(issued, now, len);
+                let rank = self.procs[index].rank;
+                for obs in &mut self.observers {
+                    obs.on_request_complete(now, rank, kind, offset, len, issued);
+                    if kind == IoKind::Read {
+                        obs.on_read_data(rank, offset, len, read_buf.as_deref());
+                    }
+                }
+                q.push(now, Event::ProcessWake(index));
+            }
+            PlanOwner::Background => {
+                self.report.background_plans += 1;
+            }
+        }
+    }
+
+    fn background_wake(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        self.background_armed = false;
+        let poll = self.middleware.poll_background(&mut self.cluster, now);
+        for plan in poll.plans {
+            self.launch_plan(now, plan, PlanOwner::Background, q);
+        }
+        if let Some(next) = poll.next_wake {
+            // Normal runs re-arm while foreground work can still create new
+            // cache state; draining re-arms while the middleware reports
+            // pending background work.
+            let rearm = if self.drain_mode {
+                poll.work_pending
+            } else {
+                self.finished < self.procs.len()
+            };
+            if rearm {
+                assert!(next > now, "background next_wake must move forward");
+                q.push(next, Event::BackgroundWake);
+                self.background_armed = true;
+            }
+        }
+    }
+}
+
+fn exec_lead_in(exec: &PlanExec) -> s4d_sim::SimDuration {
+    exec.plan.lead_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middleware::StockMiddleware;
+    use crate::script::script;
+    use s4d_sim::stats::MIB;
+
+    fn small_cluster() -> Cluster {
+        Cluster::paper_testbed_small(3)
+    }
+
+    #[test]
+    fn single_process_write_read_roundtrip_timing() {
+        let scripts = vec![script()
+            .open("f")
+            .write(0, 0, 128 * 1024)
+            .read(0, 0, 128 * 1024)
+            .close(0)
+            .build()];
+        let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 1);
+        let rep = r.run();
+        assert_eq!(rep.app_ops(IoKind::Write), 1);
+        assert_eq!(rep.app_ops(IoKind::Read), 1);
+        assert!(rep.writes.throughput_mibs() > 0.0);
+        assert!(rep.end_time > SimTime::ZERO);
+        assert_eq!(rep.tiers.c_ops, 0, "stock never touches CServers");
+        assert_eq!(rep.tiers.d_ops, 2);
+        assert_eq!(rep.tiers.d_bytes, 2 * 128 * 1024);
+    }
+
+    #[test]
+    fn functional_data_round_trips_through_servers() {
+        struct Capture(std::rc::Rc<std::cell::RefCell<Vec<Vec<u8>>>>);
+        impl IoObserver for Capture {
+            fn on_read_data(&mut self, _r: Rank, _o: u64, _l: u64, data: Option<&[u8]>) {
+                self.0.borrow_mut().push(data.expect("functional data").to_vec());
+            }
+        }
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let scripts = vec![script()
+            .open("f")
+            .write_bytes(0, 64 * 1024, payload.clone())
+            .read(0, 64 * 1024, payload.len() as u64)
+            .close(0)
+            .build()];
+        let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 2);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        r.add_observer(Box::new(Capture(got.clone())));
+        r.run();
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], payload, "bytes must survive striping and reassembly");
+    }
+
+    #[test]
+    fn barrier_synchronises_processes() {
+        // Process 0 does a long write before the barrier; process 1 reaches
+        // the barrier immediately. Both must finish their post-barrier ops
+        // no earlier than the long write's completion.
+        let scripts = vec![
+            script()
+                .open("a")
+                .write(0, 0, 8 * MIB as u64)
+                .barrier()
+                .write(0, 8 * MIB as u64, 4096)
+                .build(),
+            script().open("b").barrier().write(0, 0, 4096).build(),
+        ];
+        let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 3);
+        let rep = r.run();
+        assert_eq!(rep.app_ops(IoKind::Write), 3);
+        // The two post-barrier writes complete after the big one started.
+        assert!(rep.writes.span() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn many_processes_share_servers() {
+        let scripts: Vec<_> = (0..8)
+            .map(|p| {
+                script()
+                    .open("shared")
+                    .write(0, p as u64 * MIB as u64, 256 * 1024)
+                    .close(0)
+                    .build()
+            })
+            .collect();
+        let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 4);
+        let rep = r.run();
+        assert_eq!(rep.app_ops(IoKind::Write), 8);
+        // Queueing must make the span exceed any single service time.
+        assert!(rep.writes.span() > SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn think_time_delays_processes() {
+        let scripts = vec![script()
+            .open("f")
+            .think(SimDuration::from_secs(1))
+            .write(0, 0, 4096)
+            .build()];
+        let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 5);
+        let rep = r.run();
+        assert!(rep.writes.first_issue.unwrap() >= SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let make = || {
+            let scripts: Vec<_> = (0..4)
+                .map(|p| {
+                    script()
+                        .open("shared")
+                        .write(0, p as u64 * 1_000_000, 100_000)
+                        .read(0, ((p + 1) % 4) as u64 * 1_000_000, 100_000)
+                        .build()
+                })
+                .collect();
+            let mut r = Runner::new(Cluster::paper_testbed(77), StockMiddleware::new(), scripts, 6);
+            r.run()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.writes.meter, b.writes.meter);
+    }
+
+    #[test]
+    fn seek_and_cursor_io_follow_mpi_semantics() {
+        struct Capture(std::rc::Rc<std::cell::RefCell<Vec<(u64, u64)>>>);
+        impl IoObserver for Capture {
+            fn on_request_complete(
+                &mut self,
+                _now: SimTime,
+                _rank: Rank,
+                _kind: IoKind,
+                offset: u64,
+                len: u64,
+                _issued: SimTime,
+            ) {
+                self.0.borrow_mut().push((offset, len));
+            }
+        }
+        // seek(4096); write_cur(100); write_cur(50): cursor advances;
+        // an explicit-offset write does NOT move the cursor (MPI
+        // individual-file-pointer semantics); read_cur resumes after it.
+        let scripts = vec![script()
+            .open("f")
+            .seek(0, 4096)
+            .write_cur(0, 100)
+            .write_cur(0, 50)
+            .write(0, 0, 10)
+            .read_cur(0, 20)
+            .close(0)
+            .build()];
+        let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 8);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        r.add_observer(Box::new(Capture(got.clone())));
+        r.run();
+        assert_eq!(
+            *got.borrow(),
+            vec![(4096, 100), (4196, 50), (0, 10), (4246, 20)]
+        );
+    }
+
+    #[test]
+    fn reopened_slot_resets_cursor() {
+        let scripts = vec![script()
+            .open("a")
+            .seek(0, 1_000_000)
+            .close(0)
+            .open("b") // reuses slot 0: cursor must restart at 0
+            .write_cur(0, 64)
+            .build()];
+        struct Capture(std::rc::Rc<std::cell::RefCell<Vec<u64>>>);
+        impl IoObserver for Capture {
+            fn on_request_complete(
+                &mut self,
+                _n: SimTime,
+                _r: Rank,
+                _k: IoKind,
+                offset: u64,
+                _l: u64,
+                _i: SimTime,
+            ) {
+                self.0.borrow_mut().push(offset);
+            }
+        }
+        let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 9);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        r.add_observer(Box::new(Capture(got.clone())));
+        r.run();
+        assert_eq!(*got.borrow(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "used unopened handle")]
+    fn bad_handle_panics() {
+        let scripts = vec![script().write(0, 0, 4096).build()];
+        Runner::new(small_cluster(), StockMiddleware::new(), scripts, 7).run();
+    }
+}

@@ -1,0 +1,233 @@
+//! Process scripts: the operation streams application processes execute.
+
+use s4d_sim::SimDuration;
+use s4d_storage::IoKind;
+
+use crate::types::{AppOp, FileHandle};
+
+/// A stream of operations for one process.
+///
+/// Implementations are pulled lazily — one op at a time — so workloads with
+/// millions of requests (the paper's 16 GB IOR runs) never materialise in
+/// memory. Workload generators in `s4d-workloads` implement this trait.
+pub trait ProcessScript {
+    /// The next operation, or `None` when the process is done.
+    fn next_op(&mut self) -> Option<AppOp>;
+}
+
+/// A script backed by a pre-built vector of operations.
+#[derive(Debug, Clone)]
+pub struct VecScript {
+    ops: std::vec::IntoIter<AppOp>,
+}
+
+impl VecScript {
+    /// Wraps a vector of operations.
+    pub fn new(ops: Vec<AppOp>) -> Self {
+        VecScript {
+            ops: ops.into_iter(),
+        }
+    }
+}
+
+impl ProcessScript for VecScript {
+    fn next_op(&mut self) -> Option<AppOp> {
+        self.ops.next()
+    }
+}
+
+impl<S: ProcessScript + ?Sized> ProcessScript for Box<S> {
+    fn next_op(&mut self) -> Option<AppOp> {
+        (**self).next_op()
+    }
+}
+
+/// Starts a [`ScriptBuilder`].
+pub fn script() -> ScriptBuilder {
+    ScriptBuilder::default()
+}
+
+/// Convenience builder for explicit scripts (tests, examples).
+///
+/// ```
+/// use s4d_mpiio::{script, ProcessScript};
+/// let mut s = script().open("f").write(0, 0, 4096).close(0).build();
+/// assert!(s.next_op().is_some());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ScriptBuilder {
+    ops: Vec<AppOp>,
+}
+
+impl ScriptBuilder {
+    /// Appends an open of `name`.
+    pub fn open(mut self, name: impl Into<String>) -> Self {
+        self.ops.push(AppOp::Open { name: name.into() });
+        self
+    }
+
+    /// Appends a write of `len` bytes at `offset` on handle `h`.
+    pub fn write(mut self, h: usize, offset: u64, len: u64) -> Self {
+        self.ops.push(AppOp::Io {
+            handle: FileHandle(h),
+            kind: IoKind::Write,
+            offset,
+            len,
+            data: None,
+        });
+        self
+    }
+
+    /// Appends a write carrying explicit bytes (functional runs).
+    pub fn write_bytes(mut self, h: usize, offset: u64, data: Vec<u8>) -> Self {
+        self.ops.push(AppOp::Io {
+            handle: FileHandle(h),
+            kind: IoKind::Write,
+            offset,
+            len: data.len() as u64,
+            data: Some(data),
+        });
+        self
+    }
+
+    /// Appends a read of `len` bytes at `offset` on handle `h`.
+    pub fn read(mut self, h: usize, offset: u64, len: u64) -> Self {
+        self.ops.push(AppOp::Io {
+            handle: FileHandle(h),
+            kind: IoKind::Read,
+            offset,
+            len,
+            data: None,
+        });
+        self
+    }
+
+    /// Appends a seek of handle `h` to `offset`.
+    pub fn seek(mut self, h: usize, offset: u64) -> Self {
+        self.ops.push(AppOp::Seek {
+            handle: FileHandle(h),
+            offset,
+        });
+        self
+    }
+
+    /// Appends a write of `len` bytes at handle `h`'s file pointer.
+    pub fn write_cur(mut self, h: usize, len: u64) -> Self {
+        self.ops.push(AppOp::IoAtCursor {
+            handle: FileHandle(h),
+            kind: IoKind::Write,
+            len,
+            data: None,
+        });
+        self
+    }
+
+    /// Appends a read of `len` bytes at handle `h`'s file pointer.
+    pub fn read_cur(mut self, h: usize, len: u64) -> Self {
+        self.ops.push(AppOp::IoAtCursor {
+            handle: FileHandle(h),
+            kind: IoKind::Read,
+            len,
+            data: None,
+        });
+        self
+    }
+
+    /// Appends a close of handle `h`.
+    pub fn close(mut self, h: usize) -> Self {
+        self.ops.push(AppOp::Close {
+            handle: FileHandle(h),
+        });
+        self
+    }
+
+    /// Appends a global barrier.
+    pub fn barrier(mut self) -> Self {
+        self.ops.push(AppOp::Barrier);
+        self
+    }
+
+    /// Appends compute time.
+    pub fn think(mut self, duration: SimDuration) -> Self {
+        self.ops.push(AppOp::Think { duration });
+        self
+    }
+
+    /// Finishes the script.
+    pub fn build(self) -> VecScript {
+        VecScript::new(self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_emits_in_order() {
+        let mut s = script()
+            .open("f")
+            .write(0, 10, 20)
+            .read(0, 10, 20)
+            .barrier()
+            .think(SimDuration::from_millis(1))
+            .close(0)
+            .build();
+        assert!(matches!(s.next_op(), Some(AppOp::Open { .. })));
+        match s.next_op() {
+            Some(AppOp::Io { kind, offset, len, .. }) => {
+                assert_eq!(kind, IoKind::Write);
+                assert_eq!((offset, len), (10, 20));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(s.next_op(), Some(AppOp::Io { .. })));
+        assert!(matches!(s.next_op(), Some(AppOp::Barrier)));
+        assert!(matches!(s.next_op(), Some(AppOp::Think { .. })));
+        assert!(matches!(s.next_op(), Some(AppOp::Close { .. })));
+        assert!(s.next_op().is_none());
+        assert!(s.next_op().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn cursor_ops_emit() {
+        let mut s = script()
+            .open("f")
+            .seek(0, 4096)
+            .write_cur(0, 100)
+            .read_cur(0, 50)
+            .build();
+        s.next_op();
+        assert!(matches!(
+            s.next_op(),
+            Some(AppOp::Seek { offset: 4096, .. })
+        ));
+        assert!(matches!(
+            s.next_op(),
+            Some(AppOp::IoAtCursor { kind: IoKind::Write, len: 100, .. })
+        ));
+        assert!(matches!(
+            s.next_op(),
+            Some(AppOp::IoAtCursor { kind: IoKind::Read, len: 50, .. })
+        ));
+    }
+
+    #[test]
+    fn write_bytes_sets_len() {
+        let mut s = script().write_bytes(0, 5, vec![1, 2, 3]).build();
+        match s.next_op() {
+            Some(AppOp::Io { len, data, .. }) => {
+                assert_eq!(len, 3);
+                assert_eq!(data, Some(vec![1, 2, 3]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boxed_scripts_work() {
+        let mut b: Box<dyn ProcessScript> = Box::new(script().barrier().build());
+        assert!(matches!(b.next_op(), Some(AppOp::Barrier)));
+        assert!(b.next_op().is_none());
+    }
+}

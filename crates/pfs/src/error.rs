@@ -1,0 +1,57 @@
+//! Error type for parallel-file-system operations.
+
+use crate::types::FileId;
+
+/// Errors returned by [`crate::Pfs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// The file id is not known to this file system.
+    UnknownFile(FileId),
+    /// A file with this name already exists.
+    FileExists(String),
+    /// No file with this name exists.
+    NoSuchFile(String),
+    /// The request decomposed to zero sub-requests (zero length).
+    EmptyRequest,
+    /// The named server index is out of range.
+    BadServer {
+        /// Requested index.
+        index: usize,
+        /// Number of servers in the file system.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::UnknownFile(id) => write!(f, "unknown {id}"),
+            PfsError::FileExists(name) => write!(f, "file {name:?} already exists"),
+            PfsError::NoSuchFile(name) => write!(f, "no file named {name:?}"),
+            PfsError::EmptyRequest => write!(f, "request has zero length"),
+            PfsError::BadServer { index, count } => {
+                write!(f, "server index {index} out of range (have {count})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(PfsError::UnknownFile(FileId(1)).to_string(), "unknown file#1");
+        assert!(PfsError::FileExists("a".into()).to_string().contains("already exists"));
+        assert!(PfsError::NoSuchFile("b".into()).to_string().contains("no file named"));
+        assert!(PfsError::EmptyRequest.to_string().contains("zero length"));
+        assert!(
+            PfsError::BadServer { index: 9, count: 4 }
+                .to_string()
+                .contains("out of range")
+        );
+    }
+}

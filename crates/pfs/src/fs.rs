@@ -1,0 +1,387 @@
+//! The parallel file system: namespace + server array.
+
+use std::collections::HashMap;
+
+use s4d_sim::SimRng;
+use s4d_storage::{HddConfig, IoKind, SsdConfig, StoreMode};
+
+use crate::error::PfsError;
+use crate::layout::{StripeLayout, SubRange};
+use crate::network::NetworkConfig;
+use crate::server::FileServer;
+use crate::types::FileId;
+
+/// Metadata of one parallel file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// The file's identifier.
+    pub id: FileId,
+    /// The file's name.
+    pub name: String,
+    /// Current size: one past the highest byte ever planned for writing.
+    pub size: u64,
+}
+
+/// A PVFS2-style parallel file system: a stripe layout, a file namespace,
+/// and an array of [`FileServer`]s.
+///
+/// `Pfs` plans request decompositions and owns the servers; it contains no
+/// event loop — the middleware runner drives the servers' explicit-time
+/// state machines.
+///
+/// ```
+/// use s4d_pfs::{NetworkConfig, Pfs, StripeLayout};
+/// use s4d_storage::{presets, StoreMode};
+///
+/// let mut pfs = Pfs::hdd_cluster(
+///     "opfs",
+///     StripeLayout::new(64 * 1024, 8),
+///     presets::hdd_seagate_st3250(),
+///     NetworkConfig::gigabit_ethernet(),
+///     StoreMode::Timing,
+///     42,
+/// );
+/// let f = pfs.create("data.out")?;
+/// let plan = pfs.plan(f, s4d_storage::IoKind::Write, 0, 1 << 20)?;
+/// assert_eq!(plan.len(), 8);
+/// # Ok::<(), s4d_pfs::PfsError>(())
+/// ```
+#[derive(Debug)]
+pub struct Pfs {
+    name: String,
+    layout: StripeLayout,
+    servers: Vec<FileServer>,
+    files: HashMap<FileId, FileMeta>,
+    by_name: HashMap<String, FileId>,
+    next_file: u64,
+}
+
+impl Pfs {
+    /// Creates a file system over the given pre-built servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers.len()` differs from the layout's server count.
+    pub fn new(name: impl Into<String>, layout: StripeLayout, servers: Vec<FileServer>) -> Self {
+        assert_eq!(
+            servers.len(),
+            layout.server_count(),
+            "server array must match layout width"
+        );
+        Pfs {
+            name: name.into(),
+            layout,
+            servers,
+            files: HashMap::new(),
+            by_name: HashMap::new(),
+            next_file: 0,
+        }
+    }
+
+    /// Builds a file system of identical HDD servers (the paper's DServers).
+    pub fn hdd_cluster(
+        name: impl Into<String>,
+        layout: StripeLayout,
+        config: HddConfig,
+        net: NetworkConfig,
+        mode: StoreMode,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SimRng::seed(seed);
+        let servers = (0..layout.server_count())
+            .map(|i| {
+                FileServer::new(
+                    i,
+                    Box::new(config.clone().build()),
+                    config.capacity(),
+                    net,
+                    mode,
+                    None,
+                    rng.fork(i as u64),
+                )
+            })
+            .collect();
+        Pfs::new(name, layout, servers)
+    }
+
+    /// Builds a file system of identical SSD servers (the paper's CServers).
+    pub fn ssd_cluster(
+        name: impl Into<String>,
+        layout: StripeLayout,
+        config: SsdConfig,
+        net: NetworkConfig,
+        mode: StoreMode,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SimRng::seed(seed);
+        let servers = (0..layout.server_count())
+            .map(|i| {
+                FileServer::new(
+                    i,
+                    Box::new(config.clone().build()),
+                    config.capacity(),
+                    net,
+                    mode,
+                    None,
+                    rng.fork(i as u64),
+                )
+            })
+            .collect();
+        Pfs::new(name, layout, servers)
+    }
+
+    /// The file system's name (e.g. `"opfs"` / `"cpfs"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stripe layout.
+    pub fn layout(&self) -> StripeLayout {
+        self.layout
+    }
+
+    /// Number of file servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Shared access to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::BadServer`] if `index` is out of range.
+    pub fn server(&self, index: usize) -> Result<&FileServer, PfsError> {
+        self.servers.get(index).ok_or(PfsError::BadServer {
+            index,
+            count: self.servers.len(),
+        })
+    }
+
+    /// Mutable access to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::BadServer`] if `index` is out of range.
+    pub fn server_mut(&mut self, index: usize) -> Result<&mut FileServer, PfsError> {
+        let count = self.servers.len();
+        self.servers
+            .get_mut(index)
+            .ok_or(PfsError::BadServer { index, count })
+    }
+
+    /// Iterator over all servers.
+    pub fn iter_servers(&self) -> impl Iterator<Item = &FileServer> {
+        self.servers.iter()
+    }
+
+    /// Creates a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::FileExists`] if the name is taken.
+    pub fn create(&mut self, name: impl Into<String>) -> Result<FileId, PfsError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(PfsError::FileExists(name));
+        }
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        self.by_name.insert(name.clone(), id);
+        self.files.insert(
+            id,
+            FileMeta {
+                id,
+                name,
+                size: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Opens an existing file by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::NoSuchFile`] if absent.
+    pub fn open(&self, name: &str) -> Result<FileId, PfsError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| PfsError::NoSuchFile(name.to_owned()))
+    }
+
+    /// Opens a file, creating it if absent.
+    pub fn create_or_open(&mut self, name: &str) -> FileId {
+        match self.open(name) {
+            Ok(id) => id,
+            Err(_) => self.create(name).expect("absent file can be created"),
+        }
+    }
+
+    /// Metadata of a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::UnknownFile`] if the id is not known.
+    pub fn meta(&self, file: FileId) -> Result<&FileMeta, PfsError> {
+        self.files.get(&file).ok_or(PfsError::UnknownFile(file))
+    }
+
+    /// Marks a file as (at least) `size` bytes long without touching data —
+    /// the pre-existing input files of read-only benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::UnknownFile`] if the id is not known.
+    pub fn set_size(&mut self, file: FileId, size: u64) -> Result<(), PfsError> {
+        let meta = self.files.get_mut(&file).ok_or(PfsError::UnknownFile(file))?;
+        meta.size = meta.size.max(size);
+        Ok(())
+    }
+
+    /// Deletes a file, dropping its data on every server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::UnknownFile`] if the id is not known.
+    pub fn delete(&mut self, file: FileId) -> Result<(), PfsError> {
+        let meta = self.files.remove(&file).ok_or(PfsError::UnknownFile(file))?;
+        self.by_name.remove(&meta.name);
+        for s in &mut self.servers {
+            s.delete_file(file);
+        }
+        Ok(())
+    }
+
+    /// Plans the decomposition of a request into per-server sub-ranges.
+    /// Writes extend the file size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::UnknownFile`] for a bad id and
+    /// [`PfsError::EmptyRequest`] for zero length.
+    pub fn plan(
+        &mut self,
+        file: FileId,
+        kind: IoKind,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<SubRange>, PfsError> {
+        let meta = self.files.get_mut(&file).ok_or(PfsError::UnknownFile(file))?;
+        if len == 0 {
+            return Err(PfsError::EmptyRequest);
+        }
+        if kind.is_write() {
+            meta.size = meta.size.max(offset + len);
+        }
+        Ok(self.layout.split(offset, len))
+    }
+
+    /// Discards stored data of `[offset, offset+len)` on every involved
+    /// server (cache eviction: metadata-only, no simulated I/O).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::UnknownFile`] if the id is not known.
+    pub fn discard(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), PfsError> {
+        if !self.files.contains_key(&file) {
+            return Err(PfsError::UnknownFile(file));
+        }
+        for sub in self.layout.split(offset, len) {
+            self.servers[sub.server].discard_range(file, sub.local_offset, sub.len);
+        }
+        Ok(())
+    }
+
+    /// Total bytes stored across all servers.
+    pub fn stored_bytes(&self) -> u64 {
+        self.servers.iter().map(|s| s.stored_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4d_storage::presets;
+
+    fn pfs() -> Pfs {
+        Pfs::hdd_cluster(
+            "opfs",
+            StripeLayout::new(64 * 1024, 8),
+            presets::hdd_seagate_st3250(),
+            NetworkConfig::ideal(),
+            StoreMode::Timing,
+            7,
+        )
+    }
+
+    #[test]
+    fn namespace_lifecycle() {
+        let mut p = pfs();
+        let f = p.create("a").unwrap();
+        assert_eq!(p.open("a").unwrap(), f);
+        assert_eq!(p.create("a"), Err(PfsError::FileExists("a".into())));
+        assert_eq!(p.open("b"), Err(PfsError::NoSuchFile("b".into())));
+        assert_eq!(p.create_or_open("a"), f);
+        let g = p.create_or_open("b");
+        assert_ne!(f, g);
+        assert_eq!(p.meta(f).unwrap().name, "a");
+        p.delete(f).unwrap();
+        assert_eq!(p.open("a"), Err(PfsError::NoSuchFile("a".into())));
+        assert_eq!(p.meta(f), Err(PfsError::UnknownFile(f)));
+        assert_eq!(p.delete(f), Err(PfsError::UnknownFile(f)));
+    }
+
+    #[test]
+    fn plan_validates_and_tracks_size() {
+        let mut p = pfs();
+        let f = p.create("a").unwrap();
+        assert_eq!(p.plan(f, IoKind::Write, 0, 0), Err(PfsError::EmptyRequest));
+        assert_eq!(
+            p.plan(FileId(99), IoKind::Write, 0, 1),
+            Err(PfsError::UnknownFile(FileId(99)))
+        );
+        let subs = p.plan(f, IoKind::Write, 0, 256 * 1024).unwrap();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(p.meta(f).unwrap().size, 256 * 1024);
+        // Reads do not extend the size.
+        p.plan(f, IoKind::Read, 0, 1024 * 1024).unwrap();
+        assert_eq!(p.meta(f).unwrap().size, 256 * 1024);
+        p.set_size(f, 1 << 30).unwrap();
+        assert_eq!(p.meta(f).unwrap().size, 1 << 30);
+    }
+
+    #[test]
+    fn server_access_bounds() {
+        let mut p = pfs();
+        assert_eq!(p.server_count(), 8);
+        assert!(p.server(7).is_ok());
+        assert_eq!(
+            p.server(8).unwrap_err(),
+            PfsError::BadServer { index: 8, count: 8 }
+        );
+        assert!(p.server_mut(8).is_err());
+        assert_eq!(p.iter_servers().count(), 8);
+        assert_eq!(p.name(), "opfs");
+        assert_eq!(p.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn ssd_cluster_builds() {
+        let p = Pfs::ssd_cluster(
+            "cpfs",
+            StripeLayout::new(64 * 1024, 4),
+            presets::ssd_ocz_revodrive_x2(),
+            NetworkConfig::gigabit_ethernet(),
+            StoreMode::Timing,
+            9,
+        );
+        assert_eq!(p.server_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "server array must match layout width")]
+    fn new_rejects_mismatched_width() {
+        Pfs::new("x", StripeLayout::new(4096, 3), Vec::new());
+    }
+}

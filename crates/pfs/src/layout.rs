@@ -1,0 +1,393 @@
+//! Round-robin striping and request decomposition.
+//!
+//! A parallel file is placed across `M` servers in fixed-size stripes,
+//! round-robin: global stripe `k` lives on server `k mod M`, at local
+//! stripe index `k / M`. A file request `[offset, offset+len)` therefore
+//! decomposes into at most one *contiguous* local range per involved server
+//! (plus a second range in the rare wrap cases) — the sub-requests of the
+//! paper's Figure 4.
+
+use serde::{Deserialize, Serialize};
+
+/// One per-server piece of a decomposed file request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubRange {
+    /// Index of the server holding this piece.
+    pub server: usize,
+    /// Offset within the server-local file object.
+    pub local_offset: u64,
+    /// Offset within the global file where this piece begins.
+    pub file_offset: u64,
+    /// Piece length in bytes.
+    pub len: u64,
+}
+
+/// Round-robin striping geometry.
+///
+/// ```
+/// use s4d_pfs::StripeLayout;
+/// let l = StripeLayout::new(64 * 1024, 8);
+/// // A 16 KiB request inside one stripe touches exactly one server.
+/// assert_eq!(l.split(0, 16 * 1024).len(), 1);
+/// // A 4 MiB aligned request touches all 8 servers.
+/// assert_eq!(l.split(0, 4 * 1024 * 1024).len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLayout {
+    stripe: u64,
+    servers: usize,
+}
+
+impl StripeLayout {
+    /// Creates a layout with the given stripe size and server count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe == 0` or `servers == 0`.
+    pub fn new(stripe: u64, servers: usize) -> Self {
+        assert!(stripe > 0, "stripe size must be positive");
+        assert!(servers > 0, "server count must be positive");
+        StripeLayout { stripe, servers }
+    }
+
+    /// Stripe size in bytes (the paper's `str`).
+    pub fn stripe_size(&self) -> u64 {
+        self.stripe
+    }
+
+    /// Number of servers (the paper's `M` or `N`).
+    pub fn server_count(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of distinct servers a request touches — the paper's `m`
+    /// (Equation 6): `min(E − B + 1, M)` for beginning stripe `B` and
+    /// ending stripe `E`.
+    pub fn involved_servers(&self, offset: u64, len: u64) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let b = offset / self.stripe;
+        let e = (offset + len - 1) / self.stripe;
+        ((e - b + 1) as usize).min(self.servers)
+    }
+
+    /// Size of the largest per-server sub-request — the paper's `s_m`
+    /// (Table II), computed directly from the decomposition.
+    pub fn max_subrequest(&self, offset: u64, len: u64) -> u64 {
+        self.split(offset, len)
+            .iter()
+            .fold(std::collections::HashMap::new(), |mut acc, sr| {
+                *acc.entry(sr.server).or_insert(0u64) += sr.len;
+                acc
+            })
+            .into_values()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Decomposes `[offset, offset+len)` into per-server contiguous local
+    /// ranges, merging stripes that are adjacent in a server's local space.
+    ///
+    /// Sub-ranges are returned ordered by file offset. A zero-length request
+    /// yields no sub-ranges.
+    pub fn split(&self, offset: u64, len: u64) -> Vec<SubRange> {
+        let mut out: Vec<SubRange> = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let end = offset
+            .checked_add(len)
+            .expect("file range end overflows u64");
+        let first = offset / self.stripe;
+        let last = (end - 1) / self.stripe;
+        for k in first..=last {
+            let stripe_start = k * self.stripe;
+            let lo = stripe_start.max(offset);
+            let hi = (stripe_start + self.stripe).min(end);
+            let server = (k % self.servers as u64) as usize;
+            let local = (k / self.servers as u64) * self.stripe + (lo - stripe_start);
+            // Merge with the previous piece on the same server when the
+            // local ranges are contiguous.
+            // Within one split, pieces land on a server in increasing local-
+            // stripe order, so local contiguity is exactly the "previous
+            // stripe fully covered, next starts at its local beginning" case.
+            if let Some(prev) = out.iter_mut().rev().find(|p| p.server == server) {
+                if prev.local_offset + prev.len == local {
+                    prev.len += hi - lo;
+                    continue;
+                }
+            }
+            out.push(SubRange {
+                server,
+                local_offset: local,
+                file_offset: lo,
+                len: hi - lo,
+            });
+        }
+        out
+    }
+
+    /// Expands a sub-range back into the global-file segments it carries.
+    ///
+    /// A merged sub-range is contiguous in the server's local space but may
+    /// correspond to several stripes of the global file, spaced
+    /// `servers × stripe` apart. Returns `(file_offset, len)` pairs in file
+    /// order; their lengths sum to `sub.len`.
+    pub fn file_segments(&self, sub: &SubRange) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut local = sub.local_offset;
+        let mut remaining = sub.len;
+        while remaining > 0 {
+            let local_stripe = local / self.stripe;
+            let within = local % self.stripe;
+            let global_stripe = local_stripe * self.servers as u64 + sub.server as u64;
+            let file_off = global_stripe * self.stripe + within;
+            let chunk = remaining.min(self.stripe - within);
+            out.push((file_off, chunk));
+            local += chunk;
+            remaining -= chunk;
+        }
+        out
+    }
+
+    /// Maps a single file offset to `(server, local_offset)`.
+    pub fn locate(&self, offset: u64) -> (usize, u64) {
+        let k = offset / self.stripe;
+        let server = (k % self.servers as u64) as usize;
+        let local = (k / self.servers as u64) * self.stripe + offset % self.stripe;
+        (server, local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const KIB: u64 = 1024;
+
+    fn layout() -> StripeLayout {
+        StripeLayout::new(64 * KIB, 8)
+    }
+
+    #[test]
+    fn single_stripe_request_hits_one_server() {
+        let l = layout();
+        let subs = l.split(0, 16 * KIB);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].server, 0);
+        assert_eq!(subs[0].local_offset, 0);
+        assert_eq!(subs[0].len, 16 * KIB);
+        assert_eq!(l.involved_servers(0, 16 * KIB), 1);
+        assert_eq!(l.max_subrequest(0, 16 * KIB), 16 * KIB);
+    }
+
+    #[test]
+    fn unaligned_small_request_inside_later_stripe() {
+        let l = layout();
+        // Offset 130 KiB = stripe 2 (server 2), 2 KiB into it.
+        let subs = l.split(130 * KIB, 4 * KIB);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].server, 2);
+        assert_eq!(subs[0].local_offset, 2 * KIB);
+    }
+
+    #[test]
+    fn request_spanning_two_stripes() {
+        let l = layout();
+        // 60 KiB..68 KiB spans stripes 0 and 1.
+        let subs = l.split(60 * KIB, 8 * KIB);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].server, 0);
+        assert_eq!(subs[0].local_offset, 60 * KIB);
+        assert_eq!(subs[0].len, 4 * KIB);
+        assert_eq!(subs[1].server, 1);
+        assert_eq!(subs[1].local_offset, 0);
+        assert_eq!(subs[1].len, 4 * KIB);
+    }
+
+    #[test]
+    fn full_round_touches_all_servers_once() {
+        let l = layout();
+        let subs = l.split(0, 8 * 64 * KIB);
+        assert_eq!(subs.len(), 8);
+        for (i, sr) in subs.iter().enumerate() {
+            assert_eq!(sr.server, i);
+            assert_eq!(sr.local_offset, 0);
+            assert_eq!(sr.len, 64 * KIB);
+        }
+    }
+
+    #[test]
+    fn multi_round_request_merges_contiguous_local_ranges() {
+        let l = layout();
+        // Two full rounds: each server gets stripes k and k+8, which are
+        // local-contiguous, so exactly one sub-request per server.
+        let subs = l.split(0, 16 * 64 * KIB);
+        assert_eq!(subs.len(), 8);
+        for sr in &subs {
+            assert_eq!(sr.len, 2 * 64 * KIB);
+            assert_eq!(sr.local_offset, 0);
+        }
+        assert_eq!(l.max_subrequest(0, 16 * 64 * KIB), 128 * KIB);
+        assert_eq!(l.involved_servers(0, 16 * 64 * KIB), 8);
+    }
+
+    #[test]
+    fn partial_boundaries_make_unequal_subrequests() {
+        let l = layout();
+        // Start mid-stripe: b = 32 KiB tail on first server, e = 32 KiB head
+        // beyond, matching the paper's case analysis.
+        let subs = l.split(32 * KIB, 64 * KIB);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].len, 32 * KIB);
+        assert_eq!(subs[1].len, 32 * KIB);
+        // 32 KiB..160 KiB: tail of stripe 0, all of stripe 1, head of stripe 2.
+        let subs = l.split(32 * KIB, 128 * KIB);
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0].len, 32 * KIB);
+        assert_eq!(subs[1].len, 64 * KIB);
+        assert_eq!(subs[2].len, 32 * KIB);
+        assert_eq!(l.max_subrequest(32 * KIB, 128 * KIB), 64 * KIB);
+    }
+
+    #[test]
+    fn locate_matches_split() {
+        let l = layout();
+        for off in [0u64, 1, 63 * KIB, 64 * KIB, 511 * KIB, 8 * 64 * KIB + 5] {
+            let (srv, local) = l.locate(off);
+            let subs = l.split(off, 1);
+            assert_eq!(subs.len(), 1);
+            assert_eq!(subs[0].server, srv);
+            assert_eq!(subs[0].local_offset, local);
+        }
+    }
+
+    #[test]
+    fn zero_length_yields_nothing() {
+        let l = layout();
+        assert!(l.split(100, 0).is_empty());
+        assert_eq!(l.involved_servers(100, 0), 0);
+        assert_eq!(l.max_subrequest(100, 0), 0);
+    }
+
+    #[test]
+    fn involved_servers_caps_at_m() {
+        let l = layout();
+        assert_eq!(l.involved_servers(0, 100 * 64 * KIB), 8);
+    }
+
+    #[test]
+    fn file_segments_invert_split() {
+        let l = layout();
+        // Merged two-round request: segments come back as the 16 stripes.
+        for (off, len) in [
+            (0u64, 16 * 64 * KIB),
+            (32 * KIB, 96 * KIB),
+            (130 * KIB, 4 * KIB),
+            (60 * KIB, 8 * KIB),
+        ] {
+            let subs = l.split(off, len);
+            let mut segs: Vec<(u64, u64)> =
+                subs.iter().flat_map(|s| l.file_segments(s)).collect();
+            segs.sort_unstable();
+            // Coalesce adjacent segments, then the result must be the range.
+            let mut merged: Vec<(u64, u64)> = Vec::new();
+            for (s, n) in segs {
+                match merged.last_mut() {
+                    Some((ms, mn)) if *ms + *mn == s => *mn += n,
+                    _ => merged.push((s, n)),
+                }
+            }
+            assert_eq!(merged, vec![(off, len)], "range {off}+{len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe size must be positive")]
+    fn rejects_zero_stripe() {
+        StripeLayout::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "server count must be positive")]
+    fn rejects_zero_servers() {
+        StripeLayout::new(4096, 0);
+    }
+
+    proptest! {
+        /// The decomposition must exactly tile the requested range.
+        #[test]
+        fn prop_split_tiles_range(
+            stripe_kib in 1u64..128,
+            servers in 1usize..12,
+            offset in 0u64..(1 << 24),
+            len in 1u64..(1 << 22),
+        ) {
+            let l = StripeLayout::new(stripe_kib * KIB, servers);
+            let subs = l.split(offset, len);
+            let total: u64 = subs.iter().map(|s| s.len).sum();
+            prop_assert_eq!(total, len);
+            prop_assert_eq!(subs.first().unwrap().file_offset, offset);
+            for s in &subs {
+                prop_assert!(s.server < servers);
+            }
+            // The file segments of all pieces tile [offset, offset+len)
+            // exactly, with no overlap and no gap.
+            let mut segs: Vec<(u64, u64)> =
+                subs.iter().flat_map(|s| l.file_segments(s)).collect();
+            segs.sort_unstable();
+            let mut cursor = offset;
+            for (s, n) in segs {
+                prop_assert_eq!(s, cursor, "gap or overlap at {}", cursor);
+                cursor += n;
+            }
+            prop_assert_eq!(cursor, offset + len);
+        }
+
+        /// involved_servers equals the number of distinct servers in split().
+        #[test]
+        fn prop_involved_servers_consistent(
+            stripe_kib in 1u64..64,
+            servers in 1usize..10,
+            offset in 0u64..(1 << 22),
+            len in 1u64..(1 << 20),
+        ) {
+            let l = StripeLayout::new(stripe_kib * KIB, servers);
+            let distinct: std::collections::HashSet<usize> =
+                l.split(offset, len).iter().map(|s| s.server).collect();
+            prop_assert_eq!(distinct.len(), l.involved_servers(offset, len));
+        }
+
+        /// locate() agrees with split() for every byte of a small request.
+        #[test]
+        fn prop_locate_agrees_with_split(
+            stripe in 1u64..4096,
+            servers in 1usize..7,
+            offset in 0u64..65536,
+            len in 1u64..512,
+        ) {
+            let l = StripeLayout::new(stripe, servers);
+            let subs = l.split(offset, len);
+            // For every byte: locate() must agree with the sub-range whose
+            // file segment contains the byte, at the matching local offset.
+            for byte in offset..offset + len {
+                let (srv, local) = l.locate(byte);
+                let mut found = false;
+                for s in &subs {
+                    let mut local_cursor = s.local_offset;
+                    for (seg_off, seg_len) in l.file_segments(s) {
+                        if seg_off <= byte && byte < seg_off + seg_len {
+                            prop_assert_eq!(s.server, srv);
+                            prop_assert_eq!(local_cursor + (byte - seg_off), local);
+                            found = true;
+                        }
+                        local_cursor += seg_len;
+                    }
+                }
+                prop_assert!(found, "byte {} not covered by any segment", byte);
+            }
+        }
+    }
+}

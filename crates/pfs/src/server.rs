@@ -1,0 +1,487 @@
+//! A single file server: device + per-file stores + two-level service queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use s4d_sim::{SimDuration, SimRng, SimTime};
+use s4d_storage::{DeviceModel, ExtentStore, IoKind, StoreMode};
+
+use crate::network::NetworkConfig;
+use crate::types::{FileId, Priority, SubReqId};
+
+/// A sub-request submitted to one server.
+#[derive(Debug, Clone)]
+pub struct SubRequest {
+    /// Caller-assigned identifier, echoed back on completion.
+    pub id: SubReqId,
+    /// Target file.
+    pub file: FileId,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Offset within the server-local file object.
+    pub local_offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Foreground or background service class.
+    pub priority: Priority,
+    /// Write payload (required when the server stores bytes functionally).
+    pub data: Option<Vec<u8>>,
+}
+
+/// Acknowledgement that a sub-request entered service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Started {
+    /// The sub-request now being serviced.
+    pub id: SubReqId,
+    /// When it will complete.
+    pub completes_at: SimTime,
+}
+
+/// A finished sub-request, with read payload if applicable.
+#[derive(Debug, Clone)]
+pub struct CompletedSubRequest {
+    /// The identifier given at submission.
+    pub id: SubReqId,
+    /// Target file.
+    pub file: FileId,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Offset within the server-local file object.
+    pub local_offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Bytes read (functional stores only; zero-filled over holes).
+    pub data: Option<Vec<u8>>,
+    /// For reads: how many requested bytes were previously written.
+    pub covered_bytes: u64,
+}
+
+/// Counters a server accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sub-requests serviced.
+    pub ops: u64,
+    /// Background-priority sub-requests serviced.
+    pub background_ops: u64,
+    /// Bytes read from the device.
+    pub bytes_read: u64,
+    /// Bytes written to the device.
+    pub bytes_written: u64,
+    /// Total time the device spent in service.
+    pub busy: SimDuration,
+    /// Largest queue depth observed (including the in-service request).
+    pub max_depth: usize,
+}
+
+/// One file server of a parallel file system.
+///
+/// The server is an explicit-time state machine: callers [`submit`] work and
+/// later call [`on_complete`] at exactly the time a previous [`Started`]
+/// promised. One sub-request is in service at a time; queued foreground work
+/// always runs before queued background work (the Rebuilder's low-priority
+/// I/O, §III.F of the paper).
+///
+/// [`submit`]: FileServer::submit
+/// [`on_complete`]: FileServer::on_complete
+#[derive(Debug)]
+pub struct FileServer {
+    index: usize,
+    device: Box<dyn DeviceModel>,
+    net: NetworkConfig,
+    store_mode: StoreMode,
+    stores: HashMap<FileId, ExtentStore>,
+    bases: HashMap<FileId, u64>,
+    next_base: u64,
+    file_region: u64,
+    capacity: u64,
+    normal: VecDeque<SubRequest>,
+    background: VecDeque<SubRequest>,
+    current: Option<SubRequest>,
+    rng: SimRng,
+    stats: ServerStats,
+}
+
+impl FileServer {
+    /// Creates a server around a device model.
+    ///
+    /// `file_region` is the spacing between the base addresses assigned to
+    /// distinct files in the device's address space (so different files are
+    /// mechanically distant, as on a real disk); it defaults to 1/64 of the
+    /// device capacity when `None`.
+    pub fn new(
+        index: usize,
+        device: Box<dyn DeviceModel>,
+        capacity: u64,
+        net: NetworkConfig,
+        store_mode: StoreMode,
+        file_region: Option<u64>,
+        rng: SimRng,
+    ) -> Self {
+        let file_region = file_region.unwrap_or_else(|| (capacity / 64).max(1));
+        FileServer {
+            index,
+            device,
+            net,
+            store_mode,
+            stores: HashMap::new(),
+            bases: HashMap::new(),
+            next_base: 0,
+            file_region,
+            capacity,
+            normal: VecDeque::new(),
+            background: VecDeque::new(),
+            current: None,
+            rng,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// This server's index within its file system.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// True if a sub-request is in service.
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Queued (not yet started) sub-requests, both priorities.
+    pub fn queue_len(&self) -> usize {
+        self.normal.len() + self.background.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Total bytes currently stored across all files.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stores.values().map(|s| s.written_bytes()).sum()
+    }
+
+    /// Submits a sub-request. If the server is idle it enters service
+    /// immediately and a [`Started`] is returned; otherwise it queues and
+    /// the server will start it from a later [`FileServer::on_complete`].
+    pub fn submit(&mut self, now: SimTime, req: SubRequest) -> Option<Started> {
+        let depth = self.queue_len() + usize::from(self.is_busy()) + 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        if self.current.is_none() {
+            Some(self.start(now, req))
+        } else {
+            match req.priority {
+                Priority::Normal => self.normal.push_back(req),
+                Priority::Background => self.background.push_back(req),
+            }
+            None
+        }
+    }
+
+    /// Completes the in-service sub-request at time `now`, applying its
+    /// store effect, and starts the next queued one (foreground first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in service — calling this without a matching
+    /// [`Started`] is a scheduling bug.
+    pub fn on_complete(&mut self, now: SimTime) -> (CompletedSubRequest, Option<Started>) {
+        let req = self
+            .current
+            .take()
+            .expect("on_complete called with no sub-request in service");
+        let store = self
+            .stores
+            .entry(req.file)
+            .or_insert_with(|| ExtentStore::new(self.store_mode));
+        let completed = match req.kind {
+            IoKind::Write => {
+                self.stats.bytes_written += req.len;
+                match (self.store_mode, req.data.as_deref()) {
+                    (StoreMode::Functional, None) => {
+                        // Timing-style script on a functional store: record
+                        // the write as zeroes so coverage stays accurate.
+                        let zeroes = vec![0u8; req.len as usize];
+                        store.write(req.local_offset, req.len, Some(&zeroes));
+                    }
+                    (_, data) => store.write(req.local_offset, req.len, data),
+                }
+                CompletedSubRequest {
+                    id: req.id,
+                    file: req.file,
+                    kind: req.kind,
+                    local_offset: req.local_offset,
+                    len: req.len,
+                    data: None,
+                    covered_bytes: req.len,
+                }
+            }
+            IoKind::Read => {
+                self.stats.bytes_read += req.len;
+                let outcome = store.read(req.local_offset, req.len);
+                CompletedSubRequest {
+                    id: req.id,
+                    file: req.file,
+                    kind: req.kind,
+                    local_offset: req.local_offset,
+                    len: req.len,
+                    data: outcome.data,
+                    covered_bytes: outcome.covered_bytes,
+                }
+            }
+        };
+        let next = self
+            .normal
+            .pop_front()
+            .or_else(|| self.background.pop_front())
+            .map(|r| self.start(now, r));
+        (completed, next)
+    }
+
+    /// Reads stored bytes directly, bypassing the service queue — used for
+    /// instantaneous data-plane effects whose *timing* was already simulated
+    /// as separate I/O (Rebuilder copies). Returns `None` in timing mode.
+    pub fn peek_store(&self, file: FileId, local_offset: u64, len: u64) -> Option<Vec<u8>> {
+        self.stores
+            .get(&file)
+            .and_then(|s| s.read(local_offset, len).data)
+    }
+
+    /// Writes stored bytes directly, bypassing the service queue (see
+    /// [`FileServer::peek_store`]). In timing mode only extent coverage is
+    /// recorded and `data` is ignored.
+    pub fn poke_store(&mut self, file: FileId, local_offset: u64, len: u64, data: Option<&[u8]>) {
+        let store = self
+            .stores
+            .entry(file)
+            .or_insert_with(|| ExtentStore::new(self.store_mode));
+        match self.store_mode {
+            StoreMode::Functional => {
+                let owned;
+                let bytes = match data {
+                    Some(d) => d,
+                    None => {
+                        owned = vec![0u8; len as usize];
+                        &owned
+                    }
+                };
+                store.write(local_offset, len, Some(bytes));
+            }
+            StoreMode::Timing => store.write(local_offset, len, None),
+        }
+    }
+
+    /// Drops all data of `file` (used when a cache file is destroyed).
+    pub fn delete_file(&mut self, file: FileId) {
+        self.stores.remove(&file);
+    }
+
+    /// Discards a stored range of `file` (cache eviction).
+    pub fn discard_range(&mut self, file: FileId, local_offset: u64, len: u64) {
+        if let Some(store) = self.stores.get_mut(&file) {
+            store.discard(local_offset, len);
+        }
+    }
+
+    fn start(&mut self, now: SimTime, req: SubRequest) -> Started {
+        let base = self.base_for(req.file);
+        let lba = (base + req.local_offset) % self.capacity.max(1);
+        let device_time = self
+            .device
+            .service_time(req.kind, lba, req.len, &mut self.rng);
+        let net = SimDuration::from_secs_f64(
+            self.net
+                .overhead_secs(req.len, self.device.transfer_rate(req.kind)),
+        );
+        let service = device_time + net;
+        self.stats.ops += 1;
+        if req.priority == Priority::Background {
+            self.stats.background_ops += 1;
+        }
+        self.stats.busy += service;
+        let started = Started {
+            id: req.id,
+            completes_at: now + service,
+        };
+        self.current = Some(req);
+        started
+    }
+
+    fn base_for(&mut self, file: FileId) -> u64 {
+        if let Some(&b) = self.bases.get(&file) {
+            return b;
+        }
+        let b = self.next_base % self.capacity.max(1);
+        self.next_base = self.next_base.wrapping_add(self.file_region);
+        self.bases.insert(file, b);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4d_storage::presets;
+
+    const KIB: u64 = 1024;
+    const GIB: u64 = 1024 * 1024 * 1024;
+
+    fn hdd_server(mode: StoreMode) -> FileServer {
+        let cfg = presets::hdd_seagate_st3250();
+        let cap = cfg.capacity();
+        FileServer::new(
+            0,
+            Box::new(cfg.build()),
+            cap,
+            NetworkConfig::ideal(),
+            mode,
+            None,
+            SimRng::seed(1),
+        )
+    }
+
+    fn req(id: u64, kind: IoKind, off: u64, len: u64, prio: Priority) -> SubRequest {
+        SubRequest {
+            id: SubReqId(id),
+            file: FileId(0),
+            kind,
+            local_offset: off,
+            len,
+            priority: prio,
+            data: None,
+        }
+    }
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = hdd_server(StoreMode::Timing);
+        let started = s
+            .submit(SimTime::ZERO, req(1, IoKind::Write, 0, 4 * KIB, Priority::Normal))
+            .expect("idle server starts at once");
+        assert_eq!(started.id, SubReqId(1));
+        assert!(started.completes_at > SimTime::ZERO);
+        assert!(s.is_busy());
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut s = hdd_server(StoreMode::Timing);
+        let t0 = SimTime::ZERO;
+        let first = s
+            .submit(t0, req(1, IoKind::Write, 0, 4 * KIB, Priority::Normal))
+            .unwrap();
+        assert!(s
+            .submit(t0, req(2, IoKind::Write, GIB, 4 * KIB, Priority::Normal))
+            .is_none());
+        assert!(s
+            .submit(t0, req(3, IoKind::Write, 2 * GIB, 4 * KIB, Priority::Normal))
+            .is_none());
+        assert_eq!(s.queue_len(), 2);
+        let (done, next) = s.on_complete(first.completes_at);
+        assert_eq!(done.id, SubReqId(1));
+        let next = next.expect("queued work starts");
+        assert_eq!(next.id, SubReqId(2));
+        let (done, next) = s.on_complete(next.completes_at);
+        assert_eq!(done.id, SubReqId(2));
+        assert_eq!(next.unwrap().id, SubReqId(3));
+    }
+
+    #[test]
+    fn background_waits_for_all_foreground() {
+        let mut s = hdd_server(StoreMode::Timing);
+        let t0 = SimTime::ZERO;
+        let first = s
+            .submit(t0, req(1, IoKind::Write, 0, KIB, Priority::Normal))
+            .unwrap();
+        s.submit(t0, req(2, IoKind::Write, 0, KIB, Priority::Background));
+        s.submit(t0, req(3, IoKind::Write, 0, KIB, Priority::Normal));
+        let (_, next) = s.on_complete(first.completes_at);
+        // Normal id=3 jumps ahead of background id=2.
+        let next = next.unwrap();
+        assert_eq!(next.id, SubReqId(3));
+        let (_, next) = s.on_complete(next.completes_at);
+        assert_eq!(next.unwrap().id, SubReqId(2));
+        assert_eq!(s.stats().background_ops, 1);
+    }
+
+    #[test]
+    fn functional_store_round_trip() {
+        let mut s = hdd_server(StoreMode::Functional);
+        let t0 = SimTime::ZERO;
+        let mut w = req(1, IoKind::Write, 100, 5, Priority::Normal);
+        w.data = Some(b"hello".to_vec());
+        let started = s.submit(t0, w).unwrap();
+        s.on_complete(started.completes_at);
+        let started = s
+            .submit(
+                started.completes_at,
+                req(2, IoKind::Read, 98, 9, Priority::Normal),
+            )
+            .unwrap();
+        let (done, _) = s.on_complete(started.completes_at);
+        assert_eq!(done.covered_bytes, 5);
+        assert_eq!(
+            done.data.as_deref(),
+            Some(&[0, 0, b'h', b'e', b'l', b'l', b'o', 0, 0][..])
+        );
+        assert_eq!(s.stored_bytes(), 5);
+    }
+
+    #[test]
+    fn distinct_files_get_distant_bases() {
+        let mut s = hdd_server(StoreMode::Timing);
+        let t0 = SimTime::ZERO;
+        let mut r1 = req(1, IoKind::Write, 0, KIB, Priority::Normal);
+        r1.file = FileId(10);
+        let mut r2 = req(2, IoKind::Write, 0, KIB, Priority::Normal);
+        r2.file = FileId(11);
+        let a = s.submit(t0, r1).unwrap();
+        let (_, _) = s.on_complete(a.completes_at);
+        let b = s.submit(a.completes_at, r2).unwrap();
+        // Different file at local offset 0 must seek: its base is far away.
+        let service_b = b.completes_at - a.completes_at;
+        assert!(
+            service_b > SimDuration::from_millis(1),
+            "second file's first access should pay positioning: {service_b}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = hdd_server(StoreMode::Timing);
+        let t = SimTime::ZERO;
+        let st = s
+            .submit(t, req(1, IoKind::Write, 0, 8 * KIB, Priority::Normal))
+            .unwrap();
+        s.submit(t, req(2, IoKind::Read, 0, 8 * KIB, Priority::Normal));
+        let (_, next) = s.on_complete(st.completes_at);
+        s.on_complete(next.unwrap().completes_at);
+        let stats = s.stats();
+        assert_eq!(stats.ops, 2);
+        assert_eq!(stats.bytes_written, 8 * KIB);
+        assert_eq!(stats.bytes_read, 8 * KIB);
+        assert!(stats.busy > SimDuration::ZERO);
+        assert_eq!(stats.max_depth, 2);
+    }
+
+    #[test]
+    fn delete_and_discard() {
+        let mut s = hdd_server(StoreMode::Functional);
+        let t = SimTime::ZERO;
+        let mut w = req(1, IoKind::Write, 0, 4, Priority::Normal);
+        w.data = Some(vec![7; 4]);
+        let st = s.submit(t, w).unwrap();
+        s.on_complete(st.completes_at);
+        assert_eq!(s.stored_bytes(), 4);
+        s.discard_range(FileId(0), 0, 2);
+        assert_eq!(s.stored_bytes(), 2);
+        s.delete_file(FileId(0));
+        assert_eq!(s.stored_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sub-request in service")]
+    fn on_complete_without_service_panics() {
+        hdd_server(StoreMode::Timing).on_complete(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,88 @@
+//! Device parameter sets modelled on the paper's testbed (§V.A).
+//!
+//! The experiments in the paper ran on a 65-node SUN Fire cluster whose file
+//! servers used SEAGATE ST32502NSSUN250G hard drives, with eight nodes
+//! carrying OCZ RevoDrive X2 PCI-E SSDs, all on Gigabit Ethernet. The presets
+//! below are *effective* service parameters for those devices as seen through
+//! a parallel-file-system server (request-level, including controller and
+//! software overheads), chosen so that the relative behaviours the paper
+//! depends on hold:
+//!
+//! * HDD sequential streams at ~100 MB/s but collapses to positioning-
+//!   dominated latency (~10 ms/op) under random access;
+//! * the SSD is insensitive to randomness, reads faster than it writes, and
+//!   its *effective per-byte cost under small parallel-file-system requests*
+//!   is higher than raw datasheet bandwidth (an entry-level drive behind
+//!   synchronous PVFS2-style servers), which is what makes large requests
+//!   favour the wider HDD array — the selectivity at the heart of the paper.
+
+use crate::hdd::HddConfig;
+use crate::seek::SeekProfile;
+use crate::ssd::SsdConfig;
+
+const GIB: u64 = 1024 * 1024 * 1024;
+
+/// SEAGATE ST32502NSSUN250G: 250 GB, 7200 rpm, ~100 MB/s sequential.
+///
+/// Seek curve: 0.8 ms track-to-track to 9 ms full stroke over 250 GB,
+/// using the analytic two-regime fit (see [`SeekProfile::analytic`]).
+pub fn hdd_seagate_st3250() -> HddConfig {
+    let seek = SeekProfile::analytic(0.8e-3, 9.0e-3, 250 * GIB);
+    HddConfig::new(7_200, 105.0e6, 250 * GIB, seek)
+        .with_stream_window(1024 * 1024)
+        .with_max_streams(64)
+}
+
+/// OCZ RevoDrive X2 (100 GB, PCI-E x4), as an *effective* PFS-server device.
+///
+/// Effective sustained rates under parallel-file-system server traffic:
+/// 200 MB/s reads, 150 MB/s writes, 100 µs per-operation latency — well
+/// below the drive's datasheet burst numbers (the paper itself calls it
+/// "an entry-level SSD", and PVFS2 server software sits in the path;
+/// the Gigabit link in front of each server caps transfers anyway), but
+/// fast enough that four of them absorb the random fraction of a
+/// 32-process workload with headroom for the Rebuilder's flush reads.
+pub fn ssd_ocz_revodrive_x2() -> SsdConfig {
+    SsdConfig::new(200.0e6, 150.0e6, 100.0e-6, 100 * GIB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::IoKind;
+
+    #[test]
+    fn hdd_preset_matches_paper_era_drive() {
+        let c = hdd_seagate_st3250();
+        assert_eq!(c.capacity(), 250 * GIB);
+        assert!((c.transfer_rate() - 105.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn ssd_preset_is_read_biased_and_random_friendly() {
+        let c = ssd_ocz_revodrive_x2();
+        assert!(c.beta_secs_per_byte(IoKind::Read) < c.beta_secs_per_byte(IoKind::Write));
+        assert_eq!(c.capacity(), 100 * GIB);
+        assert!(c.op_latency_secs() < 1e-3);
+    }
+
+    /// The calibration the experiments rely on: a single SSD server must beat
+    /// a single HDD server by well over an order of magnitude on small random
+    /// accesses, while N=4 SSD servers must NOT beat M=8 HDD servers on
+    /// large streaming transfers.
+    #[test]
+    fn selectivity_calibration_holds() {
+        let hdd = hdd_seagate_st3250();
+        let ssd = ssd_ocz_revodrive_x2();
+        // Small random: HDD ~ positioning (avg rotation + typical seek),
+        // SSD ~ latency + transfer.
+        let hdd_small = hdd.avg_rotation_secs() + hdd.max_seek_secs() / 2.0
+            + 16_384.0 * hdd.beta_secs_per_byte();
+        let ssd_small = ssd.op_latency_secs() + 16_384.0 * ssd.beta_secs_per_byte(IoKind::Write);
+        assert!(hdd_small > 10.0 * ssd_small, "{hdd_small} vs {ssd_small}");
+        // Large streaming aggregate: 8 HDD vs 4 SSD (writes).
+        let hdd_agg = 8.0 * hdd.transfer_rate();
+        let ssd_agg = 4.0 / ssd.beta_secs_per_byte(IoKind::Write);
+        assert!(hdd_agg > ssd_agg, "{hdd_agg} vs {ssd_agg}");
+    }
+}

@@ -1,0 +1,435 @@
+//! Sparse extent byte store.
+//!
+//! File servers in the simulation hold their data in an [`ExtentStore`]: a
+//! map of non-overlapping written extents. Two modes exist because the
+//! paper-scale experiments move tens of gigabytes — far more than we want
+//! resident:
+//!
+//! * [`StoreMode::Functional`] keeps the actual bytes, so integration tests
+//!   can verify end-to-end data integrity through cache redirection,
+//!   eviction, and flushing;
+//! * [`StoreMode::Timing`] keeps only extent metadata (what has been
+//!   written), which is all the throughput experiments need.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a store retains data bytes or only extent metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StoreMode {
+    /// Retain actual bytes; reads return data.
+    Functional,
+    /// Retain only which ranges were written; reads return no data.
+    Timing,
+}
+
+#[derive(Debug, Clone)]
+struct Extent {
+    len: u64,
+    /// Present exactly when the store is functional.
+    data: Option<Vec<u8>>,
+}
+
+/// Outcome of a read against an [`ExtentStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The bytes read, zero-filled over unwritten holes. `None` in timing
+    /// mode.
+    pub data: Option<Vec<u8>>,
+    /// How many of the requested bytes fell inside written extents.
+    pub covered_bytes: u64,
+}
+
+impl ReadOutcome {
+    /// True if every requested byte had been written before.
+    pub fn fully_covered(&self, len: u64) -> bool {
+        self.covered_bytes == len
+    }
+}
+
+/// A sparse store of written extents, optionally holding the bytes.
+///
+/// ```
+/// use s4d_storage::{ExtentStore, StoreMode};
+/// let mut s = ExtentStore::new(StoreMode::Functional);
+/// s.write(10, 4, Some(b"abcd"));
+/// let r = s.read(8, 8);
+/// assert_eq!(r.data.as_deref(), Some(&[0, 0, b'a', b'b', b'c', b'd', 0, 0][..]));
+/// assert_eq!(r.covered_bytes, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExtentStore {
+    mode: StoreMode,
+    /// Non-overlapping extents keyed by start offset.
+    extents: BTreeMap<u64, Extent>,
+    written: u64,
+}
+
+impl ExtentStore {
+    /// Creates an empty store in the given mode.
+    pub fn new(mode: StoreMode) -> Self {
+        ExtentStore {
+            mode,
+            extents: BTreeMap::new(),
+            written: 0,
+        }
+    }
+
+    /// The store's mode.
+    pub fn mode(&self) -> StoreMode {
+        self.mode
+    }
+
+    /// Total bytes currently covered by written extents.
+    pub fn written_bytes(&self) -> u64 {
+        self.written
+    }
+
+    /// Number of distinct extents (after coalescing).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Writes `len` bytes at `offset`.
+    ///
+    /// In functional mode `data` must be `Some` with exactly `len` bytes; in
+    /// timing mode `data` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics in functional mode if `data` is missing or of the wrong
+    /// length, or if `offset + len` overflows.
+    pub fn write(&mut self, offset: u64, len: u64, data: Option<&[u8]>) {
+        if len == 0 {
+            return;
+        }
+        let end = offset.checked_add(len).expect("extent end overflows u64");
+        let keep = match self.mode {
+            StoreMode::Functional => {
+                let d = data.expect("functional store requires data bytes");
+                assert!(
+                    d.len() as u64 == len,
+                    "data length {} != extent length {len}",
+                    d.len()
+                );
+                Some(d.to_vec())
+            }
+            StoreMode::Timing => None,
+        };
+        self.remove_range(offset, end);
+        self.insert_coalescing(offset, Extent { len, data: keep });
+    }
+
+    /// Reads `len` bytes at `offset`.
+    pub fn read(&self, offset: u64, len: u64) -> ReadOutcome {
+        let mut covered = 0u64;
+        let mut data = match self.mode {
+            StoreMode::Functional => Some(vec![0u8; len as usize]),
+            StoreMode::Timing => None,
+        };
+        if len == 0 {
+            return ReadOutcome {
+                data,
+                covered_bytes: 0,
+            };
+        }
+        let end = offset.saturating_add(len);
+        for (&start, ext) in self.overlapping(offset, end) {
+            let ext_end = start + ext.len;
+            let lo = start.max(offset);
+            let hi = ext_end.min(end);
+            covered += hi - lo;
+            if let (Some(buf), Some(src)) = (data.as_mut(), ext.data.as_ref()) {
+                let dst_at = (lo - offset) as usize;
+                let src_at = (lo - start) as usize;
+                let n = (hi - lo) as usize;
+                buf[dst_at..dst_at + n].copy_from_slice(&src[src_at..src_at + n]);
+            }
+        }
+        ReadOutcome {
+            data,
+            covered_bytes: covered,
+        }
+    }
+
+    /// True if every byte of `[offset, offset+len)` has been written.
+    pub fn covers(&self, offset: u64, len: u64) -> bool {
+        self.read_covered(offset, len) == len
+    }
+
+    /// Number of bytes of `[offset, offset+len)` inside written extents.
+    pub fn read_covered(&self, offset: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let end = offset.saturating_add(len);
+        self.overlapping(offset, end)
+            .map(|(&start, ext)| {
+                let ext_end = start + ext.len;
+                ext_end.min(end) - start.max(offset)
+            })
+            .sum()
+    }
+
+    /// Removes all extents (or parts of extents) in `[offset, offset+len)`.
+    pub fn discard(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = offset.checked_add(len).expect("extent end overflows u64");
+        self.remove_range(offset, end);
+    }
+
+    /// Clears the entire store.
+    pub fn clear(&mut self) {
+        self.extents.clear();
+        self.written = 0;
+    }
+
+    /// Iterator over extents intersecting `[lo, hi)`.
+    fn overlapping(&self, lo: u64, hi: u64) -> impl Iterator<Item = (&u64, &Extent)> {
+        // The first candidate may start before `lo` and still overlap.
+        let first = self
+            .extents
+            .range(..=lo)
+            .next_back()
+            .filter(|(&s, e)| s + e.len > lo)
+            .map(|(s, _)| *s);
+        let lower = first.unwrap_or(lo);
+        self.extents
+            .range(lower..hi)
+            .filter(move |(&s, e)| s < hi && s + e.len > lo)
+    }
+
+    /// Cuts `[lo, hi)` out of the extent map, splitting boundary extents.
+    fn remove_range(&mut self, lo: u64, hi: u64) {
+        let keys: Vec<u64> = self.overlapping(lo, hi).map(|(&s, _)| s).collect();
+        for start in keys {
+            let ext = self.extents.remove(&start).expect("key just observed");
+            let end = start + ext.len;
+            self.written -= ext.len;
+            if start < lo {
+                // Left remainder survives.
+                let keep = lo - start;
+                let data = ext.data.as_ref().map(|d| d[..keep as usize].to_vec());
+                self.written += keep;
+                self.extents.insert(start, Extent { len: keep, data });
+            }
+            if end > hi {
+                // Right remainder survives.
+                let keep = end - hi;
+                let data = ext
+                    .data
+                    .as_ref()
+                    .map(|d| d[(hi - start) as usize..].to_vec());
+                self.written += keep;
+                self.extents.insert(hi, Extent { len: keep, data });
+            }
+        }
+    }
+
+    /// Inserts a fresh extent, merging with direct neighbours when adjacent.
+    fn insert_coalescing(&mut self, start: u64, ext: Extent) {
+        self.written += ext.len;
+        self.extents.insert(start, ext);
+        self.coalesce_around(start);
+    }
+
+    /// Coalesces the extent at `start` with adjacent neighbours.
+    fn coalesce_around(&mut self, start: u64) {
+        // Merge right neighbour while exactly adjacent.
+        loop {
+            let (s, len) = match self.extents.get(&start) {
+                Some(e) => (start, e.len),
+                None => return,
+            };
+            let next = self
+                .extents
+                .range(s + 1..)
+                .next()
+                .map(|(&ns, ne)| (ns, ne.len));
+            match next {
+                Some((ns, _)) if ns == s + len => {
+                    let right = self.extents.remove(&ns).expect("key just observed");
+                    let left = self.extents.get_mut(&s).expect("key just observed");
+                    if let (Some(ld), Some(rd)) = (left.data.as_mut(), right.data.as_ref()) {
+                        ld.extend_from_slice(rd);
+                    }
+                    left.len += right.len;
+                }
+                _ => break,
+            }
+        }
+        // Merge with left neighbour if exactly adjacent.
+        if let Some((&ls, le)) = self.extents.range(..start).next_back() {
+            if ls + le.len == start {
+                let cur = self.extents.remove(&start).expect("key just observed");
+                let left = self.extents.get_mut(&ls).expect("key just observed");
+                if let (Some(ld), Some(cd)) = (left.data.as_mut(), cur.data.as_ref()) {
+                    ld.extend_from_slice(cd);
+                }
+                left.len += cur.len;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_functional() {
+        let mut s = ExtentStore::new(StoreMode::Functional);
+        s.write(100, 5, Some(b"hello"));
+        let r = s.read(100, 5);
+        assert_eq!(r.data.as_deref(), Some(&b"hello"[..]));
+        assert!(r.fully_covered(5));
+        assert_eq!(s.written_bytes(), 5);
+    }
+
+    #[test]
+    fn holes_read_as_zeroes() {
+        let mut s = ExtentStore::new(StoreMode::Functional);
+        s.write(10, 2, Some(b"ab"));
+        let r = s.read(8, 6);
+        assert_eq!(r.data.as_deref(), Some(&[0, 0, b'a', b'b', 0, 0][..]));
+        assert_eq!(r.covered_bytes, 2);
+        assert!(!r.fully_covered(6));
+    }
+
+    #[test]
+    fn overwrite_replaces_overlap() {
+        let mut s = ExtentStore::new(StoreMode::Functional);
+        s.write(0, 8, Some(b"AAAAAAAA"));
+        s.write(2, 4, Some(b"bbbb"));
+        let r = s.read(0, 8);
+        assert_eq!(r.data.as_deref(), Some(&b"AAbbbbAA"[..]));
+        assert_eq!(s.written_bytes(), 8);
+    }
+
+    #[test]
+    fn adjacent_writes_coalesce() {
+        let mut s = ExtentStore::new(StoreMode::Functional);
+        s.write(0, 4, Some(b"aaaa"));
+        s.write(4, 4, Some(b"bbbb"));
+        s.write(8, 4, Some(b"cccc"));
+        assert_eq!(s.extent_count(), 1);
+        assert_eq!(s.read(0, 12).data.as_deref(), Some(&b"aaaabbbbcccc"[..]));
+    }
+
+    #[test]
+    fn coalesce_left_then_right_bridging() {
+        let mut s = ExtentStore::new(StoreMode::Functional);
+        s.write(0, 4, Some(b"aaaa"));
+        s.write(8, 4, Some(b"cccc"));
+        assert_eq!(s.extent_count(), 2);
+        s.write(4, 4, Some(b"bbbb")); // bridges both neighbours
+        assert_eq!(s.extent_count(), 1);
+        assert_eq!(s.read(0, 12).data.as_deref(), Some(&b"aaaabbbbcccc"[..]));
+    }
+
+    #[test]
+    fn discard_splits_extents() {
+        let mut s = ExtentStore::new(StoreMode::Functional);
+        s.write(0, 10, Some(b"0123456789"));
+        s.discard(3, 4);
+        assert_eq!(s.written_bytes(), 6);
+        assert_eq!(s.extent_count(), 2);
+        let r = s.read(0, 10);
+        assert_eq!(
+            r.data.as_deref(),
+            Some(&[b'0', b'1', b'2', 0, 0, 0, 0, b'7', b'8', b'9'][..])
+        );
+        assert!(s.covers(0, 3));
+        assert!(!s.covers(2, 3));
+        assert!(s.covers(7, 3));
+    }
+
+    #[test]
+    fn timing_mode_tracks_coverage_without_bytes() {
+        let mut s = ExtentStore::new(StoreMode::Timing);
+        s.write(0, 1024, None);
+        s.write(2048, 1024, None);
+        let r = s.read(0, 4096);
+        assert_eq!(r.data, None);
+        assert_eq!(r.covered_bytes, 2048);
+        assert_eq!(s.read_covered(512, 2048), 1024);
+        assert_eq!(s.written_bytes(), 2048);
+    }
+
+    #[test]
+    fn zero_length_ops_are_noops() {
+        let mut s = ExtentStore::new(StoreMode::Functional);
+        s.write(5, 0, Some(b""));
+        assert_eq!(s.written_bytes(), 0);
+        let r = s.read(5, 0);
+        assert_eq!(r.covered_bytes, 0);
+        s.discard(5, 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = ExtentStore::new(StoreMode::Timing);
+        s.write(0, 100, None);
+        s.clear();
+        assert_eq!(s.written_bytes(), 0);
+        assert_eq!(s.extent_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "functional store requires data")]
+    fn functional_write_requires_data() {
+        ExtentStore::new(StoreMode::Functional).write(0, 4, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn functional_write_checks_length() {
+        ExtentStore::new(StoreMode::Functional).write(0, 4, Some(b"xy"));
+    }
+
+    // Model-based property test: the extent store must agree with a plain
+    // byte array on every read, and written_bytes must equal the count of
+    // written positions.
+    proptest! {
+        #[test]
+        fn prop_matches_naive_model(
+            ops in proptest::collection::vec(
+                (0u64..256, 1u64..64, any::<u8>(), any::<bool>()),
+                1..60
+            )
+        ) {
+            const N: usize = 512;
+            let mut model: Vec<Option<u8>> = vec![None; N];
+            let mut store = ExtentStore::new(StoreMode::Functional);
+            for (off, len, byte, is_discard) in ops {
+                let len = len.min(N as u64 - off);
+                if len == 0 { continue; }
+                if is_discard {
+                    store.discard(off, len);
+                    for i in off..off + len {
+                        model[i as usize] = None;
+                    }
+                } else {
+                    let data = vec![byte; len as usize];
+                    store.write(off, len, Some(&data));
+                    for i in off..off + len {
+                        model[i as usize] = Some(byte);
+                    }
+                }
+            }
+            // Full-range read agrees with the model.
+            let r = store.read(0, N as u64);
+            let got = r.data.unwrap();
+            for i in 0..N {
+                prop_assert_eq!(got[i], model[i].unwrap_or(0), "mismatch at {}", i);
+            }
+            let written = model.iter().filter(|b| b.is_some()).count() as u64;
+            prop_assert_eq!(r.covered_bytes, written);
+            prop_assert_eq!(store.written_bytes(), written);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Sequential composition of process scripts.
+
+use s4d_mpiio::{AppOp, ProcessScript};
+
+/// Runs several scripts one after another, with a global barrier between
+/// consecutive scripts so every process finishes instance `i` before any
+/// starts instance `i+1` — the paper's "10 instances of IOR are created
+/// one by one" (§V.B).
+pub struct ChainScript {
+    parts: Vec<Box<dyn ProcessScript>>,
+    current: usize,
+    pending_barrier: bool,
+}
+
+impl ChainScript {
+    /// Chains the given scripts in order.
+    pub fn new(parts: Vec<Box<dyn ProcessScript>>) -> Self {
+        ChainScript {
+            parts,
+            current: 0,
+            pending_barrier: false,
+        }
+    }
+}
+
+impl ProcessScript for ChainScript {
+    fn next_op(&mut self) -> Option<AppOp> {
+        loop {
+            if self.pending_barrier {
+                self.pending_barrier = false;
+                return Some(AppOp::Barrier);
+            }
+            let part = self.parts.get_mut(self.current)?;
+            match part.next_op() {
+                Some(op) => return Some(op),
+                None => {
+                    self.current += 1;
+                    if self.current < self.parts.len() {
+                        self.pending_barrier = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ChainScript {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainScript")
+            .field("parts", &self.parts.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4d_mpiio::script;
+
+    #[test]
+    fn chains_with_barriers_between() {
+        let mut c = ChainScript::new(vec![
+            Box::new(script().open("a").build()),
+            Box::new(script().open("b").build()),
+            Box::new(script().open("c").build()),
+        ]);
+        let mut kinds = Vec::new();
+        while let Some(op) = c.next_op() {
+            kinds.push(match op {
+                AppOp::Open { name } => name,
+                AppOp::Barrier => "|".into(),
+                other => panic!("unexpected {other:?}"),
+            });
+        }
+        assert_eq!(kinds, vec!["a", "|", "b", "|", "c"]);
+    }
+
+    #[test]
+    fn empty_chain_is_empty() {
+        let mut c = ChainScript::new(Vec::new());
+        assert!(c.next_op().is_none());
+        assert!(format!("{c:?}").contains("ChainScript"));
+    }
+
+    #[test]
+    fn empty_parts_are_skipped() {
+        let mut c = ChainScript::new(vec![
+            Box::new(script().build()),
+            Box::new(script().open("x").build()),
+        ]);
+        // Leading empty script: a barrier then "x".
+        assert!(matches!(c.next_op(), Some(AppOp::Barrier)));
+        assert!(matches!(c.next_op(), Some(AppOp::Open { .. })));
+        assert!(c.next_op().is_none());
+    }
+}

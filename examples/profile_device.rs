@@ -1,0 +1,52 @@
+//! Offline seek-curve profiling — the methodology behind the cost model's
+//! `F(d)` function (paper §III.B, following its reference [28]).
+//!
+//! Probes a drive at logarithmically spaced distances, strips the
+//! rotational component, fits the two-regime seek curve by least squares,
+//! and compares the fit against the drive's ground truth.
+//!
+//! ```text
+//! cargo run --release --example profile_device
+//! ```
+
+use s4d::sim::SimRng;
+use s4d::storage::{presets, profile};
+
+fn main() {
+    let config = presets::hdd_seagate_st3250();
+    let mut rng = SimRng::seed(2014);
+
+    println!("probing SEAGATE ST32502NS model (96 samples per distance)...");
+    let samples = profile::collect_seek_samples(&config, 96, &mut rng);
+    println!("{} distances probed:", samples.len());
+    for s in samples.iter().step_by(4) {
+        println!(
+            "  d = {:>12} bytes   seek ≈ {:6.2} ms",
+            s.distance,
+            s.seek_secs * 1e3
+        );
+    }
+
+    let fitted = profile::fit_seek_profile(&samples).expect("fit succeeds");
+    let truth = config.seek_profile();
+    println!("\nfitted vs ground-truth curve:");
+    println!("{:>14}  {:>10}  {:>10}  {:>7}", "distance", "truth ms", "fitted ms", "error");
+    for exp in [16u64, 20, 24, 28, 32, 36, 37] {
+        let d = 1u64 << exp;
+        let t = truth.seek_secs(d) * 1e3;
+        let f = fitted.seek_secs(d) * 1e3;
+        println!(
+            "{:>14}  {:>10.3}  {:>10.3}  {:>6.1}%",
+            format!("2^{exp}"),
+            t,
+            f,
+            if t > 0.0 { (f - t) / t * 100.0 } else { 0.0 }
+        );
+    }
+    println!(
+        "\nfull-stroke cap: truth {:.2} ms, fitted {:.2} ms",
+        truth.max_seek_secs() * 1e3,
+        fitted.max_seek_secs() * 1e3
+    );
+    println!("this fitted curve is exactly what CostParams uses as F(d).");
+}

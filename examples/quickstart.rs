@@ -1,0 +1,60 @@
+//! Quickstart: run the same random-I/O workload over the stock parallel
+//! file system and over S4D-Cache, and compare throughput.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use s4d::bench::{run_s4d, run_stock, testbed};
+use s4d::cache::S4dConfig;
+use s4d::workloads::{AccessPattern, IorConfig};
+
+fn main() {
+    // The paper's testbed: 8 HDD DServers + 4 SSD CServers, 64 KiB stripes.
+    let tb = testbed(42);
+
+    // A small random IOR workload: 16 processes, 16 KiB requests, shared
+    // 256 MiB file — the access pattern parallel file systems hate most.
+    let ior = IorConfig {
+        file_name: "quickstart.dat".into(),
+        file_size: 256 << 20,
+        processes: 16,
+        request_size: 16 * 1024,
+        pattern: AccessPattern::Random,
+        do_write: true,
+        do_read: true,
+        seed: 7,
+    };
+
+    println!("running stock middleware (all I/O to the HDD servers)...");
+    let stock = run_stock(&tb, ior.scripts(), Vec::new());
+
+    println!("running S4D-Cache (cache capacity = 20% of data)...");
+    let s4d = run_s4d(
+        &tb,
+        S4dConfig::new(ior.file_size / 5),
+        ior.scripts(),
+        Vec::new(),
+    );
+
+    println!();
+    println!(
+        "stock: write {:7.1} MiB/s   read {:7.1} MiB/s",
+        stock.write_mibs(),
+        stock.read_mibs()
+    );
+    println!(
+        "s4d:   write {:7.1} MiB/s   read {:7.1} MiB/s",
+        s4d.write_mibs(),
+        s4d.read_mibs()
+    );
+    println!(
+        "write speedup: {:.1}x   requests redirected to CServers: {:.1}%",
+        s4d.write_mibs() / stock.write_mibs(),
+        s4d.report.tiers.cserver_op_share()
+    );
+    println!(
+        "identifier: {} of {} requests classified performance-critical",
+        s4d.metrics.critical, s4d.metrics.evaluated
+    );
+}

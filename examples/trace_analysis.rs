@@ -1,0 +1,79 @@
+//! Tracing and access-pattern analysis (the paper's IOSIG methodology).
+//!
+//! Attaches the `s4d-trace` collector to a mixed campaign run, then
+//! reproduces the kind of analysis behind the paper's Table III: request
+//! distribution over a time window, per-rank sequentiality, mean request
+//! distance, and a per-tier bandwidth timeline.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis
+//! ```
+
+use s4d::bench::{run_s4d, testbed};
+use s4d::cache::S4dConfig;
+use s4d::mpiio::Tier;
+use s4d::sim::{SimDuration, SimTime};
+use s4d::storage::IoKind;
+use s4d::trace::{analysis, TraceCollector};
+use s4d::workloads::campaign::CampaignConfig;
+
+fn main() {
+    let tb = testbed(9);
+    let cfg = CampaignConfig::paper_mix(16, 64 << 20, 16 * 1024);
+    let capacity = cfg.total_data_bytes() / 5;
+
+    let (collector, handle) = TraceCollector::new();
+    let out = run_s4d(
+        &tb,
+        S4dConfig::new(capacity),
+        cfg.scripts(),
+        vec![Box::new(collector)],
+    );
+    let records = handle.snapshot();
+    println!(
+        "traced {} dispatched requests over {:.1} simulated seconds",
+        records.len(),
+        out.report.end_time.as_secs_f64()
+    );
+
+    // Table-III-style distribution over the middle of the run.
+    let end = out.report.end_time.as_nanos();
+    let window = (
+        SimTime::from_nanos(end / 2),
+        SimTime::from_nanos(end / 2 + end / 10),
+    );
+    let writes = analysis::tier_distribution(&records, Some(window), Some(IoKind::Write));
+    println!(
+        "write distribution in mid-run window: DServers {:.1}% / CServers {:.1}%",
+        writes.d_percent(),
+        writes.c_percent()
+    );
+
+    println!(
+        "per-rank sequentiality: {:.1}% of requests continue the previous one",
+        analysis::sequentiality(&records) * 100.0
+    );
+    println!(
+        "mean logical distance between consecutive requests: {:.1} MiB",
+        analysis::mean_distance(&records) / (1 << 20) as f64
+    );
+
+    // A bandwidth timeline per tier (1-second windows).
+    println!("\nper-tier dispatch bandwidth (MiB/s per 1s window):");
+    let d = analysis::bandwidth_series(&records, SimDuration::from_secs(1), Tier::DServers);
+    let c = analysis::bandwidth_series(&records, SimDuration::from_secs(1), Tier::CServers);
+    for (i, (t, d_mibs)) in d.iter_mibs().enumerate().take(12) {
+        let c_mibs = c
+            .iter_mibs()
+            .nth(i)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0);
+        println!("  t={:>5.1}s  D {:8.1}  C {:8.1}", t.as_secs_f64(), d_mibs, c_mibs);
+    }
+
+    // First few CSV rows, as IOSIG would export them.
+    println!("\ntrace CSV head:");
+    for line in handle.to_csv().lines().take(5) {
+        println!("  {line}");
+    }
+}

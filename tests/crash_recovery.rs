@@ -1,0 +1,189 @@
+//! Crash recovery: the paper persists DMT changes synchronously "to
+//! survive power failures" (§III.D). These tests crash the middleware at
+//! arbitrary points and rebuild it from the journal record stream,
+//! verifying that the mapping, the space accounting, and — in functional
+//! mode — every cached byte survive.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use s4d::bench::testbed;
+use s4d::cache::{journal, S4dCache, S4dConfig};
+use s4d::mpiio::{script, Cluster, IoObserver, Rank, Runner};
+use s4d::workloads::{AccessPattern, IorConfig};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+fn recovery_config(capacity: u64) -> S4dConfig {
+    S4dConfig::new(capacity)
+        .with_journal_log(true)
+        .with_journal_batch(1)
+}
+
+#[test]
+fn journal_encodes_and_replays_a_real_run() {
+    let tb = testbed(21);
+    let cfg = IorConfig {
+        file_name: "crash.dat".into(),
+        file_size: 8 * MIB,
+        processes: 4,
+        request_size: 16 * KIB,
+        pattern: AccessPattern::Random,
+        do_write: true,
+        do_read: true,
+        seed: 21,
+    };
+    let middleware = S4dCache::new(recovery_config(4 * MIB), tb.cost_params());
+    let mut runner = Runner::new(tb.cluster(), middleware, cfg.scripts(), 21);
+    runner.run();
+    let (_cluster, mut mw, _report) = runner.into_parts();
+    // Clean shutdown: commit the final record batch, so recovery is exact.
+    mw.sync_journal_log();
+
+    // Round-trip the log through the on-disk encoding, as a real journal
+    // file would store it.
+    let log = mw.journal_log();
+    assert!(!log.is_empty(), "a caching run must have journaled");
+    let bytes = journal::encode_batch(log);
+    let decoded = journal::decode_batch(&bytes).expect("journal decodes");
+    assert_eq!(decoded.len(), log.len());
+
+    // Recover and compare the mapping tables.
+    let recovered = S4dCache::recover(recovery_config(4 * MIB), tb.cost_params(), &decoded);
+    assert_eq!(recovered.dmt().mapped_bytes(), mw.dmt().mapped_bytes());
+    assert_eq!(recovered.dmt().entry_count(), mw.dmt().entry_count());
+    assert_eq!(recovered.dmt().dirty_bytes(), mw.dmt().dirty_bytes());
+    assert_eq!(recovered.space().allocated(), mw.space().allocated());
+    // Byte-level agreement over the whole file.
+    for off in (0..8 * MIB).step_by(1 << 20) {
+        assert_eq!(
+            recovered.dmt().view(pfs_file(&mw), off, 1 << 20),
+            mw.dmt().view(pfs_file(&mw), off, 1 << 20),
+            "coverage diverged at offset {off}"
+        );
+    }
+}
+
+/// The original-file id of the single file these tests use (opfs assigns 0
+/// to the first created file).
+fn pfs_file(_mw: &S4dCache) -> s4d::pfs::FileId {
+    s4d::pfs::FileId(0)
+}
+
+#[test]
+fn cached_bytes_survive_a_crash() {
+    // Functional cluster: write pattern data through S4D, crash before any
+    // flush completes, recover, and read everything back through the
+    // recovered middleware — cached bytes must come back from the cache
+    // file exactly.
+    struct Capture(Rc<RefCell<Vec<Vec<u8>>>>);
+    impl IoObserver for Capture {
+        fn on_read_data(&mut self, _r: Rank, _o: u64, _l: u64, data: Option<&[u8]>) {
+            self.0.borrow_mut().push(data.expect("functional").to_vec());
+        }
+    }
+
+    // Rebuilder disabled (no flush candidates accepted), so the crash
+    // catches the cache fully dirty.
+    let mut config = recovery_config(64 * MIB);
+    config.max_flush_per_wake = 0;
+
+    let payloads: Vec<(u64, Vec<u8>)> = (0..24u64)
+        .map(|i| {
+            let offset = (i * 104729 % 96) * 16 * KIB;
+            let data: Vec<u8> = (0..16 * KIB).map(|j| ((i * 97 + j) % 251) as u8).collect();
+            (offset, data)
+        })
+        .collect();
+    // Deduplicate by offset, keeping the last write.
+    let mut finals: Vec<(u64, Vec<u8>)> = Vec::new();
+    for (off, data) in &payloads {
+        finals.retain(|(o, _)| o != off);
+        finals.push((*off, data.clone()));
+    }
+    finals.sort_by_key(|(o, _)| *o);
+
+    let mut writer = script().open("crash2.dat");
+    for (off, data) in &payloads {
+        writer = writer.write_bytes(0, *off, data.clone());
+    }
+    let cluster = Cluster::paper_testbed_small(22);
+    let middleware = S4dCache::new(config.clone(), tb_params_small());
+    let mut runner = Runner::new(cluster, middleware, vec![writer.build()], 22);
+    let report = runner.run();
+    assert!(report.tiers.c_ops > 0, "writes must have been cached");
+    let (cluster, mw, _) = runner.into_parts();
+    assert!(mw.dmt().dirty_bytes() > 0, "crash catches dirty data");
+    let log = mw.journal_log().to_vec();
+    drop(mw); // the crash
+
+    // Recovery: same cluster (CServer contents are persistent SSD state),
+    // fresh middleware from the journal.
+    let recovered = S4dCache::recover(config, tb_params_small(), &log);
+    assert!(recovered.dmt().dirty_bytes() > 0, "dirtiness survives");
+
+    let mut reader = script().open("crash2.dat");
+    for (off, _) in &finals {
+        reader = reader.read(0, *off, 16 * KIB);
+    }
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let mut runner = Runner::new(cluster, recovered, vec![reader.close(0).build()], 23);
+    runner.add_observer(Box::new(Capture(got.clone())));
+    let report = runner.run();
+    assert!(
+        report.tiers.c_ops > 0,
+        "recovered mapping must route reads back to the cache"
+    );
+    let got = got.borrow();
+    assert_eq!(got.len(), finals.len());
+    for (i, (off, expect)) in finals.iter().enumerate() {
+        assert_eq!(&got[i], expect, "data loss after recovery at offset {off}");
+    }
+}
+
+fn tb_params_small() -> s4d::cost::CostParams {
+    use s4d::storage::presets;
+    s4d::cost::CostParams::from_hardware(
+        &presets::hdd_seagate_st3250(),
+        &presets::ssd_ocz_revodrive_x2(),
+        2,
+        1,
+        64 * KIB,
+    )
+    .with_network_bandwidth(117.0e6)
+    .with_cserver_op_overhead(300.0e-6, 16 * KIB)
+}
+
+#[test]
+fn recovery_at_every_prefix_is_sound() {
+    // Chaos variant: recovering from ANY journal prefix must yield a DMT
+    // whose extents never overlap and whose space accounting is
+    // consistent — a crash can land between any two records.
+    let tb = testbed(24);
+    let cfg = IorConfig {
+        file_name: "prefix.dat".into(),
+        file_size: 4 * MIB,
+        processes: 2,
+        request_size: 16 * KIB,
+        pattern: AccessPattern::Random,
+        do_write: true,
+        do_read: true,
+        seed: 24,
+    };
+    let middleware = S4dCache::new(recovery_config(MIB), tb.cost_params());
+    let mut runner = Runner::new(tb.cluster(), middleware, cfg.scripts(), 24);
+    runner.run();
+    let (_c, mw, _r) = runner.into_parts();
+    let log = mw.journal_log();
+    assert!(log.len() > 50);
+    // Check a sweep of prefixes (every 7th to keep the test fast).
+    for cut in (0..=log.len()).step_by(7) {
+        let recovered = S4dCache::recover(recovery_config(MIB), tb.cost_params(), &log[..cut]);
+        // mapped bytes equal the sum over extents, and fit the capacity.
+        let sum: u64 = recovered.dmt().iter_extents().map(|(_, _, e)| e.len).sum();
+        assert_eq!(sum, recovered.dmt().mapped_bytes(), "prefix {cut}");
+        assert!(recovered.space().allocated() <= recovered.space().capacity());
+        assert_eq!(recovered.space().allocated(), sum);
+    }
+}

@@ -1,0 +1,190 @@
+//! Failure injection: a degraded file server must slow the system down but
+//! never corrupt it, and S4D-Cache's behaviour under device degradation
+//! must stay consistent (the static cost model keeps routing as before —
+//! an explicit limitation worth pinning in a test).
+
+use s4d::bench::testbed;
+use s4d::cache::{S4dCache, S4dConfig};
+use s4d::mpiio::{Cluster, Runner};
+use s4d::pfs::{FileServer, NetworkConfig, Pfs, StripeLayout};
+use s4d::sim::{SimDuration, SimRng};
+use s4d::storage::{presets, Fault, FaultyDevice, StoreMode};
+use s4d::workloads::{AccessPattern, IorConfig};
+
+const MIB: u64 = 1 << 20;
+
+/// Builds the paper testbed but with DServer 0 degraded by `factor` from
+/// its first operation.
+fn cluster_with_degraded_dserver(seed: u64, factor: f64) -> Cluster {
+    let hdd = presets::hdd_seagate_st3250();
+    let ssd = presets::ssd_ocz_revodrive_x2();
+    let net = NetworkConfig::gigabit_ethernet();
+    let mut rng = SimRng::seed(seed);
+    let d_layout = StripeLayout::new(64 * 1024, 8);
+    let servers: Vec<FileServer> = (0..8)
+        .map(|i| {
+            let device: Box<dyn s4d::storage::DeviceModel> = if i == 0 {
+                Box::new(
+                    FaultyDevice::new(Box::new(hdd.clone().build()))
+                        .with_fault(Fault::SlowdownAfter { from_op: 0, factor }),
+                )
+            } else {
+                Box::new(hdd.clone().build())
+            };
+            FaultyServerBuilder {
+                index: i,
+                device,
+                capacity: hdd.capacity(),
+                net,
+            }
+            .build(rng.fork(i as u64))
+        })
+        .collect();
+    let opfs = Pfs::new("opfs", d_layout, servers);
+    let cpfs = Pfs::ssd_cluster(
+        "cpfs",
+        StripeLayout::new(64 * 1024, 4),
+        ssd,
+        net,
+        StoreMode::Timing,
+        seed ^ 0xC,
+    );
+    Cluster::new(opfs, cpfs)
+}
+
+struct FaultyServerBuilder {
+    index: usize,
+    device: Box<dyn s4d::storage::DeviceModel>,
+    capacity: u64,
+    net: NetworkConfig,
+}
+
+impl FaultyServerBuilder {
+    fn build(self, rng: SimRng) -> FileServer {
+        FileServer::new(
+            self.index,
+            self.device,
+            self.capacity,
+            self.net,
+            StoreMode::Timing,
+            None,
+            rng,
+        )
+    }
+}
+
+fn workload() -> Vec<s4d::workloads::IorScript> {
+    IorConfig {
+        file_name: "faulty.dat".into(),
+        file_size: 32 * MIB,
+        processes: 8,
+        request_size: 16 * 1024,
+        pattern: AccessPattern::Sequential,
+        do_write: true,
+        do_read: true,
+        seed: 41,
+    }
+    .scripts()
+}
+
+#[test]
+fn degraded_dserver_slows_stock_throughput() {
+    let tb = testbed(40);
+    let healthy = {
+        let mut r = Runner::new(tb.cluster(), s4d::mpiio::StockMiddleware::new(), workload(), 40);
+        r.run()
+    };
+    let degraded = {
+        let cluster = cluster_with_degraded_dserver(0x54D, 8.0);
+        let mut r = Runner::new(cluster, s4d::mpiio::StockMiddleware::new(), workload(), 40);
+        r.run()
+    };
+    // A striped write hits every server; the slow one is the straggler.
+    assert!(
+        degraded.writes.throughput_mibs() < healthy.writes.throughput_mibs() * 0.7,
+        "degraded {:.1} vs healthy {:.1}",
+        degraded.writes.throughput_mibs(),
+        healthy.writes.throughput_mibs()
+    );
+    // Same work completed either way.
+    assert_eq!(degraded.app_ops(s4d::storage::IoKind::Write), healthy.app_ops(s4d::storage::IoKind::Write));
+}
+
+#[test]
+fn s4d_keeps_functioning_on_degraded_substrate() {
+    // The cost model's F(d)/R/S snapshot no longer matches the degraded
+    // DServer, but the system must stay correct: all requests complete,
+    // capacity invariants hold, and the cache still absorbs critical data.
+    let tb = testbed(42);
+    let cluster = cluster_with_degraded_dserver(0x54E, 6.0);
+    let middleware = S4dCache::new(S4dConfig::new(16 * MIB), tb.cost_params());
+    let mut runner = Runner::new(cluster, middleware, workload(), 42);
+    let report = runner.run();
+    assert_eq!(report.app_ops(s4d::storage::IoKind::Write) as u64, 8 * (32 * MIB / (16 * 1024)) / 8);
+    let (_c, mw, _r) = runner.into_parts();
+    assert!(mw.space().allocated() <= mw.space().capacity());
+    assert!(report.tiers.c_ops > 0, "critical traffic still redirects");
+}
+
+#[test]
+fn stall_window_creates_a_latency_spike_not_corruption() {
+    // Put a long stall window on the degraded server and verify the run
+    // still completes deterministically with the same op counts.
+    let hdd = presets::hdd_seagate_st3250();
+    let net = NetworkConfig::gigabit_ethernet();
+    let mut rng = SimRng::seed(77);
+    let servers: Vec<FileServer> = (0..2)
+        .map(|i| {
+            let device: Box<dyn s4d::storage::DeviceModel> = if i == 0 {
+                Box::new(FaultyDevice::new(Box::new(hdd.clone().build())).with_fault(
+                    Fault::StallWindow {
+                        from_op: 10,
+                        to_op: 20,
+                        extra: SimDuration::from_millis(500),
+                    },
+                ))
+            } else {
+                Box::new(hdd.clone().build())
+            };
+            FileServer::new(
+                i,
+                device,
+                hdd.capacity(),
+                net,
+                StoreMode::Timing,
+                None,
+                rng.fork(i as u64),
+            )
+        })
+        .collect();
+    let opfs = Pfs::new("opfs", StripeLayout::new(64 * 1024, 2), servers);
+    let cpfs = Pfs::ssd_cluster(
+        "cpfs",
+        StripeLayout::new(64 * 1024, 1),
+        presets::ssd_ocz_revodrive_x2(),
+        net,
+        StoreMode::Timing,
+        78,
+    );
+    let scripts = IorConfig {
+        file_name: "stall.dat".into(),
+        file_size: 8 * MIB,
+        processes: 4,
+        request_size: 64 * 1024,
+        pattern: AccessPattern::Sequential,
+        do_write: true,
+        do_read: false,
+        seed: 79,
+    }
+    .scripts();
+    let mut runner = Runner::new(
+        Cluster::new(opfs, cpfs),
+        s4d::mpiio::StockMiddleware::new(),
+        scripts,
+        80,
+    );
+    let report = runner.run();
+    assert_eq!(report.app_ops(s4d::storage::IoKind::Write), 128);
+    // The 10 stalled ops add at least 5 seconds somewhere in the run.
+    assert!(report.end_time.as_secs_f64() > 5.0);
+}
