@@ -133,7 +133,13 @@ fn main() {
         "{}",
         table::render(
             "Ablation — admission policy on a mixed campaign (16 KiB/256 KiB/2 MiB, 32 procs)",
-            &["policy", "write MiB/s", "vs stock", "read MiB/s", "C share %"],
+            &[
+                "policy",
+                "write MiB/s",
+                "vs stock",
+                "read MiB/s",
+                "C share %"
+            ],
             &rows,
         )
     );

@@ -39,7 +39,8 @@ fn main() {
         let (_, first) = campaign_scripts(32, req_kib * 1024, scale);
         let stock_read2 = run_stock_second_read(&tb, first, read_cfg.scripts());
         let (_, first) = campaign_scripts(32, req_kib * 1024, scale);
-        let s4d_read2 = run_s4d_second_read(&tb, S4dConfig::new(capacity), first, read_cfg.scripts());
+        let s4d_read2 =
+            run_s4d_second_read(&tb, S4dConfig::new(capacity), first, read_cfg.scripts());
 
         wrows.push(vec![
             format!("{req_kib} KiB"),

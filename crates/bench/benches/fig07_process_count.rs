@@ -44,15 +44,7 @@ fn main() {
         "{}",
         table::render(
             "Fig. 7 — IOR throughput vs process count (16 KiB requests)",
-            &[
-                "procs",
-                "stock W",
-                "s4d W",
-                "W gain",
-                "stock R",
-                "s4d R",
-                "R gain",
-            ],
+            &["procs", "stock W", "s4d W", "W gain", "stock R", "s4d R", "R gain",],
             &rows,
         )
     );

@@ -37,15 +37,7 @@ fn main() {
         "{}",
         table::render(
             "Fig. 10 — MPI-Tile-IO throughput vs process count (10x10 tiles)",
-            &[
-                "procs",
-                "stock W",
-                "s4d W",
-                "W gain",
-                "stock R",
-                "s4d R",
-                "R gain",
-            ],
+            &["procs", "stock W", "s4d W", "W gain", "stock R", "s4d R", "R gain",],
             &rows,
         )
     );

@@ -41,7 +41,14 @@ fn bench_cdt(c: &mut Criterion) {
 fn bench_dmt(c: &mut Criterion) {
     let mut dmt = Dmt::new();
     for i in 0..100_000u64 {
-        dmt.insert(FileId(i % 16), i * 32768, 16384, FileId(100), i * 16384, false);
+        dmt.insert(
+            FileId(i % 16),
+            i * 32768,
+            16384,
+            FileId(100),
+            i * 16384,
+            false,
+        );
     }
     c.bench_function("dmt_view_100k_extents", |b| {
         b.iter(|| dmt.view(black_box(FileId(5)), black_box(50_000 * 32768), 16384))

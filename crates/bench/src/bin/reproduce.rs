@@ -170,7 +170,11 @@ fn fig6_and_tables(tb: &Testbed, scale: Scale) {
     }
     print!(
         "{}",
-        table::render("Table IV — capacity sweep", &["cap", "MiB/s", "gain"], &rows)
+        table::render(
+            "Table IV — capacity sweep",
+            &["cap", "MiB/s", "gain"],
+            &rows
+        )
     );
 }
 
@@ -195,7 +199,11 @@ fn fig7(tb: &Testbed, scale: Scale) {
     }
     print!(
         "{}",
-        table::render("Fig. 7 — process sweep (writes)", &["procs", "stock", "s4d", "gain"], &rows)
+        table::render(
+            "Fig. 7 — process sweep (writes)",
+            &["procs", "stock", "s4d", "gain"],
+            &rows
+        )
     );
 }
 
@@ -235,7 +243,11 @@ fn fig9(tb: &Testbed, scale: Scale) {
     }
     print!(
         "{}",
-        table::render("Fig. 9 — HPIO spacing", &["spacing", "W gain", "R gain"], &rows)
+        table::render(
+            "Fig. 9 — HPIO spacing",
+            &["spacing", "W gain", "R gain"],
+            &rows
+        )
     );
 }
 
@@ -255,7 +267,11 @@ fn fig10(tb: &Testbed, scale: Scale) {
     }
     print!(
         "{}",
-        table::render("Fig. 10 — Tile-IO procs", &["procs", "W gain", "R gain"], &rows)
+        table::render(
+            "Fig. 10 — Tile-IO procs",
+            &["procs", "W gain", "R gain"],
+            &rows
+        )
     );
 }
 

@@ -236,7 +236,12 @@ pub fn run_stock_second_read(
     first: Vec<impl ProcessScript + 'static>,
     second: Vec<impl ProcessScript + 'static>,
 ) -> ExperimentOutcome {
-    let mut runner = Runner::new(tb.cluster(), s4d_mpiio::StockMiddleware::new(), first, tb.seed);
+    let mut runner = Runner::new(
+        tb.cluster(),
+        s4d_mpiio::StockMiddleware::new(),
+        first,
+        tb.seed,
+    );
     runner.run();
     let (cluster, middleware, _) = runner.into_parts();
     let mut runner = Runner::new(cluster, middleware, second, tb.seed ^ 1);

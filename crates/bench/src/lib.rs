@@ -19,6 +19,5 @@ pub mod table;
 
 pub use experiments::{
     campaign_scripts, run_custom, run_s4d, run_s4d_second_read, run_stock, run_stock_second_read,
-    s4d_middleware,
-    testbed, ExperimentOutcome, Scale, Testbed,
+    s4d_middleware, testbed, ExperimentOutcome, Scale, Testbed,
 };

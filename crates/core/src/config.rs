@@ -67,6 +67,27 @@ pub struct S4dConfig {
     /// only marked in the CDT and the Rebuilder fetches later, keeping read
     /// response time low (§III.E).
     pub eager_read_fetch: bool,
+    /// First retry backoff after a transient CServer error; doubles per
+    /// attempt up to [`S4dConfig::retry_max_delay`].
+    pub retry_base_delay: SimDuration,
+    /// Backoff cap for transient-error retries.
+    pub retry_max_delay: SimDuration,
+    /// Total attempts per sub-request (first try included) before the
+    /// middleware gives up and the request is re-planned.
+    pub retry_max_attempts: u32,
+    /// Consecutive failures that quarantine a CServer.
+    pub quarantine_after: u32,
+    /// How long a quarantined CServer receives no new admissions before
+    /// probation re-admits it.
+    pub quarantine_duration: SimDuration,
+    /// When true, the Rebuilder flushes *all* dirty data (ignoring
+    /// `max_flush_per_wake`) whenever any CServer looks at risk — trades
+    /// background traffic for a smaller data-loss window.
+    pub flush_on_risk: bool,
+    /// Latency-EWMA ratio (observed / predicted `T_C`) above which a
+    /// server counts as at-risk for `flush_on_risk`. Sub-request latency
+    /// includes queueing, so this must sit well above 1.
+    pub degraded_latency_ratio: f64,
 }
 
 impl S4dConfig {
@@ -91,7 +112,53 @@ impl S4dConfig {
             record_journal_log: false,
             persistent_placement: false,
             eager_read_fetch: false,
+            retry_base_delay: SimDuration::from_micros(500),
+            retry_max_delay: SimDuration::from_millis(50),
+            retry_max_attempts: 4,
+            quarantine_after: 3,
+            quarantine_duration: SimDuration::from_secs(10),
+            flush_on_risk: false,
+            degraded_latency_ratio: 8.0,
         }
+    }
+
+    /// Sets the transient-error retry policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0`.
+    pub fn with_retry_policy(
+        mut self,
+        base_delay: SimDuration,
+        max_delay: SimDuration,
+        max_attempts: u32,
+    ) -> Self {
+        assert!(max_attempts > 0, "retry attempts must be positive");
+        self.retry_base_delay = base_delay;
+        self.retry_max_delay = max_delay.max(base_delay);
+        self.retry_max_attempts = max_attempts;
+        self
+    }
+
+    /// Sets the quarantine policy: `after` consecutive failures put a
+    /// CServer out of admission for `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after == 0` or `duration` is zero.
+    pub fn with_quarantine(mut self, after: u32, duration: SimDuration) -> Self {
+        assert!(after > 0, "quarantine threshold must be positive");
+        assert!(!duration.is_zero(), "quarantine duration must be positive");
+        self.quarantine_after = after;
+        self.quarantine_duration = duration;
+        self
+    }
+
+    /// Enables eager flushing of all dirty data while any CServer is at
+    /// risk.
+    pub fn with_flush_on_risk(mut self, on: bool) -> Self {
+        self.flush_on_risk = on;
+        self
     }
 
     /// Enables CARL-style persistent placement (no flushing/eviction).
@@ -186,5 +253,38 @@ mod tests {
     #[should_panic(expected = "cache capacity must be positive")]
     fn rejects_zero_capacity() {
         S4dConfig::new(0);
+    }
+
+    #[test]
+    fn failure_domain_builders() {
+        let c = S4dConfig::new(1)
+            .with_retry_policy(SimDuration::from_millis(1), SimDuration::from_millis(8), 6)
+            .with_quarantine(2, SimDuration::from_secs(30))
+            .with_flush_on_risk(true);
+        assert_eq!(c.retry_base_delay, SimDuration::from_millis(1));
+        assert_eq!(c.retry_max_delay, SimDuration::from_millis(8));
+        assert_eq!(c.retry_max_attempts, 6);
+        assert_eq!(c.quarantine_after, 2);
+        assert_eq!(c.quarantine_duration, SimDuration::from_secs(30));
+        assert!(c.flush_on_risk);
+        // The cap never drops below the base.
+        let c = S4dConfig::new(1).with_retry_policy(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(1),
+            2,
+        );
+        assert_eq!(c.retry_max_delay, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "retry attempts")]
+    fn rejects_zero_attempts() {
+        S4dConfig::new(1).with_retry_policy(SimDuration::ZERO, SimDuration::ZERO, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quarantine threshold")]
+    fn rejects_zero_quarantine_threshold() {
+        S4dConfig::new(1).with_quarantine(0, SimDuration::from_secs(1));
     }
 }

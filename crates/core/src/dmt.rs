@@ -300,11 +300,7 @@ impl Dmt {
     /// Marks the extent at exactly `d_offset` clean, provided its version
     /// still matches (no write raced the flush). Returns whether it did.
     pub fn mark_clean_if(&mut self, file: FileId, d_offset: u64, version: u64) -> bool {
-        let Some(e) = self
-            .files
-            .get_mut(&file)
-            .and_then(|m| m.get_mut(&d_offset))
-        else {
+        let Some(e) = self.files.get_mut(&file).and_then(|m| m.get_mut(&d_offset)) else {
             return false;
         };
         if e.version != version || !e.dirty {
@@ -326,11 +322,7 @@ impl Dmt {
     /// used by journal replay, where the persisted record is authoritative.
     /// Returns whether such an extent existed.
     pub fn force_clean(&mut self, file: FileId, d_offset: u64) -> bool {
-        let Some(e) = self
-            .files
-            .get_mut(&file)
-            .and_then(|m| m.get_mut(&d_offset))
-        else {
+        let Some(e) = self.files.get_mut(&file).and_then(|m| m.get_mut(&d_offset)) else {
             return false;
         };
         if e.dirty {
@@ -617,7 +609,7 @@ mod tests {
         d.insert(F, 0, 10, CF, 0, false); // oldest
         d.insert(F, 100, 10, CF, 10, false);
         d.insert(F, 200, 10, CF, 20, true); // dirty: not evictable
-        // Touch the oldest so the middle becomes LRU.
+                                            // Touch the oldest so the middle becomes LRU.
         d.touch_range(F, 0, 10);
         let victims = d.evict_clean_lru(10);
         assert_eq!(victims.len(), 1);
@@ -637,14 +629,11 @@ mod tests {
         d.insert(F, 0, 10, CF, 0, false);
         d.insert(F, 100, 10, CF, 10, false);
         // Pin the older extent: the newer one must be evicted instead.
-        let victims =
-            d.evict_clean_lru_excluding(5, |_, off, len| off < 10 && off + len > 0);
+        let victims = d.evict_clean_lru_excluding(5, |_, off, len| off < 10 && off + len > 0);
         assert_eq!(victims.len(), 1);
         assert_eq!(victims[0].1, 100);
         // With everything pinned, nothing is evicted.
-        assert!(d
-            .evict_clean_lru_excluding(1000, |_, _, _| true)
-            .is_empty());
+        assert!(d.evict_clean_lru_excluding(1000, |_, _, _| true).is_empty());
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Per-CServer health tracking: failure counting, latency EWMA, and the
+//! quarantine state machine.
+//!
+//! The paper assumes a healthy SSD tier; a real deployment must notice
+//! when a CServer stops being one. The monitor ingests two signals the
+//! middleware already sees for free — I/O errors and per-sub-request
+//! latency versus the cost model's predicted `T_C` — and condenses them
+//! into a per-server answer to one question: *should new work be sent
+//! there?*
+//!
+//! State machine per server:
+//!
+//! ```text
+//!             K consecutive failures / any Offline error
+//!   Healthy ────────────────────────────────────────────▶ Quarantined{until}
+//!      ▲                                                       │
+//!      │ a success during probation                            │ `until` passes
+//!      └──────────────────────────── Probation ◀───────────────┘
+//!            (routing resumes; a failure re-quarantines)
+//! ```
+
+use s4d_sim::SimTime;
+
+/// Exponential-moving-average weight for the latency ratio.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Health of one server.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerHealth {
+    /// Consecutive failed sub-requests (reset on any success).
+    pub consecutive_failures: u32,
+    /// EWMA of observed latency / predicted `T_C` (`None` until the
+    /// first observation). Values well above 1 mean the server is slower
+    /// than the cost model believes — queueing or degradation.
+    pub latency_ratio: Option<f64>,
+    /// End of the current quarantine, if any. Once it passes the server
+    /// is on probation: routing resumes, but the next failure
+    /// re-quarantines immediately.
+    pub quarantined_until: Option<SimTime>,
+    /// Set once a crash's data loss has been applied to the DMT, so a
+    /// single outage is not invalidated twice. Reset on recovery.
+    pub crash_handled: bool,
+}
+
+impl ServerHealth {
+    /// True while the quarantine window covers `now`.
+    pub fn is_quarantined(&self, now: SimTime) -> bool {
+        matches!(self.quarantined_until, Some(until) if now < until)
+    }
+}
+
+/// Health state of every CServer.
+#[derive(Debug, Clone, Default)]
+pub struct HealthMonitor {
+    servers: Vec<ServerHealth>,
+}
+
+impl HealthMonitor {
+    /// A monitor for `n` servers, all healthy.
+    pub fn new(n: usize) -> Self {
+        HealthMonitor {
+            servers: vec![ServerHealth::default(); n],
+        }
+    }
+
+    /// Grows the monitor to cover at least `n` servers (idempotent).
+    pub fn ensure_servers(&mut self, n: usize) {
+        if self.servers.len() < n {
+            self.servers.resize(n, ServerHealth::default());
+        }
+    }
+
+    /// Number of tracked servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Health of one server (panics on out-of-range index).
+    pub fn server(&self, index: usize) -> &ServerHealth {
+        &self.servers[index]
+    }
+
+    /// Records a successful operation with its observed-over-predicted
+    /// latency ratio. Ends any quarantine (the server proved itself) and
+    /// clears the crash marker.
+    pub fn record_success(&mut self, index: usize, ratio: f64) {
+        let s = &mut self.servers[index];
+        s.consecutive_failures = 0;
+        s.quarantined_until = None;
+        s.crash_handled = false;
+        if ratio.is_finite() && ratio >= 0.0 {
+            s.latency_ratio = Some(match s.latency_ratio {
+                Some(prev) => prev * (1.0 - EWMA_ALPHA) + ratio * EWMA_ALPHA,
+                None => ratio,
+            });
+        }
+    }
+
+    /// Records a failed operation. Quarantines the server until
+    /// `now + duration` once `threshold` consecutive failures accumulate
+    /// (or immediately when already on probation); returns `true` if a
+    /// new quarantine started.
+    pub fn record_failure(
+        &mut self,
+        index: usize,
+        now: SimTime,
+        threshold: u32,
+        duration: s4d_sim::SimDuration,
+    ) -> bool {
+        let s = &mut self.servers[index];
+        s.consecutive_failures += 1;
+        if s.is_quarantined(now) {
+            return false;
+        }
+        let on_probation = s.quarantined_until.is_some();
+        if s.consecutive_failures >= threshold.max(1) || on_probation {
+            s.quarantined_until = Some(now + duration);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Quarantines a server outright (crash detected) until `until`.
+    /// Returns `true` if it was not already quarantined.
+    pub fn quarantine(&mut self, index: usize, now: SimTime, until: SimTime) -> bool {
+        let s = &mut self.servers[index];
+        let newly = !s.is_quarantined(now);
+        let prev = s.quarantined_until.unwrap_or(SimTime::ZERO);
+        s.quarantined_until = Some(prev.max(until));
+        newly
+    }
+
+    /// Marks a crash's data-loss handling as done; returns `false` if it
+    /// was already marked (the same outage was handled before).
+    pub fn claim_crash_handling(&mut self, index: usize) -> bool {
+        let s = &mut self.servers[index];
+        if s.crash_handled {
+            false
+        } else {
+            s.crash_handled = true;
+            true
+        }
+    }
+
+    /// True if this server should not receive new work at `now`.
+    pub fn is_unhealthy(&self, index: usize, now: SimTime) -> bool {
+        self.servers
+            .get(index)
+            .is_some_and(|s| s.is_quarantined(now))
+    }
+
+    /// True if any tracked server is quarantined at `now`.
+    pub fn any_unhealthy(&self, now: SimTime) -> bool {
+        self.servers.iter().any(|s| s.is_quarantined(now))
+    }
+
+    /// True if any server shows signs of trouble: quarantine, a recent
+    /// failure, or a latency EWMA above `ratio_threshold`. Drives the
+    /// `flush_on_risk` eager-flush policy.
+    pub fn any_at_risk(&self, now: SimTime, ratio_threshold: f64) -> bool {
+        self.servers.iter().any(|s| {
+            s.is_quarantined(now)
+                || s.consecutive_failures > 0
+                || s.latency_ratio.is_some_and(|r| r > ratio_threshold)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4d_sim::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    const Q: SimDuration = SimDuration::from_secs(10);
+
+    #[test]
+    fn failures_accumulate_to_quarantine() {
+        let mut m = HealthMonitor::new(2);
+        assert!(!m.record_failure(0, t(1), 3, Q));
+        assert!(!m.record_failure(0, t(2), 3, Q));
+        assert!(!m.any_unhealthy(t(2)));
+        assert!(m.record_failure(0, t(3), 3, Q), "third strike quarantines");
+        assert!(m.is_unhealthy(0, t(3)));
+        assert!(!m.is_unhealthy(1, t(3)), "other servers unaffected");
+        // Further failures while quarantined don't start a new quarantine.
+        assert!(!m.record_failure(0, t(4), 3, Q));
+        // Quarantine expires into probation.
+        assert!(!m.is_unhealthy(0, t(13)));
+        // A failure on probation re-quarantines immediately.
+        assert!(m.record_failure(0, t(14), 3, Q));
+        assert!(m.is_unhealthy(0, t(14)));
+    }
+
+    #[test]
+    fn success_clears_everything() {
+        let mut m = HealthMonitor::new(1);
+        for i in 0..3 {
+            m.record_failure(0, t(i), 3, Q);
+        }
+        assert!(m.is_unhealthy(0, t(3)));
+        m.record_success(0, 1.0);
+        assert!(!m.is_unhealthy(0, t(3)));
+        assert_eq!(m.server(0).consecutive_failures, 0);
+        // Counter restarts from scratch.
+        assert!(!m.record_failure(0, t(5), 3, Q));
+    }
+
+    #[test]
+    fn ewma_tracks_latency_ratio() {
+        let mut m = HealthMonitor::new(1);
+        m.record_success(0, 1.0);
+        assert_eq!(m.server(0).latency_ratio, Some(1.0));
+        for _ in 0..50 {
+            m.record_success(0, 20.0);
+        }
+        let r = m.server(0).latency_ratio.unwrap();
+        assert!(r > 15.0, "EWMA converges towards sustained ratio: {r}");
+        assert!(m.any_at_risk(t(0), 8.0));
+        assert!(!m.any_at_risk(t(0), 100.0));
+        // Garbage ratios are ignored.
+        m.record_success(0, f64::NAN);
+        assert!(m.server(0).latency_ratio.unwrap().is_finite());
+    }
+
+    #[test]
+    fn crash_quarantine_and_claim() {
+        let mut m = HealthMonitor::new(2);
+        assert!(m.quarantine(1, t(5), t(15)));
+        assert!(!m.quarantine(1, t(6), t(12)), "already quarantined");
+        assert!(m.is_unhealthy(1, t(6)));
+        // Claim is once per outage.
+        assert!(m.claim_crash_handling(1));
+        assert!(!m.claim_crash_handling(1));
+        // Recovery (a success) re-arms the claim for a future crash.
+        m.record_success(1, 1.0);
+        assert!(m.claim_crash_handling(1));
+        // Extending never shortens.
+        m.quarantine(0, t(0), t(20));
+        m.quarantine(0, t(1), t(10));
+        assert!(m.is_unhealthy(0, t(15)));
+    }
+
+    #[test]
+    fn at_risk_considers_recent_failures() {
+        let mut m = HealthMonitor::new(1);
+        assert!(!m.any_at_risk(t(0), 8.0));
+        m.record_failure(0, t(0), 5, Q);
+        assert!(m.any_at_risk(t(0), 8.0), "one failure is already a risk");
+    }
+
+    #[test]
+    fn ensure_servers_grows_only() {
+        let mut m = HealthMonitor::default();
+        m.ensure_servers(3);
+        assert_eq!(m.server_count(), 3);
+        m.record_failure(2, t(0), 1, Q);
+        m.ensure_servers(2);
+        assert_eq!(m.server_count(), 3, "never shrinks");
+        assert!(m.is_unhealthy(2, t(0)), "state survives ensure");
+    }
+}

@@ -4,25 +4,66 @@
 //! order to survive power failures" (§III.D), storing records of six
 //! four-byte fields in a Berkeley DB file on CServers. This module gives
 //! the reproduction the same property *verifiably*: every DMT mutation
-//! emits a fixed-size 24-byte [`JournalRecord`], and [`replay`]
+//! emits a fixed-size CRC32-framed [`JournalRecord`], and [`replay`]
 //! reconstructs the mapping table (and, through
 //! [`crate::SpaceManager::rebuild`], the cache-space allocator) from the
 //! record stream alone. The crash-recovery integration tests run a
 //! workload, "power-fail" the middleware, rebuild it from the journal, and
 //! verify that every byte still reads back correctly.
+//!
+//! A crash can tear the final record (partial write) or storage can flip
+//! bits anywhere in the stream. [`decode_prefix`] therefore recovers the
+//! longest valid prefix: it stops at the first frame whose CRC or tag does
+//! not verify and at a partial final frame, reporting what was dropped
+//! instead of failing the whole recovery. Stopping (rather than skipping a
+//! bad frame and continuing) is deliberate — later records can depend on
+//! earlier ones (a skipped `Remove` followed by an overlapping `Insert`
+//! would corrupt the table), while every *prefix* of the journal is a
+//! consistent mapping by construction.
 
 use s4d_pfs::FileId;
 use serde::{Deserialize, Serialize};
 
 use crate::dmt::Dmt;
-use crate::DMT_RECORD_BYTES;
+use crate::{DMT_PAYLOAD_BYTES, DMT_RECORD_BYTES};
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes`, as used for journal record framing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// One persisted DMT mutation.
 ///
-/// Encodes to exactly [`DMT_RECORD_BYTES`] (24) bytes — the record size the
-/// paper's §V.E.1 metadata-overhead analysis assumes. Field widths: file
-/// ids 24 bits, offsets 48 bits (256 TiB), lengths 32 bits (4 GiB per
-/// extent), which comfortably cover the simulated deployments.
+/// Encodes to exactly [`DMT_RECORD_BYTES`] (28) bytes: a 24-byte payload —
+/// the record size the paper's §V.E.1 metadata-overhead analysis assumes —
+/// followed by a CRC32 trailer over the payload. Field widths: file ids 24
+/// bits, offsets 48 bits (256 TiB), lengths 32 bits (4 GiB per extent),
+/// which comfortably cover the simulated deployments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JournalRecord {
     /// A new extent mapping was created.
@@ -73,6 +114,14 @@ pub enum JournalError {
     BadTag(u8),
     /// The buffer is not exactly [`DMT_RECORD_BYTES`] long.
     BadLength(usize),
+    /// The CRC32 trailer does not match the payload (bit-flip in flight or
+    /// at rest).
+    BadChecksum {
+        /// CRC32 recomputed over the payload.
+        expected: u32,
+        /// CRC32 stored in the frame trailer.
+        found: u32,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -80,8 +129,15 @@ impl std::fmt::Display for JournalError {
         match self {
             JournalError::BadTag(t) => write!(f, "unknown journal record tag {t}"),
             JournalError::BadLength(n) => {
-                write!(f, "journal record must be {DMT_RECORD_BYTES} bytes, got {n}")
+                write!(
+                    f,
+                    "journal record must be {DMT_RECORD_BYTES} bytes, got {n}"
+                )
             }
+            JournalError::BadChecksum { expected, found } => write!(
+                f,
+                "journal record checksum mismatch: computed {expected:#010x}, stored {found:#010x}"
+            ),
         }
     }
 }
@@ -117,6 +173,7 @@ impl JournalRecord {
     /// offsets 48 bits, lengths 32 bits).
     pub fn encode(&self) -> [u8; DMT_RECORD_BYTES as usize] {
         let mut b = [0u8; DMT_RECORD_BYTES as usize];
+        const PAYLOAD: usize = DMT_PAYLOAD_BYTES as usize;
         match *self {
             JournalRecord::Insert {
                 d_file,
@@ -157,6 +214,8 @@ impl JournalRecord {
                 put_u48(&mut b, 4, d_offset);
             }
         }
+        let crc = crc32(&b[..PAYLOAD]);
+        b[PAYLOAD..].copy_from_slice(&crc.to_le_bytes());
         b
     }
 
@@ -164,10 +223,21 @@ impl JournalRecord {
     ///
     /// # Errors
     ///
-    /// Returns [`JournalError`] on wrong length or unknown tag.
+    /// Returns [`JournalError`] on wrong length, checksum mismatch, or
+    /// unknown tag.
     pub fn decode(buf: &[u8]) -> Result<Self, JournalError> {
         if buf.len() != DMT_RECORD_BYTES as usize {
             return Err(JournalError::BadLength(buf.len()));
+        }
+        let payload = &buf[..DMT_PAYLOAD_BYTES as usize];
+        let expected = crc32(payload);
+        let found = u32::from_le_bytes(
+            buf[DMT_PAYLOAD_BYTES as usize..]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if expected != found {
+            return Err(JournalError::BadChecksum { expected, found });
         }
         let d_file = FileId(get_u24(buf, 1));
         let d_offset = get_u48(buf, 4);
@@ -221,6 +291,59 @@ pub fn decode_batch(bytes: &[u8]) -> Result<Vec<JournalRecord>, JournalError> {
         .chunks_exact(DMT_RECORD_BYTES as usize)
         .map(JournalRecord::decode)
         .collect()
+}
+
+/// Outcome of tolerant journal decoding ([`decode_prefix`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredJournal {
+    /// The longest valid record prefix of the stream.
+    pub records: Vec<JournalRecord>,
+    /// Bytes past the valid prefix that were dropped (torn tail and/or a
+    /// corrupted frame plus everything after it).
+    pub dropped_bytes: u64,
+    /// The error that ended decoding, if the stream did not end cleanly at
+    /// a frame boundary. `Some(BadLength)` means only a torn final frame;
+    /// `Some(BadChecksum)`/`Some(BadTag)` mean real corruption.
+    pub truncated_by: Option<JournalError>,
+}
+
+impl RecoveredJournal {
+    /// True if the whole stream decoded (nothing dropped).
+    pub fn is_clean(&self) -> bool {
+        self.dropped_bytes == 0 && self.truncated_by.is_none()
+    }
+}
+
+/// Decodes the longest valid prefix of a journal byte stream.
+///
+/// Unlike [`decode_batch`], this never fails: a torn final frame (partial
+/// write during a crash) is truncated, and a frame with a checksum or tag
+/// error ends decoding at the last good record. Everything before the
+/// first bad frame is returned; see the module docs for why decoding stops
+/// rather than skipping.
+pub fn decode_prefix(bytes: &[u8]) -> RecoveredJournal {
+    let frame = DMT_RECORD_BYTES as usize;
+    let mut records = Vec::with_capacity(bytes.len() / frame);
+    let mut at = 0usize;
+    let mut truncated_by = None;
+    while at < bytes.len() {
+        let end = at + frame.min(bytes.len() - at);
+        match JournalRecord::decode(&bytes[at..end]) {
+            Ok(r) => {
+                records.push(r);
+                at = end;
+            }
+            Err(e) => {
+                truncated_by = Some(e);
+                break;
+            }
+        }
+    }
+    RecoveredJournal {
+        records,
+        dropped_bytes: (bytes.len() - at) as u64,
+        truncated_by,
+    }
 }
 
 /// Rebuilds a Data Mapping Table from a journal record stream — the
@@ -312,7 +435,7 @@ mod tests {
             },
         ];
         let bytes = encode_batch(&records);
-        assert_eq!(bytes.len(), 48);
+        assert_eq!(bytes.len(), 2 * DMT_RECORD_BYTES as usize);
         assert_eq!(decode_batch(&bytes).unwrap(), records);
     }
 
@@ -322,12 +445,108 @@ mod tests {
             JournalRecord::decode(&[0u8; 10]),
             Err(JournalError::BadLength(10))
         );
-        let mut bad = [0u8; 24];
+        let mut bad = JournalRecord::SetClean {
+            d_file: F,
+            d_offset: 7,
+        }
+        .encode();
+        bad[0] = 99; // breaks both the tag and the checksum
+        assert!(matches!(
+            JournalRecord::decode(&bad),
+            Err(JournalError::BadChecksum { .. })
+        ));
+        // Valid checksum over an invalid tag: still rejected.
         bad[0] = 99;
+        let crc = crc32(&bad[..DMT_PAYLOAD_BYTES as usize]);
+        bad[DMT_PAYLOAD_BYTES as usize..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(JournalRecord::decode(&bad), Err(JournalError::BadTag(99)));
-        assert_eq!(decode_batch(&[0u8; 25]), Err(JournalError::BadLength(25)));
+        assert_eq!(
+            decode_batch(&[0u8; DMT_RECORD_BYTES as usize + 1]),
+            Err(JournalError::BadLength(DMT_RECORD_BYTES as usize + 1))
+        );
         assert!(JournalError::BadTag(9).to_string().contains("tag 9"));
-        assert!(JournalError::BadLength(1).to_string().contains("24 bytes"));
+        assert!(JournalError::BadLength(1).to_string().contains("28 bytes"));
+        assert!(JournalError::BadChecksum {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("checksum"));
+    }
+
+    #[test]
+    fn flipping_any_single_bit_is_detected() {
+        let record = JournalRecord::Insert {
+            d_file: F,
+            d_offset: 123_456,
+            len: 16384,
+            c_file: CF,
+            c_offset: 777,
+            dirty: false,
+        };
+        let good = record.encode();
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut flipped = good;
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    JournalRecord::decode(&flipped).is_err(),
+                    "bit flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_prefix_truncates_torn_tail() {
+        let records = vec![
+            JournalRecord::SetClean {
+                d_file: F,
+                d_offset: 10,
+            },
+            JournalRecord::Remove {
+                d_file: F,
+                d_offset: 20,
+            },
+        ];
+        let mut bytes = encode_batch(&records);
+        // A crash tears the final record mid-write.
+        bytes.extend_from_slice(
+            &JournalRecord::SetClean {
+                d_file: F,
+                d_offset: 30,
+            }
+            .encode()[..11],
+        );
+        let out = decode_prefix(&bytes);
+        assert_eq!(out.records, records);
+        assert_eq!(out.dropped_bytes, 11);
+        assert_eq!(out.truncated_by, Some(JournalError::BadLength(11)));
+        assert!(!out.is_clean());
+
+        let clean = decode_prefix(&encode_batch(&records));
+        assert!(clean.is_clean());
+        assert_eq!(clean.records, records);
+    }
+
+    #[test]
+    fn decode_prefix_stops_at_corruption() {
+        let records: Vec<JournalRecord> = (0..5)
+            .map(|i| JournalRecord::SetClean {
+                d_file: F,
+                d_offset: i * 100,
+            })
+            .collect();
+        let mut bytes = encode_batch(&records);
+        // Flip one bit in the third record's payload.
+        bytes[2 * DMT_RECORD_BYTES as usize + 5] ^= 0x40;
+        let out = decode_prefix(&bytes);
+        assert_eq!(out.records, records[..2]);
+        assert_eq!(out.dropped_bytes, 3 * DMT_RECORD_BYTES);
+        assert!(matches!(
+            out.truncated_by,
+            Some(JournalError::BadChecksum { .. })
+        ));
     }
 
     #[test]

@@ -2,17 +2,19 @@
 
 use std::collections::{HashMap, HashSet};
 
-use s4d_cost::{BenefitEvaluator, CostParams};
+use s4d_cost::{t_cservers, BenefitEvaluator, CostParams, SmMode};
 use s4d_mpiio::{
-    AppRequest, BackgroundPoll, Cluster, Middleware, MiddlewareError, Plan, PlannedIo, Rank, Tier,
+    AppRequest, BackgroundPoll, Cluster, ErrorDirective, Middleware, MiddlewareError, Plan,
+    PlannedIo, Rank, SubIoFailure, Tier,
 };
-use s4d_pfs::{FileId, Priority};
+use s4d_pfs::{FileId, IoFault, Priority};
 use s4d_sim::{SimDuration, SimTime};
 use s4d_storage::IoKind;
 
 use crate::cdt::Cdt;
 use crate::config::{AdmissionPolicy, S4dConfig};
 use crate::dmt::Dmt;
+use crate::health::HealthMonitor;
 use crate::journal::{self, JournalRecord};
 use crate::metrics::S4dMetrics;
 use crate::space::SpaceManager;
@@ -86,6 +88,8 @@ pub struct S4dCache {
     /// Full record log (kept only when the config asks; crash-recovery
     /// tests read it back as "the journal file's contents").
     journal_log: Vec<JournalRecord>,
+    /// Per-CServer health: failure counts, latency EWMA, quarantine.
+    health: HealthMonitor,
     metrics: S4dMetrics,
 }
 
@@ -111,6 +115,7 @@ impl S4dCache {
             pins: Vec::new(),
             journal_pending: Vec::new(),
             journal_log: Vec::new(),
+            health: HealthMonitor::default(),
             metrics: S4dMetrics::default(),
         }
     }
@@ -175,6 +180,129 @@ impl S4dCache {
         &self.config
     }
 
+    /// The CServer health monitor (read-only view).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    fn ensure_health(&mut self, cluster: &Cluster) {
+        self.health.ensure_servers(cluster.cpfs().server_count());
+    }
+
+    /// Capped exponential backoff for attempt number `attempts` (≥ 1).
+    fn retry_backoff(&self, attempts: u32) -> SimDuration {
+        let exp = attempts.saturating_sub(1).min(20);
+        let base = self.config.retry_base_delay.as_secs_f64();
+        let delay = base * (1u64 << exp) as f64;
+        SimDuration::from_secs_f64(delay.min(self.config.retry_max_delay.as_secs_f64()))
+    }
+
+    /// True if any CServer holding part of the cache range
+    /// `[c_offset, c_offset + len)` is quarantined at `now`. Cache files
+    /// are round-robin striped, so the touched servers follow from the
+    /// stripe indices alone.
+    fn cache_range_unhealthy(
+        &self,
+        cluster: &Cluster,
+        now: SimTime,
+        c_offset: u64,
+        len: u64,
+    ) -> bool {
+        if len == 0 || !self.health.any_unhealthy(now) {
+            return false;
+        }
+        let layout = cluster.cpfs().layout();
+        let stripe = layout.stripe_size();
+        let n = layout.server_count();
+        let first = c_offset / stripe;
+        let last = (c_offset + len - 1) / stripe;
+        if last - first + 1 >= n as u64 {
+            // The range spans a full round: every server is involved.
+            return self.health.any_unhealthy(now);
+        }
+        (first..=last).any(|k| self.health.is_unhealthy((k % n as u64) as usize, now))
+    }
+
+    /// Applies a CServer hard crash to the cache metadata: every extent
+    /// with bytes on the lost server is invalidated. Clean extents are a
+    /// pure cache miss afterwards (OPFS still has the data); dirty
+    /// extents are genuine data loss and are surfaced as such. Runs once
+    /// per outage (re-armed when the server completes an op again).
+    fn handle_crash(&mut self, cluster: &mut Cluster, server: usize, now: SimTime) {
+        self.ensure_health(cluster);
+        let until = now + self.config.quarantine_duration;
+        if self.health.quarantine(server, now, until) {
+            self.metrics.quarantines += 1;
+        }
+        if !self.health.claim_crash_handling(server) {
+            return;
+        }
+        let layout = cluster.cpfs().layout();
+        let stripe = layout.stripe_size();
+        let n = layout.server_count();
+        let doomed: Vec<(FileId, u64, u64, FileId, u64, bool)> = self
+            .dmt
+            .iter_extents()
+            .filter(|(_, _, e)| {
+                let first = e.c_offset / stripe;
+                let last = (e.c_offset + e.len - 1) / stripe;
+                last - first + 1 >= n as u64
+                    || (first..=last).any(|k| (k % n as u64) as usize == server)
+            })
+            .map(|(f, o, e)| (f, o, e.len, e.c_file, e.c_offset, e.dirty))
+            .collect();
+        for (file, d_off, len, c_file, c_off, dirty) in doomed {
+            if dirty {
+                self.metrics.dirty_bytes_lost += len;
+            } else {
+                self.metrics.crash_invalidated_bytes += len;
+            }
+            // `remove` journals a Remove record, so recovery agrees.
+            self.dmt.remove(file, d_off);
+            self.space.release(c_file, c_off, len);
+            let _ = cluster.cpfs_mut().discard(c_file, c_off, len);
+        }
+    }
+
+    /// Releases runner-visible state a failed plan held, *without* the
+    /// data effects of completion: pins lift, in-flight markers clear,
+    /// fetch reservations return to the allocator. Flushed extents stay
+    /// dirty and flagged reads stay flagged, so the Rebuilder retries.
+    fn abandon_pending(&mut self, action: Option<Pending>) {
+        match action {
+            Some(Pending::Multi(actions)) => {
+                for a in actions {
+                    self.abandon_pending(Some(a));
+                }
+            }
+            Some(Pending::Unpin(ranges)) => {
+                for range in ranges {
+                    if let Some(i) = self.pins.iter().position(|&p| p == range) {
+                        self.pins.swap_remove(i);
+                    }
+                }
+            }
+            Some(Pending::Flush(items)) => {
+                for item in items {
+                    self.inflight_flush.remove(&(item.orig, item.d_offset));
+                }
+            }
+            Some(Pending::Fetch {
+                orig,
+                cdt_keys,
+                pieces,
+            }) => {
+                for (_d_off, len, c_file, c_off) in pieces {
+                    self.space.release(c_file, c_off, len);
+                }
+                for (o, l) in cdt_keys {
+                    self.inflight_fetch.remove(&(orig, o, l));
+                }
+            }
+            None => {}
+        }
+    }
+
     fn ensure_space_manager(&mut self) {
         if self.space.capacity() != self.config.cache_capacity {
             self.space = SpaceManager::new(self.config.cache_capacity);
@@ -220,18 +348,21 @@ impl S4dCache {
         }
         let needed = len - self.space.available();
         let pins = std::mem::take(&mut self.pins);
-        let victims = self.dmt.evict_clean_lru_excluding(needed, |file, off, elen| {
-            pins.iter()
-                .any(|&(p_file, p_off, p_len)| {
+        let victims = self
+            .dmt
+            .evict_clean_lru_excluding(needed, |file, off, elen| {
+                pins.iter().any(|&(p_file, p_off, p_len)| {
                     p_file == file && p_off < off + elen && off < p_off + p_len
                 })
-        });
+            });
         self.pins = pins;
         for (_file, _d_off, ext) in &victims {
             self.space.release(ext.c_file, ext.c_offset, ext.len);
             // Dropping the cached bytes is a metadata operation; the data
             // still lives on DServers because the extent was clean.
-            let _ = cluster.cpfs_mut().discard(ext.c_file, ext.c_offset, ext.len);
+            let _ = cluster
+                .cpfs_mut()
+                .discard(ext.c_file, ext.c_offset, ext.len);
             self.metrics.evictions += 1;
             self.metrics.evicted_bytes += ext.len;
         }
@@ -284,7 +415,13 @@ impl S4dCache {
     }
 
     /// Algorithm 1, write side.
-    fn plan_write(&mut self, cluster: &mut Cluster, req: &AppRequest, critical: bool) -> Plan {
+    fn plan_write(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        req: &AppRequest,
+        critical: bool,
+    ) -> Plan {
         let cache = *self
             .cache_file_of
             .get(&req.file)
@@ -308,9 +445,16 @@ impl S4dCache {
             used_cache = true;
         }
 
-        // Unmapped parts: admit if critical and space permits (lines 3–14).
+        // Unmapped parts: admit if critical, the CServer tier is healthy,
+        // and space permits (lines 3–14). New admissions stripe over every
+        // CServer, so one quarantined server pauses admission entirely —
+        // consistency over throughput while the tier is suspect.
         let gap_total: u64 = view.gaps.iter().map(|&(_, l)| l).sum();
-        let admit = critical && gap_total > 0 && {
+        let healthy = !self.health.any_unhealthy(now);
+        if critical && gap_total > 0 && !healthy {
+            self.metrics.admission_denied_health += 1;
+        }
+        let admit = critical && gap_total > 0 && healthy && {
             let ok = self.make_room(cluster, gap_total);
             if !ok {
                 self.metrics.admission_denied_space += 1;
@@ -365,7 +509,13 @@ impl S4dCache {
     }
 
     /// Algorithm 1, read side (with the lazy `C_flag` marking of §III.E).
-    fn plan_read(&mut self, cluster: &mut Cluster, req: &AppRequest, critical: bool) -> Plan {
+    fn plan_read(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        req: &AppRequest,
+        critical: bool,
+    ) -> Plan {
         let cache = *self
             .cache_file_of
             .get(&req.file)
@@ -373,7 +523,28 @@ impl S4dCache {
         let mut ops: Vec<PlannedIo> = Vec::new();
         let view = self.dmt.view(req.file, req.offset, req.len);
         self.dmt.touch_range(req.file, req.offset, req.len);
+        // Graceful degradation: a *clean* cached piece striped over a
+        // quarantined CServer is served from OPFS instead (same bytes,
+        // none of the risk). Dirty pieces have no other copy — they keep
+        // routing to the cache, and the runner's retry/replan machinery
+        // rides out the outage.
+        let mut cache_pieces: Vec<(u64, u64)> = Vec::new();
         for piece in &view.pieces {
+            if !piece.dirty && self.cache_range_unhealthy(cluster, now, piece.c_offset, piece.len) {
+                self.metrics.fallback_reads += 1;
+                self.metrics.fallback_bytes += piece.len;
+                ops.push(self.data_op(
+                    Tier::DServers,
+                    req.file,
+                    IoKind::Read,
+                    piece.d_offset,
+                    piece.len,
+                    piece.d_offset,
+                    req,
+                ));
+                continue;
+            }
+            cache_pieces.push((piece.d_offset, piece.len));
             ops.push(self.data_op(
                 Tier::CServers,
                 piece.c_file,
@@ -400,14 +571,13 @@ impl S4dCache {
             lead_in: self.config.decision_overhead,
             phases: vec![ops],
         };
-        if !view.pieces.is_empty() {
+        if !cache_pieces.is_empty() {
             // Pin the cached pieces this read references until the plan
             // completes, so eviction cannot free space under a queued
-            // sub-request.
-            let ranges: Vec<(FileId, u64, u64)> = view
-                .pieces
+            // sub-request. (Fallback pieces read OPFS and need no pin.)
+            let ranges: Vec<(FileId, u64, u64)> = cache_pieces
                 .iter()
-                .map(|p| (req.file, p.d_offset, p.len))
+                .map(|&(d_offset, len)| (req.file, d_offset, len))
                 .collect();
             self.pins.extend(ranges.iter().copied());
             let tag = self.next_tag;
@@ -423,7 +593,10 @@ impl S4dCache {
             } else {
                 self.metrics.read_partial_hits += 1;
             }
-            if critical {
+            // No new cache fills while any CServer is quarantined: fetches
+            // stripe over the whole tier, so they would land on the sick
+            // server too.
+            if critical && !self.health.any_unhealthy(now) {
                 if self.config.eager_read_fetch {
                     self.plan_eager_fetch(cluster, req, cache, &view.gaps, &mut plan);
                 } else if self.cdt.set_c_flag(req.file, req.offset, req.len) {
@@ -534,8 +707,21 @@ impl S4dCache {
     /// the CServer reads of a group run concurrently (merged where the
     /// cache-file ranges happen to be contiguous too), and the DServer
     /// write is a single large sequential I/O.
-    fn build_flushes(&mut self, plans: &mut Vec<Plan>) {
-        let mut candidates = self.dmt.dirty_lru(self.config.max_flush_per_wake);
+    fn build_flushes(&mut self, now: SimTime, plans: &mut Vec<Plan>) {
+        // With `flush_on_risk`, a CServer showing trouble (quarantine, a
+        // recent failure, or a latency EWMA above the threshold) triggers
+        // flushing *everything* dirty — shrinking the data-loss window a
+        // subsequent crash could hit.
+        let limit = if self.config.flush_on_risk
+            && self
+                .health
+                .any_at_risk(now, self.config.degraded_latency_ratio)
+        {
+            usize::MAX
+        } else {
+            self.config.max_flush_per_wake
+        };
+        let mut candidates = self.dmt.dirty_lru(limit);
         candidates.retain(|(f, d, _)| !self.inflight_flush.contains(&(*f, *d)));
         candidates.sort_by_key(|(f, d, _)| (f.0, *d));
         let mut i = 0;
@@ -619,7 +805,13 @@ impl S4dCache {
     /// Builds the Rebuilder's fetch plans (CDT `C_flag` data → CServers,
     /// §III.F step 2). Adjacent flagged entries of a file are fetched as
     /// one group so sequential critical data costs one large DServer read.
-    fn build_fetches(&mut self, cluster: &mut Cluster, plans: &mut Vec<Plan>) {
+    fn build_fetches(&mut self, cluster: &mut Cluster, now: SimTime, plans: &mut Vec<Plan>) {
+        // Fetches create new cache data striped over every CServer; pause
+        // them entirely while any server is quarantined (the flags stay
+        // set, so fetching resumes once the tier is healthy again).
+        if self.health.any_unhealthy(now) {
+            return;
+        }
         let mut flagged = self.cdt.flagged(self.config.max_fetch_per_wake);
         flagged.retain(|e| !self.inflight_fetch.contains(&(e.file, e.offset, e.len)));
         flagged.sort_by_key(|e| (e.file.0, e.offset));
@@ -739,16 +931,27 @@ impl S4dCache {
 
     fn finish_flush_group(&mut self, cluster: &mut Cluster, items: Vec<FlushItem>) {
         for item in items {
-            // Apply the data effect of the simulated copy (current bytes —
-            // if a write raced the flush, DServers receive the newest data
-            // and the extent simply stays dirty for a later flush).
-            let _ = cluster.copy_range(
-                (Tier::CServers, item.c_file, item.c_offset),
-                (Tier::DServers, item.orig, item.d_offset),
-                item.len,
-            );
-            self.dmt
-                .mark_clean_if(item.orig, item.d_offset, item.version);
+            // The extent may have vanished while the flush was in flight —
+            // a crash invalidated it, or eviction raced — and its cache
+            // space may already hold *other* data. Copying then would
+            // corrupt the original file, so the item is skipped; whoever
+            // removed the extent accounted for its bytes.
+            let still_there = self.dmt.get(item.orig, item.d_offset).is_some_and(|e| {
+                e.c_file == item.c_file && e.c_offset == item.c_offset && e.len >= item.len
+            });
+            if still_there {
+                // Apply the data effect of the simulated copy (current
+                // bytes — if a write raced the flush, DServers receive the
+                // newest data and the extent simply stays dirty for a
+                // later flush).
+                let _ = cluster.copy_range(
+                    (Tier::CServers, item.c_file, item.c_offset),
+                    (Tier::DServers, item.orig, item.d_offset),
+                    item.len,
+                );
+                self.dmt
+                    .mark_clean_if(item.orig, item.d_offset, item.version);
+            }
             self.inflight_flush.remove(&(item.orig, item.d_offset));
         }
     }
@@ -797,6 +1000,7 @@ impl Middleware for S4dCache {
         name: &str,
     ) -> Result<FileId, MiddlewareError> {
         self.ensure_space_manager();
+        self.ensure_health(cluster);
         self.ensure_journal(cluster);
         let orig = cluster.opfs_mut().create_or_open(name);
         // The paper opens a correlating cache file alongside each original
@@ -807,7 +1011,8 @@ impl Middleware for S4dCache {
         Ok(orig)
     }
 
-    fn plan_io(&mut self, cluster: &mut Cluster, _now: SimTime, req: &AppRequest) -> Plan {
+    fn plan_io(&mut self, cluster: &mut Cluster, now: SimTime, req: &AppRequest) -> Plan {
+        self.ensure_health(cluster);
         let critical = self.identify(req);
         if self.config.force_miss {
             // Fig. 11 mode: full bookkeeping, no redirection.
@@ -831,8 +1036,8 @@ impl Middleware for S4dCache {
             };
         }
         match req.kind {
-            IoKind::Write => self.plan_write(cluster, req, critical),
-            IoKind::Read => self.plan_read(cluster, req, critical),
+            IoKind::Write => self.plan_write(cluster, now, req, critical),
+            IoKind::Read => self.plan_read(cluster, now, req, critical),
         }
     }
 
@@ -852,6 +1057,87 @@ impl Middleware for S4dCache {
         self.apply_pending(cluster, action);
     }
 
+    fn on_io_error(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        failure: &SubIoFailure,
+    ) -> ErrorDirective {
+        if failure.tier == Tier::DServers {
+            // OPFS is the durability root and has no health machinery
+            // here: ride out transient errors with backoff, and let an
+            // outage fail the plan so the runner re-plans it later.
+            return match failure.error {
+                IoFault::Transient if failure.attempts < self.config.retry_max_attempts => {
+                    self.metrics.retries += 1;
+                    ErrorDirective::Retry {
+                        delay: self.retry_backoff(failure.attempts),
+                    }
+                }
+                _ => ErrorDirective::GiveUp,
+            };
+        }
+        self.ensure_health(cluster);
+        match failure.error {
+            IoFault::Offline => {
+                // An offline CServer is a crash window: its stores are
+                // gone. Quarantine it and invalidate every extent it held
+                // before anything re-plans against the stale mapping.
+                self.handle_crash(cluster, failure.server, now);
+                ErrorDirective::GiveUp
+            }
+            IoFault::Transient => {
+                if self.health.record_failure(
+                    failure.server,
+                    now,
+                    self.config.quarantine_after,
+                    self.config.quarantine_duration,
+                ) {
+                    self.metrics.quarantines += 1;
+                }
+                if self.health.is_unhealthy(failure.server, now)
+                    || failure.attempts >= self.config.retry_max_attempts
+                {
+                    ErrorDirective::GiveUp
+                } else {
+                    self.metrics.retries += 1;
+                    ErrorDirective::Retry {
+                        delay: self.retry_backoff(failure.attempts),
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_io_complete(
+        &mut self,
+        tier: Tier,
+        server: usize,
+        _kind: IoKind,
+        len: u64,
+        latency: SimDuration,
+    ) {
+        if tier != Tier::CServers {
+            return;
+        }
+        self.health.ensure_servers(server + 1);
+        // Observed-over-predicted latency feeds the degradation EWMA. The
+        // prediction is the cost model's T_C for a request of this size;
+        // the observation includes queueing, so the ratio is noisy — the
+        // EWMA and a generous threshold absorb that.
+        let predicted = t_cservers(self.evaluator.params(), 0, len, SmMode::Table2);
+        let ratio = if predicted > 0.0 {
+            latency.as_secs_f64() / predicted
+        } else {
+            1.0
+        };
+        self.health.record_success(server, ratio);
+    }
+
+    fn on_plan_failed(&mut self, _cluster: &mut Cluster, _now: SimTime, tag: u64) {
+        let action = self.pending.remove(&tag);
+        self.abandon_pending(action);
+    }
 
     fn poll_background(&mut self, cluster: &mut Cluster, now: SimTime) -> BackgroundPoll {
         if self.config.force_miss {
@@ -865,9 +1151,9 @@ impl Middleware for S4dCache {
         if !self.config.persistent_placement {
             // CARL-style placement keeps data on the CServers for good:
             // nothing is ever written back, so there is nothing to flush.
-            self.build_flushes(&mut plans);
+            self.build_flushes(now, &mut plans);
         }
-        self.build_fetches(cluster, &mut plans);
+        self.build_fetches(cluster, now, &mut plans);
         // Persist any straggling journal records with background priority.
         if let Some(op) = self.drain_journal(cluster, Priority::Background) {
             plans.push(Plan::single_phase(vec![op]));
@@ -1039,7 +1325,7 @@ mod tests {
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
         // Flush the dirty extent so it becomes clean.
         let mut plans = Vec::new();
-        mw.build_flushes(&mut plans);
+        mw.build_flushes(SimTime::ZERO, &mut plans);
         assert_eq!(plans.len(), 1);
         let tag = plans[0].tag;
         mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
@@ -1063,7 +1349,7 @@ mod tests {
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
         // Make it clean via a flush cycle.
         let mut plans = Vec::new();
-        mw.build_flushes(&mut plans);
+        mw.build_flushes(SimTime::ZERO, &mut plans);
         let tag = plans[0].tag;
         mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
         assert_eq!(mw.dmt().dirty_bytes(), 0);
@@ -1073,13 +1359,21 @@ mod tests {
         assert_ne!(read_plan.tag, 0, "read plans carry an unpin action");
         // A critical write elsewhere wants space; the only clean extent is
         // pinned, so admission must FAIL (spill to DServers), not evict.
-        let w = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 4 * MIB, 32 * KIB));
+        let w = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &write_req(f, 4 * MIB, 32 * KIB),
+        );
         assert_eq!(tiers_of(&w), vec![Tier::DServers]);
         assert_eq!(mw.metrics().evictions, 0, "pinned extent survived");
         assert_eq!(mw.dmt().mapped_bytes(), 32 * KIB);
         // Once the read completes, the pin lifts and eviction proceeds.
         mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), read_plan.tag);
-        let w = mw.plan_io(&mut cluster, SimTime::from_secs(1), &write_req(f, 8 * MIB, 32 * KIB));
+        let w = mw.plan_io(
+            &mut cluster,
+            SimTime::from_secs(1),
+            &write_req(f, 8 * MIB, 32 * KIB),
+        );
         assert_eq!(tiers_of(&w), vec![Tier::CServers]);
         assert_eq!(mw.metrics().evictions, 1);
     }
@@ -1136,7 +1430,11 @@ mod tests {
         assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB);
         assert_eq!(mw.dmt().dirty_bytes(), 0);
         assert!(mw.cdt().flagged(10).is_empty());
-        let plan = mw.plan_io(&mut cluster, SimTime::from_secs(2), &read_req(f, 0, 16 * KIB));
+        let plan = mw.plan_io(
+            &mut cluster,
+            SimTime::from_secs(2),
+            &read_req(f, 0, 16 * KIB),
+        );
         assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
         assert_eq!(mw.metrics().read_full_hits, 1);
     }
@@ -1199,7 +1497,11 @@ mod tests {
         assert!(plan.tag != 0);
         mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), plan.tag);
         assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB);
-        let again = mw.plan_io(&mut cluster, SimTime::from_secs(2), &read_req(f, 0, 16 * KIB));
+        let again = mw.plan_io(
+            &mut cluster,
+            SimTime::from_secs(2),
+            &read_req(f, 0, 16 * KIB),
+        );
         assert_eq!(tiers_of(&again), vec![Tier::CServers]);
     }
 
@@ -1214,13 +1516,21 @@ mod tests {
         // Each admitted write produces one DMT insert record; no journal op
         // until four records accumulate.
         for i in 0..3u64 {
-            let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, i * MIB, 16 * KIB));
+            let plan = mw.plan_io(
+                &mut cluster,
+                SimTime::ZERO,
+                &write_req(f, i * MIB, 16 * KIB),
+            );
             assert!(
                 plan.phases[0].iter().all(|op| op.app_offset.is_some()),
                 "no journal op before the batch fills"
             );
         }
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 3 * MIB, 16 * KIB));
+        let plan = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &write_req(f, 3 * MIB, 16 * KIB),
+        );
         let journal: Vec<_> = plan.phases[0]
             .iter()
             .filter(|op| op.app_offset.is_none())
@@ -1228,7 +1538,11 @@ mod tests {
         assert_eq!(journal.len(), 1, "batch full: one grouped journal write");
         assert_eq!(journal[0].len, 4 * DMT_RECORD_BYTES);
         // The Rebuilder persists stragglers with background priority.
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 4 * MIB, 16 * KIB));
+        mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &write_req(f, 4 * MIB, 16 * KIB),
+        );
         let poll = mw.poll_background(&mut cluster, SimTime::from_secs(1));
         let has_bg_journal = poll.plans.iter().any(|p| {
             p.phases.iter().flatten().any(|op| {
@@ -1264,13 +1578,279 @@ mod tests {
         assert!(poll.plans.is_empty());
         assert!(!poll.work_pending);
         // A later critical write cannot be placed: space never frees.
-        let p = mw.plan_io(&mut cluster, SimTime::from_secs(5), &write_req(f, MIB, 32 * KIB));
+        let p = mw.plan_io(
+            &mut cluster,
+            SimTime::from_secs(5),
+            &write_req(f, MIB, 32 * KIB),
+        );
         assert_eq!(tiers_of(&p), vec![Tier::DServers]);
         assert_eq!(mw.metrics().flushes, 0);
         assert_eq!(mw.metrics().evictions, 0);
         // Placed data keeps serving reads from the CServers.
-        let p = mw.plan_io(&mut cluster, SimTime::from_secs(6), &read_req(f, 0, 32 * KIB));
+        let p = mw.plan_io(
+            &mut cluster,
+            SimTime::from_secs(6),
+            &read_req(f, 0, 32 * KIB),
+        );
         assert_eq!(tiers_of(&p), vec![Tier::CServers]);
+    }
+
+    fn transient_failure(server: usize, attempts: u32) -> SubIoFailure {
+        SubIoFailure {
+            tier: Tier::CServers,
+            server,
+            kind: IoKind::Write,
+            len: 16 * KIB,
+            error: IoFault::Transient,
+            attempts,
+            overhead: false,
+        }
+    }
+
+    fn offline_failure(server: usize) -> SubIoFailure {
+        SubIoFailure {
+            error: IoFault::Offline,
+            ..transient_failure(server, 1)
+        }
+    }
+
+    /// Quarantines CServer 0 through three consecutive transient errors.
+    fn quarantine_server_zero(cluster: &mut Cluster, mw: &mut S4dCache, now: SimTime) {
+        for attempts in 1..=3 {
+            mw.on_io_error(cluster, now, &transient_failure(0, attempts));
+        }
+        assert!(mw.health().is_unhealthy(0, now));
+    }
+
+    #[test]
+    fn transient_errors_retry_with_growing_backoff_then_quarantine() {
+        let (mut cluster, mut mw, _f) = setup(64 * MIB);
+        let base = mw.config().retry_base_delay;
+        let d1 = mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, 1));
+        assert_eq!(d1, ErrorDirective::Retry { delay: base });
+        let d2 = mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, 2));
+        assert_eq!(d2, ErrorDirective::Retry { delay: base * 2 });
+        // Third consecutive failure crosses `quarantine_after`: give up.
+        let d3 = mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, 3));
+        assert_eq!(d3, ErrorDirective::GiveUp);
+        assert_eq!(mw.metrics().retries, 2);
+        assert_eq!(mw.metrics().quarantines, 1);
+        assert!(mw.health().is_unhealthy(0, SimTime::ZERO));
+        // A success during probation clears the state entirely.
+        mw.on_io_complete(
+            Tier::CServers,
+            0,
+            IoKind::Write,
+            16 * KIB,
+            SimDuration::from_micros(200),
+        );
+        assert!(!mw.health().is_unhealthy(0, SimTime::ZERO));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let (_cluster, mw, _f) = setup(64 * MIB);
+        assert_eq!(mw.retry_backoff(1), mw.config().retry_base_delay);
+        assert_eq!(mw.retry_backoff(40), mw.config().retry_max_delay);
+    }
+
+    #[test]
+    fn exhausted_attempts_give_up_without_quarantine() {
+        let (mut cluster, mut mw, _f) = setup(64 * MIB);
+        let max = mw.config().retry_max_attempts;
+        let d = mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, max));
+        assert_eq!(d, ErrorDirective::GiveUp);
+        assert!(!mw.health().is_unhealthy(0, SimTime::ZERO));
+    }
+
+    #[test]
+    fn dserver_transient_errors_retry_too() {
+        let (mut cluster, mut mw, _f) = setup(64 * MIB);
+        let failure = SubIoFailure {
+            tier: Tier::DServers,
+            ..transient_failure(1, 1)
+        };
+        assert!(matches!(
+            mw.on_io_error(&mut cluster, SimTime::ZERO, &failure),
+            ErrorDirective::Retry { .. }
+        ));
+        // DServer failures never touch CServer health.
+        assert!(!mw.health().any_unhealthy(SimTime::ZERO));
+        let offline = SubIoFailure {
+            tier: Tier::DServers,
+            ..offline_failure(1)
+        };
+        assert_eq!(
+            mw.on_io_error(&mut cluster, SimTime::ZERO, &offline),
+            ErrorDirective::GiveUp
+        );
+    }
+
+    #[test]
+    fn quarantine_blocks_admission_and_serves_clean_reads_from_opfs() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        // A clean cached extent at 0 and a dirty one at 1 MiB.
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        let mut plans = Vec::new();
+        mw.build_flushes(SimTime::ZERO, &mut plans);
+        let tag = plans[0].tag;
+        mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 16 * KIB));
+        assert_eq!(mw.dmt().dirty_bytes(), 16 * KIB);
+
+        let now = SimTime::from_secs(1);
+        quarantine_server_zero(&mut cluster, &mut mw, now);
+        // New admissions pause...
+        let w = mw.plan_io(&mut cluster, now, &write_req(f, 2 * MIB, 16 * KIB));
+        assert_eq!(tiers_of(&w), vec![Tier::DServers]);
+        assert_eq!(mw.metrics().admission_denied_health, 1);
+        // ...clean pieces fall back to OPFS...
+        let r = mw.plan_io(&mut cluster, now, &read_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&r), vec![Tier::DServers]);
+        assert_eq!(r.tag, 0, "fallback reads pin nothing");
+        assert_eq!(mw.metrics().fallback_reads, 1);
+        assert_eq!(mw.metrics().fallback_bytes, 16 * KIB);
+        // ...dirty pieces keep routing to the cache (only copy)...
+        let r = mw.plan_io(&mut cluster, now, &read_req(f, MIB, 16 * KIB));
+        assert_eq!(tiers_of(&r), vec![Tier::CServers]);
+        // ...and critical read misses are not marked for fetching.
+        let lazy_before = mw.metrics().lazy_marks;
+        mw.plan_io(&mut cluster, now, &read_req(f, 4 * MIB, 16 * KIB));
+        assert_eq!(mw.metrics().lazy_marks, lazy_before);
+
+        // After the quarantine expires, routing and admission resume.
+        let later = now + mw.config().quarantine_duration;
+        let r = mw.plan_io(&mut cluster, later, &read_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&r), vec![Tier::CServers]);
+        let w = mw.plan_io(&mut cluster, later, &write_req(f, 3 * MIB, 16 * KIB));
+        assert_eq!(tiers_of(&w), vec![Tier::CServers]);
+    }
+
+    #[test]
+    fn fetches_pause_while_quarantined() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
+        assert_eq!(mw.cdt().flagged(10).len(), 1);
+        quarantine_server_zero(&mut cluster, &mut mw, SimTime::ZERO);
+        let poll = mw.poll_background(&mut cluster, SimTime::from_secs(1));
+        assert!(poll.plans.is_empty(), "no fetches into a sick tier");
+        // The flag survives; fetching resumes after the quarantine.
+        let later = SimTime::from_secs(1) + mw.config().quarantine_duration;
+        mw.on_io_complete(
+            Tier::CServers,
+            0,
+            IoKind::Write,
+            16 * KIB,
+            SimDuration::from_micros(200),
+        );
+        let poll = mw.poll_background(&mut cluster, later);
+        assert_eq!(poll.plans.len(), 1);
+    }
+
+    #[test]
+    fn offline_error_invalidates_lost_extents_once() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        // Clean extent at 0, dirty extent at 1 MiB.
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        let mut plans = Vec::new();
+        mw.build_flushes(SimTime::ZERO, &mut plans);
+        let tag = plans[0].tag;
+        mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 16 * KIB));
+        let available = mw.space().available();
+
+        let now = SimTime::from_secs(1);
+        let d = mw.on_io_error(&mut cluster, now, &offline_failure(0));
+        assert_eq!(d, ErrorDirective::GiveUp);
+        assert_eq!(mw.metrics().crash_invalidated_bytes, 16 * KIB);
+        assert_eq!(mw.metrics().dirty_bytes_lost, 16 * KIB);
+        assert_eq!(mw.metrics().quarantines, 1);
+        assert_eq!(mw.dmt().mapped_bytes(), 0, "all lost extents removed");
+        assert_eq!(mw.space().available(), available + 32 * KIB);
+        assert!(mw.health().is_unhealthy(0, now));
+        // The same outage is never accounted twice.
+        mw.on_io_error(&mut cluster, now, &offline_failure(0));
+        assert_eq!(mw.metrics().dirty_bytes_lost, 16 * KIB);
+        // Reads now miss and go to OPFS — no stale cache routing.
+        let r = mw.plan_io(&mut cluster, now, &read_req(f, 0, 16 * KIB));
+        assert_eq!(tiers_of(&r), vec![Tier::DServers]);
+    }
+
+    #[test]
+    fn failed_plan_releases_pins_and_markers() {
+        let (mut cluster, mut mw, f) = setup(32 * KIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
+        let mut plans = Vec::new();
+        mw.build_flushes(SimTime::ZERO, &mut plans);
+        let flush_tag = plans[0].tag;
+        // The flush plan fails: the extent stays dirty and is retried.
+        mw.on_plan_failed(&mut cluster, SimTime::ZERO, flush_tag);
+        assert_eq!(mw.dmt().dirty_bytes(), 32 * KIB);
+        let mut plans = Vec::new();
+        mw.build_flushes(SimTime::from_secs(1), &mut plans);
+        assert_eq!(plans.len(), 1, "flush re-issued after failure");
+        let tag = plans[0].tag;
+        mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), tag);
+        // A pinned read whose plan fails must still unpin.
+        let r = mw.plan_io(
+            &mut cluster,
+            SimTime::from_secs(2),
+            &read_req(f, 0, 32 * KIB),
+        );
+        assert_ne!(r.tag, 0);
+        mw.on_plan_failed(&mut cluster, SimTime::from_secs(2), r.tag);
+        let w = mw.plan_io(
+            &mut cluster,
+            SimTime::from_secs(3),
+            &write_req(f, MIB, 32 * KIB),
+        );
+        assert_eq!(tiers_of(&w), vec![Tier::CServers], "eviction unblocked");
+    }
+
+    #[test]
+    fn flush_on_risk_floods_dirty_data() {
+        let mut cluster = Cluster::paper_testbed_small(9);
+        let mut mw = S4dCache::new(
+            S4dConfig::new(64 * MIB).with_flush_on_risk(true),
+            params_small(),
+        );
+        // Keep the per-wake trickle tiny so the flood is observable.
+        mw.config.max_flush_per_wake = 1;
+        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+        for i in 0..4u64 {
+            // Non-adjacent extents so they cannot merge into one group.
+            mw.plan_io(
+                &mut cluster,
+                SimTime::ZERO,
+                &write_req(f, i * MIB, 16 * KIB),
+            );
+        }
+        let mut plans = Vec::new();
+        mw.build_flushes(SimTime::ZERO, &mut plans);
+        assert_eq!(plans.len(), 1, "healthy tier: trickle of one per wake");
+        // One failure marks the tier at risk: everything dirty flushes.
+        mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, 1));
+        let mut plans = Vec::new();
+        mw.build_flushes(SimTime::ZERO, &mut plans);
+        assert_eq!(plans.len(), 3, "at risk: all remaining dirty extents");
+    }
+
+    #[test]
+    fn crashed_flush_in_flight_does_not_corrupt_source_file() {
+        let (mut cluster, mut mw, f) = setup(64 * MIB);
+        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+        let mut plans = Vec::new();
+        mw.build_flushes(SimTime::ZERO, &mut plans);
+        let tag = plans[0].tag;
+        // The CServer crashes while the flush is in flight; the extent is
+        // invalidated and its space handed back.
+        mw.on_io_error(&mut cluster, SimTime::from_secs(1), &offline_failure(0));
+        assert_eq!(mw.metrics().dirty_bytes_lost, 16 * KIB);
+        // The flush completion then arrives; it must notice the mapping is
+        // gone and not copy reallocated/wiped space over the original.
+        mw.on_plan_complete(&mut cluster, SimTime::from_secs(2), tag);
+        assert_eq!(mw.dmt().mapped_bytes(), 0);
+        assert!(!mw.inflight_flush.contains(&(f, 0)));
     }
 
     #[test]

@@ -52,6 +52,7 @@
 mod cdt;
 mod config;
 mod dmt;
+mod health;
 pub mod journal;
 mod layer;
 mod memcache;
@@ -59,14 +60,23 @@ mod metrics;
 mod space;
 
 pub use cdt::{Cdt, CdtEntry};
-pub use journal::{JournalError, JournalRecord};
 pub use config::{AdmissionPolicy, S4dConfig};
 pub use dmt::{CoveredPiece, Dmt, MapExtent, RangeView};
+pub use health::{HealthMonitor, ServerHealth};
+pub use journal::{JournalError, JournalRecord, RecoveredJournal};
 pub use layer::S4dCache;
 pub use memcache::{MemCache, MemCacheMetrics};
 pub use metrics::S4dMetrics;
 pub use space::SpaceManager;
 
-/// Size in bytes of one persisted DMT record: the paper's §V.E.1 counts six
-/// four-byte fields (D_file, D_offset, C_file, C_offset, Length, D_flag).
-pub const DMT_RECORD_BYTES: u64 = 24;
+/// Size in bytes of one persisted DMT record frame.
+///
+/// The paper's §V.E.1 counts six four-byte fields (D_file, D_offset,
+/// C_file, C_offset, Length, D_flag) — a 24-byte payload. This
+/// reproduction frames each payload with a CRC32 (IEEE) trailer so
+/// recovery can detect bit-flips and torn tails, for 28 bytes on disk:
+/// `[24-byte payload][4-byte CRC32 little-endian]`.
+pub const DMT_RECORD_BYTES: u64 = DMT_PAYLOAD_BYTES + 4;
+
+/// Size in bytes of the record payload, excluding the CRC32 trailer.
+pub const DMT_PAYLOAD_BYTES: u64 = 24;

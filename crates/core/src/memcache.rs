@@ -27,9 +27,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use s4d_mpiio::{
-    AppRequest, BackgroundPoll, Cluster, Middleware, MiddlewareError, Plan, Rank,
-};
+use s4d_mpiio::{AppRequest, BackgroundPoll, Cluster, Middleware, MiddlewareError, Plan, Rank};
 use s4d_pfs::FileId;
 use s4d_sim::{SimDuration, SimTime};
 use s4d_storage::{ExtentStore, IoKind, StoreMode};
@@ -141,7 +139,10 @@ impl<M: Middleware> MemCache<M> {
     ///
     /// Panics if `per_rank_capacity == 0`.
     pub fn new(inner: M, per_rank_capacity: u64) -> Self {
-        assert!(per_rank_capacity > 0, "client cache capacity must be positive");
+        assert!(
+            per_rank_capacity > 0,
+            "client cache capacity must be positive"
+        );
         let name = format!("memcache+{}", inner.name());
         MemCache {
             inner,
@@ -274,9 +275,17 @@ mod tests {
     #[test]
     fn read_after_write_hits_ram() {
         let (mut cluster, mut mw, f) = setup();
-        let w = mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Write, 0, 16 * KIB));
+        let w = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Write, 0, 16 * KIB),
+        );
         assert!(!w.is_empty(), "writes pass through");
-        let r = mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Read, 0, 16 * KIB));
+        let r = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Read, 0, 16 * KIB),
+        );
         assert!(r.is_empty(), "resident read needs no server I/O");
         assert!(!r.lead_in.is_zero(), "RAM hits still cost RAM time");
         assert_eq!(mw.metrics().ram_hits, 1);
@@ -285,14 +294,26 @@ mod tests {
     #[test]
     fn cold_and_partial_reads_delegate_then_become_resident() {
         let (mut cluster, mut mw, f) = setup();
-        let r = mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Read, 0, 16 * KIB));
+        let r = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Read, 0, 16 * KIB),
+        );
         assert!(!r.is_empty());
         assert_eq!(mw.metrics().delegated_reads, 1);
         // Now resident: second read hits.
-        let r = mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Read, 0, 16 * KIB));
+        let r = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Read, 0, 16 * KIB),
+        );
         assert!(r.is_empty());
         // Partially resident: delegates.
-        let r = mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Read, 8 * KIB, 16 * KIB));
+        let r = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Read, 8 * KIB, 16 * KIB),
+        );
         assert!(!r.is_empty());
         assert_eq!(mw.metrics().delegated_reads, 2);
     }
@@ -300,9 +321,17 @@ mod tests {
     #[test]
     fn caches_are_per_process() {
         let (mut cluster, mut mw, f) = setup();
-        mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Write, 0, 16 * KIB));
+        mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Write, 0, 16 * KIB),
+        );
         // A different rank does not see rank 0's residency.
-        let r = mw.plan_io(&mut cluster, SimTime::ZERO, &req(1, f, IoKind::Read, 0, 16 * KIB));
+        let r = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(1, f, IoKind::Read, 0, 16 * KIB),
+        );
         assert!(!r.is_empty());
     }
 
@@ -311,15 +340,35 @@ mod tests {
         let (mut cluster, mut mw, f) = setup();
         // Rank 1 reads (becomes resident), rank 0 overwrites, rank 1 must
         // re-read from the servers.
-        mw.plan_io(&mut cluster, SimTime::ZERO, &req(1, f, IoKind::Read, 0, 16 * KIB));
-        let hit = mw.plan_io(&mut cluster, SimTime::ZERO, &req(1, f, IoKind::Read, 0, 16 * KIB));
+        mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(1, f, IoKind::Read, 0, 16 * KIB),
+        );
+        let hit = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(1, f, IoKind::Read, 0, 16 * KIB),
+        );
         assert!(hit.is_empty());
-        mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Write, 0, 16 * KIB));
+        mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Write, 0, 16 * KIB),
+        );
         assert_eq!(mw.metrics().invalidations, 1);
-        let r = mw.plan_io(&mut cluster, SimTime::ZERO, &req(1, f, IoKind::Read, 0, 16 * KIB));
+        let r = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(1, f, IoKind::Read, 0, 16 * KIB),
+        );
         assert!(!r.is_empty(), "stale residency must not serve");
         // The writer itself stays resident (its RAM copy is current).
-        let r = mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Read, 0, 16 * KIB));
+        let r = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Read, 0, 16 * KIB),
+        );
         assert!(r.is_empty());
     }
 
@@ -336,7 +385,11 @@ mod tests {
         }
         assert!(mw.metrics().evicted_bytes >= 256 * KIB);
         // The earliest range was evicted, the latest survives.
-        let early = mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Read, 0, 16 * KIB));
+        let early = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Read, 0, 16 * KIB),
+        );
         assert!(!early.is_empty());
         let late = mw.plan_io(
             &mut cluster,
@@ -349,7 +402,11 @@ mod tests {
     #[test]
     fn delegation_preserves_inner_behaviour() {
         let (mut cluster, mut mw, f) = setup();
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &req(0, f, IoKind::Write, 0, 4 * KIB));
+        let plan = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &req(0, f, IoKind::Write, 0, 4 * KIB),
+        );
         // Stock inner: one DServer op.
         assert_eq!(plan.phases.len(), 1);
         assert_eq!(plan.phases[0].len(), 1);

@@ -39,6 +39,23 @@ pub struct S4dMetrics {
     pub journal_bytes: u64,
     /// Cache admissions denied for lack of space (after eviction).
     pub admission_denied_space: u64,
+    /// Sub-request retries granted after transient CServer errors.
+    pub retries: u64,
+    /// Quarantines entered (a server can contribute several across a run).
+    pub quarantines: u64,
+    /// Clean cached pieces served from OPFS instead of an unhealthy
+    /// CServer (graceful-degradation fallback reads).
+    pub fallback_reads: u64,
+    /// Bytes those fallback reads covered.
+    pub fallback_bytes: u64,
+    /// Dirty (unflushed) cached bytes destroyed by a CServer crash —
+    /// the data-loss figure a deployment must watch.
+    pub dirty_bytes_lost: u64,
+    /// Clean cached bytes invalidated after a CServer crash (no loss:
+    /// OPFS still holds them; reads re-fetch from there).
+    pub crash_invalidated_bytes: u64,
+    /// Cache admissions denied because a CServer was quarantined.
+    pub admission_denied_health: u64,
 }
 
 impl S4dMetrics {

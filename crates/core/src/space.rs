@@ -163,9 +163,21 @@ mod tests {
     fn fresh_allocations_bump() {
         let mut s = SpaceManager::new(1000);
         let a = s.alloc(CF, 100).unwrap();
-        assert_eq!(a, vec![AllocPiece { c_offset: 0, len: 100 }]);
+        assert_eq!(
+            a,
+            vec![AllocPiece {
+                c_offset: 0,
+                len: 100
+            }]
+        );
         let b = s.alloc(CF, 50).unwrap();
-        assert_eq!(b, vec![AllocPiece { c_offset: 100, len: 50 }]);
+        assert_eq!(
+            b,
+            vec![AllocPiece {
+                c_offset: 100,
+                len: 50
+            }]
+        );
         assert_eq!(s.allocated(), 150);
         assert_eq!(s.available(), 850);
     }

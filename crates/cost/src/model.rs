@@ -245,10 +245,7 @@ mod tests {
         for r in [4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB, 64 * KIB] {
             let td = t_dservers(&p, far, 0, r, SmMode::Table2);
             let tc = t_cservers(&p, 0, r, SmMode::Table2);
-            assert!(
-                td > tc,
-                "request {r}: T_D {td} should exceed T_C {tc}"
-            );
+            assert!(td > tc, "request {r}: T_D {td} should exceed T_C {tc}");
         }
     }
 

@@ -110,7 +110,10 @@ impl CostParams {
     ///
     /// Panics if `beta_c` is not positive and finite.
     pub fn with_beta_c(mut self, beta_c: f64) -> Self {
-        assert!(beta_c.is_finite() && beta_c > 0.0, "beta_c must be positive");
+        assert!(
+            beta_c.is_finite() && beta_c > 0.0,
+            "beta_c must be positive"
+        );
         self.beta_c = beta_c;
         self
     }
@@ -183,10 +186,7 @@ mod tests {
     fn logical_distance_scales_by_m() {
         let p = params();
         let d = 8 * 1024 * 1024 * 1024u64;
-        assert_eq!(
-            p.seek_time_for_logical_distance(d),
-            p.seek.seek_secs(d / 8)
-        );
+        assert_eq!(p.seek_time_for_logical_distance(d), p.seek.seek_secs(d / 8));
         assert_eq!(p.seek_time_for_logical_distance(0), 0.0);
     }
 

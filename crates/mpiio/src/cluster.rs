@@ -1,7 +1,7 @@
 //! The two parallel file systems as one unit.
 
-use s4d_pfs::{NetworkConfig, Pfs, StripeLayout};
 use s4d_pfs::FileId;
+use s4d_pfs::{NetworkConfig, Pfs, StripeLayout};
 use s4d_storage::{presets, HddConfig, SsdConfig, StoreMode};
 
 use crate::types::Tier;
@@ -120,6 +120,14 @@ impl Cluster {
         &mut self.cpfs
     }
 
+    /// Applies scripted crash effects due by `now` on every server of
+    /// both tiers, so direct store access (e.g. [`Cluster::copy_range`])
+    /// never observes data a crash should already have destroyed.
+    pub fn advance_faults(&mut self, now: s4d_sim::SimTime) {
+        self.opfs.advance_faults(now);
+        self.cpfs.advance_faults(now);
+    }
+
     /// Copies `len` bytes between tiers at store level (used at Rebuilder
     /// plan completion: the timed I/O has already been simulated; this
     /// applies the data effect). In timing mode this only transfers extent
@@ -140,38 +148,48 @@ impl Cluster {
         let (src_tier, src_file, src_off) = from;
         let (dst_tier, dst_file, dst_off) = to;
         // Read each source sub-range from its server store.
-        let src_plan = self
-            .pfs_mut(src_tier)
-            .plan(src_file, s4d_storage::IoKind::Read, src_off, len)?;
+        let src_plan =
+            self.pfs_mut(src_tier)
+                .plan(src_file, s4d_storage::IoKind::Read, src_off, len)?;
         let src_layout = self.pfs(src_tier).layout();
         let mut gathered: Vec<(u64, u64, Option<Vec<u8>>)> = Vec::new();
+        let mut coverage: Vec<(u64, u64, u64)> = Vec::new();
         for sub in src_plan {
             let mut local = sub.local_offset;
             for (file_off, seg_len) in src_layout.file_segments(&sub) {
-                let outcome = {
+                let (outcome, covered) = {
                     let server = self.pfs_mut(src_tier).server_mut(sub.server)?;
                     // Access the store through a read-shaped completion:
                     // servers expose stores only via I/O, so use a direct
                     // store read helper below.
-                    server.peek_store(src_file, local, seg_len)
+                    (
+                        server.peek_store(src_file, local, seg_len),
+                        server.peek_coverage(src_file, local, seg_len),
+                    )
                 };
                 gathered.push((file_off, seg_len, outcome));
+                coverage.push((file_off, seg_len, covered));
                 local += seg_len;
             }
         }
         // Write into the destination.
-        let dst_plan = self
-            .pfs_mut(dst_tier)
-            .plan(dst_file, s4d_storage::IoKind::Write, dst_off, len)?;
+        let dst_plan =
+            self.pfs_mut(dst_tier)
+                .plan(dst_file, s4d_storage::IoKind::Write, dst_off, len)?;
         let dst_layout = self.pfs(dst_tier).layout();
         for sub in dst_plan {
             let mut local = sub.local_offset;
             for (file_off, seg_len) in dst_layout.file_segments(&sub) {
-                // Map this destination segment back to source bytes.
+                // Map this destination segment back to source bytes. If
+                // the source holds nothing there (never written, or wiped
+                // by a server crash), don't fabricate zero coverage in the
+                // destination.
                 let rel = file_off - dst_off;
-                let data = assemble(&gathered, src_off + rel, seg_len);
-                let server = self.pfs_mut(dst_tier).server_mut(sub.server)?;
-                server.poke_store(dst_file, local, seg_len, data.as_deref());
+                if source_covered(&coverage, src_off + rel, seg_len) {
+                    let data = assemble(&gathered, src_off + rel, seg_len);
+                    let server = self.pfs_mut(dst_tier).server_mut(sub.server)?;
+                    server.poke_store(dst_file, local, seg_len, data.as_deref());
+                }
                 local += seg_len;
             }
         }
@@ -182,6 +200,13 @@ impl Cluster {
 /// Assembles `len` bytes starting at absolute source offset `at` from
 /// gathered `(file_off, len, data)` pieces; `None` if any piece is
 /// metadata-only (timing mode).
+/// True if any source piece overlapping `[at, at+len)` had stored bytes.
+fn source_covered(coverage: &[(u64, u64, u64)], at: u64, len: u64) -> bool {
+    coverage
+        .iter()
+        .any(|(p_off, p_len, covered)| *covered > 0 && at < p_off + p_len && *p_off < at + len)
+}
+
 fn assemble(pieces: &[(u64, u64, Option<Vec<u8>>)], at: u64, len: u64) -> Option<Vec<u8>> {
     let mut out = vec![0u8; len as usize];
     for (p_off, p_len, data) in pieces {
@@ -231,7 +256,12 @@ mod tests {
         let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 241) as u8).collect();
         let plan = c
             .pfs_mut(Tier::DServers)
-            .plan(orig, s4d_storage::IoKind::Write, 64 * 1024, payload.len() as u64)
+            .plan(
+                orig,
+                s4d_storage::IoKind::Write,
+                64 * 1024,
+                payload.len() as u64,
+            )
             .unwrap();
         let layout = c.pfs(Tier::DServers).layout();
         for sub in plan {
@@ -240,7 +270,12 @@ mod tests {
             for (file_off, seg_len) in layout.file_segments(&sub) {
                 let at = (file_off - 64 * 1024) as usize;
                 let server = c.pfs_mut(Tier::DServers).server_mut(sub.server).unwrap();
-                server.poke_store(orig, local, seg_len, Some(&payload[at..at + seg_len as usize]));
+                server.poke_store(
+                    orig,
+                    local,
+                    seg_len,
+                    Some(&payload[at..at + seg_len as usize]),
+                );
                 local += seg_len;
                 cursor += seg_len as usize;
             }
@@ -255,7 +290,12 @@ mod tests {
         .unwrap();
         let plan = c
             .pfs_mut(Tier::CServers)
-            .plan(cache, s4d_storage::IoKind::Read, 12_345, payload.len() as u64)
+            .plan(
+                cache,
+                s4d_storage::IoKind::Read,
+                12_345,
+                payload.len() as u64,
+            )
             .unwrap();
         let layout = c.pfs(Tier::CServers).layout();
         let mut got = vec![0u8; payload.len()];
@@ -263,7 +303,9 @@ mod tests {
             let mut local = sub.local_offset;
             for (file_off, seg_len) in layout.file_segments(&sub) {
                 let server = c.pfs(Tier::CServers).server(sub.server).unwrap();
-                let data = server.peek_store(cache, local, seg_len).expect("functional");
+                let data = server
+                    .peek_store(cache, local, seg_len)
+                    .expect("functional");
                 let at = (file_off - 12_345) as usize;
                 got[at..at + seg_len as usize].copy_from_slice(&data);
                 local += seg_len;
@@ -286,8 +328,12 @@ mod tests {
             let server = c.pfs_mut(Tier::DServers).server_mut(sub.server).unwrap();
             server.poke_store(orig, sub.local_offset, sub.len, None);
         }
-        c.copy_range((Tier::DServers, orig, 0), (Tier::CServers, cache, 0), 256 * 1024)
-            .unwrap();
+        c.copy_range(
+            (Tier::DServers, orig, 0),
+            (Tier::CServers, cache, 0),
+            256 * 1024,
+        )
+        .unwrap();
         assert_eq!(c.cpfs().stored_bytes(), 256 * 1024);
         // Zero-length copies are no-ops.
         c.copy_range((Tier::DServers, orig, 0), (Tier::CServers, cache, 0), 0)

@@ -49,7 +49,10 @@ mod types;
 
 pub use cluster::Cluster;
 pub use middleware::{BackgroundPoll, Middleware, StockMiddleware};
-pub use report::{KindReport, RunReport, TierCounts};
+pub use report::{DegradedCounts, KindReport, RunReport, TierCounts};
 pub use runner::{IoObserver, Runner, RunnerConfig};
 pub use script::{script, ProcessScript, ScriptBuilder, VecScript};
-pub use types::{AppOp, AppRequest, FileHandle, MiddlewareError, Plan, PlannedIo, Rank, Tier};
+pub use types::{
+    AppOp, AppRequest, ErrorDirective, FileHandle, MiddlewareError, Plan, PlannedIo, Rank,
+    SubIoFailure, Tier,
+};

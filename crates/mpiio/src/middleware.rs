@@ -8,7 +8,7 @@ use s4d_storage::IoKind;
 
 use crate::cluster::Cluster;
 use crate::types::{
-    AppRequest, MiddlewareError, Plan, PlannedIo, Rank, Tier,
+    AppRequest, ErrorDirective, MiddlewareError, Plan, PlannedIo, Rank, SubIoFailure, Tier,
 };
 
 /// Work returned by [`Middleware::poll_background`].
@@ -68,6 +68,37 @@ pub trait Middleware {
 
     /// Called when a plan with a non-zero tag has fully completed.
     fn on_plan_complete(&mut self, _cluster: &mut Cluster, _now: SimTime, _tag: u64) {}
+
+    /// Called when a sub-request fails with an I/O fault; decides whether
+    /// the runner retries it. The default gives up immediately (failing
+    /// the plan) — a health-aware middleware retries transient errors and
+    /// quarantines repeatedly-failing servers here.
+    fn on_io_error(
+        &mut self,
+        _cluster: &mut Cluster,
+        _now: SimTime,
+        _failure: &SubIoFailure,
+    ) -> ErrorDirective {
+        ErrorDirective::GiveUp
+    }
+
+    /// Called for every successfully completed sub-request with its
+    /// submit-to-completion latency — the health monitor's signal for
+    /// detecting degraded (slow) servers. Default: ignored.
+    fn on_io_complete(
+        &mut self,
+        _tier: Tier,
+        _server: usize,
+        _kind: IoKind,
+        _len: u64,
+        _latency: s4d_sim::SimDuration,
+    ) {
+    }
+
+    /// Called when a tagged plan *fails* (a sub-request gave up) instead
+    /// of completing: release any state held for `tag`. The runner then
+    /// re-plans process requests and drops background plans.
+    fn on_plan_failed(&mut self, _cluster: &mut Cluster, _now: SimTime, _tag: u64) {}
 
     /// Background (Rebuilder) trigger. The default implementation has no
     /// background activity.

@@ -88,6 +88,27 @@ impl KindReport {
     }
 }
 
+/// Degraded-mode counters observed by the runner (server faults and the
+/// recovery machinery they triggered). All zero on a healthy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedCounts {
+    /// Sub-requests that completed with an I/O fault (every attempt
+    /// counts, so this is ≥ the number of distinct failing operations).
+    pub io_errors: u64,
+    /// Sub-request retries granted by the middleware.
+    pub retries: u64,
+    /// Process requests re-planned after a plan failure. Re-dispatched
+    /// ops are counted again in [`TierCounts`].
+    pub replans: u64,
+    /// Background (Rebuilder) plans dropped because a sub-request gave
+    /// up; the middleware rebuilds the work on a later poll.
+    pub failed_background_plans: u64,
+    /// Overhead (journal) write failures that were tolerated without
+    /// failing their plan — recovery treats the lost records as a torn
+    /// journal tail.
+    pub overhead_failures: u64,
+}
+
 /// The result of one simulated run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -103,6 +124,8 @@ pub struct RunReport {
     pub background_plans: u64,
     /// Overhead (journal/metadata) bytes written by middleware plans.
     pub overhead_bytes: u64,
+    /// Fault/retry/re-plan counters (all zero on a healthy run).
+    pub degraded: DegradedCounts,
     /// Simulated instant at which the run finished.
     pub end_time: SimTime,
     /// Total events processed by the engine.
@@ -186,7 +209,8 @@ mod tests {
     #[test]
     fn run_report_total_throughput() {
         let mut r = RunReport::default();
-        r.writes.record(SimTime::ZERO, SimTime::from_secs(1), 1024 * 1024);
+        r.writes
+            .record(SimTime::ZERO, SimTime::from_secs(1), 1024 * 1024);
         r.reads
             .record(SimTime::from_secs(1), SimTime::from_secs(2), 1024 * 1024);
         assert!((r.total_throughput_mibs() - 1.0).abs() < 1e-9);

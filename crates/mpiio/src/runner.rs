@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use s4d_pfs::{SubReqId, SubRequest};
+use s4d_pfs::{Priority, SubReqId, SubRequest};
 use s4d_sim::{Engine, EventQueue, SimDuration, SimTime, World};
 use s4d_storage::IoKind;
 
@@ -23,7 +23,20 @@ use crate::cluster::Cluster;
 use crate::middleware::Middleware;
 use crate::report::RunReport;
 use crate::script::ProcessScript;
-use crate::types::{AppOp, AppRequest, Plan, Rank, Tier};
+use crate::types::{AppOp, AppRequest, ErrorDirective, Plan, Rank, SubIoFailure, Tier};
+
+/// Hard cap on re-planning one application request after plan failures —
+/// far above what converging fault scenarios need; hitting it means the
+/// middleware can neither serve nor route around a permanently failed
+/// resource.
+const MAX_REPLANS: u32 = 1000;
+
+/// Backoff before re-planning a failed request: grows with the attempt
+/// so a quarantined server's recovery window can pass.
+fn replan_delay(replans: u32) -> SimDuration {
+    let exp = replans.min(7);
+    SimDuration::from_millis(8 << exp).min(SimDuration::from_secs(1))
+}
 
 /// Observation hooks for tracing tools.
 ///
@@ -80,9 +93,16 @@ impl Default for RunnerConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     ProcessWake(usize),
-    ServerDone { tier: Tier, server: usize },
+    ServerDone {
+        tier: Tier,
+        server: usize,
+    },
     PlanStart(u64),
     BackgroundWake,
+    /// Resubmit a sub-request after a retry backoff.
+    Retry(u64),
+    /// Re-plan an application request after a plan failure.
+    Replan(u64),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,10 +129,15 @@ enum PlanOwner {
     Process {
         index: usize,
         issued: SimTime,
+        file: s4d_pfs::FileId,
         kind: IoKind,
         offset: u64,
         len: u64,
         read_buf: Option<Vec<u8>>,
+        /// Original write payload, kept so a failed plan can be re-planned.
+        data: Option<Vec<u8>>,
+        /// How many times this request has been re-planned.
+        replans: u32,
     },
     Background,
 }
@@ -122,6 +147,9 @@ struct PlanExec {
     phase: usize,
     outstanding: usize,
     owner: PlanOwner,
+    /// Set when a sub-request gave up: remaining phases are skipped and
+    /// the plan fails instead of completing.
+    failed: bool,
 }
 
 struct SubMeta {
@@ -132,6 +160,32 @@ struct SubMeta {
     app_offset: Option<u64>,
     /// `(file_offset_within_op_file, len)` segments of this sub-request.
     segments: Vec<(u64, u64)>,
+    /// Service class (needed to rebuild the sub-request on retry).
+    priority: Priority,
+    /// Attempts so far, including the in-flight one.
+    attempts: u32,
+    /// When the current attempt was submitted (latency measurement).
+    submitted: SimTime,
+}
+
+/// A failed sub-request waiting out its retry backoff.
+struct PendingRetry {
+    tier: Tier,
+    server: usize,
+    req: SubRequest,
+    meta: SubMeta,
+}
+
+/// A failed application request waiting to be re-planned.
+struct PendingReplan {
+    index: usize,
+    issued: SimTime,
+    file: s4d_pfs::FileId,
+    kind: IoKind,
+    offset: u64,
+    len: u64,
+    data: Option<Vec<u8>>,
+    replans: u32,
 }
 
 struct State<M: Middleware> {
@@ -143,6 +197,10 @@ struct State<M: Middleware> {
     next_plan: u64,
     subs: HashMap<SubReqId, SubMeta>,
     next_sub: u64,
+    retries: HashMap<u64, PendingRetry>,
+    next_retry: u64,
+    replans: HashMap<u64, PendingReplan>,
+    next_replan: u64,
     barrier_waiting: usize,
     finished: usize,
     background_armed: bool,
@@ -193,6 +251,10 @@ impl<M: Middleware> Runner<M> {
                 next_plan: 1,
                 subs: HashMap::new(),
                 next_sub: 0,
+                retries: HashMap::new(),
+                next_retry: 0,
+                replans: HashMap::new(),
+                next_replan: 0,
                 barrier_waiting: 0,
                 finished: 0,
                 background_armed: false,
@@ -219,9 +281,13 @@ impl<M: Middleware> Runner<M> {
     pub fn run(&mut self) -> RunReport {
         let mut engine: Engine<Event> = Engine::new();
         for i in 0..self.state.procs.len() {
-            engine.queue_mut().push(SimTime::ZERO, Event::ProcessWake(i));
+            engine
+                .queue_mut()
+                .push(SimTime::ZERO, Event::ProcessWake(i));
         }
-        engine.queue_mut().push(SimTime::ZERO, Event::BackgroundWake);
+        engine
+            .queue_mut()
+            .push(SimTime::ZERO, Event::BackgroundWake);
         self.state.background_armed = true;
         self.state.drain_mode = false;
         let horizon = self.state.config.horizon;
@@ -271,6 +337,10 @@ impl<M: Middleware> Runner<M> {
 
 impl<M: Middleware> World<Event> for State<M> {
     fn handle(&mut self, now: SimTime, ev: Event, q: &mut EventQueue<Event>) {
+        // Scripted crash effects become visible the moment time reaches
+        // them, never later — direct store reads (Rebuilder copies) must
+        // not observe destroyed data.
+        self.cluster.advance_faults(now);
         match ev {
             Event::ProcessWake(i) => self.advance_process(now, i, q),
             Event::ServerDone { tier, server } => self.server_done(now, tier, server, q),
@@ -282,6 +352,8 @@ impl<M: Middleware> World<Event> for State<M> {
                 self.start_plan(now, id, exec, q);
             }
             Event::BackgroundWake => self.background_wake(now, q),
+            Event::Retry(token) => self.fire_retry(now, token, q),
+            Event::Replan(token) => self.fire_replan(now, token, q),
         }
     }
 }
@@ -346,7 +418,13 @@ impl<M: Middleware> State<M> {
                 }
                 AppOp::Seek { handle, offset } => {
                     let rank = self.procs[i].rank;
-                    if self.procs[i].handles.get(handle.0).copied().flatten().is_none() {
+                    if self.procs[i]
+                        .handles
+                        .get(handle.0)
+                        .copied()
+                        .flatten()
+                        .is_none()
+                    {
                         panic!("{rank} seeked unopened handle {}", handle.0);
                     }
                     self.procs[i].cursors[handle.0] = offset;
@@ -357,13 +435,10 @@ impl<M: Middleware> State<M> {
                     len,
                     data,
                 } => {
-                    let offset = *self.procs[i]
-                        .cursors
-                        .get(handle.0)
-                        .unwrap_or_else(|| {
-                            let rank = self.procs[i].rank;
-                            panic!("{rank} used unopened handle {}", handle.0)
-                        });
+                    let offset = *self.procs[i].cursors.get(handle.0).unwrap_or_else(|| {
+                        let rank = self.procs[i].rank;
+                        panic!("{rank} used unopened handle {}", handle.0)
+                    });
                     self.procs[i].cursors[handle.0] = offset + len;
                     self.dispatch_io(now, i, handle, kind, offset, len, data, q);
                     return;
@@ -410,14 +485,18 @@ impl<M: Middleware> State<M> {
             len,
             data,
         };
+        let data = req.data.clone();
         let plan = self.middleware.plan_io(&mut self.cluster, now, &req);
         let owner = PlanOwner::Process {
             index: i,
             issued: now,
+            file,
             kind,
             offset,
             len,
             read_buf: None,
+            data,
+            replans: 0,
         };
         self.launch_plan(now, plan, owner, q);
     }
@@ -448,11 +527,15 @@ impl<M: Middleware> State<M> {
             phase: 0,
             outstanding: 0,
             owner,
+            failed: false,
         };
         if !exec.plan.lead_in.is_zero() {
             // Charge the middleware's decision time before any I/O starts.
             self.plans.insert(plan_id, exec);
-            q.push(now + exec_lead_in(&self.plans[&plan_id]), Event::PlanStart(plan_id));
+            q.push(
+                now + exec_lead_in(&self.plans[&plan_id]),
+                Event::PlanStart(plan_id),
+            );
             return;
         }
         self.start_plan(now, plan_id, exec, q);
@@ -518,6 +601,9 @@ impl<M: Middleware> State<M> {
                             op_offset: op.offset,
                             app_offset: op.app_offset,
                             segments,
+                            priority: op.priority,
+                            attempts: 1,
+                            submitted: now,
                         },
                     );
                     let sr = SubRequest {
@@ -590,38 +676,109 @@ impl<M: Middleware> State<M> {
             .subs
             .remove(&completed.id)
             .expect("completed sub-request was registered");
-        let mut exec = match self.plans.remove(&meta.plan_id) {
+        let plan_id = meta.plan_id;
+        let mut exec = match self.plans.remove(&plan_id) {
             Some(e) => e,
             None => unreachable!("sub-request's plan is live"),
         };
-        // Scatter functional read bytes into the owner's buffer.
-        if let (Some(data), Some(app_off)) = (&completed.data, meta.app_offset) {
-            if let PlanOwner::Process {
-                offset,
-                len,
-                read_buf,
-                ..
-            } = &mut exec.owner
+        if let Some(error) = completed.error {
+            self.report.degraded.io_errors += 1;
+            let overhead =
+                matches!(exec.owner, PlanOwner::Process { .. }) && meta.app_offset.is_none();
+            let failure = SubIoFailure {
+                tier,
+                server,
+                kind: completed.kind,
+                len: completed.len,
+                error,
+                attempts: meta.attempts,
+                overhead,
+            };
+            match self
+                .middleware
+                .on_io_error(&mut self.cluster, now, &failure)
             {
-                let buf = read_buf.get_or_insert_with(|| vec![0u8; *len as usize]);
-                let mut cursor = 0usize;
-                for (seg_off, seg_len) in &meta.segments {
-                    let app_pos = app_off + (seg_off - meta.op_offset);
-                    let at = (app_pos - *offset) as usize;
-                    let n = *seg_len as usize;
-                    buf[at..at + n].copy_from_slice(&data[cursor..cursor + n]);
-                    cursor += n;
+                ErrorDirective::Retry { delay } => {
+                    self.report.degraded.retries += 1;
+                    let mut meta = meta;
+                    meta.attempts += 1;
+                    // A failed write hands its payload back in `data`.
+                    let req = SubRequest {
+                        id: completed.id,
+                        file: completed.file,
+                        kind: completed.kind,
+                        local_offset: completed.local_offset,
+                        len: completed.len,
+                        priority: meta.priority,
+                        data: completed.data,
+                    };
+                    let token = self.next_retry;
+                    self.next_retry += 1;
+                    self.retries.insert(
+                        token,
+                        PendingRetry {
+                            tier,
+                            server,
+                            req,
+                            meta,
+                        },
+                    );
+                    q.push(now + delay, Event::Retry(token));
+                    // The sub-request stays outstanding on its plan.
+                    self.plans.insert(plan_id, exec);
+                    return;
+                }
+                ErrorDirective::GiveUp => {
+                    if overhead {
+                        // A lost metadata write-behind doesn't fail the
+                        // application request: recovery treats the missing
+                        // records as a torn journal tail.
+                        self.report.degraded.overhead_failures += 1;
+                    } else {
+                        exec.failed = true;
+                    }
+                }
+            }
+        } else {
+            self.middleware.on_io_complete(
+                tier,
+                server,
+                completed.kind,
+                completed.len,
+                now - meta.submitted,
+            );
+            // Scatter functional read bytes into the owner's buffer.
+            if let (Some(data), Some(app_off)) = (&completed.data, meta.app_offset) {
+                if let PlanOwner::Process {
+                    offset,
+                    len,
+                    read_buf,
+                    ..
+                } = &mut exec.owner
+                {
+                    let buf = read_buf.get_or_insert_with(|| vec![0u8; *len as usize]);
+                    let mut cursor = 0usize;
+                    for (seg_off, seg_len) in &meta.segments {
+                        let app_pos = app_off + (seg_off - meta.op_offset);
+                        let at = (app_pos - *offset) as usize;
+                        let n = *seg_len as usize;
+                        buf[at..at + n].copy_from_slice(&data[cursor..cursor + n]);
+                        cursor += n;
+                    }
                 }
             }
         }
         exec.outstanding -= 1;
         if exec.outstanding > 0 {
-            self.plans.insert(meta.plan_id, exec);
+            self.plans.insert(plan_id, exec);
+            return;
+        }
+        if exec.failed {
+            self.fail_plan(now, exec, q);
             return;
         }
         // Phase finished: next phase or plan completion.
         exec.phase += 1;
-        let plan_id = meta.plan_id;
         let launched = self.submit_phase(now, plan_id, &mut exec, q);
         if launched > 0 {
             exec.outstanding = launched;
@@ -629,6 +786,112 @@ impl<M: Middleware> State<M> {
         } else {
             self.complete_plan(now, exec, q);
         }
+    }
+
+    /// Resubmits a retried sub-request after its backoff.
+    fn fire_retry(&mut self, now: SimTime, token: u64, q: &mut EventQueue<Event>) {
+        let PendingRetry {
+            tier,
+            server,
+            req,
+            mut meta,
+        } = self
+            .retries
+            .remove(&token)
+            .expect("Retry names a pending retry");
+        meta.submitted = now;
+        let id = req.id;
+        self.subs.insert(id, meta);
+        let started = self
+            .cluster
+            .pfs_mut(tier)
+            .server_mut(server)
+            .expect("retried server exists")
+            .submit(now, req);
+        if let Some(s) = started {
+            q.push(s.completes_at, Event::ServerDone { tier, server });
+        }
+    }
+
+    /// A plan failed: notify the middleware, then schedule a re-plan of
+    /// the owning application request (background plans are just dropped
+    /// and rebuilt by a later poll).
+    fn fail_plan(&mut self, now: SimTime, exec: PlanExec, q: &mut EventQueue<Event>) {
+        if exec.plan.tag != 0 {
+            self.middleware
+                .on_plan_failed(&mut self.cluster, now, exec.plan.tag);
+        }
+        match exec.owner {
+            PlanOwner::Process {
+                index,
+                issued,
+                file,
+                kind,
+                offset,
+                len,
+                data,
+                replans,
+                ..
+            } => {
+                assert!(
+                    replans < MAX_REPLANS,
+                    "request (offset {offset}, len {len}) re-planned {MAX_REPLANS} times \
+                     without succeeding — the middleware cannot route around the failure"
+                );
+                self.report.degraded.replans += 1;
+                let token = self.next_replan;
+                self.next_replan += 1;
+                self.replans.insert(
+                    token,
+                    PendingReplan {
+                        index,
+                        issued,
+                        file,
+                        kind,
+                        offset,
+                        len,
+                        data,
+                        replans: replans + 1,
+                    },
+                );
+                q.push(now + replan_delay(replans), Event::Replan(token));
+            }
+            PlanOwner::Background => {
+                self.report.degraded.failed_background_plans += 1;
+            }
+        }
+    }
+
+    /// Re-plans a failed application request from scratch: the middleware's
+    /// state now reflects the failure (quarantine, invalidated mappings),
+    /// so the new plan routes around it.
+    fn fire_replan(&mut self, now: SimTime, token: u64, q: &mut EventQueue<Event>) {
+        let e = self
+            .replans
+            .remove(&token)
+            .expect("Replan names a pending replan");
+        let rank = self.procs[e.index].rank;
+        let req = AppRequest {
+            rank,
+            file: e.file,
+            kind: e.kind,
+            offset: e.offset,
+            len: e.len,
+            data: e.data.clone(),
+        };
+        let plan = self.middleware.plan_io(&mut self.cluster, now, &req);
+        let owner = PlanOwner::Process {
+            index: e.index,
+            issued: e.issued,
+            file: e.file,
+            kind: e.kind,
+            offset: e.offset,
+            len: e.len,
+            read_buf: None,
+            data: e.data,
+            replans: e.replans,
+        };
+        self.launch_plan(now, plan, owner, q);
     }
 
     fn complete_plan(&mut self, now: SimTime, exec: PlanExec, q: &mut EventQueue<Event>) {
@@ -648,6 +911,7 @@ impl<M: Middleware> State<M> {
                 offset,
                 len,
                 read_buf,
+                ..
             } => {
                 self.report.kind_mut(kind).record(issued, now, len);
                 let rank = self.procs[index].rank;
@@ -728,7 +992,9 @@ mod tests {
         struct Capture(std::rc::Rc<std::cell::RefCell<Vec<Vec<u8>>>>);
         impl IoObserver for Capture {
             fn on_read_data(&mut self, _r: Rank, _o: u64, _l: u64, data: Option<&[u8]>) {
-                self.0.borrow_mut().push(data.expect("functional data").to_vec());
+                self.0
+                    .borrow_mut()
+                    .push(data.expect("functional data").to_vec());
             }
         }
         let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
@@ -744,7 +1010,10 @@ mod tests {
         r.run();
         let got = got.borrow();
         assert_eq!(got.len(), 1);
-        assert_eq!(got[0], payload, "bytes must survive striping and reassembly");
+        assert_eq!(
+            got[0], payload,
+            "bytes must survive striping and reassembly"
+        );
     }
 
     #[test]
@@ -810,7 +1079,12 @@ mod tests {
                         .build()
                 })
                 .collect();
-            let mut r = Runner::new(Cluster::paper_testbed(77), StockMiddleware::new(), scripts, 6);
+            let mut r = Runner::new(
+                Cluster::paper_testbed(77),
+                StockMiddleware::new(),
+                scripts,
+                6,
+            );
             r.run()
         };
         let a = make();
@@ -893,5 +1167,141 @@ mod tests {
     fn bad_handle_panics() {
         let scripts = vec![script().write(0, 0, 4096).build()];
         Runner::new(small_cluster(), StockMiddleware::new(), scripts, 7).run();
+    }
+
+    /// Stock middleware plus a fixed retry policy — exercises the
+    /// runner's retry and re-plan machinery without the cache layer.
+    struct RetryingStock {
+        inner: StockMiddleware,
+        max_attempts: u32,
+    }
+
+    impl Middleware for RetryingStock {
+        fn open(
+            &mut self,
+            cluster: &mut Cluster,
+            rank: Rank,
+            name: &str,
+        ) -> Result<s4d_pfs::FileId, crate::types::MiddlewareError> {
+            self.inner.open(cluster, rank, name)
+        }
+
+        fn plan_io(&mut self, cluster: &mut Cluster, now: SimTime, req: &AppRequest) -> Plan {
+            self.inner.plan_io(cluster, now, req)
+        }
+
+        fn close(
+            &mut self,
+            cluster: &mut Cluster,
+            rank: Rank,
+            file: s4d_pfs::FileId,
+        ) -> Result<(), crate::types::MiddlewareError> {
+            self.inner.close(cluster, rank, file)
+        }
+
+        fn on_io_error(
+            &mut self,
+            _cluster: &mut Cluster,
+            _now: SimTime,
+            failure: &crate::types::SubIoFailure,
+        ) -> ErrorDirective {
+            if failure.attempts < self.max_attempts {
+                ErrorDirective::Retry {
+                    delay: SimDuration::from_millis(1),
+                }
+            } else {
+                ErrorDirective::GiveUp
+            }
+        }
+
+        fn name(&self) -> &str {
+            "retrying-stock"
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        use s4d_pfs::{FaultPlan, ServerFault};
+        let mut cluster = small_cluster();
+        for s in 0..cluster.opfs().server_count() {
+            cluster
+                .opfs_mut()
+                .set_fault_plan(
+                    s,
+                    FaultPlan::new().with(ServerFault::TransientErrors {
+                        from: SimTime::ZERO,
+                        until: SimTime::from_secs(10_000),
+                        error_rate: 0.3,
+                    }),
+                )
+                .unwrap();
+        }
+        let payload: Vec<u8> = (0..300_000u32).map(|i| (i % 241) as u8).collect();
+        let scripts = vec![script()
+            .open("f")
+            .write_bytes(0, 0, payload.clone())
+            .read(0, 0, payload.len() as u64)
+            .close(0)
+            .build()];
+        let mw = RetryingStock {
+            inner: StockMiddleware::new(),
+            max_attempts: 50,
+        };
+        let mut r = Runner::new(cluster, mw, scripts, 11);
+        struct Capture(std::rc::Rc<std::cell::RefCell<Vec<Vec<u8>>>>);
+        impl IoObserver for Capture {
+            fn on_read_data(&mut self, _r: Rank, _o: u64, _l: u64, data: Option<&[u8]>) {
+                self.0
+                    .borrow_mut()
+                    .push(data.expect("functional data").to_vec());
+            }
+        }
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        r.add_observer(Box::new(Capture(got.clone())));
+        let rep = r.run();
+        assert!(rep.degraded.io_errors > 0, "30% error rate must bite");
+        assert_eq!(
+            rep.degraded.retries, rep.degraded.io_errors,
+            "every error was retried, none gave up"
+        );
+        assert_eq!(rep.degraded.replans, 0);
+        assert_eq!(got.borrow()[0], payload, "retries must preserve bytes");
+    }
+
+    #[test]
+    fn plan_failure_replans_until_the_outage_ends() {
+        use s4d_pfs::{FaultPlan, ServerFault};
+        let mut cluster = small_cluster();
+        // Every DServer is down for the first 2 seconds; the write issued
+        // at t≈0 must fail, re-plan with backoff, and succeed afterwards.
+        for s in 0..cluster.opfs().server_count() {
+            cluster
+                .opfs_mut()
+                .set_fault_plan(
+                    s,
+                    FaultPlan::new().with(ServerFault::Crash {
+                        at: SimTime::ZERO,
+                        recover_at: SimTime::from_secs(2),
+                    }),
+                )
+                .unwrap();
+        }
+        let scripts = vec![script().open("f").write(0, 0, 64 * 1024).close(0).build()];
+        let mw = RetryingStock {
+            inner: StockMiddleware::new(),
+            max_attempts: 1, // offline: retrying the same server is futile
+        };
+        let mut r = Runner::new(cluster, mw, scripts, 12);
+        let rep = r.run();
+        assert_eq!(
+            rep.app_ops(IoKind::Write),
+            1,
+            "request completes eventually"
+        );
+        assert!(rep.degraded.replans > 0);
+        assert!(
+            rep.end_time >= SimTime::from_secs(2),
+            "success only after recovery"
+        );
     }
 }

@@ -175,7 +175,9 @@ mod tests {
             .build();
         assert!(matches!(s.next_op(), Some(AppOp::Open { .. })));
         match s.next_op() {
-            Some(AppOp::Io { kind, offset, len, .. }) => {
+            Some(AppOp::Io {
+                kind, offset, len, ..
+            }) => {
                 assert_eq!(kind, IoKind::Write);
                 assert_eq!((offset, len), (10, 20));
             }
@@ -204,11 +206,19 @@ mod tests {
         ));
         assert!(matches!(
             s.next_op(),
-            Some(AppOp::IoAtCursor { kind: IoKind::Write, len: 100, .. })
+            Some(AppOp::IoAtCursor {
+                kind: IoKind::Write,
+                len: 100,
+                ..
+            })
         ));
         assert!(matches!(
             s.next_op(),
-            Some(AppOp::IoAtCursor { kind: IoKind::Read, len: 50, .. })
+            Some(AppOp::IoAtCursor {
+                kind: IoKind::Read,
+                len: 50,
+                ..
+            })
         ));
     }
 

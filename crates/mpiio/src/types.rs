@@ -186,17 +186,47 @@ impl Plan {
 
     /// Total bytes across all planned ops (data + overhead).
     pub fn planned_bytes(&self) -> u64 {
-        self.phases
-            .iter()
-            .flatten()
-            .map(|op| op.len)
-            .sum()
+        self.phases.iter().flatten().map(|op| op.len).sum()
     }
 
     /// True if the plan contains no ops at all.
     pub fn is_empty(&self) -> bool {
         self.phases.iter().all(|p| p.is_empty())
     }
+}
+
+/// A failed sub-request, as reported to the middleware by the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubIoFailure {
+    /// Tier of the failing server.
+    pub tier: Tier,
+    /// Index of the failing server within its tier.
+    pub server: usize,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Length of the failed sub-request in bytes.
+    pub len: u64,
+    /// What went wrong.
+    pub error: s4d_pfs::IoFault,
+    /// How many times this sub-request has been attempted (≥ 1).
+    pub attempts: u32,
+    /// True for overhead traffic (metadata journal writes) rather than
+    /// application or Rebuilder data.
+    pub overhead: bool,
+}
+
+/// The middleware's verdict on a failed sub-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorDirective {
+    /// Resubmit the same sub-request to the same server after `delay`.
+    Retry {
+        /// Backoff before the resubmission.
+        delay: SimDuration,
+    },
+    /// Stop retrying; the plan fails (the runner re-plans process
+    /// requests through [`crate::Middleware::plan_io`], whose state now
+    /// reflects the failure, and drops background plans).
+    GiveUp,
 }
 
 /// Errors surfaced by middleware operations.

@@ -44,14 +44,19 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(PfsError::UnknownFile(FileId(1)).to_string(), "unknown file#1");
-        assert!(PfsError::FileExists("a".into()).to_string().contains("already exists"));
-        assert!(PfsError::NoSuchFile("b".into()).to_string().contains("no file named"));
-        assert!(PfsError::EmptyRequest.to_string().contains("zero length"));
-        assert!(
-            PfsError::BadServer { index: 9, count: 4 }
-                .to_string()
-                .contains("out of range")
+        assert_eq!(
+            PfsError::UnknownFile(FileId(1)).to_string(),
+            "unknown file#1"
         );
+        assert!(PfsError::FileExists("a".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(PfsError::NoSuchFile("b".into())
+            .to_string()
+            .contains("no file named"));
+        assert!(PfsError::EmptyRequest.to_string().contains("zero length"));
+        assert!(PfsError::BadServer { index: 9, count: 4 }
+            .to_string()
+            .contains("out of range"));
     }
 }

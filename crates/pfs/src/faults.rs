@@ -1,0 +1,280 @@
+//! Scriptable server-level fault injection.
+//!
+//! [`s4d_storage::FaultyDevice`] degrades a *device* by operation number;
+//! this module scripts whole-*server* failures on the simulation clock: a
+//! hard crash that loses all stored data, a window of transient
+//! (retryable) errors, or a slowdown window. A [`FaultPlan`] is installed
+//! on a [`FileServer`](crate::FileServer) and queried as simulated time
+//! advances; the middleware above observes the resulting [`IoFault`]s on
+//! completed sub-requests and reacts (retry, quarantine, fall back to the
+//! other tier).
+
+use s4d_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The error a faulted server attaches to a completed sub-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoFault {
+    /// The server is offline (crashed); its stored data is lost. Not
+    /// retryable against the same server until it recovers.
+    Offline,
+    /// A transient I/O error (controller hiccup, dropped RPC). The
+    /// operation had no effect and may be retried.
+    Transient,
+}
+
+impl std::fmt::Display for IoFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoFault::Offline => write!(f, "server offline"),
+            IoFault::Transient => write!(f, "transient i/o error"),
+        }
+    }
+}
+
+/// One scripted server fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServerFault {
+    /// The server hard-crashes at `at`, losing every stored byte, and
+    /// comes back (empty) at `recover_at`. While down, every sub-request
+    /// completes with [`IoFault::Offline`].
+    Crash {
+        /// Crash instant.
+        at: SimTime,
+        /// First instant the server is reachable again.
+        recover_at: SimTime,
+    },
+    /// In `[from, until)` each sub-request fails with probability
+    /// `error_rate`, completing with [`IoFault::Transient`] and no store
+    /// effect.
+    TransientErrors {
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Per-operation failure probability in `(0, 1]`.
+        error_rate: f64,
+    },
+    /// In `[from, until)` device service times are multiplied by `factor`
+    /// (a degrading server). For op-count-keyed schedules, wrap the
+    /// device in [`s4d_storage::FaultyDevice`] instead.
+    Degraded {
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Service-time multiplier (must be ≥ 1).
+        factor: f64,
+    },
+}
+
+/// A schedule of [`ServerFault`]s for one server, driven by the sim clock.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<ServerFault>,
+}
+
+impl FaultPlan {
+    /// An empty (always-healthy) plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault to the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or inverted window, an error rate outside
+    /// `(0, 1]`, or a slowdown factor below 1.
+    pub fn with(mut self, fault: ServerFault) -> Self {
+        match fault {
+            ServerFault::Crash { at, recover_at } => {
+                assert!(recover_at > at, "crash must recover after it happens");
+            }
+            ServerFault::TransientErrors {
+                from,
+                until,
+                error_rate,
+            } => {
+                assert!(until > from, "error window must be non-empty");
+                assert!(
+                    error_rate > 0.0 && error_rate <= 1.0,
+                    "error rate must be in (0, 1]"
+                );
+            }
+            ServerFault::Degraded {
+                from,
+                until,
+                factor,
+            } => {
+                assert!(until > from, "degraded window must be non-empty");
+                assert!(
+                    factor.is_finite() && factor >= 1.0,
+                    "slowdown factor must be >= 1"
+                );
+            }
+        }
+        self.faults.push(fault);
+        self
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[ServerFault] {
+        &self.faults
+    }
+
+    /// True if a crash window covers `now`.
+    pub fn offline_at(&self, now: SimTime) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, ServerFault::Crash { at, recover_at }
+                if *at <= now && now < *recover_at)
+        })
+    }
+
+    /// Transient-error probability at `now` (0 outside every window; the
+    /// maximum over overlapping windows).
+    pub fn error_rate_at(&self, now: SimTime) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                ServerFault::TransientErrors {
+                    from,
+                    until,
+                    error_rate,
+                } if *from <= now && now < *until => Some(*error_rate),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Service-time multiplier at `now` (1 when healthy; overlapping
+    /// windows stack multiplicatively, like [`s4d_storage::Fault`]s).
+    pub fn slowdown_at(&self, now: SimTime) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                ServerFault::Degraded {
+                    from,
+                    until,
+                    factor,
+                } if *from <= now && now < *until => Some(*factor),
+                _ => None,
+            })
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// True if any crash instant lies in `(since, now]` — the caller must
+    /// wipe the server's stores.
+    pub fn crash_due(&self, since: SimTime, now: SimTime) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, ServerFault::Crash { at, .. } if *at > since && *at <= now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_plan_is_healthy() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert!(!p.offline_at(t(5)));
+        assert_eq!(p.error_rate_at(t(5)), 0.0);
+        assert_eq!(p.slowdown_at(t(5)), 1.0);
+        assert!(!p.crash_due(SimTime::ZERO, t(100)));
+    }
+
+    #[test]
+    fn crash_window_and_due() {
+        let p = FaultPlan::new().with(ServerFault::Crash {
+            at: t(10),
+            recover_at: t(20),
+        });
+        assert!(!p.offline_at(t(9)));
+        assert!(p.offline_at(t(10)));
+        assert!(p.offline_at(t(19)));
+        assert!(!p.offline_at(t(20)));
+        assert!(!p.crash_due(SimTime::ZERO, t(9)));
+        assert!(p.crash_due(t(9), t(10)));
+        assert!(p.crash_due(SimTime::ZERO, t(100)));
+        assert!(!p.crash_due(t(10), t(100)), "crash at 10 already applied");
+    }
+
+    #[test]
+    fn transient_window_takes_max_rate() {
+        let p = FaultPlan::new()
+            .with(ServerFault::TransientErrors {
+                from: t(1),
+                until: t(10),
+                error_rate: 0.25,
+            })
+            .with(ServerFault::TransientErrors {
+                from: t(5),
+                until: t(8),
+                error_rate: 0.75,
+            });
+        assert_eq!(p.error_rate_at(t(0)), 0.0);
+        assert_eq!(p.error_rate_at(t(2)), 0.25);
+        assert_eq!(p.error_rate_at(t(6)), 0.75);
+        assert_eq!(p.error_rate_at(t(10)), 0.0);
+    }
+
+    #[test]
+    fn degraded_windows_stack() {
+        let p = FaultPlan::new()
+            .with(ServerFault::Degraded {
+                from: t(0),
+                until: t(10),
+                factor: 2.0,
+            })
+            .with(ServerFault::Degraded {
+                from: t(5),
+                until: t(10),
+                factor: 3.0,
+            });
+        assert_eq!(p.slowdown_at(t(1)), 2.0);
+        assert_eq!(p.slowdown_at(t(6)), 6.0);
+        assert_eq!(p.slowdown_at(t(11)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recover after")]
+    fn rejects_inverted_crash() {
+        FaultPlan::new().with(ServerFault::Crash {
+            at: t(5),
+            recover_at: t(5),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate")]
+    fn rejects_bad_rate() {
+        FaultPlan::new().with(ServerFault::TransientErrors {
+            from: t(0),
+            until: t(1),
+            error_rate: 1.5,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn rejects_speedup() {
+        FaultPlan::new().with(ServerFault::Degraded {
+            from: t(0),
+            until: t(1),
+            factor: 0.5,
+        });
+    }
+}

@@ -174,6 +174,29 @@ impl Pfs {
         self.servers.iter()
     }
 
+    /// Installs a scripted fault plan on one server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::BadServer`] if `server` is out of range.
+    pub fn set_fault_plan(
+        &mut self,
+        server: usize,
+        plan: crate::faults::FaultPlan,
+    ) -> Result<(), PfsError> {
+        self.server_mut(server)?.set_fault_plan(plan);
+        Ok(())
+    }
+
+    /// Applies crash effects due by `now` on every server, so direct
+    /// store reads ([`FileServer::peek_store`]) never observe data a
+    /// scripted crash should already have destroyed.
+    pub fn advance_faults(&mut self, now: s4d_sim::SimTime) {
+        for s in &mut self.servers {
+            s.advance_faults(now);
+        }
+    }
+
     /// Creates a file.
     ///
     /// # Errors
@@ -187,14 +210,7 @@ impl Pfs {
         let id = FileId(self.next_file);
         self.next_file += 1;
         self.by_name.insert(name.clone(), id);
-        self.files.insert(
-            id,
-            FileMeta {
-                id,
-                name,
-                size: 0,
-            },
-        );
+        self.files.insert(id, FileMeta { id, name, size: 0 });
         Ok(id)
     }
 
@@ -234,7 +250,10 @@ impl Pfs {
     ///
     /// Returns [`PfsError::UnknownFile`] if the id is not known.
     pub fn set_size(&mut self, file: FileId, size: u64) -> Result<(), PfsError> {
-        let meta = self.files.get_mut(&file).ok_or(PfsError::UnknownFile(file))?;
+        let meta = self
+            .files
+            .get_mut(&file)
+            .ok_or(PfsError::UnknownFile(file))?;
         meta.size = meta.size.max(size);
         Ok(())
     }
@@ -245,7 +264,10 @@ impl Pfs {
     ///
     /// Returns [`PfsError::UnknownFile`] if the id is not known.
     pub fn delete(&mut self, file: FileId) -> Result<(), PfsError> {
-        let meta = self.files.remove(&file).ok_or(PfsError::UnknownFile(file))?;
+        let meta = self
+            .files
+            .remove(&file)
+            .ok_or(PfsError::UnknownFile(file))?;
         self.by_name.remove(&meta.name);
         for s in &mut self.servers {
             s.delete_file(file);
@@ -267,7 +289,10 @@ impl Pfs {
         offset: u64,
         len: u64,
     ) -> Result<Vec<SubRange>, PfsError> {
-        let meta = self.files.get_mut(&file).ok_or(PfsError::UnknownFile(file))?;
+        let meta = self
+            .files
+            .get_mut(&file)
+            .ok_or(PfsError::UnknownFile(file))?;
         if len == 0 {
             return Err(PfsError::EmptyRequest);
         }

@@ -289,8 +289,7 @@ mod tests {
             (60 * KIB, 8 * KIB),
         ] {
             let subs = l.split(off, len);
-            let mut segs: Vec<(u64, u64)> =
-                subs.iter().flat_map(|s| l.file_segments(s)).collect();
+            let mut segs: Vec<(u64, u64)> = subs.iter().flat_map(|s| l.file_segments(s)).collect();
             segs.sort_unstable();
             // Coalesce adjacent segments, then the result must be the range.
             let mut merged: Vec<(u64, u64)> = Vec::new();

@@ -16,7 +16,10 @@
 //! * [`Pfs`] — the file system: file namespace plus the server array;
 //! * [`NetworkConfig`] — per-server interconnect costs (RPC latency and a
 //!   pipelined bandwidth cap), defaulting to Gigabit Ethernet like the
-//!   paper's testbed.
+//!   paper's testbed;
+//! * [`FaultPlan`] — scripted server faults on the sim clock (hard
+//!   crashes that lose data, transient-error windows, slowdowns), so the
+//!   layers above can be tested against a failing CServer tier.
 //!
 //! The crate deliberately contains no event loop: servers expose
 //! `submit`/`on_complete` transitions with explicit timestamps so that the
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod faults;
 mod fs;
 mod layout;
 mod network;
@@ -34,6 +38,7 @@ mod server;
 mod types;
 
 pub use error::PfsError;
+pub use faults::{FaultPlan, IoFault, ServerFault};
 pub use fs::{FileMeta, Pfs};
 pub use layout::{StripeLayout, SubRange};
 pub use network::NetworkConfig;

@@ -5,8 +5,13 @@ use std::collections::{HashMap, VecDeque};
 use s4d_sim::{SimDuration, SimRng, SimTime};
 use s4d_storage::{DeviceModel, ExtentStore, IoKind, StoreMode};
 
+use crate::faults::{FaultPlan, IoFault};
 use crate::network::NetworkConfig;
 use crate::types::{FileId, Priority, SubReqId};
+
+/// Fixed latency of an error completion from an offline server — the
+/// client's RPC timeout, not a device service time.
+const OFFLINE_ERROR_LATENCY: SimDuration = SimDuration::from_millis(2);
 
 /// A sub-request submitted to one server.
 #[derive(Debug, Clone)]
@@ -49,10 +54,15 @@ pub struct CompletedSubRequest {
     pub local_offset: u64,
     /// Length in bytes.
     pub len: u64,
-    /// Bytes read (functional stores only; zero-filled over holes).
+    /// Bytes read (functional stores only; zero-filled over holes). For a
+    /// *failed write* this instead carries the original payload back so
+    /// the caller can retry without keeping its own copy.
     pub data: Option<Vec<u8>>,
     /// For reads: how many requested bytes were previously written.
     pub covered_bytes: u64,
+    /// `Some` if the operation failed (no store effect happened); see
+    /// [`IoFault`] for retryability.
+    pub error: Option<IoFault>,
 }
 
 /// Counters a server accumulates over its lifetime.
@@ -70,6 +80,8 @@ pub struct ServerStats {
     pub busy: SimDuration,
     /// Largest queue depth observed (including the in-service request).
     pub max_depth: usize,
+    /// Sub-requests that completed with an [`IoFault`].
+    pub faulted_ops: u64,
 }
 
 /// One file server of a parallel file system.
@@ -96,6 +108,9 @@ pub struct FileServer {
     normal: VecDeque<SubRequest>,
     background: VecDeque<SubRequest>,
     current: Option<SubRequest>,
+    current_fault: Option<IoFault>,
+    faults: FaultPlan,
+    fault_cursor: SimTime,
     rng: SimRng,
     stats: ServerStats,
 }
@@ -130,9 +145,39 @@ impl FileServer {
             normal: VecDeque::new(),
             background: VecDeque::new(),
             current: None,
+            current_fault: None,
+            faults: FaultPlan::new(),
+            fault_cursor: SimTime::ZERO,
             rng,
             stats: ServerStats::default(),
         }
+    }
+
+    /// Installs a scripted fault plan (replacing any previous plan).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// True if a scripted crash window covers `now`.
+    pub fn is_offline(&self, now: SimTime) -> bool {
+        self.faults.offline_at(now)
+    }
+
+    /// Applies any crash effects that became due by `now`: a hard crash
+    /// wipes every stored byte. Idempotent; called internally from
+    /// [`FileServer::submit`] and [`FileServer::on_complete`], and by the
+    /// runner before direct store access ([`FileServer::peek_store`]) so
+    /// post-crash reads never observe stale data.
+    pub fn advance_faults(&mut self, now: SimTime) {
+        if self.faults.crash_due(self.fault_cursor, now) {
+            self.stores.clear();
+        }
+        self.fault_cursor = self.fault_cursor.max(now);
     }
 
     /// This server's index within its file system.
@@ -164,6 +209,7 @@ impl FileServer {
     /// immediately and a [`Started`] is returned; otherwise it queues and
     /// the server will start it from a later [`FileServer::on_complete`].
     pub fn submit(&mut self, now: SimTime, req: SubRequest) -> Option<Started> {
+        self.advance_faults(now);
         let depth = self.queue_len() + usize::from(self.is_busy()) + 1;
         self.stats.max_depth = self.stats.max_depth.max(depth);
         if self.current.is_none() {
@@ -185,10 +231,39 @@ impl FileServer {
     /// Panics if nothing is in service — calling this without a matching
     /// [`Started`] is a scheduling bug.
     pub fn on_complete(&mut self, now: SimTime) -> (CompletedSubRequest, Option<Started>) {
+        self.advance_faults(now);
         let req = self
             .current
             .take()
             .expect("on_complete called with no sub-request in service");
+        // A fault decided at start, or a crash that hit mid-service.
+        let fault = self.current_fault.take().or_else(|| {
+            if self.faults.offline_at(now) {
+                Some(IoFault::Offline)
+            } else {
+                None
+            }
+        });
+        if let Some(error) = fault {
+            self.stats.faulted_ops += 1;
+            let completed = CompletedSubRequest {
+                id: req.id,
+                file: req.file,
+                kind: req.kind,
+                local_offset: req.local_offset,
+                len: req.len,
+                // Hand the payload back so a failed write can be retried.
+                data: if req.kind.is_write() { req.data } else { None },
+                covered_bytes: 0,
+                error: Some(error),
+            };
+            let next = self
+                .normal
+                .pop_front()
+                .or_else(|| self.background.pop_front())
+                .map(|r| self.start(now, r));
+            return (completed, next);
+        }
         let store = self
             .stores
             .entry(req.file)
@@ -213,6 +288,7 @@ impl FileServer {
                     len: req.len,
                     data: None,
                     covered_bytes: req.len,
+                    error: None,
                 }
             }
             IoKind::Read => {
@@ -226,6 +302,7 @@ impl FileServer {
                     len: req.len,
                     data: outcome.data,
                     covered_bytes: outcome.covered_bytes,
+                    error: None,
                 }
             }
         };
@@ -244,6 +321,15 @@ impl FileServer {
         self.stores
             .get(&file)
             .and_then(|s| s.read(local_offset, len).data)
+    }
+
+    /// How many bytes of `[local_offset, local_offset+len)` are covered by
+    /// previous writes (0 after a crash wiped the store). Works in both
+    /// store modes.
+    pub fn peek_coverage(&self, file: FileId, local_offset: u64, len: u64) -> u64 {
+        self.stores
+            .get(&file)
+            .map_or(0, |s| s.read(local_offset, len).covered_bytes)
     }
 
     /// Writes stored bytes directly, bypassing the service queue (see
@@ -283,16 +369,38 @@ impl FileServer {
     }
 
     fn start(&mut self, now: SimTime, req: SubRequest) -> Started {
-        let base = self.base_for(req.file);
-        let lba = (base + req.local_offset) % self.capacity.max(1);
-        let device_time = self
-            .device
-            .service_time(req.kind, lba, req.len, &mut self.rng);
-        let net = SimDuration::from_secs_f64(
-            self.net
-                .overhead_secs(req.len, self.device.transfer_rate(req.kind)),
-        );
-        let service = device_time + net;
+        let fault = if self.faults.offline_at(now) {
+            Some(IoFault::Offline)
+        } else {
+            let rate = self.faults.error_rate_at(now);
+            if rate > 0.0 && self.rng.chance(rate) {
+                Some(IoFault::Transient)
+            } else {
+                None
+            }
+        };
+        self.current_fault = fault;
+        let service = if fault == Some(IoFault::Offline) {
+            // No device or transfer happens; the client just times out.
+            OFFLINE_ERROR_LATENCY
+        } else {
+            let base = self.base_for(req.file);
+            let lba = (base + req.local_offset) % self.capacity.max(1);
+            let device_time = self
+                .device
+                .service_time(req.kind, lba, req.len, &mut self.rng);
+            let slowdown = self.faults.slowdown_at(now);
+            let device_time = if slowdown > 1.0 {
+                SimDuration::from_secs_f64(device_time.as_secs_f64() * slowdown)
+            } else {
+                device_time
+            };
+            let net = SimDuration::from_secs_f64(
+                self.net
+                    .overhead_secs(req.len, self.device.transfer_rate(req.kind)),
+            );
+            device_time + net
+        };
         self.stats.ops += 1;
         if req.priority == Priority::Background {
             self.stats.background_ops += 1;
@@ -355,7 +463,10 @@ mod tests {
     fn idle_server_starts_immediately() {
         let mut s = hdd_server(StoreMode::Timing);
         let started = s
-            .submit(SimTime::ZERO, req(1, IoKind::Write, 0, 4 * KIB, Priority::Normal))
+            .submit(
+                SimTime::ZERO,
+                req(1, IoKind::Write, 0, 4 * KIB, Priority::Normal),
+            )
             .expect("idle server starts at once");
         assert_eq!(started.id, SubReqId(1));
         assert!(started.completes_at > SimTime::ZERO);
@@ -374,7 +485,10 @@ mod tests {
             .submit(t0, req(2, IoKind::Write, GIB, 4 * KIB, Priority::Normal))
             .is_none());
         assert!(s
-            .submit(t0, req(3, IoKind::Write, 2 * GIB, 4 * KIB, Priority::Normal))
+            .submit(
+                t0,
+                req(3, IoKind::Write, 2 * GIB, 4 * KIB, Priority::Normal)
+            )
             .is_none());
         assert_eq!(s.queue_len(), 2);
         let (done, next) = s.on_complete(first.completes_at);
@@ -483,5 +597,123 @@ mod tests {
     #[should_panic(expected = "no sub-request in service")]
     fn on_complete_without_service_panics() {
         hdd_server(StoreMode::Timing).on_complete(SimTime::ZERO);
+    }
+
+    #[test]
+    fn offline_server_fails_fast_and_loses_data() {
+        use crate::faults::{FaultPlan, IoFault, ServerFault};
+        let mut s = hdd_server(StoreMode::Functional);
+        s.set_fault_plan(FaultPlan::new().with(ServerFault::Crash {
+            at: SimTime::from_secs(10),
+            recover_at: SimTime::from_secs(20),
+        }));
+        // Healthy write before the crash.
+        let mut w = req(1, IoKind::Write, 0, 4, Priority::Normal);
+        w.data = Some(vec![9; 4]);
+        let st = s.submit(SimTime::ZERO, w).unwrap();
+        s.on_complete(st.completes_at);
+        assert_eq!(s.stored_bytes(), 4);
+        assert!(!s.is_offline(SimTime::from_secs(9)));
+        assert!(s.is_offline(SimTime::from_secs(10)));
+
+        // A write during the outage fails with Offline, has no store
+        // effect, and returns its payload for retry.
+        let t_down = SimTime::from_secs(12);
+        let mut w = req(2, IoKind::Write, 100, 4, Priority::Normal);
+        w.data = Some(vec![7; 4]);
+        let st = s.submit(t_down, w).unwrap();
+        assert_eq!(st.completes_at, t_down + SimDuration::from_millis(2));
+        let (done, _) = s.on_complete(st.completes_at);
+        assert_eq!(done.error, Some(IoFault::Offline));
+        assert_eq!(done.data, Some(vec![7; 4]));
+        assert_eq!(done.covered_bytes, 0);
+        // The crash wiped the pre-crash write too.
+        assert_eq!(s.stored_bytes(), 0);
+        assert_eq!(s.peek_coverage(FileId(0), 0, 4), 0);
+        assert_eq!(s.stats().faulted_ops, 1);
+
+        // After recovery the server works again, but empty.
+        let t_up = SimTime::from_secs(21);
+        let st = s
+            .submit(t_up, req(3, IoKind::Read, 0, 4, Priority::Normal))
+            .unwrap();
+        let (done, _) = s.on_complete(st.completes_at);
+        assert_eq!(done.error, None);
+        assert_eq!(done.covered_bytes, 0, "recovered server came back empty");
+    }
+
+    #[test]
+    fn crash_mid_service_fails_the_inflight_request() {
+        use crate::faults::{FaultPlan, IoFault, ServerFault};
+        let mut s = hdd_server(StoreMode::Functional);
+        s.set_fault_plan(FaultPlan::new().with(ServerFault::Crash {
+            at: SimTime::from_nanos(1),
+            recover_at: SimTime::from_secs(1000),
+        }));
+        // Starts healthy at t=0, but the server is down by completion.
+        let mut w = req(1, IoKind::Write, 0, 4, Priority::Normal);
+        w.data = Some(vec![1; 4]);
+        let st = s.submit(SimTime::ZERO, w).unwrap();
+        let (done, _) = s.on_complete(st.completes_at);
+        assert_eq!(done.error, Some(IoFault::Offline));
+        assert_eq!(s.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn transient_errors_fire_at_the_scripted_rate() {
+        use crate::faults::{FaultPlan, IoFault, ServerFault};
+        let mut s = hdd_server(StoreMode::Functional);
+        s.set_fault_plan(FaultPlan::new().with(ServerFault::TransientErrors {
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1_000_000),
+            error_rate: 0.5,
+        }));
+        let mut failed = 0u32;
+        let mut t = SimTime::ZERO;
+        for i in 0..200 {
+            let mut w = req(i, IoKind::Write, 0, 4, Priority::Normal);
+            w.data = Some(vec![3; 4]);
+            let st = s.submit(t, w).unwrap();
+            let (done, _) = s.on_complete(st.completes_at);
+            if done.error == Some(IoFault::Transient) {
+                failed += 1;
+                assert_eq!(done.covered_bytes, 0);
+            }
+            t = st.completes_at;
+        }
+        assert!(
+            (50..=150).contains(&failed),
+            "rate 0.5 should fail roughly half of 200 ops, got {failed}"
+        );
+        assert_eq!(u64::from(failed), s.stats().faulted_ops);
+        // Failed writes never touched the store; successes did.
+        assert_eq!(s.peek_coverage(FileId(0), 0, 4), 4);
+    }
+
+    #[test]
+    fn degraded_window_slows_service() {
+        use crate::faults::{FaultPlan, ServerFault};
+        let mut healthy = hdd_server(StoreMode::Timing);
+        let mut slow = hdd_server(StoreMode::Timing);
+        slow.set_fault_plan(FaultPlan::new().with(ServerFault::Degraded {
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1000),
+            factor: 10.0,
+        }));
+        let a = healthy
+            .submit(
+                SimTime::ZERO,
+                req(1, IoKind::Read, 0, 64 * KIB, Priority::Normal),
+            )
+            .unwrap();
+        let b = slow
+            .submit(
+                SimTime::ZERO,
+                req(1, IoKind::Read, 0, 64 * KIB, Priority::Normal),
+            )
+            .unwrap();
+        let ha = a.completes_at.duration_since(SimTime::ZERO).as_secs_f64();
+        let hb = b.completes_at.duration_since(SimTime::ZERO).as_secs_f64();
+        assert!(hb > ha * 5.0, "10x degraded server must be much slower");
     }
 }

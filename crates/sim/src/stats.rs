@@ -65,7 +65,11 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&mut self, d: SimDuration) {
         let ns = d.as_nanos();
-        let idx = if ns < 2 { 0 } else { 63 - ns.leading_zeros() as usize };
+        let idx = if ns < 2 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
         self.buckets[idx.min(63)] += 1;
         self.count += 1;
         self.sum_ns += ns as u128;
@@ -106,7 +110,10 @@ impl LatencyHistogram {
     ///
     /// Panics if `q` is outside `[0, 1]` or not finite.
     pub fn quantile(&self, q: f64) -> Option<SimDuration> {
-        assert!(q.is_finite() && (0.0..=1.0).contains(&q), "quantile out of range");
+        assert!(
+            q.is_finite() && (0.0..=1.0).contains(&q),
+            "quantile out of range"
+        );
         if self.count == 0 {
             return None;
         }
@@ -136,7 +143,13 @@ impl LatencyHistogram {
 
 impl fmt::Display for LatencyHistogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match (self.count, self.mean(), self.quantile(0.5), self.quantile(0.99), self.max()) {
+        match (
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max(),
+        ) {
             (0, ..) => write!(f, "latency: no samples"),
             (n, Some(mean), Some(p50), Some(p99), Some(max)) => write!(
                 f,

@@ -76,7 +76,10 @@ impl FaultyDevice {
     pub fn with_fault(mut self, fault: Fault) -> Self {
         match fault {
             Fault::SlowdownAfter { factor, .. } => {
-                assert!(factor.is_finite() && factor >= 1.0, "slowdown factor must be >= 1");
+                assert!(
+                    factor.is_finite() && factor >= 1.0,
+                    "slowdown factor must be >= 1"
+                );
             }
             Fault::StallWindow { from_op, to_op, .. } => {
                 assert!(to_op > from_op, "stall window must be non-empty");
@@ -126,6 +129,9 @@ impl DeviceModel for FaultyDevice {
 
     fn reset(&mut self) {
         self.inner.reset();
+        // The fault schedule is keyed by operation number; forgetting to
+        // rewind it would leave every fault phase-shifted after a reset.
+        self.ops = 0;
     }
 }
 
@@ -161,8 +167,10 @@ mod tests {
 
     #[test]
     fn slowdown_kicks_in_at_threshold() {
-        let mut d = FaultyDevice::new(ssd())
-            .with_fault(Fault::SlowdownAfter { from_op: 2, factor: 4.0 });
+        let mut d = FaultyDevice::new(ssd()).with_fault(Fault::SlowdownAfter {
+            from_op: 2,
+            factor: 4.0,
+        });
         let mut rng = SimRng::seed(2);
         let a = d.service_time(IoKind::Read, 0, 8192, &mut rng);
         let b = d.service_time(IoKind::Read, 0, 8192, &mut rng);
@@ -191,7 +199,10 @@ mod tests {
     #[test]
     fn faults_compose() {
         let mut d = FaultyDevice::new(ssd())
-            .with_fault(Fault::SlowdownAfter { from_op: 0, factor: 2.0 })
+            .with_fault(Fault::SlowdownAfter {
+                from_op: 0,
+                factor: 2.0,
+            })
             .with_fault(Fault::StallWindow {
                 from_op: 0,
                 to_op: 1,
@@ -207,9 +218,36 @@ mod tests {
     }
 
     #[test]
+    fn reset_rewinds_the_fault_schedule() {
+        let mut d = FaultyDevice::new(ssd()).with_fault(Fault::SlowdownAfter {
+            from_op: 2,
+            factor: 4.0,
+        });
+        let mut rng = SimRng::seed(5);
+        let healthy = d.service_time(IoKind::Read, 0, 8192, &mut rng);
+        for _ in 0..4 {
+            d.service_time(IoKind::Read, 0, 8192, &mut rng);
+        }
+        assert!(d.ops() == 5);
+        d.reset();
+        assert_eq!(d.ops(), 0, "reset must rewind the op counter");
+        // After the reset the schedule starts over: the first two ops are
+        // healthy again rather than inheriting the degraded phase.
+        let a = d.service_time(IoKind::Read, 0, 8192, &mut rng);
+        let b = d.service_time(IoKind::Read, 0, 8192, &mut rng);
+        let c = d.service_time(IoKind::Read, 0, 8192, &mut rng);
+        assert_eq!(a, healthy);
+        assert_eq!(b, healthy);
+        assert_eq!(c.as_nanos(), healthy.as_nanos() * 4);
+    }
+
+    #[test]
     #[should_panic(expected = "slowdown factor")]
     fn rejects_speedup() {
-        FaultyDevice::new(ssd()).with_fault(Fault::SlowdownAfter { from_op: 0, factor: 0.5 });
+        FaultyDevice::new(ssd()).with_fault(Fault::SlowdownAfter {
+            from_op: 0,
+            factor: 0.5,
+        });
     }
 
     #[test]

@@ -287,7 +287,12 @@ mod tests {
         let mut rng = SimRng::seed(7);
         for round in 0..5u64 {
             for p in 0..32u64 {
-                m.service_time(IoKind::Write, p * GIB + round * 16 * KIB, 16 * KIB, &mut rng);
+                m.service_time(
+                    IoKind::Write,
+                    p * GIB + round * 16 * KIB,
+                    16 * KIB,
+                    &mut rng,
+                );
             }
         }
         assert_eq!(m.seeks(), 32, "only the first round should seek");
@@ -392,6 +397,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "rpm must be positive")]
     fn rejects_zero_rpm() {
-        HddConfig::new(0, 1e8, GIB, presets::hdd_seagate_st3250().seek_profile().clone());
+        HddConfig::new(
+            0,
+            1e8,
+            GIB,
+            presets::hdd_seagate_st3250().seek_profile().clone(),
+        );
     }
 }

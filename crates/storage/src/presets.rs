@@ -76,7 +76,8 @@ mod tests {
         let ssd = ssd_ocz_revodrive_x2();
         // Small random: HDD ~ positioning (avg rotation + typical seek),
         // SSD ~ latency + transfer.
-        let hdd_small = hdd.avg_rotation_secs() + hdd.max_seek_secs() / 2.0
+        let hdd_small = hdd.avg_rotation_secs()
+            + hdd.max_seek_secs() / 2.0
             + 16_384.0 * hdd.beta_secs_per_byte();
         let ssd_small = ssd.op_latency_secs() + 16_384.0 * ssd.beta_secs_per_byte(IoKind::Write);
         assert!(hdd_small > 10.0 * ssd_small, "{hdd_small} vs {ssd_small}");

@@ -43,8 +43,15 @@ pub fn collect_seek_samples(
     samples_per_distance: u32,
     rng: &mut SimRng,
 ) -> Vec<SeekSample> {
-    assert!(samples_per_distance > 0, "need at least one sample per distance");
-    let mut device = config.clone().with_stream_window(0).with_max_streams(1).build();
+    assert!(
+        samples_per_distance > 0,
+        "need at least one sample per distance"
+    );
+    let mut device = config
+        .clone()
+        .with_stream_window(0)
+        .with_max_streams(1)
+        .build();
     let capacity = config.capacity();
     let mut samples = Vec::new();
     let mut distance = 4096u64;
@@ -90,10 +97,7 @@ pub fn fit_seek_profile(samples: &[SeekSample]) -> Result<SeekProfile, FitError>
     if samples.len() < 4 {
         return Err(FitError::TooFewSamples(samples.len()));
     }
-    let max_seek = samples
-        .iter()
-        .map(|s| s.seek_secs)
-        .fold(0.0f64, f64::max);
+    let max_seek = samples.iter().map(|s| s.seek_secs).fold(0.0f64, f64::max);
     if max_seek <= 0.0 {
         return Err(FitError::Degenerate);
     }
@@ -230,8 +234,14 @@ mod tests {
     #[test]
     fn fit_rejects_too_few_samples() {
         let s = vec![
-            SeekSample { distance: 1, seek_secs: 0.001 },
-            SeekSample { distance: 2, seek_secs: 0.002 },
+            SeekSample {
+                distance: 1,
+                seek_secs: 0.001,
+            },
+            SeekSample {
+                distance: 2,
+                seek_secs: 0.002,
+            },
         ];
         assert_eq!(fit_seek_profile(&s), Err(FitError::TooFewSamples(2)));
     }
@@ -239,14 +249,19 @@ mod tests {
     #[test]
     fn fit_rejects_flat_zero_samples() {
         let s: Vec<SeekSample> = (1..10)
-            .map(|i| SeekSample { distance: i * 1000, seek_secs: 0.0 })
+            .map(|i| SeekSample {
+                distance: i * 1000,
+                seek_secs: 0.0,
+            })
             .collect();
         assert_eq!(fit_seek_profile(&s), Err(FitError::Degenerate));
     }
 
     #[test]
     fn error_display() {
-        assert!(FitError::TooFewSamples(1).to_string().contains("at least 4"));
+        assert!(FitError::TooFewSamples(1)
+            .to_string()
+            .contains("at least 4"));
         assert!(FitError::Degenerate.to_string().contains("degenerate"));
     }
 

@@ -60,7 +60,10 @@ impl SeekProfile {
             ("long_e", long_e),
             ("max_seek", max_seek),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "seek coefficient {name} invalid: {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "seek coefficient {name} invalid: {v}"
+            );
         }
         assert!(max_seek > 0.0, "max_seek must be positive");
         SeekProfile {
@@ -89,7 +92,10 @@ impl SeekProfile {
             track_to_track.is_finite() && track_to_track > 0.0,
             "track_to_track must be positive"
         );
-        assert!(max_seek.is_finite() && max_seek > track_to_track, "max_seek must exceed track_to_track");
+        assert!(
+            max_seek.is_finite() && max_seek > track_to_track,
+            "max_seek must exceed track_to_track"
+        );
         assert!(capacity_bytes > 0, "capacity must be positive");
         let cutoff = capacity_bytes / 3;
         // Short regime: t(d) = a + b*sqrt(d), t(0+)≈track_to_track.
@@ -101,7 +107,14 @@ impl SeekProfile {
         let remaining = capacity_bytes - cutoff;
         let long_e = (max_seek - t_cutoff) / remaining as f64;
         let long_c = t_cutoff - long_e * cutoff as f64;
-        SeekProfile::from_coefficients(short_a, short_b.max(0.0), cutoff, long_c.max(0.0), long_e, max_seek)
+        SeekProfile::from_coefficients(
+            short_a,
+            short_b.max(0.0),
+            cutoff,
+            long_c.max(0.0),
+            long_e,
+            max_seek,
+        )
     }
 
     /// Seek time in seconds for a head movement of `distance` bytes.
@@ -166,7 +179,10 @@ mod tests {
         let at = p.cutoff_bytes();
         let below = p.seek_secs(at);
         let above = p.seek_secs(at + 1);
-        assert!((below - above).abs() < 1e-6, "discontinuity: {below} vs {above}");
+        assert!(
+            (below - above).abs() < 1e-6,
+            "discontinuity: {below} vs {above}"
+        );
     }
 
     #[test]

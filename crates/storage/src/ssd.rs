@@ -31,9 +31,18 @@ impl SsdConfig {
     /// Panics if a rate or latency is non-positive/non-finite (latency may
     /// be zero) or `capacity == 0`.
     pub fn new(read_rate: f64, write_rate: f64, op_latency: f64, capacity: u64) -> Self {
-        assert!(read_rate.is_finite() && read_rate > 0.0, "read_rate must be positive");
-        assert!(write_rate.is_finite() && write_rate > 0.0, "write_rate must be positive");
-        assert!(op_latency.is_finite() && op_latency >= 0.0, "op_latency must be non-negative");
+        assert!(
+            read_rate.is_finite() && read_rate > 0.0,
+            "read_rate must be positive"
+        );
+        assert!(
+            write_rate.is_finite() && write_rate > 0.0,
+            "write_rate must be positive"
+        );
+        assert!(
+            op_latency.is_finite() && op_latency >= 0.0,
+            "op_latency must be non-negative"
+        );
         assert!(capacity > 0, "capacity must be positive");
         SsdConfig {
             read_rate,
@@ -71,7 +80,10 @@ impl SsdConfig {
 
     /// Finishes configuration.
     pub fn build(self) -> SsdModel {
-        SsdModel { config: self, ops: 0 }
+        SsdModel {
+            config: self,
+            ops: 0,
+        }
     }
 }
 
@@ -99,7 +111,13 @@ impl DeviceModel for SsdModel {
         DeviceKind::Ssd
     }
 
-    fn service_time(&mut self, kind: IoKind, _lba: u64, len: u64, _rng: &mut SimRng) -> SimDuration {
+    fn service_time(
+        &mut self,
+        kind: IoKind,
+        _lba: u64,
+        len: u64,
+        _rng: &mut SimRng,
+    ) -> SimDuration {
         self.ops += 1;
         let secs = self.config.op_latency + len as f64 * self.config.beta_secs_per_byte(kind);
         SimDuration::from_secs_f64(secs)

@@ -151,11 +151,7 @@ pub fn burstiness(records: &[TraceRecord], width: SimDuration) -> f64 {
 }
 
 /// Per-tier bytes over time, for bandwidth plots.
-pub fn bandwidth_series(
-    records: &[TraceRecord],
-    width: SimDuration,
-    tier: Tier,
-) -> TimeSeries {
+pub fn bandwidth_series(records: &[TraceRecord], width: SimDuration, tier: Tier) -> TimeSeries {
     let mut series = TimeSeries::new(width);
     for r in records.iter().filter(|r| r.tier == tier) {
         series.record(r.at, r.len);

@@ -89,7 +89,11 @@ pub fn from_csv(csv: &str) -> Result<Vec<TraceRecord>, String> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 6 {
-            return Err(format!("line {}: expected 6 fields, got {}", i + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 6 fields, got {}",
+                i + 1,
+                fields.len()
+            ));
         }
         let secs: f64 = fields[0]
             .parse()
@@ -235,21 +239,31 @@ mod tests {
     #[test]
     fn csv_import_rejects_garbage() {
         assert!(from_csv("nope").is_err());
-        assert!(from_csv("time_s,rank,tier,kind,offset,len
-1,2,3").is_err());
-        assert!(
-            from_csv("time_s,rank,tier,kind,offset,len
-1.0,0,Mars,write,0,1").is_err()
-        );
-        assert!(
-            from_csv("time_s,rank,tier,kind,offset,len
-1.0,0,DServers,poke,0,1").is_err()
-        );
-        assert!(
-            from_csv("time_s,rank,tier,kind,offset,len
-1.0,0,DServers,read,x,1").is_err()
-        );
-        assert!(from_csv("time_s,rank,tier,kind,offset,len
-").unwrap().is_empty());
+        assert!(from_csv(
+            "time_s,rank,tier,kind,offset,len
+1,2,3"
+        )
+        .is_err());
+        assert!(from_csv(
+            "time_s,rank,tier,kind,offset,len
+1.0,0,Mars,write,0,1"
+        )
+        .is_err());
+        assert!(from_csv(
+            "time_s,rank,tier,kind,offset,len
+1.0,0,DServers,poke,0,1"
+        )
+        .is_err());
+        assert!(from_csv(
+            "time_s,rank,tier,kind,offset,len
+1.0,0,DServers,read,x,1"
+        )
+        .is_err());
+        assert!(from_csv(
+            "time_s,rank,tier,kind,offset,len
+"
+        )
+        .unwrap()
+        .is_empty());
     }
 }

@@ -43,8 +43,8 @@ impl CampaignConfig {
             file_size,
             request_size,
             patterns: vec![
-                Sequential, Random, Sequential, Sequential, Random, Sequential, Random,
-                Sequential, Sequential, Random,
+                Sequential, Random, Sequential, Sequential, Random, Sequential, Random, Sequential,
+                Sequential, Random,
             ],
             do_write: true,
             do_read: true,

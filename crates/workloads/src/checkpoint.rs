@@ -62,8 +62,7 @@ impl CheckpointConfig {
 
     /// Total bytes written by the whole job.
     pub fn total_bytes(&self) -> u64 {
-        let per_proc_round =
-            self.dump_slice + self.record_size * self.records_per_round as u64;
+        let per_proc_round = self.dump_slice + self.record_size * self.records_per_round as u64;
         per_proc_round * self.processes as u64 * self.rounds as u64
     }
 
@@ -82,7 +81,10 @@ impl CheckpointConfig {
     pub fn scripts(&self) -> Vec<CheckpointScript> {
         assert!(self.processes > 0, "need at least one process");
         assert!(self.rounds > 0, "need at least one round");
-        assert!(self.dump_slice > 0 && self.record_size > 0, "sizes must be positive");
+        assert!(
+            self.dump_slice > 0 && self.record_size > 0,
+            "sizes must be positive"
+        );
         assert!(
             self.state_span >= self.record_size,
             "state span must fit a record"
@@ -129,8 +131,7 @@ impl CheckpointScript {
     }
 
     fn record_offset(&self, round: u32, r: u32) -> u64 {
-        let i = (round as u64 * self.cfg.records_per_round as u64 + r as u64)
-            % self.perm.len();
+        let i = (round as u64 * self.cfg.records_per_round as u64 + r as u64) % self.perm.len();
         self.perm.apply(i) * self.cfg.record_size
     }
 }
@@ -159,8 +160,7 @@ impl ProcessScript for CheckpointScript {
                 }
                 Phase::Dump(round) => {
                     self.phase = Phase::Record(round, 0);
-                    let offset = (round as u64 * self.cfg.processes as u64
-                        + self.rank as u64)
+                    let offset = (round as u64 * self.cfg.processes as u64 + self.rank as u64)
                         * self.cfg.dump_slice;
                     return Some(AppOp::Io {
                         handle: FileHandle(0),
@@ -233,11 +233,22 @@ mod tests {
         let ops = drain(CheckpointScript::new(cfg(), 0));
         // 2 opens, then per round: think + dump + 3 records + barrier,
         // then 2 closes.
-        let thinks = ops.iter().filter(|o| matches!(o, AppOp::Think { .. })).count();
+        let thinks = ops
+            .iter()
+            .filter(|o| matches!(o, AppOp::Think { .. }))
+            .count();
         let barriers = ops.iter().filter(|o| matches!(o, AppOp::Barrier)).count();
         let writes = ops
             .iter()
-            .filter(|o| matches!(o, AppOp::Io { kind: IoKind::Write, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    AppOp::Io {
+                        kind: IoKind::Write,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(thinks, 2);
         assert_eq!(barriers, 2);
@@ -254,7 +265,12 @@ mod tests {
             let dumps: Vec<u64> = ops
                 .iter()
                 .filter_map(|o| match o {
-                    AppOp::Io { handle, offset, len, .. } if handle.0 == 0 => {
+                    AppOp::Io {
+                        handle,
+                        offset,
+                        len,
+                        ..
+                    } if handle.0 == 0 => {
                         assert_eq!(*len, c.dump_slice);
                         Some(*offset)
                     }
@@ -291,10 +307,7 @@ mod tests {
     #[test]
     fn accounting() {
         let c = cfg();
-        assert_eq!(
-            c.total_bytes(),
-            2 * 2 * ((8 << 20) + 3 * 16 * 1024)
-        );
+        assert_eq!(c.total_bytes(), 2 * 2 * ((8 << 20) + 3 * 16 * 1024));
         assert!(c.bulk_fraction() > 0.9);
         assert_eq!(c.scripts().len(), 2);
     }

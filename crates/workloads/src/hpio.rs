@@ -238,11 +238,27 @@ mod tests {
         let ops = drain(HpioScript::new(c, 0));
         let writes = ops
             .iter()
-            .filter(|o| matches!(o, AppOp::Io { kind: IoKind::Write, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    AppOp::Io {
+                        kind: IoKind::Write,
+                        ..
+                    }
+                )
+            })
             .count();
         let reads = ops
             .iter()
-            .filter(|o| matches!(o, AppOp::Io { kind: IoKind::Read, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    AppOp::Io {
+                        kind: IoKind::Read,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(writes, 5);
         assert_eq!(reads, 5);

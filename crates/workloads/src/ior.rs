@@ -291,12 +291,28 @@ mod tests {
         // open, barrier, barrier, 4 reads, close
         let writes = ops
             .iter()
-            .filter(|op| matches!(op, AppOp::Io { kind: IoKind::Write, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    AppOp::Io {
+                        kind: IoKind::Write,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(writes, 0);
         let reads = ops
             .iter()
-            .filter(|op| matches!(op, AppOp::Io { kind: IoKind::Read, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    AppOp::Io {
+                        kind: IoKind::Read,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(reads, 4);
     }
@@ -308,7 +324,15 @@ mod tests {
         let ops = drain(IorScript::new(c, 0));
         let reads = ops
             .iter()
-            .filter(|op| matches!(op, AppOp::Io { kind: IoKind::Read, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    AppOp::Io {
+                        kind: IoKind::Read,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(reads, 0);
     }

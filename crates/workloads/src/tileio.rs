@@ -78,10 +78,7 @@ impl TileIoConfig {
 
     /// Total dataset size in bytes.
     pub fn dataset_bytes(&self) -> u64 {
-        self.dataset_elems_x()
-            * self.grid().1 as u64
-            * self.tile_elems_y
-            * self.element_size
+        self.dataset_elems_x() * self.grid().1 as u64 * self.tile_elems_y * self.element_size
     }
 
     /// Data bytes each process moves per phase.

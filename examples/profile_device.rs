@@ -30,7 +30,10 @@ fn main() {
     let fitted = profile::fit_seek_profile(&samples).expect("fit succeeds");
     let truth = config.seek_profile();
     println!("\nfitted vs ground-truth curve:");
-    println!("{:>14}  {:>10}  {:>10}  {:>7}", "distance", "truth ms", "fitted ms", "error");
+    println!(
+        "{:>14}  {:>10}  {:>10}  {:>7}",
+        "distance", "truth ms", "fitted ms", "error"
+    );
     for exp in [16u64, 20, 24, 28, 32, 36, 37] {
         let d = 1u64 << exp;
         let t = truth.seek_secs(d) * 1e3;

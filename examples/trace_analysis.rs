@@ -63,12 +63,13 @@ fn main() {
     let d = analysis::bandwidth_series(&records, SimDuration::from_secs(1), Tier::DServers);
     let c = analysis::bandwidth_series(&records, SimDuration::from_secs(1), Tier::CServers);
     for (i, (t, d_mibs)) in d.iter_mibs().enumerate().take(12) {
-        let c_mibs = c
-            .iter_mibs()
-            .nth(i)
-            .map(|(_, v)| v)
-            .unwrap_or(0.0);
-        println!("  t={:>5.1}s  D {:8.1}  C {:8.1}", t.as_secs_f64(), d_mibs, c_mibs);
+        let c_mibs = c.iter_mibs().nth(i).map(|(_, v)| v).unwrap_or(0.0);
+        println!(
+            "  t={:>5.1}s  D {:8.1}  C {:8.1}",
+            t.as_secs_f64(),
+            d_mibs,
+            c_mibs
+        );
     }
 
     // First few CSV rows, as IOSIG would export them.

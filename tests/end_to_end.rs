@@ -52,7 +52,10 @@ fn s4d_does_not_hurt_sequential_large_io() {
     let stock = run_stock(&tb, cfg.scripts(), Vec::new());
     let s4d = run_s4d(&tb, S4dConfig::new(32 * MIB), cfg.scripts(), Vec::new());
     // Nothing should be redirected, so throughput within 2 %.
-    assert_eq!(s4d.report.tiers.c_ops, 0, "4 MiB requests must stay on DServers");
+    assert_eq!(
+        s4d.report.tiers.c_ops, 0,
+        "4 MiB requests must stay on DServers"
+    );
     let ratio = s4d.write_mibs() / stock.write_mibs();
     assert!(
         (0.98..=1.02).contains(&ratio),
@@ -123,7 +126,10 @@ fn data_integrity_through_cache_redirection() {
         idx: 0,
     }));
     let report = runner.run();
-    assert_eq!(report.app_ops(IoKind::Read) as usize, expected.borrow().len());
+    assert_eq!(
+        report.app_ops(IoKind::Read) as usize,
+        expected.borrow().len()
+    );
     assert!(
         failures.borrow().is_empty(),
         "data corruption: {:?}",
@@ -199,10 +205,7 @@ fn different_seeds_change_timing_not_semantics() {
     // Device rotation noise differs, so end times differ...
     assert_ne!(a.report.end_time, b.report.end_time);
     // ...but the same requests were served.
-    assert_eq!(
-        a.report.writes.meter.bytes(),
-        b.report.writes.meter.bytes()
-    );
+    assert_eq!(a.report.writes.meter.bytes(), b.report.writes.meter.bytes());
     assert_eq!(a.report.reads.meter.ops(), b.report.reads.meter.ops());
 }
 
@@ -225,7 +228,10 @@ fn capacity_invariant_holds_after_pressure() {
         mw.space().allocated()
     );
     assert!(mw.dmt().mapped_bytes() <= capacity);
-    assert!(mw.metrics().admission_denied_space > 0, "pressure must have hit");
+    assert!(
+        mw.metrics().admission_denied_space > 0,
+        "pressure must have hit"
+    );
 }
 
 #[test]
@@ -336,6 +342,10 @@ fn observer_sees_every_dispatch_once() {
         bytes: bytes.clone(),
     }));
     runner.run();
-    assert_eq!(*bytes.borrow(), total_bytes, "every app byte dispatched exactly once");
+    assert_eq!(
+        *bytes.borrow(),
+        total_bytes,
+        "every app byte dispatched exactly once"
+    );
     assert!(*ops.borrow() >= (total_bytes / (16 * KIB)));
 }

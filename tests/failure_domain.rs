@@ -1,0 +1,265 @@
+//! CServer failure-domain integration tests: hard crashes with data loss,
+//! transient error storms, and quarantine-driven degradation to OPFS —
+//! each driven end to end through the runner with every read verified.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use s4d::bench::testbed;
+use s4d::cache::{S4dCache, S4dConfig};
+use s4d::mpiio::{script, Cluster, IoObserver, Rank, Runner, ScriptBuilder};
+use s4d::pfs::{FaultPlan, ServerFault};
+use s4d::sim::{SimDuration, SimTime};
+use s4d::storage::IoKind;
+
+const KIB: u64 = 1024;
+
+/// Deterministic pattern bytes for a write at `offset` with version `v`.
+fn pattern(offset: u64, len: u64, v: u64) -> Vec<u8> {
+    (0..len)
+        .map(|j| ((offset / KIB) * 37 + j * 11 + v * 101) as u8)
+        .collect()
+}
+
+/// Observer checking every read against an expected byte image.
+struct Verify {
+    expected: Rc<RefCell<HashMap<u64, Vec<u8>>>>,
+    failures: Rc<RefCell<Vec<String>>>,
+}
+
+impl IoObserver for Verify {
+    fn on_read_data(&mut self, _r: Rank, offset: u64, len: u64, data: Option<&[u8]>) {
+        let expected = self.expected.borrow();
+        let Some(want) = expected.get(&offset) else {
+            self.failures
+                .borrow_mut()
+                .push(format!("unexpected read at {offset}"));
+            return;
+        };
+        let data = data.expect("functional run returns data");
+        if want.as_slice() != data {
+            self.failures
+                .borrow_mut()
+                .push(format!("wrong bytes at offset {offset} len {len}"));
+        }
+    }
+}
+
+struct Setup {
+    runner: Runner<S4dCache>,
+    failures: Rc<RefCell<Vec<String>>>,
+}
+
+fn build(
+    seed: u64,
+    config: S4dConfig,
+    fault: FaultPlan,
+    script: ScriptBuilder,
+    expected: HashMap<u64, Vec<u8>>,
+) -> Setup {
+    let mut cluster = Cluster::paper_testbed_small(seed);
+    cluster
+        .cpfs_mut()
+        .set_fault_plan(0, fault)
+        .expect("CServer 0 exists");
+    let params = testbed(seed).cost_params();
+    let mut runner = Runner::new(
+        cluster,
+        S4dCache::new(config, params),
+        vec![script.close(0).build()],
+        seed,
+    );
+    let failures = Rc::new(RefCell::new(Vec::new()));
+    runner.add_observer(Box::new(Verify {
+        expected: Rc::new(RefCell::new(expected)),
+        failures: failures.clone(),
+    }));
+    Setup { runner, failures }
+}
+
+/// A CServer hard-crashes mid-run, destroying the cached bytes. Dirty
+/// (not-yet-flushed) overwrites are genuinely lost — reads roll back to
+/// the last flushed version on OPFS and the loss is surfaced — while
+/// clean extents are invalidated and re-fetched from OPFS, so every read
+/// still returns correct durable data. After the server recovers and its
+/// quarantine lapses, admission resumes.
+#[test]
+fn hard_crash_rolls_back_to_durable_state_and_recovers() {
+    let config = S4dConfig::new(64 * 1024 * KIB)
+        .with_journal_batch(1)
+        .with_rebuild_period(SimDuration::from_millis(200))
+        .with_quarantine(3, SimDuration::from_secs(1));
+    let fault = FaultPlan::new().with(ServerFault::Crash {
+        at: SimTime::from_secs(1) + SimDuration::from_millis(100),
+        recover_at: SimTime::from_secs(3),
+    });
+
+    // Phase A: 16 small writes (v1), think long enough for the Rebuilder
+    // to flush them all clean; phase B: overwrite the first four (v2) and
+    // crash before the next flush; phase C: wait out the outage, read
+    // everything back, then write once more to prove re-admission.
+    let mut b = script().open("crash.dat");
+    let mut expected = HashMap::new();
+    for i in 0..16u64 {
+        let off = i * 16 * KIB;
+        b = b.write_bytes(0, off, pattern(off, 16 * KIB, 1));
+        expected.insert(off, pattern(off, 16 * KIB, 1));
+    }
+    b = b.think(SimDuration::from_secs(1));
+    for i in 0..4u64 {
+        let off = i * 16 * KIB;
+        // v2 never reaches OPFS: the crash destroys it, and reads must
+        // roll back to v1.
+        b = b.write_bytes(0, off, pattern(off, 16 * KIB, 2));
+    }
+    b = b.think(SimDuration::from_secs(3));
+    for i in 0..16u64 {
+        b = b.read(0, i * 16 * KIB, 16 * KIB);
+    }
+    b = b.write_bytes(0, 16 * 16 * KIB, pattern(16 * 16 * KIB, 16 * KIB, 1));
+
+    let Setup {
+        mut runner,
+        failures,
+    } = build(17, config, fault, b, expected);
+    let report = runner.run();
+    assert!(
+        failures.borrow().is_empty(),
+        "reads diverged from durable state: {:?}",
+        failures.borrow()
+    );
+    assert_eq!(report.app_ops(IoKind::Read), 16);
+    let m = runner.middleware().metrics();
+    assert_eq!(
+        m.dirty_bytes_lost,
+        4 * 16 * KIB,
+        "the four unflushed overwrites are the data loss"
+    );
+    assert_eq!(
+        m.dirty_bytes_lost + m.crash_invalidated_bytes,
+        16 * 16 * KIB,
+        "every cached byte was on the crashed server"
+    );
+    assert!(m.quarantines >= 1);
+    assert!(report.degraded.io_errors > 0, "the crash was observed");
+    assert!(
+        runner.middleware().dmt().mapped_bytes() >= 16 * KIB,
+        "the post-recovery write was admitted to the cache again"
+    );
+    assert!(report.end_time >= SimTime::from_secs(4));
+}
+
+/// A window of transient CServer errors: every failure is retried with
+/// backoff and ultimately succeeds, so no request is re-planned, nothing
+/// falls back to OPFS, and all data stays correct.
+#[test]
+fn transient_errors_are_retried_without_degradation() {
+    let config = S4dConfig::new(64 * 1024 * KIB)
+        .with_journal_batch(1)
+        .with_retry_policy(
+            SimDuration::from_micros(500),
+            SimDuration::from_millis(20),
+            8,
+        )
+        // A huge threshold: this scenario must never quarantine.
+        .with_quarantine(1000, SimDuration::from_secs(1));
+    let fault = FaultPlan::new().with(ServerFault::TransientErrors {
+        from: SimTime::ZERO,
+        until: SimTime::from_secs(100),
+        error_rate: 0.2,
+    });
+
+    let mut b = script().open("flaky.dat");
+    let mut expected = HashMap::new();
+    for i in 0..32u64 {
+        let off = i * 16 * KIB;
+        b = b.write_bytes(0, off, pattern(off, 16 * KIB, 1));
+        expected.insert(off, pattern(off, 16 * KIB, 1));
+    }
+    for i in 0..32u64 {
+        b = b.read(0, i * 16 * KIB, 16 * KIB);
+    }
+
+    let Setup {
+        mut runner,
+        failures,
+    } = build(23, config, fault, b, expected);
+    let report = runner.run();
+    assert!(
+        failures.borrow().is_empty(),
+        "retried I/O corrupted data: {:?}",
+        failures.borrow()
+    );
+    assert!(
+        report.degraded.io_errors > 0,
+        "a 20% error rate must surface errors"
+    );
+    assert!(report.degraded.retries > 0);
+    let m = runner.middleware().metrics();
+    assert!(m.retries > 0);
+    assert_eq!(m.fallback_reads, 0, "retries sufficed; no degradation");
+    assert_eq!(m.quarantines, 0);
+    assert_eq!(report.degraded.replans, 0, "no plan ever gave up");
+}
+
+/// A saturated error window quarantines the CServer; reads of clean
+/// cached data degrade to OPFS (correct bytes, zero availability loss)
+/// and new writes are denied admission until the quarantine lapses.
+#[test]
+fn quarantine_degrades_clean_reads_to_opfs() {
+    let config = S4dConfig::new(64 * 1024 * KIB)
+        .with_journal_batch(1)
+        .with_rebuild_period(SimDuration::from_millis(200))
+        .with_retry_policy(
+            SimDuration::from_micros(500),
+            SimDuration::from_millis(5),
+            2,
+        )
+        .with_quarantine(2, SimDuration::from_secs(30));
+    // Every CServer op in the window fails.
+    let fault = FaultPlan::new().with(ServerFault::TransientErrors {
+        from: SimTime::from_secs(1),
+        until: SimTime::from_secs(2),
+        error_rate: 1.0,
+    });
+
+    // Write + flush clean before the window; read it all back inside the
+    // window, when the cache route is poisoned.
+    let mut b = script().open("sick.dat");
+    let mut expected = HashMap::new();
+    for i in 0..8u64 {
+        let off = i * 16 * KIB;
+        b = b.write_bytes(0, off, pattern(off, 16 * KIB, 1));
+        expected.insert(off, pattern(off, 16 * KIB, 1));
+    }
+    b = b.think(SimDuration::from_millis(1100));
+    for i in 0..8u64 {
+        b = b.read(0, i * 16 * KIB, 16 * KIB);
+    }
+    // A write inside the window must be denied admission, not lost.
+    let off = 64 * 16 * KIB;
+    b = b.write_bytes(0, off, pattern(off, 16 * KIB, 1));
+    expected.insert(off, pattern(off, 16 * KIB, 1));
+    b = b.read(0, off, 16 * KIB);
+
+    let Setup {
+        mut runner,
+        failures,
+    } = build(31, config, fault, b, expected);
+    let report = runner.run();
+    assert!(
+        failures.borrow().is_empty(),
+        "degraded reads returned wrong bytes: {:?}",
+        failures.borrow()
+    );
+    assert_eq!(report.app_ops(IoKind::Read), 9);
+    let m = runner.middleware().metrics();
+    assert!(m.quarantines >= 1, "the error storm must quarantine");
+    assert!(
+        m.fallback_reads > 0,
+        "clean cached reads must degrade to OPFS"
+    );
+    assert!(m.admission_denied_health > 0);
+    assert!(report.degraded.io_errors > 0);
+}

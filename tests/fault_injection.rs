@@ -91,7 +91,12 @@ fn workload() -> Vec<s4d::workloads::IorScript> {
 fn degraded_dserver_slows_stock_throughput() {
     let tb = testbed(40);
     let healthy = {
-        let mut r = Runner::new(tb.cluster(), s4d::mpiio::StockMiddleware::new(), workload(), 40);
+        let mut r = Runner::new(
+            tb.cluster(),
+            s4d::mpiio::StockMiddleware::new(),
+            workload(),
+            40,
+        );
         r.run()
     };
     let degraded = {
@@ -107,7 +112,10 @@ fn degraded_dserver_slows_stock_throughput() {
         healthy.writes.throughput_mibs()
     );
     // Same work completed either way.
-    assert_eq!(degraded.app_ops(s4d::storage::IoKind::Write), healthy.app_ops(s4d::storage::IoKind::Write));
+    assert_eq!(
+        degraded.app_ops(s4d::storage::IoKind::Write),
+        healthy.app_ops(s4d::storage::IoKind::Write)
+    );
 }
 
 #[test]
@@ -120,7 +128,10 @@ fn s4d_keeps_functioning_on_degraded_substrate() {
     let middleware = S4dCache::new(S4dConfig::new(16 * MIB), tb.cost_params());
     let mut runner = Runner::new(cluster, middleware, workload(), 42);
     let report = runner.run();
-    assert_eq!(report.app_ops(s4d::storage::IoKind::Write) as u64, 8 * (32 * MIB / (16 * 1024)) / 8);
+    assert_eq!(
+        report.app_ops(s4d::storage::IoKind::Write) as u64,
+        8 * (32 * MIB / (16 * 1024)) / 8
+    );
     let (_c, mw, _r) = runner.into_parts();
     assert!(mw.space().allocated() <= mw.space().capacity());
     assert!(report.tiers.c_ops > 0, "critical traffic still redirects");

@@ -78,8 +78,10 @@ fn run_case(ops: &[Op], capacity: u64, rebuild_ms: u64, seed: u64) {
                 b = b.write_bytes(0, offset, data);
             }
             Op::Read { offset, len } => {
-                expected_reads
-                    .push((offset, image[offset as usize..(offset + len) as usize].to_vec()));
+                expected_reads.push((
+                    offset,
+                    image[offset as usize..(offset + len) as usize].to_vec(),
+                ));
                 b = b.read(0, offset, len);
             }
         }
@@ -97,8 +99,7 @@ fn run_case(ops: &[Op], capacity: u64, rebuild_ms: u64, seed: u64) {
     runner.run();
     let got = reads.borrow();
     assert_eq!(got.len(), expected_reads.len(), "read count");
-    for (i, ((g_off, g_data), (e_off, e_data))) in
-        got.iter().zip(expected_reads.iter()).enumerate()
+    for (i, ((g_off, g_data), (e_off, e_data))) in got.iter().zip(expected_reads.iter()).enumerate()
     {
         assert_eq!(g_off, e_off, "read #{i} offset");
         assert_eq!(g_data, e_data, "read #{i} data at offset {g_off}");
@@ -156,10 +157,8 @@ fn run_two_proc_case(ops_a: &[Op], ops_b: &[Op], seed: u64) {
         for op in ops {
             match *op {
                 Op::Write { offset, len, tag } => {
-                    let data: Vec<u8> =
-                        (0..len).map(|j| tag ^ (j % 249) as u8 ^ p as u8).collect();
-                    images[p][offset as usize..(offset + len) as usize]
-                        .copy_from_slice(&data);
+                    let data: Vec<u8> = (0..len).map(|j| tag ^ (j % 249) as u8 ^ p as u8).collect();
+                    images[p][offset as usize..(offset + len) as usize].copy_from_slice(&data);
                     b = b.write_bytes(0, base + offset, data);
                 }
                 Op::Read { offset, len } => {
@@ -190,8 +189,7 @@ fn run_two_proc_case(ops_a: &[Op], ops_b: &[Op], seed: u64) {
     struct PerRank(PerRankReads);
     impl IoObserver for PerRank {
         fn on_read_data(&mut self, rank: Rank, offset: u64, _l: u64, data: Option<&[u8]>) {
-            self.0.borrow_mut()[rank.0 as usize]
-                .push((offset, data.expect("functional").to_vec()));
+            self.0.borrow_mut()[rank.0 as usize].push((offset, data.expect("functional").to_vec()));
         }
     }
     let got = Rc::new(RefCell::new([Vec::new(), Vec::new()]));

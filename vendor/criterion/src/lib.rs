@@ -1,0 +1,98 @@
+//! Minimal shim for `criterion`: wall-clock micro-benchmarking with the
+//! `bench_function`/`iter` calling convention. Prints mean time per
+//! iteration; no warm-up analysis, outlier rejection, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints the mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            batch: 1,
+        };
+        // Calibrate: grow the iteration count until the batch takes ≥ 20 ms,
+        // then time three batches.
+        let mut per_batch = 1u64;
+        loop {
+            b.iters = 0;
+            b.elapsed = Duration::ZERO;
+            b.batch = per_batch;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(20) || per_batch >= 1 << 24 {
+                break;
+            }
+            per_batch *= 8;
+        }
+        let mut total = b.elapsed;
+        let mut iters = b.iters;
+        for _ in 0..2 {
+            b.iters = 0;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        let per_iter = if iters == 0 {
+            Duration::ZERO
+        } else {
+            total / u32::try_from(iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        println!("{name:<40} {per_iter:>12.2?}/iter ({iters} iters)");
+        self
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    batch: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let n = self.batch.max(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += n;
+    }
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

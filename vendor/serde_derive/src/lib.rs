@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to mark types
+//! as serializable for future tooling; nothing serializes at runtime, so the
+//! derives expand to nothing. `#[serde(...)]` helper attributes are accepted
+//! and ignored.
+
+use proc_macro::TokenStream;
+
+/// Derives `Serialize` (expands to nothing; see crate docs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives `Deserialize` (expands to nothing; see crate docs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
