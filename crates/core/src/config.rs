@@ -88,6 +88,22 @@ pub struct S4dConfig {
     /// server counts as at-risk for `flush_on_risk`. Sub-request latency
     /// includes queueing, so this must sit well above 1.
     pub degraded_latency_ratio: f64,
+    /// Journal records (since the last checkpoint) that trigger a new DMT
+    /// checkpoint. Compaction keeps crash recovery proportional to live
+    /// extents plus the journal tail instead of all mutations ever made.
+    pub checkpoint_after_records: u64,
+    /// Journal bytes (since the last checkpoint) that trigger a new DMT
+    /// checkpoint; whichever of the two thresholds trips first wins.
+    pub checkpoint_after_bytes: u64,
+    /// Cached bytes the background scrubber verifies per Rebuilder wake.
+    /// `0` disables scrubbing. The scrubber recomputes each sealed
+    /// extent's checksum, repairs corrupted *clean* extents from the
+    /// DServers, and drops (and reports) corrupted *dirty* extents rather
+    /// than ever serving bad bytes.
+    pub scrub_bytes_per_wake: u64,
+    /// Verify sealed extents' checksums on the read path, before serving
+    /// cached bytes (stronger than background scrubbing, at read cost).
+    pub verify_on_read: bool,
 }
 
 impl S4dConfig {
@@ -119,7 +135,38 @@ impl S4dConfig {
             quarantine_duration: SimDuration::from_secs(10),
             flush_on_risk: false,
             degraded_latency_ratio: 8.0,
+            checkpoint_after_records: 8192,
+            checkpoint_after_bytes: 8 * 1024 * 1024,
+            scrub_bytes_per_wake: 0,
+            verify_on_read: false,
         }
+    }
+
+    /// Sets the checkpoint thresholds: a new DMT snapshot is installed
+    /// once `records` journal records *or* `bytes` journal bytes have
+    /// accumulated since the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either threshold is zero.
+    pub fn with_checkpoint_thresholds(mut self, records: u64, bytes: u64) -> Self {
+        assert!(records > 0, "checkpoint record threshold must be positive");
+        assert!(bytes > 0, "checkpoint byte threshold must be positive");
+        self.checkpoint_after_records = records;
+        self.checkpoint_after_bytes = bytes;
+        self
+    }
+
+    /// Sets the background scrub budget per Rebuilder wake (`0` disables).
+    pub fn with_scrub(mut self, bytes_per_wake: u64) -> Self {
+        self.scrub_bytes_per_wake = bytes_per_wake;
+        self
+    }
+
+    /// Enables checksum verification on the read path.
+    pub fn with_verify_on_read(mut self, on: bool) -> Self {
+        self.verify_on_read = on;
+        self
     }
 
     /// Sets the transient-error retry policy.
@@ -286,5 +333,28 @@ mod tests {
     #[should_panic(expected = "quarantine threshold")]
     fn rejects_zero_quarantine_threshold() {
         S4dConfig::new(1).with_quarantine(0, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn durability_builders() {
+        let c = S4dConfig::new(1)
+            .with_checkpoint_thresholds(100, 4096)
+            .with_scrub(64 * 1024)
+            .with_verify_on_read(true);
+        assert_eq!(c.checkpoint_after_records, 100);
+        assert_eq!(c.checkpoint_after_bytes, 4096);
+        assert_eq!(c.scrub_bytes_per_wake, 64 * 1024);
+        assert!(c.verify_on_read);
+        let d = S4dConfig::new(1);
+        assert_eq!(d.checkpoint_after_records, 8192);
+        assert_eq!(d.checkpoint_after_bytes, 8 * 1024 * 1024);
+        assert_eq!(d.scrub_bytes_per_wake, 0, "scrubbing is opt-in");
+        assert!(!d.verify_on_read);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint record threshold")]
+    fn rejects_zero_checkpoint_records() {
+        S4dConfig::new(1).with_checkpoint_thresholds(0, 1);
     }
 }

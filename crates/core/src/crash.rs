@@ -1,0 +1,198 @@
+//! Deterministic crash-point injection for the middleware itself.
+//!
+//! PR 1 hardened the cache against *server* failures; this module is the
+//! instrument for failing the **middleware**: a [`CrashFuse`] carries a
+//! byte budget, and every durable effect the middleware produces — cache
+//! data writes, journal appends, checkpoint installs, eviction discards,
+//! flush and fetch copies — asks the fuse for permission *per byte*. When
+//! the budget runs out mid-effect, only the affordable prefix is applied
+//! and the fuse is dead: every later durable effect is suppressed
+//! entirely. That models a power failure at an arbitrary byte boundary,
+//! which is exactly the fault the paper's synchronous journaling (§III.D)
+//! claims to survive.
+//!
+//! The torture harness first runs a workload with an [unlimited]
+//! fuse, which records every durable step `(site, offset, len)`. The
+//! recorded trace then defines the crash matrix: re-running the same
+//! deterministic workload with the budget pointed at each step boundary
+//! (and mid-step) crashes the middleware at every distinct site. Because
+//! the workload and the cluster are deterministic, each budget reproduces
+//! the same crash exactly.
+//!
+//! Only durable effects consult the fuse. In-memory bookkeeping continues
+//! after death — the crashed middleware instance is discarded anyway, and
+//! recovery reads nothing but the cluster's persisted bytes, so letting
+//! the doomed instance finish its turn keeps the injection surface small
+//! without weakening the model.
+//!
+//! [unlimited]: CrashFuse::unlimited
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which durable effect a fuse charge belongs to.
+///
+/// Each variant is one crash *site* in the torture matrix: a place where
+/// persisted state is mutated and a power failure would leave a torn or
+/// missing effect for recovery to mend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CrashSite {
+    /// Application payload bytes written to cache or original files as
+    /// part of a planned request.
+    DataWrite,
+    /// A group-committed journal append carried by a planned request
+    /// (crashing here tears a journal frame).
+    JournalWrite,
+    /// A synchronous journal append outside any plan (eviction, flush
+    /// intent, end-of-operation drain).
+    SyncAppend,
+    /// Discarding an evicted extent's cache bytes.
+    EvictDiscard,
+    /// Copying a flushed dirty extent from CServers to DServers.
+    FlushCopy,
+    /// Filling a fetched range from DServers into CServers.
+    FetchFill,
+    /// Writing a checkpoint snapshot into its slot file.
+    CheckpointWrite,
+    /// Truncating the journal after a checkpoint was installed.
+    JournalTruncate,
+}
+
+/// One recorded durable step: site, cumulative byte offset at which the
+/// step started, and its length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashStep {
+    /// The durable effect charged.
+    pub site: CrashSite,
+    /// Total bytes consumed by earlier steps when this one began.
+    pub start: u64,
+    /// Bytes this step charged.
+    pub len: u64,
+}
+
+/// A byte-budgeted crash injector (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct CrashFuse {
+    budget: Option<u64>,
+    consumed: u64,
+    dead: bool,
+    steps: Vec<CrashStep>,
+}
+
+impl CrashFuse {
+    /// A fuse that never blows; it records every durable step so a later
+    /// run can target each one.
+    pub fn unlimited() -> Self {
+        CrashFuse::default()
+    }
+
+    /// A fuse that allows exactly `budget` durable bytes, then crashes.
+    pub fn armed(budget: u64) -> Self {
+        CrashFuse {
+            budget: Some(budget),
+            ..CrashFuse::default()
+        }
+    }
+
+    /// Convenience: a shareable handle, as the middleware holds it.
+    pub fn shared(self) -> Rc<RefCell<CrashFuse>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Charges `len` bytes at `site`, returning how many may actually be
+    /// applied. Anything short of `len` means the fuse died mid-step: the
+    /// caller must apply exactly the returned prefix and nothing else.
+    /// Once dead, every charge returns zero.
+    pub fn consume(&mut self, site: CrashSite, len: u64) -> u64 {
+        if self.dead {
+            return 0;
+        }
+        self.steps.push(CrashStep {
+            site,
+            start: self.consumed,
+            len,
+        });
+        let allowed = match self.budget {
+            None => len,
+            Some(b) => len.min(b.saturating_sub(self.consumed)),
+        };
+        self.consumed += allowed;
+        if allowed < len {
+            self.dead = true;
+        }
+        allowed
+    }
+
+    /// True once a charge was cut short: the simulated machine is off.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Total durable bytes allowed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// The recorded durable steps, in execution order.
+    pub fn steps(&self) -> &[CrashStep] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_records_without_dying() {
+        let mut f = CrashFuse::unlimited();
+        assert_eq!(f.consume(CrashSite::DataWrite, 100), 100);
+        assert_eq!(f.consume(CrashSite::JournalWrite, 28), 28);
+        assert!(!f.is_dead());
+        assert_eq!(f.consumed(), 128);
+        assert_eq!(
+            f.steps(),
+            &[
+                CrashStep {
+                    site: CrashSite::DataWrite,
+                    start: 0,
+                    len: 100
+                },
+                CrashStep {
+                    site: CrashSite::JournalWrite,
+                    start: 100,
+                    len: 28
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn armed_fuse_tears_the_step_then_blocks_everything() {
+        let mut f = CrashFuse::armed(150);
+        assert_eq!(f.consume(CrashSite::DataWrite, 100), 100);
+        // Mid-step death: only 50 of 80 bytes land.
+        assert_eq!(f.consume(CrashSite::FlushCopy, 80), 50);
+        assert!(f.is_dead());
+        // Every later effect is suppressed entirely, and not recorded.
+        assert_eq!(f.consume(CrashSite::SyncAppend, 28), 0);
+        assert_eq!(f.steps().len(), 2);
+        assert_eq!(f.consumed(), 150);
+    }
+
+    #[test]
+    fn zero_budget_dies_on_first_nonempty_charge() {
+        let mut f = CrashFuse::armed(0);
+        assert_eq!(f.consume(CrashSite::EvictDiscard, 0), 0);
+        assert!(!f.is_dead(), "an empty step cannot blow the fuse");
+        assert_eq!(f.consume(CrashSite::EvictDiscard, 1), 0);
+        assert!(f.is_dead());
+    }
+
+    #[test]
+    fn exact_budget_survives() {
+        let mut f = CrashFuse::armed(28);
+        assert_eq!(f.consume(CrashSite::CheckpointWrite, 28), 28);
+        assert!(!f.is_dead(), "a fully-affordable step is not a crash");
+    }
+}

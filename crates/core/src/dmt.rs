@@ -33,6 +33,9 @@ pub struct MapExtent {
     pub dirty: bool,
     /// Bumped on every overwrite; used to detect writes racing a flush.
     pub version: u64,
+    /// CRC32 of the cached bytes, when verified (the scrubber's seal).
+    /// Cleared whenever the bytes may change: overwrites and splits.
+    pub checksum: Option<u32>,
     /// LRU timestamp (internal; lives in the index matching `dirty`).
     touch: u64,
 }
@@ -231,6 +234,7 @@ impl Dmt {
                 c_offset,
                 dirty,
                 version: 0,
+                checksum: None,
                 touch,
             },
         );
@@ -283,6 +287,7 @@ impl Dmt {
             let (old_touch, e_len) = (e.touch, e.len);
             e.dirty = true;
             e.version += 1;
+            e.checksum = None; // the bytes are about to change
             e.touch = touch;
             self.index(was_dirty).remove(&old_touch);
             self.lru_dirty.insert(touch, (file, key));
@@ -342,6 +347,79 @@ impl Dmt {
     /// The extent starting exactly at `d_offset`, if any.
     pub fn get(&self, file: FileId, d_offset: u64) -> Option<&MapExtent> {
         self.files.get(&file).and_then(|m| m.get(&d_offset))
+    }
+
+    /// Mutation records currently buffered (not yet drained into a journal
+    /// write). The middleware's journal-before-ack audit asserts this is
+    /// zero whenever an operation returns to the runner.
+    pub fn pending_records(&self) -> usize {
+        self.pending_journal.len()
+    }
+
+    /// Extents overlapping `[offset, offset+len)`, as
+    /// `(d_offset, extent)` snapshots in file order.
+    pub fn extents_overlapping(
+        &self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Vec<(u64, MapExtent)> {
+        self.overlapping_keys(file, offset, len)
+            .into_iter()
+            .map(|k| (k, *self.get(file, k).expect("key just observed")))
+            .collect()
+    }
+
+    /// Attaches a content checksum to the extent at exactly `d_offset`,
+    /// provided its version still matches (no write raced the
+    /// verification). Records a `Seal` journal record. Returns whether the
+    /// seal applied.
+    pub fn seal_if(&mut self, file: FileId, d_offset: u64, version: u64, checksum: u32) -> bool {
+        let Some(e) = self.files.get_mut(&file).and_then(|m| m.get_mut(&d_offset)) else {
+            return false;
+        };
+        if e.version != version {
+            return false;
+        }
+        e.checksum = Some(checksum);
+        let len = e.len;
+        self.record(JournalRecord::Seal {
+            d_file: file,
+            d_offset,
+            checksum,
+            len,
+        });
+        true
+    }
+
+    /// Applies a replayed `Seal` record: attaches the checksum only when
+    /// an extent starts exactly at `d_offset` with exactly `len` bytes (a
+    /// split or re-created extent must not inherit a stale seal). Emits no
+    /// journal record. Returns whether it applied.
+    pub fn apply_seal(&mut self, file: FileId, d_offset: u64, len: u64, checksum: u32) -> bool {
+        let Some(e) = self.files.get_mut(&file).and_then(|m| m.get_mut(&d_offset)) else {
+            return false;
+        };
+        if e.len != len {
+            return false;
+        }
+        e.checksum = Some(checksum);
+        true
+    }
+
+    /// Drops the checksum of every dirty extent — the crash-recovery
+    /// conservative default: a torn in-flight overwrite can leave a dirty
+    /// extent's bytes ahead of its last sealed checksum, and treating that
+    /// as corruption would discard acknowledged data. Dirty extents become
+    /// unverified until their next flush or write completion re-seals them.
+    pub fn clear_dirty_checksums(&mut self) {
+        for m in self.files.values_mut() {
+            for e in m.values_mut() {
+                if e.dirty {
+                    e.checksum = None;
+                }
+            }
+        }
     }
 
     /// Removes the extent starting exactly at `d_offset`.
@@ -475,6 +553,8 @@ impl Dmt {
                     c_offset: e.c_offset + (p_off - key),
                     dirty: e.dirty,
                     version: e.version,
+                    // A whole-extent checksum does not survive a split.
+                    checksum: None,
                     touch,
                 },
             );
@@ -660,6 +740,40 @@ mod tests {
         d.mark_clean_if(F, 0, v);
         let victims = d.evict_clean_lru(5);
         assert_eq!(victims[0].1, 0);
+    }
+
+    #[test]
+    fn seals_are_version_gated_and_cleared_on_change() {
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, false);
+        let v = d.get(F, 0).unwrap().version;
+        assert!(!d.seal_if(F, 0, v + 1, 7), "stale version must not seal");
+        assert!(!d.seal_if(F, 99, 0, 7), "absent extent");
+        assert!(d.seal_if(F, 0, v, 7));
+        assert_eq!(d.get(F, 0).unwrap().checksum, Some(7));
+        // Cleaning does not touch the bytes: the seal survives.
+        d.mark_dirty(F, 0, 10);
+        assert_eq!(d.get(F, 0).unwrap().checksum, None, "overwrite clears");
+        let v2 = d.get(F, 0).unwrap().version;
+        assert!(d.seal_if(F, 0, v2, 9));
+        assert!(d.mark_clean_if(F, 0, v2));
+        assert_eq!(d.get(F, 0).unwrap().checksum, Some(9));
+        // A split invalidates whole-extent checksums on every piece.
+        d.mark_dirty(F, 2, 4);
+        for (off, e) in d.extents_overlapping(F, 0, 10) {
+            assert_eq!(e.checksum, None, "piece at {off} kept a stale seal");
+        }
+        assert_eq!(d.extents_overlapping(F, 0, 10).len(), 3);
+        // clear_dirty_checksums drops only dirty seals.
+        let mut d = Dmt::new();
+        d.insert(F, 0, 10, CF, 0, false);
+        d.insert(F, 50, 10, CF, 10, true);
+        assert!(d.apply_seal(F, 0, 10, 1));
+        assert!(d.apply_seal(F, 50, 10, 2));
+        assert!(!d.apply_seal(F, 50, 99, 3), "length mismatch");
+        d.clear_dirty_checksums();
+        assert_eq!(d.get(F, 0).unwrap().checksum, Some(1));
+        assert_eq!(d.get(F, 50).unwrap().checksum, None);
     }
 
     #[test]

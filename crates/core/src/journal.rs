@@ -105,6 +105,31 @@ pub enum JournalRecord {
         /// Extent start.
         d_offset: u64,
     },
+    /// The extent's cached bytes were verified: a content checksum was
+    /// attached to the mapping. The length is part of the record so a
+    /// seal never applies to an extent that was split or re-created with
+    /// different bounds after the seal was journaled.
+    Seal {
+        /// Original file.
+        d_file: FileId,
+        /// Extent start.
+        d_offset: u64,
+        /// CRC32 of the extent's cached bytes.
+        checksum: u32,
+        /// Extent length the checksum covers.
+        len: u64,
+    },
+    /// The Rebuilder is about to flush the dirty run starting here; the
+    /// matching `SetClean` records are the commit. An intent without a
+    /// commit after recovery means the flush may have partially reached
+    /// DServers — harmless, because flushing re-writes the same bytes and
+    /// the extents stay dirty until a commit lands.
+    FlushIntent {
+        /// Original file.
+        d_file: FileId,
+        /// First extent of the flush group.
+        d_offset: u64,
+    },
 }
 
 /// Failure to decode a journal record.
@@ -213,6 +238,24 @@ impl JournalRecord {
                 put_u24(&mut b, 1, d_file.0);
                 put_u48(&mut b, 4, d_offset);
             }
+            JournalRecord::Seal {
+                d_file,
+                d_offset,
+                checksum,
+                len,
+            } => {
+                b[0] = 5;
+                put_u24(&mut b, 1, d_file.0);
+                put_u48(&mut b, 4, d_offset);
+                b[10..14].copy_from_slice(&checksum.to_le_bytes());
+                debug_assert!(len < (1 << 32));
+                b[14..18].copy_from_slice(&(len as u32).to_le_bytes());
+            }
+            JournalRecord::FlushIntent { d_file, d_offset } => {
+                b[0] = 6;
+                put_u24(&mut b, 1, d_file.0);
+                put_u48(&mut b, 4, d_offset);
+            }
         }
         let crc = crc32(&b[..PAYLOAD]);
         b[PAYLOAD..].copy_from_slice(&crc.to_le_bytes());
@@ -263,6 +306,13 @@ impl JournalRecord {
             }
             3 => Ok(JournalRecord::SetClean { d_file, d_offset }),
             4 => Ok(JournalRecord::Remove { d_file, d_offset }),
+            5 => Ok(JournalRecord::Seal {
+                d_file,
+                d_offset,
+                checksum: u32::from_le_bytes(buf[10..14].try_into().expect("4 bytes")),
+                len: u64::from(u32::from_le_bytes(buf[14..18].try_into().expect("4 bytes"))),
+            }),
+            6 => Ok(JournalRecord::FlushIntent { d_file, d_offset }),
             t => Err(JournalError::BadTag(t)),
         }
     }
@@ -363,23 +413,189 @@ pub fn replay(records: &[JournalRecord]) -> Dmt {
                 c_offset,
                 dirty,
             } => dmt.insert(d_file, d_offset, len, c_file, c_offset, dirty),
-            JournalRecord::SetDirty {
-                d_file,
-                d_offset,
-                len,
-            } => dmt.mark_dirty(d_file, d_offset, len),
-            JournalRecord::SetClean { d_file, d_offset } => {
-                dmt.force_clean(d_file, d_offset);
-            }
-            JournalRecord::Remove { d_file, d_offset } => {
-                dmt.remove(d_file, d_offset);
-            }
+            _ => apply_tolerant(&mut dmt, r),
         }
     }
     // Replaying re-recorded every mutation; a recovered table starts with
     // an empty pending set.
     let _ = dmt.take_pending_journal();
     dmt
+}
+
+/// Applies one record to a table that may not be in the exact state the
+/// record was produced against. `Insert` fills only the still-uncovered
+/// gaps of its range (with correspondingly shifted cache offsets); every
+/// other record no-ops when its target extent is absent or mismatched.
+fn apply_tolerant(dmt: &mut Dmt, r: &JournalRecord) {
+    match *r {
+        JournalRecord::Insert {
+            d_file,
+            d_offset,
+            len,
+            c_file,
+            c_offset,
+            dirty,
+        } => {
+            let view = dmt.view(d_file, d_offset, len);
+            for (g_off, g_len) in view.gaps {
+                dmt.insert(
+                    d_file,
+                    g_off,
+                    g_len,
+                    c_file,
+                    c_offset + (g_off - d_offset),
+                    dirty,
+                );
+            }
+        }
+        JournalRecord::SetDirty {
+            d_file,
+            d_offset,
+            len,
+        } => dmt.mark_dirty(d_file, d_offset, len),
+        JournalRecord::SetClean { d_file, d_offset } => {
+            dmt.force_clean(d_file, d_offset);
+        }
+        JournalRecord::Remove { d_file, d_offset } => {
+            dmt.remove(d_file, d_offset);
+        }
+        JournalRecord::Seal {
+            d_file,
+            d_offset,
+            checksum,
+            len,
+        } => {
+            dmt.apply_seal(d_file, d_offset, len, checksum);
+        }
+        JournalRecord::FlushIntent { .. } => {}
+    }
+}
+
+/// Rebuilds a table tolerantly: like [`replay`], but every record — not
+/// just the non-`Insert` kinds — is applied with tolerant (skip, don't
+/// panic) semantics, so a stream whose prefix was already folded into a
+/// checkpoint snapshot (or that lost interior records to a torn journal
+/// region) replays without panicking. On a well-formed exact history the
+/// result is identical to [`replay`].
+pub fn replay_tolerant(dmt: &mut Dmt, records: &[JournalRecord]) {
+    for r in records {
+        apply_tolerant(dmt, r);
+    }
+    let _ = dmt.take_pending_journal();
+}
+
+/// Magic bytes opening every checkpoint snapshot.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"S4DSNAP1";
+/// Fixed checkpoint header: magic + sequence + journal tail + record count.
+pub const CHECKPOINT_HEADER_BYTES: usize = 32;
+
+/// A decoded DMT checkpoint snapshot.
+///
+/// On-disk layout: [`CHECKPOINT_MAGIC`] (8 bytes), `covers_seq` u64 LE,
+/// `tail_offset` u64 LE, record count u64 LE, `count` encoded
+/// [`JournalRecord`] frames, then a CRC32 trailer over everything before
+/// it. Decoding is all-or-nothing: a torn install fails the CRC and the
+/// recovery falls back to the other slot. Bytes past the declared length
+/// are ignored, so installing a shorter snapshot over a longer stale one
+/// needs no truncation to stay valid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotonic checkpoint sequence number (slot freshness arbiter).
+    pub covers_seq: u64,
+    /// Journal offset the snapshot covers: recovery replays only records
+    /// at or past this offset on top of the snapshot.
+    pub tail_offset: u64,
+    /// The snapshot itself: one `Insert` (plus `Seal`, when the extent had
+    /// a verified checksum) per live extent.
+    pub records: Vec<JournalRecord>,
+}
+
+/// Failure to decode a checkpoint snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer is shorter than the declared snapshot.
+    TooShort(usize),
+    /// The magic bytes do not match [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The CRC32 trailer does not match the snapshot contents.
+    BadChecksum {
+        /// CRC32 recomputed over the snapshot.
+        expected: u32,
+        /// CRC32 stored in the trailer.
+        found: u32,
+    },
+    /// A snapshot record frame failed to decode.
+    BadRecord(JournalError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::TooShort(n) => write!(f, "checkpoint truncated at {n} bytes"),
+            CheckpointError::BadMagic => write!(f, "checkpoint magic mismatch"),
+            CheckpointError::BadChecksum { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: computed {expected:#010x}, stored {found:#010x}"
+            ),
+            CheckpointError::BadRecord(e) => write!(f, "checkpoint record invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialises a checkpoint snapshot (see [`Checkpoint`] for the layout).
+pub fn encode_checkpoint(covers_seq: u64, tail_offset: u64, records: &[JournalRecord]) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(CHECKPOINT_HEADER_BYTES + records.len() * DMT_RECORD_BYTES as usize + 4);
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&covers_seq.to_le_bytes());
+    out.extend_from_slice(&tail_offset.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for r in records {
+        out.extend_from_slice(&r.encode());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Deserialises a checkpoint snapshot, all-or-nothing.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] when the buffer is shorter than the
+/// declared snapshot, the magic or CRC do not match, or a record frame is
+/// invalid. Trailing bytes beyond the declared length are ignored.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    if bytes.len() < CHECKPOINT_HEADER_BYTES + 4 {
+        return Err(CheckpointError::TooShort(bytes.len()));
+    }
+    if bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let covers_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let tail_offset = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let count = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    let body =
+        (CHECKPOINT_HEADER_BYTES as u64).saturating_add(count.saturating_mul(DMT_RECORD_BYTES));
+    let total = body.saturating_add(4);
+    if (bytes.len() as u64) < total {
+        return Err(CheckpointError::TooShort(bytes.len()));
+    }
+    let body = body as usize;
+    let expected = crc32(&bytes[..body]);
+    let found = u32::from_le_bytes(bytes[body..body + 4].try_into().expect("4 bytes"));
+    if expected != found {
+        return Err(CheckpointError::BadChecksum { expected, found });
+    }
+    let records =
+        decode_batch(&bytes[CHECKPOINT_HEADER_BYTES..body]).map_err(CheckpointError::BadRecord)?;
+    Ok(Checkpoint {
+        covers_seq,
+        tail_offset,
+        records,
+    })
 }
 
 #[cfg(test)]
@@ -413,6 +629,16 @@ mod tests {
             JournalRecord::Remove {
                 d_file: FileId((1 << 24) - 1),
                 d_offset: (1 << 48) - 1,
+            },
+            JournalRecord::Seal {
+                d_file: F,
+                d_offset: 8192,
+                checksum: 0xDEAD_BEEF,
+                len: (1 << 32) - 1,
+            },
+            JournalRecord::FlushIntent {
+                d_file: F,
+                d_offset: 77,
             },
         ];
         for r in records {
@@ -605,7 +831,7 @@ mod tests {
         /// encode/decode is a bijection over the record space.
         #[test]
         fn prop_codec_roundtrip(
-            tag in 1u8..5,
+            tag in 1u8..7,
             d_file in 0u64..(1 << 24),
             d_offset in 0u64..(1 << 48),
             len in 0u64..(1 << 32),
@@ -620,9 +846,146 @@ mod tests {
                 },
                 2 => JournalRecord::SetDirty { d_file: FileId(d_file), d_offset, len },
                 3 => JournalRecord::SetClean { d_file: FileId(d_file), d_offset },
-                _ => JournalRecord::Remove { d_file: FileId(d_file), d_offset },
+                4 => JournalRecord::Remove { d_file: FileId(d_file), d_offset },
+                5 => JournalRecord::Seal {
+                    d_file: FileId(d_file), d_offset,
+                    checksum: (c_offset & 0xFFFF_FFFF) as u32, len,
+                },
+                _ => JournalRecord::FlushIntent { d_file: FileId(d_file), d_offset },
             };
             prop_assert_eq!(JournalRecord::decode(&r.encode()).unwrap(), r);
         }
+
+        /// A checkpoint round-trips, and any single bit flip is detected.
+        #[test]
+        fn prop_checkpoint_roundtrip_and_bitflip(
+            seq in 0u64..1000,
+            tail in 0u64..(1 << 40),
+            n in 0usize..8,
+            flip in any::<u64>(),
+        ) {
+            let records: Vec<JournalRecord> = (0..n as u64)
+                .map(|i| JournalRecord::Insert {
+                    d_file: F, d_offset: i * 100, len: 50,
+                    c_file: CF, c_offset: i * 50, dirty: i % 2 == 0,
+                })
+                .collect();
+            let bytes = encode_checkpoint(seq, tail, &records);
+            let ck = decode_checkpoint(&bytes).unwrap();
+            prop_assert_eq!(ck.covers_seq, seq);
+            prop_assert_eq!(ck.tail_offset, tail);
+            prop_assert_eq!(&ck.records, &records);
+            let mut corrupt = bytes.clone();
+            let bit = (flip % (corrupt.len() as u64 * 8)) as usize;
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(decode_checkpoint(&corrupt).is_err(),
+                "bit flip at {} went undetected", bit);
+        }
+    }
+
+    #[test]
+    fn checkpoint_ignores_trailing_stale_bytes() {
+        let records = vec![JournalRecord::Insert {
+            d_file: F,
+            d_offset: 0,
+            len: 64,
+            c_file: CF,
+            c_offset: 0,
+            dirty: false,
+        }];
+        let mut bytes = encode_checkpoint(7, 1234, &records);
+        // A shorter snapshot installed over a longer stale one leaves the
+        // stale tail in place; decoding must not care.
+        bytes.extend_from_slice(&[0xAB; 300]);
+        let ck = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(ck.covers_seq, 7);
+        assert_eq!(ck.records, records);
+        // But a torn install (prefix only) is rejected.
+        let full = encode_checkpoint(8, 99, &records);
+        for cut in 0..full.len() {
+            assert!(decode_checkpoint(&full[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(matches!(
+            decode_checkpoint(&[0u8; 64]),
+            Err(CheckpointError::BadMagic)
+        ));
+        assert!(CheckpointError::BadMagic.to_string().contains("magic"));
+        assert!(CheckpointError::TooShort(3).to_string().contains('3'));
+        assert!(CheckpointError::BadRecord(JournalError::BadTag(9))
+            .to_string()
+            .contains("tag 9"));
+        assert!(CheckpointError::BadChecksum {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("checksum"));
+    }
+
+    #[test]
+    fn tolerant_replay_of_a_duplicated_suffix_converges() {
+        // A snapshot already contains the effect of records that were still
+        // pending when it was taken; replaying them again on top must be a
+        // no-op overall.
+        let mut live = Dmt::new();
+        live.insert(F, 0, 100, CF, 0, false);
+        live.mark_dirty(F, 20, 30);
+        live.remove(F, 0);
+        let log = live.take_pending_journal();
+        let mut dmt = replay(&log);
+        replay_tolerant(&mut dmt, &log[1..]); // re-apply a suffix
+        assert_eq!(dmt.view(F, 0, 200), live.view(F, 0, 200));
+        assert_eq!(dmt.mapped_bytes(), live.mapped_bytes());
+        assert_eq!(dmt.dirty_bytes(), live.dirty_bytes());
+    }
+
+    #[test]
+    fn tolerant_insert_fills_only_gaps_with_shifted_cache_offsets() {
+        let mut dmt = Dmt::new();
+        dmt.insert(F, 20, 30, CF, 500, true);
+        replay_tolerant(
+            &mut dmt,
+            &[JournalRecord::Insert {
+                d_file: F,
+                d_offset: 0,
+                len: 100,
+                c_file: CF,
+                c_offset: 1000,
+                dirty: false,
+            }],
+        );
+        let v = dmt.view(F, 0, 100);
+        assert!(v.fully_covered());
+        // [0,20) and [50,100) filled from the record, shifted; [20,50) kept.
+        assert_eq!(v.pieces[0].c_offset, 1000);
+        assert_eq!(v.pieces[1].c_offset, 500);
+        assert!(v.pieces[1].dirty);
+        assert_eq!(v.pieces[2].c_offset, 1000 + 50);
+    }
+
+    #[test]
+    fn seal_records_survive_replay_and_mismatch_is_dropped() {
+        let mut live = Dmt::new();
+        live.insert(F, 0, 64, CF, 0, false);
+        live.insert(F, 100, 32, CF, 64, false);
+        let v0 = live.get(F, 0).unwrap().version;
+        assert!(live.seal_if(F, 0, v0, 0xFEED_FACE));
+        let log = live.take_pending_journal();
+        let recovered = replay(&log);
+        assert_eq!(recovered.get(F, 0).unwrap().checksum, Some(0xFEED_FACE));
+        assert_eq!(recovered.get(F, 100).unwrap().checksum, None);
+        // A seal whose length no longer matches the extent does not apply.
+        let mut dmt = Dmt::new();
+        dmt.insert(F, 0, 32, CF, 0, false);
+        replay_tolerant(
+            &mut dmt,
+            &[JournalRecord::Seal {
+                d_file: F,
+                d_offset: 0,
+                checksum: 1,
+                len: 64,
+            }],
+        );
+        assert_eq!(dmt.get(F, 0).unwrap().checksum, None);
     }
 }

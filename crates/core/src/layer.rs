@@ -1,11 +1,13 @@
 //! The S4D-Cache middleware: Identifier + Redirector + Rebuilder.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 use s4d_cost::{t_cservers, BenefitEvaluator, CostParams, SmMode};
 use s4d_mpiio::{
-    AppRequest, BackgroundPoll, Cluster, ErrorDirective, Middleware, MiddlewareError, Plan,
-    PlannedIo, Rank, SubIoFailure, Tier,
+    AppRequest, BackgroundPoll, Cluster, DurabilityCounts, ErrorDirective, Middleware,
+    MiddlewareError, Plan, PlannedIo, Rank, SubIoFailure, Tier,
 };
 use s4d_pfs::{FileId, IoFault, Priority};
 use s4d_sim::{SimDuration, SimTime};
@@ -13,15 +15,19 @@ use s4d_storage::IoKind;
 
 use crate::cdt::Cdt;
 use crate::config::{AdmissionPolicy, S4dConfig};
+use crate::crash::{CrashFuse, CrashSite};
 use crate::dmt::Dmt;
 use crate::health::HealthMonitor;
 use crate::journal::{self, JournalRecord};
 use crate::metrics::S4dMetrics;
 use crate::space::SpaceManager;
-use crate::DMT_RECORD_BYTES;
 
-/// Journal file size bound: the journal wraps (checkpoints) at this offset.
-const JOURNAL_WRAP: u64 = 256 * 1024 * 1024;
+/// CPFS name of the DMT journal file.
+const JOURNAL_NAME: &str = "__dmt_journal";
+/// Checkpoint slot installed by odd-sequence snapshots.
+const CKPT_SLOT_A: &str = "__dmt_ckpt_a";
+/// Checkpoint slot installed by even-sequence snapshots.
+const CKPT_SLOT_B: &str = "__dmt_ckpt_b";
 
 /// Largest file-contiguous run the Rebuilder moves as one group.
 const MAX_GROUP_BYTES: u64 = 4 * 1024 * 1024;
@@ -57,6 +63,42 @@ enum Pending {
         /// `(d_offset, len, c_file, c_offset)` pieces reserved for the data.
         pieces: Vec<(u64, u64, FileId, u64)>,
     },
+    /// A foreground write finished: seal the extents it filled, as
+    /// `(file, d_offset, version)` captured at plan time. The version gate
+    /// skips any extent a later write touched in the meantime.
+    Seal(Vec<(FileId, u64, u64)>),
+}
+
+/// What crash recovery found and rebuilt — see
+/// [`S4dCache::recover_from_cluster`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint snapshot used, if any slot held a
+    /// valid one.
+    pub used_checkpoint: Option<u64>,
+    /// Records replayed from the checkpoint snapshot.
+    pub snapshot_records: u64,
+    /// Records replayed from the journal tail past the snapshot.
+    pub tail_records: u64,
+    /// Journal bytes past the last decodable record (torn tail and
+    /// anything after it) that recovery truncated.
+    pub dropped_journal_bytes: u64,
+    /// Extents dropped because their cache bytes were not fully present
+    /// on CPFS (the mapping outran a torn data write).
+    pub dropped_extents: u64,
+    /// Bytes of dropped extents that were dirty — genuine data loss.
+    pub dirty_bytes_lost: u64,
+    /// Cache-file bytes present on CPFS but mapped by no extent (a data
+    /// write outran its journaled mapping); the orphan sweep discarded
+    /// them.
+    pub orphan_bytes_discarded: u64,
+}
+
+impl RecoveryReport {
+    /// Total records replayed (snapshot + tail): the work recovery did.
+    pub fn records_replayed(&self) -> u64 {
+        self.snapshot_records + self.tail_records
+    }
 }
 
 /// The Smart Selective SSD Cache middleware (the paper's Fig. 3).
@@ -91,6 +133,22 @@ pub struct S4dCache {
     /// Per-CServer health: failure counts, latency EWMA, quarantine.
     health: HealthMonitor,
     metrics: S4dMetrics,
+    /// Torture-harness hook: when attached, every durable effect asks the
+    /// fuse for permission and a crash truncates it mid-effect.
+    crash_fuse: Option<Rc<RefCell<CrashFuse>>>,
+    /// Sequence number of the last installed checkpoint (0 = none yet).
+    checkpoint_seq: u64,
+    /// Journal offset the last checkpoint covers.
+    last_ckpt_tail: u64,
+    /// `journal_records_total` at the last checkpoint (threshold base).
+    records_at_last_ckpt: u64,
+    /// Start of the live (uncompacted) journal region.
+    journal_base: u64,
+    /// Scrub resume position: the last `(file, d_offset)` verified.
+    scrub_cursor: Option<(FileId, u64)>,
+    /// What the last `recover_from_cluster` found, if this instance was
+    /// built by one.
+    last_recovery: Option<RecoveryReport>,
 }
 
 impl S4dCache {
@@ -117,6 +175,13 @@ impl S4dCache {
             journal_log: Vec::new(),
             health: HealthMonitor::default(),
             metrics: S4dMetrics::default(),
+            crash_fuse: None,
+            checkpoint_seq: 0,
+            last_ckpt_tail: 0,
+            records_at_last_ckpt: 0,
+            journal_base: 0,
+            scrub_cursor: None,
+            last_recovery: None,
         }
     }
 
@@ -136,6 +201,205 @@ impl S4dCache {
         s.dmt = dmt;
         s.space = space;
         s
+    }
+
+    /// Reconstructs a middleware from the cluster state alone — the
+    /// checkpoint slots, the journal file, and the cache files on CPFS —
+    /// which is exactly what survives a middleware crash. Requires
+    /// functional-mode stores (timing-only stores hold no bytes to read
+    /// back; recovery then sees an empty journal).
+    ///
+    /// The sequence is: pick the newest valid checkpoint slot, replay its
+    /// snapshot, replay the journal tail past it (strict prefix — decoding
+    /// stops at the first torn or corrupt frame and the undecodable suffix
+    /// is truncated), conservatively unseal dirty extents, drop any mapping
+    /// whose cache bytes are not fully present (a torn data write), rebuild
+    /// the space allocator, and discard orphaned cache bytes no mapping
+    /// claims (a data write that outran its journaled mapping).
+    pub fn recover_from_cluster(
+        config: S4dConfig,
+        params: CostParams,
+        cluster: &mut Cluster,
+    ) -> (Self, RecoveryReport) {
+        let mut report = RecoveryReport::default();
+        let mut snapshot: Option<journal::Checkpoint> = None;
+        for slot in [CKPT_SLOT_A, CKPT_SLOT_B] {
+            let Ok(file) = cluster.cpfs().open(slot) else {
+                continue;
+            };
+            let Ok(size) = cluster.cpfs().meta(file).map(|m| m.size) else {
+                continue;
+            };
+            let Ok(Some(bytes)) = cluster.cpfs().read_bytes(file, 0, size) else {
+                continue;
+            };
+            if let Ok(ckpt) = journal::decode_checkpoint(&bytes) {
+                if snapshot
+                    .as_ref()
+                    .is_none_or(|s| ckpt.covers_seq > s.covers_seq)
+                {
+                    snapshot = Some(ckpt);
+                }
+            }
+        }
+        let mut dmt = Dmt::new();
+        let tail_start = match &snapshot {
+            Some(ckpt) => {
+                journal::replay_tolerant(&mut dmt, &ckpt.records);
+                report.used_checkpoint = Some(ckpt.covers_seq);
+                report.snapshot_records = ckpt.records.len() as u64;
+                ckpt.tail_offset
+            }
+            None => 0,
+        };
+        let journal_file = cluster.cpfs_mut().create_or_open(JOURNAL_NAME);
+        let journal_size = cluster
+            .cpfs()
+            .meta(journal_file)
+            .map(|m| m.size)
+            .unwrap_or(0);
+        let mut journal_offset = tail_start;
+        if journal_size > tail_start {
+            if let Ok(Some(bytes)) =
+                cluster
+                    .cpfs()
+                    .read_bytes(journal_file, tail_start, journal_size - tail_start)
+            {
+                let tail = journal::decode_prefix(&bytes);
+                journal::replay_tolerant(&mut dmt, &tail.records);
+                report.tail_records = tail.records.len() as u64;
+                report.dropped_journal_bytes = tail.dropped_bytes;
+                journal_offset = tail_start + (bytes.len() as u64 - tail.dropped_bytes);
+                if tail.dropped_bytes > 0 {
+                    // Truncate the undecodable suffix so future appends
+                    // land on clean ground instead of behind a bad frame.
+                    let _ = cluster.cpfs_mut().discard(
+                        journal_file,
+                        journal_offset,
+                        tail.dropped_bytes,
+                    );
+                }
+            }
+        }
+        // A dirty extent's seal may predate a torn overwrite of its bytes;
+        // trusting it would let the scrubber discard acknowledged data.
+        dmt.clear_dirty_checksums();
+        // Coverage validation: a mapping whose cache bytes are not all
+        // present points at a torn data write (or a crashed CServer). Drop
+        // it — clean extents re-fetch from OPFS; dirty ones are real loss.
+        let mut metrics = S4dMetrics::default();
+        let mut extents: Vec<(FileId, u64, u64, FileId, u64, bool)> = dmt
+            .iter_extents()
+            .map(|(f, o, e)| (f, o, e.len, e.c_file, e.c_offset, e.dirty))
+            .collect();
+        extents.sort_unstable_by_key(|&(f, o, ..)| (f.0, o));
+        for (file, d_off, len, c_file, c_off, dirty) in extents {
+            let covered = cluster
+                .cpfs()
+                .covered_bytes(c_file, c_off, len)
+                .unwrap_or(0);
+            if covered == len {
+                continue;
+            }
+            dmt.remove(file, d_off);
+            let _ = cluster.cpfs_mut().discard(c_file, c_off, len);
+            report.dropped_extents += 1;
+            if dirty {
+                report.dirty_bytes_lost += len;
+                metrics.dirty_bytes_lost += len;
+            } else {
+                metrics.crash_invalidated_bytes += len;
+            }
+        }
+        // The drops above are re-derived deterministically from cluster
+        // state on any future recovery; they need no journal records.
+        let _ = dmt.take_pending_journal();
+        let space = SpaceManager::rebuild(
+            config.cache_capacity,
+            dmt.iter_extents()
+                .map(|(_, _, e)| (e.c_file, e.c_offset, e.len)),
+        );
+        // Orphan sweep: cache-file bytes no extent maps.
+        let mut mapped_ranges: HashMap<FileId, Vec<(u64, u64)>> = HashMap::new();
+        for (_, _, e) in dmt.iter_extents() {
+            mapped_ranges
+                .entry(e.c_file)
+                .or_default()
+                .push((e.c_offset, e.len));
+        }
+        let mut cache_files: Vec<(FileId, u64)> = cluster
+            .cpfs()
+            .iter_files()
+            .filter(|m| m.name.ends_with(".cache"))
+            .map(|m| (m.id, m.size))
+            .collect();
+        cache_files.sort_unstable_by_key(|&(f, _)| f.0);
+        for (f, size) in cache_files {
+            if size == 0 {
+                continue;
+            }
+            let mut ranges = mapped_ranges.remove(&f).unwrap_or_default();
+            ranges.sort_unstable();
+            let mut cursor = 0u64;
+            let mut holes: Vec<(u64, u64)> = Vec::new();
+            for (off, len) in ranges {
+                if off > cursor {
+                    holes.push((cursor, off - cursor));
+                }
+                cursor = cursor.max(off + len);
+            }
+            if size > cursor {
+                holes.push((cursor, size - cursor));
+            }
+            for (off, len) in holes {
+                let covered = cluster.cpfs().covered_bytes(f, off, len).unwrap_or(0);
+                if covered > 0 {
+                    let _ = cluster.cpfs_mut().discard(f, off, len);
+                    report.orphan_bytes_discarded += covered;
+                }
+            }
+        }
+        let mut s = S4dCache::new(config, params);
+        s.dmt = dmt;
+        s.space = space;
+        s.metrics = metrics;
+        s.journal_file = Some(journal_file);
+        s.journal_offset = journal_offset;
+        s.journal_base = tail_start;
+        s.last_ckpt_tail = tail_start;
+        s.checkpoint_seq = report.used_checkpoint.unwrap_or(0);
+        s.records_at_last_ckpt = s.dmt.journal_records_total();
+        s.last_recovery = Some(report);
+        (s, report)
+    }
+
+    /// Attaches a crash fuse: every subsequent durable effect (journal
+    /// appends, checkpoint installs, eviction discards, flush/fetch
+    /// copies) asks the fuse for permission, and the crash-point torture
+    /// harness arms it to truncate one of them mid-write.
+    pub fn attach_crash_fuse(&mut self, fuse: Rc<RefCell<CrashFuse>>) {
+        self.crash_fuse = Some(fuse);
+    }
+
+    /// True once an attached crash fuse has fired. A dead instance keeps
+    /// its in-memory bookkeeping consistent but persists nothing further;
+    /// the harness discards it and recovers from the cluster.
+    pub fn fuse_dead(&self) -> bool {
+        self.crash_fuse
+            .as_ref()
+            .is_some_and(|f| f.borrow().is_dead())
+    }
+
+    fn fuse_consume(&mut self, site: CrashSite, len: u64) -> u64 {
+        match &self.crash_fuse {
+            Some(f) => f.borrow_mut().consume(site, len),
+            None => len,
+        }
+    }
+
+    /// The report of the recovery that built this instance, if any.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
     }
 
     /// The retained journal record log (empty unless
@@ -240,7 +504,7 @@ impl S4dCache {
         let layout = cluster.cpfs().layout();
         let stripe = layout.stripe_size();
         let n = layout.server_count();
-        let doomed: Vec<(FileId, u64, u64, FileId, u64, bool)> = self
+        let mut doomed: Vec<(FileId, u64, u64, FileId, u64, bool)> = self
             .dmt
             .iter_extents()
             .filter(|(_, _, e)| {
@@ -251,7 +515,11 @@ impl S4dCache {
             })
             .map(|(f, o, e)| (f, o, e.len, e.c_file, e.c_offset, e.dirty))
             .collect();
-        for (file, d_off, len, c_file, c_off, dirty) in doomed {
+        doomed.sort_unstable_by_key(|&(f, o, ..)| (f.0, o));
+        if doomed.is_empty() {
+            return;
+        }
+        for &(file, d_off, len, _, _, dirty) in &doomed {
             if dirty {
                 self.metrics.dirty_bytes_lost += len;
             } else {
@@ -259,8 +527,17 @@ impl S4dCache {
             }
             // `remove` journals a Remove record, so recovery agrees.
             self.dmt.remove(file, d_off);
+        }
+        // The Removes must be durable before the bytes go away: recovering
+        // a mapping to discarded space would serve garbage. (Orphaned bytes
+        // from the reverse order are merely swept and discarded.)
+        self.append_journal_sync(cluster, &[]);
+        for &(_, _, len, c_file, c_off, _) in &doomed {
             self.space.release(c_file, c_off, len);
-            let _ = cluster.cpfs_mut().discard(c_file, c_off, len);
+            let allowed = self.fuse_consume(CrashSite::EvictDiscard, len);
+            if allowed > 0 {
+                let _ = cluster.cpfs_mut().discard(c_file, c_off, allowed);
+            }
         }
     }
 
@@ -299,6 +576,9 @@ impl S4dCache {
                     self.inflight_fetch.remove(&(orig, o, l));
                 }
             }
+            // Sealing is best-effort: an unsealed extent just stays
+            // unverified until the scrubber byte-compares it.
+            Some(Pending::Seal(_)) => {}
             None => {}
         }
     }
@@ -313,7 +593,7 @@ impl S4dCache {
         match self.journal_file {
             Some(f) => f,
             None => {
-                let f = cluster.cpfs_mut().create_or_open("__dmt_journal");
+                let f = cluster.cpfs_mut().create_or_open(JOURNAL_NAME);
                 self.journal_file = Some(f);
                 f
             }
@@ -356,13 +636,22 @@ impl S4dCache {
                 })
             });
         self.pins = pins;
+        if !victims.is_empty() {
+            // `evict_clean_lru_excluding` removed the victims and queued
+            // their Remove records; make those durable *before* the bytes
+            // go away, so recovery never maps discarded space.
+            self.append_journal_sync(cluster, &[]);
+        }
         for (_file, _d_off, ext) in &victims {
             self.space.release(ext.c_file, ext.c_offset, ext.len);
             // Dropping the cached bytes is a metadata operation; the data
             // still lives on DServers because the extent was clean.
-            let _ = cluster
-                .cpfs_mut()
-                .discard(ext.c_file, ext.c_offset, ext.len);
+            let allowed = self.fuse_consume(CrashSite::EvictDiscard, ext.len);
+            if allowed > 0 {
+                let _ = cluster
+                    .cpfs_mut()
+                    .discard(ext.c_file, ext.c_offset, allowed);
+            }
             self.metrics.evictions += 1;
             self.metrics.evicted_bytes += ext.len;
         }
@@ -389,15 +678,21 @@ impl S4dCache {
         self.journal_pending.extend(fresh);
     }
 
-    /// Builds a journal write covering every pending record, if any.
+    /// Builds a journal write covering every pending record, if any. The
+    /// op carries the encoded frames, so functional-mode stores persist
+    /// the real journal and recovery can read it back. The append offset
+    /// is reserved now; the bytes land when the runner executes the op
+    /// (crash before then = a hole that stops prefix decoding — the same
+    /// safe outcome as losing the records outright).
     fn drain_journal(&mut self, cluster: &mut Cluster, priority: Priority) -> Option<PlannedIo> {
         self.collect_pending_records();
         if self.journal_pending.is_empty() {
             return None;
         }
         let journal = self.ensure_journal(cluster);
-        let len = self.journal_pending.len() as u64 * DMT_RECORD_BYTES;
-        self.journal_pending.clear();
+        let records = std::mem::take(&mut self.journal_pending);
+        let data = journal::encode_batch(&records);
+        let len = data.len() as u64;
         let op = PlannedIo {
             tier: Tier::CServers,
             file: journal,
@@ -405,13 +700,45 @@ impl S4dCache {
             offset: self.journal_offset,
             len,
             priority,
-            data: None,
+            data: Some(data),
             app_offset: None,
         };
-        self.journal_offset = (self.journal_offset + len) % JOURNAL_WRAP;
+        self.journal_offset += len;
         self.metrics.journal_writes += 1;
         self.metrics.journal_bytes += len;
         Some(op)
+    }
+
+    /// Appends `extra` plus every pending record to the journal right now,
+    /// bypassing the planned-I/O path — for records whose durability must
+    /// precede an imminent destructive effect (Removes before a discard,
+    /// FlushIntents before the flush plan is issued). The write is applied
+    /// through the crash fuse: a torture crash leaves a torn suffix that
+    /// recovery truncates.
+    fn append_journal_sync(&mut self, cluster: &mut Cluster, extra: &[JournalRecord]) {
+        self.collect_pending_records();
+        if !extra.is_empty() {
+            if self.config.record_journal_log {
+                self.journal_log.extend_from_slice(extra);
+            }
+            self.journal_pending.extend_from_slice(extra);
+        }
+        if self.journal_pending.is_empty() {
+            return;
+        }
+        let journal = self.ensure_journal(cluster);
+        let records = std::mem::take(&mut self.journal_pending);
+        let data = journal::encode_batch(&records);
+        let len = data.len() as u64;
+        let allowed = self.fuse_consume(CrashSite::SyncAppend, len);
+        let _ = cluster
+            .cpfs_mut()
+            .apply_bytes(journal, self.journal_offset, allowed, Some(&data));
+        // The full reservation is consumed even on a torn write: this
+        // instance is dead then, and recovery works from the cluster.
+        self.journal_offset += len;
+        self.metrics.journal_writes += 1;
+        self.metrics.journal_bytes += len;
     }
 
     /// Algorithm 1, write side.
@@ -500,12 +827,36 @@ impl S4dCache {
         } else {
             self.metrics.writes_to_disk += 1;
         }
-        self.journal_op(cluster, &mut ops);
-        Plan {
+        // Atomic admission: the journal write describing new mappings runs
+        // in a phase *after* the data writes (data-before-metadata). A
+        // crash between the two leaves orphaned cache bytes — swept on
+        // recovery — never a mapping to unwritten space.
+        let mut journal_ops = Vec::new();
+        self.journal_op(cluster, &mut journal_ops);
+        let mut plan = Plan {
             tag: 0,
             lead_in: self.config.decision_overhead,
             phases: vec![ops],
+        };
+        if !journal_ops.is_empty() {
+            plan.phases.push(journal_ops);
         }
+        // Once the plan completes, seal the cache extents this write
+        // filled: the checksum is computed from the bytes then on CPFS,
+        // version-gated against racing overwrites.
+        let seals: Vec<(FileId, u64, u64)> = self
+            .dmt
+            .extents_overlapping(req.file, req.offset, req.len)
+            .into_iter()
+            .map(|(d_off, e)| (req.file, d_off, e.version))
+            .collect();
+        if !seals.is_empty() {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            self.pending.insert(tag, Pending::Seal(seals));
+            plan.tag = tag;
+        }
+        plan
     }
 
     /// Algorithm 1, read side (with the lazy `C_flag` marking of §III.E).
@@ -520,6 +871,14 @@ impl S4dCache {
             .cache_file_of
             .get(&req.file)
             .expect("plan_io on a file the middleware opened");
+        if self.config.verify_on_read {
+            // Verify the seals of every cached extent in range before
+            // routing: corrupt clean bytes are repaired from DServers
+            // first, and unrecoverable dirty corruption is dropped (the
+            // read then serves the last flushed version from DServers
+            // instead of silently returning bad bytes).
+            self.verify_range(cluster, req.file, req.offset, req.len);
+        }
         let mut ops: Vec<PlannedIo> = Vec::new();
         let view = self.dmt.view(req.file, req.offset, req.len);
         self.dmt.touch_range(req.file, req.offset, req.len);
@@ -605,7 +964,11 @@ impl S4dCache {
                 }
             }
         }
-        self.journal_op(cluster, &mut plan.phases[0]);
+        let mut journal_ops = Vec::new();
+        self.journal_op(cluster, &mut journal_ops);
+        if !journal_ops.is_empty() {
+            plan.phases.push(journal_ops);
+        }
         plan
     }
 
@@ -707,7 +1070,7 @@ impl S4dCache {
     /// the CServer reads of a group run concurrently (merged where the
     /// cache-file ranges happen to be contiguous too), and the DServer
     /// write is a single large sequential I/O.
-    fn build_flushes(&mut self, now: SimTime, plans: &mut Vec<Plan>) {
+    fn build_flushes(&mut self, cluster: &mut Cluster, now: SimTime, plans: &mut Vec<Plan>) {
         // With `flush_on_risk`, a CServer showing trouble (quarantine, a
         // recent failure, or a latency EWMA above the threshold) triggers
         // flushing *everything* dirty — shrinking the data-loss window a
@@ -724,6 +1087,7 @@ impl S4dCache {
         let mut candidates = self.dmt.dirty_lru(limit);
         candidates.retain(|(f, d, _)| !self.inflight_flush.contains(&(*f, *d)));
         candidates.sort_by_key(|(f, d, _)| (f.0, *d));
+        let mut intents: Vec<JournalRecord> = Vec::new();
         let mut i = 0;
         while i < candidates.len() {
             let (file, start, first) = candidates[i];
@@ -793,12 +1157,23 @@ impl S4dCache {
             for item in &items {
                 self.inflight_flush.insert((item.orig, item.d_offset));
             }
+            intents.push(JournalRecord::FlushIntent {
+                d_file: file,
+                d_offset: start,
+            });
             self.pending.insert(tag, Pending::Flush(items));
             plans.push(Plan {
                 tag,
                 lead_in: SimDuration::ZERO,
                 phases: vec![reads, vec![write]],
             });
+        }
+        if !intents.is_empty() {
+            // Journal the intents before any flush plan can run: recovery
+            // sees which ranges were mid-flush and that a re-flush is due.
+            // The matching commit is the SetClean record at completion, so
+            // a crash between the two re-flushes idempotently.
+            self.append_journal_sync(cluster, &intents);
         }
     }
 
@@ -925,11 +1300,33 @@ impl S4dCache {
                 cdt_keys,
                 pieces,
             }) => self.finish_fetch(cluster, orig, cdt_keys, pieces),
+            Some(Pending::Seal(targets)) => self.finish_seals(cluster, targets),
             None => {}
         }
     }
 
+    /// Seals extents whose plan completed: reads the cached bytes back,
+    /// checksums them, and attaches the seal if no write raced (version
+    /// gate). Timing-mode stores hold no bytes; sealing is skipped there.
+    fn finish_seals(&mut self, cluster: &mut Cluster, targets: Vec<(FileId, u64, u64)>) {
+        for (orig, d_offset, version) in targets {
+            let Some(e) = self.dmt.get(orig, d_offset) else {
+                continue;
+            };
+            if e.version != version {
+                continue;
+            }
+            let (c_file, c_offset, len) = (e.c_file, e.c_offset, e.len);
+            let Ok(Some(bytes)) = cluster.cpfs().read_bytes(c_file, c_offset, len) else {
+                continue;
+            };
+            let sum = journal::crc32(&bytes);
+            self.dmt.seal_if(orig, d_offset, version, sum);
+        }
+    }
+
     fn finish_flush_group(&mut self, cluster: &mut Cluster, items: Vec<FlushItem>) {
+        let mut seals: Vec<(FileId, u64, u64)> = Vec::new();
         for item in items {
             // The extent may have vanished while the flush was in flight —
             // a crash invalidated it, or eviction raced — and its cache
@@ -944,16 +1341,32 @@ impl S4dCache {
                 // bytes — if a write raced the flush, DServers receive the
                 // newest data and the extent simply stays dirty for a
                 // later flush).
-                let _ = cluster.copy_range(
-                    (Tier::CServers, item.c_file, item.c_offset),
-                    (Tier::DServers, item.orig, item.d_offset),
-                    item.len,
-                );
-                self.dmt
-                    .mark_clean_if(item.orig, item.d_offset, item.version);
+                let allowed = self.fuse_consume(CrashSite::FlushCopy, item.len);
+                if allowed > 0 {
+                    let _ = cluster.copy_range(
+                        (Tier::CServers, item.c_file, item.c_offset),
+                        (Tier::DServers, item.orig, item.d_offset),
+                        allowed,
+                    );
+                }
+                // The commit (SetClean) only follows a complete copy; a
+                // torn copy leaves the extent dirty, so recovery re-flushes
+                // the whole range — idempotent because the same bytes land
+                // on the same DServer offsets.
+                if allowed == item.len
+                    && self
+                        .dmt
+                        .mark_clean_if(item.orig, item.d_offset, item.version)
+                {
+                    seals.push((item.orig, item.d_offset, item.version));
+                }
             }
             self.inflight_flush.remove(&(item.orig, item.d_offset));
         }
+        // Flushing does not change the cached bytes: seal any flushed
+        // extent that was still unverified.
+        seals.retain(|&(f, o, _)| self.dmt.get(f, o).is_some_and(|e| e.checksum.is_none()));
+        self.finish_seals(cluster, seals);
     }
 
     fn finish_fetch(
@@ -963,6 +1376,7 @@ impl S4dCache {
         cdt_keys: Vec<(u64, u64)>,
         pieces: Vec<(u64, u64, FileId, u64)>,
     ) {
+        let mut seals: Vec<(FileId, u64, u64)> = Vec::new();
         for (d_off, len, c_file, c_off) in pieces {
             // A foreground write may have mapped (parts of) this range while
             // the fetch was in flight; only fill the still-missing gaps and
@@ -970,13 +1384,26 @@ impl S4dCache {
             let view = self.dmt.view(orig, d_off, len);
             for &(g_off, g_len) in &view.gaps {
                 let rel = g_off - d_off;
-                let _ = cluster.copy_range(
-                    (Tier::DServers, orig, g_off),
-                    (Tier::CServers, c_file, c_off + rel),
-                    g_len,
-                );
-                self.dmt
-                    .insert(orig, g_off, g_len, c_file, c_off + rel, false);
+                let allowed = self.fuse_consume(CrashSite::FetchFill, g_len);
+                if allowed > 0 {
+                    let _ = cluster.copy_range(
+                        (Tier::DServers, orig, g_off),
+                        (Tier::CServers, c_file, c_off + rel),
+                        allowed,
+                    );
+                }
+                // Data-before-metadata: the mapping only exists once the
+                // fill completed. A torn fill leaves orphaned cache bytes
+                // for the recovery sweep, never a mapping to a hole.
+                if allowed == g_len {
+                    self.dmt
+                        .insert(orig, g_off, g_len, c_file, c_off + rel, false);
+                    if let Some(e) = self.dmt.get(orig, g_off) {
+                        seals.push((orig, g_off, e.version));
+                    }
+                } else {
+                    self.space.release(c_file, c_off + rel, g_len);
+                }
             }
             // Give back the parts of the reservation that a racing write
             // already mapped elsewhere.
@@ -988,6 +1415,204 @@ impl S4dCache {
         for (o, l) in cdt_keys {
             self.cdt.clear_c_flag(orig, o, l);
             self.inflight_fetch.remove(&(orig, o, l));
+        }
+        self.finish_seals(cluster, seals);
+    }
+
+    /// Installs a DMT checkpoint snapshot once enough journal growth has
+    /// accumulated, then compacts (discards) the journal region the
+    /// snapshot covers. Double-buffered slots plus a CRC over the whole
+    /// snapshot make the install atomic: a torn write fails the CRC and
+    /// recovery falls back to the previous slot.
+    fn maybe_checkpoint(&mut self, cluster: &mut Cluster) {
+        let records_since = self
+            .dmt
+            .journal_records_total()
+            .saturating_sub(self.records_at_last_ckpt);
+        let bytes_since = self.journal_offset.saturating_sub(self.last_ckpt_tail);
+        if records_since < self.config.checkpoint_after_records
+            && bytes_since < self.config.checkpoint_after_bytes
+        {
+            return;
+        }
+        // Force-drain so the snapshot covers every journaled mutation and
+        // the tail past `tail_offset` is an exact record-order suffix.
+        self.append_journal_sync(cluster, &[]);
+        if self.fuse_dead() {
+            return;
+        }
+        let tail_offset = self.journal_offset;
+        let mut live: Vec<(FileId, u64, crate::dmt::MapExtent)> = self
+            .dmt
+            .iter_extents()
+            .map(|(f, o, e)| (f, o, *e))
+            .collect();
+        // Sorted snapshot order keeps the byte stream — and therefore the
+        // torture harness's crash points — deterministic.
+        live.sort_unstable_by_key(|&(f, o, _)| (f.0, o));
+        let mut records = Vec::with_capacity(live.len());
+        for (f, o, e) in live {
+            records.push(JournalRecord::Insert {
+                d_file: f,
+                d_offset: o,
+                len: e.len,
+                c_file: e.c_file,
+                c_offset: e.c_offset,
+                dirty: e.dirty,
+            });
+            if let Some(sum) = e.checksum {
+                records.push(JournalRecord::Seal {
+                    d_file: f,
+                    d_offset: o,
+                    checksum: sum,
+                    len: e.len,
+                });
+            }
+        }
+        let seq = self.checkpoint_seq + 1;
+        let data = journal::encode_checkpoint(seq, tail_offset, &records);
+        let slot_name = if seq % 2 == 1 {
+            CKPT_SLOT_A
+        } else {
+            CKPT_SLOT_B
+        };
+        let slot = cluster.cpfs_mut().create_or_open(slot_name);
+        let len = data.len() as u64;
+        let allowed = self.fuse_consume(CrashSite::CheckpointWrite, len);
+        let _ = cluster
+            .cpfs_mut()
+            .apply_bytes(slot, 0, allowed, Some(&data));
+        if allowed < len {
+            // Torn install: the CRC trailer never landed, so recovery keeps
+            // using the previous slot. This instance is dead.
+            return;
+        }
+        // Compact: the journal below the snapshot's tail is dead weight.
+        let compacted = tail_offset.saturating_sub(self.journal_base);
+        if compacted > 0 {
+            let journal = self.ensure_journal(cluster);
+            let allowed = self.fuse_consume(CrashSite::JournalTruncate, compacted);
+            if allowed > 0 {
+                let _ = cluster
+                    .cpfs_mut()
+                    .discard(journal, self.journal_base, allowed);
+            }
+        }
+        self.checkpoint_seq = seq;
+        self.last_ckpt_tail = tail_offset;
+        self.records_at_last_ckpt = self.dmt.journal_records_total();
+        self.journal_base = tail_offset;
+        self.metrics.checkpoints += 1;
+        self.metrics.checkpoint_bytes += len;
+        self.metrics.records_compacted += records_since;
+    }
+
+    /// Verifies one extent against its seal; the scrubber's unit of work.
+    /// Returns the bytes scanned, or `None` when the stores are
+    /// timing-only (no bytes exist to verify — the caller stops).
+    ///
+    /// Decisions: a clean extent failing its seal (or unsealed) is
+    /// byte-compared against OPFS and repaired from there — DServers hold
+    /// the same logical bytes for clean data. A *dirty* extent failing its
+    /// seal is unrecoverable (the cache held the only copy); the mapping
+    /// is removed — with the Remove journaled before the discard — and the
+    /// loss is surfaced, so reads serve the last flushed version instead
+    /// of silently returning bad bytes. Dirty unsealed extents are skipped.
+    fn scrub_extent(&mut self, cluster: &mut Cluster, orig: FileId, d_offset: u64) -> Option<u64> {
+        let Some(e) = self.dmt.get(orig, d_offset).copied() else {
+            return Some(0);
+        };
+        let bytes = match cluster.cpfs().read_bytes(e.c_file, e.c_offset, e.len) {
+            Ok(Some(b)) => b,
+            _ => return None,
+        };
+        let sum = journal::crc32(&bytes);
+        match (e.dirty, e.checksum) {
+            (false, Some(expect)) if expect == sum => {}
+            (false, _) => {
+                // Clean: OPFS is ground truth. Repair on mismatch, then
+                // (re-)seal with the verified content.
+                let Ok(Some(truth)) = cluster.opfs().read_bytes(orig, d_offset, e.len) else {
+                    return None;
+                };
+                if truth != bytes {
+                    let _ = cluster.copy_range(
+                        (Tier::DServers, orig, d_offset),
+                        (Tier::CServers, e.c_file, e.c_offset),
+                        e.len,
+                    );
+                    self.metrics.scrub_repaired_bytes += e.len;
+                }
+                self.dmt
+                    .seal_if(orig, d_offset, e.version, journal::crc32(&truth));
+            }
+            (true, Some(expect)) if expect != sum => {
+                // Unrecoverable: the only up-to-date copy is corrupt.
+                self.dmt.remove(orig, d_offset);
+                self.append_journal_sync(cluster, &[]);
+                let allowed = self.fuse_consume(CrashSite::EvictDiscard, e.len);
+                if allowed > 0 {
+                    let _ = cluster.cpfs_mut().discard(e.c_file, e.c_offset, allowed);
+                }
+                self.space.release(e.c_file, e.c_offset, e.len);
+                self.metrics.scrub_lost_bytes += e.len;
+                self.metrics.dirty_bytes_lost += e.len;
+            }
+            (true, Some(_)) => {} // sealed dirty extent, intact
+            (true, None) => {
+                self.metrics.scrub_unverified_bytes += e.len;
+            }
+        }
+        self.metrics.scrub_scanned_bytes += e.len;
+        Some(e.len)
+    }
+
+    /// One background scrub pass: verifies extents in `(file, offset)`
+    /// order, resuming after the cursor, until the per-wake byte budget is
+    /// spent. Wraps around, so every extent is eventually visited.
+    fn run_scrub(&mut self, cluster: &mut Cluster) {
+        let mut targets: Vec<(FileId, u64)> =
+            self.dmt.iter_extents().map(|(f, o, _)| (f, o)).collect();
+        if targets.is_empty() {
+            return;
+        }
+        targets.sort_unstable_by_key(|&(f, o)| (f.0, o));
+        let start = match self.scrub_cursor {
+            None => 0,
+            Some((cf, co)) => targets
+                .iter()
+                .position(|&(f, o)| (f.0, o) > (cf.0, co))
+                .unwrap_or(0),
+        };
+        let mut budget = self.config.scrub_bytes_per_wake;
+        for k in 0..targets.len() {
+            if budget == 0 {
+                break;
+            }
+            let (f, o) = targets[(start + k) % targets.len()];
+            match self.scrub_extent(cluster, f, o) {
+                None => return,
+                Some(scanned) => {
+                    budget = budget.saturating_sub(scanned.max(1));
+                    self.scrub_cursor = Some((f, o));
+                }
+            }
+        }
+    }
+
+    /// Verifies every cached extent overlapping a range — the
+    /// `verify_on_read` pre-pass.
+    fn verify_range(&mut self, cluster: &mut Cluster, file: FileId, offset: u64, len: u64) {
+        let targets: Vec<u64> = self
+            .dmt
+            .extents_overlapping(file, offset, len)
+            .into_iter()
+            .map(|(o, _)| o)
+            .collect();
+        for o in targets {
+            if self.scrub_extent(cluster, file, o).is_none() {
+                return;
+            }
         }
     }
 }
@@ -1035,10 +1660,18 @@ impl Middleware for S4dCache {
                 phases: vec![vec![op]],
             };
         }
-        match req.kind {
+        let plan = match req.kind {
             IoKind::Write => self.plan_write(cluster, now, req, critical),
             IoKind::Read => self.plan_read(cluster, now, req, critical),
-        }
+        };
+        // Journal-before-ack audit: every DMT mutation this operation made
+        // is in the journaling pipeline before the plan is handed back.
+        debug_assert_eq!(
+            self.dmt.pending_records(),
+            0,
+            "plan_io returned with uncollected journal records"
+        );
+        plan
     }
 
     fn close(
@@ -1055,6 +1688,15 @@ impl Middleware for S4dCache {
     fn on_plan_complete(&mut self, cluster: &mut Cluster, _now: SimTime, tag: u64) {
         let action = self.pending.remove(&tag);
         self.apply_pending(cluster, action);
+        // Journal-before-ack audit: completion-side mutations (SetClean,
+        // fetch Inserts, Seals) enter the journaling pipeline before the
+        // runner regains control.
+        self.collect_pending_records();
+        debug_assert_eq!(
+            self.dmt.pending_records(),
+            0,
+            "on_plan_complete returned with uncollected journal records"
+        );
     }
 
     fn on_io_error(
@@ -1139,6 +1781,18 @@ impl Middleware for S4dCache {
         self.abandon_pending(action);
     }
 
+    fn durability(&self) -> Option<DurabilityCounts> {
+        Some(DurabilityCounts {
+            journal_writes: self.metrics.journal_writes,
+            journal_bytes: self.metrics.journal_bytes,
+            checkpoints: self.metrics.checkpoints,
+            checkpoint_bytes: self.metrics.checkpoint_bytes,
+            records_compacted: self.metrics.records_compacted,
+            recovery_records_replayed: self.last_recovery.map_or(0, |r| r.records_replayed()),
+            recovery_dropped_bytes: self.last_recovery.map_or(0, |r| r.dropped_journal_bytes),
+        })
+    }
+
     fn poll_background(&mut self, cluster: &mut Cluster, now: SimTime) -> BackgroundPoll {
         if self.config.force_miss {
             return BackgroundPoll {
@@ -1151,15 +1805,33 @@ impl Middleware for S4dCache {
         if !self.config.persistent_placement {
             // CARL-style placement keeps data on the CServers for good:
             // nothing is ever written back, so there is nothing to flush.
-            self.build_flushes(now, &mut plans);
+            self.build_flushes(cluster, now, &mut plans);
         }
         self.build_fetches(cluster, now, &mut plans);
+        if self.config.scrub_bytes_per_wake > 0 {
+            self.run_scrub(cluster);
+        }
+        self.maybe_checkpoint(cluster);
         // Persist any straggling journal records with background priority.
         if let Some(op) = self.drain_journal(cluster, Priority::Background) {
             plans.push(Plan::single_phase(vec![op]));
         }
+        debug_assert_eq!(
+            self.dmt.pending_records(),
+            0,
+            "poll_background returned with uncollected journal records"
+        );
+        // A pending Seal is advisory bookkeeping (checksums attach on
+        // completion) and must not keep the drain loop spinning.
+        fn blocks_idle(p: &Pending) -> bool {
+            match p {
+                Pending::Seal(_) => false,
+                Pending::Multi(actions) => actions.iter().any(blocks_idle),
+                _ => true,
+            }
+        }
         let work_pending = !plans.is_empty()
-            || !self.pending.is_empty()
+            || self.pending.values().any(blocks_idle)
             || (!self.config.persistent_placement && self.dmt.dirty_bytes() > 0);
         BackgroundPoll {
             plans,
@@ -1176,6 +1848,7 @@ impl Middleware for S4dCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DMT_RECORD_BYTES;
     use s4d_storage::presets;
 
     const KIB: u64 = 1024;
@@ -1242,8 +1915,10 @@ mod tests {
         assert!(mw.cdt().contains(f, 0, 16 * KIB));
         assert_eq!(mw.metrics().writes_to_cache, 1);
         // The plan carries a journal write for the DMT mutation.
-        let journal_ops: Vec<_> = plan.phases[0]
+        let journal_ops: Vec<_> = plan
+            .phases
             .iter()
+            .flatten()
             .filter(|op| op.app_offset.is_none())
             .collect();
         assert_eq!(journal_ops.len(), 1);
@@ -1325,7 +2000,7 @@ mod tests {
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
         // Flush the dirty extent so it becomes clean.
         let mut plans = Vec::new();
-        mw.build_flushes(SimTime::ZERO, &mut plans);
+        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
         assert_eq!(plans.len(), 1);
         let tag = plans[0].tag;
         mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
@@ -1349,7 +2024,7 @@ mod tests {
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
         // Make it clean via a flush cycle.
         let mut plans = Vec::new();
-        mw.build_flushes(SimTime::ZERO, &mut plans);
+        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
         let tag = plans[0].tag;
         mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
         assert_eq!(mw.dmt().dirty_bytes(), 0);
@@ -1522,7 +2197,10 @@ mod tests {
                 &write_req(f, i * MIB, 16 * KIB),
             );
             assert!(
-                plan.phases[0].iter().all(|op| op.app_offset.is_some()),
+                plan.phases
+                    .iter()
+                    .flatten()
+                    .all(|op| op.app_offset.is_some()),
                 "no journal op before the batch fills"
             );
         }
@@ -1531,8 +2209,10 @@ mod tests {
             SimTime::ZERO,
             &write_req(f, 3 * MIB, 16 * KIB),
         );
-        let journal: Vec<_> = plan.phases[0]
+        let journal: Vec<_> = plan
+            .phases
             .iter()
+            .flatten()
             .filter(|op| op.app_offset.is_none())
             .collect();
         assert_eq!(journal.len(), 1, "batch full: one grouped journal write");
@@ -1692,7 +2372,7 @@ mod tests {
         // A clean cached extent at 0 and a dirty one at 1 MiB.
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
         let mut plans = Vec::new();
-        mw.build_flushes(SimTime::ZERO, &mut plans);
+        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
         let tag = plans[0].tag;
         mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 16 * KIB));
@@ -1753,7 +2433,7 @@ mod tests {
         // Clean extent at 0, dirty extent at 1 MiB.
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
         let mut plans = Vec::new();
-        mw.build_flushes(SimTime::ZERO, &mut plans);
+        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
         let tag = plans[0].tag;
         mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 16 * KIB));
@@ -1781,13 +2461,13 @@ mod tests {
         let (mut cluster, mut mw, f) = setup(32 * KIB);
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
         let mut plans = Vec::new();
-        mw.build_flushes(SimTime::ZERO, &mut plans);
+        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
         let flush_tag = plans[0].tag;
         // The flush plan fails: the extent stays dirty and is retried.
         mw.on_plan_failed(&mut cluster, SimTime::ZERO, flush_tag);
         assert_eq!(mw.dmt().dirty_bytes(), 32 * KIB);
         let mut plans = Vec::new();
-        mw.build_flushes(SimTime::from_secs(1), &mut plans);
+        mw.build_flushes(&mut cluster, SimTime::from_secs(1), &mut plans);
         assert_eq!(plans.len(), 1, "flush re-issued after failure");
         let tag = plans[0].tag;
         mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), tag);
@@ -1826,12 +2506,12 @@ mod tests {
             );
         }
         let mut plans = Vec::new();
-        mw.build_flushes(SimTime::ZERO, &mut plans);
+        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
         assert_eq!(plans.len(), 1, "healthy tier: trickle of one per wake");
         // One failure marks the tier at risk: everything dirty flushes.
         mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, 1));
         let mut plans = Vec::new();
-        mw.build_flushes(SimTime::ZERO, &mut plans);
+        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
         assert_eq!(plans.len(), 3, "at risk: all remaining dirty extents");
     }
 
@@ -1840,7 +2520,7 @@ mod tests {
         let (mut cluster, mut mw, f) = setup(64 * MIB);
         mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
         let mut plans = Vec::new();
-        mw.build_flushes(SimTime::ZERO, &mut plans);
+        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
         let tag = plans[0].tag;
         // The CServer crashes while the flush is in flight; the extent is
         // invalidated and its space handed back.

@@ -51,6 +51,7 @@
 
 mod cdt;
 mod config;
+pub mod crash;
 mod dmt;
 mod health;
 pub mod journal;
@@ -61,10 +62,11 @@ mod space;
 
 pub use cdt::{Cdt, CdtEntry};
 pub use config::{AdmissionPolicy, S4dConfig};
+pub use crash::{CrashFuse, CrashSite, CrashStep};
 pub use dmt::{CoveredPiece, Dmt, MapExtent, RangeView};
 pub use health::{HealthMonitor, ServerHealth};
 pub use journal::{JournalError, JournalRecord, RecoveredJournal};
-pub use layer::S4dCache;
+pub use layer::{RecoveryReport, S4dCache};
 pub use memcache::{MemCache, MemCacheMetrics};
 pub use metrics::S4dMetrics;
 pub use space::SpaceManager;

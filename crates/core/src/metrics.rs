@@ -56,6 +56,23 @@ pub struct S4dMetrics {
     pub crash_invalidated_bytes: u64,
     /// Cache admissions denied because a CServer was quarantined.
     pub admission_denied_health: u64,
+    /// DMT checkpoints installed.
+    pub checkpoints: u64,
+    /// Bytes of checkpoint snapshots written.
+    pub checkpoint_bytes: u64,
+    /// Journal records compacted away by checkpointing (records that
+    /// recovery no longer needs to replay).
+    pub records_compacted: u64,
+    /// Cached bytes the scrubber has verified against their seals.
+    pub scrub_scanned_bytes: u64,
+    /// Corrupted clean bytes the scrubber repaired from DServers.
+    pub scrub_repaired_bytes: u64,
+    /// Corrupted dirty bytes the scrubber dropped (unrecoverable: the
+    /// only up-to-date copy failed its checksum).
+    pub scrub_lost_bytes: u64,
+    /// Dirty unsealed bytes the scrubber skipped (nothing to verify
+    /// against).
+    pub scrub_unverified_bytes: u64,
 }
 
 impl S4dMetrics {

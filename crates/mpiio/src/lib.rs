@@ -49,7 +49,7 @@ mod types;
 
 pub use cluster::Cluster;
 pub use middleware::{BackgroundPoll, Middleware, StockMiddleware};
-pub use report::{DegradedCounts, KindReport, RunReport, TierCounts};
+pub use report::{DegradedCounts, DurabilityCounts, KindReport, RunReport, TierCounts};
 pub use runner::{IoObserver, Runner, RunnerConfig};
 pub use script::{script, ProcessScript, ScriptBuilder, VecScript};
 pub use types::{

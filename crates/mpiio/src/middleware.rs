@@ -7,6 +7,7 @@ use s4d_sim::SimTime;
 use s4d_storage::IoKind;
 
 use crate::cluster::Cluster;
+use crate::report::DurabilityCounts;
 use crate::types::{
     AppRequest, ErrorDirective, MiddlewareError, Plan, PlannedIo, Rank, SubIoFailure, Tier,
 };
@@ -104,6 +105,13 @@ pub trait Middleware {
     /// background activity.
     fn poll_background(&mut self, _cluster: &mut Cluster, _now: SimTime) -> BackgroundPoll {
         BackgroundPoll::default()
+    }
+
+    /// Journal/checkpoint durability counters, when the middleware keeps
+    /// a persistent journal. The runner copies the final values into
+    /// [`crate::RunReport::durability`]. Default: `None` (no journal).
+    fn durability(&self) -> Option<DurabilityCounts> {
+        None
     }
 
     /// A short name for reports ("stock", "s4d").

@@ -109,6 +109,29 @@ pub struct DegradedCounts {
     pub overhead_failures: u64,
 }
 
+/// Journal/checkpoint durability counters reported by a middleware that
+/// persists its metadata (see `Middleware::durability`). All zero for
+/// middlewares without a journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityCounts {
+    /// Journal writes issued (planned group commits and synchronous
+    /// appends).
+    pub journal_writes: u64,
+    /// Journal bytes written.
+    pub journal_bytes: u64,
+    /// Checkpoint snapshots installed.
+    pub checkpoints: u64,
+    /// Bytes of checkpoint snapshots written.
+    pub checkpoint_bytes: u64,
+    /// Journal records compacted away by checkpointing.
+    pub records_compacted: u64,
+    /// Records the middleware replayed when it was built by crash
+    /// recovery (zero for a fresh instance).
+    pub recovery_records_replayed: u64,
+    /// Journal bytes recovery dropped as a torn/corrupt suffix.
+    pub recovery_dropped_bytes: u64,
+}
+
 /// The result of one simulated run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -126,6 +149,9 @@ pub struct RunReport {
     pub overhead_bytes: u64,
     /// Fault/retry/re-plan counters (all zero on a healthy run).
     pub degraded: DegradedCounts,
+    /// Journal/checkpoint durability counters, when the middleware keeps
+    /// a persistent journal (`None` for e.g. the stock middleware).
+    pub durability: Option<DurabilityCounts>,
     /// Simulated instant at which the run finished.
     pub end_time: SimTime,
     /// Total events processed by the engine.

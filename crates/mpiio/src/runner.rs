@@ -298,6 +298,7 @@ impl<M: Middleware> Runner<M> {
         );
         self.state.report.end_time = end;
         self.state.report.events = engine.processed();
+        self.state.report.durability = self.state.middleware.durability();
         self.state.report.clone()
     }
 

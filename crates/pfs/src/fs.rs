@@ -322,6 +322,105 @@ impl Pfs {
     pub fn stored_bytes(&self) -> u64 {
         self.servers.iter().map(|s| s.stored_bytes()).sum()
     }
+
+    /// Iterates over the metadata of every live file.
+    pub fn iter_files(&self) -> impl Iterator<Item = &FileMeta> {
+        self.files.values()
+    }
+
+    /// Writes `len` bytes at `offset` directly into the server stores,
+    /// bypassing the service queues — the durable effect of I/O whose
+    /// *timing* was simulated elsewhere (journal appends, checkpoint
+    /// installs). Extends the file size like a planned write. In timing
+    /// mode only extent coverage is recorded and `data` is ignored; in
+    /// functional mode a missing `data` stores zeroes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::UnknownFile`] if the id is not known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is present but shorter than `len`.
+    pub fn apply_bytes(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        data: Option<&[u8]>,
+    ) -> Result<(), PfsError> {
+        let meta = self
+            .files
+            .get_mut(&file)
+            .ok_or(PfsError::UnknownFile(file))?;
+        if len == 0 {
+            return Ok(());
+        }
+        if let Some(d) = data {
+            assert!(d.len() as u64 >= len, "data shorter than extent");
+        }
+        meta.size = meta.size.max(offset + len);
+        for sub in self.layout.split(offset, len) {
+            let mut local = sub.local_offset;
+            for (file_off, seg_len) in self.layout.file_segments(&sub) {
+                let slice = data.map(|d| &d[(file_off - offset) as usize..][..seg_len as usize]);
+                self.servers[sub.server].poke_store(file, local, seg_len, slice);
+                local += seg_len;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` directly from the server stores,
+    /// zero-filled over unwritten holes. Returns `Ok(None)` when any
+    /// involved server keeps only timing metadata (no bytes to read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::UnknownFile`] if the id is not known.
+    pub fn read_bytes(
+        &self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Result<Option<Vec<u8>>, PfsError> {
+        if !self.files.contains_key(&file) {
+            return Err(PfsError::UnknownFile(file));
+        }
+        let mut out = vec![0u8; len as usize];
+        for sub in self.layout.split(offset, len) {
+            let server = &self.servers[sub.server];
+            if server.store_mode() == s4d_storage::StoreMode::Timing {
+                return Ok(None);
+            }
+            let mut local = sub.local_offset;
+            for (file_off, seg_len) in self.layout.file_segments(&sub) {
+                if let Some(data) = server.peek_store(file, local, seg_len) {
+                    let at = (file_off - offset) as usize;
+                    out[at..at + seg_len as usize].copy_from_slice(&data);
+                }
+                local += seg_len;
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// How many bytes of `[offset, offset+len)` are covered by previous
+    /// writes across the involved servers. Works in both store modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfsError::UnknownFile`] if the id is not known.
+    pub fn covered_bytes(&self, file: FileId, offset: u64, len: u64) -> Result<u64, PfsError> {
+        if !self.files.contains_key(&file) {
+            return Err(PfsError::UnknownFile(file));
+        }
+        let mut covered = 0;
+        for sub in self.layout.split(offset, len) {
+            covered += self.servers[sub.server].peek_coverage(file, sub.local_offset, sub.len);
+        }
+        Ok(covered)
+    }
 }
 
 #[cfg(test)]
@@ -409,4 +508,53 @@ mod tests {
     fn new_rejects_mismatched_width() {
         Pfs::new("x", StripeLayout::new(4096, 3), Vec::new());
     }
+
+    #[test]
+    fn apply_and_read_bytes_round_trip() {
+        let mut p = Pfs::hdd_cluster(
+            "opfs",
+            StripeLayout::new(4 * KIB, 3),
+            presets::hdd_seagate_st3250(),
+            NetworkConfig::ideal(),
+            StoreMode::Functional,
+            11,
+        );
+        let f = p.create("a").unwrap();
+        // A striped range crossing several servers, at an odd offset.
+        let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        p.apply_bytes(f, 1234, payload.len() as u64, Some(&payload))
+            .unwrap();
+        assert_eq!(p.meta(f).unwrap().size, 1234 + payload.len() as u64);
+        let got = p.read_bytes(f, 1234, payload.len() as u64).unwrap();
+        assert_eq!(got.as_deref(), Some(&payload[..]));
+        assert_eq!(
+            p.covered_bytes(f, 1234, payload.len() as u64).unwrap(),
+            payload.len() as u64
+        );
+        // Holes read back zero-filled and uncovered.
+        let wide = p.read_bytes(f, 0, 2000).unwrap().unwrap();
+        assert!(wide[..1234].iter().all(|&b| b == 0));
+        assert_eq!(&wide[1234..], &payload[..2000 - 1234]);
+        assert_eq!(p.covered_bytes(f, 0, 1234).unwrap(), 0);
+        // Zero-length apply is a no-op; missing data stores zeroes.
+        p.apply_bytes(f, 0, 0, None).unwrap();
+        p.apply_bytes(f, 0, 8, None).unwrap();
+        assert_eq!(p.read_bytes(f, 0, 8).unwrap().unwrap(), vec![0u8; 8]);
+        // Unknown files error on every helper.
+        assert!(p.apply_bytes(FileId(99), 0, 1, None).is_err());
+        assert!(p.read_bytes(FileId(99), 0, 1).is_err());
+        assert!(p.covered_bytes(FileId(99), 0, 1).is_err());
+        assert_eq!(p.iter_files().count(), 1);
+    }
+
+    #[test]
+    fn read_bytes_in_timing_mode_returns_none() {
+        let mut p = pfs();
+        let f = p.create("a").unwrap();
+        p.apply_bytes(f, 0, 4 * KIB, None).unwrap();
+        assert_eq!(p.read_bytes(f, 0, 4 * KIB).unwrap(), None);
+        assert_eq!(p.covered_bytes(f, 0, 4 * KIB).unwrap(), 4 * KIB);
+    }
+
+    const KIB: u64 = 1024;
 }

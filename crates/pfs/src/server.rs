@@ -185,6 +185,11 @@ impl FileServer {
         self.index
     }
 
+    /// Whether this server's stores hold bytes or only extent metadata.
+    pub fn store_mode(&self) -> StoreMode {
+        self.store_mode
+    }
+
     /// True if a sub-request is in service.
     pub fn is_busy(&self) -> bool {
         self.current.is_some()
