@@ -258,8 +258,9 @@ impl Dmt {
         let keys = self.overlapping_keys(file, offset, len);
         for key in keys {
             let touch = self.bump();
-            let map = self.files.get_mut(&file).expect("key implies file");
-            let e = map.get_mut(&key).expect("key just observed");
+            let Some(e) = self.files.get_mut(&file).and_then(|m| m.get_mut(&key)) else {
+                continue; // key came from overlapping_keys on this same map
+            };
             let (old_touch, dirty) = (e.touch, e.dirty);
             e.touch = touch;
             let idx = self.index(dirty);
@@ -280,8 +281,9 @@ impl Dmt {
         let keys = self.overlapping_keys(file, offset, len);
         for key in keys {
             let touch = self.bump();
-            let map = self.files.get_mut(&file).expect("key implies file");
-            let e = map.get_mut(&key).expect("key just observed");
+            let Some(e) = self.files.get_mut(&file).and_then(|m| m.get_mut(&key)) else {
+                continue; // key came from overlapping_keys on this same map
+            };
             debug_assert!(key >= offset && key + e.len <= offset + len);
             let was_dirty = e.dirty;
             let (old_touch, e_len) = (e.touch, e.len);
@@ -366,7 +368,7 @@ impl Dmt {
     ) -> Vec<(u64, MapExtent)> {
         self.overlapping_keys(file, offset, len)
             .into_iter()
-            .map(|k| (k, *self.get(file, k).expect("key just observed")))
+            .filter_map(|k| self.get(file, k).map(|e| (k, *e)))
             .collect()
     }
 
@@ -463,10 +465,9 @@ impl Dmt {
             if reclaimed >= bytes {
                 break;
             }
-            let len = self
-                .get(file, d_off)
-                .expect("clean index entries are live")
-                .len;
+            let Some(len) = self.get(file, d_off).map(|e| e.len) else {
+                continue; // clean index entries are kept live; skip if stale
+            };
             if is_pinned(file, d_off, len) {
                 continue;
             }
@@ -475,10 +476,7 @@ impl Dmt {
         }
         victim_keys
             .into_iter()
-            .map(|(file, d_off)| {
-                let e = self.remove(file, d_off).expect("victim exists");
-                (file, d_off, e)
-            })
+            .filter_map(|(file, d_off)| self.remove(file, d_off).map(|e| (file, d_off, e)))
             .collect()
     }
 
@@ -488,10 +486,10 @@ impl Dmt {
         self.lru_dirty
             .values()
             .take(limit)
-            .map(|&(file, d_off)| {
-                let e = self.get(file, d_off).expect("dirty index entries are live");
+            .filter_map(|&(file, d_off)| {
+                let e = self.get(file, d_off)?;
                 debug_assert!(e.dirty);
-                (file, d_off, *e)
+                Some((file, d_off, *e))
             })
             .collect()
     }
@@ -518,8 +516,12 @@ impl Dmt {
 
     /// Splits the extent at `key` so that no extent straddles `lo` or `hi`.
     fn split_off(&mut self, file: FileId, key: u64, lo: u64, hi: u64) {
-        let map = self.files.get_mut(&file).expect("file exists");
-        let e = *map.get(&key).expect("key exists");
+        let Some(map) = self.files.get_mut(&file) else {
+            return; // nothing to split
+        };
+        let Some(e) = map.get(&key).copied() else {
+            return; // nothing to split
+        };
         let e_end = key + e.len;
         let cut_lo = lo.max(key);
         let cut_hi = hi.min(e_end);

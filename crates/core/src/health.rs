@@ -75,16 +75,18 @@ impl HealthMonitor {
         self.servers.len()
     }
 
-    /// Health of one server (panics on out-of-range index).
-    pub fn server(&self, index: usize) -> &ServerHealth {
-        &self.servers[index]
+    /// Health of one server, or `None` for an out-of-range index.
+    pub fn server(&self, index: usize) -> Option<&ServerHealth> {
+        self.servers.get(index)
     }
 
     /// Records a successful operation with its observed-over-predicted
     /// latency ratio. Ends any quarantine (the server proved itself) and
     /// clears the crash marker.
     pub fn record_success(&mut self, index: usize, ratio: f64) {
-        let s = &mut self.servers[index];
+        let Some(s) = self.servers.get_mut(index) else {
+            return; // unknown server: nothing to record
+        };
         s.consecutive_failures = 0;
         s.quarantined_until = None;
         s.crash_handled = false;
@@ -107,7 +109,9 @@ impl HealthMonitor {
         threshold: u32,
         duration: s4d_sim::SimDuration,
     ) -> bool {
-        let s = &mut self.servers[index];
+        let Some(s) = self.servers.get_mut(index) else {
+            return false; // unknown server: nothing to record
+        };
         s.consecutive_failures += 1;
         if s.is_quarantined(now) {
             return false;
@@ -124,7 +128,9 @@ impl HealthMonitor {
     /// Quarantines a server outright (crash detected) until `until`.
     /// Returns `true` if it was not already quarantined.
     pub fn quarantine(&mut self, index: usize, now: SimTime, until: SimTime) -> bool {
-        let s = &mut self.servers[index];
+        let Some(s) = self.servers.get_mut(index) else {
+            return false; // unknown server: nothing to quarantine
+        };
         let newly = !s.is_quarantined(now);
         let prev = s.quarantined_until.unwrap_or(SimTime::ZERO);
         s.quarantined_until = Some(prev.max(until));
@@ -134,7 +140,9 @@ impl HealthMonitor {
     /// Marks a crash's data-loss handling as done; returns `false` if it
     /// was already marked (the same outage was handled before).
     pub fn claim_crash_handling(&mut self, index: usize) -> bool {
-        let s = &mut self.servers[index];
+        let Some(s) = self.servers.get_mut(index) else {
+            return false; // unknown server: nothing to claim
+        };
         if s.crash_handled {
             false
         } else {
@@ -205,7 +213,7 @@ mod tests {
         assert!(m.is_unhealthy(0, t(3)));
         m.record_success(0, 1.0);
         assert!(!m.is_unhealthy(0, t(3)));
-        assert_eq!(m.server(0).consecutive_failures, 0);
+        assert_eq!(m.server(0).unwrap().consecutive_failures, 0);
         // Counter restarts from scratch.
         assert!(!m.record_failure(0, t(5), 3, Q));
     }
@@ -214,17 +222,17 @@ mod tests {
     fn ewma_tracks_latency_ratio() {
         let mut m = HealthMonitor::new(1);
         m.record_success(0, 1.0);
-        assert_eq!(m.server(0).latency_ratio, Some(1.0));
+        assert_eq!(m.server(0).unwrap().latency_ratio, Some(1.0));
         for _ in 0..50 {
             m.record_success(0, 20.0);
         }
-        let r = m.server(0).latency_ratio.unwrap();
+        let r = m.server(0).unwrap().latency_ratio.unwrap();
         assert!(r > 15.0, "EWMA converges towards sustained ratio: {r}");
         assert!(m.any_at_risk(t(0), 8.0));
         assert!(!m.any_at_risk(t(0), 100.0));
         // Garbage ratios are ignored.
         m.record_success(0, f64::NAN);
-        assert!(m.server(0).latency_ratio.unwrap().is_finite());
+        assert!(m.server(0).unwrap().latency_ratio.unwrap().is_finite());
     }
 
     #[test]

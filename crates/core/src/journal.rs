@@ -42,6 +42,7 @@ const CRC32_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
+        // s4d-lint: allow(panic) — `i < 256` is the loop condition; the table has 256 slots
         table[i] = crc;
         i += 1;
     }
@@ -52,6 +53,7 @@ const CRC32_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // s4d-lint: allow(panic) — index is masked to 0xFF, always < the 256-entry table
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
@@ -169,24 +171,97 @@ impl std::fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
-fn put_u24(buf: &mut [u8], at: usize, v: u64) {
-    debug_assert!(v < (1 << 24), "file id exceeds 24 bits");
-    buf[at..at + 3].copy_from_slice(&(v as u32).to_le_bytes()[..3]);
+/// Sequential little-endian writer over a fixed frame buffer.
+///
+/// All field widths in the on-disk layout are laid out back-to-back, so
+/// encoding never needs random offsets; bounds are checked (a write past
+/// the frame is truncated, which the encode/decode round-trip tests would
+/// catch immediately) instead of panicking.
+struct FrameWriter {
+    buf: [u8; DMT_RECORD_BYTES as usize],
+    at: usize,
 }
 
-fn get_u24(buf: &[u8], at: usize) -> u64 {
-    u64::from(buf[at]) | u64::from(buf[at + 1]) << 8 | u64::from(buf[at + 2]) << 16
+impl FrameWriter {
+    fn new() -> Self {
+        FrameWriter {
+            buf: [0u8; DMT_RECORD_BYTES as usize],
+            at: 0,
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        for (dst, src) in self.buf.iter_mut().skip(self.at).zip(bytes) {
+            *dst = *src;
+        }
+        self.at += bytes.len();
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.put(&[v]);
+    }
+
+    fn put_u24(&mut self, v: u64) {
+        debug_assert!(v < (1 << 24), "file id exceeds 24 bits");
+        self.put((v as u32).to_le_bytes().get(..3).unwrap_or_default());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put(&v.to_le_bytes());
+    }
+
+    fn put_u48(&mut self, v: u64) {
+        debug_assert!(v < (1 << 48), "offset exceeds 48 bits");
+        self.put(v.to_le_bytes().get(..6).unwrap_or_default());
+    }
+
+    /// Seeks to `at` (the CRC trailer position).
+    fn seek(&mut self, at: usize) {
+        self.at = at;
+    }
 }
 
-fn put_u48(buf: &mut [u8], at: usize, v: u64) {
-    debug_assert!(v < (1 << 48), "offset exceeds 48 bits");
-    buf[at..at + 6].copy_from_slice(&v.to_le_bytes()[..6]);
+/// Sequential little-endian reader over a byte slice. Reads past the end
+/// yield zero bytes — callers length-check the frame before decoding, so
+/// that path is never taken on well-formed input and a truncated frame
+/// fails its CRC rather than panicking.
+struct FrameReader<'a> {
+    buf: &'a [u8],
+    at: usize,
 }
 
-fn get_u48(buf: &[u8], at: usize) -> u64 {
-    let mut bytes = [0u8; 8];
-    bytes[..6].copy_from_slice(&buf[at..at + 6]);
-    u64::from_le_bytes(bytes)
+impl FrameReader<'_> {
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        for (dst, src) in out.iter_mut().zip(self.buf.iter().skip(self.at)) {
+            *dst = *src;
+        }
+        self.at += N;
+        out
+    }
+
+    fn u8(&mut self) -> u8 {
+        let [b] = self.take::<1>();
+        b
+    }
+
+    fn u24(&mut self) -> u64 {
+        let [a, b, c] = self.take::<3>();
+        u64::from(a) | u64::from(b) << 8 | u64::from(c) << 16
+    }
+
+    fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    fn u48(&mut self) -> u64 {
+        let [a, b, c, d, e, f] = self.take::<6>();
+        u64::from_le_bytes([a, b, c, d, e, f, 0, 0])
+    }
+
+    fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
 }
 
 impl JournalRecord {
@@ -197,69 +272,58 @@ impl JournalRecord {
     /// Debug-panics if a field exceeds its encoded width (file ids 24 bits,
     /// offsets 48 bits, lengths 32 bits).
     pub fn encode(&self) -> [u8; DMT_RECORD_BYTES as usize] {
-        let mut b = [0u8; DMT_RECORD_BYTES as usize];
         const PAYLOAD: usize = DMT_PAYLOAD_BYTES as usize;
+        let mut w = FrameWriter::new();
+        // Common prefix: tag, d_file, d_offset — then per-kind fields,
+        // all laid out back-to-back.
+        let (tag, d_file, d_offset) = match *self {
+            JournalRecord::Insert {
+                d_file, d_offset, ..
+            } => (1u8, d_file, d_offset),
+            JournalRecord::SetDirty {
+                d_file, d_offset, ..
+            } => (2, d_file, d_offset),
+            JournalRecord::SetClean { d_file, d_offset } => (3, d_file, d_offset),
+            JournalRecord::Remove { d_file, d_offset } => (4, d_file, d_offset),
+            JournalRecord::Seal {
+                d_file, d_offset, ..
+            } => (5, d_file, d_offset),
+            JournalRecord::FlushIntent { d_file, d_offset } => (6, d_file, d_offset),
+        };
+        w.put_u8(tag);
+        w.put_u24(d_file.0);
+        w.put_u48(d_offset);
         match *self {
             JournalRecord::Insert {
-                d_file,
-                d_offset,
                 len,
                 c_file,
                 c_offset,
                 dirty,
+                ..
             } => {
-                b[0] = 1;
-                put_u24(&mut b, 1, d_file.0);
-                put_u48(&mut b, 4, d_offset);
                 debug_assert!(len < (1 << 32), "extent length exceeds 32 bits");
-                b[10..14].copy_from_slice(&(len as u32).to_le_bytes());
-                put_u24(&mut b, 14, c_file.0);
-                put_u48(&mut b, 17, c_offset);
-                b[23] = u8::from(dirty);
+                w.put_u32(len as u32);
+                w.put_u24(c_file.0);
+                w.put_u48(c_offset);
+                w.put_u8(u8::from(dirty));
             }
-            JournalRecord::SetDirty {
-                d_file,
-                d_offset,
-                len,
-            } => {
-                b[0] = 2;
-                put_u24(&mut b, 1, d_file.0);
-                put_u48(&mut b, 4, d_offset);
+            JournalRecord::SetDirty { len, .. } => {
                 debug_assert!(len < (1 << 32));
-                b[10..14].copy_from_slice(&(len as u32).to_le_bytes());
+                w.put_u32(len as u32);
             }
-            JournalRecord::SetClean { d_file, d_offset } => {
-                b[0] = 3;
-                put_u24(&mut b, 1, d_file.0);
-                put_u48(&mut b, 4, d_offset);
-            }
-            JournalRecord::Remove { d_file, d_offset } => {
-                b[0] = 4;
-                put_u24(&mut b, 1, d_file.0);
-                put_u48(&mut b, 4, d_offset);
-            }
-            JournalRecord::Seal {
-                d_file,
-                d_offset,
-                checksum,
-                len,
-            } => {
-                b[0] = 5;
-                put_u24(&mut b, 1, d_file.0);
-                put_u48(&mut b, 4, d_offset);
-                b[10..14].copy_from_slice(&checksum.to_le_bytes());
+            JournalRecord::Seal { checksum, len, .. } => {
+                w.put_u32(checksum);
                 debug_assert!(len < (1 << 32));
-                b[14..18].copy_from_slice(&(len as u32).to_le_bytes());
+                w.put_u32(len as u32);
             }
-            JournalRecord::FlushIntent { d_file, d_offset } => {
-                b[0] = 6;
-                put_u24(&mut b, 1, d_file.0);
-                put_u48(&mut b, 4, d_offset);
-            }
+            JournalRecord::SetClean { .. }
+            | JournalRecord::Remove { .. }
+            | JournalRecord::FlushIntent { .. } => {}
         }
-        let crc = crc32(&b[..PAYLOAD]);
-        b[PAYLOAD..].copy_from_slice(&crc.to_le_bytes());
-        b
+        let crc = crc32(w.buf.get(..PAYLOAD).unwrap_or_default());
+        w.seek(PAYLOAD);
+        w.put_u32(crc);
+        w.buf
     }
 
     /// Deserialises from the fixed on-disk layout.
@@ -272,45 +336,44 @@ impl JournalRecord {
         if buf.len() != DMT_RECORD_BYTES as usize {
             return Err(JournalError::BadLength(buf.len()));
         }
-        let payload = &buf[..DMT_PAYLOAD_BYTES as usize];
+        let payload = buf.get(..DMT_PAYLOAD_BYTES as usize).unwrap_or_default();
         let expected = crc32(payload);
-        let found = u32::from_le_bytes(
-            buf[DMT_PAYLOAD_BYTES as usize..]
-                .try_into()
-                .expect("4 bytes"),
-        );
+        let mut trailer = FrameReader {
+            buf,
+            at: DMT_PAYLOAD_BYTES as usize,
+        };
+        let found = trailer.u32();
         if expected != found {
             return Err(JournalError::BadChecksum { expected, found });
         }
-        let d_file = FileId(get_u24(buf, 1));
-        let d_offset = get_u48(buf, 4);
-        match buf[0] {
+        let mut r = FrameReader { buf, at: 0 };
+        let tag = r.u8();
+        let d_file = FileId(r.u24());
+        let d_offset = r.u48();
+        match tag {
             1 => {
-                let len = u64::from(u32::from_le_bytes(buf[10..14].try_into().expect("4 bytes")));
+                let len = u64::from(r.u32());
                 Ok(JournalRecord::Insert {
                     d_file,
                     d_offset,
                     len,
-                    c_file: FileId(get_u24(buf, 14)),
-                    c_offset: get_u48(buf, 17),
-                    dirty: buf[23] != 0,
+                    c_file: FileId(r.u24()),
+                    c_offset: r.u48(),
+                    dirty: r.u8() != 0,
                 })
             }
-            2 => {
-                let len = u64::from(u32::from_le_bytes(buf[10..14].try_into().expect("4 bytes")));
-                Ok(JournalRecord::SetDirty {
-                    d_file,
-                    d_offset,
-                    len,
-                })
-            }
+            2 => Ok(JournalRecord::SetDirty {
+                d_file,
+                d_offset,
+                len: u64::from(r.u32()),
+            }),
             3 => Ok(JournalRecord::SetClean { d_file, d_offset }),
             4 => Ok(JournalRecord::Remove { d_file, d_offset }),
             5 => Ok(JournalRecord::Seal {
                 d_file,
                 d_offset,
-                checksum: u32::from_le_bytes(buf[10..14].try_into().expect("4 bytes")),
-                len: u64::from(u32::from_le_bytes(buf[14..18].try_into().expect("4 bytes"))),
+                checksum: r.u32(),
+                len: u64::from(r.u32()),
             }),
             6 => Ok(JournalRecord::FlushIntent { d_file, d_offset }),
             t => Err(JournalError::BadTag(t)),
@@ -378,7 +441,7 @@ pub fn decode_prefix(bytes: &[u8]) -> RecoveredJournal {
     let mut truncated_by = None;
     while at < bytes.len() {
         let end = at + frame.min(bytes.len() - at);
-        match JournalRecord::decode(&bytes[at..end]) {
+        match JournalRecord::decode(bytes.get(at..end).unwrap_or_default()) {
             Ok(r) => {
                 records.push(r);
                 at = end;
@@ -571,12 +634,13 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
     if bytes.len() < CHECKPOINT_HEADER_BYTES + 4 {
         return Err(CheckpointError::TooShort(bytes.len()));
     }
-    if bytes[..8] != CHECKPOINT_MAGIC {
+    if bytes.get(..8) != Some(CHECKPOINT_MAGIC.as_slice()) {
         return Err(CheckpointError::BadMagic);
     }
-    let covers_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    let tail_offset = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
-    let count = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    let mut header = FrameReader { buf: bytes, at: 8 };
+    let covers_seq = header.u64();
+    let tail_offset = header.u64();
+    let count = header.u64();
     let body =
         (CHECKPOINT_HEADER_BYTES as u64).saturating_add(count.saturating_mul(DMT_RECORD_BYTES));
     let total = body.saturating_add(4);
@@ -584,13 +648,17 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
         return Err(CheckpointError::TooShort(bytes.len()));
     }
     let body = body as usize;
-    let expected = crc32(&bytes[..body]);
-    let found = u32::from_le_bytes(bytes[body..body + 4].try_into().expect("4 bytes"));
+    let expected = crc32(bytes.get(..body).unwrap_or_default());
+    let mut trailer = FrameReader {
+        buf: bytes,
+        at: body,
+    };
+    let found = trailer.u32();
     if expected != found {
         return Err(CheckpointError::BadChecksum { expected, found });
     }
-    let records =
-        decode_batch(&bytes[CHECKPOINT_HEADER_BYTES..body]).map_err(CheckpointError::BadRecord)?;
+    let records = decode_batch(bytes.get(CHECKPOINT_HEADER_BYTES..body).unwrap_or_default())
+        .map_err(CheckpointError::BadRecord)?;
     Ok(Checkpoint {
         covers_seq,
         tail_offset,

@@ -273,6 +273,7 @@ impl S4dCache {
                 if tail.dropped_bytes > 0 {
                     // Truncate the undecodable suffix so future appends
                     // land on clean ground instead of behind a bad frame.
+                    // s4d-lint: allow(durability) — recovery path; the fuse is not attached yet, and crashing here re-enters this same recovery
                     let _ = cluster.cpfs_mut().discard(
                         journal_file,
                         journal_offset,
@@ -302,6 +303,7 @@ impl S4dCache {
                 continue;
             }
             dmt.remove(file, d_off);
+            // s4d-lint: allow(durability) — recovery path; the fuse is not attached yet, and crashing here re-enters this same recovery
             let _ = cluster.cpfs_mut().discard(c_file, c_off, len);
             report.dropped_extents += 1;
             if dirty {
@@ -354,6 +356,7 @@ impl S4dCache {
             for (off, len) in holes {
                 let covered = cluster.cpfs().covered_bytes(f, off, len).unwrap_or(0);
                 if covered > 0 {
+                    // s4d-lint: allow(durability) — recovery path; the fuse is not attached yet, and crashing here re-enters this same recovery
                     let _ = cluster.cpfs_mut().discard(f, off, len);
                     report.orphan_bytes_discarded += covered;
                 }
@@ -749,10 +752,10 @@ impl S4dCache {
         req: &AppRequest,
         critical: bool,
     ) -> Plan {
-        let cache = *self
-            .cache_file_of
-            .get(&req.file)
-            .expect("plan_io on a file the middleware opened");
+        let Some(cache) = self.cache_file_of.get(&req.file).copied() else {
+            // Not opened through the middleware: route straight to disk.
+            return self.direct_plan(req);
+        };
         let mut ops: Vec<PlannedIo> = Vec::new();
         let view = self.dmt.view(req.file, req.offset, req.len);
         let mut used_cache = false;
@@ -789,11 +792,14 @@ impl S4dCache {
             ok
         };
         for &(g_off, g_len) in &view.gaps {
-            if admit {
-                let pieces = self
-                    .space
-                    .alloc(cache, g_len)
-                    .expect("make_room guaranteed capacity");
+            // `make_room` guaranteed capacity, so `alloc` should succeed
+            // for every admitted gap; degrade to a disk write if not.
+            let pieces = if admit {
+                self.space.alloc(cache, g_len)
+            } else {
+                None
+            };
+            if let Some(pieces) = pieces {
                 let mut cursor = g_off;
                 for p in pieces {
                     self.dmt
@@ -867,10 +873,10 @@ impl S4dCache {
         req: &AppRequest,
         critical: bool,
     ) -> Plan {
-        let cache = *self
-            .cache_file_of
-            .get(&req.file)
-            .expect("plan_io on a file the middleware opened");
+        let Some(cache) = self.cache_file_of.get(&req.file).copied() else {
+            // Not opened through the middleware: route straight to disk.
+            return self.direct_plan(req);
+        };
         if self.config.verify_on_read {
             // Verify the seals of every cached extent in range before
             // routing: corrupt clean bytes are repaired from DServers
@@ -990,10 +996,9 @@ impl S4dCache {
         let mut phase = Vec::new();
         let mut pieces = Vec::new();
         for &(g_off, g_len) in gaps {
-            let allocs = self
-                .space
-                .alloc(cache, g_len)
-                .expect("make_room guaranteed capacity");
+            let Some(allocs) = self.space.alloc(cache, g_len) else {
+                continue; // make_room guaranteed capacity; skip the gap if not
+            };
             let mut cursor = g_off;
             for p in allocs {
                 phase.push(PlannedIo {
@@ -1017,12 +1022,11 @@ impl S4dCache {
         };
         if plan.tag != 0 {
             // The read already registered an Unpin action; chain them.
-            let existing = self
-                .pending
-                .remove(&plan.tag)
-                .expect("tagged plan has a pending action");
-            self.pending
-                .insert(plan.tag, Pending::Multi(vec![existing, fetch]));
+            let chained = match self.pending.remove(&plan.tag) {
+                Some(existing) => Pending::Multi(vec![existing, fetch]),
+                None => fetch,
+            };
+            self.pending.insert(plan.tag, chained);
         } else {
             let tag = self.next_tag;
             self.next_tag += 1;
@@ -1048,7 +1052,8 @@ impl S4dCache {
         let data = match (kind, &req.data) {
             (IoKind::Write, Some(full)) => {
                 let at = (app_offset - req.offset) as usize;
-                Some(full[at..at + len as usize].to_vec())
+                // None (short payload) degrades to a sizing-only op.
+                full.get(at..at + len as usize).map(<[u8]>::to_vec)
             }
             _ => None,
         };
@@ -1089,8 +1094,7 @@ impl S4dCache {
         candidates.sort_by_key(|(f, d, _)| (f.0, *d));
         let mut intents: Vec<JournalRecord> = Vec::new();
         let mut i = 0;
-        while i < candidates.len() {
-            let (file, start, first) = candidates[i];
+        while let Some(&(file, start, first)) = candidates.get(i) {
             let mut items = vec![FlushItem {
                 orig: file,
                 d_offset: start,
@@ -1101,8 +1105,7 @@ impl S4dCache {
             }];
             let mut end = start + first.len;
             let mut j = i + 1;
-            while j < candidates.len() {
-                let (f2, d2, e2) = candidates[j];
+            while let Some(&(f2, d2, e2)) = candidates.get(j) {
                 if f2 == file && d2 == end && (end - start) + e2.len <= MAX_GROUP_BYTES {
                     items.push(FlushItem {
                         orig: f2,
@@ -1191,14 +1194,13 @@ impl S4dCache {
         flagged.retain(|e| !self.inflight_fetch.contains(&(e.file, e.offset, e.len)));
         flagged.sort_by_key(|e| (e.file.0, e.offset));
         let mut i = 0;
-        while i < flagged.len() {
-            let file = flagged[i].file;
-            let start = flagged[i].offset;
-            let mut end = start + flagged[i].len;
-            let mut keys = vec![(flagged[i].offset, flagged[i].len)];
+        while let Some(head) = flagged.get(i) {
+            let file = head.file;
+            let start = head.offset;
+            let mut end = start + head.len;
+            let mut keys = vec![(head.offset, head.len)];
             let mut j = i + 1;
-            while j < flagged.len() {
-                let e = &flagged[j];
+            while let Some(e) = flagged.get(j) {
                 if e.file == file && e.offset == end && (end - start) + e.len <= MAX_GROUP_BYTES {
                     end = e.offset + e.len;
                     keys.push((e.offset, e.len));
@@ -1227,6 +1229,9 @@ impl S4dCache {
             let mut writes = Vec::new();
             let mut pieces = Vec::new();
             for &(g_off, g_len) in &view.gaps {
+                let Some(allocs) = self.space.alloc(cache, g_len) else {
+                    continue; // make_room guaranteed capacity; skip the gap if not
+                };
                 reads.push(PlannedIo {
                     tier: Tier::DServers,
                     file,
@@ -1237,10 +1242,6 @@ impl S4dCache {
                     data: None,
                     app_offset: None,
                 });
-                let allocs = self
-                    .space
-                    .alloc(cache, g_len)
-                    .expect("make_room guaranteed capacity");
                 let mut cursor = g_off;
                 for p in allocs {
                     writes.push(PlannedIo {
@@ -1589,6 +1590,7 @@ impl S4dCache {
             if budget == 0 {
                 break;
             }
+            // s4d-lint: allow(panic) — index is taken modulo `targets.len()`, which the loop guard keeps non-zero
             let (f, o) = targets[(start + k) % targets.len()];
             match self.scrub_extent(cluster, f, o) {
                 None => return,
@@ -1597,6 +1599,30 @@ impl S4dCache {
                     self.scrub_cursor = Some((f, o));
                 }
             }
+        }
+    }
+
+    /// A pass-through plan routing the request straight to DServers —
+    /// the fallback when the file has no cache mapping (never opened
+    /// through the middleware) and for `force_miss` mode.
+    fn direct_plan(&mut self, req: &AppRequest) -> Plan {
+        let mut op = PlannedIo::data_op(
+            Tier::DServers,
+            req.file,
+            req.kind,
+            req.offset,
+            req.len,
+            req.offset,
+        );
+        op.data = req.data.clone();
+        match req.kind {
+            IoKind::Write => self.metrics.writes_to_disk += 1,
+            IoKind::Read => self.metrics.read_misses += 1,
+        }
+        Plan {
+            tag: 0,
+            lead_in: self.config.decision_overhead,
+            phases: vec![vec![op]],
         }
     }
 
@@ -1641,24 +1667,7 @@ impl Middleware for S4dCache {
         let critical = self.identify(req);
         if self.config.force_miss {
             // Fig. 11 mode: full bookkeeping, no redirection.
-            let mut op = PlannedIo::data_op(
-                Tier::DServers,
-                req.file,
-                req.kind,
-                req.offset,
-                req.len,
-                req.offset,
-            );
-            op.data = req.data.clone();
-            match req.kind {
-                IoKind::Write => self.metrics.writes_to_disk += 1,
-                IoKind::Read => self.metrics.read_misses += 1,
-            }
-            return Plan {
-                tag: 0,
-                lead_in: self.config.decision_overhead,
-                phases: vec![vec![op]],
-            };
+            return self.direct_plan(req);
         }
         let plan = match req.kind {
             IoKind::Write => self.plan_write(cluster, now, req, critical),

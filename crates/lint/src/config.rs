@@ -1,0 +1,87 @@
+//! Rule scoping tables — which crates, files, and symbols each rule
+//! family covers, and the declared lock-order table. This is the single
+//! place the workspace's invariants are spelled out; DESIGN.md §10 is the
+//! prose twin of this file.
+
+/// Every rule id the engine knows. An allow-pragma naming anything else
+/// is itself a violation (a typo must never suppress).
+pub const RULES: &[&str] = &[
+    "determinism",
+    "ordered-iter",
+    "panic",
+    "lock-order",
+    "lock-across-io",
+    "durability",
+    "pragma",
+];
+
+/// Crates whose behavior must be bit-for-bit deterministic: the simulator
+/// and everything on the simulated I/O path. Wall-clock time, OS
+/// randomness, and OS threads here would silently invalidate the
+/// crash-matrix torture harness and replay-equivalence proptests.
+pub const DETERMINISM_CRATES: &[&str] = &["sim", "core", "pfs", "mpiio"];
+
+/// Crates whose *library* code must be panic-free: the middleware sits on
+/// every I/O path, so a panic is an availability bug (ECI-Cache/LBICA
+/// treat cache-server failure as first-order). `lint` is included for the
+/// macro/`unwrap` checks so the tool holds itself to the bar it enforces.
+pub const PANIC_CRATES: &[&str] = &["core", "pfs", "mpiio", "lint"];
+
+/// Crates additionally checked for panicking slice/array indexing.
+/// Narrower than [`PANIC_CRATES`]: the middleware crates only, per the
+/// availability argument above.
+pub const INDEX_CRATES: &[&str] = &["core", "pfs", "mpiio"];
+
+/// Files that serialize journal, checkpoint, or report state. Iterating a
+/// `HashMap`/`HashSet` while producing those byte streams makes the
+/// output order nondeterministic — exactly the bug class that breaks
+/// byte-for-byte crash-matrix comparison.
+pub const SERIALIZATION_FILES: &[&str] =
+    &["crates/core/src/journal.rs", "crates/mpiio/src/report.rs"];
+
+/// Function-name fragments that mark a serialization path in the
+/// determinism crates even outside [`SERIALIZATION_FILES`].
+pub const SERIALIZATION_FN_PATTERNS: &[&str] =
+    &["journal", "checkpoint", "serialize", "snapshot", "report"];
+
+/// The declared lock-order table: locks may only be acquired top-to-bottom
+/// within one call path. Every `.lock()`/`.read()`/`.write()` acquisition
+/// on a named struct field must name a lock listed here; acquiring an
+/// earlier lock while holding a later one is a `lock-order` violation.
+///
+/// The workspace currently holds exactly one lock: the trace collector's
+/// record buffer. New locks must be added here (and to DESIGN.md §10)
+/// before the linter accepts them.
+pub const LOCK_ORDER: &[&str] = &["records"];
+
+/// Calls that perform (simulated) device I/O or journal appends. Holding
+/// any lock across one of these stalls every thread contending for the
+/// lock for a device-latency bound — flagged by `lock-across-io`.
+pub const DEVICE_IO_FNS: &[&str] = &[
+    "append_journal_sync",
+    "apply_bytes",
+    "read_bytes",
+    "discard",
+    "submit",
+];
+
+/// The synchronous journal-append primitive of the durability protocol.
+pub const JOURNAL_SYNC_FN: &str = "append_journal_sync";
+
+/// The batched (group-commit) journal planner.
+pub const JOURNAL_BATCH_FN: &str = "journal_op";
+
+/// The data-phase op constructor; must never follow the journal op in a
+/// plan-building function (data before metadata).
+pub const DATA_OP_FN: &str = "data_op";
+
+/// The crash-fuse charge call every durable effect must pass through so
+/// the torture matrix can crash inside it.
+pub const FUSE_FN: &str = "fuse_consume";
+
+/// Durable-effect calls that must be fuse-gated in files participating in
+/// the durability protocol.
+pub const DURABLE_EFFECT_FNS: &[&str] = &["apply_bytes", "discard"];
+
+/// Journal record constructors whose durability ordering is checked.
+pub const INTENT_RECORD: &str = "FlushIntent";

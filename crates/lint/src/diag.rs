@@ -1,0 +1,48 @@
+//! Diagnostics: rule id, location, message, fix hint, severity.
+
+use std::path::PathBuf;
+
+/// How severe a finding is. Errors fail the run; warnings are printed but
+/// exit 0 (report-only mode, e.g. determinism findings in test dirs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Printed, does not affect the exit code.
+    Warning,
+    /// Fails the run.
+    Error,
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// File the finding is in.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (what an allow-pragma must name to suppress it).
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{}:{}: {sev}[{}] {}\n    hint: {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message,
+            self.hint
+        )
+    }
+}

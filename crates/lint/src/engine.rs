@@ -1,0 +1,167 @@
+//! The engine: workspace walk, rule dispatch, pragma suppression, and
+//! the final report.
+
+use std::path::{Path, PathBuf};
+
+use crate::config;
+use crate::diag::{Diagnostic, Severity};
+use crate::pragma::{pragmas, Pragma};
+use crate::rules;
+use crate::source::SourceFile;
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings (pragma-suppressed ones removed), sorted by
+    /// file and line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of findings suppressed by justified pragmas.
+    pub suppressed: usize,
+    /// Number of files checked.
+    pub files: usize,
+}
+
+impl Report {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.len() - self.errors()
+    }
+}
+
+/// Lints one parsed file: runs every rule, applies pragmas, and emits
+/// pragma-hygiene findings.
+pub fn lint_file(file: &SourceFile, report: &mut Report) {
+    report.files += 1;
+    let mut found = Vec::new();
+    rules::check_all(file, &mut found);
+    let prags = pragmas(file);
+    for d in found {
+        if let Some(p) = prags.iter().find(|p| p.suppresses(d.rule, d.line)) {
+            p.used.set(true);
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(d);
+        }
+    }
+    pragma_hygiene(file, &prags, report);
+}
+
+/// `pragma`: malformed pragmas, unknown rule ids, missing justification,
+/// and unused allows. A misspelled rule id must never silently suppress —
+/// it is reported instead.
+fn pragma_hygiene(file: &SourceFile, prags: &[Pragma], report: &mut Report) {
+    for p in prags {
+        let mut fail = |message: String, severity: Severity| {
+            report.diagnostics.push(Diagnostic {
+                path: file.path.clone(),
+                line: p.line,
+                rule: "pragma",
+                message,
+                hint: "format: `// s4d-lint: allow(<rule>) — <justification>`; rules: \
+                       determinism, ordered-iter, panic, lock-order, lock-across-io, \
+                       durability",
+                severity,
+            });
+        };
+        if !p.well_formed {
+            fail(
+                "malformed s4d-lint pragma (expected `allow(<rule, …>)`)".to_string(),
+                Severity::Error,
+            );
+            continue;
+        }
+        for r in &p.rules {
+            if !config::RULES.contains(&r.as_str()) {
+                fail(
+                    format!("allow names unknown rule `{r}` — nothing is suppressed"),
+                    Severity::Error,
+                );
+            }
+        }
+        if !p.justified {
+            fail(
+                "allow pragma without a justification".to_string(),
+                Severity::Error,
+            );
+        } else if !p.used.get() && p.rules.iter().all(|r| config::RULES.contains(&r.as_str())) {
+            fail(
+                format!(
+                    "unused allow pragma for `{}` (nothing on the covered lines trips it)",
+                    p.rules.join(", ")
+                ),
+                Severity::Warning,
+            );
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping fixture
+/// directories (they hold seeded violations) and anything unreadable.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The workspace directories the linter covers.
+const WORKSPACE_ROOTS: &[&str] = &["src", "tests", "examples", "crates"];
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for r in WORKSPACE_ROOTS {
+        collect_rs(&root.join(r), &mut files);
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no .rs files under {} — run from the workspace root or pass paths",
+            root.display()
+        ));
+    }
+    lint_paths(root, &files)
+}
+
+/// Lints an explicit set of files (workspace-relative scoping is derived
+/// from each path's prefix relative to `root`).
+pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> Result<Report, String> {
+    let mut report = Report::default();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let file = SourceFile::parse(path.clone(), rel, &src);
+        lint_file(&file, &mut report);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}

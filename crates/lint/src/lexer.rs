@@ -1,0 +1,502 @@
+//! A small but correct Rust lexer.
+//!
+//! The rule engine works on token streams, not raw text, so that string
+//! literals, comments, raw strings, and char literals can never produce
+//! false matches (`"calls .unwrap() here"` is a [`Tok::Str`], not a method
+//! call). The lexer handles the full literal surface the workspace uses:
+//!
+//! * line comments and *nested* block comments (kept as tokens — the
+//!   pragma parser reads them);
+//! * cooked strings with escapes, raw strings `r"…"` / `r#"…"#` with any
+//!   hash depth, byte/C-string variants (`b"…"`, `br#"…"#`, `c"…"`,
+//!   `cr#"…"#`);
+//! * char and byte-char literals vs. lifetimes (`'a'` vs `'a`);
+//! * numbers (including float dots, without swallowing `..` ranges);
+//! * identifiers (keywords are plain identifiers here) and raw
+//!   identifiers (`r#match`);
+//! * everything else as single-character punctuation.
+//!
+//! Every token carries the 1-based line it starts on, which is all the
+//! diagnostics need.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (text preserved).
+    Ident(String),
+    /// A lifetime such as `'a` (name without the quote).
+    Lifetime(String),
+    /// Any numeric literal.
+    Number,
+    /// Any string-ish literal (cooked, raw, byte, C).
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A `// …` comment (text after `//` preserved, for pragma parsing).
+    LineComment(String),
+    /// A `/* … */` comment (interior preserved), nesting handled.
+    BlockComment(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+struct Cursor<'a> {
+    rest: std::str::Chars<'a>,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.rest.clone().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.rest.clone();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn eat_if(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// simply end at end-of-input (the linter must degrade gracefully on
+/// half-written code).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        rest: src.chars(),
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                out.push(Token {
+                    tok: Tok::LineComment(text),
+                    line,
+                });
+            }
+            '/' if cur.peek2() == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                let mut text = String::new();
+                while depth > 0 {
+                    match cur.peek() {
+                        Some('/') if cur.peek2() == Some('*') => {
+                            depth += 1;
+                            text.push_str("/*");
+                            cur.bump();
+                            cur.bump();
+                        }
+                        Some('*') if cur.peek2() == Some('/') => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                        }
+                        Some(c) => {
+                            text.push(c);
+                            cur.bump();
+                        }
+                        None => break,
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::BlockComment(text),
+                    line,
+                });
+            }
+            '"' => {
+                cur.bump();
+                lex_cooked_string(&mut cur);
+                out.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+            }
+            '\'' => {
+                cur.bump();
+                out.push(Token {
+                    tok: lex_quote(&mut cur),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                out.push(Token {
+                    tok: Tok::Number,
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    name.push(c);
+                    cur.bump();
+                }
+                out.push(Token {
+                    tok: lex_after_ident(&mut cur, name),
+                    line,
+                });
+            }
+            c => {
+                cur.bump();
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Scans a cooked string body after the opening quote.
+fn lex_cooked_string(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Scans a raw string after its identifier prefix: `#…#"…"#…#` or `"…"`.
+/// Returns false if the characters do not actually start a raw string
+/// (e.g. `r #` as separate tokens), in which case nothing is consumed.
+fn lex_raw_string(cur: &mut Cursor<'_>) -> bool {
+    let mut probe = cur.rest.clone();
+    let mut hashes = 0usize;
+    loop {
+        match probe.next() {
+            Some('#') => hashes += 1,
+            Some('"') => break,
+            _ => return false,
+        }
+    }
+    // Commit: consume hashes + opening quote.
+    for _ in 0..=hashes {
+        cur.bump();
+    }
+    // Body ends at `"` followed by `hashes` hashes.
+    'body: while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut probe = cur.rest.clone();
+            for _ in 0..hashes {
+                if probe.next() != Some('#') {
+                    continue 'body;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return true;
+        }
+    }
+    true
+}
+
+/// After an identifier: raw strings (`r"…"`, `br#"…"#`), byte chars
+/// (`b'x'`), raw identifiers (`r#match`), or just the identifier.
+fn lex_after_ident(cur: &mut Cursor<'_>, name: String) -> Tok {
+    let string_prefix = matches!(name.as_str(), "r" | "b" | "c" | "br" | "cr" | "rb" | "rc");
+    match cur.peek() {
+        Some('"') if string_prefix => {
+            cur.bump();
+            lex_cooked_or_raw_tail(cur, &name);
+            Tok::Str
+        }
+        Some('#') if string_prefix => {
+            if lex_raw_string(cur) {
+                Tok::Str
+            } else if name == "r" && cur.peek() == Some('#') {
+                // Raw identifier `r#ident`.
+                cur.bump();
+                let mut raw = String::new();
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    raw.push(c);
+                    cur.bump();
+                }
+                Tok::Ident(raw)
+            } else {
+                Tok::Ident(name)
+            }
+        }
+        Some('\'') if name == "b" => {
+            cur.bump();
+            lex_char_body(cur);
+            Tok::Char
+        }
+        _ => Tok::Ident(name),
+    }
+}
+
+/// Body of a string opened with a quote right after a prefix: raw
+/// (`r"…"` — no escapes) or cooked (`b"…"` — escapes) depending on it.
+fn lex_cooked_or_raw_tail(cur: &mut Cursor<'_>, prefix: &str) {
+    if prefix.contains('r') {
+        while let Some(c) = cur.bump() {
+            if c == '"' {
+                break;
+            }
+        }
+    } else {
+        lex_cooked_string(cur);
+    }
+}
+
+/// Scans a char-literal body after the opening quote (escape or single
+/// char, then the closing quote).
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    // Skip one unit: an escape consumes the backslash and the escaped
+    // char; otherwise the single content char.
+    cur.eat_if('\\');
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        if c == '\'' {
+            break;
+        }
+    }
+}
+
+/// After a `'`: a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>) -> Tok {
+    match cur.peek() {
+        Some('\\') => {
+            lex_char_body(cur);
+            Tok::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char; `'a` / `'static` are lifetimes.
+            let mut name = String::new();
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                name.push(c);
+                cur.bump();
+            }
+            if cur.eat_if('\'') {
+                Tok::Char
+            } else {
+                Tok::Lifetime(name)
+            }
+        }
+        Some(_) => {
+            lex_char_body(cur);
+            Tok::Char
+        }
+        None => Tok::Char,
+    }
+}
+
+/// Scans a numeric literal: digits, `_`, hex/suffix letters, and a float
+/// dot only when followed by a digit (so `0..5` and `1.max()` lex
+/// correctly).
+fn lex_number(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.bump();
+        } else if c == '.' {
+            match cur.peek2() {
+                Some(d) if d.is_ascii_digit() => {
+                    cur.bump();
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream_with_lines() {
+        let toks = lex("let x = a.unwrap();\nlet y = 2;");
+        assert_eq!(toks[0].tok, Tok::Ident("let".into()));
+        assert_eq!(toks[0].line, 1);
+        let last = toks.last().unwrap();
+        assert_eq!(last.tok, Tok::Punct(';'));
+        assert_eq!(last.line, 2);
+    }
+
+    #[test]
+    fn string_embedded_unwrap_lookalikes_are_not_idents() {
+        // None of these may surface `unwrap` as an identifier token.
+        for src in [
+            r#"let s = "calls .unwrap( here";"#,
+            r##"let s = r#"raw .unwrap( and "quoted" too"#;"##,
+            r#"let s = b".unwrap(";"#,
+            r##"let s = br#".unwrap("#;"##,
+            "// comment mentions .unwrap( only",
+            "/* block mentions .unwrap( only */",
+        ] {
+            assert!(
+                !idents(src).iter().any(|i| i == "unwrap"),
+                "false ident in {src:?}"
+            );
+        }
+        // …while a real call does.
+        assert!(idents("x.unwrap()").iter().any(|i| i == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r##"has "# inside"## ; x"###);
+        assert!(toks.contains(&Tok::Str));
+        assert!(toks.contains(&Tok::Ident("x".into())), "lexer resynced");
+        // Unterminated raw string must not panic or loop.
+        let toks = kinds(r##"let s = r#"never closed"##);
+        assert!(toks.contains(&Tok::Str));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#match = 1;"), vec!["let", "match"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.tok, Tok::BlockComment(_)))
+                .count(),
+            1
+        );
+        assert_eq!(idents("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("let c = 'a'; fn f<'a>(x: &'a str) {} let q = '\\''; let n = '\\n';");
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::Char).count(),
+            3,
+            "'a', '\\'' and '\\n' are chars"
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, Tok::Lifetime(n) if n == "a"))
+                .count(),
+            2,
+            "<'a> and &'a are lifetimes"
+        );
+        assert!(kinds("b'x'").contains(&Tok::Char));
+        assert!(matches!(
+            kinds("'static").first(),
+            Some(Tok::Lifetime(n)) if n == "static"
+        ));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("0..5");
+        assert_eq!(
+            toks,
+            vec![Tok::Number, Tok::Punct('.'), Tok::Punct('.'), Tok::Number]
+        );
+        let toks = kinds("1.5f64 + 1.max(2) + 0xFFu8");
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::Number).count(),
+            4,
+            "1.5f64, 1, 2, 0xFFu8"
+        );
+        assert!(idents("1.max(2)").contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_across_literals() {
+        let src = "let a = \"two\nlines\";\nb";
+        let toks = lex(src);
+        let b = toks.last().unwrap();
+        assert_eq!(b.tok, Tok::Ident("b".into()));
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn comment_text_is_preserved_for_pragmas() {
+        let toks = lex("// s4d-lint: allow(panic) — provable\nx");
+        assert!(matches!(
+            &toks[0].tok,
+            Tok::LineComment(t) if t.contains("s4d-lint: allow(panic)")
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+//! # s4d-lint — workspace-aware static analysis for S4D-Cache
+//!
+//! A self-contained (dependency-free) source analyzer enforcing the four
+//! invariant families the middleware's correctness arguments rest on:
+//!
+//! | rule family | ids | why |
+//! |-------------|-----|-----|
+//! | determinism | `determinism`, `ordered-iter` | the crash-matrix harness and replay proptests compare byte-for-byte |
+//! | panic-freedom | `panic` | the middleware sits on every I/O path; a panic is an availability bug |
+//! | lock discipline | `lock-order`, `lock-across-io` | cycles and device-latency lock holds are availability bugs |
+//! | durability protocol | `durability` | DESIGN.md §9 write ordering keeps crashes recoverable |
+//!
+//! Plus `pragma` for allow-pragma hygiene. Run with:
+//!
+//! ```text
+//! cargo run -p s4d-lint -- --workspace
+//! ```
+//!
+//! Suppress a finding only with a justified pragma:
+//!
+//! ```text
+//! // s4d-lint: allow(panic) — index is the loop bound, < len by construction
+//! ```
+//!
+//! See `DESIGN.md` §10 for the full rule catalogue and the declared
+//! lock-order table (mirrored in [`config`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod source;
+
+pub use diag::{Diagnostic, Severity};
+pub use engine::{lint_file, lint_paths, lint_workspace, Report};
+pub use source::SourceFile;

@@ -1,0 +1,95 @@
+//! `s4d-lint` CLI. Exit codes: 0 clean, 1 violations, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use s4d_lint::engine;
+
+const USAGE: &str = "\
+s4d-lint — static analysis for the S4D-Cache workspace
+
+USAGE:
+    s4d-lint --workspace            lint the whole workspace (from its root)
+    s4d-lint <path>…                lint specific files or directories
+    s4d-lint --list-rules           print the rule catalogue
+
+A finding is suppressed only by a justified pragma on or just above its
+line:  // s4d-lint: allow(<rule>) — <justification>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        for r in s4d_lint::config::RULES {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let paths: Vec<PathBuf> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .collect();
+    let unknown: Vec<&String> = args
+        .iter()
+        .filter(|a| a.starts_with("--") && *a != "--workspace")
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown option {:?}\n\n{USAGE}", unknown.first());
+        return ExitCode::from(2);
+    }
+    let result = if paths.is_empty() {
+        engine::lint_workspace(&root)
+    } else {
+        let mut files = Vec::new();
+        for p in &paths {
+            if p.is_dir() {
+                collect(p, &mut files);
+            } else {
+                files.push(p.clone());
+            }
+        }
+        engine::lint_paths(&root, &files)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("s4d-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "s4d-lint: {} files, {} errors, {} warnings, {} suppressed by pragma",
+        report.files,
+        report.errors(),
+        report.warnings(),
+        report.suppressed
+    );
+    if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn collect(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! `durability`: the DESIGN.md §9 write-ordering protocol, statically.
+//!
+//! PR 2's crash-matrix harness proves crash consistency *for the
+//! orderings the code happens to have today*; this rule keeps those
+//! orderings from regressing. Scope: library files of `core` that
+//! reference the synchronous journal-append primitive
+//! (`append_journal_sync`) — i.e. the middleware layer itself plus any
+//! future file that joins the protocol.
+//!
+//! Per function body, four lexical checks:
+//!
+//! 1. **Remove-before-discard** — in a function that appends to the
+//!    journal synchronously, no `.discard(…)` may precede the first
+//!    append: the `Remove` records must be durable before the bytes go
+//!    away, or recovery maps freed space.
+//! 2. **FlushIntent is synchronous** — a function constructing a
+//!    `FlushIntent` record must call `append_journal_sync` after it; the
+//!    intent must be durable before the flush plan reaches the runner,
+//!    or a crash mid-flush loses the re-flush obligation.
+//! 3. **Data before metadata** — in a plan-building function, no
+//!    `data_op(…)` may follow the batched `journal_op(…)`: the journal
+//!    write describing new mappings must be the plan's final phase, or a
+//!    crash leaves a mapping pointing at unwritten space.
+//! 4. **Fuse-gated effects** — every durable effect (`apply_bytes`,
+//!    `discard`) must be preceded in its function by a
+//!    `fuse_consume(…)` charge, so the crash-point torture matrix can
+//!    crash inside it. An ungated effect is an untested crash site.
+
+use crate::config;
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Runs the durability-protocol checks.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind.is_test_like() || file.crate_name != "core" {
+        return;
+    }
+    let participates = (0..file.code.len()).any(|i| file.ident(i) == Some(config::JOURNAL_SYNC_FN));
+    if !participates {
+        return;
+    }
+    for f in &file.fns {
+        if f.name == config::JOURNAL_SYNC_FN || f.name == config::FUSE_FN {
+            // The primitives themselves implement the gate.
+            continue;
+        }
+        if file
+            .code
+            .get(f.body.start)
+            .is_some_and(|t| file.in_test_span(t.line))
+        {
+            continue;
+        }
+        let body = f.body.clone();
+        remove_before_discard(file, body.clone(), out);
+        flush_intent_sync(file, body.clone(), out);
+        data_before_metadata(file, body.clone(), out);
+        fuse_gated(file, body, out);
+    }
+}
+
+fn find_call(file: &SourceFile, body: &std::ops::Range<usize>, name: &str) -> Option<usize> {
+    body.clone().find(|&i| file.is_call(i, name))
+}
+
+/// Check 1: no `.discard(` before the first synchronous append.
+fn remove_before_discard(
+    file: &SourceFile,
+    body: std::ops::Range<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(first_append) = find_call(file, &body, config::JOURNAL_SYNC_FN) else {
+        return;
+    };
+    for i in body.start..first_append {
+        if file.punct_is(i.wrapping_sub(1), '.') && file.is_call(i, "discard") {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: file.line_of(i),
+                rule: "durability",
+                message: "cache bytes discarded before the journal append that records \
+                          their removal"
+                    .to_string(),
+                hint: "append the Remove records synchronously first (metadata durable \
+                       before destruction), then discard — see DESIGN.md §9 eviction \
+                       ordering",
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+/// Check 2: `FlushIntent` construction requires a later sync append.
+fn flush_intent_sync(file: &SourceFile, body: std::ops::Range<usize>, out: &mut Vec<Diagnostic>) {
+    let Some(last_intent) = body
+        .clone()
+        .rev()
+        .find(|&i| file.ident(i) == Some(config::INTENT_RECORD))
+    else {
+        return;
+    };
+    let appended_after = (last_intent..body.end).any(|i| file.is_call(i, config::JOURNAL_SYNC_FN));
+    if !appended_after {
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: file.line_of(last_intent),
+            rule: "durability",
+            message: "FlushIntent record constructed without a following synchronous \
+                      journal append in this function"
+                .to_string(),
+            hint: "pass the intents to append_journal_sync before the flush plans are \
+                   returned — the intent must be durable before any flush I/O can run \
+                   (DESIGN.md §9 flush ordering)",
+            severity: Severity::Error,
+        });
+    }
+}
+
+/// Check 3: no data op planned after the batched journal op.
+fn data_before_metadata(
+    file: &SourceFile,
+    body: std::ops::Range<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(first_journal) = find_call(file, &body, config::JOURNAL_BATCH_FN) else {
+        return;
+    };
+    for i in first_journal..body.end {
+        if file.is_call(i, config::DATA_OP_FN) {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: file.line_of(i),
+                rule: "durability",
+                message: "data op planned after the journal op: the mapping record \
+                          would become durable before its cache bytes"
+                    .to_string(),
+                hint: "plan every data phase first and make the journal write the \
+                       final phase (DESIGN.md §9 admission ordering: data before \
+                       metadata)",
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+/// Check 4: durable effects must be fuse-gated.
+fn fuse_gated(file: &SourceFile, body: std::ops::Range<usize>, out: &mut Vec<Diagnostic>) {
+    for i in body.clone() {
+        let Some(name) = file.ident(i) else { continue };
+        if !config::DURABLE_EFFECT_FNS.contains(&name)
+            || !file.punct_is(i.wrapping_sub(1), '.')
+            || !file.punct_is(i + 1, '(')
+        {
+            continue;
+        }
+        let gated = (body.start..i).any(|j| file.is_call(j, config::FUSE_FN));
+        if !gated {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: file.line_of(i),
+                rule: "durability",
+                message: format!(
+                    "durable effect `{name}(…)` is not gated by a crash-fuse charge \
+                     in this function"
+                ),
+                hint: "call fuse_consume(CrashSite::…, len) first and apply only the \
+                       affordable prefix, so the torture matrix can crash inside this \
+                       effect; recovery-only paths may justify with \
+                       `// s4d-lint: allow(durability) — <why>`",
+                severity: Severity::Error,
+            });
+        }
+    }
+}

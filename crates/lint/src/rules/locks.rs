@@ -1,0 +1,174 @@
+//! `lock-order` and `lock-across-io`: lock discipline.
+//!
+//! Acquisitions are extracted lexically: `.lock()`, `.read()`, or
+//! `.write()` — zero-argument, so parallel-file-system `read_bytes(...)`
+//! style I/O calls never match — on a named struct field or binding
+//! (`self.records.lock()`, `handle.records.lock()`, `records.lock()`).
+//!
+//! * `lock-order` — every acquired lock must appear in the declared
+//!   lock-order table ([`crate::config::LOCK_ORDER`]), and within one
+//!   function locks must be acquired in table order. The per-function
+//!   acquisition sequences form a lock-acquisition graph; an edge that
+//!   goes backwards in the table is a potential cycle with any path that
+//!   goes forwards, so it is flagged at the acquiring line.
+//! * `lock-across-io` — a lock acquisition in the same statement as (or
+//!   `let`-bound and lexically before) a device-I/O or journal-append
+//!   call stalls every contending thread for a device-latency bound.
+
+use crate::config;
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// One lexical lock acquisition inside a function body.
+struct Acq {
+    /// Field or binding the lock method was called on.
+    name: String,
+    /// Code-token index of the method name.
+    at: usize,
+    /// Whether the guard is bound with `let` (lives past the statement).
+    bound: bool,
+}
+
+/// Runs the lock-discipline family.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind.is_test_like() {
+        return;
+    }
+    for f in &file.fns {
+        let acqs = acquisitions(file, f.body.clone());
+        if acqs.is_empty() {
+            continue;
+        }
+        check_order(file, &acqs, out);
+        check_across_io(file, f.body.clone(), &acqs, out);
+    }
+}
+
+/// Extracts lock acquisitions from a body token range.
+fn acquisitions(file: &SourceFile, body: std::ops::Range<usize>) -> Vec<Acq> {
+    let mut out = Vec::new();
+    for i in body.clone() {
+        // `<recv> . <method> ( )` with method in {lock, read, write}.
+        if !matches!(file.ident(i), Some("lock" | "read" | "write")) {
+            continue;
+        }
+        if !(file.punct_is(i.wrapping_sub(1), '.')
+            && file.punct_is(i + 1, '(')
+            && file.punct_is(i + 2, ')'))
+        {
+            continue;
+        }
+        let Some(recv) = i.checked_sub(2).and_then(|r| file.ident(r)) else {
+            continue;
+        };
+        if recv == "self" {
+            continue;
+        }
+        if file.in_test_span(file.line_of(i)) {
+            continue;
+        }
+        out.push(Acq {
+            name: recv.to_string(),
+            at: i,
+            bound: let_bound(file, &body, i),
+        });
+    }
+    out
+}
+
+/// True when the statement containing token `i` starts with `let`
+/// (scanning back to the previous `;`, `{`, or the body start).
+fn let_bound(file: &SourceFile, body: &std::ops::Range<usize>, i: usize) -> bool {
+    let mut j = i;
+    while j > body.start {
+        j -= 1;
+        if file.punct_is(j, ';') || file.punct_is(j, '{') {
+            return false;
+        }
+        if file.ident(j) == Some("let") {
+            return true;
+        }
+    }
+    false
+}
+
+fn rank(name: &str) -> Option<usize> {
+    config::LOCK_ORDER.iter().position(|l| *l == name)
+}
+
+fn check_order(file: &SourceFile, acqs: &[Acq], out: &mut Vec<Diagnostic>) {
+    for (k, a) in acqs.iter().enumerate() {
+        let line = file.line_of(a.at);
+        let Some(r) = rank(&a.name) else {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line,
+                rule: "lock-order",
+                message: format!("lock `{}` is not in the declared lock-order table", a.name),
+                hint: "add the lock to LOCK_ORDER in crates/lint/src/config.rs (and \
+                       DESIGN.md §10) at the position matching its acquisition order",
+                severity: Severity::Error,
+            });
+            continue;
+        };
+        // Any earlier acquisition with a *higher* rank means this path
+        // acquires against the declared order.
+        for b in acqs.iter().take(k) {
+            let Some(rb) = rank(&b.name) else { continue };
+            if b.name != a.name && rb > r {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line,
+                    rule: "lock-order",
+                    message: format!(
+                        "lock `{}` acquired after `{}`, against the declared lock order \
+                         (cycle risk with any path acquiring in table order)",
+                        a.name, b.name
+                    ),
+                    hint: "acquire locks in LOCK_ORDER table order, or drop the first \
+                           guard before taking the second",
+                    severity: Severity::Error,
+                });
+            }
+        }
+    }
+}
+
+fn check_across_io(
+    file: &SourceFile,
+    body: std::ops::Range<usize>,
+    acqs: &[Acq],
+    out: &mut Vec<Diagnostic>,
+) {
+    for a in acqs {
+        // The guard's lexical extent: to the end of the statement, or to
+        // the end of the function body for `let`-bound guards
+        // (conservative — justify early drops with a pragma).
+        let extent_end = if a.bound {
+            body.end
+        } else {
+            let mut j = a.at;
+            while j < body.end && !file.punct_is(j, ';') {
+                j += 1;
+            }
+            j
+        };
+        for i in a.at..extent_end {
+            let Some(name) = file.ident(i) else { continue };
+            if !config::DEVICE_IO_FNS.contains(&name) || !file.punct_is(i + 1, '(') {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: file.line_of(i),
+                rule: "lock-across-io",
+                message: format!("`{name}(…)` called while lock `{}` may be held", a.name),
+                hint: "copy what you need out of the guard, drop it, then do the I/O; \
+                       if the guard is provably dropped earlier, justify with \
+                       `// s4d-lint: allow(lock-across-io) — <proof>`",
+                severity: Severity::Error,
+            });
+            break;
+        }
+    }
+}

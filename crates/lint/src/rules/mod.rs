@@ -1,0 +1,19 @@
+//! The rule families. Each rule walks a [`SourceFile`]'s code-token
+//! stream and pushes [`Diagnostic`]s; the engine applies pragmas
+//! afterwards.
+
+pub mod determinism;
+pub mod durability;
+pub mod locks;
+pub mod panic_freedom;
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Runs every rule family over one file.
+pub fn check_all(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    determinism::check(file, out);
+    panic_freedom::check(file, out);
+    locks::check(file, out);
+    durability::check(file, out);
+}

@@ -1,0 +1,7 @@
+//! Fixture: wall-clock read in a deterministic crate.
+//! Seeded violation — trips exactly `determinism`.
+
+/// Timestamp helper that leaks host time into the simulation.
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,10 @@
+//! Fixture: a durable effect not gated by a crash-fuse charge.
+//! Seeded violation — trips exactly `durability`.
+
+/// Evicts an extent: journals the removal, then discards the bytes —
+/// without charging the crash fuse first, so the torture matrix can
+/// never crash inside the discard.
+pub fn evict(cpfs: &mut Cpfs, file: FileId, off: u64, len: u64) {
+    append_journal_sync(&[remove_record(file, off, len)]);
+    cpfs.discard(file, off, len);
+}

@@ -1,0 +1,10 @@
+//! Fixture: device I/O issued while a declared lock may be held.
+//! Seeded violation — trips exactly `lock-across-io`.
+
+/// Flushes every record while still holding the `records` guard.
+pub fn flush_all(store: &Store) {
+    let records = store.records.lock();
+    for r in records.iter() {
+        submit(r);
+    }
+}

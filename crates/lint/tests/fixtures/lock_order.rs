@@ -1,0 +1,14 @@
+//! Fixture: a lock acquisition outside the declared lock-order table.
+//! Seeded violation — trips exactly `lock-order`.
+
+/// Holder of a lock the table does not declare.
+pub struct Holder {
+    /// An undeclared side lock.
+    pub side_table: parking_lot::Mutex<u32>,
+}
+
+/// Reads through the undeclared lock.
+pub fn peek(h: &Holder) -> u32 {
+    let table = &h.side_table;
+    *table.lock()
+}

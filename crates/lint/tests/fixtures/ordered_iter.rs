@@ -1,0 +1,11 @@
+//! Fixture: unordered map built and drained in a serialization path.
+//! Seeded violation — trips exactly `ordered-iter`.
+
+/// Emits counters in map-iteration order — nondeterministic bytes.
+pub fn serialize_counters(items: &[(u32, u32)]) -> Vec<u32> {
+    let mut map = std::collections::HashMap::new();
+    for (k, v) in items {
+        map.insert(*k, *v);
+    }
+    map.values().copied().collect()
+}

@@ -1,0 +1,7 @@
+//! Fixture: `.unwrap()` in middleware library code.
+//! Seeded violation — trips exactly `panic`.
+
+/// First element, panicking on empty input.
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

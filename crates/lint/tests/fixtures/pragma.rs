@@ -1,0 +1,8 @@
+//! Fixture: an allow pragma naming a rule that does not exist.
+//! Seeded violation — trips exactly `pragma` (and suppresses nothing).
+
+/// Halves a value, with a misspelled allow above the division.
+pub fn half(x: u32) -> u32 {
+    // s4d-lint: allow(panics) — misspelled rule id must be reported, not honored
+    x / 2
+}

@@ -220,7 +220,9 @@ fn assemble(pieces: &[(u64, u64, Option<Vec<u8>>)], at: u64, len: u64) -> Option
             let dst = (lo - at) as usize;
             let src = (lo - p_off) as usize;
             let n = (hi - lo) as usize;
-            out[dst..dst + n].copy_from_slice(&data[src..src + n]);
+            if let (Some(to), Some(from)) = (out.get_mut(dst..dst + n), data.get(src..src + n)) {
+                to.copy_from_slice(from);
+            }
         }
     }
     Some(out)

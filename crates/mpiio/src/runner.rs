@@ -346,11 +346,11 @@ impl<M: Middleware> World<Event> for State<M> {
             Event::ProcessWake(i) => self.advance_process(now, i, q),
             Event::ServerDone { tier, server } => self.server_done(now, tier, server, q),
             Event::PlanStart(id) => {
-                let exec = self
-                    .plans
-                    .remove(&id)
-                    .expect("PlanStart names a deferred plan");
-                self.start_plan(now, id, exec, q);
+                // A missing entry means the queue replayed a stale id;
+                // there is nothing to start.
+                if let Some(exec) = self.plans.remove(&id) {
+                    self.start_plan(now, id, exec, q);
+                }
             }
             Event::BackgroundWake => self.background_wake(now, q),
             Event::Retry(token) => self.fire_retry(now, token, q),
@@ -360,16 +360,33 @@ impl<M: Middleware> World<Event> for State<M> {
 }
 
 impl<M: Middleware> State<M> {
+    /// Process state for an event- or owner-carried index. Indices are
+    /// minted from `procs` at construction and the vector never shrinks.
+    fn proc(&self, i: usize) -> &Proc {
+        self.procs
+            .get(i)
+            // s4d-lint: allow(panic) — indices are minted from `procs` at construction and the vector never shrinks; a miss is event-queue corruption
+            .expect("event names a constructed process")
+    }
+
+    /// Mutable variant of [`State::proc`].
+    fn proc_mut(&mut self, i: usize) -> &mut Proc {
+        self.procs
+            .get_mut(i)
+            // s4d-lint: allow(panic) — indices are minted from `procs` at construction and the vector never shrinks; a miss is event-queue corruption
+            .expect("event names a constructed process")
+    }
+
     /// Executes control ops until the process blocks on I/O, a barrier,
     /// think time, or finishes.
     fn advance_process(&mut self, now: SimTime, i: usize, q: &mut EventQueue<Event>) {
         let mut now = now;
         loop {
-            let op = match self.procs[i].script.next_op() {
+            let op = match self.proc_mut(i).script.next_op() {
                 Some(op) => op,
                 None => {
-                    if self.procs[i].status != ProcStatus::Finished {
-                        self.procs[i].status = ProcStatus::Finished;
+                    if self.proc(i).status != ProcStatus::Finished {
+                        self.proc_mut(i).status = ProcStatus::Finished;
                         self.finished += 1;
                         self.maybe_release_barrier(now, q);
                     }
@@ -378,16 +395,21 @@ impl<M: Middleware> State<M> {
             };
             match op {
                 AppOp::Open { name } => {
-                    let rank = self.procs[i].rank;
+                    let rank = self.proc(i).rank;
                     let file = self
                         .middleware
                         .open(&mut self.cluster, rank, &name)
+                        // s4d-lint: allow(panic) — malformed workload script or broken middleware: fail fast with rank context rather than simulate nonsense
                         .unwrap_or_else(|e| panic!("{rank} failed to open {name:?}: {e}"));
-                    let proc = &mut self.procs[i];
+                    let proc = self.proc_mut(i);
                     match proc.handles.iter().position(|h| h.is_none()) {
                         Some(slot) => {
-                            proc.handles[slot] = Some(file);
-                            proc.cursors[slot] = 0;
+                            if let Some(h) = proc.handles.get_mut(slot) {
+                                *h = Some(file);
+                            }
+                            if let Some(c) = proc.cursors.get_mut(slot) {
+                                *c = 0;
+                            }
                         }
                         None => {
                             proc.handles.push(Some(file));
@@ -397,14 +419,17 @@ impl<M: Middleware> State<M> {
                     now += self.config.open_cost;
                 }
                 AppOp::Close { handle } => {
-                    let rank = self.procs[i].rank;
-                    let file = self.procs[i]
+                    let rank = self.proc(i).rank;
+                    let file = self
+                        .proc_mut(i)
                         .handles
                         .get_mut(handle.0)
                         .and_then(Option::take)
+                        // s4d-lint: allow(panic) — malformed workload script: fail fast with rank context rather than simulate nonsense
                         .unwrap_or_else(|| panic!("{rank} closed unopened handle {}", handle.0));
                     self.middleware
                         .close(&mut self.cluster, rank, file)
+                        // s4d-lint: allow(panic) — malformed workload script or broken middleware: fail fast with rank context rather than simulate nonsense
                         .unwrap_or_else(|e| panic!("{rank} failed to close: {e}"));
                 }
                 AppOp::Think { duration } => {
@@ -412,23 +437,20 @@ impl<M: Middleware> State<M> {
                     return;
                 }
                 AppOp::Barrier => {
-                    self.procs[i].status = ProcStatus::AtBarrier;
+                    self.proc_mut(i).status = ProcStatus::AtBarrier;
                     self.barrier_waiting += 1;
                     self.maybe_release_barrier(now, q);
                     return;
                 }
                 AppOp::Seek { handle, offset } => {
-                    let rank = self.procs[i].rank;
-                    if self.procs[i]
-                        .handles
-                        .get(handle.0)
-                        .copied()
-                        .flatten()
-                        .is_none()
-                    {
-                        panic!("{rank} seeked unopened handle {}", handle.0);
+                    let proc = self.proc_mut(i);
+                    let rank = proc.rank;
+                    let open = proc.handles.get(handle.0).copied().flatten().is_some();
+                    match proc.cursors.get_mut(handle.0) {
+                        Some(cursor) if open => *cursor = offset,
+                        // s4d-lint: allow(panic) — malformed workload script: fail fast with rank context rather than simulate nonsense
+                        _ => panic!("{rank} seeked unopened handle {}", handle.0),
                     }
-                    self.procs[i].cursors[handle.0] = offset;
                 }
                 AppOp::IoAtCursor {
                     handle,
@@ -436,11 +458,14 @@ impl<M: Middleware> State<M> {
                     len,
                     data,
                 } => {
-                    let offset = *self.procs[i].cursors.get(handle.0).unwrap_or_else(|| {
-                        let rank = self.procs[i].rank;
+                    let proc = self.proc_mut(i);
+                    let rank = proc.rank;
+                    let Some(cursor) = proc.cursors.get_mut(handle.0) else {
+                        // s4d-lint: allow(panic) — malformed workload script: fail fast with rank context rather than simulate nonsense
                         panic!("{rank} used unopened handle {}", handle.0)
-                    });
-                    self.procs[i].cursors[handle.0] = offset + len;
+                    };
+                    let offset = *cursor;
+                    *cursor = offset + len;
                     self.dispatch_io(now, i, handle, kind, offset, len, data, q);
                     return;
                 }
@@ -471,12 +496,14 @@ impl<M: Middleware> State<M> {
         data: Option<Vec<u8>>,
         q: &mut EventQueue<Event>,
     ) {
-        let rank = self.procs[i].rank;
-        let file = self.procs[i]
+        let rank = self.proc(i).rank;
+        let file = self
+            .proc(i)
             .handles
             .get(handle.0)
             .copied()
             .flatten()
+            // s4d-lint: allow(panic) — malformed workload script: fail fast with rank context rather than simulate nonsense
             .unwrap_or_else(|| panic!("{rank} used unopened handle {}", handle.0));
         let req = AppRequest {
             rank,
@@ -532,11 +559,9 @@ impl<M: Middleware> State<M> {
         };
         if !exec.plan.lead_in.is_zero() {
             // Charge the middleware's decision time before any I/O starts.
+            let starts_at = now + exec_lead_in(&exec);
             self.plans.insert(plan_id, exec);
-            q.push(
-                now + exec_lead_in(&self.plans[&plan_id]),
-                Event::PlanStart(plan_id),
-            );
+            q.push(starts_at, Event::PlanStart(plan_id));
             return;
         }
         self.start_plan(now, plan_id, exec, q);
@@ -571,7 +596,9 @@ impl<M: Middleware> State<M> {
         while exec.phase < exec.plan.phases.len() {
             let phase_idx = exec.phase;
             let mut created = 0;
-            let ops = exec.plan.phases[phase_idx].clone();
+            let Some(ops) = exec.plan.phases.get(phase_idx).cloned() else {
+                break; // unreachable: the loop guard bounds phase_idx
+            };
             for op in &ops {
                 if op.len == 0 {
                     continue;
@@ -581,6 +608,7 @@ impl<M: Middleware> State<M> {
                     .cluster
                     .pfs_mut(op.tier)
                     .plan(op.file, op.kind, op.offset, op.len)
+                    // s4d-lint: allow(panic) — a plan the middleware just produced names unknown files only if the middleware is broken; fail fast with the op
                     .unwrap_or_else(|e| panic!("planning {op:?}: {e}"));
                 let layout = self.cluster.pfs(op.tier).layout();
                 for sub in subranges {
@@ -591,7 +619,9 @@ impl<M: Middleware> State<M> {
                         let mut buf = Vec::with_capacity(sub.len as usize);
                         for (seg_off, seg_len) in &segments {
                             let at = (seg_off - op.offset) as usize;
-                            buf.extend_from_slice(&full[at..at + *seg_len as usize]);
+                            if let Some(seg) = full.get(at..at + *seg_len as usize) {
+                                buf.extend_from_slice(seg);
+                            }
                         }
                         buf
                     });
@@ -618,12 +648,11 @@ impl<M: Middleware> State<M> {
                     };
                     let tier = op.tier;
                     let server_idx = sub.server;
-                    let started = self
-                        .cluster
-                        .pfs_mut(tier)
-                        .server_mut(server_idx)
-                        .expect("planned server exists")
-                        .submit(now, sr);
+                    let Ok(server) = self.cluster.pfs_mut(tier).server_mut(server_idx) else {
+                        self.subs.remove(&id);
+                        continue; // the layout only names servers in range
+                    };
+                    let started = server.submit(now, sr);
                     if let Some(s) = started {
                         q.push(
                             s.completes_at,
@@ -648,7 +677,7 @@ impl<M: Middleware> State<M> {
         match (&exec.owner, op.app_offset) {
             (PlanOwner::Process { index, kind, .. }, Some(app_off)) => {
                 self.report.tiers.record(op.tier, op.len);
-                let rank = self.procs[*index].rank;
+                let rank = self.proc(*index).rank;
                 let kind = *kind;
                 for obs in &mut self.observers {
                     obs.on_dispatch(now, rank, op.tier, kind, app_off, op.len);
@@ -664,23 +693,19 @@ impl<M: Middleware> State<M> {
     }
 
     fn server_done(&mut self, now: SimTime, tier: Tier, server: usize, q: &mut EventQueue<Event>) {
-        let (completed, next) = self
-            .cluster
-            .pfs_mut(tier)
-            .server_mut(server)
-            .expect("event names a real server")
-            .on_complete(now);
+        let Ok(srv) = self.cluster.pfs_mut(tier).server_mut(server) else {
+            return; // ServerDone events only name servers the PFS has
+        };
+        let (completed, next) = srv.on_complete(now);
         if let Some(s) = next {
             q.push(s.completes_at, Event::ServerDone { tier, server });
         }
-        let meta = self
-            .subs
-            .remove(&completed.id)
-            .expect("completed sub-request was registered");
+        let Some(meta) = self.subs.remove(&completed.id) else {
+            return; // every submitted sub-request is registered first
+        };
         let plan_id = meta.plan_id;
-        let mut exec = match self.plans.remove(&plan_id) {
-            Some(e) => e,
-            None => unreachable!("sub-request's plan is live"),
+        let Some(mut exec) = self.plans.remove(&plan_id) else {
+            return; // a sub-request's plan stays live until it drains
         };
         if let Some(error) = completed.error {
             self.report.degraded.io_errors += 1;
@@ -763,7 +788,11 @@ impl<M: Middleware> State<M> {
                         let app_pos = app_off + (seg_off - meta.op_offset);
                         let at = (app_pos - *offset) as usize;
                         let n = *seg_len as usize;
-                        buf[at..at + n].copy_from_slice(&data[cursor..cursor + n]);
+                        if let (Some(dst), Some(src)) =
+                            (buf.get_mut(at..at + n), data.get(cursor..cursor + n))
+                        {
+                            dst.copy_from_slice(src);
+                        }
                         cursor += n;
                     }
                 }
@@ -791,24 +820,22 @@ impl<M: Middleware> State<M> {
 
     /// Resubmits a retried sub-request after its backoff.
     fn fire_retry(&mut self, now: SimTime, token: u64, q: &mut EventQueue<Event>) {
-        let PendingRetry {
+        let Some(PendingRetry {
             tier,
             server,
             req,
             mut meta,
-        } = self
-            .retries
-            .remove(&token)
-            .expect("Retry names a pending retry");
+        }) = self.retries.remove(&token)
+        else {
+            return; // Retry tokens are minted once per pending retry
+        };
         meta.submitted = now;
         let id = req.id;
+        let Ok(srv) = self.cluster.pfs_mut(tier).server_mut(server) else {
+            return; // the retried server was valid when the retry was queued
+        };
+        let started = srv.submit(now, req);
         self.subs.insert(id, meta);
-        let started = self
-            .cluster
-            .pfs_mut(tier)
-            .server_mut(server)
-            .expect("retried server exists")
-            .submit(now, req);
         if let Some(s) = started {
             q.push(s.completes_at, Event::ServerDone { tier, server });
         }
@@ -867,11 +894,10 @@ impl<M: Middleware> State<M> {
     /// state now reflects the failure (quarantine, invalidated mappings),
     /// so the new plan routes around it.
     fn fire_replan(&mut self, now: SimTime, token: u64, q: &mut EventQueue<Event>) {
-        let e = self
-            .replans
-            .remove(&token)
-            .expect("Replan names a pending replan");
-        let rank = self.procs[e.index].rank;
+        let Some(e) = self.replans.remove(&token) else {
+            return; // Replan tokens are minted once per pending replan
+        };
+        let rank = self.proc(e.index).rank;
         let req = AppRequest {
             rank,
             file: e.file,
@@ -915,7 +941,7 @@ impl<M: Middleware> State<M> {
                 ..
             } => {
                 self.report.kind_mut(kind).record(issued, now, len);
-                let rank = self.procs[index].rank;
+                let rank = self.proc(index).rank;
                 for obs in &mut self.observers {
                     obs.on_request_complete(now, rank, kind, offset, len, issued);
                     if kind == IoKind::Read {

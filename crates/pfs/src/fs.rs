@@ -228,10 +228,21 @@ impl Pfs {
 
     /// Opens a file, creating it if absent.
     pub fn create_or_open(&mut self, name: &str) -> FileId {
-        match self.open(name) {
-            Ok(id) => id,
-            Err(_) => self.create(name).expect("absent file can be created"),
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
         }
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        self.by_name.insert(name.to_owned(), id);
+        self.files.insert(
+            id,
+            FileMeta {
+                id,
+                name: name.to_owned(),
+                size: 0,
+            },
+        );
+        id
     }
 
     /// Metadata of a file.
@@ -313,7 +324,9 @@ impl Pfs {
             return Err(PfsError::UnknownFile(file));
         }
         for sub in self.layout.split(offset, len) {
-            self.servers[sub.server].discard_range(file, sub.local_offset, sub.len);
+            if let Some(s) = self.servers.get_mut(sub.server) {
+                s.discard_range(file, sub.local_offset, sub.len);
+            }
         }
         Ok(())
     }
@@ -363,8 +376,13 @@ impl Pfs {
         for sub in self.layout.split(offset, len) {
             let mut local = sub.local_offset;
             for (file_off, seg_len) in self.layout.file_segments(&sub) {
-                let slice = data.map(|d| &d[(file_off - offset) as usize..][..seg_len as usize]);
-                self.servers[sub.server].poke_store(file, local, seg_len, slice);
+                let slice = data.and_then(|d| {
+                    d.get((file_off - offset) as usize..)
+                        .and_then(|tail| tail.get(..seg_len as usize))
+                });
+                if let Some(s) = self.servers.get_mut(sub.server) {
+                    s.poke_store(file, local, seg_len, slice);
+                }
                 local += seg_len;
             }
         }
@@ -389,7 +407,9 @@ impl Pfs {
         }
         let mut out = vec![0u8; len as usize];
         for sub in self.layout.split(offset, len) {
-            let server = &self.servers[sub.server];
+            let Some(server) = self.servers.get(sub.server) else {
+                continue; // layout splits stay within the server count
+            };
             if server.store_mode() == s4d_storage::StoreMode::Timing {
                 return Ok(None);
             }
@@ -397,7 +417,9 @@ impl Pfs {
             for (file_off, seg_len) in self.layout.file_segments(&sub) {
                 if let Some(data) = server.peek_store(file, local, seg_len) {
                     let at = (file_off - offset) as usize;
-                    out[at..at + seg_len as usize].copy_from_slice(&data);
+                    if let Some(dst) = out.get_mut(at..at + seg_len as usize) {
+                        dst.copy_from_slice(&data);
+                    }
                 }
                 local += seg_len;
             }
@@ -417,7 +439,9 @@ impl Pfs {
         }
         let mut covered = 0;
         for sub in self.layout.split(offset, len) {
-            covered += self.servers[sub.server].peek_coverage(file, sub.local_offset, sub.len);
+            if let Some(s) = self.servers.get(sub.server) {
+                covered += s.peek_coverage(file, sub.local_offset, sub.len);
+            }
         }
         Ok(covered)
     }

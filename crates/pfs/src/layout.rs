@@ -96,9 +96,9 @@ impl StripeLayout {
         if len == 0 {
             return out;
         }
-        let end = offset
-            .checked_add(len)
-            .expect("file range end overflows u64");
+        // Saturate instead of panicking: an end past u64::MAX clips the
+        // split to the addressable range.
+        let end = offset.saturating_add(len);
         let first = offset / self.stripe;
         let last = (end - 1) / self.stripe;
         for k in first..=last {

@@ -1,0 +1,35 @@
+//! Tier-1 gate: the workspace must lint clean under `s4d-lint`.
+//!
+//! This is the same check CI runs via `cargo run -p s4d-lint --
+//! --workspace`, wired into the ordinary test suite so a plain
+//! `cargo test` refuses determinism, panic-freedom, lock-discipline,
+//! and durability-protocol regressions. Warnings (report-only findings,
+//! e.g. determinism in test code) are printed but do not fail.
+
+use s4d_lint::Severity;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = s4d_lint::lint_workspace(root).expect("workspace walk succeeds");
+    assert!(report.files > 50, "walk found only {} files", report.files);
+    for d in report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+    {
+        println!("(report-only) {d}");
+    }
+    let errors: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "s4d-lint found {} error(s):\n{}",
+        errors.len(),
+        errors.join("\n")
+    );
+}
