@@ -1,0 +1,244 @@
+//! The unified background-work scheduler (the paper's Rebuilder, plus
+//! the scrubber and journal straggler-drain).
+//!
+//! [`BackgroundScheduler`] owns the `Pending` state machine — every
+//! plan-completion obligation a foreground or background plan registers
+//! — together with the in-flight markers, eviction pins, and the scrub
+//! cursor. The per-wake work itself is split by concern: [`rebuild`]
+//! groups dirty extents into flush plans and flagged reads into fetch
+//! plans (and applies their completions); [`scrub`] walks the seal
+//! cursor. [`S4dCache::background_poll`] strings them into one
+//! prioritized wake: flushes, then fetches, then scrubbing, then
+//! checkpointing, then the journal straggler drain.
+
+pub(crate) mod rebuild;
+pub(crate) mod scrub;
+
+use std::collections::{HashMap, HashSet};
+
+use s4d_mpiio::{BackgroundPoll, Cluster, Plan};
+use s4d_pfs::{FileId, Priority};
+use s4d_sim::SimTime;
+
+use crate::layer::S4dCache;
+use crate::space::SpaceManager;
+
+/// One dirty extent inside a flush group.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlushItem {
+    orig: FileId,
+    d_offset: u64,
+    len: u64,
+    c_file: FileId,
+    c_offset: u64,
+    version: u64,
+}
+
+/// A background action awaiting plan completion.
+#[derive(Debug, Clone)]
+pub(crate) enum Pending {
+    /// A foreground read finished: release its eviction pins.
+    Unpin(Vec<(FileId, u64, u64)>),
+    /// Several actions share one plan (e.g. unpin + eager fetch).
+    Multi(Vec<Pending>),
+    /// Flush of a run of file-contiguous dirty extents back to DServers.
+    /// Grouping adjacent extents turns many small cache writes into one
+    /// large sequential DServer write — the data *reorganisation* of
+    /// §III.F, and a large part of why buffering random writes pays off.
+    Flush(Vec<FlushItem>),
+    /// Fetch of the gaps of a run of adjacent flagged CDT entries.
+    Fetch {
+        orig: FileId,
+        /// The `(offset, len)` CDT keys whose `C_flag` this fetch clears.
+        cdt_keys: Vec<(u64, u64)>,
+        /// `(d_offset, len, c_file, c_offset)` pieces reserved for the data.
+        pieces: Vec<(u64, u64, FileId, u64)>,
+    },
+    /// A foreground write finished: seal the extents it filled, as
+    /// `(file, d_offset, version)` captured at plan time. The version gate
+    /// skips any extent a later write touched in the meantime.
+    Seal(Vec<(FileId, u64, u64)>),
+}
+
+/// True for actions that represent real outstanding work (a pending Seal
+/// is advisory bookkeeping — checksums attach on completion — and must
+/// not keep the drain loop spinning).
+fn blocks_idle(p: &Pending) -> bool {
+    match p {
+        Pending::Seal(_) => false,
+        Pending::Multi(actions) => actions.iter().any(blocks_idle),
+        _ => true,
+    }
+}
+
+/// Owns every deferred-work obligation of the middleware: the pending
+/// state machine keyed by plan tag, the flush/fetch in-flight markers,
+/// the eviction pins of in-flight reads, and the scrubber's cursor.
+#[derive(Debug)]
+pub(crate) struct BackgroundScheduler {
+    /// Actions to apply when the tagged plan completes.
+    pending: HashMap<u64, Pending>,
+    /// Next plan tag to hand out (0 is reserved for "no callback").
+    next_tag: u64,
+    /// `(file, d_offset)` of dirty extents a flush plan is moving.
+    inflight_flush: HashSet<(FileId, u64)>,
+    /// `(file, offset, len)` CDT keys a fetch plan is filling.
+    inflight_fetch: HashSet<(FileId, u64, u64)>,
+    /// Ranges referenced by in-flight foreground reads; eviction must not
+    /// discard them (a queued sub-request would read freed space).
+    pins: Vec<(FileId, u64, u64)>,
+    /// Scrub resume position: the last `(file, d_offset)` verified.
+    scrub_cursor: Option<(FileId, u64)>,
+}
+
+impl BackgroundScheduler {
+    /// A fresh scheduler with nothing pending.
+    pub(crate) fn new() -> Self {
+        BackgroundScheduler {
+            pending: HashMap::new(),
+            next_tag: 1,
+            inflight_flush: HashSet::new(),
+            inflight_fetch: HashSet::new(),
+            pins: Vec::new(),
+            scrub_cursor: None,
+        }
+    }
+
+    /// Registers a completion action under a fresh plan tag.
+    pub(crate) fn register(&mut self, action: Pending) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.pending.insert(tag, action);
+        tag
+    }
+
+    /// Chains `action` onto an already-registered tag (both apply when
+    /// the plan completes).
+    pub(crate) fn chain(&mut self, tag: u64, action: Pending) {
+        let chained = match self.pending.remove(&tag) {
+            Some(existing) => Pending::Multi(vec![existing, action]),
+            None => action,
+        };
+        self.pending.insert(tag, chained);
+    }
+
+    /// Claims the action registered under `tag`, if any.
+    pub(crate) fn take(&mut self, tag: u64) -> Option<Pending> {
+        self.pending.remove(&tag)
+    }
+
+    /// Pins ranges against eviction for the lifetime of a read plan.
+    pub(crate) fn pin_all(&mut self, ranges: &[(FileId, u64, u64)]) {
+        self.pins.extend(ranges.iter().copied());
+    }
+
+    /// True if `[off, off + len)` of `file` overlaps any active pin.
+    pub(crate) fn overlaps_pin(&self, file: FileId, off: u64, len: u64) -> bool {
+        self.pins.iter().any(|&(p_file, p_off, p_len)| {
+            p_file == file && p_off < off + len && off < p_off + p_len
+        })
+    }
+
+    fn release_pins(&mut self, ranges: Vec<(FileId, u64, u64)>) {
+        for range in ranges {
+            if let Some(i) = self.pins.iter().position(|&p| p == range) {
+                self.pins.swap_remove(i);
+            }
+        }
+    }
+
+    /// Releases runner-visible state a failed plan held, *without* the
+    /// data effects of completion: pins lift, in-flight markers clear,
+    /// fetch reservations return to the allocator. Flushed extents stay
+    /// dirty and flagged reads stay flagged, so the Rebuilder retries.
+    pub(crate) fn abandon(&mut self, space: &mut SpaceManager, action: Option<Pending>) {
+        match action {
+            Some(Pending::Multi(actions)) => {
+                for a in actions {
+                    self.abandon(space, Some(a));
+                }
+            }
+            Some(Pending::Unpin(ranges)) => self.release_pins(ranges),
+            Some(Pending::Flush(items)) => {
+                for item in items {
+                    self.inflight_flush.remove(&(item.orig, item.d_offset));
+                }
+            }
+            Some(Pending::Fetch {
+                orig,
+                cdt_keys,
+                pieces,
+            }) => {
+                for (_d_off, len, c_file, c_off) in pieces {
+                    space.release(c_file, c_off, len);
+                }
+                for (o, l) in cdt_keys {
+                    self.inflight_fetch.remove(&(orig, o, l));
+                }
+            }
+            // Sealing is best-effort: an unsealed extent just stays
+            // unverified until the scrubber byte-compares it.
+            Some(Pending::Seal(_)) => {}
+            None => {}
+        }
+    }
+
+    /// True while any registered action represents outstanding work.
+    fn any_blocking(&self) -> bool {
+        self.pending.values().any(blocks_idle)
+    }
+}
+
+impl S4dCache {
+    /// One background wake: flushes, fetches, scrubbing, checkpointing,
+    /// and the journal straggler drain, in that priority order — the body
+    /// of [`s4d_mpiio::Middleware::poll_background`].
+    pub(crate) fn background_poll(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+    ) -> BackgroundPoll {
+        if self.config.force_miss {
+            return BackgroundPoll {
+                plans: Vec::new(),
+                next_wake: Some(now + self.config.rebuild_period),
+                work_pending: false,
+            };
+        }
+        let mut plans = Vec::new();
+        if !self.config.persistent_placement {
+            // CARL-style placement keeps data on the CServers for good:
+            // nothing is ever written back, so there is nothing to flush.
+            self.build_flushes(cluster, now, &mut plans);
+        }
+        self.build_fetches(cluster, now, &mut plans);
+        if self.config.scrub_bytes_per_wake > 0 {
+            self.run_scrub(cluster);
+        }
+        self.dur
+            .maybe_checkpoint(cluster, &mut self.dmt, &self.config, &mut self.metrics);
+        // Persist any straggling journal records with background priority.
+        if let Some(op) = self.dur.drain_journal(
+            cluster,
+            &mut self.dmt,
+            &self.config,
+            &mut self.metrics,
+            Priority::Background,
+        ) {
+            plans.push(Plan::single_phase(vec![op]));
+        }
+        debug_assert_eq!(
+            self.dmt.pending_records(),
+            0,
+            "poll_background returned with uncollected journal records"
+        );
+        let work_pending = !plans.is_empty()
+            || self.bg.any_blocking()
+            || (!self.config.persistent_placement && self.dmt.dirty_bytes() > 0);
+        BackgroundPoll {
+            plans,
+            next_wake: Some(now + self.config.rebuild_period),
+            work_pending,
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The Rebuilder (§III.F): flush grouping, fetch grouping, and the
+//! completion paths that apply their effects.
+//!
+//! Plan *construction* lives here (`build_flushes`, `build_fetches`) next
+//! to the completion handlers (`apply_pending` and the `finish_*`
+//! family) so the two halves of each background cycle — what a plan
+//! promises and what its completion delivers — can be read side by side.
+
+use s4d_mpiio::{Cluster, Plan, PlannedIo, Tier};
+use s4d_pfs::{FileId, Priority};
+use s4d_sim::{SimDuration, SimTime};
+use s4d_storage::IoKind;
+
+use crate::durability::crash::CrashSite;
+use crate::durability::journal::{self, JournalRecord};
+use crate::layer::S4dCache;
+use crate::names::MAX_GROUP_BYTES;
+
+use super::{FlushItem, Pending};
+
+impl S4dCache {
+    /// Builds the Rebuilder's flush plans (dirty cache data → DServers,
+    /// §III.F step 1). Adjacent dirty extents of a file are grouped into
+    /// one plan: phase 1 reads the cached bytes, phase 2 writes them to
+    /// the original file as a single sequential op.
+    pub(crate) fn build_flushes(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        plans: &mut Vec<Plan>,
+    ) {
+        // With `flush_on_risk`, a CServer showing trouble (quarantine, a
+        // recent failure, or a latency EWMA above the threshold) triggers
+        // flushing *everything* dirty — shrinking the data-loss window a
+        // subsequent crash could hit.
+        let limit = if self.config.flush_on_risk
+            && self
+                .health
+                .any_at_risk(now, self.config.degraded_latency_ratio)
+        {
+            usize::MAX
+        } else {
+            self.config.max_flush_per_wake
+        };
+        let mut candidates = self.dmt.dirty_lru(limit);
+        candidates.retain(|(f, d, _)| !self.bg.inflight_flush.contains(&(*f, *d)));
+        candidates.sort_by_key(|(f, d, _)| (f.0, *d));
+        let mut intents: Vec<JournalRecord> = Vec::new();
+        let mut i = 0;
+        while let Some(&(file, start, first)) = candidates.get(i) {
+            let mut items = vec![FlushItem {
+                orig: file,
+                d_offset: start,
+                len: first.len,
+                c_file: first.c_file,
+                c_offset: first.c_offset,
+                version: first.version,
+            }];
+            let mut end = start + first.len;
+            let mut j = i + 1;
+            while let Some(&(f2, d2, e2)) = candidates.get(j) {
+                if f2 == file && d2 == end && (end - start) + e2.len <= MAX_GROUP_BYTES {
+                    items.push(FlushItem {
+                        orig: f2,
+                        d_offset: d2,
+                        len: e2.len,
+                        c_file: e2.c_file,
+                        c_offset: e2.c_offset,
+                        version: e2.version,
+                    });
+                    end = d2 + e2.len;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            i = j;
+            // Phase 1: read the cached bytes (merge cache-contiguous runs).
+            let mut reads: Vec<PlannedIo> = Vec::new();
+            for item in &items {
+                if let Some(last) = reads.last_mut() {
+                    if last.file == item.c_file && last.offset + last.len == item.c_offset {
+                        last.len += item.len;
+                        continue;
+                    }
+                }
+                reads.push(PlannedIo {
+                    tier: Tier::CServers,
+                    file: item.c_file,
+                    kind: IoKind::Read,
+                    offset: item.c_offset,
+                    len: item.len,
+                    priority: Priority::Background,
+                    data: None,
+                    app_offset: None,
+                });
+            }
+            // Phase 2: one sequential write to the original file.
+            let write = PlannedIo {
+                tier: Tier::DServers,
+                file,
+                kind: IoKind::Write,
+                offset: start,
+                len: end - start,
+                priority: Priority::Background,
+                data: None,
+                app_offset: None,
+            };
+            self.metrics.flushes += items.len() as u64;
+            self.metrics.flushed_bytes += end - start;
+            for item in &items {
+                self.bg.inflight_flush.insert((item.orig, item.d_offset));
+            }
+            intents.push(JournalRecord::FlushIntent {
+                d_file: file,
+                d_offset: start,
+            });
+            let tag = self.bg.register(Pending::Flush(items));
+            plans.push(Plan {
+                tag,
+                lead_in: SimDuration::ZERO,
+                phases: vec![reads, vec![write]],
+            });
+        }
+        if !intents.is_empty() {
+            // Journal the intents before any flush plan can run: recovery
+            // sees which ranges were mid-flush and that a re-flush is due.
+            // The matching commit is the SetClean record at completion, so
+            // a crash between the two re-flushes idempotently.
+            self.dur.append_journal_sync(
+                cluster,
+                &mut self.dmt,
+                &self.config,
+                &mut self.metrics,
+                &intents,
+            );
+        }
+    }
+
+    /// Builds the Rebuilder's fetch plans (CDT `C_flag` data → CServers,
+    /// §III.F step 2). Adjacent flagged entries of a file are fetched as
+    /// one group so sequential critical data costs one large DServer read.
+    pub(crate) fn build_fetches(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        plans: &mut Vec<Plan>,
+    ) {
+        // Fetches create new cache data striped over every CServer; pause
+        // them entirely while any server is quarantined (the flags stay
+        // set, so fetching resumes once the tier is healthy again).
+        if self.health.any_unhealthy(now) {
+            return;
+        }
+        let mut flagged = self.cdt.flagged(self.config.max_fetch_per_wake);
+        flagged.retain(|e| !self.bg.inflight_fetch.contains(&(e.file, e.offset, e.len)));
+        flagged.sort_by_key(|e| (e.file.0, e.offset));
+        let mut i = 0;
+        while let Some(head) = flagged.get(i) {
+            let file = head.file;
+            let start = head.offset;
+            let mut end = start + head.len;
+            let mut keys = vec![(head.offset, head.len)];
+            let mut j = i + 1;
+            while let Some(e) = flagged.get(j) {
+                if e.file == file && e.offset == end && (end - start) + e.len <= MAX_GROUP_BYTES {
+                    end = e.offset + e.len;
+                    keys.push((e.offset, e.len));
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            i = j;
+            let Some(&cache) = self.cache_file_of.get(&file) else {
+                continue;
+            };
+            let view = self.dmt.view(file, start, end - start);
+            if view.fully_covered() {
+                for &(o, l) in &keys {
+                    self.cdt.clear_c_flag(file, o, l);
+                }
+                continue;
+            }
+            let total: u64 = view.gaps.iter().map(|&(_, l)| l).sum();
+            if !self.make_room(cluster, total) {
+                // No clean space to reclaim: stop fetching this wake.
+                break;
+            }
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            let mut pieces = Vec::new();
+            for &(g_off, g_len) in &view.gaps {
+                let Some(allocs) = self.space.alloc(cache, g_len) else {
+                    continue; // make_room guaranteed capacity; skip the gap if not
+                };
+                reads.push(PlannedIo {
+                    tier: Tier::DServers,
+                    file,
+                    kind: IoKind::Read,
+                    offset: g_off,
+                    len: g_len,
+                    priority: Priority::Background,
+                    data: None,
+                    app_offset: None,
+                });
+                let mut cursor = g_off;
+                for p in allocs {
+                    writes.push(PlannedIo {
+                        tier: Tier::CServers,
+                        file: cache,
+                        kind: IoKind::Write,
+                        offset: p.c_offset,
+                        len: p.len,
+                        priority: Priority::Background,
+                        data: None,
+                        app_offset: None,
+                    });
+                    pieces.push((cursor, p.len, cache, p.c_offset));
+                    cursor += p.len;
+                }
+            }
+            for &(o, l) in &keys {
+                self.bg.inflight_fetch.insert((file, o, l));
+            }
+            let tag = self.bg.register(Pending::Fetch {
+                orig: file,
+                cdt_keys: keys,
+                pieces,
+            });
+            self.metrics.fetches += 1;
+            self.metrics.fetched_bytes += total;
+            plans.push(Plan {
+                tag,
+                lead_in: SimDuration::ZERO,
+                phases: vec![reads, writes],
+            });
+        }
+    }
+
+    /// Applies the completion action a finished plan registered.
+    pub(crate) fn apply_pending(&mut self, cluster: &mut Cluster, action: Option<Pending>) {
+        match action {
+            Some(Pending::Multi(actions)) => {
+                for a in actions {
+                    self.apply_pending(cluster, Some(a));
+                }
+            }
+            Some(Pending::Unpin(ranges)) => self.bg.release_pins(ranges),
+            Some(Pending::Flush(items)) => self.finish_flush_group(cluster, items),
+            Some(Pending::Fetch {
+                orig,
+                cdt_keys,
+                pieces,
+            }) => self.finish_fetch(cluster, orig, cdt_keys, pieces),
+            Some(Pending::Seal(targets)) => self.finish_seals(cluster, targets),
+            None => {}
+        }
+    }
+
+    /// Seals extents whose plan completed: reads the cached bytes back,
+    /// checksums them, and attaches the seal if no write raced (version
+    /// gate). Timing-mode stores hold no bytes; sealing is skipped there.
+    pub(crate) fn finish_seals(&mut self, cluster: &mut Cluster, targets: Vec<(FileId, u64, u64)>) {
+        for (orig, d_offset, version) in targets {
+            let Some(e) = self.dmt.get(orig, d_offset) else {
+                continue;
+            };
+            if e.version != version {
+                continue;
+            }
+            let (c_file, c_offset, len) = (e.c_file, e.c_offset, e.len);
+            let Ok(Some(bytes)) = cluster.cpfs().read_bytes(c_file, c_offset, len) else {
+                continue;
+            };
+            let sum = journal::crc32(&bytes);
+            self.dmt.seal_if(orig, d_offset, version, sum);
+        }
+    }
+
+    fn finish_flush_group(&mut self, cluster: &mut Cluster, items: Vec<FlushItem>) {
+        let mut seals: Vec<(FileId, u64, u64)> = Vec::new();
+        for item in items {
+            // The extent may have vanished while the flush was in flight —
+            // a crash invalidated it, or eviction raced — and its cache
+            // space may already hold *other* data. Copying then would
+            // corrupt the original file, so the item is skipped; whoever
+            // removed the extent accounted for its bytes.
+            let still_there = self.dmt.get(item.orig, item.d_offset).is_some_and(|e| {
+                e.c_file == item.c_file && e.c_offset == item.c_offset && e.len >= item.len
+            });
+            if still_there {
+                // Apply the data effect of the simulated copy (current
+                // bytes — if a write raced the flush, DServers receive the
+                // newest data and the extent simply stays dirty for a
+                // later flush).
+                let allowed = self.dur.fuse_consume(CrashSite::FlushCopy, item.len);
+                if allowed > 0 {
+                    let _ = cluster.copy_range(
+                        (Tier::CServers, item.c_file, item.c_offset),
+                        (Tier::DServers, item.orig, item.d_offset),
+                        allowed,
+                    );
+                }
+                // The commit (SetClean) only follows a complete copy; a
+                // torn copy leaves the extent dirty, so recovery re-flushes
+                // the whole range — idempotent because the same bytes land
+                // on the same DServer offsets.
+                if allowed == item.len
+                    && self
+                        .dmt
+                        .mark_clean_if(item.orig, item.d_offset, item.version)
+                {
+                    seals.push((item.orig, item.d_offset, item.version));
+                }
+            }
+            self.bg.inflight_flush.remove(&(item.orig, item.d_offset));
+        }
+        // Flushing does not change the cached bytes: seal any flushed
+        // extent that was still unverified.
+        seals.retain(|&(f, o, _)| self.dmt.get(f, o).is_some_and(|e| e.checksum.is_none()));
+        self.finish_seals(cluster, seals);
+    }
+
+    fn finish_fetch(
+        &mut self,
+        cluster: &mut Cluster,
+        orig: FileId,
+        cdt_keys: Vec<(u64, u64)>,
+        pieces: Vec<(u64, u64, FileId, u64)>,
+    ) {
+        let mut seals: Vec<(FileId, u64, u64)> = Vec::new();
+        for (d_off, len, c_file, c_off) in pieces {
+            // A foreground write may have mapped (parts of) this range while
+            // the fetch was in flight; only fill the still-missing gaps and
+            // return the rest of the reservation.
+            let view = self.dmt.view(orig, d_off, len);
+            for &(g_off, g_len) in &view.gaps {
+                let rel = g_off - d_off;
+                let allowed = self.dur.fuse_consume(CrashSite::FetchFill, g_len);
+                if allowed > 0 {
+                    let _ = cluster.copy_range(
+                        (Tier::DServers, orig, g_off),
+                        (Tier::CServers, c_file, c_off + rel),
+                        allowed,
+                    );
+                }
+                // Data-before-metadata: the mapping only exists once the
+                // fill completed. A torn fill leaves orphaned cache bytes
+                // for the recovery sweep, never a mapping to a hole.
+                if allowed == g_len {
+                    self.dmt
+                        .insert(orig, g_off, g_len, c_file, c_off + rel, false);
+                    if let Some(e) = self.dmt.get(orig, g_off) {
+                        seals.push((orig, g_off, e.version));
+                    }
+                } else {
+                    self.space.release(c_file, c_off + rel, g_len);
+                }
+            }
+            // Give back the parts of the reservation that a racing write
+            // already mapped elsewhere.
+            for piece in &view.pieces {
+                let rel = piece.d_offset - d_off;
+                self.space.release(c_file, c_off + rel, piece.len);
+            }
+        }
+        for (o, l) in cdt_keys {
+            self.cdt.clear_c_flag(orig, o, l);
+            self.bg.inflight_fetch.remove(&(orig, o, l));
+        }
+        self.finish_seals(cluster, seals);
+    }
+}

@@ -249,6 +249,17 @@ impl S4dConfig {
         self
     }
 
+    /// Caps how many dirty extents one Rebuilder wake may flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extents == 0`.
+    pub fn with_max_flush_per_wake(mut self, extents: usize) -> Self {
+        assert!(extents > 0, "flush cap must be positive");
+        self.max_flush_per_wake = extents;
+        self
+    }
+
     /// Enables eager read fetching (ablation).
     pub fn with_eager_read_fetch(mut self, on: bool) -> Self {
         self.eager_read_fetch = on;

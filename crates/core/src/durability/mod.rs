@@ -1,0 +1,358 @@
+//! The durability engine: journal, checkpoint slots, crash fuse,
+//! recovery.
+//!
+//! Everything that makes DMT mutations survive a middleware crash lives
+//! behind [`DurabilityEngine`]: the append-only record journal (write
+//! offsets, group-commit batching, synchronous appends), the A/B
+//! checkpoint slots with journal compaction, and the crash fuse the
+//! torture harness arms. [`recovery`] rebuilds a middleware from the
+//! persisted cluster state alone; [`journal`] is the pure record codec;
+//! [`crash`] is the fuse itself.
+//!
+//! Ordering is enforced by API shape, not convention: the only way to
+//! discard cache bytes whose removal must first be journaled is
+//! [`DurabilityEngine::discard_cache`], which demands a
+//! [`DurabilityHandle`] — and the only source of handles is
+//! [`DurabilityEngine::append_journal_sync`]. A caller cannot reach the
+//! destructive effect without having made the metadata durable first
+//! (DESIGN.md §9, §12).
+
+pub mod crash;
+pub mod journal;
+pub(crate) mod recovery;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use s4d_mpiio::{Cluster, PlannedIo, Tier};
+use s4d_pfs::{FileId, Priority};
+use s4d_storage::IoKind;
+
+use crate::config::S4dConfig;
+use crate::dmt::Dmt;
+use crate::metrics::S4dMetrics;
+use crate::names::{CKPT_SLOT_A, CKPT_SLOT_B, JOURNAL_NAME};
+
+use crash::{CrashFuse, CrashSite};
+use journal::JournalRecord;
+use recovery::RecoveryReport;
+
+/// Proof that every pending removal record is durably journaled.
+///
+/// Issued only by [`DurabilityEngine::append_journal_sync`] and demanded
+/// by [`DurabilityEngine::discard_cache`], so the
+/// journal-before-destruction ordering of DESIGN.md §9 is a type-system
+/// fact rather than a reviewable convention.
+#[derive(Debug)]
+pub(crate) struct DurabilityHandle(());
+
+/// Owns every durable-metadata concern of the cache: the DMT journal,
+/// the double-buffered checkpoint slots, and the crash fuse that gates
+/// all durable effects.
+#[derive(Debug)]
+pub(crate) struct DurabilityEngine {
+    /// The DMT journal file in CPFS.
+    journal_file: Option<FileId>,
+    /// Next append offset in the journal file.
+    journal_offset: u64,
+    /// Records awaiting the next group-committed journal write.
+    journal_pending: Vec<JournalRecord>,
+    /// Full record log (kept only when the config asks; crash-recovery
+    /// tests read it back as "the journal file's contents").
+    journal_log: Vec<JournalRecord>,
+    /// Torture-harness hook: when attached, every durable effect asks the
+    /// fuse for permission and a crash truncates it mid-effect.
+    crash_fuse: Option<Rc<RefCell<CrashFuse>>>,
+    /// Sequence number of the last installed checkpoint (0 = none yet).
+    checkpoint_seq: u64,
+    /// Journal offset the last checkpoint covers.
+    last_ckpt_tail: u64,
+    /// `journal_records_total` at the last checkpoint (threshold base).
+    records_at_last_ckpt: u64,
+    /// Start of the live (uncompacted) journal region.
+    journal_base: u64,
+    /// What the last `recover_from_cluster` found, if this instance was
+    /// built by one.
+    last_recovery: Option<RecoveryReport>,
+}
+
+impl DurabilityEngine {
+    /// A fresh engine: no journal file yet, nothing pending.
+    pub(crate) fn new() -> Self {
+        DurabilityEngine {
+            journal_file: None,
+            journal_offset: 0,
+            journal_pending: Vec::new(),
+            journal_log: Vec::new(),
+            crash_fuse: None,
+            checkpoint_seq: 0,
+            last_ckpt_tail: 0,
+            records_at_last_ckpt: 0,
+            journal_base: 0,
+            last_recovery: None,
+        }
+    }
+
+    /// Attaches the crash fuse for the torture harness.
+    pub(crate) fn attach_crash_fuse(&mut self, fuse: Rc<RefCell<CrashFuse>>) {
+        self.crash_fuse = Some(fuse);
+    }
+
+    /// True once an attached crash fuse has fired.
+    pub(crate) fn fuse_dead(&self) -> bool {
+        self.crash_fuse
+            .as_ref()
+            .is_some_and(|f| f.borrow().is_dead())
+    }
+
+    /// Charges the crash fuse for a durable effect of `len` bytes at
+    /// `site`, returning the affordable prefix (all of `len` when no fuse
+    /// is attached). Callers must apply only the returned prefix.
+    pub(crate) fn fuse_consume(&mut self, site: CrashSite, len: u64) -> u64 {
+        match &self.crash_fuse {
+            Some(f) => f.borrow_mut().consume(site, len),
+            None => len,
+        }
+    }
+
+    /// The report of the recovery that built this instance, if any.
+    pub(crate) fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    /// The retained journal record log.
+    pub(crate) fn journal_log(&self) -> &[JournalRecord] {
+        &self.journal_log
+    }
+
+    /// Resolves (creating on first use) the journal file.
+    pub(crate) fn ensure_journal(&mut self, cluster: &mut Cluster) -> FileId {
+        match self.journal_file {
+            Some(f) => f,
+            None => {
+                let f = cluster.cpfs_mut().create_or_open(JOURNAL_NAME);
+                self.journal_file = Some(f);
+                f
+            }
+        }
+    }
+
+    /// Moves the DMT's fresh mutation records into the pending batch
+    /// (and the retained log, when configured).
+    pub(crate) fn collect_pending_records(&mut self, dmt: &mut Dmt, config: &S4dConfig) {
+        let fresh = dmt.take_pending_journal();
+        if config.record_journal_log {
+            self.journal_log.extend_from_slice(&fresh);
+        }
+        self.journal_pending.extend(fresh);
+    }
+
+    /// Accumulates pending DMT mutations and appends a journal write to
+    /// `ops` once a group-commit batch is full.
+    pub(crate) fn journal_op(
+        &mut self,
+        cluster: &mut Cluster,
+        dmt: &mut Dmt,
+        config: &S4dConfig,
+        metrics: &mut S4dMetrics,
+        ops: &mut Vec<PlannedIo>,
+    ) {
+        self.collect_pending_records(dmt, config);
+        if (self.journal_pending.len() as u64) < config.journal_batch_records {
+            return;
+        }
+        if let Some(op) = self.drain_journal(cluster, dmt, config, metrics, Priority::Normal) {
+            ops.push(op);
+        }
+    }
+
+    /// Builds a journal write covering every pending record, if any. The
+    /// op carries the encoded frames, so functional-mode stores persist
+    /// the real journal and recovery can read it back. The append offset
+    /// is reserved now; the bytes land when the runner executes the op
+    /// (crash before then = a hole that stops prefix decoding — the same
+    /// safe outcome as losing the records outright).
+    pub(crate) fn drain_journal(
+        &mut self,
+        cluster: &mut Cluster,
+        dmt: &mut Dmt,
+        config: &S4dConfig,
+        metrics: &mut S4dMetrics,
+        priority: Priority,
+    ) -> Option<PlannedIo> {
+        self.collect_pending_records(dmt, config);
+        if self.journal_pending.is_empty() {
+            return None;
+        }
+        let journal = self.ensure_journal(cluster);
+        let records = std::mem::take(&mut self.journal_pending);
+        let data = journal::encode_batch(&records);
+        let len = data.len() as u64;
+        let op = PlannedIo {
+            tier: Tier::CServers,
+            file: journal,
+            kind: IoKind::Write,
+            offset: self.journal_offset,
+            len,
+            priority,
+            data: Some(data),
+            app_offset: None,
+        };
+        self.journal_offset += len;
+        metrics.journal_writes += 1;
+        metrics.journal_bytes += len;
+        Some(op)
+    }
+
+    /// Appends `extra` plus every pending record to the journal right now,
+    /// bypassing the planned-I/O path — for records whose durability must
+    /// precede an imminent destructive effect (Removes before a discard,
+    /// FlushIntents before the flush plan is issued). The write is applied
+    /// through the crash fuse: a torture crash leaves a torn suffix that
+    /// recovery truncates.
+    ///
+    /// Returns the [`DurabilityHandle`] that unlocks
+    /// [`DurabilityEngine::discard_cache`] for the effects the append
+    /// covers.
+    pub(crate) fn append_journal_sync(
+        &mut self,
+        cluster: &mut Cluster,
+        dmt: &mut Dmt,
+        config: &S4dConfig,
+        metrics: &mut S4dMetrics,
+        extra: &[JournalRecord],
+    ) -> DurabilityHandle {
+        self.collect_pending_records(dmt, config);
+        if !extra.is_empty() {
+            if config.record_journal_log {
+                self.journal_log.extend_from_slice(extra);
+            }
+            self.journal_pending.extend_from_slice(extra);
+        }
+        if self.journal_pending.is_empty() {
+            return DurabilityHandle(());
+        }
+        let journal = self.ensure_journal(cluster);
+        let records = std::mem::take(&mut self.journal_pending);
+        let data = journal::encode_batch(&records);
+        let len = data.len() as u64;
+        let allowed = self.fuse_consume(CrashSite::SyncAppend, len);
+        let _ = cluster
+            .cpfs_mut()
+            .apply_bytes(journal, self.journal_offset, allowed, Some(&data));
+        // The full reservation is consumed even on a torn write: this
+        // instance is dead then, and recovery works from the cluster.
+        self.journal_offset += len;
+        metrics.journal_writes += 1;
+        metrics.journal_bytes += len;
+        DurabilityHandle(())
+    }
+
+    /// Discards cache bytes whose removal records the presented handle
+    /// proves durable, charging the eviction crash site. This is the
+    /// *only* path to `discard` for mapped cache data — see the module
+    /// docs for why the handle parameter exists.
+    pub(crate) fn discard_cache(
+        &mut self,
+        cluster: &mut Cluster,
+        _proof: &DurabilityHandle,
+        c_file: FileId,
+        c_offset: u64,
+        len: u64,
+    ) {
+        let allowed = self.fuse_consume(CrashSite::EvictDiscard, len);
+        if allowed > 0 {
+            let _ = cluster.cpfs_mut().discard(c_file, c_offset, allowed);
+        }
+    }
+
+    /// Installs a DMT checkpoint snapshot once enough journal growth has
+    /// accumulated, then compacts (discards) the journal region the
+    /// snapshot covers. Double-buffered slots plus a CRC over the whole
+    /// snapshot make the install atomic: a torn write fails the CRC and
+    /// recovery falls back to the previous slot.
+    pub(crate) fn maybe_checkpoint(
+        &mut self,
+        cluster: &mut Cluster,
+        dmt: &mut Dmt,
+        config: &S4dConfig,
+        metrics: &mut S4dMetrics,
+    ) {
+        let records_since = dmt
+            .journal_records_total()
+            .saturating_sub(self.records_at_last_ckpt);
+        let bytes_since = self.journal_offset.saturating_sub(self.last_ckpt_tail);
+        if records_since < config.checkpoint_after_records
+            && bytes_since < config.checkpoint_after_bytes
+        {
+            return;
+        }
+        // Force-drain so the snapshot covers every journaled mutation and
+        // the tail past `tail_offset` is an exact record-order suffix.
+        self.append_journal_sync(cluster, dmt, config, metrics, &[]);
+        if self.fuse_dead() {
+            return;
+        }
+        let tail_offset = self.journal_offset;
+        let mut live: Vec<(FileId, u64, crate::dmt::MapExtent)> =
+            dmt.iter_extents().map(|(f, o, e)| (f, o, *e)).collect();
+        // Sorted snapshot order keeps the byte stream — and therefore the
+        // torture harness's crash points — deterministic.
+        live.sort_unstable_by_key(|&(f, o, _)| (f.0, o));
+        let mut records = Vec::with_capacity(live.len());
+        for (f, o, e) in live {
+            records.push(JournalRecord::Insert {
+                d_file: f,
+                d_offset: o,
+                len: e.len,
+                c_file: e.c_file,
+                c_offset: e.c_offset,
+                dirty: e.dirty,
+            });
+            if let Some(sum) = e.checksum {
+                records.push(JournalRecord::Seal {
+                    d_file: f,
+                    d_offset: o,
+                    checksum: sum,
+                    len: e.len,
+                });
+            }
+        }
+        let seq = self.checkpoint_seq + 1;
+        let data = journal::encode_checkpoint(seq, tail_offset, &records);
+        let slot_name = if seq % 2 == 1 {
+            CKPT_SLOT_A
+        } else {
+            CKPT_SLOT_B
+        };
+        let slot = cluster.cpfs_mut().create_or_open(slot_name);
+        let len = data.len() as u64;
+        let allowed = self.fuse_consume(CrashSite::CheckpointWrite, len);
+        let _ = cluster
+            .cpfs_mut()
+            .apply_bytes(slot, 0, allowed, Some(&data));
+        if allowed < len {
+            // Torn install: the CRC trailer never landed, so recovery keeps
+            // using the previous slot. This instance is dead.
+            return;
+        }
+        // Compact: the journal below the snapshot's tail is dead weight.
+        let compacted = tail_offset.saturating_sub(self.journal_base);
+        if compacted > 0 {
+            let journal = self.ensure_journal(cluster);
+            let allowed = self.fuse_consume(CrashSite::JournalTruncate, compacted);
+            if allowed > 0 {
+                let _ = cluster
+                    .cpfs_mut()
+                    .discard(journal, self.journal_base, allowed);
+            }
+        }
+        self.checkpoint_seq = seq;
+        self.last_ckpt_tail = tail_offset;
+        self.records_at_last_ckpt = dmt.journal_records_total();
+        self.journal_base = tail_offset;
+        metrics.checkpoints += 1;
+        metrics.checkpoint_bytes += len;
+        metrics.records_compacted += records_since;
+    }
+}

@@ -1,0 +1,161 @@
+//! Fault handling: retry/backoff directives, latency observation, and
+//! CServer crash invalidation.
+//!
+//! The decision bodies behind `Middleware::on_io_error` and
+//! `on_io_complete` live here, next to [`S4dCache::handle_crash`] — the
+//! one failure path that mutates cache metadata (and therefore goes
+//! through the durability engine's journal-before-discard handle).
+
+use s4d_cost::{t_cservers, SmMode};
+use s4d_mpiio::{Cluster, ErrorDirective, SubIoFailure, Tier};
+use s4d_pfs::{FileId, IoFault};
+use s4d_sim::{SimDuration, SimTime};
+
+use crate::layer::S4dCache;
+
+impl S4dCache {
+    /// Capped exponential backoff for attempt number `attempts` (≥ 1).
+    pub(crate) fn retry_backoff(&self, attempts: u32) -> SimDuration {
+        let exp = attempts.saturating_sub(1).min(20);
+        let base = self.config.retry_base_delay.as_secs_f64();
+        let delay = base * (1u64 << exp) as f64;
+        SimDuration::from_secs_f64(delay.min(self.config.retry_max_delay.as_secs_f64()))
+    }
+
+    /// Applies a CServer hard crash to the cache metadata: every extent
+    /// with bytes on the lost server is invalidated. Clean extents are a
+    /// pure cache miss afterwards (OPFS still has the data); dirty
+    /// extents are genuine data loss and are surfaced as such. Runs once
+    /// per outage (re-armed when the server completes an op again).
+    pub(crate) fn handle_crash(&mut self, cluster: &mut Cluster, server: usize, now: SimTime) {
+        self.ensure_health(cluster);
+        let until = now + self.config.quarantine_duration;
+        if self.health.quarantine(server, now, until) {
+            self.metrics.quarantines += 1;
+        }
+        if !self.health.claim_crash_handling(server) {
+            return;
+        }
+        let layout = cluster.cpfs().layout();
+        let stripe = layout.stripe_size();
+        let n = layout.server_count();
+        let mut doomed: Vec<(FileId, u64, u64, FileId, u64, bool)> = self
+            .dmt
+            .iter_extents()
+            .filter(|(_, _, e)| {
+                let first = e.c_offset / stripe;
+                let last = (e.c_offset + e.len - 1) / stripe;
+                last - first + 1 >= n as u64
+                    || (first..=last).any(|k| (k % n as u64) as usize == server)
+            })
+            .map(|(f, o, e)| (f, o, e.len, e.c_file, e.c_offset, e.dirty))
+            .collect();
+        doomed.sort_unstable_by_key(|&(f, o, ..)| (f.0, o));
+        if doomed.is_empty() {
+            return;
+        }
+        for &(file, d_off, len, _, _, dirty) in &doomed {
+            if dirty {
+                self.metrics.dirty_bytes_lost += len;
+            } else {
+                self.metrics.crash_invalidated_bytes += len;
+            }
+            // `remove` journals a Remove record, so recovery agrees.
+            self.dmt.remove(file, d_off);
+        }
+        // The Removes must be durable before the bytes go away: recovering
+        // a mapping to discarded space would serve garbage. (Orphaned bytes
+        // from the reverse order are merely swept and discarded.)
+        let proof = self.dur.append_journal_sync(
+            cluster,
+            &mut self.dmt,
+            &self.config,
+            &mut self.metrics,
+            &[],
+        );
+        for &(_, _, len, c_file, c_off, _) in &doomed {
+            self.space.release(c_file, c_off, len);
+            self.dur.discard_cache(cluster, &proof, c_file, c_off, len);
+        }
+    }
+
+    /// The `Middleware::on_io_error` decision: retry with backoff, give
+    /// up, or (for an offline CServer) invalidate and give up.
+    pub(crate) fn error_directive(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        failure: &SubIoFailure,
+    ) -> ErrorDirective {
+        if failure.tier == Tier::DServers {
+            // OPFS is the durability root and has no health machinery
+            // here: ride out transient errors with backoff, and let an
+            // outage fail the plan so the runner re-plans it later.
+            return match failure.error {
+                IoFault::Transient if failure.attempts < self.config.retry_max_attempts => {
+                    self.metrics.retries += 1;
+                    ErrorDirective::Retry {
+                        delay: self.retry_backoff(failure.attempts),
+                    }
+                }
+                _ => ErrorDirective::GiveUp,
+            };
+        }
+        self.ensure_health(cluster);
+        match failure.error {
+            IoFault::Offline => {
+                // An offline CServer is a crash window: its stores are
+                // gone. Quarantine it and invalidate every extent it held
+                // before anything re-plans against the stale mapping.
+                self.handle_crash(cluster, failure.server, now);
+                ErrorDirective::GiveUp
+            }
+            IoFault::Transient => {
+                if self.health.record_failure(
+                    failure.server,
+                    now,
+                    self.config.quarantine_after,
+                    self.config.quarantine_duration,
+                ) {
+                    self.metrics.quarantines += 1;
+                }
+                if self.health.is_unhealthy(failure.server, now)
+                    || failure.attempts >= self.config.retry_max_attempts
+                {
+                    ErrorDirective::GiveUp
+                } else {
+                    self.metrics.retries += 1;
+                    ErrorDirective::Retry {
+                        delay: self.retry_backoff(failure.attempts),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `Middleware::on_io_complete` observation: feed the
+    /// observed-over-predicted latency ratio into the health EWMA.
+    pub(crate) fn record_latency(
+        &mut self,
+        tier: Tier,
+        server: usize,
+        len: u64,
+        latency: SimDuration,
+    ) {
+        if tier != Tier::CServers {
+            return;
+        }
+        self.health.ensure_servers(server + 1);
+        // Observed-over-predicted latency feeds the degradation EWMA. The
+        // prediction is the cost model's T_C for a request of this size;
+        // the observation includes queueing, so the ratio is noisy — the
+        // EWMA and a generous threshold absorb that.
+        let predicted = t_cservers(self.evaluator.params(), 0, len, SmMode::Table2);
+        let ratio = if predicted > 0.0 {
+            latency.as_secs_f64() / predicted
+        } else {
+            1.0
+        };
+        self.health.record_success(server, ratio);
+    }
+}

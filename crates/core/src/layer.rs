@@ -1,105 +1,37 @@
-//! The S4D-Cache middleware: Identifier + Redirector + Rebuilder.
+//! The S4D-Cache middleware facade: component wiring and the
+//! [`s4d_mpiio::Middleware`] driver.
+//!
+//! [`S4dCache`] is deliberately thin. The work lives in the components it
+//! composes — the staged request pipeline ([`crate::pipeline`]), the
+//! durability engine ([`crate::durability`]), the background scheduler
+//! ([`crate::background`]), and the fault handlers ([`crate::faults`]) —
+//! and the trait impl below only sequences their stages. See DESIGN.md
+//! §12 for the component map.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use s4d_cost::{t_cservers, BenefitEvaluator, CostParams, SmMode};
+use s4d_cost::{BenefitEvaluator, CostParams};
 use s4d_mpiio::{
     AppRequest, BackgroundPoll, Cluster, DurabilityCounts, ErrorDirective, Middleware,
-    MiddlewareError, Plan, PlannedIo, Rank, SubIoFailure, Tier,
+    MiddlewareError, Plan, Rank, SubIoFailure, Tier,
 };
-use s4d_pfs::{FileId, IoFault, Priority};
+use s4d_pfs::FileId;
 use s4d_sim::{SimDuration, SimTime};
 use s4d_storage::IoKind;
 
+use crate::background::BackgroundScheduler;
 use crate::cdt::Cdt;
-use crate::config::{AdmissionPolicy, S4dConfig};
-use crate::crash::{CrashFuse, CrashSite};
+use crate::config::S4dConfig;
 use crate::dmt::Dmt;
+use crate::durability::crash::CrashFuse;
+use crate::durability::journal::JournalRecord;
+use crate::durability::recovery::RecoveryReport;
+use crate::durability::DurabilityEngine;
 use crate::health::HealthMonitor;
-use crate::journal::{self, JournalRecord};
 use crate::metrics::S4dMetrics;
 use crate::space::SpaceManager;
-
-/// CPFS name of the DMT journal file.
-const JOURNAL_NAME: &str = "__dmt_journal";
-/// Checkpoint slot installed by odd-sequence snapshots.
-const CKPT_SLOT_A: &str = "__dmt_ckpt_a";
-/// Checkpoint slot installed by even-sequence snapshots.
-const CKPT_SLOT_B: &str = "__dmt_ckpt_b";
-
-/// Largest file-contiguous run the Rebuilder moves as one group.
-const MAX_GROUP_BYTES: u64 = 4 * 1024 * 1024;
-
-/// One dirty extent inside a flush group.
-#[derive(Debug, Clone, Copy)]
-struct FlushItem {
-    orig: FileId,
-    d_offset: u64,
-    len: u64,
-    c_file: FileId,
-    c_offset: u64,
-    version: u64,
-}
-
-/// A background action awaiting plan completion.
-#[derive(Debug, Clone)]
-enum Pending {
-    /// A foreground read finished: release its eviction pins.
-    Unpin(Vec<(FileId, u64, u64)>),
-    /// Several actions share one plan (e.g. unpin + eager fetch).
-    Multi(Vec<Pending>),
-    /// Flush of a run of file-contiguous dirty extents back to DServers.
-    /// Grouping adjacent extents turns many small cache writes into one
-    /// large sequential DServer write — the data *reorganisation* of
-    /// §III.F, and a large part of why buffering random writes pays off.
-    Flush(Vec<FlushItem>),
-    /// Fetch of the gaps of a run of adjacent flagged CDT entries.
-    Fetch {
-        orig: FileId,
-        /// The `(offset, len)` CDT keys whose `C_flag` this fetch clears.
-        cdt_keys: Vec<(u64, u64)>,
-        /// `(d_offset, len, c_file, c_offset)` pieces reserved for the data.
-        pieces: Vec<(u64, u64, FileId, u64)>,
-    },
-    /// A foreground write finished: seal the extents it filled, as
-    /// `(file, d_offset, version)` captured at plan time. The version gate
-    /// skips any extent a later write touched in the meantime.
-    Seal(Vec<(FileId, u64, u64)>),
-}
-
-/// What crash recovery found and rebuilt — see
-/// [`S4dCache::recover_from_cluster`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RecoveryReport {
-    /// Sequence number of the checkpoint snapshot used, if any slot held a
-    /// valid one.
-    pub used_checkpoint: Option<u64>,
-    /// Records replayed from the checkpoint snapshot.
-    pub snapshot_records: u64,
-    /// Records replayed from the journal tail past the snapshot.
-    pub tail_records: u64,
-    /// Journal bytes past the last decodable record (torn tail and
-    /// anything after it) that recovery truncated.
-    pub dropped_journal_bytes: u64,
-    /// Extents dropped because their cache bytes were not fully present
-    /// on CPFS (the mapping outran a torn data write).
-    pub dropped_extents: u64,
-    /// Bytes of dropped extents that were dirty — genuine data loss.
-    pub dirty_bytes_lost: u64,
-    /// Cache-file bytes present on CPFS but mapped by no extent (a data
-    /// write outran its journaled mapping); the orphan sweep discarded
-    /// them.
-    pub orphan_bytes_discarded: u64,
-}
-
-impl RecoveryReport {
-    /// Total records replayed (snapshot + tail): the work recovery did.
-    pub fn records_replayed(&self) -> u64 {
-        self.snapshot_records + self.tail_records
-    }
-}
 
 /// The Smart Selective SSD Cache middleware (the paper's Fig. 3).
 ///
@@ -108,47 +40,20 @@ impl RecoveryReport {
 /// the paper realises by modifying the `MPI_File_*` entry points (§IV.B).
 #[derive(Debug)]
 pub struct S4dCache {
-    config: S4dConfig,
-    evaluator: BenefitEvaluator<(u32, u64)>,
-    cdt: Cdt,
-    dmt: Dmt,
-    space: SpaceManager,
+    pub(crate) config: S4dConfig,
+    pub(crate) evaluator: BenefitEvaluator<(u32, u64)>,
+    pub(crate) cdt: Cdt,
+    pub(crate) dmt: Dmt,
+    pub(crate) space: SpaceManager,
     /// Original file → its cache file in CPFS.
-    cache_file_of: HashMap<FileId, FileId>,
-    /// The DMT journal file in CPFS.
-    journal_file: Option<FileId>,
-    journal_offset: u64,
-    pending: HashMap<u64, Pending>,
-    next_tag: u64,
-    inflight_flush: HashSet<(FileId, u64)>,
-    inflight_fetch: HashSet<(FileId, u64, u64)>,
-    /// Ranges referenced by in-flight foreground reads; eviction must not
-    /// discard them (a queued sub-request would read freed space).
-    pins: Vec<(FileId, u64, u64)>,
-    /// Records awaiting the next group-committed journal write.
-    journal_pending: Vec<JournalRecord>,
-    /// Full record log (kept only when the config asks; crash-recovery
-    /// tests read it back as "the journal file's contents").
-    journal_log: Vec<JournalRecord>,
+    pub(crate) cache_file_of: HashMap<FileId, FileId>,
     /// Per-CServer health: failure counts, latency EWMA, quarantine.
-    health: HealthMonitor,
-    metrics: S4dMetrics,
-    /// Torture-harness hook: when attached, every durable effect asks the
-    /// fuse for permission and a crash truncates it mid-effect.
-    crash_fuse: Option<Rc<RefCell<CrashFuse>>>,
-    /// Sequence number of the last installed checkpoint (0 = none yet).
-    checkpoint_seq: u64,
-    /// Journal offset the last checkpoint covers.
-    last_ckpt_tail: u64,
-    /// `journal_records_total` at the last checkpoint (threshold base).
-    records_at_last_ckpt: u64,
-    /// Start of the live (uncompacted) journal region.
-    journal_base: u64,
-    /// Scrub resume position: the last `(file, d_offset)` verified.
-    scrub_cursor: Option<(FileId, u64)>,
-    /// What the last `recover_from_cluster` found, if this instance was
-    /// built by one.
-    last_recovery: Option<RecoveryReport>,
+    pub(crate) health: HealthMonitor,
+    pub(crate) metrics: S4dMetrics,
+    /// Journal, checkpoint slots, crash fuse — everything durable.
+    pub(crate) dur: DurabilityEngine,
+    /// Pending state machine, in-flight markers, pins, scrub cursor.
+    pub(crate) bg: BackgroundScheduler,
 }
 
 impl S4dCache {
@@ -164,251 +69,38 @@ impl S4dCache {
             dmt: Dmt::new(),
             space: SpaceManager::new(1),
             cache_file_of: HashMap::new(),
-            journal_file: None,
-            journal_offset: 0,
-            pending: HashMap::new(),
-            next_tag: 1,
-            inflight_flush: HashSet::new(),
-            inflight_fetch: HashSet::new(),
-            pins: Vec::new(),
-            journal_pending: Vec::new(),
-            journal_log: Vec::new(),
             health: HealthMonitor::default(),
             metrics: S4dMetrics::default(),
-            crash_fuse: None,
-            checkpoint_seq: 0,
-            last_ckpt_tail: 0,
-            records_at_last_ckpt: 0,
-            journal_base: 0,
-            scrub_cursor: None,
-            last_recovery: None,
+            dur: DurabilityEngine::new(),
+            bg: BackgroundScheduler::new(),
         }
     }
 
-    /// Reconstructs a middleware after a crash from the persisted journal
-    /// record stream: the DMT is replayed and the space allocator rebuilt
-    /// from the live extents. The CDT and LRU recency are volatile
-    /// (memory-only, as in the paper) and start empty; cache files are
-    /// re-associated as applications re-open their files.
-    pub fn recover(config: S4dConfig, params: CostParams, records: &[JournalRecord]) -> Self {
-        let dmt = journal::replay(records);
-        let space = SpaceManager::rebuild(
-            config.cache_capacity,
-            dmt.iter_extents()
-                .map(|(_, _, e)| (e.c_file, e.c_offset, e.len)),
-        );
-        let mut s = S4dCache::new(config, params);
-        s.dmt = dmt;
-        s.space = space;
-        s
-    }
-
-    /// Reconstructs a middleware from the cluster state alone — the
-    /// checkpoint slots, the journal file, and the cache files on CPFS —
-    /// which is exactly what survives a middleware crash. Requires
-    /// functional-mode stores (timing-only stores hold no bytes to read
-    /// back; recovery then sees an empty journal).
-    ///
-    /// The sequence is: pick the newest valid checkpoint slot, replay its
-    /// snapshot, replay the journal tail past it (strict prefix — decoding
-    /// stops at the first torn or corrupt frame and the undecodable suffix
-    /// is truncated), conservatively unseal dirty extents, drop any mapping
-    /// whose cache bytes are not fully present (a torn data write), rebuild
-    /// the space allocator, and discard orphaned cache bytes no mapping
-    /// claims (a data write that outran its journaled mapping).
-    pub fn recover_from_cluster(
-        config: S4dConfig,
-        params: CostParams,
-        cluster: &mut Cluster,
-    ) -> (Self, RecoveryReport) {
-        let mut report = RecoveryReport::default();
-        let mut snapshot: Option<journal::Checkpoint> = None;
-        for slot in [CKPT_SLOT_A, CKPT_SLOT_B] {
-            let Ok(file) = cluster.cpfs().open(slot) else {
-                continue;
-            };
-            let Ok(size) = cluster.cpfs().meta(file).map(|m| m.size) else {
-                continue;
-            };
-            let Ok(Some(bytes)) = cluster.cpfs().read_bytes(file, 0, size) else {
-                continue;
-            };
-            if let Ok(ckpt) = journal::decode_checkpoint(&bytes) {
-                if snapshot
-                    .as_ref()
-                    .is_none_or(|s| ckpt.covers_seq > s.covers_seq)
-                {
-                    snapshot = Some(ckpt);
-                }
-            }
-        }
-        let mut dmt = Dmt::new();
-        let tail_start = match &snapshot {
-            Some(ckpt) => {
-                journal::replay_tolerant(&mut dmt, &ckpt.records);
-                report.used_checkpoint = Some(ckpt.covers_seq);
-                report.snapshot_records = ckpt.records.len() as u64;
-                ckpt.tail_offset
-            }
-            None => 0,
-        };
-        let journal_file = cluster.cpfs_mut().create_or_open(JOURNAL_NAME);
-        let journal_size = cluster
-            .cpfs()
-            .meta(journal_file)
-            .map(|m| m.size)
-            .unwrap_or(0);
-        let mut journal_offset = tail_start;
-        if journal_size > tail_start {
-            if let Ok(Some(bytes)) =
-                cluster
-                    .cpfs()
-                    .read_bytes(journal_file, tail_start, journal_size - tail_start)
-            {
-                let tail = journal::decode_prefix(&bytes);
-                journal::replay_tolerant(&mut dmt, &tail.records);
-                report.tail_records = tail.records.len() as u64;
-                report.dropped_journal_bytes = tail.dropped_bytes;
-                journal_offset = tail_start + (bytes.len() as u64 - tail.dropped_bytes);
-                if tail.dropped_bytes > 0 {
-                    // Truncate the undecodable suffix so future appends
-                    // land on clean ground instead of behind a bad frame.
-                    // s4d-lint: allow(durability) — recovery path; the fuse is not attached yet, and crashing here re-enters this same recovery
-                    let _ = cluster.cpfs_mut().discard(
-                        journal_file,
-                        journal_offset,
-                        tail.dropped_bytes,
-                    );
-                }
-            }
-        }
-        // A dirty extent's seal may predate a torn overwrite of its bytes;
-        // trusting it would let the scrubber discard acknowledged data.
-        dmt.clear_dirty_checksums();
-        // Coverage validation: a mapping whose cache bytes are not all
-        // present points at a torn data write (or a crashed CServer). Drop
-        // it — clean extents re-fetch from OPFS; dirty ones are real loss.
-        let mut metrics = S4dMetrics::default();
-        let mut extents: Vec<(FileId, u64, u64, FileId, u64, bool)> = dmt
-            .iter_extents()
-            .map(|(f, o, e)| (f, o, e.len, e.c_file, e.c_offset, e.dirty))
-            .collect();
-        extents.sort_unstable_by_key(|&(f, o, ..)| (f.0, o));
-        for (file, d_off, len, c_file, c_off, dirty) in extents {
-            let covered = cluster
-                .cpfs()
-                .covered_bytes(c_file, c_off, len)
-                .unwrap_or(0);
-            if covered == len {
-                continue;
-            }
-            dmt.remove(file, d_off);
-            // s4d-lint: allow(durability) — recovery path; the fuse is not attached yet, and crashing here re-enters this same recovery
-            let _ = cluster.cpfs_mut().discard(c_file, c_off, len);
-            report.dropped_extents += 1;
-            if dirty {
-                report.dirty_bytes_lost += len;
-                metrics.dirty_bytes_lost += len;
-            } else {
-                metrics.crash_invalidated_bytes += len;
-            }
-        }
-        // The drops above are re-derived deterministically from cluster
-        // state on any future recovery; they need no journal records.
-        let _ = dmt.take_pending_journal();
-        let space = SpaceManager::rebuild(
-            config.cache_capacity,
-            dmt.iter_extents()
-                .map(|(_, _, e)| (e.c_file, e.c_offset, e.len)),
-        );
-        // Orphan sweep: cache-file bytes no extent maps.
-        let mut mapped_ranges: HashMap<FileId, Vec<(u64, u64)>> = HashMap::new();
-        for (_, _, e) in dmt.iter_extents() {
-            mapped_ranges
-                .entry(e.c_file)
-                .or_default()
-                .push((e.c_offset, e.len));
-        }
-        let mut cache_files: Vec<(FileId, u64)> = cluster
-            .cpfs()
-            .iter_files()
-            .filter(|m| m.name.ends_with(".cache"))
-            .map(|m| (m.id, m.size))
-            .collect();
-        cache_files.sort_unstable_by_key(|&(f, _)| f.0);
-        for (f, size) in cache_files {
-            if size == 0 {
-                continue;
-            }
-            let mut ranges = mapped_ranges.remove(&f).unwrap_or_default();
-            ranges.sort_unstable();
-            let mut cursor = 0u64;
-            let mut holes: Vec<(u64, u64)> = Vec::new();
-            for (off, len) in ranges {
-                if off > cursor {
-                    holes.push((cursor, off - cursor));
-                }
-                cursor = cursor.max(off + len);
-            }
-            if size > cursor {
-                holes.push((cursor, size - cursor));
-            }
-            for (off, len) in holes {
-                let covered = cluster.cpfs().covered_bytes(f, off, len).unwrap_or(0);
-                if covered > 0 {
-                    // s4d-lint: allow(durability) — recovery path; the fuse is not attached yet, and crashing here re-enters this same recovery
-                    let _ = cluster.cpfs_mut().discard(f, off, len);
-                    report.orphan_bytes_discarded += covered;
-                }
-            }
-        }
-        let mut s = S4dCache::new(config, params);
-        s.dmt = dmt;
-        s.space = space;
-        s.metrics = metrics;
-        s.journal_file = Some(journal_file);
-        s.journal_offset = journal_offset;
-        s.journal_base = tail_start;
-        s.last_ckpt_tail = tail_start;
-        s.checkpoint_seq = report.used_checkpoint.unwrap_or(0);
-        s.records_at_last_ckpt = s.dmt.journal_records_total();
-        s.last_recovery = Some(report);
-        (s, report)
-    }
-
-    /// Attaches a crash fuse: every subsequent durable effect (journal
-    /// appends, checkpoint installs, eviction discards, flush/fetch
-    /// copies) asks the fuse for permission, and the crash-point torture
-    /// harness arms it to truncate one of them mid-write.
+    /// Attaches the crash fuse used by the crash-point torture harness.
+    /// Every durable effect (journal appends, checkpoint installs,
+    /// eviction discards, flush/fetch copies) asks the fuse for
+    /// permission, and the harness arms it to truncate one of them
+    /// mid-write.
     pub fn attach_crash_fuse(&mut self, fuse: Rc<RefCell<CrashFuse>>) {
-        self.crash_fuse = Some(fuse);
+        self.dur.attach_crash_fuse(fuse);
     }
 
     /// True once an attached crash fuse has fired. A dead instance keeps
     /// its in-memory bookkeeping consistent but persists nothing further;
     /// the harness discards it and recovers from the cluster.
     pub fn fuse_dead(&self) -> bool {
-        self.crash_fuse
-            .as_ref()
-            .is_some_and(|f| f.borrow().is_dead())
-    }
-
-    fn fuse_consume(&mut self, site: CrashSite, len: u64) -> u64 {
-        match &self.crash_fuse {
-            Some(f) => f.borrow_mut().consume(site, len),
-            None => len,
-        }
+        self.dur.fuse_dead()
     }
 
     /// The report of the recovery that built this instance, if any.
     pub fn last_recovery(&self) -> Option<&RecoveryReport> {
-        self.last_recovery.as_ref()
+        self.dur.last_recovery()
     }
 
     /// The retained journal record log (empty unless
     /// [`S4dConfig::record_journal_log`] is set).
     pub fn journal_log(&self) -> &[JournalRecord] {
-        &self.journal_log
+        self.dur.journal_log()
     }
 
     /// Moves any not-yet-committed mutation records into the retained log
@@ -419,7 +111,8 @@ impl S4dCache {
     pub fn sync_journal_log(&mut self) {
         // When the log is not retained, the records simply stay pending
         // for the next simulated journal write instead of being dropped.
-        self.collect_pending_records();
+        self.dur
+            .collect_pending_records(&mut self.dmt, &self.config);
     }
 
     /// The middleware's counters.
@@ -452,1193 +145,13 @@ impl S4dCache {
         &self.health
     }
 
-    fn ensure_health(&mut self, cluster: &Cluster) {
+    pub(crate) fn ensure_health(&mut self, cluster: &Cluster) {
         self.health.ensure_servers(cluster.cpfs().server_count());
     }
 
-    /// Capped exponential backoff for attempt number `attempts` (≥ 1).
-    fn retry_backoff(&self, attempts: u32) -> SimDuration {
-        let exp = attempts.saturating_sub(1).min(20);
-        let base = self.config.retry_base_delay.as_secs_f64();
-        let delay = base * (1u64 << exp) as f64;
-        SimDuration::from_secs_f64(delay.min(self.config.retry_max_delay.as_secs_f64()))
-    }
-
-    /// True if any CServer holding part of the cache range
-    /// `[c_offset, c_offset + len)` is quarantined at `now`. Cache files
-    /// are round-robin striped, so the touched servers follow from the
-    /// stripe indices alone.
-    fn cache_range_unhealthy(
-        &self,
-        cluster: &Cluster,
-        now: SimTime,
-        c_offset: u64,
-        len: u64,
-    ) -> bool {
-        if len == 0 || !self.health.any_unhealthy(now) {
-            return false;
-        }
-        let layout = cluster.cpfs().layout();
-        let stripe = layout.stripe_size();
-        let n = layout.server_count();
-        let first = c_offset / stripe;
-        let last = (c_offset + len - 1) / stripe;
-        if last - first + 1 >= n as u64 {
-            // The range spans a full round: every server is involved.
-            return self.health.any_unhealthy(now);
-        }
-        (first..=last).any(|k| self.health.is_unhealthy((k % n as u64) as usize, now))
-    }
-
-    /// Applies a CServer hard crash to the cache metadata: every extent
-    /// with bytes on the lost server is invalidated. Clean extents are a
-    /// pure cache miss afterwards (OPFS still has the data); dirty
-    /// extents are genuine data loss and are surfaced as such. Runs once
-    /// per outage (re-armed when the server completes an op again).
-    fn handle_crash(&mut self, cluster: &mut Cluster, server: usize, now: SimTime) {
-        self.ensure_health(cluster);
-        let until = now + self.config.quarantine_duration;
-        if self.health.quarantine(server, now, until) {
-            self.metrics.quarantines += 1;
-        }
-        if !self.health.claim_crash_handling(server) {
-            return;
-        }
-        let layout = cluster.cpfs().layout();
-        let stripe = layout.stripe_size();
-        let n = layout.server_count();
-        let mut doomed: Vec<(FileId, u64, u64, FileId, u64, bool)> = self
-            .dmt
-            .iter_extents()
-            .filter(|(_, _, e)| {
-                let first = e.c_offset / stripe;
-                let last = (e.c_offset + e.len - 1) / stripe;
-                last - first + 1 >= n as u64
-                    || (first..=last).any(|k| (k % n as u64) as usize == server)
-            })
-            .map(|(f, o, e)| (f, o, e.len, e.c_file, e.c_offset, e.dirty))
-            .collect();
-        doomed.sort_unstable_by_key(|&(f, o, ..)| (f.0, o));
-        if doomed.is_empty() {
-            return;
-        }
-        for &(file, d_off, len, _, _, dirty) in &doomed {
-            if dirty {
-                self.metrics.dirty_bytes_lost += len;
-            } else {
-                self.metrics.crash_invalidated_bytes += len;
-            }
-            // `remove` journals a Remove record, so recovery agrees.
-            self.dmt.remove(file, d_off);
-        }
-        // The Removes must be durable before the bytes go away: recovering
-        // a mapping to discarded space would serve garbage. (Orphaned bytes
-        // from the reverse order are merely swept and discarded.)
-        self.append_journal_sync(cluster, &[]);
-        for &(_, _, len, c_file, c_off, _) in &doomed {
-            self.space.release(c_file, c_off, len);
-            let allowed = self.fuse_consume(CrashSite::EvictDiscard, len);
-            if allowed > 0 {
-                let _ = cluster.cpfs_mut().discard(c_file, c_off, allowed);
-            }
-        }
-    }
-
-    /// Releases runner-visible state a failed plan held, *without* the
-    /// data effects of completion: pins lift, in-flight markers clear,
-    /// fetch reservations return to the allocator. Flushed extents stay
-    /// dirty and flagged reads stay flagged, so the Rebuilder retries.
-    fn abandon_pending(&mut self, action: Option<Pending>) {
-        match action {
-            Some(Pending::Multi(actions)) => {
-                for a in actions {
-                    self.abandon_pending(Some(a));
-                }
-            }
-            Some(Pending::Unpin(ranges)) => {
-                for range in ranges {
-                    if let Some(i) = self.pins.iter().position(|&p| p == range) {
-                        self.pins.swap_remove(i);
-                    }
-                }
-            }
-            Some(Pending::Flush(items)) => {
-                for item in items {
-                    self.inflight_flush.remove(&(item.orig, item.d_offset));
-                }
-            }
-            Some(Pending::Fetch {
-                orig,
-                cdt_keys,
-                pieces,
-            }) => {
-                for (_d_off, len, c_file, c_off) in pieces {
-                    self.space.release(c_file, c_off, len);
-                }
-                for (o, l) in cdt_keys {
-                    self.inflight_fetch.remove(&(orig, o, l));
-                }
-            }
-            // Sealing is best-effort: an unsealed extent just stays
-            // unverified until the scrubber byte-compares it.
-            Some(Pending::Seal(_)) => {}
-            None => {}
-        }
-    }
-
-    fn ensure_space_manager(&mut self) {
+    pub(crate) fn ensure_space_manager(&mut self) {
         if self.space.capacity() != self.config.cache_capacity {
             self.space = SpaceManager::new(self.config.cache_capacity);
-        }
-    }
-
-    fn ensure_journal(&mut self, cluster: &mut Cluster) -> FileId {
-        match self.journal_file {
-            Some(f) => f,
-            None => {
-                let f = cluster.cpfs_mut().create_or_open(JOURNAL_NAME);
-                self.journal_file = Some(f);
-                f
-            }
-        }
-    }
-
-    /// Classifies a request per the configured admission policy, inserting
-    /// critical ranges into the CDT (the Data Identifier, §III.C).
-    fn identify(&mut self, req: &AppRequest) -> bool {
-        self.metrics.evaluated += 1;
-        let benefit = self
-            .evaluator
-            .evaluate((req.rank.0, req.file.0), req.offset, req.len);
-        let critical = match self.config.admission {
-            AdmissionPolicy::Benefit => benefit.is_critical(),
-            AdmissionPolicy::AlwaysAdmit => true,
-            AdmissionPolicy::NeverAdmit => false,
-            AdmissionPolicy::SizeBelow(t) => req.len < t,
-        };
-        if critical {
-            self.metrics.critical += 1;
-            self.cdt.insert(req.file, req.offset, req.len);
-        }
-        critical
-    }
-
-    /// Makes room for `len` more cache bytes, evicting clean LRU extents if
-    /// needed (Algorithm 1 lines 4–10). Returns whether the space now fits.
-    fn make_room(&mut self, cluster: &mut Cluster, len: u64) -> bool {
-        if self.space.fits(len) {
-            return true;
-        }
-        let needed = len - self.space.available();
-        let pins = std::mem::take(&mut self.pins);
-        let victims = self
-            .dmt
-            .evict_clean_lru_excluding(needed, |file, off, elen| {
-                pins.iter().any(|&(p_file, p_off, p_len)| {
-                    p_file == file && p_off < off + elen && off < p_off + p_len
-                })
-            });
-        self.pins = pins;
-        if !victims.is_empty() {
-            // `evict_clean_lru_excluding` removed the victims and queued
-            // their Remove records; make those durable *before* the bytes
-            // go away, so recovery never maps discarded space.
-            self.append_journal_sync(cluster, &[]);
-        }
-        for (_file, _d_off, ext) in &victims {
-            self.space.release(ext.c_file, ext.c_offset, ext.len);
-            // Dropping the cached bytes is a metadata operation; the data
-            // still lives on DServers because the extent was clean.
-            let allowed = self.fuse_consume(CrashSite::EvictDiscard, ext.len);
-            if allowed > 0 {
-                let _ = cluster
-                    .cpfs_mut()
-                    .discard(ext.c_file, ext.c_offset, allowed);
-            }
-            self.metrics.evictions += 1;
-            self.metrics.evicted_bytes += ext.len;
-        }
-        self.space.fits(len)
-    }
-
-    /// Accumulates pending DMT mutations and appends a journal write to
-    /// `ops` once a group-commit batch is full.
-    fn journal_op(&mut self, cluster: &mut Cluster, ops: &mut Vec<PlannedIo>) {
-        self.collect_pending_records();
-        if (self.journal_pending.len() as u64) < self.config.journal_batch_records {
-            return;
-        }
-        if let Some(op) = self.drain_journal(cluster, Priority::Normal) {
-            ops.push(op);
-        }
-    }
-
-    fn collect_pending_records(&mut self) {
-        let fresh = self.dmt.take_pending_journal();
-        if self.config.record_journal_log {
-            self.journal_log.extend_from_slice(&fresh);
-        }
-        self.journal_pending.extend(fresh);
-    }
-
-    /// Builds a journal write covering every pending record, if any. The
-    /// op carries the encoded frames, so functional-mode stores persist
-    /// the real journal and recovery can read it back. The append offset
-    /// is reserved now; the bytes land when the runner executes the op
-    /// (crash before then = a hole that stops prefix decoding — the same
-    /// safe outcome as losing the records outright).
-    fn drain_journal(&mut self, cluster: &mut Cluster, priority: Priority) -> Option<PlannedIo> {
-        self.collect_pending_records();
-        if self.journal_pending.is_empty() {
-            return None;
-        }
-        let journal = self.ensure_journal(cluster);
-        let records = std::mem::take(&mut self.journal_pending);
-        let data = journal::encode_batch(&records);
-        let len = data.len() as u64;
-        let op = PlannedIo {
-            tier: Tier::CServers,
-            file: journal,
-            kind: IoKind::Write,
-            offset: self.journal_offset,
-            len,
-            priority,
-            data: Some(data),
-            app_offset: None,
-        };
-        self.journal_offset += len;
-        self.metrics.journal_writes += 1;
-        self.metrics.journal_bytes += len;
-        Some(op)
-    }
-
-    /// Appends `extra` plus every pending record to the journal right now,
-    /// bypassing the planned-I/O path — for records whose durability must
-    /// precede an imminent destructive effect (Removes before a discard,
-    /// FlushIntents before the flush plan is issued). The write is applied
-    /// through the crash fuse: a torture crash leaves a torn suffix that
-    /// recovery truncates.
-    fn append_journal_sync(&mut self, cluster: &mut Cluster, extra: &[JournalRecord]) {
-        self.collect_pending_records();
-        if !extra.is_empty() {
-            if self.config.record_journal_log {
-                self.journal_log.extend_from_slice(extra);
-            }
-            self.journal_pending.extend_from_slice(extra);
-        }
-        if self.journal_pending.is_empty() {
-            return;
-        }
-        let journal = self.ensure_journal(cluster);
-        let records = std::mem::take(&mut self.journal_pending);
-        let data = journal::encode_batch(&records);
-        let len = data.len() as u64;
-        let allowed = self.fuse_consume(CrashSite::SyncAppend, len);
-        let _ = cluster
-            .cpfs_mut()
-            .apply_bytes(journal, self.journal_offset, allowed, Some(&data));
-        // The full reservation is consumed even on a torn write: this
-        // instance is dead then, and recovery works from the cluster.
-        self.journal_offset += len;
-        self.metrics.journal_writes += 1;
-        self.metrics.journal_bytes += len;
-    }
-
-    /// Algorithm 1, write side.
-    fn plan_write(
-        &mut self,
-        cluster: &mut Cluster,
-        now: SimTime,
-        req: &AppRequest,
-        critical: bool,
-    ) -> Plan {
-        let Some(cache) = self.cache_file_of.get(&req.file).copied() else {
-            // Not opened through the middleware: route straight to disk.
-            return self.direct_plan(req);
-        };
-        let mut ops: Vec<PlannedIo> = Vec::new();
-        let view = self.dmt.view(req.file, req.offset, req.len);
-        let mut used_cache = false;
-
-        // Mapped parts: the request is already served by CServers (line 22).
-        for piece in &view.pieces {
-            self.dmt.mark_dirty(req.file, piece.d_offset, piece.len);
-            ops.push(self.data_op(
-                Tier::CServers,
-                piece.c_file,
-                IoKind::Write,
-                piece.c_offset,
-                piece.len,
-                piece.d_offset,
-                req,
-            ));
-            used_cache = true;
-        }
-
-        // Unmapped parts: admit if critical, the CServer tier is healthy,
-        // and space permits (lines 3–14). New admissions stripe over every
-        // CServer, so one quarantined server pauses admission entirely —
-        // consistency over throughput while the tier is suspect.
-        let gap_total: u64 = view.gaps.iter().map(|&(_, l)| l).sum();
-        let healthy = !self.health.any_unhealthy(now);
-        if critical && gap_total > 0 && !healthy {
-            self.metrics.admission_denied_health += 1;
-        }
-        let admit = critical && gap_total > 0 && healthy && {
-            let ok = self.make_room(cluster, gap_total);
-            if !ok {
-                self.metrics.admission_denied_space += 1;
-            }
-            ok
-        };
-        for &(g_off, g_len) in &view.gaps {
-            // `make_room` guaranteed capacity, so `alloc` should succeed
-            // for every admitted gap; degrade to a disk write if not.
-            let pieces = if admit {
-                self.space.alloc(cache, g_len)
-            } else {
-                None
-            };
-            if let Some(pieces) = pieces {
-                let mut cursor = g_off;
-                for p in pieces {
-                    self.dmt
-                        .insert(req.file, cursor, p.len, cache, p.c_offset, true);
-                    ops.push(self.data_op(
-                        Tier::CServers,
-                        cache,
-                        IoKind::Write,
-                        p.c_offset,
-                        p.len,
-                        cursor,
-                        req,
-                    ));
-                    cursor += p.len;
-                }
-                used_cache = true;
-            } else {
-                ops.push(self.data_op(
-                    Tier::DServers,
-                    req.file,
-                    IoKind::Write,
-                    g_off,
-                    g_len,
-                    g_off,
-                    req,
-                ));
-            }
-        }
-        if used_cache {
-            self.metrics.writes_to_cache += 1;
-        } else {
-            self.metrics.writes_to_disk += 1;
-        }
-        // Atomic admission: the journal write describing new mappings runs
-        // in a phase *after* the data writes (data-before-metadata). A
-        // crash between the two leaves orphaned cache bytes — swept on
-        // recovery — never a mapping to unwritten space.
-        let mut journal_ops = Vec::new();
-        self.journal_op(cluster, &mut journal_ops);
-        let mut plan = Plan {
-            tag: 0,
-            lead_in: self.config.decision_overhead,
-            phases: vec![ops],
-        };
-        if !journal_ops.is_empty() {
-            plan.phases.push(journal_ops);
-        }
-        // Once the plan completes, seal the cache extents this write
-        // filled: the checksum is computed from the bytes then on CPFS,
-        // version-gated against racing overwrites.
-        let seals: Vec<(FileId, u64, u64)> = self
-            .dmt
-            .extents_overlapping(req.file, req.offset, req.len)
-            .into_iter()
-            .map(|(d_off, e)| (req.file, d_off, e.version))
-            .collect();
-        if !seals.is_empty() {
-            let tag = self.next_tag;
-            self.next_tag += 1;
-            self.pending.insert(tag, Pending::Seal(seals));
-            plan.tag = tag;
-        }
-        plan
-    }
-
-    /// Algorithm 1, read side (with the lazy `C_flag` marking of §III.E).
-    fn plan_read(
-        &mut self,
-        cluster: &mut Cluster,
-        now: SimTime,
-        req: &AppRequest,
-        critical: bool,
-    ) -> Plan {
-        let Some(cache) = self.cache_file_of.get(&req.file).copied() else {
-            // Not opened through the middleware: route straight to disk.
-            return self.direct_plan(req);
-        };
-        if self.config.verify_on_read {
-            // Verify the seals of every cached extent in range before
-            // routing: corrupt clean bytes are repaired from DServers
-            // first, and unrecoverable dirty corruption is dropped (the
-            // read then serves the last flushed version from DServers
-            // instead of silently returning bad bytes).
-            self.verify_range(cluster, req.file, req.offset, req.len);
-        }
-        let mut ops: Vec<PlannedIo> = Vec::new();
-        let view = self.dmt.view(req.file, req.offset, req.len);
-        self.dmt.touch_range(req.file, req.offset, req.len);
-        // Graceful degradation: a *clean* cached piece striped over a
-        // quarantined CServer is served from OPFS instead (same bytes,
-        // none of the risk). Dirty pieces have no other copy — they keep
-        // routing to the cache, and the runner's retry/replan machinery
-        // rides out the outage.
-        let mut cache_pieces: Vec<(u64, u64)> = Vec::new();
-        for piece in &view.pieces {
-            if !piece.dirty && self.cache_range_unhealthy(cluster, now, piece.c_offset, piece.len) {
-                self.metrics.fallback_reads += 1;
-                self.metrics.fallback_bytes += piece.len;
-                ops.push(self.data_op(
-                    Tier::DServers,
-                    req.file,
-                    IoKind::Read,
-                    piece.d_offset,
-                    piece.len,
-                    piece.d_offset,
-                    req,
-                ));
-                continue;
-            }
-            cache_pieces.push((piece.d_offset, piece.len));
-            ops.push(self.data_op(
-                Tier::CServers,
-                piece.c_file,
-                IoKind::Read,
-                piece.c_offset,
-                piece.len,
-                piece.d_offset,
-                req,
-            ));
-        }
-        for &(g_off, g_len) in &view.gaps {
-            ops.push(self.data_op(
-                Tier::DServers,
-                req.file,
-                IoKind::Read,
-                g_off,
-                g_len,
-                g_off,
-                req,
-            ));
-        }
-        let mut plan = Plan {
-            tag: 0,
-            lead_in: self.config.decision_overhead,
-            phases: vec![ops],
-        };
-        if !cache_pieces.is_empty() {
-            // Pin the cached pieces this read references until the plan
-            // completes, so eviction cannot free space under a queued
-            // sub-request. (Fallback pieces read OPFS and need no pin.)
-            let ranges: Vec<(FileId, u64, u64)> = cache_pieces
-                .iter()
-                .map(|&(d_offset, len)| (req.file, d_offset, len))
-                .collect();
-            self.pins.extend(ranges.iter().copied());
-            let tag = self.next_tag;
-            self.next_tag += 1;
-            self.pending.insert(tag, Pending::Unpin(ranges));
-            plan.tag = tag;
-        }
-        if view.fully_covered() {
-            self.metrics.read_full_hits += 1;
-        } else {
-            if view.fully_missed() {
-                self.metrics.read_misses += 1;
-            } else {
-                self.metrics.read_partial_hits += 1;
-            }
-            // No new cache fills while any CServer is quarantined: fetches
-            // stripe over the whole tier, so they would land on the sick
-            // server too.
-            if critical && !self.health.any_unhealthy(now) {
-                if self.config.eager_read_fetch {
-                    self.plan_eager_fetch(cluster, req, cache, &view.gaps, &mut plan);
-                } else if self.cdt.set_c_flag(req.file, req.offset, req.len) {
-                    // Lazy caching: mark for the Rebuilder (line 18).
-                    self.metrics.lazy_marks += 1;
-                }
-            }
-        }
-        let mut journal_ops = Vec::new();
-        self.journal_op(cluster, &mut journal_ops);
-        if !journal_ops.is_empty() {
-            plan.phases.push(journal_ops);
-        }
-        plan
-    }
-
-    /// Eager-fetch ablation: append a second phase writing the missed gaps
-    /// into the cache as part of the request itself.
-    fn plan_eager_fetch(
-        &mut self,
-        cluster: &mut Cluster,
-        req: &AppRequest,
-        cache: FileId,
-        gaps: &[(u64, u64)],
-        plan: &mut Plan,
-    ) {
-        let total: u64 = gaps.iter().map(|&(_, l)| l).sum();
-        if total == 0 || !self.make_room(cluster, total) {
-            self.metrics.admission_denied_space += 1;
-            return;
-        }
-        let mut phase = Vec::new();
-        let mut pieces = Vec::new();
-        for &(g_off, g_len) in gaps {
-            let Some(allocs) = self.space.alloc(cache, g_len) else {
-                continue; // make_room guaranteed capacity; skip the gap if not
-            };
-            let mut cursor = g_off;
-            for p in allocs {
-                phase.push(PlannedIo {
-                    tier: Tier::CServers,
-                    file: cache,
-                    kind: IoKind::Write,
-                    offset: p.c_offset,
-                    len: p.len,
-                    priority: Priority::Normal,
-                    data: None,
-                    app_offset: None,
-                });
-                pieces.push((cursor, p.len, cache, p.c_offset));
-                cursor += p.len;
-            }
-        }
-        let fetch = Pending::Fetch {
-            orig: req.file,
-            cdt_keys: vec![(req.offset, req.len)],
-            pieces,
-        };
-        if plan.tag != 0 {
-            // The read already registered an Unpin action; chain them.
-            let chained = match self.pending.remove(&plan.tag) {
-                Some(existing) => Pending::Multi(vec![existing, fetch]),
-                None => fetch,
-            };
-            self.pending.insert(plan.tag, chained);
-        } else {
-            let tag = self.next_tag;
-            self.next_tag += 1;
-            self.pending.insert(tag, fetch);
-            plan.tag = tag;
-        }
-        self.metrics.fetches += 1;
-        self.metrics.fetched_bytes += total;
-        plan.phases.push(phase);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn data_op(
-        &self,
-        tier: Tier,
-        file: FileId,
-        kind: IoKind,
-        offset: u64,
-        len: u64,
-        app_offset: u64,
-        req: &AppRequest,
-    ) -> PlannedIo {
-        let data = match (kind, &req.data) {
-            (IoKind::Write, Some(full)) => {
-                let at = (app_offset - req.offset) as usize;
-                // None (short payload) degrades to a sizing-only op.
-                full.get(at..at + len as usize).map(<[u8]>::to_vec)
-            }
-            _ => None,
-        };
-        PlannedIo {
-            tier,
-            file,
-            kind,
-            offset,
-            len,
-            priority: Priority::Normal,
-            data,
-            app_offset: Some(app_offset),
-        }
-    }
-
-    /// Builds the Rebuilder's flush plans (dirty → DServers, §III.F step 1).
-    ///
-    /// Adjacent dirty extents of the same file are flushed as one group:
-    /// the CServer reads of a group run concurrently (merged where the
-    /// cache-file ranges happen to be contiguous too), and the DServer
-    /// write is a single large sequential I/O.
-    fn build_flushes(&mut self, cluster: &mut Cluster, now: SimTime, plans: &mut Vec<Plan>) {
-        // With `flush_on_risk`, a CServer showing trouble (quarantine, a
-        // recent failure, or a latency EWMA above the threshold) triggers
-        // flushing *everything* dirty — shrinking the data-loss window a
-        // subsequent crash could hit.
-        let limit = if self.config.flush_on_risk
-            && self
-                .health
-                .any_at_risk(now, self.config.degraded_latency_ratio)
-        {
-            usize::MAX
-        } else {
-            self.config.max_flush_per_wake
-        };
-        let mut candidates = self.dmt.dirty_lru(limit);
-        candidates.retain(|(f, d, _)| !self.inflight_flush.contains(&(*f, *d)));
-        candidates.sort_by_key(|(f, d, _)| (f.0, *d));
-        let mut intents: Vec<JournalRecord> = Vec::new();
-        let mut i = 0;
-        while let Some(&(file, start, first)) = candidates.get(i) {
-            let mut items = vec![FlushItem {
-                orig: file,
-                d_offset: start,
-                len: first.len,
-                c_file: first.c_file,
-                c_offset: first.c_offset,
-                version: first.version,
-            }];
-            let mut end = start + first.len;
-            let mut j = i + 1;
-            while let Some(&(f2, d2, e2)) = candidates.get(j) {
-                if f2 == file && d2 == end && (end - start) + e2.len <= MAX_GROUP_BYTES {
-                    items.push(FlushItem {
-                        orig: f2,
-                        d_offset: d2,
-                        len: e2.len,
-                        c_file: e2.c_file,
-                        c_offset: e2.c_offset,
-                        version: e2.version,
-                    });
-                    end = d2 + e2.len;
-                    j += 1;
-                } else {
-                    break;
-                }
-            }
-            i = j;
-            // Phase 1: read the cached bytes (merge cache-contiguous runs).
-            let mut reads: Vec<PlannedIo> = Vec::new();
-            for item in &items {
-                if let Some(last) = reads.last_mut() {
-                    if last.file == item.c_file && last.offset + last.len == item.c_offset {
-                        last.len += item.len;
-                        continue;
-                    }
-                }
-                reads.push(PlannedIo {
-                    tier: Tier::CServers,
-                    file: item.c_file,
-                    kind: IoKind::Read,
-                    offset: item.c_offset,
-                    len: item.len,
-                    priority: Priority::Background,
-                    data: None,
-                    app_offset: None,
-                });
-            }
-            // Phase 2: one sequential write to the original file.
-            let write = PlannedIo {
-                tier: Tier::DServers,
-                file,
-                kind: IoKind::Write,
-                offset: start,
-                len: end - start,
-                priority: Priority::Background,
-                data: None,
-                app_offset: None,
-            };
-            let tag = self.next_tag;
-            self.next_tag += 1;
-            self.metrics.flushes += items.len() as u64;
-            self.metrics.flushed_bytes += end - start;
-            for item in &items {
-                self.inflight_flush.insert((item.orig, item.d_offset));
-            }
-            intents.push(JournalRecord::FlushIntent {
-                d_file: file,
-                d_offset: start,
-            });
-            self.pending.insert(tag, Pending::Flush(items));
-            plans.push(Plan {
-                tag,
-                lead_in: SimDuration::ZERO,
-                phases: vec![reads, vec![write]],
-            });
-        }
-        if !intents.is_empty() {
-            // Journal the intents before any flush plan can run: recovery
-            // sees which ranges were mid-flush and that a re-flush is due.
-            // The matching commit is the SetClean record at completion, so
-            // a crash between the two re-flushes idempotently.
-            self.append_journal_sync(cluster, &intents);
-        }
-    }
-
-    /// Builds the Rebuilder's fetch plans (CDT `C_flag` data → CServers,
-    /// §III.F step 2). Adjacent flagged entries of a file are fetched as
-    /// one group so sequential critical data costs one large DServer read.
-    fn build_fetches(&mut self, cluster: &mut Cluster, now: SimTime, plans: &mut Vec<Plan>) {
-        // Fetches create new cache data striped over every CServer; pause
-        // them entirely while any server is quarantined (the flags stay
-        // set, so fetching resumes once the tier is healthy again).
-        if self.health.any_unhealthy(now) {
-            return;
-        }
-        let mut flagged = self.cdt.flagged(self.config.max_fetch_per_wake);
-        flagged.retain(|e| !self.inflight_fetch.contains(&(e.file, e.offset, e.len)));
-        flagged.sort_by_key(|e| (e.file.0, e.offset));
-        let mut i = 0;
-        while let Some(head) = flagged.get(i) {
-            let file = head.file;
-            let start = head.offset;
-            let mut end = start + head.len;
-            let mut keys = vec![(head.offset, head.len)];
-            let mut j = i + 1;
-            while let Some(e) = flagged.get(j) {
-                if e.file == file && e.offset == end && (end - start) + e.len <= MAX_GROUP_BYTES {
-                    end = e.offset + e.len;
-                    keys.push((e.offset, e.len));
-                    j += 1;
-                } else {
-                    break;
-                }
-            }
-            i = j;
-            let Some(&cache) = self.cache_file_of.get(&file) else {
-                continue;
-            };
-            let view = self.dmt.view(file, start, end - start);
-            if view.fully_covered() {
-                for &(o, l) in &keys {
-                    self.cdt.clear_c_flag(file, o, l);
-                }
-                continue;
-            }
-            let total: u64 = view.gaps.iter().map(|&(_, l)| l).sum();
-            if !self.make_room(cluster, total) {
-                // No clean space to reclaim: stop fetching this wake.
-                break;
-            }
-            let mut reads = Vec::new();
-            let mut writes = Vec::new();
-            let mut pieces = Vec::new();
-            for &(g_off, g_len) in &view.gaps {
-                let Some(allocs) = self.space.alloc(cache, g_len) else {
-                    continue; // make_room guaranteed capacity; skip the gap if not
-                };
-                reads.push(PlannedIo {
-                    tier: Tier::DServers,
-                    file,
-                    kind: IoKind::Read,
-                    offset: g_off,
-                    len: g_len,
-                    priority: Priority::Background,
-                    data: None,
-                    app_offset: None,
-                });
-                let mut cursor = g_off;
-                for p in allocs {
-                    writes.push(PlannedIo {
-                        tier: Tier::CServers,
-                        file: cache,
-                        kind: IoKind::Write,
-                        offset: p.c_offset,
-                        len: p.len,
-                        priority: Priority::Background,
-                        data: None,
-                        app_offset: None,
-                    });
-                    pieces.push((cursor, p.len, cache, p.c_offset));
-                    cursor += p.len;
-                }
-            }
-            let tag = self.next_tag;
-            self.next_tag += 1;
-            for &(o, l) in &keys {
-                self.inflight_fetch.insert((file, o, l));
-            }
-            self.pending.insert(
-                tag,
-                Pending::Fetch {
-                    orig: file,
-                    cdt_keys: keys,
-                    pieces,
-                },
-            );
-            self.metrics.fetches += 1;
-            self.metrics.fetched_bytes += total;
-            plans.push(Plan {
-                tag,
-                lead_in: SimDuration::ZERO,
-                phases: vec![reads, writes],
-            });
-        }
-    }
-
-    fn apply_pending(&mut self, cluster: &mut Cluster, action: Option<Pending>) {
-        match action {
-            Some(Pending::Multi(actions)) => {
-                for a in actions {
-                    self.apply_pending(cluster, Some(a));
-                }
-            }
-            Some(Pending::Unpin(ranges)) => {
-                for range in ranges {
-                    if let Some(i) = self.pins.iter().position(|&p| p == range) {
-                        self.pins.swap_remove(i);
-                    }
-                }
-            }
-            Some(Pending::Flush(items)) => self.finish_flush_group(cluster, items),
-            Some(Pending::Fetch {
-                orig,
-                cdt_keys,
-                pieces,
-            }) => self.finish_fetch(cluster, orig, cdt_keys, pieces),
-            Some(Pending::Seal(targets)) => self.finish_seals(cluster, targets),
-            None => {}
-        }
-    }
-
-    /// Seals extents whose plan completed: reads the cached bytes back,
-    /// checksums them, and attaches the seal if no write raced (version
-    /// gate). Timing-mode stores hold no bytes; sealing is skipped there.
-    fn finish_seals(&mut self, cluster: &mut Cluster, targets: Vec<(FileId, u64, u64)>) {
-        for (orig, d_offset, version) in targets {
-            let Some(e) = self.dmt.get(orig, d_offset) else {
-                continue;
-            };
-            if e.version != version {
-                continue;
-            }
-            let (c_file, c_offset, len) = (e.c_file, e.c_offset, e.len);
-            let Ok(Some(bytes)) = cluster.cpfs().read_bytes(c_file, c_offset, len) else {
-                continue;
-            };
-            let sum = journal::crc32(&bytes);
-            self.dmt.seal_if(orig, d_offset, version, sum);
-        }
-    }
-
-    fn finish_flush_group(&mut self, cluster: &mut Cluster, items: Vec<FlushItem>) {
-        let mut seals: Vec<(FileId, u64, u64)> = Vec::new();
-        for item in items {
-            // The extent may have vanished while the flush was in flight —
-            // a crash invalidated it, or eviction raced — and its cache
-            // space may already hold *other* data. Copying then would
-            // corrupt the original file, so the item is skipped; whoever
-            // removed the extent accounted for its bytes.
-            let still_there = self.dmt.get(item.orig, item.d_offset).is_some_and(|e| {
-                e.c_file == item.c_file && e.c_offset == item.c_offset && e.len >= item.len
-            });
-            if still_there {
-                // Apply the data effect of the simulated copy (current
-                // bytes — if a write raced the flush, DServers receive the
-                // newest data and the extent simply stays dirty for a
-                // later flush).
-                let allowed = self.fuse_consume(CrashSite::FlushCopy, item.len);
-                if allowed > 0 {
-                    let _ = cluster.copy_range(
-                        (Tier::CServers, item.c_file, item.c_offset),
-                        (Tier::DServers, item.orig, item.d_offset),
-                        allowed,
-                    );
-                }
-                // The commit (SetClean) only follows a complete copy; a
-                // torn copy leaves the extent dirty, so recovery re-flushes
-                // the whole range — idempotent because the same bytes land
-                // on the same DServer offsets.
-                if allowed == item.len
-                    && self
-                        .dmt
-                        .mark_clean_if(item.orig, item.d_offset, item.version)
-                {
-                    seals.push((item.orig, item.d_offset, item.version));
-                }
-            }
-            self.inflight_flush.remove(&(item.orig, item.d_offset));
-        }
-        // Flushing does not change the cached bytes: seal any flushed
-        // extent that was still unverified.
-        seals.retain(|&(f, o, _)| self.dmt.get(f, o).is_some_and(|e| e.checksum.is_none()));
-        self.finish_seals(cluster, seals);
-    }
-
-    fn finish_fetch(
-        &mut self,
-        cluster: &mut Cluster,
-        orig: FileId,
-        cdt_keys: Vec<(u64, u64)>,
-        pieces: Vec<(u64, u64, FileId, u64)>,
-    ) {
-        let mut seals: Vec<(FileId, u64, u64)> = Vec::new();
-        for (d_off, len, c_file, c_off) in pieces {
-            // A foreground write may have mapped (parts of) this range while
-            // the fetch was in flight; only fill the still-missing gaps and
-            // return the rest of the reservation.
-            let view = self.dmt.view(orig, d_off, len);
-            for &(g_off, g_len) in &view.gaps {
-                let rel = g_off - d_off;
-                let allowed = self.fuse_consume(CrashSite::FetchFill, g_len);
-                if allowed > 0 {
-                    let _ = cluster.copy_range(
-                        (Tier::DServers, orig, g_off),
-                        (Tier::CServers, c_file, c_off + rel),
-                        allowed,
-                    );
-                }
-                // Data-before-metadata: the mapping only exists once the
-                // fill completed. A torn fill leaves orphaned cache bytes
-                // for the recovery sweep, never a mapping to a hole.
-                if allowed == g_len {
-                    self.dmt
-                        .insert(orig, g_off, g_len, c_file, c_off + rel, false);
-                    if let Some(e) = self.dmt.get(orig, g_off) {
-                        seals.push((orig, g_off, e.version));
-                    }
-                } else {
-                    self.space.release(c_file, c_off + rel, g_len);
-                }
-            }
-            // Give back the parts of the reservation that a racing write
-            // already mapped elsewhere.
-            for piece in &view.pieces {
-                let rel = piece.d_offset - d_off;
-                self.space.release(c_file, c_off + rel, piece.len);
-            }
-        }
-        for (o, l) in cdt_keys {
-            self.cdt.clear_c_flag(orig, o, l);
-            self.inflight_fetch.remove(&(orig, o, l));
-        }
-        self.finish_seals(cluster, seals);
-    }
-
-    /// Installs a DMT checkpoint snapshot once enough journal growth has
-    /// accumulated, then compacts (discards) the journal region the
-    /// snapshot covers. Double-buffered slots plus a CRC over the whole
-    /// snapshot make the install atomic: a torn write fails the CRC and
-    /// recovery falls back to the previous slot.
-    fn maybe_checkpoint(&mut self, cluster: &mut Cluster) {
-        let records_since = self
-            .dmt
-            .journal_records_total()
-            .saturating_sub(self.records_at_last_ckpt);
-        let bytes_since = self.journal_offset.saturating_sub(self.last_ckpt_tail);
-        if records_since < self.config.checkpoint_after_records
-            && bytes_since < self.config.checkpoint_after_bytes
-        {
-            return;
-        }
-        // Force-drain so the snapshot covers every journaled mutation and
-        // the tail past `tail_offset` is an exact record-order suffix.
-        self.append_journal_sync(cluster, &[]);
-        if self.fuse_dead() {
-            return;
-        }
-        let tail_offset = self.journal_offset;
-        let mut live: Vec<(FileId, u64, crate::dmt::MapExtent)> = self
-            .dmt
-            .iter_extents()
-            .map(|(f, o, e)| (f, o, *e))
-            .collect();
-        // Sorted snapshot order keeps the byte stream — and therefore the
-        // torture harness's crash points — deterministic.
-        live.sort_unstable_by_key(|&(f, o, _)| (f.0, o));
-        let mut records = Vec::with_capacity(live.len());
-        for (f, o, e) in live {
-            records.push(JournalRecord::Insert {
-                d_file: f,
-                d_offset: o,
-                len: e.len,
-                c_file: e.c_file,
-                c_offset: e.c_offset,
-                dirty: e.dirty,
-            });
-            if let Some(sum) = e.checksum {
-                records.push(JournalRecord::Seal {
-                    d_file: f,
-                    d_offset: o,
-                    checksum: sum,
-                    len: e.len,
-                });
-            }
-        }
-        let seq = self.checkpoint_seq + 1;
-        let data = journal::encode_checkpoint(seq, tail_offset, &records);
-        let slot_name = if seq % 2 == 1 {
-            CKPT_SLOT_A
-        } else {
-            CKPT_SLOT_B
-        };
-        let slot = cluster.cpfs_mut().create_or_open(slot_name);
-        let len = data.len() as u64;
-        let allowed = self.fuse_consume(CrashSite::CheckpointWrite, len);
-        let _ = cluster
-            .cpfs_mut()
-            .apply_bytes(slot, 0, allowed, Some(&data));
-        if allowed < len {
-            // Torn install: the CRC trailer never landed, so recovery keeps
-            // using the previous slot. This instance is dead.
-            return;
-        }
-        // Compact: the journal below the snapshot's tail is dead weight.
-        let compacted = tail_offset.saturating_sub(self.journal_base);
-        if compacted > 0 {
-            let journal = self.ensure_journal(cluster);
-            let allowed = self.fuse_consume(CrashSite::JournalTruncate, compacted);
-            if allowed > 0 {
-                let _ = cluster
-                    .cpfs_mut()
-                    .discard(journal, self.journal_base, allowed);
-            }
-        }
-        self.checkpoint_seq = seq;
-        self.last_ckpt_tail = tail_offset;
-        self.records_at_last_ckpt = self.dmt.journal_records_total();
-        self.journal_base = tail_offset;
-        self.metrics.checkpoints += 1;
-        self.metrics.checkpoint_bytes += len;
-        self.metrics.records_compacted += records_since;
-    }
-
-    /// Verifies one extent against its seal; the scrubber's unit of work.
-    /// Returns the bytes scanned, or `None` when the stores are
-    /// timing-only (no bytes exist to verify — the caller stops).
-    ///
-    /// Decisions: a clean extent failing its seal (or unsealed) is
-    /// byte-compared against OPFS and repaired from there — DServers hold
-    /// the same logical bytes for clean data. A *dirty* extent failing its
-    /// seal is unrecoverable (the cache held the only copy); the mapping
-    /// is removed — with the Remove journaled before the discard — and the
-    /// loss is surfaced, so reads serve the last flushed version instead
-    /// of silently returning bad bytes. Dirty unsealed extents are skipped.
-    fn scrub_extent(&mut self, cluster: &mut Cluster, orig: FileId, d_offset: u64) -> Option<u64> {
-        let Some(e) = self.dmt.get(orig, d_offset).copied() else {
-            return Some(0);
-        };
-        let bytes = match cluster.cpfs().read_bytes(e.c_file, e.c_offset, e.len) {
-            Ok(Some(b)) => b,
-            _ => return None,
-        };
-        let sum = journal::crc32(&bytes);
-        match (e.dirty, e.checksum) {
-            (false, Some(expect)) if expect == sum => {}
-            (false, _) => {
-                // Clean: OPFS is ground truth. Repair on mismatch, then
-                // (re-)seal with the verified content.
-                let Ok(Some(truth)) = cluster.opfs().read_bytes(orig, d_offset, e.len) else {
-                    return None;
-                };
-                if truth != bytes {
-                    let _ = cluster.copy_range(
-                        (Tier::DServers, orig, d_offset),
-                        (Tier::CServers, e.c_file, e.c_offset),
-                        e.len,
-                    );
-                    self.metrics.scrub_repaired_bytes += e.len;
-                }
-                self.dmt
-                    .seal_if(orig, d_offset, e.version, journal::crc32(&truth));
-            }
-            (true, Some(expect)) if expect != sum => {
-                // Unrecoverable: the only up-to-date copy is corrupt.
-                self.dmt.remove(orig, d_offset);
-                self.append_journal_sync(cluster, &[]);
-                let allowed = self.fuse_consume(CrashSite::EvictDiscard, e.len);
-                if allowed > 0 {
-                    let _ = cluster.cpfs_mut().discard(e.c_file, e.c_offset, allowed);
-                }
-                self.space.release(e.c_file, e.c_offset, e.len);
-                self.metrics.scrub_lost_bytes += e.len;
-                self.metrics.dirty_bytes_lost += e.len;
-            }
-            (true, Some(_)) => {} // sealed dirty extent, intact
-            (true, None) => {
-                self.metrics.scrub_unverified_bytes += e.len;
-            }
-        }
-        self.metrics.scrub_scanned_bytes += e.len;
-        Some(e.len)
-    }
-
-    /// One background scrub pass: verifies extents in `(file, offset)`
-    /// order, resuming after the cursor, until the per-wake byte budget is
-    /// spent. Wraps around, so every extent is eventually visited.
-    fn run_scrub(&mut self, cluster: &mut Cluster) {
-        let mut targets: Vec<(FileId, u64)> =
-            self.dmt.iter_extents().map(|(f, o, _)| (f, o)).collect();
-        if targets.is_empty() {
-            return;
-        }
-        targets.sort_unstable_by_key(|&(f, o)| (f.0, o));
-        let start = match self.scrub_cursor {
-            None => 0,
-            Some((cf, co)) => targets
-                .iter()
-                .position(|&(f, o)| (f.0, o) > (cf.0, co))
-                .unwrap_or(0),
-        };
-        let mut budget = self.config.scrub_bytes_per_wake;
-        for k in 0..targets.len() {
-            if budget == 0 {
-                break;
-            }
-            // s4d-lint: allow(panic) — index is taken modulo `targets.len()`, which the loop guard keeps non-zero
-            let (f, o) = targets[(start + k) % targets.len()];
-            match self.scrub_extent(cluster, f, o) {
-                None => return,
-                Some(scanned) => {
-                    budget = budget.saturating_sub(scanned.max(1));
-                    self.scrub_cursor = Some((f, o));
-                }
-            }
-        }
-    }
-
-    /// A pass-through plan routing the request straight to DServers —
-    /// the fallback when the file has no cache mapping (never opened
-    /// through the middleware) and for `force_miss` mode.
-    fn direct_plan(&mut self, req: &AppRequest) -> Plan {
-        let mut op = PlannedIo::data_op(
-            Tier::DServers,
-            req.file,
-            req.kind,
-            req.offset,
-            req.len,
-            req.offset,
-        );
-        op.data = req.data.clone();
-        match req.kind {
-            IoKind::Write => self.metrics.writes_to_disk += 1,
-            IoKind::Read => self.metrics.read_misses += 1,
-        }
-        Plan {
-            tag: 0,
-            lead_in: self.config.decision_overhead,
-            phases: vec![vec![op]],
-        }
-    }
-
-    /// Verifies every cached extent overlapping a range — the
-    /// `verify_on_read` pre-pass.
-    fn verify_range(&mut self, cluster: &mut Cluster, file: FileId, offset: u64, len: u64) {
-        let targets: Vec<u64> = self
-            .dmt
-            .extents_overlapping(file, offset, len)
-            .into_iter()
-            .map(|(o, _)| o)
-            .collect();
-        for o in targets {
-            if self.scrub_extent(cluster, file, o).is_none() {
-                return;
-            }
         }
     }
 }
@@ -1652,7 +165,7 @@ impl Middleware for S4dCache {
     ) -> Result<FileId, MiddlewareError> {
         self.ensure_space_manager();
         self.ensure_health(cluster);
-        self.ensure_journal(cluster);
+        self.dur.ensure_journal(cluster);
         let orig = cluster.opfs_mut().create_or_open(name);
         // The paper opens a correlating cache file alongside each original
         // file (MPI_File_open, §IV.B).
@@ -1664,14 +177,23 @@ impl Middleware for S4dCache {
 
     fn plan_io(&mut self, cluster: &mut Cluster, now: SimTime, req: &AppRequest) -> Plan {
         self.ensure_health(cluster);
-        let critical = self.identify(req);
+        // Stage 1: classify (Data Identifier).
+        let ctx = self.identify(req);
         if self.config.force_miss {
             // Fig. 11 mode: full bookkeeping, no redirection.
             return self.direct_plan(req);
         }
-        let plan = match req.kind {
-            IoKind::Write => self.plan_write(cluster, now, req, critical),
-            IoKind::Read => self.plan_read(cluster, now, req, critical),
+        // Stages 2–3: route (Redirector), then claim space and close the
+        // decision (admission). Reads claim no space — outside the
+        // eager-fetch ablation — and are fully decided by the redirect
+        // stage.
+        let plan = match (req.kind, ctx.cache) {
+            (_, None) => self.direct_plan(req),
+            (IoKind::Write, Some(cache)) => {
+                let route = self.route_write(now, req, &ctx);
+                self.admit_write(cluster, req, cache, &ctx, route)
+            }
+            (IoKind::Read, Some(_)) => self.plan_read(cluster, now, req, &ctx),
         };
         // Journal-before-ack audit: every DMT mutation this operation made
         // is in the journaling pipeline before the plan is handed back.
@@ -1695,12 +217,13 @@ impl Middleware for S4dCache {
     }
 
     fn on_plan_complete(&mut self, cluster: &mut Cluster, _now: SimTime, tag: u64) {
-        let action = self.pending.remove(&tag);
+        let action = self.bg.take(tag);
         self.apply_pending(cluster, action);
         // Journal-before-ack audit: completion-side mutations (SetClean,
         // fetch Inserts, Seals) enter the journaling pipeline before the
         // runner regains control.
-        self.collect_pending_records();
+        self.dur
+            .collect_pending_records(&mut self.dmt, &self.config);
         debug_assert_eq!(
             self.dmt.pending_records(),
             0,
@@ -1714,50 +237,7 @@ impl Middleware for S4dCache {
         now: SimTime,
         failure: &SubIoFailure,
     ) -> ErrorDirective {
-        if failure.tier == Tier::DServers {
-            // OPFS is the durability root and has no health machinery
-            // here: ride out transient errors with backoff, and let an
-            // outage fail the plan so the runner re-plans it later.
-            return match failure.error {
-                IoFault::Transient if failure.attempts < self.config.retry_max_attempts => {
-                    self.metrics.retries += 1;
-                    ErrorDirective::Retry {
-                        delay: self.retry_backoff(failure.attempts),
-                    }
-                }
-                _ => ErrorDirective::GiveUp,
-            };
-        }
-        self.ensure_health(cluster);
-        match failure.error {
-            IoFault::Offline => {
-                // An offline CServer is a crash window: its stores are
-                // gone. Quarantine it and invalidate every extent it held
-                // before anything re-plans against the stale mapping.
-                self.handle_crash(cluster, failure.server, now);
-                ErrorDirective::GiveUp
-            }
-            IoFault::Transient => {
-                if self.health.record_failure(
-                    failure.server,
-                    now,
-                    self.config.quarantine_after,
-                    self.config.quarantine_duration,
-                ) {
-                    self.metrics.quarantines += 1;
-                }
-                if self.health.is_unhealthy(failure.server, now)
-                    || failure.attempts >= self.config.retry_max_attempts
-                {
-                    ErrorDirective::GiveUp
-                } else {
-                    self.metrics.retries += 1;
-                    ErrorDirective::Retry {
-                        delay: self.retry_backoff(failure.attempts),
-                    }
-                }
-            }
-        }
+        self.error_directive(cluster, now, failure)
     }
 
     fn on_io_complete(
@@ -1768,786 +248,32 @@ impl Middleware for S4dCache {
         len: u64,
         latency: SimDuration,
     ) {
-        if tier != Tier::CServers {
-            return;
-        }
-        self.health.ensure_servers(server + 1);
-        // Observed-over-predicted latency feeds the degradation EWMA. The
-        // prediction is the cost model's T_C for a request of this size;
-        // the observation includes queueing, so the ratio is noisy — the
-        // EWMA and a generous threshold absorb that.
-        let predicted = t_cservers(self.evaluator.params(), 0, len, SmMode::Table2);
-        let ratio = if predicted > 0.0 {
-            latency.as_secs_f64() / predicted
-        } else {
-            1.0
-        };
-        self.health.record_success(server, ratio);
+        self.record_latency(tier, server, len, latency);
     }
 
     fn on_plan_failed(&mut self, _cluster: &mut Cluster, _now: SimTime, tag: u64) {
-        let action = self.pending.remove(&tag);
-        self.abandon_pending(action);
+        let action = self.bg.take(tag);
+        self.bg.abandon(&mut self.space, action);
     }
 
     fn durability(&self) -> Option<DurabilityCounts> {
+        let recovery = self.dur.last_recovery();
         Some(DurabilityCounts {
             journal_writes: self.metrics.journal_writes,
             journal_bytes: self.metrics.journal_bytes,
             checkpoints: self.metrics.checkpoints,
             checkpoint_bytes: self.metrics.checkpoint_bytes,
             records_compacted: self.metrics.records_compacted,
-            recovery_records_replayed: self.last_recovery.map_or(0, |r| r.records_replayed()),
-            recovery_dropped_bytes: self.last_recovery.map_or(0, |r| r.dropped_journal_bytes),
+            recovery_records_replayed: recovery.map_or(0, |r| r.records_replayed()),
+            recovery_dropped_bytes: recovery.map_or(0, |r| r.dropped_journal_bytes),
         })
     }
 
     fn poll_background(&mut self, cluster: &mut Cluster, now: SimTime) -> BackgroundPoll {
-        if self.config.force_miss {
-            return BackgroundPoll {
-                plans: Vec::new(),
-                next_wake: Some(now + self.config.rebuild_period),
-                work_pending: false,
-            };
-        }
-        let mut plans = Vec::new();
-        if !self.config.persistent_placement {
-            // CARL-style placement keeps data on the CServers for good:
-            // nothing is ever written back, so there is nothing to flush.
-            self.build_flushes(cluster, now, &mut plans);
-        }
-        self.build_fetches(cluster, now, &mut plans);
-        if self.config.scrub_bytes_per_wake > 0 {
-            self.run_scrub(cluster);
-        }
-        self.maybe_checkpoint(cluster);
-        // Persist any straggling journal records with background priority.
-        if let Some(op) = self.drain_journal(cluster, Priority::Background) {
-            plans.push(Plan::single_phase(vec![op]));
-        }
-        debug_assert_eq!(
-            self.dmt.pending_records(),
-            0,
-            "poll_background returned with uncollected journal records"
-        );
-        // A pending Seal is advisory bookkeeping (checksums attach on
-        // completion) and must not keep the drain loop spinning.
-        fn blocks_idle(p: &Pending) -> bool {
-            match p {
-                Pending::Seal(_) => false,
-                Pending::Multi(actions) => actions.iter().any(blocks_idle),
-                _ => true,
-            }
-        }
-        let work_pending = !plans.is_empty()
-            || self.pending.values().any(blocks_idle)
-            || (!self.config.persistent_placement && self.dmt.dirty_bytes() > 0);
-        BackgroundPoll {
-            plans,
-            next_wake: Some(now + self.config.rebuild_period),
-            work_pending,
-        }
+        self.background_poll(cluster, now)
     }
 
     fn name(&self) -> &str {
         "s4d"
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::DMT_RECORD_BYTES;
-    use s4d_storage::presets;
-
-    const KIB: u64 = 1024;
-    const MIB: u64 = 1024 * 1024;
-
-    fn params_small() -> CostParams {
-        CostParams::from_hardware(
-            &presets::hdd_seagate_st3250(),
-            &presets::ssd_ocz_revodrive_x2(),
-            2,
-            1,
-            64 * KIB,
-        )
-        .with_network_bandwidth(117.0e6)
-    }
-
-    fn setup(capacity: u64) -> (Cluster, S4dCache, FileId) {
-        // Journal batch of 1 so tests can observe per-request journaling.
-        let config = S4dConfig::new(capacity).with_journal_batch(1);
-        let mut cluster = Cluster::paper_testbed_small(9);
-        let mut mw = S4dCache::new(config, params_small());
-        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
-        (cluster, mw, f)
-    }
-
-    fn write_req(file: FileId, offset: u64, len: u64) -> AppRequest {
-        AppRequest {
-            rank: Rank(0),
-            file,
-            kind: IoKind::Write,
-            offset,
-            len,
-            data: None,
-        }
-    }
-
-    fn read_req(file: FileId, offset: u64, len: u64) -> AppRequest {
-        AppRequest {
-            rank: Rank(0),
-            file,
-            kind: IoKind::Read,
-            offset,
-            len,
-            data: None,
-        }
-    }
-
-    fn tiers_of(plan: &Plan) -> Vec<Tier> {
-        plan.phases
-            .iter()
-            .flatten()
-            .filter(|op| op.app_offset.is_some())
-            .map(|op| op.tier)
-            .collect()
-    }
-
-    #[test]
-    fn critical_write_is_admitted_to_cservers() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
-        assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB);
-        assert_eq!(mw.dmt().dirty_bytes(), 16 * KIB);
-        assert!(mw.cdt().contains(f, 0, 16 * KIB));
-        assert_eq!(mw.metrics().writes_to_cache, 1);
-        // The plan carries a journal write for the DMT mutation.
-        let journal_ops: Vec<_> = plan
-            .phases
-            .iter()
-            .flatten()
-            .filter(|op| op.app_offset.is_none())
-            .collect();
-        assert_eq!(journal_ops.len(), 1);
-        assert_eq!(journal_ops[0].tier, Tier::CServers);
-        assert!(journal_ops[0].len >= DMT_RECORD_BYTES);
-    }
-
-    #[test]
-    fn large_write_goes_to_dservers() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 8 * MIB));
-        assert_eq!(tiers_of(&plan), vec![Tier::DServers]);
-        assert_eq!(mw.dmt().mapped_bytes(), 0);
-        assert!(!mw.cdt().contains(f, 0, 8 * MIB));
-        assert_eq!(mw.metrics().writes_to_disk, 1);
-    }
-
-    #[test]
-    fn write_hit_updates_cache_and_stays_dirty() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
-        assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB, "no double mapping");
-        assert_eq!(mw.metrics().writes_to_cache, 2);
-    }
-
-    #[test]
-    fn read_hit_served_from_cache_miss_from_disk() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        let hit = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
-        assert_eq!(tiers_of(&hit), vec![Tier::CServers]);
-        assert_eq!(mw.metrics().read_full_hits, 1);
-        let miss = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, MIB, 16 * KIB));
-        assert_eq!(tiers_of(&miss), vec![Tier::DServers]);
-        assert_eq!(mw.metrics().read_misses, 1);
-    }
-
-    #[test]
-    fn partial_hit_splits_across_tiers() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        // Read 32 KiB: first 16 cached, second 16 not.
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 32 * KIB));
-        let tiers = tiers_of(&plan);
-        assert!(tiers.contains(&Tier::CServers));
-        assert!(tiers.contains(&Tier::DServers));
-        assert_eq!(mw.metrics().read_partial_hits, 1);
-    }
-
-    #[test]
-    fn critical_read_miss_is_lazily_marked() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
-        // Served from DServers now...
-        assert_eq!(tiers_of(&plan), vec![Tier::DServers]);
-        // ...but flagged for the Rebuilder.
-        assert_eq!(mw.metrics().lazy_marks, 1);
-        assert_eq!(mw.cdt().flagged(10).len(), 1);
-    }
-
-    #[test]
-    fn capacity_exhaustion_spills_to_dservers() {
-        // Cache of 32 KiB: the first critical write fills it; the second
-        // (all-dirty cache, nothing evictable) must spill.
-        let (mut cluster, mut mw, f) = setup(32 * KIB);
-        let p1 = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
-        assert_eq!(tiers_of(&p1), vec![Tier::CServers]);
-        let p2 = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 32 * KIB));
-        assert_eq!(tiers_of(&p2), vec![Tier::DServers]);
-        assert_eq!(mw.metrics().admission_denied_space, 1);
-        assert_eq!(mw.metrics().writes_to_disk, 1);
-    }
-
-    #[test]
-    fn clean_lru_space_is_reused() {
-        let (mut cluster, mut mw, f) = setup(32 * KIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
-        // Flush the dirty extent so it becomes clean.
-        let mut plans = Vec::new();
-        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
-        assert_eq!(plans.len(), 1);
-        let tag = plans[0].tag;
-        mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
-        assert_eq!(mw.dmt().dirty_bytes(), 0);
-        // A new critical write now evicts the clean extent and is admitted.
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 32 * KIB));
-        assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
-        assert_eq!(mw.metrics().evictions, 1);
-        assert_eq!(mw.metrics().evicted_bytes, 32 * KIB);
-        // The evicted range now misses.
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 32 * KIB));
-        assert_eq!(tiers_of(&plan), vec![Tier::DServers]);
-    }
-
-    #[test]
-    fn inflight_reads_pin_extents_against_eviction() {
-        // Regression test for a data-loss race found by the equivalence
-        // property suite: a clean extent referenced by a queued read must
-        // not be evicted (the read would return freed space).
-        let (mut cluster, mut mw, f) = setup(32 * KIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
-        // Make it clean via a flush cycle.
-        let mut plans = Vec::new();
-        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
-        let tag = plans[0].tag;
-        mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
-        assert_eq!(mw.dmt().dirty_bytes(), 0);
-        // A read of the cached range is now "in flight" (plan issued, not
-        // yet complete).
-        let read_plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 32 * KIB));
-        assert_ne!(read_plan.tag, 0, "read plans carry an unpin action");
-        // A critical write elsewhere wants space; the only clean extent is
-        // pinned, so admission must FAIL (spill to DServers), not evict.
-        let w = mw.plan_io(
-            &mut cluster,
-            SimTime::ZERO,
-            &write_req(f, 4 * MIB, 32 * KIB),
-        );
-        assert_eq!(tiers_of(&w), vec![Tier::DServers]);
-        assert_eq!(mw.metrics().evictions, 0, "pinned extent survived");
-        assert_eq!(mw.dmt().mapped_bytes(), 32 * KIB);
-        // Once the read completes, the pin lifts and eviction proceeds.
-        mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), read_plan.tag);
-        let w = mw.plan_io(
-            &mut cluster,
-            SimTime::from_secs(1),
-            &write_req(f, 8 * MIB, 32 * KIB),
-        );
-        assert_eq!(tiers_of(&w), vec![Tier::CServers]);
-        assert_eq!(mw.metrics().evictions, 1);
-    }
-
-    #[test]
-    fn rebuilder_flush_cycle_marks_clean() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
-        assert_eq!(poll.plans.len(), 1);
-        assert!(poll.work_pending);
-        let plan = &poll.plans[0];
-        // Flush = background read from CServers, then background write to D.
-        assert_eq!(plan.phases.len(), 2);
-        assert_eq!(plan.phases[0][0].tier, Tier::CServers);
-        assert_eq!(plan.phases[0][0].priority, Priority::Background);
-        assert_eq!(plan.phases[1][0].tier, Tier::DServers);
-        // A second poll must not re-issue the in-flight flush.
-        let poll2 = mw.poll_background(&mut cluster, SimTime::from_secs(1));
-        assert!(poll2.plans.is_empty());
-        assert!(poll2.work_pending);
-        mw.on_plan_complete(&mut cluster, SimTime::from_secs(2), plan.tag);
-        assert_eq!(mw.dmt().dirty_bytes(), 0);
-        assert_eq!(mw.metrics().flushes, 1);
-        // The clean transition's journal record drains on the next wake...
-        let poll3 = mw.poll_background(&mut cluster, SimTime::from_secs(3));
-        assert_eq!(poll3.plans.len(), 1, "journal drain only");
-        assert!(poll3.plans[0]
-            .phases
-            .iter()
-            .flatten()
-            .all(|op| op.app_offset.is_none()));
-        // ...after which the Rebuilder is fully idle.
-        let poll4 = mw.poll_background(&mut cluster, SimTime::from_secs(4));
-        assert!(poll4.plans.is_empty());
-        assert!(!poll4.work_pending, "everything clean and settled");
-    }
-
-    #[test]
-    fn rebuilder_fetch_cycle_caches_flagged_reads() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
-        assert_eq!(mw.cdt().flagged(10).len(), 1);
-        let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
-        assert_eq!(poll.plans.len(), 1);
-        let plan = &poll.plans[0];
-        assert_eq!(plan.phases.len(), 2);
-        assert_eq!(plan.phases[0][0].tier, Tier::DServers);
-        assert_eq!(plan.phases[0][0].kind, IoKind::Read);
-        assert_eq!(plan.phases[1][0].tier, Tier::CServers);
-        assert_eq!(plan.phases[1][0].kind, IoKind::Write);
-        mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), plan.tag);
-        // Mapped clean; the C_flag is cleared; a re-read now hits.
-        assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB);
-        assert_eq!(mw.dmt().dirty_bytes(), 0);
-        assert!(mw.cdt().flagged(10).is_empty());
-        let plan = mw.plan_io(
-            &mut cluster,
-            SimTime::from_secs(2),
-            &read_req(f, 0, 16 * KIB),
-        );
-        assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
-        assert_eq!(mw.metrics().read_full_hits, 1);
-    }
-
-    #[test]
-    fn force_miss_mode_never_redirects() {
-        let mut cluster = Cluster::paper_testbed_small(9);
-        let mut mw = S4dCache::new(
-            S4dConfig::new(64 * MIB).with_force_miss(true),
-            params_small(),
-        );
-        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
-        let w = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        assert_eq!(tiers_of(&w), vec![Tier::DServers]);
-        let r = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
-        assert_eq!(tiers_of(&r), vec![Tier::DServers]);
-        // Bookkeeping still ran (the overhead the paper measures).
-        assert_eq!(mw.metrics().evaluated, 2);
-        assert!(!w.lead_in.is_zero());
-        let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
-        assert!(poll.plans.is_empty());
-    }
-
-    #[test]
-    fn never_admit_policy_behaves_like_stock() {
-        let mut cluster = Cluster::paper_testbed_small(9);
-        let mut mw = S4dCache::new(
-            S4dConfig::new(64 * MIB).with_admission(AdmissionPolicy::NeverAdmit),
-            params_small(),
-        );
-        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
-        let w = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        assert_eq!(tiers_of(&w), vec![Tier::DServers]);
-        assert_eq!(mw.metrics().critical, 0);
-        assert!(mw.cdt().is_empty());
-    }
-
-    #[test]
-    fn always_admit_caches_large_writes_too() {
-        let mut cluster = Cluster::paper_testbed_small(9);
-        let mut mw = S4dCache::new(
-            S4dConfig::new(64 * MIB).with_admission(AdmissionPolicy::AlwaysAdmit),
-            params_small(),
-        );
-        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
-        let w = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 8 * MIB));
-        assert_eq!(tiers_of(&w), vec![Tier::CServers]);
-    }
-
-    #[test]
-    fn eager_fetch_ablation_adds_cache_fill_phase() {
-        let mut cluster = Cluster::paper_testbed_small(9);
-        let mut mw = S4dCache::new(
-            S4dConfig::new(64 * MIB).with_eager_read_fetch(true),
-            params_small(),
-        );
-        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
-        let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
-        assert_eq!(plan.phases.len(), 2, "read phase + cache-fill phase");
-        assert!(plan.tag != 0);
-        mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), plan.tag);
-        assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB);
-        let again = mw.plan_io(
-            &mut cluster,
-            SimTime::from_secs(2),
-            &read_req(f, 0, 16 * KIB),
-        );
-        assert_eq!(tiers_of(&again), vec![Tier::CServers]);
-    }
-
-    #[test]
-    fn journal_group_commit_batches() {
-        let mut cluster = Cluster::paper_testbed_small(9);
-        let mut mw = S4dCache::new(
-            S4dConfig::new(64 * MIB).with_journal_batch(4),
-            params_small(),
-        );
-        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
-        // Each admitted write produces one DMT insert record; no journal op
-        // until four records accumulate.
-        for i in 0..3u64 {
-            let plan = mw.plan_io(
-                &mut cluster,
-                SimTime::ZERO,
-                &write_req(f, i * MIB, 16 * KIB),
-            );
-            assert!(
-                plan.phases
-                    .iter()
-                    .flatten()
-                    .all(|op| op.app_offset.is_some()),
-                "no journal op before the batch fills"
-            );
-        }
-        let plan = mw.plan_io(
-            &mut cluster,
-            SimTime::ZERO,
-            &write_req(f, 3 * MIB, 16 * KIB),
-        );
-        let journal: Vec<_> = plan
-            .phases
-            .iter()
-            .flatten()
-            .filter(|op| op.app_offset.is_none())
-            .collect();
-        assert_eq!(journal.len(), 1, "batch full: one grouped journal write");
-        assert_eq!(journal[0].len, 4 * DMT_RECORD_BYTES);
-        // The Rebuilder persists stragglers with background priority.
-        mw.plan_io(
-            &mut cluster,
-            SimTime::ZERO,
-            &write_req(f, 4 * MIB, 16 * KIB),
-        );
-        let poll = mw.poll_background(&mut cluster, SimTime::from_secs(1));
-        let has_bg_journal = poll.plans.iter().any(|p| {
-            p.phases.iter().flatten().any(|op| {
-                op.app_offset.is_none()
-                    && op.priority == Priority::Background
-                    && op.kind == IoKind::Write
-                    && op.file == FileId(0)
-            })
-        });
-        assert!(has_bg_journal, "pending records drain on the next wake");
-    }
-
-    #[test]
-    fn persistent_placement_never_flushes_and_fills_up() {
-        let mut cluster = Cluster::paper_testbed_small(9);
-        let mut mw = S4dCache::new(
-            S4dConfig::new(32 * KIB).with_persistent_placement(true),
-            params_small(),
-        );
-        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
-        // Fill the placement space.
-        let p = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
-        assert_eq!(tiers_of(&p), vec![Tier::CServers]);
-        // The Rebuilder never flushes in placement mode; its only activity
-        // is draining the pending journal records of the placement itself.
-        let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
-        assert!(poll
-            .plans
-            .iter()
-            .flat_map(|p| p.phases.iter().flatten())
-            .all(|op| op.app_offset.is_none() && op.kind == IoKind::Write));
-        let poll = mw.poll_background(&mut cluster, SimTime::from_secs(1));
-        assert!(poll.plans.is_empty());
-        assert!(!poll.work_pending);
-        // A later critical write cannot be placed: space never frees.
-        let p = mw.plan_io(
-            &mut cluster,
-            SimTime::from_secs(5),
-            &write_req(f, MIB, 32 * KIB),
-        );
-        assert_eq!(tiers_of(&p), vec![Tier::DServers]);
-        assert_eq!(mw.metrics().flushes, 0);
-        assert_eq!(mw.metrics().evictions, 0);
-        // Placed data keeps serving reads from the CServers.
-        let p = mw.plan_io(
-            &mut cluster,
-            SimTime::from_secs(6),
-            &read_req(f, 0, 32 * KIB),
-        );
-        assert_eq!(tiers_of(&p), vec![Tier::CServers]);
-    }
-
-    fn transient_failure(server: usize, attempts: u32) -> SubIoFailure {
-        SubIoFailure {
-            tier: Tier::CServers,
-            server,
-            kind: IoKind::Write,
-            len: 16 * KIB,
-            error: IoFault::Transient,
-            attempts,
-            overhead: false,
-        }
-    }
-
-    fn offline_failure(server: usize) -> SubIoFailure {
-        SubIoFailure {
-            error: IoFault::Offline,
-            ..transient_failure(server, 1)
-        }
-    }
-
-    /// Quarantines CServer 0 through three consecutive transient errors.
-    fn quarantine_server_zero(cluster: &mut Cluster, mw: &mut S4dCache, now: SimTime) {
-        for attempts in 1..=3 {
-            mw.on_io_error(cluster, now, &transient_failure(0, attempts));
-        }
-        assert!(mw.health().is_unhealthy(0, now));
-    }
-
-    #[test]
-    fn transient_errors_retry_with_growing_backoff_then_quarantine() {
-        let (mut cluster, mut mw, _f) = setup(64 * MIB);
-        let base = mw.config().retry_base_delay;
-        let d1 = mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, 1));
-        assert_eq!(d1, ErrorDirective::Retry { delay: base });
-        let d2 = mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, 2));
-        assert_eq!(d2, ErrorDirective::Retry { delay: base * 2 });
-        // Third consecutive failure crosses `quarantine_after`: give up.
-        let d3 = mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, 3));
-        assert_eq!(d3, ErrorDirective::GiveUp);
-        assert_eq!(mw.metrics().retries, 2);
-        assert_eq!(mw.metrics().quarantines, 1);
-        assert!(mw.health().is_unhealthy(0, SimTime::ZERO));
-        // A success during probation clears the state entirely.
-        mw.on_io_complete(
-            Tier::CServers,
-            0,
-            IoKind::Write,
-            16 * KIB,
-            SimDuration::from_micros(200),
-        );
-        assert!(!mw.health().is_unhealthy(0, SimTime::ZERO));
-    }
-
-    #[test]
-    fn backoff_is_capped() {
-        let (_cluster, mw, _f) = setup(64 * MIB);
-        assert_eq!(mw.retry_backoff(1), mw.config().retry_base_delay);
-        assert_eq!(mw.retry_backoff(40), mw.config().retry_max_delay);
-    }
-
-    #[test]
-    fn exhausted_attempts_give_up_without_quarantine() {
-        let (mut cluster, mut mw, _f) = setup(64 * MIB);
-        let max = mw.config().retry_max_attempts;
-        let d = mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, max));
-        assert_eq!(d, ErrorDirective::GiveUp);
-        assert!(!mw.health().is_unhealthy(0, SimTime::ZERO));
-    }
-
-    #[test]
-    fn dserver_transient_errors_retry_too() {
-        let (mut cluster, mut mw, _f) = setup(64 * MIB);
-        let failure = SubIoFailure {
-            tier: Tier::DServers,
-            ..transient_failure(1, 1)
-        };
-        assert!(matches!(
-            mw.on_io_error(&mut cluster, SimTime::ZERO, &failure),
-            ErrorDirective::Retry { .. }
-        ));
-        // DServer failures never touch CServer health.
-        assert!(!mw.health().any_unhealthy(SimTime::ZERO));
-        let offline = SubIoFailure {
-            tier: Tier::DServers,
-            ..offline_failure(1)
-        };
-        assert_eq!(
-            mw.on_io_error(&mut cluster, SimTime::ZERO, &offline),
-            ErrorDirective::GiveUp
-        );
-    }
-
-    #[test]
-    fn quarantine_blocks_admission_and_serves_clean_reads_from_opfs() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        // A clean cached extent at 0 and a dirty one at 1 MiB.
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        let mut plans = Vec::new();
-        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
-        let tag = plans[0].tag;
-        mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 16 * KIB));
-        assert_eq!(mw.dmt().dirty_bytes(), 16 * KIB);
-
-        let now = SimTime::from_secs(1);
-        quarantine_server_zero(&mut cluster, &mut mw, now);
-        // New admissions pause...
-        let w = mw.plan_io(&mut cluster, now, &write_req(f, 2 * MIB, 16 * KIB));
-        assert_eq!(tiers_of(&w), vec![Tier::DServers]);
-        assert_eq!(mw.metrics().admission_denied_health, 1);
-        // ...clean pieces fall back to OPFS...
-        let r = mw.plan_io(&mut cluster, now, &read_req(f, 0, 16 * KIB));
-        assert_eq!(tiers_of(&r), vec![Tier::DServers]);
-        assert_eq!(r.tag, 0, "fallback reads pin nothing");
-        assert_eq!(mw.metrics().fallback_reads, 1);
-        assert_eq!(mw.metrics().fallback_bytes, 16 * KIB);
-        // ...dirty pieces keep routing to the cache (only copy)...
-        let r = mw.plan_io(&mut cluster, now, &read_req(f, MIB, 16 * KIB));
-        assert_eq!(tiers_of(&r), vec![Tier::CServers]);
-        // ...and critical read misses are not marked for fetching.
-        let lazy_before = mw.metrics().lazy_marks;
-        mw.plan_io(&mut cluster, now, &read_req(f, 4 * MIB, 16 * KIB));
-        assert_eq!(mw.metrics().lazy_marks, lazy_before);
-
-        // After the quarantine expires, routing and admission resume.
-        let later = now + mw.config().quarantine_duration;
-        let r = mw.plan_io(&mut cluster, later, &read_req(f, 0, 16 * KIB));
-        assert_eq!(tiers_of(&r), vec![Tier::CServers]);
-        let w = mw.plan_io(&mut cluster, later, &write_req(f, 3 * MIB, 16 * KIB));
-        assert_eq!(tiers_of(&w), vec![Tier::CServers]);
-    }
-
-    #[test]
-    fn fetches_pause_while_quarantined() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
-        assert_eq!(mw.cdt().flagged(10).len(), 1);
-        quarantine_server_zero(&mut cluster, &mut mw, SimTime::ZERO);
-        let poll = mw.poll_background(&mut cluster, SimTime::from_secs(1));
-        assert!(poll.plans.is_empty(), "no fetches into a sick tier");
-        // The flag survives; fetching resumes after the quarantine.
-        let later = SimTime::from_secs(1) + mw.config().quarantine_duration;
-        mw.on_io_complete(
-            Tier::CServers,
-            0,
-            IoKind::Write,
-            16 * KIB,
-            SimDuration::from_micros(200),
-        );
-        let poll = mw.poll_background(&mut cluster, later);
-        assert_eq!(poll.plans.len(), 1);
-    }
-
-    #[test]
-    fn offline_error_invalidates_lost_extents_once() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        // Clean extent at 0, dirty extent at 1 MiB.
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        let mut plans = Vec::new();
-        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
-        let tag = plans[0].tag;
-        mw.on_plan_complete(&mut cluster, SimTime::ZERO, tag);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 16 * KIB));
-        let available = mw.space().available();
-
-        let now = SimTime::from_secs(1);
-        let d = mw.on_io_error(&mut cluster, now, &offline_failure(0));
-        assert_eq!(d, ErrorDirective::GiveUp);
-        assert_eq!(mw.metrics().crash_invalidated_bytes, 16 * KIB);
-        assert_eq!(mw.metrics().dirty_bytes_lost, 16 * KIB);
-        assert_eq!(mw.metrics().quarantines, 1);
-        assert_eq!(mw.dmt().mapped_bytes(), 0, "all lost extents removed");
-        assert_eq!(mw.space().available(), available + 32 * KIB);
-        assert!(mw.health().is_unhealthy(0, now));
-        // The same outage is never accounted twice.
-        mw.on_io_error(&mut cluster, now, &offline_failure(0));
-        assert_eq!(mw.metrics().dirty_bytes_lost, 16 * KIB);
-        // Reads now miss and go to OPFS — no stale cache routing.
-        let r = mw.plan_io(&mut cluster, now, &read_req(f, 0, 16 * KIB));
-        assert_eq!(tiers_of(&r), vec![Tier::DServers]);
-    }
-
-    #[test]
-    fn failed_plan_releases_pins_and_markers() {
-        let (mut cluster, mut mw, f) = setup(32 * KIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
-        let mut plans = Vec::new();
-        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
-        let flush_tag = plans[0].tag;
-        // The flush plan fails: the extent stays dirty and is retried.
-        mw.on_plan_failed(&mut cluster, SimTime::ZERO, flush_tag);
-        assert_eq!(mw.dmt().dirty_bytes(), 32 * KIB);
-        let mut plans = Vec::new();
-        mw.build_flushes(&mut cluster, SimTime::from_secs(1), &mut plans);
-        assert_eq!(plans.len(), 1, "flush re-issued after failure");
-        let tag = plans[0].tag;
-        mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), tag);
-        // A pinned read whose plan fails must still unpin.
-        let r = mw.plan_io(
-            &mut cluster,
-            SimTime::from_secs(2),
-            &read_req(f, 0, 32 * KIB),
-        );
-        assert_ne!(r.tag, 0);
-        mw.on_plan_failed(&mut cluster, SimTime::from_secs(2), r.tag);
-        let w = mw.plan_io(
-            &mut cluster,
-            SimTime::from_secs(3),
-            &write_req(f, MIB, 32 * KIB),
-        );
-        assert_eq!(tiers_of(&w), vec![Tier::CServers], "eviction unblocked");
-    }
-
-    #[test]
-    fn flush_on_risk_floods_dirty_data() {
-        let mut cluster = Cluster::paper_testbed_small(9);
-        let mut mw = S4dCache::new(
-            S4dConfig::new(64 * MIB).with_flush_on_risk(true),
-            params_small(),
-        );
-        // Keep the per-wake trickle tiny so the flood is observable.
-        mw.config.max_flush_per_wake = 1;
-        let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
-        for i in 0..4u64 {
-            // Non-adjacent extents so they cannot merge into one group.
-            mw.plan_io(
-                &mut cluster,
-                SimTime::ZERO,
-                &write_req(f, i * MIB, 16 * KIB),
-            );
-        }
-        let mut plans = Vec::new();
-        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
-        assert_eq!(plans.len(), 1, "healthy tier: trickle of one per wake");
-        // One failure marks the tier at risk: everything dirty flushes.
-        mw.on_io_error(&mut cluster, SimTime::ZERO, &transient_failure(0, 1));
-        let mut plans = Vec::new();
-        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
-        assert_eq!(plans.len(), 3, "at risk: all remaining dirty extents");
-    }
-
-    #[test]
-    fn crashed_flush_in_flight_does_not_corrupt_source_file() {
-        let (mut cluster, mut mw, f) = setup(64 * MIB);
-        mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
-        let mut plans = Vec::new();
-        mw.build_flushes(&mut cluster, SimTime::ZERO, &mut plans);
-        let tag = plans[0].tag;
-        // The CServer crashes while the flush is in flight; the extent is
-        // invalidated and its space handed back.
-        mw.on_io_error(&mut cluster, SimTime::from_secs(1), &offline_failure(0));
-        assert_eq!(mw.metrics().dirty_bytes_lost, 16 * KIB);
-        // The flush completion then arrives; it must notice the mapping is
-        // gone and not copy reallocated/wiped space over the original.
-        mw.on_plan_complete(&mut cluster, SimTime::from_secs(2), tag);
-        assert_eq!(mw.dmt().mapped_bytes(), 0);
-        assert!(!mw.inflight_flush.contains(&(f, 0)));
-    }
-
-    #[test]
-    fn open_creates_cache_file_and_journal() {
-        let (cluster, mw, f) = setup(64 * MIB);
-        assert!(mw.cache_file_of.contains_key(&f));
-        assert!(cluster.cpfs().open("data.cache").is_ok());
-        assert!(cluster.cpfs().open("__dmt_journal").is_ok());
-        assert_eq!(mw.name(), "s4d");
     }
 }

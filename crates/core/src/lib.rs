@@ -49,24 +49,32 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod background;
 mod cdt;
 mod config;
-pub mod crash;
 mod dmt;
+mod durability;
+mod faults;
 mod health;
-pub mod journal;
 mod layer;
 mod memcache;
 mod metrics;
+pub mod names;
+mod pipeline;
 mod space;
+
+// The crash fuse and journal codec live inside the durability engine;
+// their long-standing public paths are preserved here.
+pub use durability::{crash, journal};
 
 pub use cdt::{Cdt, CdtEntry};
 pub use config::{AdmissionPolicy, S4dConfig};
 pub use crash::{CrashFuse, CrashSite, CrashStep};
 pub use dmt::{CoveredPiece, Dmt, MapExtent, RangeView};
+pub use durability::recovery::RecoveryReport;
 pub use health::{HealthMonitor, ServerHealth};
 pub use journal::{JournalError, JournalRecord, RecoveredJournal};
-pub use layer::{RecoveryReport, S4dCache};
+pub use layer::S4dCache;
 pub use memcache::{MemCache, MemCacheMetrics};
 pub use metrics::S4dMetrics;
 pub use space::SpaceManager;

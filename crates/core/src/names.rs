@@ -1,0 +1,19 @@
+//! Well-known CPFS object names and shared sizing constants.
+//!
+//! Every component that touches the persisted metadata objects — the
+//! durability engine that writes them, recovery that reads them back,
+//! and the torture harness that crashes between the two — must agree on
+//! these names byte-for-byte, so they live in exactly one place.
+
+/// CPFS name of the DMT journal file.
+pub const JOURNAL_NAME: &str = "__dmt_journal";
+
+/// Checkpoint slot installed by odd-sequence snapshots.
+pub const CKPT_SLOT_A: &str = "__dmt_ckpt_a";
+
+/// Checkpoint slot installed by even-sequence snapshots.
+pub const CKPT_SLOT_B: &str = "__dmt_ckpt_b";
+
+/// Largest file-contiguous run the background scheduler moves as one
+/// flush or fetch group.
+pub const MAX_GROUP_BYTES: u64 = 4 * 1024 * 1024;

@@ -1,0 +1,211 @@
+//! Stage 3 — space claim and the atomic admission protocol.
+//!
+//! Consumes the redirect stage's [`WriteRoute`] and turns the admission
+//! ask into effects: clean-LRU eviction (`make_room`, with the
+//! journal-before-discard ordering the durability engine's handle
+//! enforces), extent insertion, and the data-before-metadata journal
+//! phase that makes admission atomic (DESIGN.md §9). The eager-fetch
+//! ablation claims space through the same path.
+
+use s4d_mpiio::{AppRequest, Cluster, Plan, PlannedIo, Tier};
+use s4d_pfs::{FileId, Priority};
+use s4d_storage::IoKind;
+
+use crate::background::Pending;
+use crate::layer::S4dCache;
+use crate::pipeline::{RequestCtx, WriteRoute};
+
+impl S4dCache {
+    /// Algorithm 1, write side, admission half (lines 3–14): claim space
+    /// for the gaps of an admitted write, degrade to disk writes
+    /// otherwise, and close the plan with the journal phase and seal
+    /// registration.
+    pub(crate) fn admit_write(
+        &mut self,
+        cluster: &mut Cluster,
+        req: &AppRequest,
+        cache: FileId,
+        ctx: &RequestCtx,
+        route: WriteRoute,
+    ) -> Plan {
+        let WriteRoute {
+            mut ops,
+            mut used_cache,
+            gaps,
+            gap_total,
+            healthy,
+        } = route;
+        let admit = ctx.critical && gap_total > 0 && healthy && {
+            let ok = self.make_room(cluster, gap_total);
+            if !ok {
+                self.metrics.admission_denied_space += 1;
+            }
+            ok
+        };
+        for &(g_off, g_len) in &gaps {
+            // `make_room` guaranteed capacity, so `alloc` should succeed
+            // for every admitted gap; degrade to a disk write if not.
+            let pieces = if admit {
+                self.space.alloc(cache, g_len)
+            } else {
+                None
+            };
+            if let Some(pieces) = pieces {
+                let mut cursor = g_off;
+                for p in pieces {
+                    self.dmt
+                        .insert(req.file, cursor, p.len, cache, p.c_offset, true);
+                    ops.push(self.data_op(
+                        Tier::CServers,
+                        cache,
+                        IoKind::Write,
+                        p.c_offset,
+                        p.len,
+                        cursor,
+                        req,
+                    ));
+                    cursor += p.len;
+                }
+                used_cache = true;
+            } else {
+                ops.push(self.data_op(
+                    Tier::DServers,
+                    req.file,
+                    IoKind::Write,
+                    g_off,
+                    g_len,
+                    g_off,
+                    req,
+                ));
+            }
+        }
+        if used_cache {
+            self.metrics.writes_to_cache += 1;
+        } else {
+            self.metrics.writes_to_disk += 1;
+        }
+        // Atomic admission: the journal write describing new mappings runs
+        // in a phase *after* the data writes (data-before-metadata). A
+        // crash between the two leaves orphaned cache bytes — swept on
+        // recovery — never a mapping to unwritten space.
+        let mut journal_ops = Vec::new();
+        self.dur.journal_op(
+            cluster,
+            &mut self.dmt,
+            &self.config,
+            &mut self.metrics,
+            &mut journal_ops,
+        );
+        let mut plan = Plan {
+            tag: 0,
+            lead_in: self.config.decision_overhead,
+            phases: vec![ops],
+        };
+        if !journal_ops.is_empty() {
+            plan.phases.push(journal_ops);
+        }
+        // Once the plan completes, seal the cache extents this write
+        // filled: the checksum is computed from the bytes then on CPFS,
+        // version-gated against racing overwrites.
+        let seals: Vec<(FileId, u64, u64)> = self
+            .dmt
+            .extents_overlapping(req.file, req.offset, req.len)
+            .into_iter()
+            .map(|(d_off, e)| (req.file, d_off, e.version))
+            .collect();
+        if !seals.is_empty() {
+            plan.tag = self.bg.register(Pending::Seal(seals));
+        }
+        plan
+    }
+
+    /// Makes room for `len` more cache bytes, evicting clean LRU extents if
+    /// needed (Algorithm 1 lines 4–10). Returns whether the space now fits.
+    pub(crate) fn make_room(&mut self, cluster: &mut Cluster, len: u64) -> bool {
+        if self.space.fits(len) {
+            return true;
+        }
+        let needed = len - self.space.available();
+        let bg = &self.bg;
+        let victims = self
+            .dmt
+            .evict_clean_lru_excluding(needed, |file, off, elen| bg.overlaps_pin(file, off, elen));
+        if victims.is_empty() {
+            return self.space.fits(len);
+        }
+        // `evict_clean_lru_excluding` removed the victims and queued
+        // their Remove records; make those durable *before* the bytes
+        // go away, so recovery never maps discarded space. The handle
+        // is the proof `discard_cache` demands.
+        let proof = self.dur.append_journal_sync(
+            cluster,
+            &mut self.dmt,
+            &self.config,
+            &mut self.metrics,
+            &[],
+        );
+        for (_file, _d_off, ext) in &victims {
+            self.space.release(ext.c_file, ext.c_offset, ext.len);
+            // Dropping the cached bytes is a metadata operation; the data
+            // still lives on DServers because the extent was clean.
+            self.dur
+                .discard_cache(cluster, &proof, ext.c_file, ext.c_offset, ext.len);
+            self.metrics.evictions += 1;
+            self.metrics.evicted_bytes += ext.len;
+        }
+        self.space.fits(len)
+    }
+
+    /// Eager-fetch ablation: append a second phase writing the missed gaps
+    /// into the cache as part of the request itself.
+    pub(crate) fn plan_eager_fetch(
+        &mut self,
+        cluster: &mut Cluster,
+        req: &AppRequest,
+        cache: FileId,
+        gaps: &[(u64, u64)],
+        plan: &mut Plan,
+    ) {
+        let total: u64 = gaps.iter().map(|&(_, l)| l).sum();
+        if total == 0 || !self.make_room(cluster, total) {
+            self.metrics.admission_denied_space += 1;
+            return;
+        }
+        let mut phase = Vec::new();
+        let mut pieces = Vec::new();
+        for &(g_off, g_len) in gaps {
+            let Some(allocs) = self.space.alloc(cache, g_len) else {
+                continue; // make_room guaranteed capacity; skip the gap if not
+            };
+            let mut cursor = g_off;
+            for p in allocs {
+                phase.push(PlannedIo {
+                    tier: Tier::CServers,
+                    file: cache,
+                    kind: IoKind::Write,
+                    offset: p.c_offset,
+                    len: p.len,
+                    priority: Priority::Normal,
+                    data: None,
+                    app_offset: None,
+                });
+                pieces.push((cursor, p.len, cache, p.c_offset));
+                cursor += p.len;
+            }
+        }
+        let fetch = Pending::Fetch {
+            orig: req.file,
+            cdt_keys: vec![(req.offset, req.len)],
+            pieces,
+        };
+        if plan.tag != 0 {
+            // The read already registered an Unpin action; chain them.
+            self.bg.chain(plan.tag, fetch);
+        } else {
+            plan.tag = self.bg.register(fetch);
+        }
+        self.metrics.fetches += 1;
+        self.metrics.fetched_bytes += total;
+        plan.phases.push(phase);
+    }
+}

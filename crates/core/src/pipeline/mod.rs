@@ -1,0 +1,56 @@
+//! The staged request pipeline: identify → redirect → admit.
+//!
+//! Every foreground request flows through three stages that mirror the
+//! paper's components, each consuming a typed input and emitting a typed
+//! decision:
+//!
+//! 1. [`identify`] — the Data Identifier (§III.C): cost-model
+//!    classification and CDT insertion, emitting a [`RequestCtx`].
+//! 2. [`redirect`] — the Redirector (§III.D): DMT lookup and
+//!    health-aware tier choice, emitting a [`WriteRoute`] for writes and
+//!    a complete plan for reads.
+//! 3. [`admit`] — space claim and the atomic admission protocol
+//!    (DESIGN.md §9): eviction via [`make_room`], extent insertion, and
+//!    the data-before-metadata journal phase, consuming the
+//!    [`WriteRoute`] and emitting the final plan.
+//!
+//! [`crate::S4dCache`]'s `Middleware::plan_io` is a thin driver over
+//! these stages.
+//!
+//! [`make_room`]: crate::S4dCache::make_room
+
+pub(crate) mod admit;
+pub(crate) mod identify;
+pub(crate) mod redirect;
+
+use s4d_mpiio::PlannedIo;
+use s4d_pfs::FileId;
+
+/// Typed decision of the identify stage: what the Data Identifier
+/// concluded about one request, consumed by redirect and admit.
+#[derive(Debug)]
+pub(crate) struct RequestCtx {
+    /// Cost-model verdict (Eq. 7 / the configured admission policy):
+    /// redirecting this request to the cache tier is predicted to win.
+    pub(crate) critical: bool,
+    /// The request's cache file, if its original file was opened through
+    /// the middleware; `None` routes straight to DServers.
+    pub(crate) cache: Option<FileId>,
+}
+
+/// Typed decision of the redirect stage for a write: where the mapped
+/// parts already go, and what is left for the admit stage to place.
+#[derive(Debug)]
+pub(crate) struct WriteRoute {
+    /// Ops covering the already-mapped pieces (re-dirtied cache writes).
+    pub(crate) ops: Vec<PlannedIo>,
+    /// Whether any piece was routed to the cache tier.
+    pub(crate) used_cache: bool,
+    /// Unmapped `(d_offset, len)` gaps the admit stage decides on.
+    pub(crate) gaps: Vec<(u64, u64)>,
+    /// Total gap bytes (the size of the admission ask).
+    pub(crate) gap_total: u64,
+    /// Tier health verdict at routing time: new admissions stripe over
+    /// every CServer, so one quarantined server vetoes admission.
+    pub(crate) healthy: bool,
+}

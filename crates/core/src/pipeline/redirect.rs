@@ -1,0 +1,262 @@
+//! Stage 2 — the Redirector (§III.D, Algorithm 1).
+//!
+//! Consults the DMT and the health monitor to choose a tier for every
+//! piece of a request. Writes emit a [`WriteRoute`] for the admit stage;
+//! reads are fully decided here (they claim no space except through the
+//! eager-fetch ablation, which delegates to admit).
+
+use s4d_mpiio::{AppRequest, Cluster, Plan, PlannedIo, Tier};
+use s4d_pfs::{FileId, Priority};
+use s4d_sim::SimTime;
+use s4d_storage::IoKind;
+
+use crate::background::Pending;
+use crate::layer::S4dCache;
+use crate::pipeline::{RequestCtx, WriteRoute};
+
+impl S4dCache {
+    /// Algorithm 1, write side, routing half: re-dirty and route the
+    /// mapped pieces, size the admission ask, and take the tier-health
+    /// verdict. The admit stage decides the gaps.
+    pub(crate) fn route_write(
+        &mut self,
+        now: SimTime,
+        req: &AppRequest,
+        ctx: &RequestCtx,
+    ) -> WriteRoute {
+        let mut ops: Vec<PlannedIo> = Vec::new();
+        let view = self.dmt.view(req.file, req.offset, req.len);
+        let mut used_cache = false;
+
+        // Mapped parts: the request is already served by CServers (line 22).
+        for piece in &view.pieces {
+            self.dmt.mark_dirty(req.file, piece.d_offset, piece.len);
+            ops.push(self.data_op(
+                Tier::CServers,
+                piece.c_file,
+                IoKind::Write,
+                piece.c_offset,
+                piece.len,
+                piece.d_offset,
+                req,
+            ));
+            used_cache = true;
+        }
+
+        // Unmapped parts: admission requires the whole tier healthy. New
+        // admissions stripe over every CServer, so one quarantined server
+        // pauses admission entirely — consistency over throughput while
+        // the tier is suspect.
+        let gap_total: u64 = view.gaps.iter().map(|&(_, l)| l).sum();
+        let healthy = !self.health.any_unhealthy(now);
+        if ctx.critical && gap_total > 0 && !healthy {
+            self.metrics.admission_denied_health += 1;
+        }
+        WriteRoute {
+            ops,
+            used_cache,
+            gaps: view.gaps,
+            gap_total,
+            healthy,
+        }
+    }
+
+    /// Algorithm 1, read side (with the lazy `C_flag` marking of §III.E).
+    pub(crate) fn plan_read(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        req: &AppRequest,
+        ctx: &RequestCtx,
+    ) -> Plan {
+        let Some(cache) = ctx.cache else {
+            // Not opened through the middleware: route straight to disk.
+            return self.direct_plan(req);
+        };
+        if self.config.verify_on_read {
+            // Verify the seals of every cached extent in range before
+            // routing: corrupt clean bytes are repaired from DServers
+            // first, and unrecoverable dirty corruption is dropped (the
+            // read then serves the last flushed version from DServers
+            // instead of silently returning bad bytes).
+            self.verify_range(cluster, req.file, req.offset, req.len);
+        }
+        let mut ops: Vec<PlannedIo> = Vec::new();
+        let view = self.dmt.view(req.file, req.offset, req.len);
+        self.dmt.touch_range(req.file, req.offset, req.len);
+        // Graceful degradation: a *clean* cached piece striped over a
+        // quarantined CServer is served from OPFS instead (same bytes,
+        // none of the risk). Dirty pieces have no other copy — they keep
+        // routing to the cache, and the runner's retry/replan machinery
+        // rides out the outage.
+        let mut cache_pieces: Vec<(u64, u64)> = Vec::new();
+        for piece in &view.pieces {
+            if !piece.dirty && self.cache_range_unhealthy(cluster, now, piece.c_offset, piece.len) {
+                self.metrics.fallback_reads += 1;
+                self.metrics.fallback_bytes += piece.len;
+                ops.push(self.data_op(
+                    Tier::DServers,
+                    req.file,
+                    IoKind::Read,
+                    piece.d_offset,
+                    piece.len,
+                    piece.d_offset,
+                    req,
+                ));
+                continue;
+            }
+            cache_pieces.push((piece.d_offset, piece.len));
+            ops.push(self.data_op(
+                Tier::CServers,
+                piece.c_file,
+                IoKind::Read,
+                piece.c_offset,
+                piece.len,
+                piece.d_offset,
+                req,
+            ));
+        }
+        for &(g_off, g_len) in &view.gaps {
+            ops.push(self.data_op(
+                Tier::DServers,
+                req.file,
+                IoKind::Read,
+                g_off,
+                g_len,
+                g_off,
+                req,
+            ));
+        }
+        let mut plan = Plan {
+            tag: 0,
+            lead_in: self.config.decision_overhead,
+            phases: vec![ops],
+        };
+        if !cache_pieces.is_empty() {
+            // Pin the cached pieces this read references until the plan
+            // completes, so eviction cannot free space under a queued
+            // sub-request. (Fallback pieces read OPFS and need no pin.)
+            let ranges: Vec<(FileId, u64, u64)> = cache_pieces
+                .iter()
+                .map(|&(d_offset, len)| (req.file, d_offset, len))
+                .collect();
+            self.bg.pin_all(&ranges);
+            plan.tag = self.bg.register(Pending::Unpin(ranges));
+        }
+        if view.fully_covered() {
+            self.metrics.read_full_hits += 1;
+        } else {
+            if view.fully_missed() {
+                self.metrics.read_misses += 1;
+            } else {
+                self.metrics.read_partial_hits += 1;
+            }
+            // No new cache fills while any CServer is quarantined: fetches
+            // stripe over the whole tier, so they would land on the sick
+            // server too.
+            if ctx.critical && !self.health.any_unhealthy(now) {
+                if self.config.eager_read_fetch {
+                    self.plan_eager_fetch(cluster, req, cache, &view.gaps, &mut plan);
+                } else if self.cdt.set_c_flag(req.file, req.offset, req.len) {
+                    // Lazy caching: mark for the Rebuilder (line 18).
+                    self.metrics.lazy_marks += 1;
+                }
+            }
+        }
+        let mut journal_ops = Vec::new();
+        self.dur.journal_op(
+            cluster,
+            &mut self.dmt,
+            &self.config,
+            &mut self.metrics,
+            &mut journal_ops,
+        );
+        if !journal_ops.is_empty() {
+            plan.phases.push(journal_ops);
+        }
+        plan
+    }
+
+    /// Builds a data op for one piece of an application request, slicing
+    /// the request payload to the piece (functional mode).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn data_op(
+        &self,
+        tier: Tier,
+        file: FileId,
+        kind: IoKind,
+        offset: u64,
+        len: u64,
+        app_offset: u64,
+        req: &AppRequest,
+    ) -> PlannedIo {
+        let data = match (kind, &req.data) {
+            (IoKind::Write, Some(full)) => {
+                let at = (app_offset - req.offset) as usize;
+                // None (short payload) degrades to a sizing-only op.
+                full.get(at..at + len as usize).map(<[u8]>::to_vec)
+            }
+            _ => None,
+        };
+        PlannedIo {
+            tier,
+            file,
+            kind,
+            offset,
+            len,
+            priority: Priority::Normal,
+            data,
+            app_offset: Some(app_offset),
+        }
+    }
+
+    /// A pass-through plan routing the request straight to DServers —
+    /// the fallback when the file has no cache mapping (never opened
+    /// through the middleware) and for `force_miss` mode.
+    pub(crate) fn direct_plan(&mut self, req: &AppRequest) -> Plan {
+        let mut op = PlannedIo::data_op(
+            Tier::DServers,
+            req.file,
+            req.kind,
+            req.offset,
+            req.len,
+            req.offset,
+        );
+        op.data = req.data.clone();
+        match req.kind {
+            IoKind::Write => self.metrics.writes_to_disk += 1,
+            IoKind::Read => self.metrics.read_misses += 1,
+        }
+        Plan {
+            tag: 0,
+            lead_in: self.config.decision_overhead,
+            phases: vec![vec![op]],
+        }
+    }
+
+    /// True if any CServer holding part of the cache range
+    /// `[c_offset, c_offset + len)` is quarantined at `now`. Cache files
+    /// are round-robin striped, so the touched servers follow from the
+    /// stripe indices alone.
+    pub(crate) fn cache_range_unhealthy(
+        &self,
+        cluster: &Cluster,
+        now: SimTime,
+        c_offset: u64,
+        len: u64,
+    ) -> bool {
+        if len == 0 || !self.health.any_unhealthy(now) {
+            return false;
+        }
+        let layout = cluster.cpfs().layout();
+        let stripe = layout.stripe_size();
+        let n = layout.server_count();
+        let first = c_offset / stripe;
+        let last = (c_offset + len - 1) / stripe;
+        if last - first + 1 >= n as u64 {
+            // The range spans a full round: every server is involved.
+            return self.health.any_unhealthy(now);
+        }
+        (first..=last).any(|k| self.health.is_unhealthy((k % n as u64) as usize, now))
+    }
+}

@@ -1,0 +1,263 @@
+//! Integration tests for the background scheduler: the Rebuilder's
+//! flush/fetch cycles, eviction pinning, the pending-action state
+//! machine, and failure cleanup. Exercised through the public
+//! [`s4d_mpiio::Middleware`] surface only — flush plans are the tagged
+//! plans a `poll_background` wake returns.
+
+mod common;
+
+use common::{params_small, poll_tagged, read_req, setup, tiers_of, write_req, KIB, MIB};
+use s4d_cache::{S4dCache, S4dConfig};
+use s4d_mpiio::{Cluster, Middleware, Rank, Tier};
+use s4d_pfs::Priority;
+use s4d_sim::{SimDuration, SimTime};
+use s4d_storage::IoKind;
+
+#[test]
+fn clean_lru_space_is_reused() {
+    let (mut cluster, mut mw, f) = setup(32 * KIB);
+    mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
+    // Flush the dirty extent so it becomes clean.
+    let plans = poll_tagged(&mut mw, &mut cluster, SimTime::ZERO);
+    assert_eq!(plans.len(), 1);
+    mw.on_plan_complete(&mut cluster, SimTime::ZERO, plans[0].tag);
+    assert_eq!(mw.dmt().dirty_bytes(), 0);
+    // A new critical write now evicts the clean extent and is admitted.
+    let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, MIB, 32 * KIB));
+    assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
+    assert_eq!(mw.metrics().evictions, 1);
+    assert_eq!(mw.metrics().evicted_bytes, 32 * KIB);
+    // The evicted range now misses.
+    let plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 32 * KIB));
+    assert_eq!(tiers_of(&plan), vec![Tier::DServers]);
+}
+
+#[test]
+fn inflight_reads_pin_extents_against_eviction() {
+    // Regression test for a data-loss race found by the equivalence
+    // property suite: a clean extent referenced by a queued read must
+    // not be evicted (the read would return freed space).
+    let (mut cluster, mut mw, f) = setup(32 * KIB);
+    mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
+    // Make it clean via a flush cycle.
+    let plans = poll_tagged(&mut mw, &mut cluster, SimTime::ZERO);
+    mw.on_plan_complete(&mut cluster, SimTime::ZERO, plans[0].tag);
+    assert_eq!(mw.dmt().dirty_bytes(), 0);
+    // A read of the cached range is now "in flight" (plan issued, not
+    // yet complete).
+    let read_plan = mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 32 * KIB));
+    assert_ne!(read_plan.tag, 0, "read plans carry an unpin action");
+    // A critical write elsewhere wants space; the only clean extent is
+    // pinned, so admission must FAIL (spill to DServers), not evict.
+    let w = mw.plan_io(
+        &mut cluster,
+        SimTime::ZERO,
+        &write_req(f, 4 * MIB, 32 * KIB),
+    );
+    assert_eq!(tiers_of(&w), vec![Tier::DServers]);
+    assert_eq!(mw.metrics().evictions, 0, "pinned extent survived");
+    assert_eq!(mw.dmt().mapped_bytes(), 32 * KIB);
+    // Once the read completes, the pin lifts and eviction proceeds.
+    mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), read_plan.tag);
+    let w = mw.plan_io(
+        &mut cluster,
+        SimTime::from_secs(1),
+        &write_req(f, 8 * MIB, 32 * KIB),
+    );
+    assert_eq!(tiers_of(&w), vec![Tier::CServers]);
+    assert_eq!(mw.metrics().evictions, 1);
+}
+
+#[test]
+fn rebuilder_flush_cycle_marks_clean() {
+    let (mut cluster, mut mw, f) = setup(64 * MIB);
+    mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+    let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
+    assert_eq!(poll.plans.len(), 1);
+    assert!(poll.work_pending);
+    let plan = &poll.plans[0];
+    // Flush = background read from CServers, then background write to D.
+    assert_eq!(plan.phases.len(), 2);
+    assert_eq!(plan.phases[0][0].tier, Tier::CServers);
+    assert_eq!(plan.phases[0][0].priority, Priority::Background);
+    assert_eq!(plan.phases[1][0].tier, Tier::DServers);
+    // A second poll must not re-issue the in-flight flush.
+    let poll2 = mw.poll_background(&mut cluster, SimTime::from_secs(1));
+    assert!(poll2.plans.is_empty());
+    assert!(poll2.work_pending);
+    mw.on_plan_complete(&mut cluster, SimTime::from_secs(2), plan.tag);
+    assert_eq!(mw.dmt().dirty_bytes(), 0);
+    assert_eq!(mw.metrics().flushes, 1);
+    // The clean transition's journal record drains on the next wake...
+    let poll3 = mw.poll_background(&mut cluster, SimTime::from_secs(3));
+    assert_eq!(poll3.plans.len(), 1, "journal drain only");
+    assert!(poll3.plans[0]
+        .phases
+        .iter()
+        .flatten()
+        .all(|op| op.app_offset.is_none()));
+    // ...after which the Rebuilder is fully idle.
+    let poll4 = mw.poll_background(&mut cluster, SimTime::from_secs(4));
+    assert!(poll4.plans.is_empty());
+    assert!(!poll4.work_pending, "everything clean and settled");
+}
+
+#[test]
+fn rebuilder_fetch_cycle_caches_flagged_reads() {
+    let (mut cluster, mut mw, f) = setup(64 * MIB);
+    mw.plan_io(&mut cluster, SimTime::ZERO, &read_req(f, 0, 16 * KIB));
+    assert_eq!(mw.cdt().flagged(10).len(), 1);
+    let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
+    assert_eq!(poll.plans.len(), 1);
+    let plan = &poll.plans[0];
+    assert_eq!(plan.phases.len(), 2);
+    assert_eq!(plan.phases[0][0].tier, Tier::DServers);
+    assert_eq!(plan.phases[0][0].kind, IoKind::Read);
+    assert_eq!(plan.phases[1][0].tier, Tier::CServers);
+    assert_eq!(plan.phases[1][0].kind, IoKind::Write);
+    mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), plan.tag);
+    // Mapped clean; the C_flag is cleared; a re-read now hits.
+    assert_eq!(mw.dmt().mapped_bytes(), 16 * KIB);
+    assert_eq!(mw.dmt().dirty_bytes(), 0);
+    assert!(mw.cdt().flagged(10).is_empty());
+    let plan = mw.plan_io(
+        &mut cluster,
+        SimTime::from_secs(2),
+        &read_req(f, 0, 16 * KIB),
+    );
+    assert_eq!(tiers_of(&plan), vec![Tier::CServers]);
+    assert_eq!(mw.metrics().read_full_hits, 1);
+}
+
+#[test]
+fn persistent_placement_never_flushes_and_fills_up() {
+    let mut cluster = Cluster::paper_testbed_small(9);
+    let mut mw = S4dCache::new(
+        S4dConfig::new(32 * KIB).with_persistent_placement(true),
+        params_small(),
+    );
+    let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+    // Fill the placement space.
+    let p = mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
+    assert_eq!(tiers_of(&p), vec![Tier::CServers]);
+    // The Rebuilder never flushes in placement mode; its only activity
+    // is draining the pending journal records of the placement itself.
+    let poll = mw.poll_background(&mut cluster, SimTime::ZERO);
+    assert!(poll
+        .plans
+        .iter()
+        .flat_map(|p| p.phases.iter().flatten())
+        .all(|op| op.app_offset.is_none() && op.kind == IoKind::Write));
+    let poll = mw.poll_background(&mut cluster, SimTime::from_secs(1));
+    assert!(poll.plans.is_empty());
+    assert!(!poll.work_pending);
+    // A later critical write cannot be placed: space never frees.
+    let p = mw.plan_io(
+        &mut cluster,
+        SimTime::from_secs(5),
+        &write_req(f, MIB, 32 * KIB),
+    );
+    assert_eq!(tiers_of(&p), vec![Tier::DServers]);
+    assert_eq!(mw.metrics().flushes, 0);
+    assert_eq!(mw.metrics().evictions, 0);
+    // Placed data keeps serving reads from the CServers.
+    let p = mw.plan_io(
+        &mut cluster,
+        SimTime::from_secs(6),
+        &read_req(f, 0, 32 * KIB),
+    );
+    assert_eq!(tiers_of(&p), vec![Tier::CServers]);
+}
+
+#[test]
+fn failed_plan_releases_pins_and_markers() {
+    let (mut cluster, mut mw, f) = setup(32 * KIB);
+    mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 32 * KIB));
+    let plans = poll_tagged(&mut mw, &mut cluster, SimTime::ZERO);
+    let flush_tag = plans[0].tag;
+    // The flush plan fails: the extent stays dirty and is retried.
+    mw.on_plan_failed(&mut cluster, SimTime::ZERO, flush_tag);
+    assert_eq!(mw.dmt().dirty_bytes(), 32 * KIB);
+    let plans = poll_tagged(&mut mw, &mut cluster, SimTime::from_secs(1));
+    assert_eq!(plans.len(), 1, "flush re-issued after failure");
+    mw.on_plan_complete(&mut cluster, SimTime::from_secs(1), plans[0].tag);
+    // A pinned read whose plan fails must still unpin.
+    let r = mw.plan_io(
+        &mut cluster,
+        SimTime::from_secs(2),
+        &read_req(f, 0, 32 * KIB),
+    );
+    assert_ne!(r.tag, 0);
+    mw.on_plan_failed(&mut cluster, SimTime::from_secs(2), r.tag);
+    let w = mw.plan_io(
+        &mut cluster,
+        SimTime::from_secs(3),
+        &write_req(f, MIB, 32 * KIB),
+    );
+    assert_eq!(tiers_of(&w), vec![Tier::CServers], "eviction unblocked");
+}
+
+#[test]
+fn flush_on_risk_floods_dirty_data() {
+    let mut cluster = Cluster::paper_testbed_small(9);
+    // Keep the per-wake trickle tiny so the flood is observable.
+    let mut mw = S4dCache::new(
+        S4dConfig::new(64 * MIB)
+            .with_flush_on_risk(true)
+            .with_max_flush_per_wake(1),
+        params_small(),
+    );
+    let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+    for i in 0..4u64 {
+        // Non-adjacent extents so they cannot merge into one group.
+        mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &write_req(f, i * MIB, 16 * KIB),
+        );
+    }
+    let plans = poll_tagged(&mut mw, &mut cluster, SimTime::ZERO);
+    assert_eq!(plans.len(), 1, "healthy tier: trickle of one per wake");
+    // One failure marks the tier at risk: everything dirty flushes.
+    mw.on_io_error(
+        &mut cluster,
+        SimTime::ZERO,
+        &common::transient_failure(0, 1),
+    );
+    let plans = poll_tagged(&mut mw, &mut cluster, SimTime::ZERO);
+    assert_eq!(plans.len(), 3, "at risk: all remaining dirty extents");
+}
+
+#[test]
+fn crashed_flush_in_flight_does_not_corrupt_source_file() {
+    let (mut cluster, mut mw, f) = setup(64 * MIB);
+    mw.plan_io(&mut cluster, SimTime::ZERO, &write_req(f, 0, 16 * KIB));
+    let plans = poll_tagged(&mut mw, &mut cluster, SimTime::ZERO);
+    let tag = plans[0].tag;
+    // The CServer crashes while the flush is in flight; the extent is
+    // invalidated and its space handed back.
+    mw.on_io_error(
+        &mut cluster,
+        SimTime::from_secs(1),
+        &common::offline_failure(0),
+    );
+    assert_eq!(mw.metrics().dirty_bytes_lost, 16 * KIB);
+    // The flush completion then arrives; it must notice the mapping is
+    // gone and not copy reallocated/wiped space over the original.
+    mw.on_plan_complete(&mut cluster, SimTime::from_secs(2), tag);
+    assert_eq!(mw.dmt().mapped_bytes(), 0);
+    // The stale in-flight marker must be gone too: a fresh dirty write
+    // to the same range flushes again once the server recovers. (A
+    // leaked marker would make the Rebuilder skip it forever.)
+    mw.on_io_complete(
+        Tier::CServers,
+        0,
+        IoKind::Write,
+        16 * KIB,
+        SimDuration::from_micros(200),
+    );
+    let later = SimTime::from_secs(2) + mw.config().quarantine_duration;
+    mw.plan_io(&mut cluster, later, &write_req(f, 0, 16 * KIB));
+    let plans = poll_tagged(&mut mw, &mut cluster, later);
+    assert_eq!(plans.len(), 1, "re-dirtied range flushes again");
+}

@@ -1,0 +1,75 @@
+//! Integration tests for the durability engine's request-visible
+//! surface: journal group commit and file/journal provisioning on open.
+//! The crash-recovery side is covered by the torture and replay suites.
+
+mod common;
+
+use common::{params_small, setup, write_req, KIB, MIB};
+use s4d_cache::{names, S4dCache, S4dConfig, DMT_RECORD_BYTES};
+use s4d_mpiio::{Cluster, Middleware, Rank};
+use s4d_pfs::{FileId, Priority};
+use s4d_sim::SimTime;
+use s4d_storage::IoKind;
+
+#[test]
+fn journal_group_commit_batches() {
+    let mut cluster = Cluster::paper_testbed_small(9);
+    let mut mw = S4dCache::new(
+        S4dConfig::new(64 * MIB).with_journal_batch(4),
+        params_small(),
+    );
+    let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+    // Each admitted write produces one DMT insert record; no journal op
+    // until four records accumulate.
+    for i in 0..3u64 {
+        let plan = mw.plan_io(
+            &mut cluster,
+            SimTime::ZERO,
+            &write_req(f, i * MIB, 16 * KIB),
+        );
+        assert!(
+            plan.phases
+                .iter()
+                .flatten()
+                .all(|op| op.app_offset.is_some()),
+            "no journal op before the batch fills"
+        );
+    }
+    let plan = mw.plan_io(
+        &mut cluster,
+        SimTime::ZERO,
+        &write_req(f, 3 * MIB, 16 * KIB),
+    );
+    let journal: Vec<_> = plan
+        .phases
+        .iter()
+        .flatten()
+        .filter(|op| op.app_offset.is_none())
+        .collect();
+    assert_eq!(journal.len(), 1, "batch full: one grouped journal write");
+    assert_eq!(journal[0].len, 4 * DMT_RECORD_BYTES);
+    // The Rebuilder persists stragglers with background priority.
+    mw.plan_io(
+        &mut cluster,
+        SimTime::ZERO,
+        &write_req(f, 4 * MIB, 16 * KIB),
+    );
+    let poll = mw.poll_background(&mut cluster, SimTime::from_secs(1));
+    let has_bg_journal = poll.plans.iter().any(|p| {
+        p.phases.iter().flatten().any(|op| {
+            op.app_offset.is_none()
+                && op.priority == Priority::Background
+                && op.kind == IoKind::Write
+                && op.file == FileId(0)
+        })
+    });
+    assert!(has_bg_journal, "pending records drain on the next wake");
+}
+
+#[test]
+fn open_creates_cache_file_and_journal() {
+    let (cluster, mw, _f) = setup(64 * MIB);
+    assert!(cluster.cpfs().open("data.cache").is_ok());
+    assert!(cluster.cpfs().open(names::JOURNAL_NAME).is_ok());
+    assert_eq!(mw.name(), "s4d");
+}

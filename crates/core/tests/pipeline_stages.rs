@@ -1,0 +1,408 @@
+//! Pipeline-stage equivalence against recorded pre-refactor traces.
+//!
+//! The staged `identify` → `redirect` → `admit` pipeline (plus the
+//! background scheduler and durability engine it feeds) must compose to
+//! exactly the decisions the monolithic pre-refactor `S4dCache`
+//! produced. Three workload traces — admission/eviction, degraded
+//! health, and ablation modes — were recorded against the PR 3 tree and
+//! committed under `tests/traces/`; every plan is serialized with its
+//! full `Debug` form, so tier choice, phase structure, offsets, journal
+//! payload bytes, lead-in, tags, and the final metrics digest are all
+//! compared byte-for-byte.
+//!
+//! To re-record after an *intentional* behavior change:
+//! `S4D_RECORD_TRACES=1 cargo test -p s4d-cache --test pipeline_stages`.
+
+use s4d_cache::{AdmissionPolicy, S4dCache, S4dConfig};
+use s4d_cost::CostParams;
+use s4d_mpiio::{AppRequest, Cluster, Middleware, Rank, SubIoFailure, Tier};
+use s4d_pfs::{FileId, IoFault};
+use s4d_sim::SimTime;
+use s4d_storage::{presets, IoKind};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+fn params_small() -> CostParams {
+    CostParams::from_hardware(
+        &presets::hdd_seagate_st3250(),
+        &presets::ssd_ocz_revodrive_x2(),
+        2,
+        1,
+        64 * KIB,
+    )
+    .with_network_bandwidth(117.0e6)
+}
+
+fn write_req(file: FileId, offset: u64, len: u64) -> AppRequest {
+    AppRequest {
+        rank: Rank(0),
+        file,
+        kind: IoKind::Write,
+        offset,
+        len,
+        data: None,
+    }
+}
+
+fn read_req(file: FileId, offset: u64, len: u64) -> AppRequest {
+    AppRequest {
+        rank: Rank(0),
+        file,
+        kind: IoKind::Read,
+        offset,
+        len,
+        data: None,
+    }
+}
+
+/// Records one plan_io decision.
+fn step(
+    trace: &mut Vec<String>,
+    label: &str,
+    mw: &mut S4dCache,
+    cluster: &mut Cluster,
+    now: SimTime,
+    req: &AppRequest,
+) -> u64 {
+    let plan = mw.plan_io(cluster, now, req);
+    trace.push(format!("{label}: {plan:?}"));
+    plan.tag
+}
+
+/// Records one poll_background decision and returns the callback tags.
+fn poll(
+    trace: &mut Vec<String>,
+    label: &str,
+    mw: &mut S4dCache,
+    cluster: &mut Cluster,
+    now: SimTime,
+) -> Vec<u64> {
+    let poll = mw.poll_background(cluster, now);
+    for (i, p) in poll.plans.iter().enumerate() {
+        trace.push(format!("{label}.plan{i}: {p:?}"));
+    }
+    trace.push(format!(
+        "{label}: wake={:?} pending={}",
+        poll.next_wake, poll.work_pending
+    ));
+    poll.plans
+        .iter()
+        .map(|p| p.tag)
+        .filter(|&t| t != 0)
+        .collect()
+}
+
+fn complete(mw: &mut S4dCache, cluster: &mut Cluster, now: SimTime, tags: &[u64]) {
+    for &t in tags {
+        mw.on_plan_complete(cluster, now, t);
+    }
+}
+
+/// Compares (or, under `S4D_RECORD_TRACES`, records) one trace file.
+fn check(name: &str, trace: Vec<String>) {
+    let got = trace.join("\n") + "\n";
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/traces")
+        .join(name);
+    if std::env::var_os("S4D_RECORD_TRACES").is_some() {
+        std::fs::write(&path, &got).expect("record trace");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing recorded trace {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "pipeline decisions diverged from the pre-refactor trace {name}"
+    );
+}
+
+/// Admission, partial hits, denial under pressure, flush/fetch cycles,
+/// and clean-LRU eviction on a deliberately tiny cache.
+#[test]
+fn mixed_workload_matches_recorded_trace() {
+    let mut trace = Vec::new();
+    let config = S4dConfig::new(64 * KIB).with_journal_batch(1);
+    let mut cluster = Cluster::paper_testbed_small(9);
+    let mut mw = S4dCache::new(config, params_small());
+    let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+
+    let t0 = SimTime::ZERO;
+    step(
+        &mut trace,
+        "w0",
+        &mut mw,
+        &mut cluster,
+        t0,
+        &write_req(f, 0, 16 * KIB),
+    );
+    step(
+        &mut trace,
+        "w1",
+        &mut mw,
+        &mut cluster,
+        t0,
+        &write_req(f, MIB, 16 * KIB),
+    );
+    let r0 = step(
+        &mut trace,
+        "r0",
+        &mut mw,
+        &mut cluster,
+        t0,
+        &read_req(f, 0, 32 * KIB),
+    );
+    complete(&mut mw, &mut cluster, t0, &[r0]);
+    // Cache holds 32 KiB dirty of 64 KiB; a 48 KiB critical write cannot
+    // evict dirty data and must be denied for space.
+    step(
+        &mut trace,
+        "w2",
+        &mut mw,
+        &mut cluster,
+        t0,
+        &write_req(f, 2 * MIB, 48 * KIB),
+    );
+
+    let t1 = SimTime::from_secs(1);
+    let tags = poll(&mut trace, "p0", &mut mw, &mut cluster, t1);
+    complete(&mut mw, &mut cluster, SimTime::from_secs(2), &tags);
+
+    let t3 = SimTime::from_secs(3);
+    let r1 = step(
+        &mut trace,
+        "r1",
+        &mut mw,
+        &mut cluster,
+        t3,
+        &read_req(f, 3 * MIB, 16 * KIB),
+    );
+    complete(&mut mw, &mut cluster, t3, &[r1]);
+    let tags = poll(
+        &mut trace,
+        "p1",
+        &mut mw,
+        &mut cluster,
+        SimTime::from_secs(4),
+    );
+    complete(&mut mw, &mut cluster, SimTime::from_secs(5), &tags);
+
+    // Everything cached is now clean: a new critical write evicts.
+    step(
+        &mut trace,
+        "w3",
+        &mut mw,
+        &mut cluster,
+        SimTime::from_secs(6),
+        &write_req(f, 4 * MIB, 32 * KIB),
+    );
+    let tags = poll(
+        &mut trace,
+        "p2",
+        &mut mw,
+        &mut cluster,
+        SimTime::from_secs(7),
+    );
+    complete(&mut mw, &mut cluster, SimTime::from_secs(8), &tags);
+
+    trace.push(format!("metrics: {:?}", mw.metrics()));
+    check("mixed.trace", trace);
+}
+
+/// Health-aware redirection: quarantine blocks admission and fetches,
+/// clean reads fall back to OPFS, and an offline CServer invalidates the
+/// extents it held.
+#[test]
+fn degraded_health_matches_recorded_trace() {
+    let mut trace = Vec::new();
+    let config = S4dConfig::new(64 * MIB).with_journal_batch(1);
+    let mut cluster = Cluster::paper_testbed_small(9);
+    let mut mw = S4dCache::new(config, params_small());
+    let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+
+    let t0 = SimTime::ZERO;
+    step(
+        &mut trace,
+        "w0",
+        &mut mw,
+        &mut cluster,
+        t0,
+        &write_req(f, 0, 16 * KIB),
+    );
+    // Flush it clean so the health fallback has a clean piece to serve.
+    let tags = poll(&mut trace, "p0", &mut mw, &mut cluster, t0);
+    complete(&mut mw, &mut cluster, t0, &tags);
+    step(
+        &mut trace,
+        "w1",
+        &mut mw,
+        &mut cluster,
+        t0,
+        &write_req(f, MIB, 16 * KIB),
+    );
+
+    // Three consecutive transient failures quarantine CServer 0.
+    let now = SimTime::from_secs(1);
+    for attempts in 1..=3 {
+        let failure = SubIoFailure {
+            tier: Tier::CServers,
+            server: 0,
+            kind: IoKind::Write,
+            len: 16 * KIB,
+            error: IoFault::Transient,
+            attempts,
+            overhead: false,
+        };
+        let d = mw.on_io_error(&mut cluster, now, &failure);
+        trace.push(format!("err{attempts}: {d:?}"));
+    }
+
+    step(
+        &mut trace,
+        "w2",
+        &mut mw,
+        &mut cluster,
+        now,
+        &write_req(f, 2 * MIB, 16 * KIB),
+    );
+    let rc = step(
+        &mut trace,
+        "r_clean",
+        &mut mw,
+        &mut cluster,
+        now,
+        &read_req(f, 0, 16 * KIB),
+    );
+    let rd = step(
+        &mut trace,
+        "r_dirty",
+        &mut mw,
+        &mut cluster,
+        now,
+        &read_req(f, MIB, 16 * KIB),
+    );
+    complete(&mut mw, &mut cluster, now, &[rc, rd]);
+    step(
+        &mut trace,
+        "r_miss",
+        &mut mw,
+        &mut cluster,
+        now,
+        &read_req(f, 4 * MIB, 16 * KIB),
+    );
+    let tags = poll(
+        &mut trace,
+        "p1",
+        &mut mw,
+        &mut cluster,
+        SimTime::from_secs(2),
+    );
+    complete(&mut mw, &mut cluster, SimTime::from_secs(2), &tags);
+
+    // CServer 0 goes offline: its extents are invalidated exactly once.
+    let offline = SubIoFailure {
+        tier: Tier::CServers,
+        server: 0,
+        kind: IoKind::Write,
+        len: 16 * KIB,
+        error: IoFault::Offline,
+        attempts: 1,
+        overhead: false,
+    };
+    let d = mw.on_io_error(&mut cluster, SimTime::from_secs(3), &offline);
+    trace.push(format!("offline: {d:?}"));
+    step(
+        &mut trace,
+        "r_after",
+        &mut mw,
+        &mut cluster,
+        SimTime::from_secs(3),
+        &read_req(f, 0, 16 * KIB),
+    );
+    let tags = poll(
+        &mut trace,
+        "p2",
+        &mut mw,
+        &mut cluster,
+        SimTime::from_secs(4),
+    );
+    complete(&mut mw, &mut cluster, SimTime::from_secs(4), &tags);
+
+    trace.push(format!("metrics: {:?}", mw.metrics()));
+    check("degraded.trace", trace);
+}
+
+/// Ablation modes: always-admit takes large writes, eager read fetch
+/// chains a cache-fill phase onto the miss plan, and journal batching
+/// groups four records per journal op.
+#[test]
+fn ablation_workload_matches_recorded_trace() {
+    let mut trace = Vec::new();
+    let config = S4dConfig::new(64 * MIB)
+        .with_admission(AdmissionPolicy::AlwaysAdmit)
+        .with_eager_read_fetch(true)
+        .with_journal_batch(4);
+    let mut cluster = Cluster::paper_testbed_small(9);
+    let mut mw = S4dCache::new(config, params_small());
+    let f = mw.open(&mut cluster, Rank(0), "data").unwrap();
+
+    let t0 = SimTime::ZERO;
+    step(
+        &mut trace,
+        "w_large",
+        &mut mw,
+        &mut cluster,
+        t0,
+        &write_req(f, 0, 8 * MIB),
+    );
+    let rf = step(
+        &mut trace,
+        "r_eager",
+        &mut mw,
+        &mut cluster,
+        t0,
+        &read_req(f, 16 * MIB, 16 * KIB),
+    );
+    complete(&mut mw, &mut cluster, t0, &[rf]);
+    let rh = step(
+        &mut trace,
+        "r_hit",
+        &mut mw,
+        &mut cluster,
+        t0,
+        &read_req(f, 16 * MIB, 16 * KIB),
+    );
+    complete(&mut mw, &mut cluster, t0, &[rh]);
+
+    // Batched journaling: records accumulate until the fourth lands.
+    for i in 0..3u64 {
+        let label = format!("w{i}");
+        step(
+            &mut trace,
+            &label,
+            &mut mw,
+            &mut cluster,
+            t0,
+            &write_req(f, 20 * MIB + i * MIB, 16 * KIB),
+        );
+    }
+    let tags = poll(
+        &mut trace,
+        "p0",
+        &mut mw,
+        &mut cluster,
+        SimTime::from_secs(1),
+    );
+    complete(&mut mw, &mut cluster, SimTime::from_secs(2), &tags);
+    let tags = poll(
+        &mut trace,
+        "p1",
+        &mut mw,
+        &mut cluster,
+        SimTime::from_secs(3),
+    );
+    complete(&mut mw, &mut cluster, SimTime::from_secs(4), &tags);
+
+    trace.push(format!("metrics: {:?}", mw.metrics()));
+    check("ablations.trace", trace);
+}

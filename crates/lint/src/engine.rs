@@ -67,7 +67,7 @@ fn pragma_hygiene(file: &SourceFile, prags: &[Pragma], report: &mut Report) {
                 message,
                 hint: "format: `// s4d-lint: allow(<rule>) — <justification>`; rules: \
                        determinism, ordered-iter, panic, lock-order, lock-across-io, \
-                       durability",
+                       durability, file-budget",
                 severity,
             });
         };

@@ -9,6 +9,7 @@
 //! | panic-freedom | `panic` | the middleware sits on every I/O path; a panic is an availability bug |
 //! | lock discipline | `lock-order`, `lock-across-io` | cycles and device-latency lock holds are availability bugs |
 //! | durability protocol | `durability` | DESIGN.md §9 write ordering keeps crashes recoverable |
+//! | file budget | `file-budget` | a module past 800 non-test lines means a missed component seam (DESIGN.md §12) |
 //!
 //! Plus `pragma` for allow-pragma hygiene. Run with:
 //!

@@ -4,6 +4,7 @@
 
 pub mod determinism;
 pub mod durability;
+pub mod file_budget;
 pub mod locks;
 pub mod panic_freedom;
 
@@ -16,4 +17,5 @@ pub fn check_all(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     panic_freedom::check(file, out);
     locks::check(file, out);
     durability::check(file, out);
+    file_budget::check(file, out);
 }

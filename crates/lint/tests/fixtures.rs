@@ -144,6 +144,61 @@ fn determinism_is_report_only_in_test_code() {
     assert_eq!(report.warnings(), 1);
 }
 
+/// `lines` trivial, rule-silent code lines — oversized-module input for
+/// the file-budget cases (generated, not checked in: an 800-line fixture
+/// file would be pure noise).
+fn const_lines(lines: usize) -> String {
+    let mut src = String::new();
+    for i in 0..lines {
+        src.push_str(&format!("pub const LINE_{i}: usize = {i};\n"));
+    }
+    src
+}
+
+#[test]
+fn file_budget_trips_on_an_oversized_lib_module() {
+    let src = const_lines(s4d_lint::config::FILE_BUDGET_MAX_LINES + 1);
+    let report = lint_fixture_src(&src, "crates/core/src/fixture.rs");
+    let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec!["file-budget"]);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(
+        d.line as usize,
+        s4d_lint::config::FILE_BUDGET_MAX_LINES + 1,
+        "finding anchors at the first line past the budget"
+    );
+}
+
+#[test]
+fn file_budget_excludes_test_spans() {
+    // 500 library lines plus 400 lines inside `#[cfg(test)]`: 900 total,
+    // but only the 500 non-test lines count — under budget.
+    let mut src = const_lines(500);
+    src.push_str("#[cfg(test)]\nmod tests {\n");
+    for i in 0..400 {
+        src.push_str(&format!("    const T_{i}: usize = {i};\n"));
+    }
+    src.push_str("}\n");
+    let report = lint_fixture_src(&src, "crates/core/src/fixture.rs");
+    assert!(
+        report.diagnostics.is_empty(),
+        "test spans must not count: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn file_budget_exempts_test_directories() {
+    let src = const_lines(s4d_lint::config::FILE_BUDGET_MAX_LINES + 200);
+    let report = lint_fixture_src(&src, "crates/core/tests/fixture.rs");
+    assert!(
+        report.diagnostics.is_empty(),
+        "integration-test files have no budget: {:?}",
+        report.diagnostics
+    );
+}
+
 #[test]
 fn fixtures_are_invisible_to_the_workspace_walk() {
     // The crate's own tests/ tree contains the seeded violations; the

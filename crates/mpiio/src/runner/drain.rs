@@ -1,0 +1,40 @@
+//! Background polling and draining: the Rebuilder's wake loop.
+//!
+//! A single timer event drives all middleware background work. Normal
+//! runs keep re-arming it while foreground processes can still create
+//! new cache state; drain runs ([`super::Runner::drain_background`])
+//! re-arm while the middleware itself reports work pending, so flushes,
+//! fetches, and journal stragglers settle between a workload's first
+//! and second run.
+
+use s4d_sim::{EventQueue, SimTime};
+
+use crate::middleware::Middleware;
+
+use super::exec::PlanOwner;
+use super::{Event, State};
+
+impl<M: Middleware> State<M> {
+    pub(super) fn background_wake(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        self.background_armed = false;
+        let poll = self.middleware.poll_background(&mut self.cluster, now);
+        for plan in poll.plans {
+            self.launch_plan(now, plan, PlanOwner::Background, q);
+        }
+        if let Some(next) = poll.next_wake {
+            // Normal runs re-arm while foreground work can still create new
+            // cache state; draining re-arms while the middleware reports
+            // pending background work.
+            let rearm = if self.drain_mode {
+                poll.work_pending
+            } else {
+                self.finished < self.procs.len()
+            };
+            if rearm {
+                assert!(next > now, "background next_wake must move forward");
+                q.push(next, Event::BackgroundWake);
+                self.background_armed = true;
+            }
+        }
+    }
+}

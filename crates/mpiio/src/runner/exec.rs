@@ -1,0 +1,512 @@
+//! Script advancement and plan execution: process bookkeeping, phase
+//! submission, sub-request decomposition, and completion assembly.
+
+use s4d_pfs::{Priority, SubReqId, SubRequest};
+use s4d_sim::{EventQueue, SimTime};
+use s4d_storage::IoKind;
+
+use crate::middleware::Middleware;
+use crate::script::ProcessScript;
+use crate::types::{AppOp, AppRequest, ErrorDirective, FileHandle, Plan, Rank, SubIoFailure, Tier};
+
+use super::{Event, State};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum ProcStatus {
+    Running,
+    AtBarrier,
+    Finished,
+}
+
+pub(super) struct Proc {
+    pub(super) rank: Rank,
+    pub(super) script: Box<dyn ProcessScript>,
+    /// Open-file slots, MPI-style: close frees a slot, open reuses the
+    /// lowest free slot (so a chained workload's `FileHandle(0)` always
+    /// names its own current file).
+    pub(super) handles: Vec<Option<s4d_pfs::FileId>>,
+    /// Per-slot individual file pointers (`MPI_File_seek` state).
+    pub(super) cursors: Vec<u64>,
+    pub(super) status: ProcStatus,
+}
+
+/// Who a plan belongs to.
+pub(super) enum PlanOwner {
+    Process {
+        index: usize,
+        issued: SimTime,
+        file: s4d_pfs::FileId,
+        kind: IoKind,
+        offset: u64,
+        len: u64,
+        read_buf: Option<Vec<u8>>,
+        /// Original write payload, kept so a failed plan can be re-planned.
+        data: Option<Vec<u8>>,
+        /// How many times this request has been re-planned.
+        replans: u32,
+    },
+    Background,
+}
+
+pub(super) struct PlanExec {
+    pub(super) plan: Plan,
+    pub(super) phase: usize,
+    pub(super) outstanding: usize,
+    pub(super) owner: PlanOwner,
+    /// Set when a sub-request gave up: remaining phases are skipped and
+    /// the plan fails instead of completing.
+    pub(super) failed: bool,
+}
+
+pub(super) struct SubMeta {
+    pub(super) plan_id: u64,
+    /// Offset of the planned op within its file.
+    pub(super) op_offset: u64,
+    /// Application-file offset the op's bytes belong to, if data-carrying.
+    pub(super) app_offset: Option<u64>,
+    /// `(file_offset_within_op_file, len)` segments of this sub-request.
+    pub(super) segments: Vec<(u64, u64)>,
+    /// Service class (needed to rebuild the sub-request on retry).
+    pub(super) priority: Priority,
+    /// Attempts so far, including the in-flight one.
+    pub(super) attempts: u32,
+    /// When the current attempt was submitted (latency measurement).
+    pub(super) submitted: SimTime,
+}
+
+impl<M: Middleware> State<M> {
+    /// Executes control ops until the process blocks on I/O, a barrier,
+    /// think time, or finishes.
+    pub(super) fn advance_process(&mut self, now: SimTime, i: usize, q: &mut EventQueue<Event>) {
+        let mut now = now;
+        loop {
+            let op = match self.proc_mut(i).script.next_op() {
+                Some(op) => op,
+                None => {
+                    if self.proc(i).status != ProcStatus::Finished {
+                        self.proc_mut(i).status = ProcStatus::Finished;
+                        self.finished += 1;
+                        self.maybe_release_barrier(now, q);
+                    }
+                    return;
+                }
+            };
+            match op {
+                AppOp::Open { name } => {
+                    let rank = self.proc(i).rank;
+                    let file = self
+                        .middleware
+                        .open(&mut self.cluster, rank, &name)
+                        // s4d-lint: allow(panic) — malformed workload script or broken middleware: fail fast with rank context rather than simulate nonsense
+                        .unwrap_or_else(|e| panic!("{rank} failed to open {name:?}: {e}"));
+                    let proc = self.proc_mut(i);
+                    match proc.handles.iter().position(|h| h.is_none()) {
+                        Some(slot) => {
+                            if let Some(h) = proc.handles.get_mut(slot) {
+                                *h = Some(file);
+                            }
+                            if let Some(c) = proc.cursors.get_mut(slot) {
+                                *c = 0;
+                            }
+                        }
+                        None => {
+                            proc.handles.push(Some(file));
+                            proc.cursors.push(0);
+                        }
+                    }
+                    now += self.config.open_cost;
+                }
+                AppOp::Close { handle } => {
+                    let rank = self.proc(i).rank;
+                    let file = self
+                        .proc_mut(i)
+                        .handles
+                        .get_mut(handle.0)
+                        .and_then(Option::take)
+                        // s4d-lint: allow(panic) — malformed workload script: fail fast with rank context rather than simulate nonsense
+                        .unwrap_or_else(|| panic!("{rank} closed unopened handle {}", handle.0));
+                    self.middleware
+                        .close(&mut self.cluster, rank, file)
+                        // s4d-lint: allow(panic) — malformed workload script or broken middleware: fail fast with rank context rather than simulate nonsense
+                        .unwrap_or_else(|e| panic!("{rank} failed to close: {e}"));
+                }
+                AppOp::Think { duration } => {
+                    q.push(now + duration, Event::ProcessWake(i));
+                    return;
+                }
+                AppOp::Barrier => {
+                    self.proc_mut(i).status = ProcStatus::AtBarrier;
+                    self.barrier_waiting += 1;
+                    self.maybe_release_barrier(now, q);
+                    return;
+                }
+                AppOp::Seek { handle, offset } => {
+                    let proc = self.proc_mut(i);
+                    let rank = proc.rank;
+                    let open = proc.handles.get(handle.0).copied().flatten().is_some();
+                    match proc.cursors.get_mut(handle.0) {
+                        Some(cursor) if open => *cursor = offset,
+                        // s4d-lint: allow(panic) — malformed workload script: fail fast with rank context rather than simulate nonsense
+                        _ => panic!("{rank} seeked unopened handle {}", handle.0),
+                    }
+                }
+                AppOp::IoAtCursor {
+                    handle,
+                    kind,
+                    len,
+                    data,
+                } => {
+                    let proc = self.proc_mut(i);
+                    let rank = proc.rank;
+                    let Some(cursor) = proc.cursors.get_mut(handle.0) else {
+                        // s4d-lint: allow(panic) — malformed workload script: fail fast with rank context rather than simulate nonsense
+                        panic!("{rank} used unopened handle {}", handle.0)
+                    };
+                    let offset = *cursor;
+                    *cursor = offset + len;
+                    self.dispatch_io(now, i, handle, kind, offset, len, data, q);
+                    return;
+                }
+                AppOp::Io {
+                    handle,
+                    kind,
+                    offset,
+                    len,
+                    data,
+                } => {
+                    self.dispatch_io(now, i, handle, kind, offset, len, data, q);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Resolves a handle and launches the middleware plan for one I/O.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_io(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        handle: FileHandle,
+        kind: IoKind,
+        offset: u64,
+        len: u64,
+        data: Option<Vec<u8>>,
+        q: &mut EventQueue<Event>,
+    ) {
+        let rank = self.proc(i).rank;
+        let file = self
+            .proc(i)
+            .handles
+            .get(handle.0)
+            .copied()
+            .flatten()
+            // s4d-lint: allow(panic) — malformed workload script: fail fast with rank context rather than simulate nonsense
+            .unwrap_or_else(|| panic!("{rank} used unopened handle {}", handle.0));
+        let req = AppRequest {
+            rank,
+            file,
+            kind,
+            offset,
+            len,
+            data,
+        };
+        let data = req.data.clone();
+        let plan = self.middleware.plan_io(&mut self.cluster, now, &req);
+        let owner = PlanOwner::Process {
+            index: i,
+            issued: now,
+            file,
+            kind,
+            offset,
+            len,
+            read_buf: None,
+            data,
+            replans: 0,
+        };
+        self.launch_plan(now, plan, owner, q);
+    }
+
+    pub(super) fn maybe_release_barrier(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        if self.barrier_waiting > 0 && self.barrier_waiting + self.finished == self.procs.len() {
+            self.barrier_waiting = 0;
+            for (j, p) in self.procs.iter_mut().enumerate() {
+                if p.status == ProcStatus::AtBarrier {
+                    p.status = ProcStatus::Running;
+                    q.push(now, Event::ProcessWake(j));
+                }
+            }
+        }
+    }
+
+    pub(super) fn start_plan(
+        &mut self,
+        now: SimTime,
+        plan_id: u64,
+        mut exec: PlanExec,
+        q: &mut EventQueue<Event>,
+    ) {
+        let launched = self.submit_phase(now, plan_id, &mut exec, q);
+        exec.outstanding = launched;
+        if launched == 0 {
+            // Empty plan (or zero-length ops only): completes instantly.
+            self.complete_plan(now, exec, q);
+        } else {
+            self.plans.insert(plan_id, exec);
+        }
+    }
+
+    /// Submits every op of the current phase; returns how many sub-requests
+    /// were created. Empty phases are skipped (advancing `exec.phase`).
+    fn submit_phase(
+        &mut self,
+        now: SimTime,
+        plan_id: u64,
+        exec: &mut PlanExec,
+        q: &mut EventQueue<Event>,
+    ) -> usize {
+        while exec.phase < exec.plan.phases.len() {
+            let phase_idx = exec.phase;
+            let mut created = 0;
+            let Some(ops) = exec.plan.phases.get(phase_idx).cloned() else {
+                break; // unreachable: the loop guard bounds phase_idx
+            };
+            for op in &ops {
+                if op.len == 0 {
+                    continue;
+                }
+                self.account_dispatch(now, exec, op);
+                let subranges = self
+                    .cluster
+                    .pfs_mut(op.tier)
+                    .plan(op.file, op.kind, op.offset, op.len)
+                    // s4d-lint: allow(panic) — a plan the middleware just produced names unknown files only if the middleware is broken; fail fast with the op
+                    .unwrap_or_else(|e| panic!("planning {op:?}: {e}"));
+                let layout = self.cluster.pfs(op.tier).layout();
+                for sub in subranges {
+                    let id = SubReqId(self.next_sub);
+                    self.next_sub += 1;
+                    let segments = layout.file_segments(&sub);
+                    let data = op.data.as_ref().map(|full| {
+                        let mut buf = Vec::with_capacity(sub.len as usize);
+                        for (seg_off, seg_len) in &segments {
+                            let at = (seg_off - op.offset) as usize;
+                            if let Some(seg) = full.get(at..at + *seg_len as usize) {
+                                buf.extend_from_slice(seg);
+                            }
+                        }
+                        buf
+                    });
+                    self.subs.insert(
+                        id,
+                        SubMeta {
+                            plan_id,
+                            op_offset: op.offset,
+                            app_offset: op.app_offset,
+                            segments,
+                            priority: op.priority,
+                            attempts: 1,
+                            submitted: now,
+                        },
+                    );
+                    let sr = SubRequest {
+                        id,
+                        file: op.file,
+                        kind: op.kind,
+                        local_offset: sub.local_offset,
+                        len: sub.len,
+                        priority: op.priority,
+                        data,
+                    };
+                    let tier = op.tier;
+                    let server_idx = sub.server;
+                    let Ok(server) = self.cluster.pfs_mut(tier).server_mut(server_idx) else {
+                        self.subs.remove(&id);
+                        continue; // the layout only names servers in range
+                    };
+                    let started = server.submit(now, sr);
+                    if let Some(s) = started {
+                        q.push(
+                            s.completes_at,
+                            Event::ServerDone {
+                                tier,
+                                server: server_idx,
+                            },
+                        );
+                    }
+                    created += 1;
+                }
+            }
+            if created > 0 {
+                return created;
+            }
+            exec.phase += 1;
+        }
+        0
+    }
+
+    pub(super) fn server_done(
+        &mut self,
+        now: SimTime,
+        tier: Tier,
+        server: usize,
+        q: &mut EventQueue<Event>,
+    ) {
+        let Ok(srv) = self.cluster.pfs_mut(tier).server_mut(server) else {
+            return; // ServerDone events only name servers the PFS has
+        };
+        let (completed, next) = srv.on_complete(now);
+        if let Some(s) = next {
+            q.push(s.completes_at, Event::ServerDone { tier, server });
+        }
+        let Some(meta) = self.subs.remove(&completed.id) else {
+            return; // every submitted sub-request is registered first
+        };
+        let plan_id = meta.plan_id;
+        let Some(mut exec) = self.plans.remove(&plan_id) else {
+            return; // a sub-request's plan stays live until it drains
+        };
+        if let Some(error) = completed.error {
+            self.report.degraded.io_errors += 1;
+            let overhead =
+                matches!(exec.owner, PlanOwner::Process { .. }) && meta.app_offset.is_none();
+            let failure = SubIoFailure {
+                tier,
+                server,
+                kind: completed.kind,
+                len: completed.len,
+                error,
+                attempts: meta.attempts,
+                overhead,
+            };
+            match self
+                .middleware
+                .on_io_error(&mut self.cluster, now, &failure)
+            {
+                ErrorDirective::Retry { delay } => {
+                    let mut meta = meta;
+                    meta.attempts += 1;
+                    // A failed write hands its payload back in `data`.
+                    let req = SubRequest {
+                        id: completed.id,
+                        file: completed.file,
+                        kind: completed.kind,
+                        local_offset: completed.local_offset,
+                        len: completed.len,
+                        priority: meta.priority,
+                        data: completed.data,
+                    };
+                    self.schedule_retry(now, delay, tier, server, req, meta, q);
+                    // The sub-request stays outstanding on its plan.
+                    self.plans.insert(plan_id, exec);
+                    return;
+                }
+                ErrorDirective::GiveUp => {
+                    if overhead {
+                        // A lost metadata write-behind doesn't fail the
+                        // application request: recovery treats the missing
+                        // records as a torn journal tail.
+                        self.report.degraded.overhead_failures += 1;
+                    } else {
+                        exec.failed = true;
+                    }
+                }
+            }
+        } else {
+            self.middleware.on_io_complete(
+                tier,
+                server,
+                completed.kind,
+                completed.len,
+                now - meta.submitted,
+            );
+            // Scatter functional read bytes into the owner's buffer.
+            if let (Some(data), Some(app_off)) = (&completed.data, meta.app_offset) {
+                if let PlanOwner::Process {
+                    offset,
+                    len,
+                    read_buf,
+                    ..
+                } = &mut exec.owner
+                {
+                    let buf = read_buf.get_or_insert_with(|| vec![0u8; *len as usize]);
+                    let mut cursor = 0usize;
+                    for (seg_off, seg_len) in &meta.segments {
+                        let app_pos = app_off + (seg_off - meta.op_offset);
+                        let at = (app_pos - *offset) as usize;
+                        let n = *seg_len as usize;
+                        if let (Some(dst), Some(src)) =
+                            (buf.get_mut(at..at + n), data.get(cursor..cursor + n))
+                        {
+                            dst.copy_from_slice(src);
+                        }
+                        cursor += n;
+                    }
+                }
+            }
+        }
+        exec.outstanding -= 1;
+        if exec.outstanding > 0 {
+            self.plans.insert(plan_id, exec);
+            return;
+        }
+        if exec.failed {
+            self.fail_plan(now, exec, q);
+            return;
+        }
+        // Phase finished: next phase or plan completion.
+        exec.phase += 1;
+        let launched = self.submit_phase(now, plan_id, &mut exec, q);
+        if launched > 0 {
+            exec.outstanding = launched;
+            self.plans.insert(plan_id, exec);
+        } else {
+            self.complete_plan(now, exec, q);
+        }
+    }
+
+    pub(super) fn complete_plan(
+        &mut self,
+        now: SimTime,
+        exec: PlanExec,
+        q: &mut EventQueue<Event>,
+    ) {
+        if exec.plan.tag != 0 {
+            self.middleware
+                .on_plan_complete(&mut self.cluster, now, exec.plan.tag);
+        }
+        self.finish_plan_owner(now, exec.owner, q);
+    }
+
+    pub(super) fn finish_plan_owner(
+        &mut self,
+        now: SimTime,
+        owner: PlanOwner,
+        q: &mut EventQueue<Event>,
+    ) {
+        match owner {
+            PlanOwner::Process {
+                index,
+                issued,
+                kind,
+                offset,
+                len,
+                read_buf,
+                ..
+            } => {
+                self.report.kind_mut(kind).record(issued, now, len);
+                let rank = self.proc(index).rank;
+                for obs in &mut self.observers {
+                    obs.on_request_complete(now, rank, kind, offset, len, issued);
+                    if kind == IoKind::Read {
+                        obs.on_read_data(rank, offset, len, read_buf.as_deref());
+                    }
+                }
+                q.push(now, Event::ProcessWake(index));
+            }
+            PlanOwner::Background => {
+                self.report.background_plans += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The discrete-event execution engine.
+//!
+//! The [`Runner`] owns the [`Cluster`], a [`Middleware`] implementation and
+//! one [`ProcessScript`] per simulated MPI process. It drives everything
+//! through `s4d-sim`'s event loop:
+//!
+//! * a process executes its script; opens/closes are instantaneous control
+//!   operations, reads/writes become middleware [`Plan`]s;
+//! * a plan's phases run sequentially; the ops of a phase are decomposed
+//!   into per-server sub-requests and submitted concurrently;
+//! * file servers service one sub-request at a time (foreground before
+//!   background) — each completion is an event;
+//! * the middleware's background hook (the Rebuilder) is polled on the
+//!   schedule it requests.
+//!
+//! This module is the wiring: the shared [`State`], the event alphabet,
+//! and the public `Runner` surface. The machinery lives in the
+//! submodules — [`exec`] (script advancement and plan execution),
+//! [`retry`] (sub-request retries and request re-planning), [`drain`]
+//! (background polling and draining), and [`observe`] (tracing hooks and
+//! report accounting).
+
+mod drain;
+mod exec;
+mod observe;
+mod retry;
+
+use std::collections::HashMap;
+
+use s4d_pfs::SubReqId;
+use s4d_sim::{Engine, EventQueue, SimDuration, SimTime, World};
+
+use crate::cluster::Cluster;
+use crate::middleware::Middleware;
+use crate::report::RunReport;
+use crate::script::ProcessScript;
+use crate::types::{Plan, Rank, Tier};
+
+use exec::{PlanExec, PlanOwner, Proc, ProcStatus, SubMeta};
+use retry::{PendingReplan, PendingRetry};
+
+pub use observe::IoObserver;
+
+/// Runner tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Time charged to a process for each `open` (metadata round-trip).
+    pub open_cost: SimDuration,
+    /// Hard stop: panic if the simulation passes this horizon (guards
+    /// against runaway configurations). `SimTime::MAX` disables it.
+    pub horizon: SimTime,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            open_cost: SimDuration::from_micros(500),
+            horizon: SimTime::MAX,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    ProcessWake(usize),
+    ServerDone {
+        tier: Tier,
+        server: usize,
+    },
+    PlanStart(u64),
+    BackgroundWake,
+    /// Resubmit a sub-request after a retry backoff.
+    Retry(u64),
+    /// Re-plan an application request after a plan failure.
+    Replan(u64),
+}
+
+struct State<M: Middleware> {
+    cluster: Cluster,
+    middleware: M,
+    procs: Vec<Proc>,
+    config: RunnerConfig,
+    plans: HashMap<u64, PlanExec>,
+    next_plan: u64,
+    subs: HashMap<SubReqId, SubMeta>,
+    next_sub: u64,
+    retries: HashMap<u64, PendingRetry>,
+    next_retry: u64,
+    replans: HashMap<u64, PendingReplan>,
+    next_replan: u64,
+    barrier_waiting: usize,
+    finished: usize,
+    background_armed: bool,
+    drain_mode: bool,
+    report: RunReport,
+    observers: Vec<Box<dyn IoObserver>>,
+}
+
+/// Drives one simulated run to completion.
+///
+/// See the crate-level example. After [`Runner::run`], recover the pieces
+/// with [`Runner::into_parts`] to inspect middleware state or reuse the
+/// cluster for a second run (the paper's "second run" read experiments).
+pub struct Runner<M: Middleware> {
+    state: State<M>,
+}
+
+impl<M: Middleware> Runner<M> {
+    /// Creates a runner over `scripts.len()` processes with default config.
+    ///
+    /// `seed` is reserved for future stochastic components of the runner
+    /// itself; determinism currently comes from the cluster and scripts.
+    pub fn new(
+        cluster: Cluster,
+        middleware: M,
+        scripts: Vec<impl ProcessScript + 'static>,
+        seed: u64,
+    ) -> Self {
+        let _ = seed;
+        let procs = scripts
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Proc {
+                rank: Rank(i as u32),
+                script: Box::new(s) as Box<dyn ProcessScript>,
+                handles: Vec::new(),
+                cursors: Vec::new(),
+                status: ProcStatus::Running,
+            })
+            .collect();
+        Runner {
+            state: State {
+                cluster,
+                middleware,
+                procs,
+                config: RunnerConfig::default(),
+                plans: HashMap::new(),
+                next_plan: 1,
+                subs: HashMap::new(),
+                next_sub: 0,
+                retries: HashMap::new(),
+                next_retry: 0,
+                replans: HashMap::new(),
+                next_replan: 0,
+                barrier_waiting: 0,
+                finished: 0,
+                background_armed: false,
+                drain_mode: false,
+                report: RunReport::default(),
+                observers: Vec::new(),
+            },
+        }
+    }
+
+    /// Replaces the default configuration.
+    pub fn with_config(mut self, config: RunnerConfig) -> Self {
+        self.state.config = config;
+        self
+    }
+
+    /// Registers a tracing observer.
+    pub fn add_observer(&mut self, obs: Box<dyn IoObserver>) {
+        self.state.observers.push(obs);
+    }
+
+    /// Runs every process script to completion (plus in-flight background
+    /// work) and returns the report.
+    pub fn run(&mut self) -> RunReport {
+        let mut engine: Engine<Event> = Engine::new();
+        for i in 0..self.state.procs.len() {
+            engine
+                .queue_mut()
+                .push(SimTime::ZERO, Event::ProcessWake(i));
+        }
+        engine
+            .queue_mut()
+            .push(SimTime::ZERO, Event::BackgroundWake);
+        self.state.background_armed = true;
+        self.state.drain_mode = false;
+        let horizon = self.state.config.horizon;
+        let end = engine.run_until(&mut self.state, horizon);
+        assert!(
+            engine.queue().is_empty(),
+            "simulation hit the configured horizon with work pending"
+        );
+        self.state.report.end_time = end;
+        self.state.report.events = engine.processed();
+        self.state.report.durability = self.state.middleware.durability();
+        self.state.report.clone()
+    }
+
+    /// Runs only background (Rebuilder) work until the middleware reports
+    /// none left. Used between a workload's first and second run.
+    pub fn drain_background(&mut self, start: SimTime) -> SimTime {
+        let mut engine: Engine<Event> = Engine::new();
+        engine.queue_mut().push(start, Event::BackgroundWake);
+        self.state.background_armed = true;
+        self.state.drain_mode = true;
+        let horizon = self.state.config.horizon;
+        let end = engine.run_until(&mut self.state, horizon);
+        self.state.drain_mode = false;
+        end
+    }
+
+    /// Takes the runner apart: cluster, middleware, and the latest report.
+    pub fn into_parts(self) -> (Cluster, M, RunReport) {
+        (self.state.cluster, self.state.middleware, self.state.report)
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &RunReport {
+        &self.state.report
+    }
+
+    /// The cluster (e.g. to pre-create files before running).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.state.cluster
+    }
+
+    /// The middleware (e.g. to inspect cache state after running).
+    pub fn middleware(&self) -> &M {
+        &self.state.middleware
+    }
+}
+
+impl<M: Middleware> World<Event> for State<M> {
+    fn handle(&mut self, now: SimTime, ev: Event, q: &mut EventQueue<Event>) {
+        // Scripted crash effects become visible the moment time reaches
+        // them, never later — direct store reads (Rebuilder copies) must
+        // not observe destroyed data.
+        self.cluster.advance_faults(now);
+        match ev {
+            Event::ProcessWake(i) => self.advance_process(now, i, q),
+            Event::ServerDone { tier, server } => self.server_done(now, tier, server, q),
+            Event::PlanStart(id) => {
+                // A missing entry means the queue replayed a stale id;
+                // there is nothing to start.
+                if let Some(exec) = self.plans.remove(&id) {
+                    self.start_plan(now, id, exec, q);
+                }
+            }
+            Event::BackgroundWake => self.background_wake(now, q),
+            Event::Retry(token) => self.fire_retry(now, token, q),
+            Event::Replan(token) => self.fire_replan(now, token, q),
+        }
+    }
+}
+
+impl<M: Middleware> State<M> {
+    /// Process state for an event- or owner-carried index. Indices are
+    /// minted from `procs` at construction and the vector never shrinks.
+    #[allow(clippy::expect_used)] // invariant documented above
+    fn proc(&self, i: usize) -> &Proc {
+        self.procs
+            .get(i)
+            // s4d-lint: allow(panic) — indices are minted from `procs` at construction and the vector never shrinks; a miss is event-queue corruption
+            .expect("event names a constructed process")
+    }
+
+    /// Mutable variant of [`State::proc`].
+    #[allow(clippy::expect_used)] // invariant documented above
+    fn proc_mut(&mut self, i: usize) -> &mut Proc {
+        self.procs
+            .get_mut(i)
+            // s4d-lint: allow(panic) — indices are minted from `procs` at construction and the vector never shrinks; a miss is event-queue corruption
+            .expect("event names a constructed process")
+    }
+
+    /// Launches a plan: charges its decision lead-in, then starts phase 0.
+    fn launch_plan(
+        &mut self,
+        now: SimTime,
+        plan: Plan,
+        owner: PlanOwner,
+        q: &mut EventQueue<Event>,
+    ) {
+        let plan_id = self.next_plan;
+        self.next_plan += 1;
+        let exec = PlanExec {
+            plan,
+            phase: 0,
+            outstanding: 0,
+            owner,
+            failed: false,
+        };
+        if !exec.plan.lead_in.is_zero() {
+            // Charge the middleware's decision time before any I/O starts.
+            let starts_at = now + exec.plan.lead_in;
+            self.plans.insert(plan_id, exec);
+            q.push(starts_at, Event::PlanStart(plan_id));
+            return;
+        }
+        self.start_plan(now, plan_id, exec, q);
+    }
+}

@@ -1,0 +1,181 @@
+//! Sub-request retry and application-request re-plan machinery.
+//!
+//! Two recovery levels with different scopes: a *retry* resubmits one
+//! failed sub-request to the same server after a middleware-chosen
+//! backoff; a *re-plan* throws the whole plan away and asks the
+//! middleware for a fresh one once its state reflects the failure
+//! (quarantine, invalidated mappings), so the new plan routes around it.
+
+use s4d_pfs::SubRequest;
+use s4d_sim::{EventQueue, SimDuration, SimTime};
+
+use crate::middleware::Middleware;
+use crate::types::{AppRequest, Tier};
+
+use super::exec::{PlanExec, PlanOwner, SubMeta};
+use super::{Event, State};
+
+/// Hard cap on re-planning one application request after plan failures —
+/// far above what converging fault scenarios need; hitting it means the
+/// middleware can neither serve nor route around a permanently failed
+/// resource.
+const MAX_REPLANS: u32 = 1000;
+
+/// Backoff before re-planning a failed request: grows with the attempt
+/// so a quarantined server's recovery window can pass.
+fn replan_delay(replans: u32) -> SimDuration {
+    let exp = replans.min(7);
+    SimDuration::from_millis(8 << exp).min(SimDuration::from_secs(1))
+}
+
+/// A failed sub-request waiting out its retry backoff.
+pub(super) struct PendingRetry {
+    tier: Tier,
+    server: usize,
+    req: SubRequest,
+    meta: SubMeta,
+}
+
+/// A failed application request waiting to be re-planned.
+pub(super) struct PendingReplan {
+    index: usize,
+    issued: SimTime,
+    file: s4d_pfs::FileId,
+    kind: s4d_storage::IoKind,
+    offset: u64,
+    len: u64,
+    data: Option<Vec<u8>>,
+    replans: u32,
+}
+
+impl<M: Middleware> State<M> {
+    /// Parks a failed sub-request until its backoff elapses.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn schedule_retry(
+        &mut self,
+        now: SimTime,
+        delay: SimDuration,
+        tier: Tier,
+        server: usize,
+        req: SubRequest,
+        meta: SubMeta,
+        q: &mut EventQueue<Event>,
+    ) {
+        self.report.degraded.retries += 1;
+        let token = self.next_retry;
+        self.next_retry += 1;
+        self.retries.insert(
+            token,
+            PendingRetry {
+                tier,
+                server,
+                req,
+                meta,
+            },
+        );
+        q.push(now + delay, Event::Retry(token));
+    }
+
+    /// Resubmits a retried sub-request after its backoff.
+    pub(super) fn fire_retry(&mut self, now: SimTime, token: u64, q: &mut EventQueue<Event>) {
+        let Some(PendingRetry {
+            tier,
+            server,
+            req,
+            mut meta,
+        }) = self.retries.remove(&token)
+        else {
+            return; // Retry tokens are minted once per pending retry
+        };
+        meta.submitted = now;
+        let id = req.id;
+        let Ok(srv) = self.cluster.pfs_mut(tier).server_mut(server) else {
+            return; // the retried server was valid when the retry was queued
+        };
+        let started = srv.submit(now, req);
+        self.subs.insert(id, meta);
+        if let Some(s) = started {
+            q.push(s.completes_at, Event::ServerDone { tier, server });
+        }
+    }
+
+    /// A plan failed: notify the middleware, then schedule a re-plan of
+    /// the owning application request (background plans are just dropped
+    /// and rebuilt by a later poll).
+    pub(super) fn fail_plan(&mut self, now: SimTime, exec: PlanExec, q: &mut EventQueue<Event>) {
+        if exec.plan.tag != 0 {
+            self.middleware
+                .on_plan_failed(&mut self.cluster, now, exec.plan.tag);
+        }
+        match exec.owner {
+            PlanOwner::Process {
+                index,
+                issued,
+                file,
+                kind,
+                offset,
+                len,
+                data,
+                replans,
+                ..
+            } => {
+                assert!(
+                    replans < MAX_REPLANS,
+                    "request (offset {offset}, len {len}) re-planned {MAX_REPLANS} times \
+                     without succeeding — the middleware cannot route around the failure"
+                );
+                self.report.degraded.replans += 1;
+                let token = self.next_replan;
+                self.next_replan += 1;
+                self.replans.insert(
+                    token,
+                    PendingReplan {
+                        index,
+                        issued,
+                        file,
+                        kind,
+                        offset,
+                        len,
+                        data,
+                        replans: replans + 1,
+                    },
+                );
+                q.push(now + replan_delay(replans), Event::Replan(token));
+            }
+            PlanOwner::Background => {
+                self.report.degraded.failed_background_plans += 1;
+            }
+        }
+    }
+
+    /// Re-plans a failed application request from scratch: the middleware's
+    /// state now reflects the failure (quarantine, invalidated mappings),
+    /// so the new plan routes around it.
+    pub(super) fn fire_replan(&mut self, now: SimTime, token: u64, q: &mut EventQueue<Event>) {
+        let Some(e) = self.replans.remove(&token) else {
+            return; // Replan tokens are minted once per pending replan
+        };
+        let rank = self.proc(e.index).rank;
+        let req = AppRequest {
+            rank,
+            file: e.file,
+            kind: e.kind,
+            offset: e.offset,
+            len: e.len,
+            data: e.data.clone(),
+        };
+        let plan = self.middleware.plan_io(&mut self.cluster, now, &req);
+        let owner = PlanOwner::Process {
+            index: e.index,
+            issued: e.issued,
+            file: e.file,
+            kind: e.kind,
+            offset: e.offset,
+            len: e.len,
+            read_buf: None,
+            data: e.data,
+            replans: e.replans,
+        };
+        self.launch_plan(now, plan, owner, q);
+    }
+}

@@ -1,0 +1,356 @@
+//! Integration tests for the discrete-event runner: script execution,
+//! barriers, functional data round-trips, determinism, and the retry /
+//! re-plan machinery — all through the public crate surface.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use s4d_mpiio::{
+    script, AppRequest, Cluster, ErrorDirective, IoObserver, Middleware, MiddlewareError, Plan,
+    Rank, Runner, StockMiddleware, SubIoFailure,
+};
+use s4d_pfs::FileId;
+use s4d_sim::stats::MIB;
+use s4d_sim::{SimDuration, SimTime};
+use s4d_storage::IoKind;
+
+fn small_cluster() -> Cluster {
+    Cluster::paper_testbed_small(3)
+}
+
+#[test]
+fn single_process_write_read_roundtrip_timing() {
+    let scripts = vec![script()
+        .open("f")
+        .write(0, 0, 128 * 1024)
+        .read(0, 0, 128 * 1024)
+        .close(0)
+        .build()];
+    let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 1);
+    let rep = r.run();
+    assert_eq!(rep.app_ops(IoKind::Write), 1);
+    assert_eq!(rep.app_ops(IoKind::Read), 1);
+    assert!(rep.writes.throughput_mibs() > 0.0);
+    assert!(rep.end_time > SimTime::ZERO);
+    assert_eq!(rep.tiers.c_ops, 0, "stock never touches CServers");
+    assert_eq!(rep.tiers.d_ops, 2);
+    assert_eq!(rep.tiers.d_bytes, 2 * 128 * 1024);
+}
+
+#[test]
+fn functional_data_round_trips_through_servers() {
+    struct Capture(Rc<RefCell<Vec<Vec<u8>>>>);
+    impl IoObserver for Capture {
+        fn on_read_data(&mut self, _r: Rank, _o: u64, _l: u64, data: Option<&[u8]>) {
+            self.0
+                .borrow_mut()
+                .push(data.expect("functional data").to_vec());
+        }
+    }
+    let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+    let scripts = vec![script()
+        .open("f")
+        .write_bytes(0, 64 * 1024, payload.clone())
+        .read(0, 64 * 1024, payload.len() as u64)
+        .close(0)
+        .build()];
+    let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 2);
+    let got = Rc::new(RefCell::new(Vec::new()));
+    r.add_observer(Box::new(Capture(got.clone())));
+    r.run();
+    let got = got.borrow();
+    assert_eq!(got.len(), 1);
+    assert_eq!(
+        got[0], payload,
+        "bytes must survive striping and reassembly"
+    );
+}
+
+#[test]
+fn barrier_synchronises_processes() {
+    // Process 0 does a long write before the barrier; process 1 reaches
+    // the barrier immediately. Both must finish their post-barrier ops
+    // no earlier than the long write's completion.
+    let scripts = vec![
+        script()
+            .open("a")
+            .write(0, 0, 8 * MIB as u64)
+            .barrier()
+            .write(0, 8 * MIB as u64, 4096)
+            .build(),
+        script().open("b").barrier().write(0, 0, 4096).build(),
+    ];
+    let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 3);
+    let rep = r.run();
+    assert_eq!(rep.app_ops(IoKind::Write), 3);
+    // The two post-barrier writes complete after the big one started.
+    assert!(rep.writes.span() > SimDuration::ZERO);
+}
+
+#[test]
+fn many_processes_share_servers() {
+    let scripts: Vec<_> = (0..8)
+        .map(|p| {
+            script()
+                .open("shared")
+                .write(0, p as u64 * MIB as u64, 256 * 1024)
+                .close(0)
+                .build()
+        })
+        .collect();
+    let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 4);
+    let rep = r.run();
+    assert_eq!(rep.app_ops(IoKind::Write), 8);
+    // Queueing must make the span exceed any single service time.
+    assert!(rep.writes.span() > SimDuration::from_millis(1));
+}
+
+#[test]
+fn think_time_delays_processes() {
+    let scripts = vec![script()
+        .open("f")
+        .think(SimDuration::from_secs(1))
+        .write(0, 0, 4096)
+        .build()];
+    let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 5);
+    let rep = r.run();
+    assert!(rep.writes.first_issue.unwrap() >= SimTime::from_secs(1));
+}
+
+#[test]
+fn deterministic_runs() {
+    let make = || {
+        let scripts: Vec<_> = (0..4)
+            .map(|p| {
+                script()
+                    .open("shared")
+                    .write(0, p as u64 * 1_000_000, 100_000)
+                    .read(0, ((p + 1) % 4) as u64 * 1_000_000, 100_000)
+                    .build()
+            })
+            .collect();
+        let mut r = Runner::new(
+            Cluster::paper_testbed(77),
+            StockMiddleware::new(),
+            scripts,
+            6,
+        );
+        r.run()
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.end_time, b.end_time);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.writes.meter, b.writes.meter);
+}
+
+#[test]
+fn seek_and_cursor_io_follow_mpi_semantics() {
+    struct Capture(Rc<RefCell<Vec<(u64, u64)>>>);
+    impl IoObserver for Capture {
+        fn on_request_complete(
+            &mut self,
+            _now: SimTime,
+            _rank: Rank,
+            _kind: IoKind,
+            offset: u64,
+            len: u64,
+            _issued: SimTime,
+        ) {
+            self.0.borrow_mut().push((offset, len));
+        }
+    }
+    // seek(4096); write_cur(100); write_cur(50): cursor advances;
+    // an explicit-offset write does NOT move the cursor (MPI
+    // individual-file-pointer semantics); read_cur resumes after it.
+    let scripts = vec![script()
+        .open("f")
+        .seek(0, 4096)
+        .write_cur(0, 100)
+        .write_cur(0, 50)
+        .write(0, 0, 10)
+        .read_cur(0, 20)
+        .close(0)
+        .build()];
+    let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 8);
+    let got = Rc::new(RefCell::new(Vec::new()));
+    r.add_observer(Box::new(Capture(got.clone())));
+    r.run();
+    assert_eq!(
+        *got.borrow(),
+        vec![(4096, 100), (4196, 50), (0, 10), (4246, 20)]
+    );
+}
+
+#[test]
+fn reopened_slot_resets_cursor() {
+    let scripts = vec![script()
+        .open("a")
+        .seek(0, 1_000_000)
+        .close(0)
+        .open("b") // reuses slot 0: cursor must restart at 0
+        .write_cur(0, 64)
+        .build()];
+    struct Capture(Rc<RefCell<Vec<u64>>>);
+    impl IoObserver for Capture {
+        fn on_request_complete(
+            &mut self,
+            _n: SimTime,
+            _r: Rank,
+            _k: IoKind,
+            offset: u64,
+            _l: u64,
+            _i: SimTime,
+        ) {
+            self.0.borrow_mut().push(offset);
+        }
+    }
+    let mut r = Runner::new(small_cluster(), StockMiddleware::new(), scripts, 9);
+    let got = Rc::new(RefCell::new(Vec::new()));
+    r.add_observer(Box::new(Capture(got.clone())));
+    r.run();
+    assert_eq!(*got.borrow(), vec![0]);
+}
+
+#[test]
+#[should_panic(expected = "used unopened handle")]
+fn bad_handle_panics() {
+    let scripts = vec![script().write(0, 0, 4096).build()];
+    Runner::new(small_cluster(), StockMiddleware::new(), scripts, 7).run();
+}
+
+/// Stock middleware plus a fixed retry policy — exercises the
+/// runner's retry and re-plan machinery without the cache layer.
+struct RetryingStock {
+    inner: StockMiddleware,
+    max_attempts: u32,
+}
+
+impl Middleware for RetryingStock {
+    fn open(
+        &mut self,
+        cluster: &mut Cluster,
+        rank: Rank,
+        name: &str,
+    ) -> Result<FileId, MiddlewareError> {
+        self.inner.open(cluster, rank, name)
+    }
+
+    fn plan_io(&mut self, cluster: &mut Cluster, now: SimTime, req: &AppRequest) -> Plan {
+        self.inner.plan_io(cluster, now, req)
+    }
+
+    fn close(
+        &mut self,
+        cluster: &mut Cluster,
+        rank: Rank,
+        file: FileId,
+    ) -> Result<(), MiddlewareError> {
+        self.inner.close(cluster, rank, file)
+    }
+
+    fn on_io_error(
+        &mut self,
+        _cluster: &mut Cluster,
+        _now: SimTime,
+        failure: &SubIoFailure,
+    ) -> ErrorDirective {
+        if failure.attempts < self.max_attempts {
+            ErrorDirective::Retry {
+                delay: SimDuration::from_millis(1),
+            }
+        } else {
+            ErrorDirective::GiveUp
+        }
+    }
+
+    fn name(&self) -> &str {
+        "retrying-stock"
+    }
+}
+
+#[test]
+fn transient_errors_are_retried_to_success() {
+    use s4d_pfs::{FaultPlan, ServerFault};
+    let mut cluster = small_cluster();
+    for s in 0..cluster.opfs().server_count() {
+        cluster
+            .opfs_mut()
+            .set_fault_plan(
+                s,
+                FaultPlan::new().with(ServerFault::TransientErrors {
+                    from: SimTime::ZERO,
+                    until: SimTime::from_secs(10_000),
+                    error_rate: 0.3,
+                }),
+            )
+            .unwrap();
+    }
+    let payload: Vec<u8> = (0..300_000u32).map(|i| (i % 241) as u8).collect();
+    let scripts = vec![script()
+        .open("f")
+        .write_bytes(0, 0, payload.clone())
+        .read(0, 0, payload.len() as u64)
+        .close(0)
+        .build()];
+    let mw = RetryingStock {
+        inner: StockMiddleware::new(),
+        max_attempts: 50,
+    };
+    let mut r = Runner::new(cluster, mw, scripts, 11);
+    struct Capture(Rc<RefCell<Vec<Vec<u8>>>>);
+    impl IoObserver for Capture {
+        fn on_read_data(&mut self, _r: Rank, _o: u64, _l: u64, data: Option<&[u8]>) {
+            self.0
+                .borrow_mut()
+                .push(data.expect("functional data").to_vec());
+        }
+    }
+    let got = Rc::new(RefCell::new(Vec::new()));
+    r.add_observer(Box::new(Capture(got.clone())));
+    let rep = r.run();
+    assert!(rep.degraded.io_errors > 0, "30% error rate must bite");
+    assert_eq!(
+        rep.degraded.retries, rep.degraded.io_errors,
+        "every error was retried, none gave up"
+    );
+    assert_eq!(rep.degraded.replans, 0);
+    assert_eq!(got.borrow()[0], payload, "retries must preserve bytes");
+}
+
+#[test]
+fn plan_failure_replans_until_the_outage_ends() {
+    use s4d_pfs::{FaultPlan, ServerFault};
+    let mut cluster = small_cluster();
+    // Every DServer is down for the first 2 seconds; the write issued
+    // at t≈0 must fail, re-plan with backoff, and succeed afterwards.
+    for s in 0..cluster.opfs().server_count() {
+        cluster
+            .opfs_mut()
+            .set_fault_plan(
+                s,
+                FaultPlan::new().with(ServerFault::Crash {
+                    at: SimTime::ZERO,
+                    recover_at: SimTime::from_secs(2),
+                }),
+            )
+            .unwrap();
+    }
+    let scripts = vec![script().open("f").write(0, 0, 64 * 1024).close(0).build()];
+    let mw = RetryingStock {
+        inner: StockMiddleware::new(),
+        max_attempts: 1, // offline: retrying the same server is futile
+    };
+    let mut r = Runner::new(cluster, mw, scripts, 12);
+    let rep = r.run();
+    assert_eq!(
+        rep.app_ops(IoKind::Write),
+        1,
+        "request completes eventually"
+    );
+    assert!(rep.degraded.replans > 0);
+    assert!(
+        rep.end_time >= SimTime::from_secs(2),
+        "success only after recovery"
+    );
+}

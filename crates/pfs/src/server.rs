@@ -235,6 +235,7 @@ impl FileServer {
     ///
     /// Panics if nothing is in service — calling this without a matching
     /// [`Started`] is a scheduling bug.
+    #[allow(clippy::expect_used)] // documented panic contract above
     pub fn on_complete(&mut self, now: SimTime) -> (CompletedSubRequest, Option<Started>) {
         self.advance_faults(now);
         let req = self
