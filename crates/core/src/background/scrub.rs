@@ -93,7 +93,7 @@ impl S4dCache {
             if budget == 0 {
                 break;
             }
-            // s4d-lint: allow(panic) — index is taken modulo `targets.len()`, which the loop guard keeps non-zero
+            // s4d-lint: allow(panic) — index is taken modulo `targets.len()`, which the loop guard keeps non-zero; panic-path witness: run → handle → background_wake → poll_background → background_poll → run_scrub
             let (f, o) = targets[(start + k) % targets.len()];
             match self.scrub_extent(cluster, f, o) {
                 None => return,

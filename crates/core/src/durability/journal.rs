@@ -42,7 +42,9 @@ const CRC32_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        // s4d-lint: allow(panic) — `i < 256` is the loop condition; the table has 256 slots
+        // Const-initializer: evaluated at build time, where an
+        // out-of-bounds index is a compile error — outside the runtime
+        // panic rules by construction.
         table[i] = crc;
         i += 1;
     }
@@ -53,7 +55,7 @@ const CRC32_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
-        // s4d-lint: allow(panic) — index is masked to 0xFF, always < the 256-entry table
+        // s4d-lint: allow(panic) — index is masked to 0xFF, always < the 256-entry table; panic-path witness: pub fn crc32 is itself the API root
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc

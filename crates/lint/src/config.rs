@@ -9,6 +9,7 @@ pub const RULES: &[&str] = &[
     "determinism",
     "ordered-iter",
     "panic",
+    "panic-path",
     "lock-order",
     "lock-across-io",
     "durability",
@@ -88,6 +89,76 @@ pub const DURABLE_EFFECT_FNS: &[&str] = &["apply_bytes", "discard"];
 
 /// Journal record constructors whose durability ordering is checked.
 pub const INTENT_RECORD: &str = "FlushIntent";
+
+/// Call names the call-graph builder never resolves: std-prelude shadows
+/// so ubiquitous that a bare-name edge would connect unrelated components
+/// through the standard library's vocabulary, not through real calls.
+/// Dropping them loses at most real same-named workspace helpers — the
+/// conservative direction (fewer edges, never an impossible path); see
+/// `callgraph` and DESIGN.md §10.
+pub const CALL_NAME_STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "clear",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "next",
+    "drain",
+    "take",
+    "extend",
+    "retain",
+    "from",
+    "into",
+    "to_string",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "min",
+    "max",
+    "sum",
+    "write",
+    "read",
+    "lock",
+    "flush",
+    "name",
+    "map",
+    "filter",
+    "collect",
+    "find",
+    "position",
+    "sort",
+    "split",
+    "join",
+    "first",
+    "last",
+];
+
+/// A bare call name with this many (or more) workspace definitions is
+/// treated as unresolvable: past this point the edges are trait-dispatch
+/// noise, not information. Like the stoplist, this degrades toward fewer
+/// edges.
+pub const CALL_RESOLUTION_CAP: usize = 4;
+
+/// Crates whose unrestricted `pub fn`s are the roots of the `panic-path`
+/// reachability analysis: the middleware's public API surface (what the
+/// MPI-IO runner and library consumers actually call).
+pub const PANIC_PATH_ROOT_CRATES: &[&str] = &["core", "mpiio"];
 
 /// Maximum non-test code lines per library module (`file-budget`).
 /// `#[cfg(test)]` / `#[test]` spans and files under `tests/`, `examples/`,

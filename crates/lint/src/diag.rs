@@ -1,4 +1,5 @@
-//! Diagnostics: rule id, location, message, fix hint, severity.
+//! Diagnostics: rule id, location, message, fix hint, severity, and (for
+//! interprocedural findings) the witness call chain.
 
 use std::path::PathBuf;
 
@@ -10,6 +11,16 @@ pub enum Severity {
     Warning,
     /// Fails the run.
     Error,
+}
+
+impl Severity {
+    /// The lowercase label used in human and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
 }
 
 /// One finding.
@@ -27,22 +38,119 @@ pub struct Diagnostic {
     pub hint: &'static str,
     /// Error or warning.
     pub severity: Severity,
+    /// Witness call chain for interprocedural findings, outermost caller
+    /// first, each step rendered as `file:line fn name`. Empty for
+    /// single-function findings.
+    pub chain: Vec<String>,
 }
 
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let sev = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
         write!(
             f,
-            "{}:{}: {sev}[{}] {}\n    hint: {}",
+            "{}:{}: {}[{}] {}",
             self.path.display(),
             self.line,
+            self.severity.label(),
             self.rule,
             self.message,
-            self.hint
-        )
+        )?;
+        for (k, step) in self.chain.iter().enumerate() {
+            let label = if k == 0 { "via" } else { "   " };
+            write!(f, "\n    {label}: {step}")?;
+        }
+        write!(f, "\n    hint: {}", self.hint)
+    }
+}
+
+impl Diagnostic {
+    /// Renders the finding as one JSON object (the `--format=json` line
+    /// format): `file`, `line`, `rule`, `severity`, `message`, `hint`,
+    /// and `chain` (array of rendered steps, present even when empty).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"file\":{}",
+            json_str(&self.path.display().to_string())
+        ));
+        out.push_str(&format!(",\"line\":{}", self.line));
+        out.push_str(&format!(",\"rule\":{}", json_str(self.rule)));
+        out.push_str(&format!(
+            ",\"severity\":{}",
+            json_str(self.severity.label())
+        ));
+        out.push_str(&format!(",\"message\":{}", json_str(&self.message)));
+        out.push_str(&format!(",\"hint\":{}", json_str(self.hint)));
+        out.push_str(",\"chain\":[");
+        for (k, step) in self.chain.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(step));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (the linter is dependency-free,
+/// so the escaping is done by hand; control characters use `\u00XX`).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_includes_every_field() {
+        let d = Diagnostic {
+            path: PathBuf::from("crates/core/src/a.rs"),
+            line: 7,
+            rule: "durability",
+            message: "a \"quoted\"\nmessage".to_string(),
+            hint: "fix it",
+            severity: Severity::Error,
+            chain: vec!["crates/core/src/a.rs:7 fn top".to_string()],
+        };
+        let j = d.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"file\":\"crates/core/src/a.rs\""));
+        assert!(j.contains("\"line\":7"));
+        assert!(j.contains("\"severity\":\"error\""));
+        assert!(j.contains("\\\"quoted\\\"\\nmessage"));
+        assert!(j.contains("\"chain\":[\"crates/core/src/a.rs:7 fn top\"]"));
+    }
+
+    #[test]
+    fn display_renders_chain_steps() {
+        let d = Diagnostic {
+            path: PathBuf::from("a.rs"),
+            line: 1,
+            rule: "panic-path",
+            message: "m".to_string(),
+            hint: "h",
+            severity: Severity::Warning,
+            chain: vec!["a.rs:1 fn f".to_string(), "b.rs:2 fn g".to_string()],
+        };
+        let s = d.to_string();
+        assert!(s.contains("via: a.rs:1 fn f"));
+        assert!(s.contains("b.rs:2 fn g"));
+        assert!(s.ends_with("hint: h"));
     }
 }

@@ -1,19 +1,23 @@
-//! The engine: workspace walk, rule dispatch, pragma suppression, and
+//! The engine: workspace walk, two-tier rule dispatch (per-file, then
+//! interprocedural over the whole parsed set), pragma suppression, and
 //! the final report.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use crate::config;
 use crate::diag::{Diagnostic, Severity};
+use crate::items::{self, ItemIndex};
 use crate::pragma::{pragmas, Pragma};
 use crate::rules;
 use crate::source::SourceFile;
+use crate::summary::Analysis;
 
 /// Outcome of a lint run.
 #[derive(Debug, Default)]
 pub struct Report {
     /// Surviving findings (pragma-suppressed ones removed), sorted by
-    /// file and line.
+    /// `(file, line, rule, message)`.
     pub diagnostics: Vec<Diagnostic>,
     /// Number of findings suppressed by justified pragmas.
     pub suppressed: usize,
@@ -36,22 +40,48 @@ impl Report {
     }
 }
 
-/// Lints one parsed file: runs every rule, applies pragmas, and emits
-/// pragma-hygiene findings.
-pub fn lint_file(file: &SourceFile, report: &mut Report) {
-    report.files += 1;
+/// Lints a parsed file set as one unit: per-file rules, then the
+/// interprocedural rules over the call graph spanning the whole set, then
+/// pragma suppression and hygiene per file. The set *is* the analysis
+/// scope — calls into files outside it simply do not resolve.
+pub fn lint_files(files: &[SourceFile]) -> Report {
+    let items: Vec<ItemIndex> = files.iter().map(items::index).collect();
     let mut found = Vec::new();
-    rules::check_all(file, &mut found);
-    let prags = pragmas(file);
+    for (file, idx) in files.iter().zip(&items) {
+        rules::check_file(file, idx, &mut found);
+    }
+    let analysis = Analysis::build(files, &items);
+    rules::check_graph(&analysis, &mut found);
+
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    let by_path: BTreeMap<&Path, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(k, f)| (f.path.as_path(), k))
+        .collect();
+    let prags: Vec<Vec<Pragma>> = files.iter().map(pragmas).collect();
     for d in found {
-        if let Some(p) = prags.iter().find(|p| p.suppresses(d.rule, d.line)) {
+        let file_prags = by_path
+            .get(d.path.as_path())
+            .map(|&k| prags[k].as_slice())
+            .unwrap_or(&[]);
+        if let Some(p) = file_prags.iter().find(|p| p.suppresses(d.rule, d.line)) {
             p.used.set(true);
             report.suppressed += 1;
         } else {
             report.diagnostics.push(d);
         }
     }
-    pragma_hygiene(file, &prags, report);
+    for (file, file_prags) in files.iter().zip(&prags) {
+        pragma_hygiene(file, file_prags, &mut report);
+    }
+    report.diagnostics.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    report
 }
 
 /// `pragma`: malformed pragmas, unknown rule ids, missing justification,
@@ -66,9 +96,10 @@ fn pragma_hygiene(file: &SourceFile, prags: &[Pragma], report: &mut Report) {
                 rule: "pragma",
                 message,
                 hint: "format: `// s4d-lint: allow(<rule>) — <justification>`; rules: \
-                       determinism, ordered-iter, panic, lock-order, lock-across-io, \
-                       durability, file-budget",
+                       determinism, ordered-iter, panic, panic-path, lock-order, \
+                       lock-across-io, durability, file-budget",
                 severity,
+                chain: Vec::new(),
             });
         };
         if !p.well_formed {
@@ -145,10 +176,11 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     lint_paths(root, &files)
 }
 
-/// Lints an explicit set of files (workspace-relative scoping is derived
-/// from each path's prefix relative to `root`).
+/// Lints an explicit set of files as one analysis scope (workspace-
+/// relative scoping is derived from each path's prefix relative to
+/// `root`).
 pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> Result<Report, String> {
-    let mut report = Report::default();
+    let mut files = Vec::with_capacity(paths.len());
     for path in paths {
         let rel = path
             .strip_prefix(root)
@@ -157,11 +189,7 @@ pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> Result<Report, String> {
             .replace('\\', "/");
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let file = SourceFile::parse(path.clone(), rel, &src);
-        lint_file(&file, &mut report);
+        files.push(SourceFile::parse(path.clone(), rel, &src));
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(report)
+    Ok(lint_files(&files))
 }

@@ -11,7 +11,14 @@ s4d-lint — static analysis for the S4D-Cache workspace
 USAGE:
     s4d-lint --workspace            lint the whole workspace (from its root)
     s4d-lint <path>…                lint specific files or directories
+    s4d-lint --format=json          one JSON object per finding on stdout
+                                    (summary goes to stderr)
     s4d-lint --list-rules           print the rule catalogue
+
+EXIT CODES:
+    0  clean (warnings allowed)
+    1  at least one error-severity finding
+    2  usage or I/O error
 
 A finding is suppressed only by a justified pragma on or just above its
 line:  // s4d-lint: allow(<rule>) — <justification>";
@@ -28,20 +35,26 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    let mut json = false;
+    let mut unknown = Vec::new();
+    for a in args.iter().filter(|a| a.starts_with("--")) {
+        match a.as_str() {
+            "--workspace" => {}
+            "--format=json" => json = true,
+            "--format=human" => json = false,
+            _ => unknown.push(a),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("unknown option {:?}\n\n{USAGE}", unknown.first());
+        return ExitCode::from(2);
+    }
     let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let paths: Vec<PathBuf> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(PathBuf::from)
         .collect();
-    let unknown: Vec<&String> = args
-        .iter()
-        .filter(|a| a.starts_with("--") && *a != "--workspace")
-        .collect();
-    if !unknown.is_empty() {
-        eprintln!("unknown option {:?}\n\n{USAGE}", unknown.first());
-        return ExitCode::from(2);
-    }
     let result = if paths.is_empty() {
         engine::lint_workspace(&root)
     } else {
@@ -62,16 +75,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for d in &report.diagnostics {
-        println!("{d}");
-    }
-    println!(
+    let summary = format!(
         "s4d-lint: {} files, {} errors, {} warnings, {} suppressed by pragma",
         report.files,
         report.errors(),
         report.warnings(),
         report.suppressed
     );
+    if json {
+        // Machine output stays parseable: diagnostics on stdout (one JSON
+        // object per line), the human summary on stderr.
+        for d in &report.diagnostics {
+            println!("{}", d.to_json());
+        }
+        eprintln!("{summary}");
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!("{summary}");
+    }
     if report.errors() > 0 {
         ExitCode::FAILURE
     } else {

@@ -1,174 +1,319 @@
-//! `durability`: the DESIGN.md §9 write-ordering protocol, statically.
+//! `durability`: the DESIGN.md §9 write-ordering protocol, checked along
+//! call paths.
 //!
 //! PR 2's crash-matrix harness proves crash consistency *for the
 //! orderings the code happens to have today*; this rule keeps those
-//! orderings from regressing. Scope: library files of `core` that
-//! reference the synchronous journal-append primitive
-//! (`append_journal_sync`) — i.e. the middleware layer itself plus any
-//! future file that joins the protocol.
+//! orderings from regressing. Since the component decomposition
+//! (DESIGN.md §12) the protocol steps routinely span functions — the
+//! append lives in `durability/mod.rs` while the discard it must precede
+//! hides in a `pipeline/admit.rs` helper — so the checks walk each
+//! function's events *with callee effect summaries expanded*
+//! ([`crate::summary::Summary`]), not just its own tokens.
 //!
-//! Per function body, four lexical checks:
+//! Scope: library files of `core` that reference a journal primitive
+//! (`append_journal_sync` or the batched `journal_op`) — the middleware
+//! layer itself plus any future file that joins the protocol. Files that
+//! never touch the journal (e.g. `durability/recovery.rs`, which runs
+//! *before* a journal exists and re-enters recovery on a crash) stay
+//! exempt by construction.
 //!
-//! 1. **Remove-before-discard** — in a function that appends to the
-//!    journal synchronously, no `.discard(…)` may precede the first
-//!    append: the `Remove` records must be durable before the bytes go
-//!    away, or recovery maps freed space.
+//! Per function, four checks over the expanded event order:
+//!
+//! 1. **Remove-before-discard** — on any path that appends to the journal
+//!    synchronously, no discard (direct `.discard(…)`, or a callee whose
+//!    summary leaks an *exposed* discard) may precede the first append:
+//!    the `Remove` records must be durable before the bytes go away, or
+//!    recovery maps freed space. A callee that appends before its own
+//!    discard (`exposed_discard == false`) satisfies the ordering
+//!    internally and is not flagged.
 //! 2. **FlushIntent is synchronous** — a function constructing a
-//!    `FlushIntent` record must call `append_journal_sync` after it; the
-//!    intent must be durable before the flush plan reaches the runner,
-//!    or a crash mid-flush loses the re-flush obligation.
-//! 3. **Data before metadata** — in a plan-building function, no
-//!    `data_op(…)` may follow the batched `journal_op(…)`: the journal
-//!    write describing new mappings must be the plan's final phase, or a
-//!    crash leaves a mapping pointing at unwritten space.
+//!    `FlushIntent` record must append synchronously after it — directly
+//!    or via a callee that appends — before the flush plan reaches the
+//!    runner, or a crash mid-flush loses the re-flush obligation.
+//! 3. **Data before metadata** — once the batched `journal_op(…)` is
+//!    planned (directly or via a callee), no further `data_op(…)` may be
+//!    planned: the journal write describing new mappings must be the
+//!    plan's final phase, or a crash leaves a mapping pointing at
+//!    unwritten space. A callee that builds *both* data and journal
+//!    phases is a **closed plan** — internally complete, contributing
+//!    neither to the caller's ordering state.
 //! 4. **Fuse-gated effects** — every durable effect (`apply_bytes`,
-//!    `discard`) must be preceded in its function by a
-//!    `fuse_consume(…)` charge, so the crash-point torture matrix can
-//!    crash inside it. An ungated effect is an untested crash site.
+//!    `discard`), direct or leaked by a callee as an *exposed unfused
+//!    effect*, must be preceded by a `fuse_consume(…)` charge on the
+//!    path, so the crash-point torture matrix can crash inside it. An
+//!    ungated effect is an untested crash site.
+//!
+//! Findings produced through a callee carry the witness call chain.
 
+use crate::callgraph::FnId;
 use crate::config;
 use crate::diag::{Diagnostic, Severity};
-use crate::source::SourceFile;
+use crate::items::EventKind;
+use crate::summary::Analysis;
 
-/// Runs the durability-protocol checks.
-pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if file.kind.is_test_like() || file.crate_name != "core" {
-        return;
-    }
-    let participates = (0..file.code.len()).any(|i| file.ident(i) == Some(config::JOURNAL_SYNC_FN));
-    if !participates {
-        return;
-    }
-    for f in &file.fns {
-        if f.name == config::JOURNAL_SYNC_FN || f.name == config::FUSE_FN {
-            // The primitives themselves implement the gate.
+/// Function names that *implement* the protocol primitives; their bodies
+/// are the gate, not gated.
+fn is_primitive(name: &str) -> bool {
+    name == config::JOURNAL_SYNC_FN
+        || name == config::JOURNAL_BATCH_FN
+        || name == config::DATA_OP_FN
+        || name == config::FUSE_FN
+}
+
+/// Runs the durability-protocol checks over the analyzed workspace.
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for id in 0..a.graph.len() {
+        let file = a.file_of(id);
+        if file.crate_name != "core" {
             continue;
         }
-        if file
-            .code
-            .get(f.body.start)
-            .is_some_and(|t| file.in_test_span(t.line))
-        {
-            continue;
-        }
-        let body = f.body.clone();
-        remove_before_discard(file, body.clone(), out);
-        flush_intent_sync(file, body.clone(), out);
-        data_before_metadata(file, body.clone(), out);
-        fuse_gated(file, body, out);
-    }
-}
-
-fn find_call(file: &SourceFile, body: &std::ops::Range<usize>, name: &str) -> Option<usize> {
-    body.clone().find(|&i| file.is_call(i, name))
-}
-
-/// Check 1: no `.discard(` before the first synchronous append.
-fn remove_before_discard(
-    file: &SourceFile,
-    body: std::ops::Range<usize>,
-    out: &mut Vec<Diagnostic>,
-) {
-    let Some(first_append) = find_call(file, &body, config::JOURNAL_SYNC_FN) else {
-        return;
-    };
-    for i in body.start..first_append {
-        if file.punct_is(i.wrapping_sub(1), '.') && file.is_call(i, "discard") {
-            out.push(Diagnostic {
-                path: file.path.clone(),
-                line: file.line_of(i),
-                rule: "durability",
-                message: "cache bytes discarded before the journal append that records \
-                          their removal"
-                    .to_string(),
-                hint: "append the Remove records synchronously first (metadata durable \
-                       before destruction), then discard — see DESIGN.md §9 eviction \
-                       ordering",
-                severity: Severity::Error,
-            });
-        }
-    }
-}
-
-/// Check 2: `FlushIntent` construction requires a later sync append.
-fn flush_intent_sync(file: &SourceFile, body: std::ops::Range<usize>, out: &mut Vec<Diagnostic>) {
-    let Some(last_intent) = body
-        .clone()
-        .rev()
-        .find(|&i| file.ident(i) == Some(config::INTENT_RECORD))
-    else {
-        return;
-    };
-    let appended_after = (last_intent..body.end).any(|i| file.is_call(i, config::JOURNAL_SYNC_FN));
-    if !appended_after {
-        out.push(Diagnostic {
-            path: file.path.clone(),
-            line: file.line_of(last_intent),
-            rule: "durability",
-            message: "FlushIntent record constructed without a following synchronous \
-                      journal append in this function"
-                .to_string(),
-            hint: "pass the intents to append_journal_sync before the flush plans are \
-                   returned — the intent must be durable before any flush I/O can run \
-                   (DESIGN.md §9 flush ordering)",
-            severity: Severity::Error,
+        let participates = (0..file.code.len()).any(|i| {
+            matches!(
+                file.ident(i),
+                Some(n) if n == config::JOURNAL_SYNC_FN || n == config::JOURNAL_BATCH_FN
+            )
         });
-    }
-}
-
-/// Check 3: no data op planned after the batched journal op.
-fn data_before_metadata(
-    file: &SourceFile,
-    body: std::ops::Range<usize>,
-    out: &mut Vec<Diagnostic>,
-) {
-    let Some(first_journal) = find_call(file, &body, config::JOURNAL_BATCH_FN) else {
-        return;
-    };
-    for i in first_journal..body.end {
-        if file.is_call(i, config::DATA_OP_FN) {
-            out.push(Diagnostic {
-                path: file.path.clone(),
-                line: file.line_of(i),
-                rule: "durability",
-                message: "data op planned after the journal op: the mapping record \
-                          would become durable before its cache bytes"
-                    .to_string(),
-                hint: "plan every data phase first and make the journal write the \
-                       final phase (DESIGN.md §9 admission ordering: data before \
-                       metadata)",
-                severity: Severity::Error,
-            });
-        }
-    }
-}
-
-/// Check 4: durable effects must be fuse-gated.
-fn fuse_gated(file: &SourceFile, body: std::ops::Range<usize>, out: &mut Vec<Diagnostic>) {
-    for i in body.clone() {
-        let Some(name) = file.ident(i) else { continue };
-        if !config::DURABLE_EFFECT_FNS.contains(&name)
-            || !file.punct_is(i.wrapping_sub(1), '.')
-            || !file.punct_is(i + 1, '(')
-        {
+        if !participates {
             continue;
         }
-        let gated = (body.start..i).any(|j| file.is_call(j, config::FUSE_FN));
-        if !gated {
+        if is_primitive(&a.fn_item(id).name) {
+            continue;
+        }
+        walk(a, id, out);
+    }
+}
+
+/// Walks one function's events in order, expanding callee summaries.
+fn walk(a: &Analysis, id: FnId, out: &mut Vec<Diagnostic>) {
+    let f = a.fn_item(id);
+    let file = a.file_of(id);
+    let mut appended = false;
+    let mut fused = false;
+    // Line where the journal phase was (first) planned, if it was.
+    let mut journal_at: Option<u32> = None;
+    // Check-1 candidates: discards seen before any append. They become
+    // violations only if an append follows (a function that never appends
+    // leaves the obligation to its caller, where the exposed-discard
+    // summary re-raises it).
+    let mut pending: Vec<Diagnostic> = Vec::new();
+    let mut intent: Option<u32> = None;
+    let mut intent_covered = false;
+    for ev in &f.events {
+        match &ev.kind {
+            EventKind::Intent => {
+                intent = Some(ev.line);
+                intent_covered = false;
+            }
+            EventKind::Call { name, method } => {
+                let n = name.as_str();
+                if n == config::JOURNAL_SYNC_FN {
+                    appended = true;
+                    intent_covered = true;
+                    out.append(&mut pending);
+                } else if n == config::FUSE_FN {
+                    fused = true;
+                } else if n == config::JOURNAL_BATCH_FN {
+                    journal_at.get_or_insert(ev.line);
+                } else if n == config::DATA_OP_FN {
+                    if let Some(j) = journal_at {
+                        out.push(data_after_metadata(a, id, ev.line, j, Vec::new()));
+                    }
+                } else if *method && config::DURABLE_EFFECT_FNS.contains(&n) {
+                    if !fused {
+                        let what = format!("`{n}(…)`");
+                        out.push(unfused_effect(a, id, ev.line, &what, Vec::new()));
+                    }
+                    if n == "discard" && !appended {
+                        pending.push(discard_before_append(a, id, ev.line, Vec::new()));
+                    }
+                } else if !crate::summary::is_protocol_name(n) {
+                    for &callee in a.graph.resolve(n) {
+                        if callee == id {
+                            continue;
+                        }
+                        let c = &a.summaries[callee];
+                        if c.exposed_discard && !appended {
+                            let chain = via(a, id, ev.line, callee, first_exposed_discard, |s| {
+                                s.exposed_discard
+                            });
+                            pending.push(discard_before_append(a, id, ev.line, chain));
+                        }
+                        if c.exposed_unfused_effect && !fused {
+                            let chain = via(a, id, ev.line, callee, first_unfused_effect, |s| {
+                                s.exposed_unfused_effect
+                            });
+                            out.push(unfused_effect(
+                                a,
+                                id,
+                                ev.line,
+                                "in a callee, see call chain",
+                                chain,
+                            ));
+                        }
+                        // Closed plan: the callee builds both its data and
+                        // its journal phases — internally complete.
+                        let closed = c.data_op && c.journal_op;
+                        if !closed {
+                            if c.data_op {
+                                if let Some(j) = journal_at {
+                                    let chain =
+                                        via(a, id, ev.line, callee, first_data_op, |s| s.data_op);
+                                    out.push(data_after_metadata(a, id, ev.line, j, chain));
+                                }
+                            }
+                            if c.journal_op {
+                                journal_at.get_or_insert(ev.line);
+                            }
+                        }
+                        if c.appends {
+                            appended = true;
+                            intent_covered = true;
+                            out.append(&mut pending);
+                        }
+                        if c.fuse {
+                            fused = true;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(line) = intent {
+        if !intent_covered {
             out.push(Diagnostic {
                 path: file.path.clone(),
-                line: file.line_of(i),
+                line,
                 rule: "durability",
-                message: format!(
-                    "durable effect `{name}(…)` is not gated by a crash-fuse charge \
-                     in this function"
-                ),
-                hint: "call fuse_consume(CrashSite::…, len) first and apply only the \
-                       affordable prefix, so the torture matrix can crash inside this \
-                       effect; recovery-only paths may justify with \
-                       `// s4d-lint: allow(durability) — <why>`",
+                message: "FlushIntent record constructed without a following synchronous \
+                          journal append on this path"
+                    .to_string(),
+                hint: "pass the intents to append_journal_sync (directly or via a callee \
+                       that appends) before the flush plans are returned — the intent \
+                       must be durable before any flush I/O can run (DESIGN.md §9 flush \
+                       ordering)",
                 severity: Severity::Error,
+                chain: Vec::new(),
             });
         }
+    }
+}
+
+/// Builds the witness chain for a finding raised at a call site: the
+/// caller's step followed by the deterministic descent to the callee's
+/// first direct witness event.
+fn via(
+    a: &Analysis,
+    id: FnId,
+    call_line: u32,
+    callee: FnId,
+    pred: fn(&Analysis, FnId) -> Option<u32>,
+    hold: fn(&crate::summary::Summary) -> bool,
+) -> Vec<String> {
+    let mut chain = vec![a.step(id, call_line)];
+    chain.extend(a.witness(callee, pred, hold));
+    chain
+}
+
+/// First direct discard that precedes any append contribution, walking
+/// the function's events the same way the summary fixpoint does.
+fn first_exposed_discard(a: &Analysis, id: FnId) -> Option<u32> {
+    let mut appended = false;
+    for ev in &a.fn_item(id).events {
+        let EventKind::Call { name, method } = &ev.kind else {
+            continue;
+        };
+        if name == config::JOURNAL_SYNC_FN {
+            appended = true;
+        } else if *method && name == "discard" && !appended {
+            return Some(ev.line);
+        } else {
+            for &c in crate::summary::call_targets(&a.graph, ev) {
+                appended |= a.summaries[c].appends;
+            }
+        }
+    }
+    None
+}
+
+/// First direct durable effect that precedes any fuse charge.
+fn first_unfused_effect(a: &Analysis, id: FnId) -> Option<u32> {
+    let mut fused = false;
+    for ev in &a.fn_item(id).events {
+        let EventKind::Call { name, method } = &ev.kind else {
+            continue;
+        };
+        if name == config::FUSE_FN {
+            fused = true;
+        } else if *method && config::DURABLE_EFFECT_FNS.contains(&name.as_str()) && !fused {
+            return Some(ev.line);
+        } else {
+            for &c in crate::summary::call_targets(&a.graph, ev) {
+                fused |= a.summaries[c].fuse;
+            }
+        }
+    }
+    None
+}
+
+/// First direct `data_op(…)` call.
+fn first_data_op(a: &Analysis, id: FnId) -> Option<u32> {
+    a.fn_item(id).events.iter().find_map(|ev| match &ev.kind {
+        EventKind::Call { name, .. } if name == config::DATA_OP_FN => Some(ev.line),
+        _ => None,
+    })
+}
+
+fn discard_before_append(a: &Analysis, id: FnId, line: u32, chain: Vec<String>) -> Diagnostic {
+    Diagnostic {
+        path: a.file_of(id).path.clone(),
+        line,
+        rule: "durability",
+        message: "cache bytes discarded before the journal append that records their \
+                  removal"
+            .to_string(),
+        hint: "append the Remove records synchronously first (metadata durable before \
+               destruction), then discard — see DESIGN.md §9 eviction ordering",
+        severity: Severity::Error,
+        chain,
+    }
+}
+
+fn unfused_effect(a: &Analysis, id: FnId, line: u32, what: &str, chain: Vec<String>) -> Diagnostic {
+    Diagnostic {
+        path: a.file_of(id).path.clone(),
+        line,
+        rule: "durability",
+        message: format!(
+            "durable effect ({what}) is not gated by a crash-fuse charge on this path"
+        ),
+        hint: "call fuse_consume(CrashSite::…, len) first and apply only the affordable \
+               prefix, so the torture matrix can crash inside this effect; \
+               recovery-only paths may justify with \
+               `// s4d-lint: allow(durability) — <why>`",
+        severity: Severity::Error,
+        chain,
+    }
+}
+
+fn data_after_metadata(
+    a: &Analysis,
+    id: FnId,
+    line: u32,
+    journal_line: u32,
+    chain: Vec<String>,
+) -> Diagnostic {
+    Diagnostic {
+        path: a.file_of(id).path.clone(),
+        line,
+        rule: "durability",
+        message: format!(
+            "data op planned after the journal op (line {journal_line}): the mapping \
+             record would become durable before its cache bytes"
+        ),
+        hint: "plan every data phase first and make the journal write the final phase \
+               (DESIGN.md §9 admission ordering: data before metadata)",
+        severity: Severity::Error,
+        chain,
     }
 }

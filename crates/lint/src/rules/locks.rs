@@ -1,174 +1,228 @@
-//! `lock-order` and `lock-across-io`: lock discipline.
+//! `lock-order` and `lock-across-io`: lock discipline, with held-lock
+//! sets propagated through callees.
 //!
-//! Acquisitions are extracted lexically: `.lock()`, `.read()`, or
-//! `.write()` — zero-argument, so parallel-file-system `read_bytes(...)`
-//! style I/O calls never match — on a named struct field or binding
+//! Acquisitions are the [`crate::items::EventKind::Acquire`] events the
+//! item parser extracts: `.lock()`, `.read()`, or `.write()` —
+//! zero-argument, so parallel-file-system `read_bytes(...)` style I/O
+//! calls never match — on a named struct field or binding
 //! (`self.records.lock()`, `handle.records.lock()`, `records.lock()`).
+//! Lock identity is **name-class** based: every acquisition of a field
+//! named `records` is treated as the same lock, the same approximation
+//! the declared order table itself makes.
 //!
 //! * `lock-order` — every acquired lock must appear in the declared
 //!   lock-order table ([`crate::config::LOCK_ORDER`]), and within one
-//!   function locks must be acquired in table order. The per-function
-//!   acquisition sequences form a lock-acquisition graph; an edge that
-//!   goes backwards in the table is a potential cycle with any path that
-//!   goes forwards, so it is flagged at the acquiring line.
-//! * `lock-across-io` — a lock acquisition in the same statement as (or
-//!   `let`-bound and lexically before) a device-I/O or journal-append
-//!   call stalls every contending thread for a device-latency bound.
+//!   call path locks must be acquired in table order. Direct
+//!   acquisitions are checked in sequence as before; additionally, a
+//!   call made while a guard may be held is expanded through the
+//!   callee's transitive `acquires` set — a callee acquiring a lock
+//!   ranked *at or before* a held one is a potential cycle (or same-lock
+//!   re-entry deadlock) and is flagged at the call site with the witness
+//!   chain.
+//! * `lock-across-io` — device I/O or a journal append issued while a
+//!   guard may be held — directly, or anywhere inside a callee (the
+//!   summary's `device_io` bit) — stalls every contending thread for a
+//!   device-latency bound.
+//!
+//! A guard's extent is its statement, or the rest of the body when
+//! `let`-bound (conservative — justify early drops with a pragma).
 
+use crate::callgraph::FnId;
 use crate::config;
 use crate::diag::{Diagnostic, Severity};
-use crate::source::SourceFile;
-
-/// One lexical lock acquisition inside a function body.
-struct Acq {
-    /// Field or binding the lock method was called on.
-    name: String,
-    /// Code-token index of the method name.
-    at: usize,
-    /// Whether the guard is bound with `let` (lives past the statement).
-    bound: bool,
-}
-
-/// Runs the lock-discipline family.
-pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if file.kind.is_test_like() {
-        return;
-    }
-    for f in &file.fns {
-        let acqs = acquisitions(file, f.body.clone());
-        if acqs.is_empty() {
-            continue;
-        }
-        check_order(file, &acqs, out);
-        check_across_io(file, f.body.clone(), &acqs, out);
-    }
-}
-
-/// Extracts lock acquisitions from a body token range.
-fn acquisitions(file: &SourceFile, body: std::ops::Range<usize>) -> Vec<Acq> {
-    let mut out = Vec::new();
-    for i in body.clone() {
-        // `<recv> . <method> ( )` with method in {lock, read, write}.
-        if !matches!(file.ident(i), Some("lock" | "read" | "write")) {
-            continue;
-        }
-        if !(file.punct_is(i.wrapping_sub(1), '.')
-            && file.punct_is(i + 1, '(')
-            && file.punct_is(i + 2, ')'))
-        {
-            continue;
-        }
-        let Some(recv) = i.checked_sub(2).and_then(|r| file.ident(r)) else {
-            continue;
-        };
-        if recv == "self" {
-            continue;
-        }
-        if file.in_test_span(file.line_of(i)) {
-            continue;
-        }
-        out.push(Acq {
-            name: recv.to_string(),
-            at: i,
-            bound: let_bound(file, &body, i),
-        });
-    }
-    out
-}
-
-/// True when the statement containing token `i` starts with `let`
-/// (scanning back to the previous `;`, `{`, or the body start).
-fn let_bound(file: &SourceFile, body: &std::ops::Range<usize>, i: usize) -> bool {
-    let mut j = i;
-    while j > body.start {
-        j -= 1;
-        if file.punct_is(j, ';') || file.punct_is(j, '{') {
-            return false;
-        }
-        if file.ident(j) == Some("let") {
-            return true;
-        }
-    }
-    false
-}
+use crate::items::{Event, EventKind};
+use crate::summary::Analysis;
 
 fn rank(name: &str) -> Option<usize> {
     config::LOCK_ORDER.iter().position(|l| *l == name)
 }
 
-fn check_order(file: &SourceFile, acqs: &[Acq], out: &mut Vec<Diagnostic>) {
-    for (k, a) in acqs.iter().enumerate() {
-        let line = file.line_of(a.at);
-        let Some(r) = rank(&a.name) else {
+/// Runs the lock-discipline family over the analyzed workspace.
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for id in 0..a.graph.len() {
+        let events = &a.fn_item(id).events;
+        let acqs: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Acquire { .. }))
+            .collect();
+        if acqs.is_empty() {
+            continue;
+        }
+        check_order(a, id, &acqs, out);
+        for acq in &acqs {
+            check_extent(a, id, acq, out);
+        }
+    }
+}
+
+/// Direct-acquisition order: unknown locks, and pairs acquired against
+/// the declared table order within one function.
+fn check_order(a: &Analysis, id: FnId, acqs: &[&Event], out: &mut Vec<Diagnostic>) {
+    let file = a.file_of(id);
+    for (k, acq) in acqs.iter().enumerate() {
+        let EventKind::Acquire { lock, .. } = &acq.kind else {
+            continue;
+        };
+        let Some(r) = rank(lock) else {
             out.push(Diagnostic {
                 path: file.path.clone(),
-                line,
+                line: acq.line,
                 rule: "lock-order",
-                message: format!("lock `{}` is not in the declared lock-order table", a.name),
+                message: format!("lock `{lock}` is not in the declared lock-order table"),
                 hint: "add the lock to LOCK_ORDER in crates/lint/src/config.rs (and \
                        DESIGN.md §10) at the position matching its acquisition order",
                 severity: Severity::Error,
+                chain: Vec::new(),
             });
             continue;
         };
         // Any earlier acquisition with a *higher* rank means this path
         // acquires against the declared order.
         for b in acqs.iter().take(k) {
-            let Some(rb) = rank(&b.name) else { continue };
-            if b.name != a.name && rb > r {
+            let EventKind::Acquire { lock: held, .. } = &b.kind else {
+                continue;
+            };
+            let Some(rb) = rank(held) else { continue };
+            if held != lock && rb > r {
                 out.push(Diagnostic {
                     path: file.path.clone(),
-                    line,
+                    line: acq.line,
                     rule: "lock-order",
                     message: format!(
-                        "lock `{}` acquired after `{}`, against the declared lock order \
-                         (cycle risk with any path acquiring in table order)",
-                        a.name, b.name
+                        "lock `{lock}` acquired after `{held}`, against the declared lock \
+                         order (cycle risk with any path acquiring in table order)"
                     ),
                     hint: "acquire locks in LOCK_ORDER table order, or drop the first \
                            guard before taking the second",
                     severity: Severity::Error,
+                    chain: Vec::new(),
                 });
             }
         }
     }
 }
 
-fn check_across_io(
-    file: &SourceFile,
-    body: std::ops::Range<usize>,
-    acqs: &[Acq],
-    out: &mut Vec<Diagnostic>,
-) {
-    for a in acqs {
-        // The guard's lexical extent: to the end of the statement, or to
-        // the end of the function body for `let`-bound guards
-        // (conservative — justify early drops with a pragma).
-        let extent_end = if a.bound {
-            body.end
-        } else {
-            let mut j = a.at;
-            while j < body.end && !file.punct_is(j, ';') {
-                j += 1;
-            }
-            j
+/// Checks everything inside one guard's extent: direct device I/O,
+/// callee device I/O, and callee acquisitions against the held lock.
+fn check_extent(a: &Analysis, id: FnId, acq: &Event, out: &mut Vec<Diagnostic>) {
+    let EventKind::Acquire { lock, extent } = &acq.kind else {
+        return;
+    };
+    let file = a.file_of(id);
+    let held_rank = rank(lock);
+    let mut io_reported = false;
+    for ev in &a.fn_item(id).events {
+        if ev.tok <= acq.tok || !extent.contains(&ev.tok) {
+            continue;
+        }
+        let EventKind::Call { name, .. } = &ev.kind else {
+            continue;
         };
-        for i in a.at..extent_end {
-            let Some(name) = file.ident(i) else { continue };
-            if !config::DEVICE_IO_FNS.contains(&name) || !file.punct_is(i + 1, '(') {
+        if config::DEVICE_IO_FNS.contains(&name.as_str()) {
+            if !io_reported {
+                out.push(across_io(a, id, ev.line, name, lock, Vec::new()));
+                io_reported = true;
+            }
+            continue;
+        }
+        if crate::summary::is_protocol_name(name) {
+            continue;
+        }
+        for &callee in a.graph.resolve(name) {
+            if callee == id {
                 continue;
             }
-            out.push(Diagnostic {
-                path: file.path.clone(),
-                line: file.line_of(i),
-                rule: "lock-across-io",
-                message: format!("`{name}(…)` called while lock `{}` may be held", a.name),
-                hint: "copy what you need out of the guard, drop it, then do the I/O; \
-                       if the guard is provably dropped earlier, justify with \
-                       `// s4d-lint: allow(lock-across-io) — <proof>`",
-                severity: Severity::Error,
-            });
-            break;
+            let c = &a.summaries[callee];
+            if c.device_io && !io_reported {
+                let mut chain = vec![a.step(id, ev.line)];
+                chain.extend(a.witness(callee, first_device_io, |s| s.device_io));
+                out.push(across_io(
+                    a,
+                    id,
+                    ev.line,
+                    "device I/O in a callee",
+                    lock,
+                    chain,
+                ));
+                io_reported = true;
+            }
+            if let Some(hr) = held_rank {
+                for acquired in &c.acquires {
+                    let ra = rank(acquired);
+                    // Unknown callee locks are flagged at the callee's
+                    // own definition; here only the ordering matters.
+                    if ra.is_some_and(|ra| ra <= hr) {
+                        let mut chain = vec![a.step(id, ev.line)];
+                        chain.extend(a.witness(
+                            callee,
+                            |a, n| first_acquire(a, n, acquired),
+                            |s| s.acquires.contains(acquired),
+                        ));
+                        let what = if acquired == lock {
+                            format!(
+                                "lock `{acquired}` re-acquired in a callee while `{lock}` \
+                                 may already be held (self-deadlock on a non-reentrant \
+                                 mutex)"
+                            )
+                        } else {
+                            format!(
+                                "lock `{acquired}` acquired in a callee while `{lock}` is \
+                                 held, against the declared lock order"
+                            )
+                        };
+                        out.push(Diagnostic {
+                            path: file.path.clone(),
+                            line: ev.line,
+                            rule: "lock-order",
+                            message: what,
+                            hint: "drop the guard before the call, or restructure so \
+                                   locks are taken in LOCK_ORDER table order on every \
+                                   call path",
+                            severity: Severity::Error,
+                            chain,
+                        });
+                    }
+                }
+            }
         }
+    }
+}
+
+/// First direct device-I/O call in a function (witness descent).
+fn first_device_io(a: &Analysis, id: FnId) -> Option<u32> {
+    a.fn_item(id).events.iter().find_map(|ev| match &ev.kind {
+        EventKind::Call { name, .. } if config::DEVICE_IO_FNS.contains(&name.as_str()) => {
+            Some(ev.line)
+        }
+        _ => None,
+    })
+}
+
+/// First direct acquisition of `lock` in a function (witness descent).
+fn first_acquire(a: &Analysis, id: FnId, lock: &str) -> Option<u32> {
+    a.fn_item(id).events.iter().find_map(|ev| match &ev.kind {
+        EventKind::Acquire { lock: l, .. } if l == lock => Some(ev.line),
+        _ => None,
+    })
+}
+
+fn across_io(
+    a: &Analysis,
+    id: FnId,
+    line: u32,
+    what: &str,
+    lock: &str,
+    chain: Vec<String>,
+) -> Diagnostic {
+    Diagnostic {
+        path: a.file_of(id).path.clone(),
+        line,
+        rule: "lock-across-io",
+        message: format!("`{what}` while lock `{lock}` may be held"),
+        hint: "copy what you need out of the guard, drop it, then do the I/O; if the \
+               guard is provably dropped earlier, justify with \
+               `// s4d-lint: allow(lock-across-io) — <proof>`",
+        severity: Severity::Error,
+        chain,
     }
 }

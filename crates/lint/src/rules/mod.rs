@@ -1,21 +1,34 @@
-//! The rule families. Each rule walks a [`SourceFile`]'s code-token
-//! stream and pushes [`Diagnostic`]s; the engine applies pragmas
-//! afterwards.
+//! The rule families, in two tiers:
+//!
+//! * **per-file** rules walk one [`SourceFile`]'s code-token stream (with
+//!   its [`ItemIndex`] for const-initializer exemptions);
+//! * **graph** rules walk the interprocedural [`Analysis`] — call graph
+//!   plus effect summaries — and may anchor findings in any file.
+//!
+//! The engine runs both tiers, then applies pragmas per file.
 
 pub mod determinism;
 pub mod durability;
 pub mod file_budget;
 pub mod locks;
 pub mod panic_freedom;
+pub mod panic_path;
 
 use crate::diag::Diagnostic;
+use crate::items::ItemIndex;
 use crate::source::SourceFile;
+use crate::summary::Analysis;
 
-/// Runs every rule family over one file.
-pub fn check_all(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+/// Runs the per-file rule families over one file.
+pub fn check_file(file: &SourceFile, items: &ItemIndex, out: &mut Vec<Diagnostic>) {
     determinism::check(file, out);
-    panic_freedom::check(file, out);
-    locks::check(file, out);
-    durability::check(file, out);
+    panic_freedom::check(file, items, out);
     file_budget::check(file, out);
+}
+
+/// Runs the interprocedural rule families over the analyzed workspace.
+pub fn check_graph(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    durability::check(a, out);
+    locks::check(a, out);
+    panic_path::check(a, out);
 }

@@ -10,15 +10,19 @@
 //! Checked: `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`,
 //! `unimplemented!`, and (in the middleware crates) panicking slice/array
 //! indexing `x[…]`. Test code — `tests/`, `examples/`, `benches/`, and
-//! `#[cfg(test)]` spans — is exempt: tests *should* fail loudly.
+//! `#[cfg(test)]` spans — is exempt: tests *should* fail loudly. So are
+//! `const`/`static` initializer expressions: those evaluate at build
+//! time, where a panic is a compile error, not a runtime availability
+//! bug.
 
 use crate::config;
 use crate::diag::{Diagnostic, Severity};
+use crate::items::ItemIndex;
 use crate::lexer::Tok;
 use crate::source::SourceFile;
 
 /// Runs the panic-freedom family.
-pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub fn check(file: &SourceFile, items: &ItemIndex, out: &mut Vec<Diagnostic>) {
     if file.kind.is_test_like() {
         return;
     }
@@ -29,7 +33,7 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
     for i in 0..file.code.len() {
         let line = file.line_of(i);
-        if file.in_test_span(line) {
+        if file.in_test_span(line) || items.in_const_init(i) {
             continue;
         }
         if macro_scope {
@@ -62,6 +66,7 @@ fn method_calls(file: &SourceFile, i: usize, line: u32, out: &mut Vec<Diagnostic
                is explicit; if locally provable, justify with \
                `// s4d-lint: allow(panic) — <proof>`",
         severity: Severity::Error,
+        chain: Vec::new(),
     });
 }
 
@@ -81,6 +86,7 @@ fn panic_macros(file: &SourceFile, i: usize, line: u32, out: &mut Vec<Diagnostic
         hint: "return a typed error instead of aborting the middleware; if the arm is \
                locally unreachable, justify with `// s4d-lint: allow(panic) — <proof>`",
         severity: Severity::Error,
+        chain: Vec::new(),
     });
 }
 
@@ -137,5 +143,6 @@ fn indexing(file: &SourceFile, i: usize, line: u32, out: &mut Vec<Diagnostic>) {
                if the bound is locally provable, justify with \
                `// s4d-lint: allow(panic) — <proof>`",
         severity: Severity::Error,
+        chain: Vec::new(),
     });
 }

@@ -1,0 +1,359 @@
+//! Per-function effect summaries, propagated along the call graph.
+//!
+//! Each function gets a [`Summary`] of what it *may* do, transitively:
+//! append to the journal, discard or apply cache bytes, charge the crash
+//! fuse, perform device I/O, acquire locks, or panic. On top of the may-
+//! sets, two **ordered exposures** capture the §9-relevant shapes a
+//! callee can leak to its caller:
+//!
+//! * `exposed_discard` — some discard happens with no journal append
+//!   earlier *within the function's own expanded order* (the caller must
+//!   provide the append first, or recovery maps freed space);
+//! * `exposed_unfused_effect` — some durable effect happens with no
+//!   crash-fuse charge earlier (the caller must charge the fuse, or the
+//!   torture matrix cannot crash inside the effect).
+//!
+//! Summaries are computed to a fixpoint: all facts are monotone booleans
+//! or sets drawn from finite universes, so iteration terminates. Calls to
+//! the protocol primitives themselves (`append_journal_sync`,
+//! `fuse_consume`, `journal_op`, `data_op`) and to the durable-effect /
+//! device-I/O method names are classified *by name* — they are the
+//! protocol's anchor vocabulary — and are not expanded through their
+//! resolved bodies, mirroring the PR-3 rule that the primitives implement
+//! the gate rather than being checked against it.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::config;
+use crate::items::{Event, EventKind, ItemIndex};
+use crate::source::SourceFile;
+
+/// What one function may do, transitively.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// May call `append_journal_sync`.
+    pub appends: bool,
+    /// May call the batched `journal_op` planner.
+    pub journal_op: bool,
+    /// May call the `data_op` plan constructor.
+    pub data_op: bool,
+    /// May charge the crash fuse.
+    pub fuse: bool,
+    /// May perform device I/O or a journal append (lock-across-io).
+    pub device_io: bool,
+    /// Locks this function (or a callee) may acquire.
+    pub acquires: BTreeSet<String>,
+    /// May panic (unwrap/expect/panic-macro/indexing site reachable).
+    pub panics: bool,
+    /// A discard may happen before any journal append in expanded order.
+    pub exposed_discard: bool,
+    /// A durable effect may happen before any fuse charge in expanded
+    /// order.
+    pub exposed_unfused_effect: bool,
+}
+
+/// The fully analyzed workspace: parsed files, items, graph, summaries.
+pub struct Analysis<'a> {
+    /// The parsed files, in walk order.
+    pub files: &'a [SourceFile],
+    /// Item index per file (parallel to `files`).
+    pub items: &'a [ItemIndex],
+    /// The call graph over the non-test library functions.
+    pub graph: CallGraph,
+    /// Fixpoint summaries, one per graph node.
+    pub summaries: Vec<Summary>,
+}
+
+/// Resolved targets of a call event. Protocol-anchor names resolve to
+/// nothing: they are vocabulary classified by name, never expanded.
+pub fn call_targets<'a>(graph: &'a CallGraph, ev: &Event) -> &'a [FnId] {
+    let EventKind::Call { name, .. } = &ev.kind else {
+        return &[];
+    };
+    if is_protocol_name(name) {
+        return &[];
+    }
+    graph.resolve(name)
+}
+
+/// True for the protocol's anchor vocabulary — classified by name, never
+/// expanded through resolution.
+pub fn is_protocol_name(name: &str) -> bool {
+    name == config::JOURNAL_SYNC_FN
+        || name == config::JOURNAL_BATCH_FN
+        || name == config::DATA_OP_FN
+        || name == config::FUSE_FN
+        || config::DEVICE_IO_FNS.contains(&name)
+}
+
+/// Computes all summaries to fixpoint.
+pub fn compute(items: &[ItemIndex], graph: &CallGraph) -> Vec<Summary> {
+    let mut summaries = vec![Summary::default(); graph.len()];
+    // Monotone facts over finite universes: iterate until stable. The
+    // iteration count is bounded by the number of facts that can flip,
+    // but a hard cap keeps pathological inputs from stalling the linter.
+    for _ in 0..graph.len().max(4) {
+        let mut changed = false;
+        for id in 0..graph.len() {
+            let next = recompute(id, items, graph, &summaries);
+            if next != summaries[id] {
+                summaries[id] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+/// One function's summary from its direct events plus current callee
+/// summaries, walked in source order.
+fn recompute(id: FnId, items: &[ItemIndex], graph: &CallGraph, summaries: &[Summary]) -> Summary {
+    let (fi, ni) = graph.nodes[id];
+    let f = &items[fi].fns[ni];
+    let mut s = Summary::default();
+    // Walk state: has an append / fuse charge happened yet, in expanded
+    // order?
+    let mut appended = false;
+    let mut fused = false;
+    for ev in &f.events {
+        match &ev.kind {
+            EventKind::Acquire { lock, .. } => {
+                s.acquires.insert(lock.clone());
+            }
+            EventKind::Panic { .. } => s.panics = true,
+            EventKind::Intent => {}
+            EventKind::Call { name, method } => {
+                if config::DEVICE_IO_FNS.contains(&name.as_str()) {
+                    s.device_io = true;
+                }
+                match name.as_str() {
+                    n if n == config::JOURNAL_SYNC_FN => {
+                        s.appends = true;
+                        appended = true;
+                    }
+                    n if n == config::JOURNAL_BATCH_FN => s.journal_op = true,
+                    n if n == config::DATA_OP_FN => s.data_op = true,
+                    n if n == config::FUSE_FN => {
+                        s.fuse = true;
+                        fused = true;
+                    }
+                    n if *method && config::DURABLE_EFFECT_FNS.contains(&n) => {
+                        if n == "discard" && !appended {
+                            s.exposed_discard = true;
+                        }
+                        if !fused {
+                            s.exposed_unfused_effect = true;
+                        }
+                    }
+                    n if is_protocol_name(n) => {}
+                    n => {
+                        for &callee in graph.resolve(n) {
+                            if callee == id {
+                                continue;
+                            }
+                            let c = &summaries[callee];
+                            if c.exposed_discard && !appended {
+                                s.exposed_discard = true;
+                            }
+                            if c.exposed_unfused_effect && !fused {
+                                s.exposed_unfused_effect = true;
+                            }
+                            s.appends |= c.appends;
+                            s.journal_op |= c.journal_op;
+                            s.data_op |= c.data_op;
+                            s.device_io |= c.device_io;
+                            s.panics |= c.panics;
+                            for l in &c.acquires {
+                                s.acquires.insert(l.clone());
+                            }
+                            appended |= c.appends;
+                            if c.fuse {
+                                s.fuse = true;
+                                fused = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+impl<'a> Analysis<'a> {
+    /// Builds graph and summaries over parsed files + items.
+    pub fn build(files: &'a [SourceFile], items: &'a [ItemIndex]) -> Analysis<'a> {
+        let graph = CallGraph::build(files, items);
+        let summaries = compute(items, &graph);
+        Analysis {
+            files,
+            items,
+            graph,
+            summaries,
+        }
+    }
+
+    /// The [`crate::items::FnItem`] behind a node id.
+    pub fn fn_item(&self, id: FnId) -> &crate::items::FnItem {
+        let (fi, ni) = self.graph.nodes[id];
+        &self.items[fi].fns[ni]
+    }
+
+    /// File index of a node.
+    pub fn file_of(&self, id: FnId) -> &SourceFile {
+        &self.files[self.graph.nodes[id].0]
+    }
+
+    /// Renders one `file:line fn` chain step.
+    pub fn step(&self, id: FnId, line: u32) -> String {
+        format!(
+            "{}:{} fn {}",
+            self.file_of(id).rel,
+            line,
+            self.fn_item(id).name
+        )
+    }
+
+    /// Finds a deterministic witness chain from `start` to the first
+    /// direct event matching `pred`, following call edges through
+    /// functions for which `via` holds. Returns rendered chain steps
+    /// ending at the witness line, or an empty chain if none is found
+    /// (the summaries promised one, so this is defensive).
+    pub fn witness<F, G>(&self, start: FnId, pred: F, via: G) -> Vec<String>
+    where
+        F: Fn(&Analysis<'a>, FnId) -> Option<u32>,
+        G: Fn(&Summary) -> bool,
+    {
+        let mut chain = Vec::new();
+        let mut cur = start;
+        let mut seen = std::collections::BTreeSet::new();
+        loop {
+            if !seen.insert(cur) {
+                return chain; // cycle: stop with what we have
+            }
+            if let Some(line) = pred(self, cur) {
+                chain.push(self.step(cur, line));
+                return chain;
+            }
+            // Descend into the first callee (source order) whose summary
+            // still promises the witness.
+            let (fi, ni) = self.graph.nodes[cur];
+            let mut next = None;
+            'events: for ev in &self.items[fi].fns[ni].events {
+                for &callee in call_targets(&self.graph, ev) {
+                    if callee != cur && via(&self.summaries[callee]) {
+                        chain.push(self.step(cur, ev.line));
+                        next = Some(callee);
+                        break 'events;
+                    }
+                }
+            }
+            match next {
+                Some(n) => cur = n,
+                None => return chain,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use std::path::PathBuf;
+
+    fn analyze(sources: &[(&str, &str)]) -> (Vec<SourceFile>, Vec<ItemIndex>) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(PathBuf::from(rel), rel.to_string(), src))
+            .collect();
+        let idx = files.iter().map(items::index).collect();
+        (files, idx)
+    }
+
+    fn summary_of<'a>(a: &'a Analysis<'_>, name: &str) -> &'a Summary {
+        let id = a
+            .graph
+            .nodes
+            .iter()
+            .position(|&(fi, ni)| a.items[fi].fns[ni].name == name)
+            .unwrap();
+        &a.summaries[id]
+    }
+
+    #[test]
+    fn effects_propagate_transitively() {
+        let (files, idx) = analyze(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn top() { mid_layer(); }\nfn mid_layer() { leaf_effect(); }",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "fn leaf_effect(c: &mut C) { c.apply_bytes(1, 2, 3, None); }",
+            ),
+        ]);
+        let a = Analysis::build(&files, &idx);
+        let top = summary_of(&a, "top");
+        assert!(top.device_io, "apply_bytes is device I/O, two hops down");
+        assert!(top.exposed_unfused_effect, "no fuse anywhere on the path");
+    }
+
+    #[test]
+    fn exposed_discard_clears_when_append_precedes() {
+        let (files, idx) = analyze(&[(
+            "crates/core/src/a.rs",
+            "fn safe(c: &mut C) { append_journal_sync(&[]); c.discard(1, 2, 3); }\n\
+             fn exposed(c: &mut C) { c.discard(1, 2, 3); append_journal_sync(&[]); }\n\
+             fn caller_safe(c: &mut C) { append_journal_sync(&[]); helper_d(c); }\n\
+             fn helper_d(c: &mut C) { fuse_consume(1); c.discard(1, 2, 3); }",
+        )]);
+        let a = Analysis::build(&files, &idx);
+        assert!(!summary_of(&a, "safe").exposed_discard);
+        assert!(summary_of(&a, "exposed").exposed_discard);
+        assert!(summary_of(&a, "helper_d").exposed_discard);
+        assert!(
+            !summary_of(&a, "caller_safe").exposed_discard,
+            "the caller's append covers the callee's exposed discard"
+        );
+        assert!(
+            !summary_of(&a, "helper_d").exposed_unfused_effect,
+            "helper fuses its own effect"
+        );
+    }
+
+    #[test]
+    fn panic_propagates_and_witness_chains() {
+        let (files, idx) = analyze(&[
+            ("crates/core/src/a.rs", "pub fn api() { helper_p(); }"),
+            (
+                "crates/sim/src/b.rs",
+                "pub fn helper_p() { deep_p(); }\nfn deep_p(x: Option<u32>) { x.unwrap(); }",
+            ),
+        ]);
+        let a = Analysis::build(&files, &idx);
+        assert!(summary_of(&a, "api").panics);
+        let api = a
+            .graph
+            .nodes
+            .iter()
+            .position(|&(fi, ni)| a.items[fi].fns[ni].name == "api")
+            .unwrap();
+        let chain = a.witness(
+            api,
+            |a, id| {
+                a.fn_item(id).events.iter().find_map(|e| match e.kind {
+                    EventKind::Panic { .. } => Some(e.line),
+                    _ => None,
+                })
+            },
+            |s| s.panics,
+        );
+        assert_eq!(chain.len(), 3, "api → helper_p → deep_p panic: {chain:?}");
+        assert!(chain[2].contains("fn deep_p"));
+    }
+}

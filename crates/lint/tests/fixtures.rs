@@ -8,17 +8,31 @@
 //! violations cannot leak into a real lint run. Each fixture is parsed
 //! with a *forced* workspace-relative path so it lands in the crate scope
 //! its rule targets.
+//!
+//! The `xfn_*` pairs exercise the interprocedural analyzer: each pair
+//! splits one violation across two functions in two files. Linting
+//! either file *alone* reproduces what the pre-interprocedural, per-file
+//! analyzer could see — and must be silent; linting the pair as one
+//! analysis scope must produce exactly the pair's rule, with a witness
+//! call chain. Both directions are asserted.
 
 use std::path::Path;
 
 use s4d_lint::{engine, Severity, SourceFile};
 
+/// Parses fixture sources as if they lived at their `rel` paths inside
+/// the workspace, and lints them as one analysis scope.
+fn lint_fixture_set(sources: &[(&str, &str)]) -> engine::Report {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(src, rel)| SourceFile::parse(Path::new(rel).to_path_buf(), rel.to_string(), src))
+        .collect();
+    engine::lint_files(&files)
+}
+
 /// Parses one fixture as if it lived at `rel` inside the workspace.
 fn lint_fixture_src(src: &str, rel: &str) -> engine::Report {
-    let file = SourceFile::parse(Path::new(rel).to_path_buf(), rel.to_string(), src);
-    let mut report = engine::Report::default();
-    engine::lint_file(&file, &mut report);
-    report
+    lint_fixture_set(&[(src, rel)])
 }
 
 fn fixture_source(name: &str) -> String {
@@ -66,6 +80,102 @@ fn each_fixture_trips_exactly_its_rule() {
         );
         assert_eq!(report.suppressed, 0, "{name}: nothing may be suppressed");
     }
+}
+
+/// The cross-function pairs: `(caller fixture, caller rel, helper
+/// fixture, helper rel, rule that must fire on the pair, severity)`.
+const XFN_CASES: &[(&str, &str, &str, &str, &str, Severity)] = &[
+    (
+        "xfn_durability_caller.rs",
+        "crates/core/src/xfn_caller.rs",
+        "xfn_durability_helper.rs",
+        "crates/core/src/xfn_helper.rs",
+        "durability",
+        Severity::Error,
+    ),
+    (
+        "xfn_lock_caller.rs",
+        "crates/sim/src/xfn_caller.rs",
+        "xfn_lock_helper.rs",
+        "crates/sim/src/xfn_helper.rs",
+        "lock-across-io",
+        Severity::Error,
+    ),
+    (
+        "xfn_panic_caller.rs",
+        "crates/core/src/xfn_caller.rs",
+        "xfn_panic_helper.rs",
+        "crates/sim/src/xfn_helper.rs",
+        "panic-path",
+        Severity::Warning,
+    ),
+];
+
+#[test]
+fn xfn_halves_alone_are_invisible_to_per_file_analysis() {
+    // Linting one file by itself is exactly the visibility the old
+    // per-file lexical analyzer had: each half must come out clean.
+    for &(caller, caller_rel, helper, helper_rel, rule, _) in XFN_CASES {
+        for (name, rel) in [(caller, caller_rel), (helper, helper_rel)] {
+            let report = lint_fixture(name, rel);
+            assert!(
+                report.diagnostics.is_empty(),
+                "{name} alone must be silent (the violation spans two \
+                 functions; rule `{rule}` needs the pair): {:?}",
+                report.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn xfn_pairs_trip_exactly_their_rule_with_a_witness_chain() {
+    for &(caller, caller_rel, helper, helper_rel, rule, severity) in XFN_CASES {
+        let caller_src = fixture_source(caller);
+        let helper_src = fixture_source(helper);
+        let report = lint_fixture_set(&[
+            (caller_src.as_str(), caller_rel),
+            (helper_src.as_str(), helper_rel),
+        ]);
+        let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            vec![rule],
+            "{caller}+{helper}: expected exactly one `{rule}` finding, got {:?}",
+            report.diagnostics
+        );
+        let d = &report.diagnostics[0];
+        assert_eq!(d.severity, severity, "{caller}+{helper}");
+        assert!(
+            d.chain.len() >= 2,
+            "{caller}+{helper}: interprocedural finding must carry the \
+             caller→helper witness chain, got {:?}",
+            d.chain
+        );
+        assert_eq!(report.suppressed, 0, "{caller}+{helper}");
+    }
+}
+
+#[test]
+fn xfn_panic_site_pragma_suppresses_reachability_too() {
+    // `allow(panic)` on the panic *site* must also suppress the
+    // site-anchored `panic-path` finding — one justification covers the
+    // construct and its reachability.
+    let caller_src = fixture_source("xfn_panic_caller.rs");
+    let helper_src = fixture_source("xfn_panic_helper.rs").replace(
+        "    weights[k]",
+        "    // s4d-lint: allow(panic) — fixture-local proof for the self-test\n    weights[k]",
+    );
+    let report = lint_fixture_set(&[
+        (caller_src.as_str(), "crates/core/src/xfn_caller.rs"),
+        (helper_src.as_str(), "crates/sim/src/xfn_helper.rs"),
+    ]);
+    assert!(
+        report.diagnostics.is_empty(),
+        "site pragma must cover reachability: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed, 1);
 }
 
 #[test]

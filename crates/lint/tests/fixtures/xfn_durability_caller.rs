@@ -1,0 +1,14 @@
+//! Seeded cross-function violation — caller half of the durability pair.
+//!
+//! Evicts via the helper *before* appending the Remove records: the
+//! discard lives in `xfn_durability_helper.rs`, the append lives here,
+//! and each file is lexically clean on its own. Only the call-graph
+//! analysis connects them — the helper's exposed discard precedes this
+//! function's journal append on the expanded path, which is exactly the
+//! ordering DESIGN.md §9 forbids (recovery would map freed space).
+
+/// Evicts one extent, then logs the removal — the wrong way round.
+pub fn evict_then_log(cache: &mut CachedPfs, journal: &mut Journal) {
+    drop_extent(cache);
+    append_journal_sync(journal, &[]);
+}

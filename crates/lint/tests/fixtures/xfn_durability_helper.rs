@@ -1,0 +1,15 @@
+//! Seeded cross-function violation — helper half of the durability pair.
+//!
+//! Discards a cached extent without making the Remove record durable:
+//! that obligation is left to the caller. Linted *alone* this file is
+//! clean — it never references a journal primitive, so the per-file
+//! durability rule (the pre-interprocedural analyzer) has no reason to
+//! look at it. Only the effect summary (`exposed_discard`) carries the
+//! obligation across the call edge.
+
+/// Frees the bytes of one cached extent. The crash fuse is charged, so
+/// the effect itself is gated — but nothing here appends the Remove.
+pub fn drop_extent(cache: &mut CachedPfs) {
+    fuse_consume(CrashSite::EvictDiscard, EXTENT_BYTES);
+    cache.discard(FILE_A, 0, EXTENT_BYTES);
+}

@@ -1,0 +1,14 @@
+//! Seeded cross-function violation — caller half of the lock pair.
+//!
+//! Holds the trace-record guard across a call into
+//! `xfn_lock_helper.rs`, whose body performs device I/O. Neither file
+//! shows both the acquisition and the I/O, so the per-file rule misses
+//! the hold; the callee's `device_io` summary bit is what trips
+//! `lock-across-io` here, with the witness chain pointing into the
+//! helper.
+
+/// Flushes the trace buffer — while still holding its guard.
+pub fn flush_trace(tracer: &Tracer, dev: &mut Device) {
+    let guard = tracer.records.lock();
+    emit_records(&guard, dev);
+}

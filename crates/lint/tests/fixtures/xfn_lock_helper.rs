@@ -1,0 +1,11 @@
+//! Seeded cross-function violation — helper half of the lock pair.
+//!
+//! Performs device I/O. No lock is visible in this file, so the per-file
+//! lock rule (the pre-interprocedural analyzer) finds nothing here; the
+//! `device_io` effect summary is what lets the caller's held guard see
+//! this call.
+
+/// Writes the collected records out through the device queue.
+pub fn emit_records(records: &RecordBuf, dev: &mut Device) {
+    submit(dev, records);
+}

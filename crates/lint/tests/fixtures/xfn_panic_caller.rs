@@ -1,0 +1,13 @@
+//! Seeded cross-function violation — caller half of the panic pair.
+//!
+//! A public middleware API function (`core` crate) that calls straight
+//! into the sim-crate helper's panicking body. This file contains no
+//! panic site of its own, so the lexical `panic` rule passes it; the
+//! `panic-path` reachability pass is what connects the public root to
+//! the helper's indexing site and reports the full call chain.
+
+/// Picks the eviction victim with the highest weight — via a helper
+/// that panics on empty input.
+pub fn pick_victim(weights: &[u64]) -> u64 {
+    weighted_pick(weights, 0)
+}

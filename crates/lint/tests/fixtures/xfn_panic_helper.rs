@@ -1,0 +1,11 @@
+//! Seeded cross-function violation — helper half of the panic pair.
+//!
+//! Panics on out-of-range input. This file is placed in the `sim`
+//! crate, *outside* the panic-free crates, so the lexical `panic` rule
+//! ignores it entirely — only reachability from a middleware public API
+//! root makes the site a finding.
+
+/// Returns the `k`-th weight. Panics when `k` is out of range.
+pub fn weighted_pick(weights: &[u64], k: usize) -> u64 {
+    weights[k]
+}

@@ -241,7 +241,7 @@ impl FileServer {
         let req = self
             .current
             .take()
-            // s4d-lint: allow(panic) — documented contract above: on_complete pairs with a Started; unpaired calls are scheduler bugs the sim must not mask
+            // s4d-lint: allow(panic) — documented contract above: on_complete pairs with a Started; unpaired calls are scheduler bugs the sim must not mask; panic-path witness: run → run_until → handle → server_done → on_complete
             .expect("on_complete called with no sub-request in service");
         // A fault decided at start, or a crash that hit mid-service.
         let fault = self.current_fault.take().or_else(|| {

@@ -4,14 +4,25 @@
 //! --workspace`, wired into the ordinary test suite so a plain
 //! `cargo test` refuses determinism, panic-freedom, lock-discipline,
 //! and durability-protocol regressions. Warnings (report-only findings,
-//! e.g. determinism in test code) are printed but do not fail.
+//! e.g. determinism in test code and `panic-path` reachability reports)
+//! are printed but do not fail.
+//!
+//! A second test pins the run as a snapshot — violation-free, a stable
+//! suppression count, deterministic ordering — so a regression that
+//! introduces errors, sneaks in an unreviewed allow-pragma, or breaks
+//! output determinism fails tier-1 even if the finding itself would only
+//! warn.
 
 use s4d_lint::Severity;
 
+fn report() -> s4d_lint::Report {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    s4d_lint::lint_workspace(root).expect("workspace walk succeeds")
+}
+
 #[test]
 fn workspace_lints_clean() {
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-    let report = s4d_lint::lint_workspace(root).expect("workspace walk succeeds");
+    let report = report();
     assert!(report.files > 50, "walk found only {} files", report.files);
     for d in report
         .diagnostics
@@ -32,4 +43,43 @@ fn workspace_lints_clean() {
         errors.len(),
         errors.join("\n")
     );
+}
+
+/// The pinned workspace snapshot. Update the numbers only with the
+/// review that justifies the change (a new pragma needs its call-chain
+/// evidence; a new `panic-path` warning needs the chain audited).
+#[test]
+fn workspace_report_matches_the_pinned_snapshot() {
+    let report = report();
+    assert_eq!(report.errors(), 0, "the workspace is pinned violation-free");
+    assert_eq!(
+        report.suppressed, 24,
+        "pragma-suppression count drifted — a pragma was added or \
+         retired without updating the pinned snapshot (suppressed = \
+         lexical `panic` findings + the site-anchored `panic-path` \
+         findings their pragmas also cover)"
+    );
+    // Every surviving warning is a reviewed reachability report (or a
+    // report-only determinism note) — none may carry an empty message.
+    for d in &report.diagnostics {
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(!d.message.is_empty());
+    }
+    // Deterministic output order: (file, line, rule, message),
+    // strictly sorted, so CI artifact diffs are stable line-by-line.
+    let keys: Vec<_> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.path.clone(), d.line, d.rule, d.message.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "diagnostics must come out sorted");
+    // Interprocedural findings must carry their witness chains.
+    for d in report.diagnostics.iter().filter(|d| d.rule == "panic-path") {
+        assert!(
+            !d.chain.is_empty(),
+            "panic-path finding without a witness chain: {d}"
+        );
+    }
 }
