@@ -120,6 +120,7 @@ impl S4dCache {
                 tag,
                 lead_in: SimDuration::ZERO,
                 phases: vec![reads, vec![write]],
+                deadline: None,
             });
         }
         if !intents.is_empty() {
@@ -234,6 +235,7 @@ impl S4dCache {
                 tag,
                 lead_in: SimDuration::ZERO,
                 phases: vec![reads, writes],
+                deadline: None,
             });
         }
     }

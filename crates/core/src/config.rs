@@ -104,6 +104,38 @@ pub struct S4dConfig {
     /// Verify sealed extents' checksums on the read path, before serving
     /// cached bytes (stronger than background scrubbing, at read cost).
     pub verify_on_read: bool,
+    /// Deadline budget as a multiple of the cost model's predicted
+    /// access time (`max(T_D, T_C)` of the request, Eqs. 1/7): a
+    /// dispatched sub-request still outstanding after
+    /// `factor × predicted` is reported to the middleware as a
+    /// straggler. Must sit well above 1 — the prediction excludes
+    /// queueing. `0.0` (the default) disables deadlines entirely.
+    pub deadline_factor: f64,
+    /// Floor on the deadline budget, so tiny requests (whose predicted
+    /// time is microseconds) are not declared stragglers by scheduling
+    /// noise.
+    pub deadline_min: SimDuration,
+    /// Answer straggling *clean* cached reads with a hedged read against
+    /// the DServers (OPFS holds the same bytes): the straggler is
+    /// abandoned and the first responder wins. Dirty reads always wait —
+    /// the cache holds the only copy. Off by default.
+    pub hedge_reads: bool,
+    /// Enable queue-depth/tail-latency backpressure: shed marginal
+    /// admissions away from congested CServers and pause admission
+    /// entirely under global overload, degrading to OPFS. Off by
+    /// default.
+    pub backpressure: bool,
+    /// Outstanding sub-requests on one CServer above which it counts as
+    /// congested for backpressure.
+    pub backpressure_depth: u64,
+    /// Tail-quantile (p99) latency ratio (observed / predicted `T_C`)
+    /// above which a CServer counts as congested for backpressure.
+    pub backpressure_tail_ratio: f64,
+    /// Under *elevated* pressure (some CServers congested), admissions
+    /// whose predicted benefit `B` is below this margin (seconds) are
+    /// shed — the marginal, lowest-benefit admissions go first. Under
+    /// global overload every admission is shed regardless of benefit.
+    pub shed_benefit_margin: f64,
 }
 
 impl S4dConfig {
@@ -139,7 +171,67 @@ impl S4dConfig {
             checkpoint_after_bytes: 8 * 1024 * 1024,
             scrub_bytes_per_wake: 0,
             verify_on_read: false,
+            deadline_factor: 0.0,
+            deadline_min: SimDuration::from_millis(2),
+            hedge_reads: false,
+            backpressure: false,
+            backpressure_depth: 16,
+            backpressure_tail_ratio: 16.0,
+            shed_benefit_margin: 0.0005,
         }
+    }
+
+    /// Enables deadline budgets: `factor × predicted` access time per
+    /// request, floored at `min`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn with_deadlines(mut self, factor: f64, min: SimDuration) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "deadline factor must be positive"
+        );
+        self.deadline_factor = factor;
+        self.deadline_min = min;
+        self
+    }
+
+    /// Enables hedged reads for straggling clean cached reads.
+    pub fn with_hedged_reads(mut self, on: bool) -> Self {
+        self.hedge_reads = on;
+        self
+    }
+
+    /// Enables queue-depth/tail-latency backpressure.
+    pub fn with_backpressure(mut self, on: bool) -> Self {
+        self.backpressure = on;
+        self
+    }
+
+    /// Sets the backpressure thresholds: a CServer counts as congested
+    /// above `depth` outstanding sub-requests or a p99 latency ratio
+    /// above `tail_ratio`; admissions with benefit below `benefit_margin`
+    /// seconds are shed under elevated pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or `tail_ratio` is not finite and ≥ 1.
+    pub fn with_backpressure_thresholds(
+        mut self,
+        depth: u64,
+        tail_ratio: f64,
+        benefit_margin: f64,
+    ) -> Self {
+        assert!(depth > 0, "backpressure depth must be positive");
+        assert!(
+            tail_ratio.is_finite() && tail_ratio >= 1.0,
+            "backpressure tail ratio must be ≥ 1"
+        );
+        self.backpressure_depth = depth;
+        self.backpressure_tail_ratio = tail_ratio;
+        self.shed_benefit_margin = benefit_margin;
+        self
     }
 
     /// Sets the checkpoint thresholds: a new DMT snapshot is installed
@@ -367,5 +459,37 @@ mod tests {
     #[should_panic(expected = "checkpoint record threshold")]
     fn rejects_zero_checkpoint_records() {
         S4dConfig::new(1).with_checkpoint_thresholds(0, 1);
+    }
+
+    #[test]
+    fn gray_failure_knobs_default_off() {
+        let c = S4dConfig::new(1);
+        assert_eq!(c.deadline_factor, 0.0, "deadlines are opt-in");
+        assert!(!c.hedge_reads);
+        assert!(!c.backpressure);
+        let c = c
+            .with_deadlines(8.0, SimDuration::from_millis(5))
+            .with_hedged_reads(true)
+            .with_backpressure(true)
+            .with_backpressure_thresholds(4, 12.0, 0.001);
+        assert_eq!(c.deadline_factor, 8.0);
+        assert_eq!(c.deadline_min, SimDuration::from_millis(5));
+        assert!(c.hedge_reads);
+        assert!(c.backpressure);
+        assert_eq!(c.backpressure_depth, 4);
+        assert_eq!(c.backpressure_tail_ratio, 12.0);
+        assert_eq!(c.shed_benefit_margin, 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline factor")]
+    fn rejects_non_positive_deadline_factor() {
+        S4dConfig::new(1).with_deadlines(0.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "backpressure depth")]
+    fn rejects_zero_backpressure_depth() {
+        S4dConfig::new(1).with_backpressure_thresholds(0, 2.0, 0.0);
     }
 }

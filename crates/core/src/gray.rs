@@ -1,0 +1,211 @@
+//! Gray-failure handling: deadline budgets, the straggler verdict, and
+//! queue-depth/tail-latency backpressure (DESIGN.md §13).
+//!
+//! Crashes are loud; *fail-slow* servers are not. A CServer that still
+//! answers — just ten times slower than the cost model promises — never
+//! trips the error path, yet it drags every request striped over it. The
+//! machinery here notices (deadline budgets derived from the cost model,
+//! per-server queue depth, a streaming p99 of the latency ratio) and
+//! reacts without ever waiting on the straggler when a second copy of
+//! the bytes exists:
+//!
+//! * [`S4dCache::apply_deadline`] prices each foreground plan with the
+//!   model's own prediction — a sub-request that outlives
+//!   `factor × max(T_D, T_C)` is a straggler;
+//! * [`S4dCache::deadline_directive`] answers the runner's
+//!   `on_deadline`: hedge clean cached reads to OPFS (same bytes, no
+//!   risk), abandon and re-plan writes, wait on dirty reads (the cache
+//!   holds the only copy — nothing else can produce the bytes);
+//! * [`S4dCache::shed_admission`] degrades marginal admissions to OPFS
+//!   while CServers are congested, and all of them under global
+//!   overload.
+//!
+//! Abandoned writes are safe to re-plan: the DMT mapping survives the
+//! abandonment, so the re-planned write lands on the same cache offsets
+//! with the same payload — a late-applying original is byte-identical,
+//! never half-applied (§9's journal-before-ack covers the metadata side).
+
+use s4d_mpiio::{Cluster, HedgeDirective, Plan, PlannedIo, StragglerCtx, Tier};
+use s4d_sim::{SimDuration, SimTime};
+use s4d_storage::IoKind;
+
+use crate::layer::S4dCache;
+use crate::pipeline::RequestCtx;
+
+/// Aggregate congestion verdict over the CServer tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pressure {
+    /// No CServer is congested: admit normally.
+    Normal,
+    /// Some (not all) CServers are congested: shed marginal admissions.
+    Elevated,
+    /// Every CServer is congested: pause admission entirely.
+    Overload,
+}
+
+impl S4dCache {
+    /// Prices the plan's deadline budget from the cost model's predicted
+    /// access time: `factor × max(T_D, T_C)`, floored at the configured
+    /// minimum. No-op while deadlines are disabled (the default), so
+    /// deadline-blind runs execute exactly as before.
+    pub(crate) fn apply_deadline(&self, plan: &mut Plan, ctx: &RequestCtx) {
+        if self.config.deadline_factor <= 0.0 {
+            return;
+        }
+        let priced = ctx.predicted_secs * self.config.deadline_factor;
+        let budget = if priced.is_finite() && priced > 0.0 {
+            SimDuration::from_secs_f64(priced).max(self.config.deadline_min)
+        } else {
+            self.config.deadline_min
+        };
+        plan.deadline = Some(budget);
+    }
+
+    /// The `Middleware::on_deadline` decision body.
+    ///
+    /// Every CServer straggler is a health demerit first — deadline
+    /// misses feed the same quarantine ladder as hard errors, so a
+    /// fail-slow server is eventually routed around even if no request
+    /// ever errors. Then, by traffic class:
+    ///
+    /// * clean cached **reads** (hedging enabled): abandon the straggler
+    ///   and read the same bytes from OPFS — first responder wins;
+    /// * **writes**: abandon and re-plan; with the server now demerited,
+    ///   fresh admissions divert to OPFS while re-dirty writes ride the
+    ///   replan backoff until the server answers or is quarantined;
+    /// * dirty reads and overhead traffic: wait — the cache holds the
+    ///   only copy, and no directive can manufacture the bytes.
+    pub(crate) fn deadline_directive(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        ctx: &StragglerCtx,
+    ) -> HedgeDirective {
+        if ctx.tier == Tier::DServers {
+            // OPFS is the durability root; there is no second copy of
+            // unflushed data to hedge against. Ride it out.
+            self.metrics.straggler_waits += 1;
+            return HedgeDirective::Wait;
+        }
+        self.ensure_health(cluster);
+        // A miss is fail-slow evidence, whatever we decide below.
+        if self.health.record_failure(
+            ctx.server,
+            now,
+            self.config.quarantine_after,
+            self.config.quarantine_duration,
+        ) {
+            self.metrics.quarantines += 1;
+        }
+        match ctx.kind {
+            IoKind::Read => self.hedge_read_directive(ctx),
+            IoKind::Write => {
+                if ctx.app_segments.is_empty() {
+                    // Overhead traffic (journal appends): a re-plan could
+                    // not reproduce the batched records. Wait it out.
+                    self.metrics.straggler_waits += 1;
+                    HedgeDirective::Wait
+                } else {
+                    self.metrics.straggler_abandons += 1;
+                    HedgeDirective::Abandon
+                }
+            }
+        }
+    }
+
+    /// Hedge a straggling cached read to OPFS when every cached byte it
+    /// covers is clean (OPFS then holds identical bytes); otherwise wait.
+    fn hedge_read_directive(&mut self, ctx: &StragglerCtx) -> HedgeDirective {
+        let Some(app_file) = ctx.app_file else {
+            // Background fetch: nothing is waiting on it, and the plan
+            // will be rebuilt by a later poll if it fails. Wait.
+            self.metrics.straggler_waits += 1;
+            return HedgeDirective::Wait;
+        };
+        if !self.config.hedge_reads || ctx.app_segments.is_empty() {
+            self.metrics.straggler_waits += 1;
+            return HedgeDirective::Wait;
+        }
+        for &(off, len) in &ctx.app_segments {
+            let view = self.dmt.view(app_file, off, len);
+            if view.pieces.iter().any(|p| p.dirty) {
+                // The straggler holds the only copy of dirty bytes:
+                // hedging to OPFS would serve stale data.
+                self.metrics.straggler_waits += 1;
+                return HedgeDirective::Wait;
+            }
+        }
+        self.metrics.hedged_reads += 1;
+        let ops = ctx
+            .app_segments
+            .iter()
+            .map(|&(off, len)| {
+                PlannedIo::data_op(Tier::DServers, app_file, IoKind::Read, off, len, off)
+            })
+            .collect();
+        HedgeDirective::Hedge { ops }
+    }
+
+    /// True if one CServer looks congested: queue depth or tail latency
+    /// above the configured thresholds.
+    fn server_congested(&self, index: usize) -> bool {
+        self.health.queue_depth(index) > self.config.backpressure_depth
+            || self
+                .health
+                .latency_tail(index)
+                .is_some_and(|p99| p99 > self.config.backpressure_tail_ratio)
+    }
+
+    /// Aggregate congestion over the CServer tier.
+    pub(crate) fn pressure(&self) -> Pressure {
+        let n = self.health.server_count();
+        if n == 0 {
+            return Pressure::Normal;
+        }
+        let congested = (0..n).filter(|&i| self.server_congested(i)).count();
+        if congested == 0 {
+            Pressure::Normal
+        } else if congested == n {
+            Pressure::Overload
+        } else {
+            Pressure::Elevated
+        }
+    }
+
+    /// The backpressure shed verdict for one admission-sized decision:
+    /// under overload every admission is shed; under elevated pressure
+    /// only the marginal ones (benefit below the configured margin) —
+    /// the lowest-`B` admissions go first, which costs the least
+    /// predicted win. Callers count the shed in the metrics so sizing
+    /// decisions and read-path marks are each counted once.
+    pub(crate) fn shed_admission(&self, ctx: &RequestCtx) -> bool {
+        if !self.config.backpressure {
+            return false;
+        }
+        match self.pressure() {
+            Pressure::Normal => false,
+            Pressure::Overload => true,
+            Pressure::Elevated => ctx.benefit_secs < self.config.shed_benefit_margin,
+        }
+    }
+
+    /// True if any CServer holding part of the cache range
+    /// `[c_offset, c_offset + len)` is congested (backpressure on only).
+    /// The clean-read fallback uses this alongside the quarantine check:
+    /// a deep-queued server's clean bytes are served from OPFS instead
+    /// of joining the queue.
+    pub(crate) fn cache_range_congested(&self, cluster: &Cluster, c_offset: u64, len: u64) -> bool {
+        if !self.config.backpressure || len == 0 {
+            return false;
+        }
+        let layout = cluster.cpfs().layout();
+        let stripe = layout.stripe_size();
+        let n = layout.server_count();
+        let first = c_offset / stripe;
+        let last = (c_offset + len - 1) / stripe;
+        if last - first + 1 >= n as u64 {
+            return (0..n).any(|i| self.server_congested(i));
+        }
+        (first..=last).any(|k| self.server_congested((k % n as u64) as usize))
+    }
+}

@@ -179,15 +179,13 @@ impl Middleware for S4dCache {
         self.ensure_health(cluster);
         // Stage 1: classify (Data Identifier).
         let ctx = self.identify(req);
-        if self.config.force_miss {
-            // Fig. 11 mode: full bookkeeping, no redirection.
-            return self.direct_plan(req);
-        }
         // Stages 2–3: route (Redirector), then claim space and close the
         // decision (admission). Reads claim no space — outside the
         // eager-fetch ablation — and are fully decided by the redirect
-        // stage.
-        let plan = match (req.kind, ctx.cache) {
+        // stage. (`force_miss` is Fig. 11 mode: full bookkeeping, no
+        // redirection.)
+        let mut plan = match (req.kind, ctx.cache) {
+            _ if self.config.force_miss => self.direct_plan(req),
             (_, None) => self.direct_plan(req),
             (IoKind::Write, Some(cache)) => {
                 let route = self.route_write(now, req, &ctx);
@@ -195,6 +193,9 @@ impl Middleware for S4dCache {
             }
             (IoKind::Read, Some(_)) => self.plan_read(cluster, now, req, &ctx),
         };
+        // Price the straggler budget off the same cost-model prediction
+        // that classified the request (no-op while deadlines are off).
+        self.apply_deadline(&mut plan, &ctx);
         // Journal-before-ack audit: every DMT mutation this operation made
         // is in the journaling pipeline before the plan is handed back.
         debug_assert_eq!(
@@ -249,6 +250,32 @@ impl Middleware for S4dCache {
         latency: SimDuration,
     ) {
         self.record_latency(tier, server, len, latency);
+    }
+
+    fn on_io_dispatched(&mut self, tier: Tier, server: usize, _kind: IoKind, _len: u64) {
+        if tier == Tier::CServers {
+            self.health.ensure_servers(server + 1);
+            self.health.on_dispatch(server);
+        }
+    }
+
+    fn on_io_abandoned(&mut self, tier: Tier, server: usize, _kind: IoKind, _len: u64) {
+        if tier == Tier::CServers {
+            self.health.on_settle(server);
+        }
+    }
+
+    fn on_deadline(
+        &mut self,
+        cluster: &mut Cluster,
+        now: SimTime,
+        ctx: &s4d_mpiio::StragglerCtx,
+    ) -> s4d_mpiio::HedgeDirective {
+        self.deadline_directive(cluster, now, ctx)
+    }
+
+    fn shed_admissions(&self) -> u64 {
+        self.metrics.shed_admissions
     }
 
     fn on_plan_failed(&mut self, _cluster: &mut Cluster, _now: SimTime, tag: u64) {

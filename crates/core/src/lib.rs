@@ -55,6 +55,7 @@ mod config;
 mod dmt;
 mod durability;
 mod faults;
+mod gray;
 mod health;
 mod layer;
 mod memcache;
@@ -72,7 +73,7 @@ pub use config::{AdmissionPolicy, S4dConfig};
 pub use crash::{CrashFuse, CrashSite, CrashStep};
 pub use dmt::{CoveredPiece, Dmt, MapExtent, RangeView};
 pub use durability::recovery::RecoveryReport;
-pub use health::{HealthMonitor, ServerHealth};
+pub use health::{HealthMonitor, P2Quantile, ServerHealth};
 pub use journal::{JournalError, JournalRecord, RecoveredJournal};
 pub use layer::S4dCache;
 pub use memcache::{MemCache, MemCacheMetrics};

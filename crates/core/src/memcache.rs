@@ -215,6 +215,7 @@ impl<M: Middleware> Middleware for MemCache<M> {
                         tag: 0,
                         lead_in: self.ram_latency,
                         phases: Vec::new(),
+                        deadline: None,
                     };
                 }
                 self.metrics.delegated_reads += 1;

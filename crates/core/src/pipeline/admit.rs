@@ -100,6 +100,7 @@ impl S4dCache {
             tag: 0,
             lead_in: self.config.decision_overhead,
             phases: vec![ops],
+            deadline: None,
         };
         if !journal_ops.is_empty() {
             plan.phases.push(journal_ops);

@@ -32,6 +32,8 @@ impl S4dCache {
         RequestCtx {
             critical,
             cache: self.cache_file_of.get(&req.file).copied(),
+            benefit_secs: benefit.benefit_secs,
+            predicted_secs: benefit.t_d_secs.max(benefit.t_c_secs),
         }
     }
 }

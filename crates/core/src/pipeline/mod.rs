@@ -36,6 +36,13 @@ pub(crate) struct RequestCtx {
     /// The request's cache file, if its original file was opened through
     /// the middleware; `None` routes straight to DServers.
     pub(crate) cache: Option<FileId>,
+    /// Predicted benefit `B = T_D − T_C` (Eq. 8), seconds. The
+    /// backpressure policy sheds the lowest-benefit admissions first.
+    pub(crate) benefit_secs: f64,
+    /// The slower of the two predicted access times, seconds — the basis
+    /// of the request's deadline budget (whichever tier the plan picks,
+    /// the budget covers it).
+    pub(crate) predicted_secs: f64,
 }
 
 /// Typed decision of the redirect stage for a write: where the mapped

@@ -46,11 +46,18 @@ impl S4dCache {
         // Unmapped parts: admission requires the whole tier healthy. New
         // admissions stripe over every CServer, so one quarantined server
         // pauses admission entirely — consistency over throughput while
-        // the tier is suspect.
+        // the tier is suspect. Backpressure (when enabled) folds in the
+        // same way: a congested tier sheds marginal admissions to OPFS.
         let gap_total: u64 = view.gaps.iter().map(|&(_, l)| l).sum();
-        let healthy = !self.health.any_unhealthy(now);
+        let mut healthy = !self.health.any_unhealthy(now);
         if ctx.critical && gap_total > 0 && !healthy {
             self.metrics.admission_denied_health += 1;
+        }
+        if healthy && self.shed_admission(ctx) {
+            if ctx.critical && gap_total > 0 {
+                self.metrics.shed_admissions += 1;
+            }
+            healthy = false;
         }
         WriteRoute {
             ops,
@@ -86,12 +93,16 @@ impl S4dCache {
         self.dmt.touch_range(req.file, req.offset, req.len);
         // Graceful degradation: a *clean* cached piece striped over a
         // quarantined CServer is served from OPFS instead (same bytes,
-        // none of the risk). Dirty pieces have no other copy — they keep
-        // routing to the cache, and the runner's retry/replan machinery
-        // rides out the outage.
+        // none of the risk); under backpressure a congested (deep-queued
+        // or fail-slow) CServer counts too. Dirty pieces have no other
+        // copy — they keep routing to the cache, and the runner's
+        // retry/replan machinery rides out the outage.
         let mut cache_pieces: Vec<(u64, u64)> = Vec::new();
         for piece in &view.pieces {
-            if !piece.dirty && self.cache_range_unhealthy(cluster, now, piece.c_offset, piece.len) {
+            if !piece.dirty
+                && (self.cache_range_unhealthy(cluster, now, piece.c_offset, piece.len)
+                    || self.cache_range_congested(cluster, piece.c_offset, piece.len))
+            {
                 self.metrics.fallback_reads += 1;
                 self.metrics.fallback_bytes += piece.len;
                 ops.push(self.data_op(
@@ -131,6 +142,7 @@ impl S4dCache {
             tag: 0,
             lead_in: self.config.decision_overhead,
             phases: vec![ops],
+            deadline: None,
         };
         if !cache_pieces.is_empty() {
             // Pin the cached pieces this read references until the plan
@@ -153,9 +165,12 @@ impl S4dCache {
             }
             // No new cache fills while any CServer is quarantined: fetches
             // stripe over the whole tier, so they would land on the sick
-            // server too.
+            // server too. Backpressure sheds fills the same way — a
+            // congested tier gets no new fetch work.
             if ctx.critical && !self.health.any_unhealthy(now) {
-                if self.config.eager_read_fetch {
+                if self.shed_admission(ctx) {
+                    self.metrics.shed_admissions += 1;
+                } else if self.config.eager_read_fetch {
                     self.plan_eager_fetch(cluster, req, cache, &view.gaps, &mut plan);
                 } else if self.cdt.set_c_flag(req.file, req.offset, req.len) {
                     // Lazy caching: mark for the Rebuilder (line 18).
@@ -231,6 +246,7 @@ impl S4dCache {
             tag: 0,
             lead_in: self.config.decision_overhead,
             phases: vec![vec![op]],
+            deadline: None,
         }
     }
 

@@ -14,6 +14,9 @@ pub const RULES: &[&str] = &[
     "lock-across-io",
     "durability",
     "file-budget",
+    "unbounded-retry",
+    // Alias: `allow(retry)` suppresses `unbounded-retry` (see pragma.rs).
+    "retry",
     "pragma",
 ];
 
@@ -159,6 +162,21 @@ pub const CALL_RESOLUTION_CAP: usize = 4;
 /// reachability analysis: the middleware's public API surface (what the
 /// MPI-IO runner and library consumers actually call).
 pub const PANIC_PATH_ROOT_CRATES: &[&str] = &["core", "mpiio"];
+
+/// Crates whose retry/hedge loops the `unbounded-retry` rule audits:
+/// the runner (replans, hedges, deadline timers) and the middleware
+/// (retry directives, backoff) — the gray-failure escalation machinery,
+/// every stage of which must be visibly bounded.
+pub const RETRY_CRATES: &[&str] = &["core", "mpiio"];
+
+/// Call-name fragments that mark a call as retry/hedge dispatch
+/// (matched case-insensitively as substrings of the callee name).
+pub const RETRY_CALL_PATTERNS: &[&str] = &["retry", "hedge", "replan", "resubmit", "redrive"];
+
+/// Identifier fragments accepted as evidence that a retry loop is
+/// bounded: an iteration cap, an attempt counter, or a budget/deadline
+/// check somewhere in the enclosing function or the retry helper.
+pub const RETRY_BOUND_PATTERNS: &[&str] = &["max", "attempt", "budget", "cap", "limit", "deadline"];
 
 /// Maximum non-test code lines per library module (`file-budget`).
 /// `#[cfg(test)]` / `#[test]` spans and files under `tests/`, `examples/`,

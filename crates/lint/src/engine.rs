@@ -97,7 +97,7 @@ fn pragma_hygiene(file: &SourceFile, prags: &[Pragma], report: &mut Report) {
                 message,
                 hint: "format: `// s4d-lint: allow(<rule>) — <justification>`; rules: \
                        determinism, ordered-iter, panic, panic-path, lock-order, \
-                       lock-across-io, durability, file-budget",
+                       lock-across-io, durability, file-budget, unbounded-retry",
                 severity,
                 chain: Vec::new(),
             });

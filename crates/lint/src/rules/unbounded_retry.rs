@@ -1,0 +1,182 @@
+//! `unbounded-retry`: retry/hedge loops with no visible bound.
+//!
+//! The gray-failure machinery (deadline budgets, hedged reads, replans)
+//! is built from *bounded* escalation: every retry loop must carry an
+//! iteration cap, an attempt counter, or a budget/deadline check, or a
+//! straggler could be re-driven forever — the exact livelock the
+//! deadline protocol exists to rule out. This rule audits the retry
+//! crates ([`crate::config::RETRY_CRATES`]) for `loop`/`while` bodies
+//! that dispatch retry work with no such evidence in sight.
+//!
+//! A loop qualifies when its body contains a call that either *names*
+//! retry dispatch ([`crate::config::RETRY_CALL_PATTERNS`]) or resolves
+//! to a workspace function whose own body does — the cross-function
+//! case, where the loop and the naked retry live in different files.
+//! Evidence of a bound ([`crate::config::RETRY_BOUND_PATTERNS`],
+//! matched against identifiers in the enclosing function or in the
+//! resolved retry helper) clears the loop.
+//!
+//! Severity is *warning* (report-only): both the vocabulary and the
+//! conservative call graph over-approximate, so a finding is a prompt
+//! to audit, not proof of livelock. Justified sites carry
+//! `// s4d-lint: allow(unbounded-retry) — <why>` (alias: `retry`).
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::callgraph::FnId;
+use crate::config;
+use crate::diag::{Diagnostic, Severity};
+use crate::items::{Event, EventKind};
+use crate::source::{match_brace, SourceFile};
+use crate::summary::{call_targets, Analysis};
+
+/// Runs the retry-loop audit over the retry crates.
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    // One finding per loop keyword site.
+    let mut seen: BTreeSet<(String, u32)> = BTreeSet::new();
+    for id in 0..a.graph.len() {
+        let file = a.file_of(id);
+        if !config::RETRY_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let f = a.fn_item(id);
+        let loops = loop_bodies(file, &f.body);
+        if loops.is_empty() {
+            continue;
+        }
+        let fn_bounded = has_bound_ident(file, &f.body);
+        for (kw, body) in &loops {
+            let Some((ev, helper)) = retry_dispatch_in(a, id, body) else {
+                continue;
+            };
+            // Bound evidence in the enclosing function, or inside the
+            // resolved retry helper (its own attempts/budget check).
+            if fn_bounded {
+                continue;
+            }
+            if let Some(h) = helper {
+                if has_bound_ident(a.file_of(h), &a.fn_item(h).body) {
+                    continue;
+                }
+            }
+            let line = file.line_of(*kw);
+            if !seen.insert((file.rel.clone(), line)) {
+                continue;
+            }
+            let mut chain = vec![a.step(id, line), a.step(id, ev.line)];
+            if let Some(h) = helper {
+                if let Some(l) = retry_event_line(a, h) {
+                    chain.push(a.step(h, l));
+                }
+            }
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line,
+                rule: "unbounded-retry",
+                message: "retry/hedge loop with no visible iteration cap or budget check"
+                    .to_string(),
+                hint: "bound the loop (a `MAX_…` cap, an `attempts` counter, a \
+                       deadline/budget check) or justify it with \
+                       `// s4d-lint: allow(unbounded-retry) — <why>` (alias: `retry`)",
+                severity: Severity::Warning,
+                chain,
+            });
+        }
+    }
+}
+
+/// The `loop`/`while` bodies of one function, as `(keyword token, body
+/// token range)` pairs in source order. `for` loops are excluded: their
+/// iteration is bounded by the iterator.
+fn loop_bodies(file: &SourceFile, body: &Range<usize>) -> Vec<(usize, Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = body.start;
+    while i < body.end {
+        match file.ident(i) {
+            Some("loop") if file.punct_is(i + 1, '{') => {
+                let close = match_brace(&file.code, i + 1);
+                out.push((i, i + 2..close));
+            }
+            Some("while") => {
+                // The body brace is the first `{` past the condition at
+                // paren/bracket depth 0 (`while let Some(Pat { .. })`
+                // keeps its braces inside the parens).
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                while j < body.end {
+                    if file.punct_is(j, '(') || file.punct_is(j, '[') {
+                        depth += 1;
+                    } else if file.punct_is(j, ')') || file.punct_is(j, ']') {
+                        depth -= 1;
+                    } else if file.punct_is(j, '{') && depth == 0 {
+                        let close = match_brace(&file.code, j);
+                        out.push((i, j + 1..close));
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The first retry-dispatch call event inside `body`: a call whose name
+/// matches the retry vocabulary, or one resolving to a function whose
+/// own direct events do. Returns the event and the resolved helper (for
+/// the cross-function case).
+fn retry_dispatch_in<'a>(
+    a: &'a Analysis<'_>,
+    id: FnId,
+    body: &Range<usize>,
+) -> Option<(&'a Event, Option<FnId>)> {
+    for ev in &a.fn_item(id).events {
+        if !body.contains(&ev.tok) {
+            continue;
+        }
+        let EventKind::Call { name, .. } = &ev.kind else {
+            continue;
+        };
+        if is_retry_name(name) {
+            return Some((ev, None));
+        }
+        for &callee in call_targets(&a.graph, ev) {
+            if callee != id && retry_event_line(a, callee).is_some() {
+                return Some((ev, Some(callee)));
+            }
+        }
+    }
+    None
+}
+
+/// Line of the first direct retry-named call in a function, if any.
+fn retry_event_line(a: &Analysis<'_>, id: FnId) -> Option<u32> {
+    a.fn_item(id).events.iter().find_map(|ev| match &ev.kind {
+        EventKind::Call { name, .. } if is_retry_name(name) => Some(ev.line),
+        _ => None,
+    })
+}
+
+/// True when a call name marks retry/hedge dispatch.
+fn is_retry_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    config::RETRY_CALL_PATTERNS
+        .iter()
+        .any(|p| lower.contains(p))
+}
+
+/// True when any identifier in the token range carries bound evidence
+/// (an iteration cap, attempt counter, or budget/deadline check).
+fn has_bound_ident(file: &SourceFile, range: &Range<usize>) -> bool {
+    (range.start..range.end).any(|i| {
+        file.ident(i).is_some_and(|w| {
+            let lower = w.to_ascii_lowercase();
+            config::RETRY_BOUND_PATTERNS
+                .iter()
+                .any(|p| lower.contains(p))
+        })
+    })
+}

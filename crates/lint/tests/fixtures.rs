@@ -109,6 +109,14 @@ const XFN_CASES: &[(&str, &str, &str, &str, &str, Severity)] = &[
         "panic-path",
         Severity::Warning,
     ),
+    (
+        "xfn_retry_caller.rs",
+        "crates/mpiio/src/xfn_caller.rs",
+        "xfn_retry_helper.rs",
+        "crates/mpiio/src/xfn_helper.rs",
+        "unbounded-retry",
+        Severity::Warning,
+    ),
 ];
 
 #[test]
@@ -176,6 +184,49 @@ fn xfn_panic_site_pragma_suppresses_reachability_too() {
         report.diagnostics
     );
     assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn retry_alias_pragma_suppresses_the_retry_pair() {
+    // `allow(retry)` is the short alias for `unbounded-retry`; placed on
+    // the loop the finding anchors at, it must suppress the pair's
+    // cross-function finding.
+    let caller_src = fixture_source("xfn_retry_caller.rs").replace(
+        "    loop {",
+        "    // s4d-lint: allow(retry) — fixture-local proof for the self-test\n    loop {",
+    );
+    let helper_src = fixture_source("xfn_retry_helper.rs");
+    let report = lint_fixture_set(&[
+        (caller_src.as_str(), "crates/mpiio/src/xfn_caller.rs"),
+        (helper_src.as_str(), "crates/mpiio/src/xfn_helper.rs"),
+    ]);
+    assert!(
+        report.diagnostics.is_empty(),
+        "the `retry` alias must suppress `unbounded-retry`: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn bound_evidence_in_the_helper_clears_the_retry_pair() {
+    // Giving the helper its own attempt bound is the sanctioned fix:
+    // the same pair must then lint clean without any pragma.
+    let caller_src = fixture_source("xfn_retry_caller.rs");
+    let helper_src = fixture_source("xfn_retry_helper.rs").replace(
+        "        fire_retry(op);",
+        "        if op.attempts < MAX_ATTEMPTS {\n            fire_retry(op);\n        }",
+    );
+    let report = lint_fixture_set(&[
+        (caller_src.as_str(), "crates/mpiio/src/xfn_caller.rs"),
+        (helper_src.as_str(), "crates/mpiio/src/xfn_helper.rs"),
+    ]);
+    assert!(
+        report.diagnostics.is_empty(),
+        "an attempt cap in the helper must clear the loop: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed, 0);
 }
 
 #[test]

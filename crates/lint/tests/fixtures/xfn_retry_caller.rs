@@ -1,0 +1,17 @@
+//! Seeded cross-function violation — caller half of the retry pair.
+//!
+//! A dispatch loop that re-drives failed work forever, with no
+//! iteration cap, attempt counter, or budget check. The helper's name
+//! says nothing about retrying, so this file alone is silent to the
+//! `unbounded-retry` rule; only resolving the call and seeing the
+//! helper's retry dispatch makes the loop a finding.
+
+/// Drains the failed-op queue, re-driving entries until it is empty.
+pub fn drain_failed(q: &mut Queue) {
+    loop {
+        if q.is_empty() {
+            break;
+        }
+        drive_next(q);
+    }
+}

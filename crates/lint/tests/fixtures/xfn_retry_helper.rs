@@ -1,0 +1,12 @@
+//! Seeded cross-function violation — helper half of the retry pair.
+//!
+//! Naked retry dispatch: fires one more retry of the op with no
+//! attempt count or budget of its own. No loop here, so this file
+//! alone is silent; the caller's loop is what makes it unbounded.
+
+/// Pops the next failed op and fires one more retry of it.
+pub fn drive_next(q: &mut Queue) {
+    if let Some(op) = q.pop_failed() {
+        fire_retry(op);
+    }
+}

@@ -49,10 +49,12 @@ mod types;
 
 pub use cluster::Cluster;
 pub use middleware::{BackgroundPoll, Middleware, StockMiddleware};
-pub use report::{DegradedCounts, DurabilityCounts, KindReport, RunReport, TierCounts};
+pub use report::{
+    DegradedCounts, DurabilityCounts, GrayFailureCounts, KindReport, RunReport, TierCounts,
+};
 pub use runner::{IoObserver, Runner, RunnerConfig};
 pub use script::{script, ProcessScript, ScriptBuilder, VecScript};
 pub use types::{
-    AppOp, AppRequest, ErrorDirective, FileHandle, MiddlewareError, Plan, PlannedIo, Rank,
-    SubIoFailure, Tier,
+    AppOp, AppRequest, ErrorDirective, FileHandle, HedgeDirective, MiddlewareError, Plan,
+    PlannedIo, Rank, StragglerCtx, SubIoFailure, Tier,
 };

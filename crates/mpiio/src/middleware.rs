@@ -9,7 +9,8 @@ use s4d_storage::IoKind;
 use crate::cluster::Cluster;
 use crate::report::DurabilityCounts;
 use crate::types::{
-    AppRequest, ErrorDirective, MiddlewareError, Plan, PlannedIo, Rank, SubIoFailure, Tier,
+    AppRequest, ErrorDirective, HedgeDirective, MiddlewareError, Plan, PlannedIo, Rank,
+    StragglerCtx, SubIoFailure, Tier,
 };
 
 /// Work returned by [`Middleware::poll_background`].
@@ -94,6 +95,43 @@ pub trait Middleware {
         _len: u64,
         _latency: s4d_sim::SimDuration,
     ) {
+    }
+
+    /// Called for every sub-request the runner submits to a server
+    /// (including retries) — the health monitor's outstanding-op depth
+    /// signal. Balanced by exactly one of
+    /// [`on_io_complete`](Middleware::on_io_complete),
+    /// [`on_io_error`](Middleware::on_io_error), or
+    /// [`on_io_abandoned`](Middleware::on_io_abandoned). Default: ignored.
+    fn on_io_dispatched(&mut self, _tier: Tier, _server: usize, _kind: IoKind, _len: u64) {}
+
+    /// Called when the runner abandons an outstanding sub-request (after
+    /// a [`HedgeDirective::Hedge`] or [`HedgeDirective::Abandon`]); the
+    /// depth accounting opened by
+    /// [`on_io_dispatched`](Middleware::on_io_dispatched) must close here
+    /// because neither a completion nor an error will be delivered.
+    /// Default: ignored.
+    fn on_io_abandoned(&mut self, _tier: Tier, _server: usize, _kind: IoKind, _len: u64) {}
+
+    /// Called when a dispatched sub-request outlives its plan's deadline
+    /// budget without completing. The verdict decides whether the runner
+    /// keeps waiting, issues hedged replacement ops, or abandons the
+    /// straggler and re-plans. The default waits forever (deadline-blind
+    /// middleware behaves exactly as before this hook existed).
+    fn on_deadline(
+        &mut self,
+        _cluster: &mut Cluster,
+        _now: SimTime,
+        _ctx: &StragglerCtx,
+    ) -> HedgeDirective {
+        HedgeDirective::Wait
+    }
+
+    /// Admissions the middleware declined under backpressure (shed to
+    /// OPFS because the cache tier was slow or overloaded), for the final
+    /// report. Default: 0.
+    fn shed_admissions(&self) -> u64 {
+        0
     }
 
     /// Called when a tagged plan *fails* (a sub-request gave up) instead

@@ -109,6 +109,27 @@ pub struct DegradedCounts {
     pub overhead_failures: u64,
 }
 
+/// Gray-failure (fail-slow) counters: deadline misses and what the
+/// hedging/backpressure machinery did about them. All zero on a healthy
+/// run or when the middleware sets no deadlines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GrayFailureCounts {
+    /// Sub-requests still outstanding when their deadline budget lapsed
+    /// (each fired deadline timer counts once).
+    pub deadline_misses: u64,
+    /// Stragglers replaced by hedged ops against the other tier.
+    pub hedges_issued: u64,
+    /// Hedged ops that completed successfully (delivered the bytes the
+    /// straggler never did).
+    pub hedges_won: u64,
+    /// Straggling sub-requests physically removed from a server (freed
+    /// from a stall park or pulled out of the queue).
+    pub stall_abandons: u64,
+    /// Admissions the middleware shed under backpressure (copied from
+    /// `Middleware::shed_admissions` when the run ends).
+    pub shed_admissions: u64,
+}
+
 /// Journal/checkpoint durability counters reported by a middleware that
 /// persists its metadata (see `Middleware::durability`). All zero for
 /// middlewares without a journal.
@@ -149,6 +170,9 @@ pub struct RunReport {
     pub overhead_bytes: u64,
     /// Fault/retry/re-plan counters (all zero on a healthy run).
     pub degraded: DegradedCounts,
+    /// Deadline/hedging/backpressure counters (all zero on a healthy run
+    /// or with deadlines disabled).
+    pub gray: GrayFailureCounts,
     /// Journal/checkpoint durability counters, when the middleware keeps
     /// a persistent journal (`None` for e.g. the stock middleware).
     pub durability: Option<DurabilityCounts>,

@@ -2,12 +2,14 @@
 //! submission, sub-request decomposition, and completion assembly.
 
 use s4d_pfs::{Priority, SubReqId, SubRequest};
-use s4d_sim::{EventQueue, SimTime};
+use s4d_sim::{EventQueue, SimDuration, SimTime};
 use s4d_storage::IoKind;
 
 use crate::middleware::Middleware;
 use crate::script::ProcessScript;
-use crate::types::{AppOp, AppRequest, ErrorDirective, FileHandle, Plan, Rank, SubIoFailure, Tier};
+use crate::types::{
+    AppOp, AppRequest, ErrorDirective, FileHandle, Plan, PlannedIo, Rank, SubIoFailure, Tier,
+};
 
 use super::{Event, State};
 
@@ -60,6 +62,14 @@ pub(super) struct PlanExec {
 
 pub(super) struct SubMeta {
     pub(super) plan_id: u64,
+    /// Tier the sub-request was dispatched to.
+    pub(super) tier: Tier,
+    /// Server index within the tier.
+    pub(super) server: usize,
+    /// Tier-local file the sub-request targets.
+    pub(super) file: s4d_pfs::FileId,
+    /// Read or write.
+    pub(super) kind: IoKind,
     /// Offset of the planned op within its file.
     pub(super) op_offset: u64,
     /// Application-file offset the op's bytes belong to, if data-carrying.
@@ -72,6 +82,19 @@ pub(super) struct SubMeta {
     pub(super) attempts: u32,
     /// When the current attempt was submitted (latency measurement).
     pub(super) submitted: SimTime,
+    /// Deadline budget to re-arm on retries (`None`: never expires).
+    pub(super) deadline: Option<SimDuration>,
+    /// True for a hedged replacement op: its own deadline miss abandons
+    /// outright instead of hedging again, bounding the escalation chain
+    /// at original → hedge → abandon/re-plan.
+    pub(super) hedge: bool,
+}
+
+impl SubMeta {
+    /// Total bytes of this sub-request.
+    pub(super) fn len(&self) -> u64 {
+        self.segments.iter().map(|(_, l)| *l).sum()
+    }
 }
 
 impl<M: Middleware> State<M> {
@@ -271,71 +294,13 @@ impl<M: Middleware> State<M> {
             let Some(ops) = exec.plan.phases.get(phase_idx).cloned() else {
                 break; // unreachable: the loop guard bounds phase_idx
             };
+            let deadline = exec.plan.deadline;
             for op in &ops {
                 if op.len == 0 {
                     continue;
                 }
                 self.account_dispatch(now, exec, op);
-                let subranges = self
-                    .cluster
-                    .pfs_mut(op.tier)
-                    .plan(op.file, op.kind, op.offset, op.len)
-                    // s4d-lint: allow(panic) — a plan the middleware just produced names unknown files only if the middleware is broken; fail fast with the op; panic-path witness: run → run_until → handle → server_done → submit_phase
-                    .unwrap_or_else(|e| panic!("planning {op:?}: {e}"));
-                let layout = self.cluster.pfs(op.tier).layout();
-                for sub in subranges {
-                    let id = SubReqId(self.next_sub);
-                    self.next_sub += 1;
-                    let segments = layout.file_segments(&sub);
-                    let data = op.data.as_ref().map(|full| {
-                        let mut buf = Vec::with_capacity(sub.len as usize);
-                        for (seg_off, seg_len) in &segments {
-                            let at = (seg_off - op.offset) as usize;
-                            if let Some(seg) = full.get(at..at + *seg_len as usize) {
-                                buf.extend_from_slice(seg);
-                            }
-                        }
-                        buf
-                    });
-                    self.subs.insert(
-                        id,
-                        SubMeta {
-                            plan_id,
-                            op_offset: op.offset,
-                            app_offset: op.app_offset,
-                            segments,
-                            priority: op.priority,
-                            attempts: 1,
-                            submitted: now,
-                        },
-                    );
-                    let sr = SubRequest {
-                        id,
-                        file: op.file,
-                        kind: op.kind,
-                        local_offset: sub.local_offset,
-                        len: sub.len,
-                        priority: op.priority,
-                        data,
-                    };
-                    let tier = op.tier;
-                    let server_idx = sub.server;
-                    let Ok(server) = self.cluster.pfs_mut(tier).server_mut(server_idx) else {
-                        self.subs.remove(&id);
-                        continue; // the layout only names servers in range
-                    };
-                    let started = server.submit(now, sr);
-                    if let Some(s) = started {
-                        q.push(
-                            s.completes_at,
-                            Event::ServerDone {
-                                tier,
-                                server: server_idx,
-                            },
-                        );
-                    }
-                    created += 1;
-                }
+                created += self.submit_planned_op(now, plan_id, op, deadline, false, q);
             }
             if created > 0 {
                 return created;
@@ -343,6 +308,101 @@ impl<M: Middleware> State<M> {
             exec.phase += 1;
         }
         0
+    }
+
+    /// Decomposes one planned op into per-server sub-requests, registers
+    /// their metadata, and submits them; returns how many sub-requests
+    /// were created. `deadline` arms a per-sub-request timer; `hedge`
+    /// marks replacement ops issued for an abandoned straggler.
+    pub(super) fn submit_planned_op(
+        &mut self,
+        now: SimTime,
+        plan_id: u64,
+        op: &PlannedIo,
+        deadline: Option<SimDuration>,
+        hedge: bool,
+        q: &mut EventQueue<Event>,
+    ) -> usize {
+        let mut created = 0;
+        let subranges = self
+            .cluster
+            .pfs_mut(op.tier)
+            .plan(op.file, op.kind, op.offset, op.len)
+            // s4d-lint: allow(panic) — a plan the middleware just produced names unknown files only if the middleware is broken; fail fast with the op; panic-path witness: run → run_until → handle → server_done → submit_phase → submit_planned_op
+            .unwrap_or_else(|e| panic!("planning {op:?}: {e}"));
+        let layout = self.cluster.pfs(op.tier).layout();
+        for sub in subranges {
+            let id = SubReqId(self.next_sub);
+            self.next_sub += 1;
+            let segments = layout.file_segments(&sub);
+            let data = op.data.as_ref().map(|full| {
+                let mut buf = Vec::with_capacity(sub.len as usize);
+                for (seg_off, seg_len) in &segments {
+                    let at = (seg_off - op.offset) as usize;
+                    if let Some(seg) = full.get(at..at + *seg_len as usize) {
+                        buf.extend_from_slice(seg);
+                    }
+                }
+                buf
+            });
+            self.subs.insert(
+                id,
+                SubMeta {
+                    plan_id,
+                    tier: op.tier,
+                    server: sub.server,
+                    file: op.file,
+                    kind: op.kind,
+                    op_offset: op.offset,
+                    app_offset: op.app_offset,
+                    segments,
+                    priority: op.priority,
+                    attempts: 1,
+                    submitted: now,
+                    deadline,
+                    hedge,
+                },
+            );
+            let sr = SubRequest {
+                id,
+                file: op.file,
+                kind: op.kind,
+                local_offset: sub.local_offset,
+                len: sub.len,
+                priority: op.priority,
+                data,
+            };
+            let tier = op.tier;
+            let server_idx = sub.server;
+            let sub_len = sub.len;
+            let Ok(server) = self.cluster.pfs_mut(tier).server_mut(server_idx) else {
+                self.subs.remove(&id);
+                continue; // the layout only names servers in range
+            };
+            let started = server.submit(now, sr);
+            self.middleware
+                .on_io_dispatched(tier, server_idx, op.kind, sub_len);
+            if let Some(s) = started {
+                q.push(
+                    s.completes_at,
+                    Event::ServerDone {
+                        tier,
+                        server: server_idx,
+                    },
+                );
+            }
+            if let Some(budget) = deadline {
+                q.push(
+                    now + budget,
+                    Event::Deadline {
+                        sub: id,
+                        attempt: 1,
+                    },
+                );
+            }
+            created += 1;
+        }
+        created
     }
 
     pub(super) fn server_done(
@@ -413,6 +473,9 @@ impl<M: Middleware> State<M> {
                 }
             }
         } else {
+            if meta.hedge {
+                self.report.gray.hedges_won += 1;
+            }
             self.middleware.on_io_complete(
                 tier,
                 server,
@@ -450,11 +513,22 @@ impl<M: Middleware> State<M> {
             self.plans.insert(plan_id, exec);
             return;
         }
+        self.settle_drained_plan(now, plan_id, exec, q);
+    }
+
+    /// A plan's current phase has fully drained: fail it, advance to the
+    /// next phase, or complete it.
+    pub(super) fn settle_drained_plan(
+        &mut self,
+        now: SimTime,
+        plan_id: u64,
+        mut exec: PlanExec,
+        q: &mut EventQueue<Event>,
+    ) {
         if exec.failed {
             self.fail_plan(now, exec, q);
             return;
         }
-        // Phase finished: next phase or plan completion.
         exec.phase += 1;
         let launched = self.submit_phase(now, plan_id, &mut exec, q);
         if launched > 0 {

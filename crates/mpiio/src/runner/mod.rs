@@ -22,6 +22,7 @@
 
 mod drain;
 mod exec;
+mod hedge;
 mod observe;
 mod retry;
 
@@ -73,6 +74,13 @@ enum Event {
     Retry(u64),
     /// Re-plan an application request after a plan failure.
     Replan(u64),
+    /// A sub-request's deadline budget lapsed. `attempt` pins the timer
+    /// to one attempt generation: a retry re-arms a fresh deadline, and
+    /// the stale timer for the failed attempt must not fire on it.
+    Deadline {
+        sub: SubReqId,
+        attempt: u32,
+    },
 }
 
 struct State<M: Middleware> {
@@ -186,6 +194,7 @@ impl<M: Middleware> Runner<M> {
         self.state.report.end_time = end;
         self.state.report.events = engine.processed();
         self.state.report.durability = self.state.middleware.durability();
+        self.state.report.gray.shed_admissions = self.state.middleware.shed_admissions();
         self.state.report.clone()
     }
 
@@ -242,6 +251,7 @@ impl<M: Middleware> World<Event> for State<M> {
             Event::BackgroundWake => self.background_wake(now, q),
             Event::Retry(token) => self.fire_retry(now, token, q),
             Event::Replan(token) => self.fire_replan(now, token, q),
+            Event::Deadline { sub, attempt } => self.fire_deadline(now, sub, attempt, q),
         }
     }
 }

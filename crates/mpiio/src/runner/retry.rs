@@ -89,10 +89,25 @@ impl<M: Middleware> State<M> {
         };
         meta.submitted = now;
         let id = req.id;
+        let kind = req.kind;
+        let len = req.len;
         let Ok(srv) = self.cluster.pfs_mut(tier).server_mut(server) else {
             return; // the retried server was valid when the retry was queued
         };
         let started = srv.submit(now, req);
+        self.middleware.on_io_dispatched(tier, server, kind, len);
+        // Each attempt gets a fresh deadline; the generation check in
+        // `fire_deadline` keeps the previous attempt's timer from firing
+        // on this one.
+        if let Some(budget) = meta.deadline {
+            q.push(
+                now + budget,
+                Event::Deadline {
+                    sub: id,
+                    attempt: meta.attempts,
+                },
+            );
+        }
         self.subs.insert(id, meta);
         if let Some(s) = started {
             q.push(s.completes_at, Event::ServerDone { tier, server });

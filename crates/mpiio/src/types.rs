@@ -172,6 +172,12 @@ pub struct Plan {
     pub lead_in: s4d_sim::SimDuration,
     /// The phases, outermost sequential, innermost concurrent.
     pub phases: Vec<Vec<PlannedIo>>,
+    /// Per-sub-request deadline budget. When set, the runner arms a timer
+    /// for every dispatched sub-request; one still outstanding when its
+    /// budget lapses is reported to
+    /// [`crate::Middleware::on_deadline`], which may hedge or abandon it.
+    /// `None` (the default) disables deadline tracking for the plan.
+    pub deadline: Option<SimDuration>,
 }
 
 impl Plan {
@@ -181,6 +187,7 @@ impl Plan {
             tag: 0,
             lead_in: s4d_sim::SimDuration::ZERO,
             phases: vec![ops],
+            deadline: None,
         }
     }
 
@@ -193,6 +200,55 @@ impl Plan {
     pub fn is_empty(&self) -> bool {
         self.phases.iter().all(|p| p.is_empty())
     }
+}
+
+/// A sub-request that outlived its deadline budget, as reported to the
+/// middleware by [`crate::Middleware::on_deadline`]. Carries enough
+/// context to plan a hedged replacement against the other tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerCtx {
+    /// Tier of the straggling server.
+    pub tier: Tier,
+    /// Index of the straggling server within its tier.
+    pub server: usize,
+    /// The tier-local file the straggler targets (cache file, original
+    /// file, or metadata journal).
+    pub file: FileId,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Length of the straggling sub-request in bytes.
+    pub len: u64,
+    /// The *application* file the plan belongs to, when the plan serves a
+    /// process request (`None` for background plans).
+    pub app_file: Option<FileId>,
+    /// Absolute `(offset, len)` ranges of the application file carried by
+    /// the straggler. Empty for overhead traffic (journal writes) — there
+    /// is nothing to hedge, only wait or abandon.
+    pub app_segments: Vec<(u64, u64)>,
+    /// Attempts of the straggling sub-request so far (≥ 1).
+    pub attempts: u32,
+}
+
+/// The middleware's verdict on a straggling sub-request (see
+/// [`crate::Middleware::on_deadline`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum HedgeDirective {
+    /// Keep waiting on the straggler (e.g. the cache holds the only copy
+    /// of dirty bytes — there is nowhere else to read them from).
+    #[default]
+    Wait,
+    /// Abandon the straggler and run the given replacement ops under the
+    /// same plan — a hedged read against the other tier. The straggler's
+    /// late completion, if any, is discarded idempotently.
+    Hedge {
+        /// Replacement ops covering the straggler's application bytes.
+        ops: Vec<PlannedIo>,
+    },
+    /// Abandon the straggler and fail its plan: the request is re-planned
+    /// from scratch with middleware state that now reflects the stall
+    /// (health demerits, shed admissions), so the new plan routes around
+    /// the straggling server.
+    Abandon,
 }
 
 /// A failed sub-request, as reported to the middleware by the runner.

@@ -3,14 +3,26 @@
 //! [`s4d_storage::FaultyDevice`] degrades a *device* by operation number;
 //! this module scripts whole-*server* failures on the simulation clock: a
 //! hard crash that loses all stored data, a window of transient
-//! (retryable) errors, or a slowdown window. A [`FaultPlan`] is installed
-//! on a [`FileServer`](crate::FileServer) and queried as simulated time
-//! advances; the middleware above observes the resulting [`IoFault`]s on
-//! completed sub-requests and reacts (retry, quarantine, fall back to the
-//! other tier).
+//! (retryable) errors, slowdown windows (whole-server, per-op-class, and
+//! probabilistic heavy tails), or a stall that parks operations in the
+//! service slot without completing *or* erring. A [`FaultPlan`] is
+//! installed on a [`FileServer`](crate::FileServer) and queried as
+//! simulated time advances; the middleware above observes the resulting
+//! [`IoFault`]s on completed sub-requests and reacts (retry, quarantine,
+//! fall back to the other tier), while fail-slow modes are only visible
+//! as latency — detecting those is the gray-failure layer's job
+//! (deadlines, hedging, backpressure).
 
-use s4d_sim::SimTime;
+use s4d_sim::{SimRng, SimTime};
+use s4d_storage::IoKind;
 use serde::{Deserialize, Serialize};
+
+/// Ceiling on any composed service-time multiplier. Overlapping slowdown
+/// windows compose multiplicatively and then clamp into
+/// `[1, MAX_SLOWDOWN]`, so a stack of degraded windows can never
+/// overflow a service time into nonsense; a genuinely unbounded delay is
+/// modeled by [`ServerFault::Stall`] instead.
+pub const MAX_SLOWDOWN: f64 = 1e6;
 
 /// The error a faulted server attaches to a completed sub-request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,6 +78,82 @@ pub enum ServerFault {
         /// Service-time multiplier (must be ≥ 1).
         factor: f64,
     },
+    /// In `[from, until)` service times of one operation class are
+    /// multiplied by `factor` — a server whose writes limp while reads
+    /// stay healthy (firmware GC stalls, write-cache exhaustion), or the
+    /// reverse. Composes with [`ServerFault::Degraded`] windows under the
+    /// same multiply-then-clamp rule.
+    ClassDegraded {
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Which operation class limps.
+        class: OpClass,
+        /// Service-time multiplier (must be ≥ 1).
+        factor: f64,
+    },
+    /// In `[from, until)` each operation independently draws a heavy
+    /// latency tail with `probability`; a hit multiplies its service time
+    /// by `factor`. Draws come from the server's own forked
+    /// [`SimRng`](s4d_sim::SimRng) stream, so a given seed always tails
+    /// the same ops.
+    TailLatency {
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Per-operation tail probability in `(0, 1]`.
+        probability: f64,
+        /// Service-time multiplier on a tail hit (must be ≥ 1).
+        factor: f64,
+    },
+    /// From `since`, operations that *start* do not complete: they park in
+    /// the service slot (occupying it, backing up the queue) until
+    /// `release`, or forever when `release` is `None`. A parked op is not
+    /// an error — the server looks "up" while serving nothing, the
+    /// canonical gray failure. An op already in service when the stall
+    /// begins is unaffected.
+    Stall {
+        /// First instant at which newly started ops park.
+        since: SimTime,
+        /// Instant parked ops resume service, or `None` to park forever
+        /// (the op can only be freed by [`FileServer::abandon`]).
+        ///
+        /// [`FileServer::abandon`]: crate::FileServer::abandon
+        release: Option<SimTime>,
+    },
+}
+
+/// The operation class a [`ServerFault::ClassDegraded`] window applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Read sub-requests.
+    Read,
+    /// Write sub-requests.
+    Write,
+}
+
+impl OpClass {
+    /// True if `kind` belongs to this class.
+    pub fn matches(self, kind: IoKind) -> bool {
+        match self {
+            OpClass::Read => kind == IoKind::Read,
+            OpClass::Write => kind.is_write(),
+        }
+    }
+}
+
+/// Stall status of a server at one instant (see [`FaultPlan::stall_at`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallState {
+    /// No stall window covers the instant.
+    Clear,
+    /// Newly started ops park and resume service at the given instant
+    /// (the latest release over overlapping windows).
+    Until(SimTime),
+    /// Newly started ops park with no scheduled release.
+    Forever,
 }
 
 /// A schedule of [`ServerFault`]s for one server, driven by the sim clock.
@@ -106,12 +194,39 @@ impl FaultPlan {
                 from,
                 until,
                 factor,
+            }
+            | ServerFault::ClassDegraded {
+                from,
+                until,
+                factor,
+                ..
             } => {
                 assert!(until > from, "degraded window must be non-empty");
                 assert!(
                     factor.is_finite() && factor >= 1.0,
                     "slowdown factor must be >= 1"
                 );
+            }
+            ServerFault::TailLatency {
+                from,
+                until,
+                probability,
+                factor,
+            } => {
+                assert!(until > from, "tail window must be non-empty");
+                assert!(
+                    probability > 0.0 && probability <= 1.0,
+                    "tail probability must be in (0, 1]"
+                );
+                assert!(
+                    factor.is_finite() && factor >= 1.0,
+                    "tail factor must be >= 1"
+                );
+            }
+            ServerFault::Stall { since, release } => {
+                if let Some(release) = release {
+                    assert!(release > since, "stall must release after it begins");
+                }
             }
         }
         self.faults.push(fault);
@@ -152,21 +267,104 @@ impl FaultPlan {
             .fold(0.0, f64::max)
     }
 
-    /// Service-time multiplier at `now` (1 when healthy; overlapping
-    /// windows stack multiplicatively, like [`s4d_storage::Fault`]s).
+    /// Class-independent service-time multiplier at `now` (1 when
+    /// healthy). Overlapping [`ServerFault::Degraded`] windows compose by
+    /// **multiply-then-clamp**: the active factors are sorted into a
+    /// canonical order, multiplied, and the product clamped into
+    /// `[1, MAX_SLOWDOWN]` — so the result is a pure function of the set
+    /// of active windows, independent of the order faults were inserted
+    /// into the plan (floating-point products are not associative, so an
+    /// unsorted product would differ in the last ulp between insertion
+    /// orders).
     pub fn slowdown_at(&self, now: SimTime) -> f64 {
-        self.faults
+        let factors = self.faults.iter().filter_map(|f| match f {
+            ServerFault::Degraded {
+                from,
+                until,
+                factor,
+            } if *from <= now && now < *until => Some(*factor),
+            _ => None,
+        });
+        compose_slowdown(factors)
+    }
+
+    /// Service-time multiplier at `now` for an operation of `kind`:
+    /// [`ServerFault::Degraded`] windows plus the
+    /// [`ServerFault::ClassDegraded`] windows whose class matches,
+    /// composed under the same multiply-then-clamp rule as
+    /// [`FaultPlan::slowdown_at`].
+    pub fn slowdown_for(&self, now: SimTime, kind: IoKind) -> f64 {
+        let factors = self.faults.iter().filter_map(|f| match f {
+            ServerFault::Degraded {
+                from,
+                until,
+                factor,
+            } if *from <= now && now < *until => Some(*factor),
+            ServerFault::ClassDegraded {
+                from,
+                until,
+                class,
+                factor,
+            } if *from <= now && now < *until && class.matches(kind) => Some(*factor),
+            _ => None,
+        });
+        compose_slowdown(factors)
+    }
+
+    /// Draws the heavy-tail multiplier for one operation starting at
+    /// `now`: each active [`ServerFault::TailLatency`] window contributes
+    /// its factor with its probability (one Bernoulli draw per active
+    /// window, in a canonical window order so the stream is insertion-
+    /// order independent); hits compose multiply-then-clamp. Returns 1
+    /// when no window is active or no draw hits.
+    pub fn tail_draw(&self, now: SimTime, rng: &mut SimRng) -> f64 {
+        let mut active: Vec<(SimTime, SimTime, f64, f64)> = self
+            .faults
             .iter()
             .filter_map(|f| match f {
-                ServerFault::Degraded {
+                ServerFault::TailLatency {
                     from,
                     until,
+                    probability,
                     factor,
-                } if *from <= now && now < *until => Some(*factor),
+                } if *from <= now && now < *until => Some((*from, *until, *probability, *factor)),
                 _ => None,
             })
-            .product::<f64>()
-            .max(1.0)
+            .collect();
+        active.sort_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then(a.2.total_cmp(&b.2))
+                .then(a.3.total_cmp(&b.3))
+        });
+        compose_slowdown(
+            active
+                .into_iter()
+                .filter(|&(_, _, p, _)| rng.chance(p))
+                .map(|(_, _, _, factor)| factor),
+        )
+    }
+
+    /// Stall status for an operation starting at `now`. Overlapping stall
+    /// windows compose to the most severe: any forever-stall wins, else
+    /// the latest release.
+    pub fn stall_at(&self, now: SimTime) -> StallState {
+        let mut state = StallState::Clear;
+        for f in &self.faults {
+            let ServerFault::Stall { since, release } = f else {
+                continue;
+            };
+            if *since > now {
+                continue;
+            }
+            match (*release, state) {
+                (None, _) => return StallState::Forever,
+                (Some(r), _) if r <= now => {}
+                (Some(r), StallState::Until(prev)) => state = StallState::Until(prev.max(r)),
+                (Some(r), _) => state = StallState::Until(r),
+            }
+        }
+        state
     }
 
     /// True if any crash instant lies in `(since, now]` — the caller must
@@ -176,6 +374,22 @@ impl FaultPlan {
             .iter()
             .any(|f| matches!(f, ServerFault::Crash { at, .. } if *at > since && *at <= now))
     }
+}
+
+/// Multiply-then-clamp composition of slowdown factors: sort into a
+/// canonical (total) order, take the product, clamp into
+/// `[1, MAX_SLOWDOWN]`. Sorting first makes the floating-point product a
+/// pure function of the factor *multiset*, not of fault insertion order.
+fn compose_slowdown(factors: impl Iterator<Item = f64>) -> f64 {
+    let mut factors: Vec<f64> = factors.collect();
+    if factors.is_empty() {
+        return 1.0;
+    }
+    factors.sort_by(f64::total_cmp);
+    factors
+        .into_iter()
+        .product::<f64>()
+        .clamp(1.0, MAX_SLOWDOWN)
 }
 
 #[cfg(test)]
@@ -275,6 +489,137 @@ mod tests {
             from: t(0),
             until: t(1),
             factor: 0.5,
+        });
+    }
+
+    #[test]
+    fn slowdown_composition_is_insertion_order_independent() {
+        // Factors chosen so the unsorted product differs in the last ulp
+        // between orders; the canonical sort makes both plans identical.
+        let windows = [1.1, 3.7, 2.3, 1.9, 5.3];
+        let forward = windows.iter().fold(FaultPlan::new(), |p, &factor| {
+            p.with(ServerFault::Degraded {
+                from: t(0),
+                until: t(10),
+                factor,
+            })
+        });
+        let reverse = windows.iter().rev().fold(FaultPlan::new(), |p, &factor| {
+            p.with(ServerFault::Degraded {
+                from: t(0),
+                until: t(10),
+                factor,
+            })
+        });
+        assert_eq!(
+            forward.slowdown_at(t(5)).to_bits(),
+            reverse.slowdown_at(t(5)).to_bits(),
+            "multiply-then-clamp must be a pure function of the window set"
+        );
+    }
+
+    #[test]
+    fn slowdown_clamps_at_max() {
+        let mut p = FaultPlan::new();
+        for _ in 0..8 {
+            p = p.with(ServerFault::Degraded {
+                from: t(0),
+                until: t(10),
+                factor: 100.0,
+            });
+        }
+        assert_eq!(p.slowdown_at(t(5)), MAX_SLOWDOWN);
+    }
+
+    #[test]
+    fn class_degraded_applies_to_its_class_only() {
+        let p = FaultPlan::new()
+            .with(ServerFault::ClassDegraded {
+                from: t(0),
+                until: t(10),
+                class: OpClass::Write,
+                factor: 4.0,
+            })
+            .with(ServerFault::Degraded {
+                from: t(0),
+                until: t(10),
+                factor: 2.0,
+            });
+        assert_eq!(p.slowdown_for(t(5), IoKind::Write), 8.0);
+        assert_eq!(p.slowdown_for(t(5), IoKind::Read), 2.0);
+        assert_eq!(p.slowdown_at(t(5)), 2.0, "class windows are per-kind only");
+        assert_eq!(p.slowdown_for(t(11), IoKind::Write), 1.0);
+    }
+
+    #[test]
+    fn tail_draws_are_deterministic_and_windowed() {
+        let p = FaultPlan::new().with(ServerFault::TailLatency {
+            from: t(1),
+            until: t(10),
+            probability: 0.5,
+            factor: 50.0,
+        });
+        // Outside the window: no draw is consumed and the factor is 1.
+        let mut rng = SimRng::seed(7);
+        let before = rng.clone().next_u64();
+        assert_eq!(p.tail_draw(t(0), &mut rng), 1.0);
+        assert_eq!(rng.clone().next_u64(), before, "no draw outside windows");
+        // Inside: same seed, same hit pattern.
+        let draws = |seed| {
+            let mut rng = SimRng::seed(seed);
+            (0..64)
+                .map(|_| p.tail_draw(t(5), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = draws(11);
+        assert_eq!(a, draws(11));
+        assert!(a.contains(&50.0), "some ops draw the tail");
+        assert!(a.contains(&1.0), "some ops stay fast");
+    }
+
+    #[test]
+    fn stall_states_compose_to_most_severe() {
+        let p = FaultPlan::new().with(ServerFault::Stall {
+            since: t(10),
+            release: Some(t(20)),
+        });
+        assert_eq!(p.stall_at(t(9)), StallState::Clear);
+        assert_eq!(p.stall_at(t(10)), StallState::Until(t(20)));
+        assert_eq!(p.stall_at(t(19)), StallState::Until(t(20)));
+        assert_eq!(p.stall_at(t(20)), StallState::Clear, "release is exclusive");
+
+        let overlapping = p.clone().with(ServerFault::Stall {
+            since: t(15),
+            release: Some(t(30)),
+        });
+        assert_eq!(overlapping.stall_at(t(16)), StallState::Until(t(30)));
+        assert_eq!(overlapping.stall_at(t(12)), StallState::Until(t(20)));
+
+        let forever = overlapping.with(ServerFault::Stall {
+            since: t(18),
+            release: None,
+        });
+        assert_eq!(forever.stall_at(t(19)), StallState::Forever);
+        assert_eq!(forever.stall_at(t(16)), StallState::Until(t(30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "stall must release")]
+    fn rejects_inverted_stall() {
+        FaultPlan::new().with(ServerFault::Stall {
+            since: t(5),
+            release: Some(t(5)),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "tail probability")]
+    fn rejects_bad_tail_probability() {
+        FaultPlan::new().with(ServerFault::TailLatency {
+            from: t(0),
+            until: t(1),
+            probability: 0.0,
+            factor: 2.0,
         });
     }
 }

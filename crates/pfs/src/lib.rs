@@ -18,8 +18,10 @@
 //!   pipelined bandwidth cap), defaulting to Gigabit Ethernet like the
 //!   paper's testbed;
 //! * [`FaultPlan`] — scripted server faults on the sim clock (hard
-//!   crashes that lose data, transient-error windows, slowdowns), so the
-//!   layers above can be tested against a failing CServer tier.
+//!   crashes that lose data, transient-error windows, slowdowns,
+//!   heavy-tailed latency, and stalls that park ops without erring), so
+//!   the layers above can be tested against failing *and* limping
+//!   CServer tiers.
 //!
 //! The crate deliberately contains no event loop: servers expose
 //! `submit`/`on_complete` transitions with explicit timestamps so that the
@@ -38,7 +40,7 @@ mod server;
 mod types;
 
 pub use error::PfsError;
-pub use faults::{FaultPlan, IoFault, ServerFault};
+pub use faults::{FaultPlan, IoFault, OpClass, ServerFault, StallState, MAX_SLOWDOWN};
 pub use fs::{FileMeta, Pfs};
 pub use layout::{StripeLayout, SubRange};
 pub use network::NetworkConfig;

@@ -5,7 +5,7 @@ use std::collections::{HashMap, VecDeque};
 use s4d_sim::{SimDuration, SimRng, SimTime};
 use s4d_storage::{DeviceModel, ExtentStore, IoKind, StoreMode};
 
-use crate::faults::{FaultPlan, IoFault};
+use crate::faults::{FaultPlan, IoFault, StallState, MAX_SLOWDOWN};
 use crate::network::NetworkConfig;
 use crate::types::{FileId, Priority, SubReqId};
 
@@ -82,6 +82,10 @@ pub struct ServerStats {
     pub max_depth: usize,
     /// Sub-requests that completed with an [`IoFault`].
     pub faulted_ops: u64,
+    /// Sub-requests that parked in a stall window at start.
+    pub stalled_ops: u64,
+    /// Sub-requests removed by [`FileServer::abandon`] before completing.
+    pub abandoned_ops: u64,
 }
 
 /// One file server of a parallel file system.
@@ -109,6 +113,10 @@ pub struct FileServer {
     background: VecDeque<SubRequest>,
     current: Option<SubRequest>,
     current_fault: Option<IoFault>,
+    /// True when `current` is parked in a forever-stall: it occupies the
+    /// service slot but no [`Started`] was issued and no completion will
+    /// arrive until [`FileServer::abandon`] frees the slot.
+    parked: bool,
     faults: FaultPlan,
     fault_cursor: SimTime,
     rng: SimRng,
@@ -146,6 +154,7 @@ impl FileServer {
             background: VecDeque::new(),
             current: None,
             current_fault: None,
+            parked: false,
             faults: FaultPlan::new(),
             fault_cursor: SimTime::ZERO,
             rng,
@@ -213,12 +222,15 @@ impl FileServer {
     /// Submits a sub-request. If the server is idle it enters service
     /// immediately and a [`Started`] is returned; otherwise it queues and
     /// the server will start it from a later [`FileServer::on_complete`].
+    /// `None` also means the op parked in a forever-stall window (see
+    /// [`ServerFault::Stall`](crate::ServerFault::Stall)) — in both cases
+    /// no completion is scheduled yet and the op occupies server state.
     pub fn submit(&mut self, now: SimTime, req: SubRequest) -> Option<Started> {
         self.advance_faults(now);
         let depth = self.queue_len() + usize::from(self.is_busy()) + 1;
         self.stats.max_depth = self.stats.max_depth.max(depth);
         if self.current.is_none() {
-            Some(self.start(now, req))
+            self.start(now, req)
         } else {
             match req.priority {
                 Priority::Normal => self.normal.push_back(req),
@@ -238,6 +250,10 @@ impl FileServer {
     #[allow(clippy::expect_used)] // documented panic contract above
     pub fn on_complete(&mut self, now: SimTime) -> (CompletedSubRequest, Option<Started>) {
         self.advance_faults(now);
+        assert!(
+            !self.parked,
+            "on_complete called while the service slot is parked in a stall"
+        );
         let req = self
             .current
             .take()
@@ -268,7 +284,7 @@ impl FileServer {
                 .normal
                 .pop_front()
                 .or_else(|| self.background.pop_front())
-                .map(|r| self.start(now, r));
+                .and_then(|r| self.start(now, r));
             return (completed, next);
         }
         let store = self
@@ -317,8 +333,38 @@ impl FileServer {
             .normal
             .pop_front()
             .or_else(|| self.background.pop_front())
-            .map(|r| self.start(now, r));
+            .and_then(|r| self.start(now, r));
         (completed, next)
+    }
+
+    /// Abandons sub-request `id`: removes it from the queue, or frees the
+    /// service slot when it is the *parked* current op (then starting the
+    /// next queued one). An op genuinely in service cannot be recalled —
+    /// the device is mid-transfer — so `(false, None)` is returned and
+    /// its completion still arrives at the promised time; a caller that
+    /// gave up on it must discard that late completion idempotently.
+    pub fn abandon(&mut self, now: SimTime, id: SubReqId) -> (bool, Option<Started>) {
+        self.advance_faults(now);
+        if self.parked && self.current.as_ref().map(|r| r.id) == Some(id) {
+            self.current = None;
+            self.current_fault = None;
+            self.parked = false;
+            self.stats.abandoned_ops += 1;
+            let next = self
+                .normal
+                .pop_front()
+                .or_else(|| self.background.pop_front())
+                .and_then(|r| self.start(now, r));
+            return (true, next);
+        }
+        for queue in [&mut self.normal, &mut self.background] {
+            if let Some(pos) = queue.iter().position(|r| r.id == id) {
+                queue.remove(pos);
+                self.stats.abandoned_ops += 1;
+                return (true, None);
+            }
+        }
+        (false, None)
     }
 
     /// Reads stored bytes directly, bypassing the service queue — used for
@@ -375,7 +421,10 @@ impl FileServer {
         }
     }
 
-    fn start(&mut self, now: SimTime, req: SubRequest) -> Started {
+    /// Moves `req` into the service slot. Returns `None` when a
+    /// forever-stall parks the op: it holds the slot but no completion is
+    /// scheduled, and only [`FileServer::abandon`] can free it.
+    fn start(&mut self, now: SimTime, req: SubRequest) -> Option<Started> {
         let fault = if self.faults.offline_at(now) {
             Some(IoFault::Offline)
         } else {
@@ -387,6 +436,18 @@ impl FileServer {
             }
         };
         self.current_fault = fault;
+        // An offline server fails fast — a stall never outranks a crash.
+        let stall = if fault == Some(IoFault::Offline) {
+            StallState::Clear
+        } else {
+            self.faults.stall_at(now)
+        };
+        if stall == StallState::Forever {
+            self.stats.stalled_ops += 1;
+            self.current = Some(req);
+            self.parked = true;
+            return None;
+        }
         let service = if fault == Some(IoFault::Offline) {
             // No device or transfer happens; the client just times out.
             OFFLINE_ERROR_LATENCY
@@ -396,9 +457,11 @@ impl FileServer {
             let device_time = self
                 .device
                 .service_time(req.kind, lba, req.len, &mut self.rng);
-            let slowdown = self.faults.slowdown_at(now);
-            let device_time = if slowdown > 1.0 {
-                SimDuration::from_secs_f64(device_time.as_secs_f64() * slowdown)
+            let slowdown = self.faults.slowdown_for(now, req.kind);
+            let tail = self.faults.tail_draw(now, &mut self.rng);
+            let factor = (slowdown * tail).clamp(1.0, MAX_SLOWDOWN);
+            let device_time = if factor > 1.0 {
+                SimDuration::from_secs_f64(device_time.as_secs_f64() * factor)
             } else {
                 device_time
             };
@@ -413,12 +476,22 @@ impl FileServer {
             self.stats.background_ops += 1;
         }
         self.stats.busy += service;
+        // A released stall parks the op first, then services it: the
+        // device is idle while parked, so only `service` counts as busy,
+        // but the completion lands after the release instant.
+        let begins = match stall {
+            StallState::Until(release) => {
+                self.stats.stalled_ops += 1;
+                release
+            }
+            _ => now,
+        };
         let started = Started {
             id: req.id,
-            completes_at: now + service,
+            completes_at: begins + service,
         };
         self.current = Some(req);
-        started
+        Some(started)
     }
 
     fn base_for(&mut self, file: FileId) -> u64 {
@@ -695,6 +768,179 @@ mod tests {
         assert_eq!(u64::from(failed), s.stats().faulted_ops);
         // Failed writes never touched the store; successes did.
         assert_eq!(s.peek_coverage(FileId(0), 0, 4), 4);
+    }
+
+    #[test]
+    fn released_stall_parks_then_services() {
+        use crate::faults::{FaultPlan, ServerFault};
+        let mut s = hdd_server(StoreMode::Functional);
+        s.set_fault_plan(FaultPlan::new().with(ServerFault::Stall {
+            since: SimTime::ZERO,
+            release: Some(SimTime::from_secs(5)),
+        }));
+        let mut w = req(1, IoKind::Write, 0, 4, Priority::Normal);
+        w.data = Some(vec![2; 4]);
+        let st = s
+            .submit(SimTime::ZERO, w)
+            .expect("released stall schedules");
+        assert!(
+            st.completes_at > SimTime::from_secs(5),
+            "completion lands after the release instant: {}",
+            st.completes_at
+        );
+        assert_eq!(s.stats().stalled_ops, 1);
+        let (done, _) = s.on_complete(st.completes_at);
+        assert_eq!(done.error, None);
+        assert_eq!(s.peek_coverage(FileId(0), 0, 4), 4);
+    }
+
+    #[test]
+    fn forever_stall_parks_and_abandon_frees_the_slot() {
+        use crate::faults::{FaultPlan, ServerFault};
+        let mut s = hdd_server(StoreMode::Functional);
+        s.set_fault_plan(FaultPlan::new().with(ServerFault::Stall {
+            since: SimTime::from_secs(1),
+            release: None,
+        }));
+        // Before the stall: normal service.
+        let mut w = req(1, IoKind::Write, 0, 4, Priority::Normal);
+        w.data = Some(vec![1; 4]);
+        let st = s.submit(SimTime::ZERO, w).expect("healthy start");
+        s.on_complete(st.completes_at);
+
+        // Inside the stall: the op parks (no Started), occupies the slot,
+        // and queues back up behind it.
+        let t1 = SimTime::from_secs(2);
+        assert!(s
+            .submit(t1, req(2, IoKind::Read, 0, 4, Priority::Normal))
+            .is_none());
+        assert!(s.is_busy(), "parked op occupies the service slot");
+        assert!(s
+            .submit(t1, req(3, IoKind::Read, 0, 4, Priority::Normal))
+            .is_none());
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.stats().stalled_ops, 1);
+
+        // Abandoning an unknown id is a no-op; abandoning the parked op
+        // frees the slot, but the next queued op parks right back (the
+        // stall never releases).
+        assert_eq!(s.abandon(t1, SubReqId(99)), (false, None));
+        let (freed, next) = s.abandon(t1, SubReqId(2));
+        assert!(freed);
+        assert!(next.is_none(), "successor parks in the same stall");
+        assert!(s.is_busy());
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.stats().abandoned_ops, 1);
+        assert_eq!(s.stats().stalled_ops, 2);
+
+        // Abandoning a queued (never-started) op removes it silently.
+        assert!(s
+            .submit(t1, req(4, IoKind::Read, 0, 4, Priority::Normal))
+            .is_none());
+        let (freed, next) = s.abandon(t1, SubReqId(4));
+        assert!(freed && next.is_none());
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn class_degraded_slows_only_that_class() {
+        use crate::faults::{FaultPlan, OpClass, ServerFault};
+        let mut plain = hdd_server(StoreMode::Timing);
+        let mut slow_writes = hdd_server(StoreMode::Timing);
+        slow_writes.set_fault_plan(FaultPlan::new().with(ServerFault::ClassDegraded {
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1000),
+            class: OpClass::Write,
+            factor: 20.0,
+        }));
+        let w_plain = plain
+            .submit(
+                SimTime::ZERO,
+                req(1, IoKind::Write, 0, 256 * KIB, Priority::Normal),
+            )
+            .unwrap();
+        let w_slow = slow_writes
+            .submit(
+                SimTime::ZERO,
+                req(1, IoKind::Write, 0, 256 * KIB, Priority::Normal),
+            )
+            .unwrap();
+        let plain_secs = w_plain
+            .completes_at
+            .duration_since(SimTime::ZERO)
+            .as_secs_f64();
+        let slow_secs = w_slow
+            .completes_at
+            .duration_since(SimTime::ZERO)
+            .as_secs_f64();
+        assert!(
+            slow_secs > plain_secs * 5.0,
+            "writes limp: {slow_secs} vs {plain_secs}"
+        );
+        // Reads on the write-degraded server are not inflated 20x.
+        let (_, _) = plain.on_complete(w_plain.completes_at);
+        let (_, _) = slow_writes.on_complete(w_slow.completes_at);
+        let r_plain = plain
+            .submit(
+                w_plain.completes_at,
+                req(2, IoKind::Read, 0, 256 * KIB, Priority::Normal),
+            )
+            .unwrap();
+        let r_slow = slow_writes
+            .submit(
+                w_slow.completes_at,
+                req(2, IoKind::Read, 0, 256 * KIB, Priority::Normal),
+            )
+            .unwrap();
+        let rp = r_plain.completes_at.duration_since(w_plain.completes_at);
+        let rs = r_slow.completes_at.duration_since(w_slow.completes_at);
+        assert!(
+            rs.as_secs_f64() < rp.as_secs_f64() * 5.0,
+            "reads stay near healthy: {rs} vs {rp}"
+        );
+    }
+
+    #[test]
+    fn tail_latency_inflates_some_ops_deterministically() {
+        use crate::faults::{FaultPlan, ServerFault};
+        let run = |seed: u64| {
+            let cfg = presets::hdd_seagate_st3250();
+            let cap = cfg.capacity();
+            let mut s = FileServer::new(
+                0,
+                Box::new(cfg.build()),
+                cap,
+                NetworkConfig::ideal(),
+                StoreMode::Timing,
+                None,
+                SimRng::seed(seed),
+            );
+            s.set_fault_plan(FaultPlan::new().with(ServerFault::TailLatency {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(1_000_000),
+                probability: 0.2,
+                factor: 100.0,
+            }));
+            let mut t = SimTime::ZERO;
+            let mut latencies = Vec::new();
+            for i in 0..64 {
+                let st = s
+                    .submit(t, req(i, IoKind::Read, 0, 64 * KIB, Priority::Normal))
+                    .unwrap();
+                latencies.push(st.completes_at.duration_since(t));
+                s.on_complete(st.completes_at);
+                t = st.completes_at;
+            }
+            latencies
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same tail hits");
+        let max = a.iter().max().unwrap();
+        let min = a.iter().min().unwrap();
+        assert!(
+            max.as_secs_f64() > min.as_secs_f64() * 20.0,
+            "tail hits dwarf the healthy ops: {max} vs {min}"
+        );
     }
 
     #[test]
