@@ -6,6 +6,13 @@
 //! Emits `BENCH_straggler.json` (machine-readable, hand-formatted: the
 //! workspace has no JSON serializer dependency) into the current
 //! directory and prints the same numbers to stdout.
+//!
+//! `--check [baseline.json]` re-runs both variants and compares them
+//! against the committed baseline instead of writing it: the gate fails
+//! (exit 1) when read throughput drops more than 5% or p99 completion
+//! latency grows more than 10% for either variant. The simulation is
+//! deterministic, so an honest run reproduces the baseline exactly —
+//! the tolerances only absorb formatting rounding.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -172,9 +179,73 @@ fn variant_json(v: &Variant) -> String {
     )
 }
 
+/// Reads the first numeric value following `"key"` in `text`.
+fn field_f64(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(&format!("\"{key}\""))?;
+    let rest = &text[at..];
+    let tail = rest[rest.find(':')? + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Compares the freshly measured variants against the committed
+/// baseline file. Returns the process exit code.
+fn check(baseline_path: &str, variants: &[&Variant]) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let mut failed = false;
+    for v in variants {
+        // Scope the key scan to this variant's object in the baseline.
+        let Some(sect) = text.split(&format!("\"{}\"", v.name)).nth(1) else {
+            eprintln!("baseline has no \"{}\" section", v.name);
+            failed = true;
+            continue;
+        };
+        let (Some(base_rps), Some(base_p99)) =
+            (field_f64(sect, "reads_per_sec"), field_f64(sect, "p99_ms"))
+        else {
+            eprintln!("baseline \"{}\" section is missing metrics", v.name);
+            failed = true;
+            continue;
+        };
+        let rps_ok = v.reads_per_sec >= base_rps * 0.95;
+        let p99_ok = v.p99_ms <= base_p99 * 1.10 + 0.05;
+        println!(
+            "{:>8}: reads/s {:.1} vs baseline {:.1} [{}]  p99 {:.3} ms vs baseline {:.3} ms [{}]",
+            v.name,
+            v.reads_per_sec,
+            base_rps,
+            if rps_ok { "ok" } else { "REGRESSED" },
+            v.p99_ms,
+            base_p99,
+            if p99_ok { "ok" } else { "REGRESSED" },
+        );
+        failed |= !rps_ok || !p99_ok;
+    }
+    if failed {
+        eprintln!("bench regression gate FAILED against {baseline_path}");
+        1
+    } else {
+        println!("bench regression gate passed against {baseline_path}");
+        0
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let baseline = run_variant("baseline", false);
     let hedged = run_variant("hedged", true);
+    if args.get(1).map(String::as_str) == Some("--check") {
+        let path = args.get(2).map_or("BENCH_straggler.json", String::as_str);
+        std::process::exit(check(path, &[&baseline, &hedged]));
+    }
     for v in [&baseline, &hedged] {
         println!(
             "{:>8}: {:.1} reads/s  p50 {:.3} ms  p99 {:.3} ms  max {:.3} ms  \

@@ -1,0 +1,217 @@
+//! The chaos CLI: seeded sweeps, single-seed replays, repro replays, and
+//! the oracle self-test CI gates on.
+//!
+//! ```text
+//! s4d-chaos --seeds 1000              # sweep seeds 0..1000, JSON to stdout
+//! s4d-chaos --seeds 50 --start 200    # sweep seeds 200..250
+//! s4d-chaos --seed 17                 # one seed, full report
+//! s4d-chaos --seed 17 --inject-bug    # with the deliberate durability bug
+//! s4d-chaos --validate-oracle         # prove the oracle catches the bug
+//! s4d-chaos --repro repro.json        # replay a minimized repro file
+//! s4d-chaos --seeds 100 --out repros/ # write minimized repros on failure
+//! ```
+//!
+//! Exit status: 0 all green, 1 invariant violations (or an uncaught
+//! oracle in `--validate-oracle`), 2 usage error.
+
+use std::process::ExitCode;
+
+use s4d_chaos::{minimize, report_json, run_caught, sweep_json, Repro, Schedule};
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    seed: Option<u64>,
+    inject_bug: bool,
+    validate_oracle: bool,
+    repro: Option<String>,
+    out: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: s4d-chaos [--seeds N] [--start S] [--seed X] [--inject-bug] \
+         [--validate-oracle] [--repro FILE] [--out DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ()> {
+    let mut args = Args {
+        seeds: 25,
+        start: 0,
+        seed: None,
+        inject_bug: false,
+        validate_oracle: false,
+        repro: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seeds" => args.seeds = it.next().ok_or(())?.parse().map_err(|_| ())?,
+            "--start" => args.start = it.next().ok_or(())?.parse().map_err(|_| ())?,
+            "--seed" => args.seed = Some(it.next().ok_or(())?.parse().map_err(|_| ())?),
+            "--inject-bug" => args.inject_bug = true,
+            "--validate-oracle" => args.validate_oracle = true,
+            "--repro" => args.repro = Some(it.next().ok_or(())?),
+            "--out" => args.out = Some(it.next().ok_or(())?),
+            _ => return Err(()),
+        }
+    }
+    Ok(args)
+}
+
+/// Minimizes a failing seed and writes its repro file under `out`.
+fn write_repro(out: &str, seed: u64, inject_bug: bool) {
+    let schedule = Schedule::generate(seed);
+    let Some(min) = minimize(&schedule, inject_bug) else {
+        return;
+    };
+    let repro = Repro {
+        seed,
+        inject_bug,
+        keep: min.kept.clone(),
+    };
+    let path = format!("{out}/repro-seed-{seed}.json");
+    if std::fs::create_dir_all(out).is_ok() && std::fs::write(&path, repro.to_json()).is_ok() {
+        eprintln!(
+            "seed {seed}: minimized to {} event(s) in {} runs -> {path}",
+            min.kept.len(),
+            min.runs
+        );
+        for e in &min.events {
+            eprintln!("  {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let Ok(args) = parse_args() else {
+        return usage();
+    };
+
+    if args.validate_oracle {
+        return validate_oracle(&args);
+    }
+
+    if let Some(path) = &args.repro {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("cannot read repro file {path}");
+            return ExitCode::from(2);
+        };
+        let Some(repro) = Repro::parse(&text) else {
+            eprintln!("cannot parse repro file {path}");
+            return ExitCode::from(2);
+        };
+        let (schedule, report) = repro.run();
+        eprintln!(
+            "repro seed {} with {} event(s):",
+            repro.seed,
+            schedule.events.len()
+        );
+        for e in &schedule.events {
+            eprintln!("  {}", e.describe());
+        }
+        println!("{}", report_json(&report));
+        return if report.failed() {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    if let Some(seed) = args.seed {
+        let report = run_caught(&Schedule::generate(seed), args.inject_bug);
+        println!("{}", report_json(&report));
+        if report.failed() {
+            if let Some(out) = &args.out {
+                write_repro(out, seed, args.inject_bug);
+            }
+            return ExitCode::from(1);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Sweep mode.
+    let mut reports = Vec::with_capacity(args.seeds as usize);
+    for seed in args.start..args.start + args.seeds {
+        let report = run_caught(&Schedule::generate(seed), args.inject_bug);
+        if report.failed() {
+            eprintln!(
+                "seed {seed}: FAILED ({})",
+                report
+                    .violations
+                    .first()
+                    .map(|v| v.invariant.as_str())
+                    .unwrap_or("?")
+            );
+            if let Some(out) = &args.out {
+                write_repro(out, seed, args.inject_bug);
+            }
+        }
+        reports.push(report);
+    }
+    let failures = reports.iter().filter(|r| r.failed()).count();
+    println!("{}", sweep_json(&reports));
+    eprintln!("{} seed(s), {failures} failure(s)", reports.len());
+    if failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The oracle self-test: with the deliberate durability bug injected
+/// (`chaos_bug_skip_journal` — evictions discard cache space without
+/// journaling the unmap), some seed in the scan range must go red, and
+/// its schedule must minimize to a small event list. This proves the
+/// harness can actually catch a real protocol violation end to end.
+fn validate_oracle(args: &Args) -> ExitCode {
+    let scan = if args.seeds == 25 { 64 } else { args.seeds };
+    for seed in args.start..args.start + scan {
+        let schedule = Schedule::generate(seed);
+        let report = run_caught(&schedule, true);
+        if !report.failed() {
+            continue;
+        }
+        eprintln!(
+            "oracle caught the injected bug at seed {seed} ({})",
+            report
+                .violations
+                .first()
+                .map(|v| v.invariant.as_str())
+                .unwrap_or("?")
+        );
+        let Some(min) = minimize(&schedule, true) else {
+            eprintln!("minimization lost the failure (nondeterminism?)");
+            return ExitCode::from(1);
+        };
+        eprintln!(
+            "minimized to {} event(s) in {} runs:",
+            min.kept.len(),
+            min.runs
+        );
+        for e in &min.events {
+            eprintln!("  {e}");
+        }
+        println!("{}", report_json(&min.report));
+        if min.kept.len() > 10 {
+            eprintln!(
+                "minimal schedule still has {} events (> 10)",
+                min.kept.len()
+            );
+            return ExitCode::from(1);
+        }
+        if let Some(out) = &args.out {
+            write_repro(out, seed, true);
+        }
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "oracle did NOT catch the injected bug in seeds {}..{}",
+        args.start,
+        args.start + scan
+    );
+    ExitCode::from(1)
+}

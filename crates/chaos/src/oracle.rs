@@ -1,0 +1,269 @@
+//! The global invariant oracle: a shadow model of what the middleware
+//! has promised, checked against what it actually serves.
+//!
+//! The shadow holds the *acknowledged* content of the application file.
+//! Operations whose outcome the fault script made ambiguous — a write in
+//! flight at a crash, a plan that failed mid-apply, dirty bytes doomed by
+//! a CServer fail-stop — are tracked as *wild ranges* carrying the set of
+//! byte values an honest middleware could still serve there. A read
+//! violates the oracle only when it returns a byte that is neither the
+//! acknowledged value nor any wild candidate: a byte the system
+//! *invented*. That is exactly the symptom of a durability bug (a stale
+//! mapping resurrected over reused space), and never of an honest crash.
+
+/// One invariant violation, with enough detail to debug the seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke (a stable short name).
+    pub invariant: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// An alternative acceptable content for a byte range.
+#[derive(Debug, Clone)]
+struct WildRange {
+    offset: u64,
+    bytes: Vec<u8>,
+}
+
+/// The shadow model for one application file.
+#[derive(Debug)]
+pub struct Oracle {
+    /// Acknowledged file content.
+    shadow: Vec<u8>,
+    /// Ranges whose content is legitimately ambiguous, with the
+    /// candidate alternative bytes.
+    wild: Vec<WildRange>,
+    /// True once a media-error event has fired: surviving reads may then
+    /// also serve the current OPFS content (cache-tier state — including
+    /// the journal — can be silently destroyed by bad sectors).
+    media_active: bool,
+    /// True once a recovery ran while the metadata device was damaged
+    /// (media errors or a fail-stop wipe under the journal): the journal
+    /// may be truncated *mid-stream*, honestly resurrecting old mappings
+    /// over cache space that was since reused — reads may then serve
+    /// foreign bytes no honest run could distinguish from data. Byte
+    /// checks are disabled from that point; the strict invariant lives
+    /// in runs without metadata-device damage.
+    stale_ok: bool,
+    violations: Vec<Violation>,
+    /// Bytes verified against the shadow.
+    pub reads_checked: u64,
+}
+
+/// Cap on stored violations; one broken seed can fail thousands of bytes.
+const MAX_VIOLATIONS: usize = 24;
+
+impl Oracle {
+    /// A fresh oracle over a file whose acknowledged content is `seed`.
+    pub fn new(initial: Vec<u8>) -> Self {
+        Oracle {
+            shadow: initial,
+            wild: Vec::new(),
+            media_active: false,
+            stale_ok: false,
+            violations: Vec::new(),
+            reads_checked: 0,
+        }
+    }
+
+    /// The acknowledged content (for seeding stores).
+    pub fn shadow(&self) -> &[u8] {
+        &self.shadow
+    }
+
+    /// Marks media errors active (relaxes reads to OPFS fallback).
+    pub fn set_media_active(&mut self) {
+        self.media_active = true;
+    }
+
+    /// Marks that a recovery ran over a damaged metadata device: reads
+    /// may now serve any previously acknowledged value (a truncated
+    /// journal honestly reverts mappings to older acked states).
+    pub fn allow_stale(&mut self) {
+        self.stale_ok = true;
+    }
+
+    /// True once any violation has been recorded.
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// The recorded violations.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Records a violation (capped).
+    pub fn violate(&mut self, invariant: &str, detail: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(Violation {
+                invariant: invariant.to_owned(),
+                detail,
+            });
+        }
+    }
+
+    /// An acknowledged write: the shadow takes the payload and any wild
+    /// ambiguity over the range is resolved.
+    pub fn ack_write(&mut self, offset: u64, data: &[u8]) {
+        let end = offset + data.len() as u64;
+        self.shadow[offset as usize..end as usize].copy_from_slice(data);
+        self.clear_wild(offset, data.len() as u64);
+    }
+
+    /// Declares `[offset, offset+bytes.len())` ambiguous with `bytes` as
+    /// an acceptable alternative to the shadow (per byte).
+    pub fn mark_wild(&mut self, offset: u64, bytes: Vec<u8>) {
+        if !bytes.is_empty() {
+            self.wild.push(WildRange { offset, bytes });
+        }
+    }
+
+    /// Removes wild coverage over `[offset, offset+len)`, splitting
+    /// entries that straddle the boundary.
+    fn clear_wild(&mut self, offset: u64, len: u64) {
+        let end = offset + len;
+        let mut next = Vec::with_capacity(self.wild.len());
+        for w in self.wild.drain(..) {
+            let w_end = w.offset + w.bytes.len() as u64;
+            if w_end <= offset || w.offset >= end {
+                next.push(w);
+                continue;
+            }
+            if w.offset < offset {
+                let keep = (offset - w.offset) as usize;
+                next.push(WildRange {
+                    offset: w.offset,
+                    bytes: w.bytes[..keep].to_vec(),
+                });
+            }
+            if w_end > end {
+                let skip = (end - w.offset) as usize;
+                next.push(WildRange {
+                    offset: end,
+                    bytes: w.bytes[skip..].to_vec(),
+                });
+            }
+        }
+        self.wild = next;
+    }
+
+    /// True if some wild candidate covering absolute byte `abs` has
+    /// value `got`.
+    fn wild_allows(&self, abs: u64, got: u8) -> bool {
+        self.wild.iter().any(|w| {
+            abs >= w.offset
+                && abs < w.offset + w.bytes.len() as u64
+                && w.bytes[(abs - w.offset) as usize] == got
+        })
+    }
+
+    /// Verifies a successful read of `[offset, offset+got.len())`.
+    /// `opfs_now` is the current OPFS content of the same range, consulted
+    /// only when media errors are active.
+    pub fn check_read(&mut self, offset: u64, got: &[u8], opfs_now: Option<&[u8]>) {
+        self.reads_checked += got.len() as u64;
+        if self.stale_ok {
+            return;
+        }
+        for (i, &b) in got.iter().enumerate() {
+            let abs = offset + i as u64;
+            let expect = self.shadow[abs as usize];
+            if b == expect || self.wild_allows(abs, b) {
+                continue;
+            }
+            if self.media_active {
+                if let Some(now) = opfs_now {
+                    if now[i] == b {
+                        continue;
+                    }
+                }
+            }
+            self.violate(
+                "read-consistency",
+                format!("byte {abs}: got {b}, acknowledged {expect}, no wild candidate matches"),
+            );
+            return; // one violation per read is enough detail
+        }
+    }
+
+    /// A read that ultimately errored: permitted only under active media
+    /// errors (no other scheduled fault may fail a read outright).
+    pub fn read_errored(&mut self, offset: u64, len: u64, detail: &str) {
+        if !self.media_active {
+            self.violate(
+                "read-availability",
+                format!("read [{offset}, +{len}) failed without media errors: {detail}"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reads_pass() {
+        let mut o = Oracle::new(vec![7u8; 64]);
+        o.check_read(0, &[7u8; 64], None);
+        assert!(!o.failed());
+        assert_eq!(o.reads_checked, 64);
+    }
+
+    #[test]
+    fn invented_bytes_violate() {
+        let mut o = Oracle::new(vec![7u8; 64]);
+        o.check_read(8, &[9u8; 4], None);
+        assert!(o.failed());
+        assert_eq!(o.violations()[0].invariant, "read-consistency");
+    }
+
+    #[test]
+    fn wild_candidates_allow_either_value() {
+        let mut o = Oracle::new(vec![1u8; 32]);
+        o.mark_wild(8, vec![2u8; 8]);
+        o.check_read(8, &[2, 2, 1, 2, 1, 1, 2, 2], None);
+        assert!(!o.failed());
+        // Outside the wild range the candidate does not apply.
+        o.check_read(16, &[2u8; 4], None);
+        assert!(o.failed());
+    }
+
+    #[test]
+    fn ack_resolves_wild_ambiguity() {
+        let mut o = Oracle::new(vec![1u8; 32]);
+        o.mark_wild(0, vec![2u8; 32]);
+        o.ack_write(8, &[3u8; 8]);
+        // The acked middle must now be exactly 3; flanks stay ambiguous.
+        o.check_read(0, &[2, 2, 2, 2, 2, 2, 2, 2], None);
+        o.check_read(8, &[3u8; 8], None);
+        assert!(!o.failed());
+        o.check_read(8, &[2u8; 8], None);
+        assert!(o.failed());
+    }
+
+    #[test]
+    fn media_relaxes_to_opfs_content() {
+        let mut o = Oracle::new(vec![5u8; 16]);
+        o.check_read(0, &[6u8; 4], Some(&[6u8; 4]));
+        assert!(o.failed(), "opfs fallback needs media active");
+        let mut o = Oracle::new(vec![5u8; 16]);
+        o.set_media_active();
+        o.check_read(0, &[6u8; 4], Some(&[6u8; 4]));
+        assert!(!o.failed());
+    }
+
+    #[test]
+    fn read_errors_need_media() {
+        let mut o = Oracle::new(vec![0u8; 8]);
+        o.read_errored(0, 8, "media error on server 0");
+        assert!(o.failed());
+        let mut o = Oracle::new(vec![0u8; 8]);
+        o.set_media_active();
+        o.read_errored(0, 8, "media error on server 0");
+        assert!(!o.failed());
+    }
+}

@@ -1,0 +1,329 @@
+//! Seeded chaos schedules: a random workload plus an interleaved fault
+//! script over every fault family the middleware claims to survive.
+//!
+//! A [`Schedule`] is a pure function of its seed: the workload geometry
+//! is drawn first (an IOR instance from `s4d-workloads`, shrunk to
+//! chaos-sized files), then a handful of [`ChaosEvent`]s are placed at
+//! operation indices within the run. The executor replays the events in
+//! op-index order, so the same seed always produces the same interleaving
+//! — which is what makes a red seed replayable and minimizable.
+
+use s4d_mpiio::{AppOp, ProcessScript};
+use s4d_workloads::{AccessPattern, IorConfig};
+
+use crate::rng::ChaosRng;
+
+const KIB: u64 = 1024;
+
+/// One scripted fault, fired when the executor reaches `at_op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Arm a fresh [`CrashFuse`](s4d_cache::CrashFuse) with `budget`
+    /// durable bytes: the middleware dies mid-effect once they are spent,
+    /// and the executor recovers it from cluster state alone.
+    MwCrash {
+        /// Operation index at which the fuse is armed.
+        at_op: u32,
+        /// Durable bytes until the crash.
+        budget: u64,
+    },
+    /// The *next* recovery (after a later [`ChaosEvent::MwCrash`]) runs
+    /// fused with this budget — a second power failure mid-recovery. The
+    /// executor re-enters recovery afterwards.
+    RecoveryCrash {
+        /// Durable recovery bytes until the re-crash.
+        budget: u64,
+    },
+    /// A CServer hard-crashes at `at_op`: its stores are wiped and the
+    /// middleware is notified exactly as the runner would on the next
+    /// completed sub-request (an `Offline` failure).
+    FailStop {
+        /// CServer index (taken modulo the server count).
+        server: u8,
+        /// Operation index of the crash.
+        at_op: u32,
+    },
+    /// A CServer's SSD is full for `for_ops` operations: writes fail with
+    /// `NoSpace`, reads stay healthy. Journal appends stall; admission
+    /// degrades to OPFS.
+    SpaceExhausted {
+        /// CServer index (taken modulo the server count).
+        server: u8,
+        /// Operation index of the onset.
+        at_op: u32,
+        /// Window length in operations.
+        for_ops: u32,
+    },
+    /// From `at_op` on, a deterministic set of the CServer's sectors is
+    /// bad: any I/O touching one fails with `Media`, permanently.
+    MediaErrors {
+        /// CServer index (taken modulo the server count).
+        server: u8,
+        /// Operation index of the onset.
+        at_op: u32,
+        /// Seed of the bad-sector map.
+        map_seed: u64,
+        /// Bad-sector density in parts per million.
+        bad_ppm: u32,
+    },
+    /// A gray stall: the application observes a long service gap at
+    /// `at_op`. The executor models it as a simulated-time jump, which
+    /// interleaves with every time-based window (quarantine expiry,
+    /// retry backoff, checkpoint age, scripted fault windows).
+    Stall {
+        /// Operation index of the stall.
+        at_op: u32,
+        /// Stalled duration in simulated seconds.
+        secs: u32,
+    },
+}
+
+impl ChaosEvent {
+    /// The op index at which the executor fires this event.
+    /// [`ChaosEvent::RecoveryCrash`] is latent (it arms the next
+    /// recovery), so it fires immediately.
+    pub fn at_op(&self) -> u32 {
+        match *self {
+            ChaosEvent::MwCrash { at_op, .. }
+            | ChaosEvent::FailStop { at_op, .. }
+            | ChaosEvent::SpaceExhausted { at_op, .. }
+            | ChaosEvent::MediaErrors { at_op, .. }
+            | ChaosEvent::Stall { at_op, .. } => at_op,
+            ChaosEvent::RecoveryCrash { .. } => 0,
+        }
+    }
+
+    /// A compact human-readable form for reports and repro files.
+    pub fn describe(&self) -> String {
+        match *self {
+            ChaosEvent::MwCrash { at_op, budget } => {
+                format!("mw-crash@{at_op} budget={budget}")
+            }
+            ChaosEvent::RecoveryCrash { budget } => {
+                format!("recovery-crash budget={budget}")
+            }
+            ChaosEvent::FailStop { server, at_op } => {
+                format!("fail-stop@{at_op} cserver={server}")
+            }
+            ChaosEvent::SpaceExhausted {
+                server,
+                at_op,
+                for_ops,
+            } => format!("enospc@{at_op}+{for_ops} cserver={server}"),
+            ChaosEvent::MediaErrors {
+                server,
+                at_op,
+                map_seed,
+                bad_ppm,
+            } => format!("media@{at_op} cserver={server} seed={map_seed} ppm={bad_ppm}"),
+            ChaosEvent::Stall { at_op, secs } => format!("stall@{at_op} {secs}s"),
+        }
+    }
+}
+
+/// The workload geometry drawn for one seed (an IOR instance from
+/// `s4d-workloads`, chaos-sized).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// The IOR configuration the op stream is drawn from.
+    pub ior: IorConfig,
+    /// Cache capacity handed to the middleware (small enough that the
+    /// workload overflows it and must evict).
+    pub capacity: u64,
+    /// Checkpoint record threshold (forces checkpoints mid-run).
+    pub ckpt_records: u64,
+    /// Cluster construction seed.
+    pub cluster_seed: u64,
+}
+
+/// A complete chaos run description: seed, workload, fault script.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The seed everything below is a pure function of.
+    pub seed: u64,
+    /// The drawn workload.
+    pub workload: WorkloadSpec,
+    /// The fault script, sorted by firing op index.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl Schedule {
+    /// Generates the schedule for `seed`.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = ChaosRng::seed(seed);
+        let processes = *rng.pick(&[1u32, 2, 2, 4]);
+        let request_size = *rng.pick(&[8 * KIB, 16 * KIB, 32 * KIB]);
+        // Enough requests per process that the cache overflows, small
+        // enough that a thousand seeds stay cheap.
+        let per_process = 8 + rng.below(9); // 8..=16
+        let file_size = processes as u64 * per_process * request_size;
+        let pattern = if rng.chance(1, 2) {
+            AccessPattern::Sequential
+        } else {
+            AccessPattern::Random
+        };
+        let ior = IorConfig {
+            file_name: "chaos.dat".into(),
+            file_size,
+            processes,
+            request_size,
+            pattern,
+            do_write: true,
+            do_read: true,
+            seed: rng.next_u64(),
+        };
+        let capacity = *rng.pick(&[64 * KIB, 128 * KIB, 256 * KIB]);
+        let ckpt_records = *rng.pick(&[24u64, 48, u64::MAX]);
+        let cluster_seed = rng.next_u64();
+        let workload = WorkloadSpec {
+            ior,
+            capacity,
+            ckpt_records,
+            cluster_seed,
+        };
+
+        let total_ops = (2 * processes as u64 * per_process) as u32;
+        let n_events = rng.below(5) as usize + 1; // 1..=5
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let at_op = rng.below(total_ops as u64) as u32;
+            let server = rng.below(4) as u8;
+            events.push(match rng.below(10) {
+                // Middleware crashes are the paper's headline fault:
+                // weight them highest.
+                0..=2 => ChaosEvent::MwCrash {
+                    at_op,
+                    budget: 256 + rng.below(96 * KIB),
+                },
+                3 => ChaosEvent::RecoveryCrash {
+                    budget: rng.below(64 * KIB),
+                },
+                4 => ChaosEvent::FailStop { server, at_op },
+                5..=6 => ChaosEvent::SpaceExhausted {
+                    server,
+                    at_op,
+                    for_ops: 2 + rng.below(12) as u32,
+                },
+                7 => ChaosEvent::MediaErrors {
+                    server,
+                    at_op,
+                    map_seed: rng.next_u64(),
+                    bad_ppm: *rng.pick(&[1_000u32, 10_000, 100_000]),
+                },
+                _ => ChaosEvent::Stall {
+                    at_op,
+                    secs: 30 + rng.below(600) as u32,
+                },
+            });
+        }
+        events.sort_by_key(|e| e.at_op());
+        Schedule {
+            seed,
+            workload,
+            events,
+        }
+    }
+
+    /// The same schedule with only the events at the given (original)
+    /// indices kept — the minimizer's replay primitive.
+    pub fn with_events_kept(&self, keep: &[usize]) -> Schedule {
+        let events = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep.contains(i))
+            .map(|(_, e)| *e)
+            .collect();
+        Schedule {
+            seed: self.seed,
+            workload: self.workload.clone(),
+            events,
+        }
+    }
+
+    /// Drains the workload's per-rank scripts into one deterministic
+    /// round-robin op stream of `(rank, op)` pairs.
+    pub fn op_stream(&self) -> Vec<(u32, AppOp)> {
+        let mut scripts: Vec<(u32, _)> = self
+            .workload
+            .ior
+            .scripts()
+            .into_iter()
+            .enumerate()
+            .map(|(r, s)| (r as u32, s))
+            .collect();
+        let per_rank: Vec<(u32, Vec<AppOp>)> = scripts
+            .iter_mut()
+            .map(|(r, s)| {
+                let mut ops = Vec::new();
+                while let Some(op) = s.next_op() {
+                    ops.push(op);
+                }
+                (*r, ops)
+            })
+            .collect();
+        let mut stream = Vec::new();
+        let mut cursor = vec![0usize; per_rank.len()];
+        loop {
+            let mut progressed = false;
+            for (i, (rank, ops)) in per_rank.iter().enumerate() {
+                if cursor[i] < ops.len() {
+                    stream.push((*rank, ops[cursor[i]].clone()));
+                    cursor[i] += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..32 {
+            let a = Schedule::generate(seed);
+            let b = Schedule::generate(seed);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.workload.ior, b.workload.ior);
+            assert_eq!(a.workload.capacity, b.workload.capacity);
+            let sa = a.op_stream();
+            let sb = b.op_stream();
+            assert_eq!(sa.len(), sb.len());
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_and_bounded() {
+        for seed in 0..64 {
+            let s = Schedule::generate(seed);
+            assert!(!s.events.is_empty() && s.events.len() <= 5);
+            let ats: Vec<u32> = s.events.iter().map(|e| e.at_op()).collect();
+            let mut sorted = ats.clone();
+            sorted.sort_unstable();
+            assert_eq!(ats, sorted);
+        }
+    }
+
+    #[test]
+    fn kept_subset_preserves_order() {
+        let s = Schedule::generate(11);
+        let all: Vec<usize> = (0..s.events.len()).collect();
+        assert_eq!(s.with_events_kept(&all).events, s.events);
+        assert!(s.with_events_kept(&[]).events.is_empty());
+    }
+
+    #[test]
+    fn op_stream_interleaves_every_rank() {
+        let s = Schedule::generate(5);
+        let stream = s.op_stream();
+        let ranks: std::collections::BTreeSet<u32> = stream.iter().map(|(r, _)| *r).collect();
+        assert_eq!(ranks.len() as u32, s.workload.ior.processes);
+    }
+}

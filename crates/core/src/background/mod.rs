@@ -58,6 +58,28 @@ pub(crate) enum Pending {
     /// `(file, d_offset, version)` captured at plan time. The version gate
     /// skips any extent a later write touched in the meantime.
     Seal(Vec<(FileId, u64, u64)>),
+    /// Fresh extents a write plan's admission inserted, as
+    /// `(d_offset, len)` ranges of `orig`. Completion is a no-op (the
+    /// data landed); on failure the mappings point at cache space whose
+    /// bytes may never have been written and must be unwound before the
+    /// Rebuilder can flush unwritten space over good DServer data.
+    Admitted {
+        /// Original file the extents map.
+        orig: FileId,
+        /// `(d_offset, len)` of each freshly inserted extent.
+        ranges: Vec<(u64, u64)>,
+    },
+    /// A journal frame riding the plan: `offset` was reserved for these
+    /// records at plan time. Completion is a no-op (the frame landed); on
+    /// failure the reservation must be rolled back and the records
+    /// requeued, or the journal gets a hole that truncates every later
+    /// acked record at recovery.
+    Journal {
+        /// Reserved journal append offset.
+        offset: u64,
+        /// The records the frame encodes.
+        records: Vec<crate::durability::journal::JournalRecord>,
+    },
 }
 
 /// True for actions that represent real outstanding work (a pending Seal
@@ -65,7 +87,7 @@ pub(crate) enum Pending {
 /// not keep the drain loop spinning).
 fn blocks_idle(p: &Pending) -> bool {
     match p {
-        Pending::Seal(_) => false,
+        Pending::Seal(_) | Pending::Admitted { .. } | Pending::Journal { .. } => false,
         Pending::Multi(actions) => actions.iter().any(blocks_idle),
         _ => true,
     }
@@ -179,6 +201,9 @@ impl BackgroundScheduler {
             // Sealing is best-effort: an unsealed extent just stays
             // unverified until the scrubber byte-compares it.
             Some(Pending::Seal(_)) => {}
+            // These two need DMT/durability access and are handled by
+            // `S4dCache::unwind_failed` before it delegates here.
+            Some(Pending::Admitted { .. }) | Some(Pending::Journal { .. }) => {}
             None => {}
         }
     }
@@ -190,6 +215,87 @@ impl BackgroundScheduler {
 }
 
 impl S4dCache {
+    /// Unwinds the side effects of a failed plan. The simple
+    /// runner-visible state (pins, in-flight markers, fetch
+    /// reservations) delegates to [`BackgroundScheduler::abandon`]; the
+    /// two failure-critical actions need wider access:
+    ///
+    /// * [`Pending::Admitted`] — fresh dirty mappings whose data writes
+    ///   may never have landed are removed and their cache space
+    ///   released. Leaving them would let the Rebuilder flush unwritten
+    ///   (zero) cache space over good DServer data. The removals emit
+    ///   normal `Remove` journal records, so recovery replays
+    ///   insert-then-remove and converges to the same table.
+    /// * [`Pending::Journal`] — the frame's append reservation rolls
+    ///   back and its records requeue, keeping the journal hole-free.
+    pub(crate) fn unwind_failed(&mut self, cluster: &mut Cluster, action: Option<Pending>) {
+        match action {
+            Some(Pending::Multi(actions)) => {
+                // Journal rollbacks first: an admission unwind appends its
+                // Remove records synchronously, which must land *at* the
+                // rolled-back offset — not past the failed frame's hole.
+                let (journals, rest): (Vec<_>, Vec<_>) = actions
+                    .into_iter()
+                    .partition(|a| matches!(a, Pending::Journal { .. }));
+                for a in journals {
+                    self.unwind_failed(cluster, Some(a));
+                }
+                for a in rest {
+                    self.unwind_failed(cluster, Some(a));
+                }
+            }
+            Some(Pending::Admitted { orig, ranges }) => {
+                let mut freed: Vec<(FileId, u64, u64)> = Vec::new();
+                for (d_offset, len) in ranges {
+                    // Only the extent this plan inserted: same start, same
+                    // length, still dirty (nothing acked it since).
+                    let matches = self
+                        .dmt
+                        .get(orig, d_offset)
+                        .is_some_and(|e| e.len == len && e.dirty);
+                    if !matches {
+                        continue;
+                    }
+                    if let Some(e) = self.dmt.remove(orig, d_offset) {
+                        freed.push((e.c_file, e.c_offset, e.len));
+                        self.metrics.admission_unwinds += 1;
+                    }
+                }
+                if freed.is_empty() {
+                    return;
+                }
+                // Journal-before-reuse: the Remove records `dmt.remove`
+                // queued must be durable before the freed space can be
+                // handed out again — a crash after reuse but before the
+                // Remove lands would resurrect the stale mapping over
+                // foreign bytes. Same discipline as eviction's
+                // journal-before-discard, through the same proof type.
+                match self.dur.append_journal_sync(
+                    cluster,
+                    &mut self.dmt,
+                    &self.config,
+                    &mut self.metrics,
+                    &[],
+                ) {
+                    Some(proof) => {
+                        for (c_file, c_off, len) in freed {
+                            self.space.release(c_file, c_off, len);
+                            self.dur.discard_cache(cluster, &proof, c_file, c_off, len);
+                        }
+                    }
+                    // Journal stalled (ENOSPC/media under it): park the
+                    // ranges; background_poll releases and discards them
+                    // once a retried append furnishes the proof.
+                    None => self.stalled_discards.extend(freed),
+                }
+            }
+            Some(Pending::Journal { offset, records }) => {
+                self.dur.unplan_journal(offset, records, &mut self.metrics);
+            }
+            other => self.bg.abandon(&mut self.space, other),
+        }
+    }
+
     /// One background wake: flushes, fetches, scrubbing, checkpointing,
     /// and the journal straggler drain, in that priority order — the body
     /// of [`s4d_mpiio::Middleware::poll_background`].
@@ -206,6 +312,28 @@ impl S4dCache {
             };
         }
         let mut plans = Vec::new();
+        // A stalled journal (ENOSPC / media error under the append) blocks
+        // every durable effect; retry it first so the rest of the wake can
+        // make progress, then finish any discard/release work that was
+        // parked behind the stall.
+        if self.dur.is_stalled() {
+            self.dur
+                .retry_stall(cluster, &mut self.dmt, &self.config, &mut self.metrics);
+        }
+        if !self.dur.is_stalled() && !self.stalled_discards.is_empty() {
+            if let Some(proof) = self.dur.append_journal_sync(
+                cluster,
+                &mut self.dmt,
+                &self.config,
+                &mut self.metrics,
+                &[],
+            ) {
+                for (c_file, c_off, len) in std::mem::take(&mut self.stalled_discards) {
+                    self.space.release(c_file, c_off, len);
+                    self.dur.discard_cache(cluster, &proof, c_file, c_off, len);
+                }
+            }
+        }
         if !self.config.persistent_placement {
             // CARL-style placement keeps data on the CServers for good:
             // nothing is ever written back, so there is nothing to flush.
@@ -218,22 +346,32 @@ impl S4dCache {
         self.dur
             .maybe_checkpoint(cluster, &mut self.dmt, &self.config, &mut self.metrics);
         // Persist any straggling journal records with background priority.
-        if let Some(op) = self.dur.drain_journal(
+        if let Some((op, records)) = self.dur.drain_journal(
             cluster,
             &mut self.dmt,
             &self.config,
             &mut self.metrics,
             Priority::Background,
         ) {
-            plans.push(Plan::single_phase(vec![op]));
+            let offset = op.offset;
+            let mut plan = Plan::single_phase(vec![op]);
+            // Tag the frame so a failed drain rolls its reservation back
+            // instead of leaving a hole in the journal.
+            plan.tag = self.bg.register(Pending::Journal { offset, records });
+            plans.push(plan);
         }
         debug_assert_eq!(
             self.dmt.pending_records(),
             0,
             "poll_background returned with uncollected journal records"
         );
+        // Mirror the allocator's accounting-bug counter into the metrics
+        // snapshot (monotone, so assignment is safe).
+        self.metrics.space_over_releases = self.space.over_releases();
         let work_pending = !plans.is_empty()
             || self.bg.any_blocking()
+            || self.dur.is_stalled()
+            || !self.stalled_discards.is_empty()
             || (!self.config.persistent_placement && self.dmt.dirty_bytes() > 0);
         BackgroundPoll {
             plans,

@@ -45,6 +45,9 @@ impl S4dCache {
         let mut candidates = self.dmt.dirty_lru(limit);
         candidates.retain(|(f, d, _)| !self.bg.inflight_flush.contains(&(*f, *d)));
         candidates.sort_by_key(|(f, d, _)| (f.0, *d));
+        let plans_base = plans.len();
+        let flushes_before = self.metrics.flushes;
+        let flushed_before = self.metrics.flushed_bytes;
         let mut intents: Vec<JournalRecord> = Vec::new();
         let mut i = 0;
         while let Some(&(file, start, first)) = candidates.get(i) {
@@ -128,13 +131,27 @@ impl S4dCache {
             // sees which ranges were mid-flush and that a re-flush is due.
             // The matching commit is the SetClean record at completion, so
             // a crash between the two re-flushes idempotently.
-            self.dur.append_journal_sync(
+            let durable = self.dur.append_journal_sync(
                 cluster,
                 &mut self.dmt,
                 &self.config,
                 &mut self.metrics,
                 &intents,
             );
+            if durable.is_none() {
+                // Journal stalled (ENOSPC / media error): the intents are
+                // queued but not durable, so the flush plans must not run
+                // this wake. Abandon them — the extents stay dirty and the
+                // next wake retries. (A stray FlushIntent that lands later
+                // without its flush is harmless: recovery just schedules
+                // an idempotent re-flush.)
+                for plan in plans.drain(plans_base..) {
+                    let action = self.bg.take(plan.tag);
+                    self.bg.abandon(&mut self.space, action);
+                }
+                self.metrics.flushes = flushes_before;
+                self.metrics.flushed_bytes = flushed_before;
+            }
         }
     }
 
@@ -256,6 +273,9 @@ impl S4dCache {
                 pieces,
             }) => self.finish_fetch(cluster, orig, cdt_keys, pieces),
             Some(Pending::Seal(targets)) => self.finish_seals(cluster, targets),
+            // Completion no-ops: the admission's data and the journal
+            // frame landed; these actions only matter on plan failure.
+            Some(Pending::Admitted { .. }) | Some(Pending::Journal { .. }) => {}
             None => {}
         }
     }

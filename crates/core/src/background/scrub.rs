@@ -49,16 +49,24 @@ impl S4dCache {
             (true, Some(expect)) if expect != sum => {
                 // Unrecoverable: the only up-to-date copy is corrupt.
                 self.dmt.remove(orig, d_offset);
-                let proof = self.dur.append_journal_sync(
+                match self.dur.append_journal_sync(
                     cluster,
                     &mut self.dmt,
                     &self.config,
                     &mut self.metrics,
                     &[],
-                );
-                self.dur
-                    .discard_cache(cluster, &proof, e.c_file, e.c_offset, e.len);
-                self.space.release(e.c_file, e.c_offset, e.len);
+                ) {
+                    Some(proof) => {
+                        self.dur
+                            .discard_cache(cluster, &proof, e.c_file, e.c_offset, e.len);
+                        self.space.release(e.c_file, e.c_offset, e.len);
+                    }
+                    None => {
+                        // Journal stalled: park the discard/release until
+                        // the Remove is durable (see `stalled_discards`).
+                        self.stalled_discards.push((e.c_file, e.c_offset, e.len));
+                    }
+                }
                 self.metrics.scrub_lost_bytes += e.len;
                 self.metrics.dirty_bytes_lost += e.len;
             }

@@ -136,6 +136,14 @@ pub struct S4dConfig {
     /// shed — the marginal, lowest-benefit admissions go first. Under
     /// global overload every admission is shed regardless of benefit.
     pub shed_benefit_margin: f64,
+    /// Chaos-oracle self-test ONLY: when set, eviction discards cache
+    /// bytes *without* first making the Remove records durable —
+    /// deliberately breaking the journal-before-discard protocol so the
+    /// chaos harness can prove its invariant oracle catches (and its
+    /// minimizer shrinks) a real durability bug. Never set outside
+    /// `s4d-chaos --validate-oracle`.
+    #[doc(hidden)]
+    pub chaos_bug_skip_journal: bool,
 }
 
 impl S4dConfig {
@@ -178,6 +186,7 @@ impl S4dConfig {
             backpressure_depth: 16,
             backpressure_tail_ratio: 16.0,
             shed_benefit_margin: 0.0005,
+            chaos_bug_skip_journal: false,
         }
     }
 

@@ -304,6 +304,26 @@ impl Dmt {
         }
     }
 
+    /// Invalidates the seal of every extent overlapping the range without
+    /// changing its dirty state — for write-through overwrites whose cache
+    /// bytes change while the journal is stalled. The version bump gates
+    /// out any in-flight seal computed over the old bytes; no journal
+    /// record is emitted (a lost or stale seal only downgrades integrity
+    /// checking — both copies hold the new bytes, so repair converges).
+    pub fn unseal(&mut self, file: FileId, offset: u64, len: u64) {
+        let keys = self.overlapping_keys(file, offset, len);
+        for key in keys {
+            self.split_off(file, key, offset, offset + len);
+        }
+        let keys = self.overlapping_keys(file, offset, len);
+        for key in keys {
+            if let Some(e) = self.files.get_mut(&file).and_then(|m| m.get_mut(&key)) {
+                e.version += 1;
+                e.checksum = None;
+            }
+        }
+    }
+
     /// Marks the extent at exactly `d_offset` clean, provided its version
     /// still matches (no write raced the flush). Returns whether it did.
     pub fn mark_clean_if(&mut self, file: FileId, d_offset: u64, version: u64) -> bool {

@@ -56,6 +56,13 @@ pub enum CrashSite {
     CheckpointWrite,
     /// Truncating the journal after a checkpoint was installed.
     JournalTruncate,
+    /// *During recovery*: truncating the undecodable journal suffix.
+    RecoveryTruncate,
+    /// *During recovery*: discarding a dropped (under-covered) extent's
+    /// cache bytes.
+    RecoveryDrop,
+    /// *During recovery*: discarding orphaned cache bytes in the sweep.
+    RecoverySweep,
 }
 
 /// One recorded durable step: site, cumulative byte offset at which the

@@ -71,6 +71,13 @@ pub(crate) struct DurabilityEngine {
     records_at_last_ckpt: u64,
     /// Start of the live (uncompacted) journal region.
     journal_base: u64,
+    /// True while a synchronous journal append has failed (space
+    /// exhaustion or media error under the journal) and its records are
+    /// waiting in `journal_pending` for a retry at the *same* offset.
+    /// While stalled, no journal write may be planned at a later offset:
+    /// a hole in the journal would truncate every later acked record at
+    /// recovery.
+    stalled: bool,
     /// What the last `recover_from_cluster` found, if this instance was
     /// built by one.
     last_recovery: Option<RecoveryReport>,
@@ -89,6 +96,7 @@ impl DurabilityEngine {
             last_ckpt_tail: 0,
             records_at_last_ckpt: 0,
             journal_base: 0,
+            stalled: false,
             last_recovery: None,
         }
     }
@@ -148,7 +156,12 @@ impl DurabilityEngine {
     }
 
     /// Accumulates pending DMT mutations and appends a journal write to
-    /// `ops` once a group-commit batch is full.
+    /// `ops` once a group-commit batch is full. Returns the reserved
+    /// offset and the records the frame carries, so the caller can
+    /// register a [`crate::background::Pending::Journal`] unwind: if the
+    /// plan carrying the op fails, the reservation must be rolled back
+    /// ([`DurabilityEngine::unplan_journal`]) or the journal gets a hole
+    /// that truncates every later acked record at recovery.
     pub(crate) fn journal_op(
         &mut self,
         cluster: &mut Cluster,
@@ -156,14 +169,15 @@ impl DurabilityEngine {
         config: &S4dConfig,
         metrics: &mut S4dMetrics,
         ops: &mut Vec<PlannedIo>,
-    ) {
+    ) -> Option<(u64, Vec<JournalRecord>)> {
         self.collect_pending_records(dmt, config);
         if (self.journal_pending.len() as u64) < config.journal_batch_records {
-            return;
+            return None;
         }
-        if let Some(op) = self.drain_journal(cluster, dmt, config, metrics, Priority::Normal) {
-            ops.push(op);
-        }
+        let (op, records) = self.drain_journal(cluster, dmt, config, metrics, Priority::Normal)?;
+        let offset = op.offset;
+        ops.push(op);
+        Some((offset, records))
     }
 
     /// Builds a journal write covering every pending record, if any. The
@@ -179,8 +193,15 @@ impl DurabilityEngine {
         config: &S4dConfig,
         metrics: &mut S4dMetrics,
         priority: Priority,
-    ) -> Option<PlannedIo> {
+    ) -> Option<(PlannedIo, Vec<JournalRecord>)> {
         self.collect_pending_records(dmt, config);
+        if self.stalled {
+            // A failed sync append owns the current offset; planning a
+            // write past it would leave a hole that truncates every later
+            // record at recovery. Records keep accumulating until the
+            // retry succeeds.
+            return None;
+        }
         if self.journal_pending.is_empty() {
             return None;
         }
@@ -201,7 +222,32 @@ impl DurabilityEngine {
         self.journal_offset += len;
         metrics.journal_writes += 1;
         metrics.journal_bytes += len;
-        Some(op)
+        Some((op, records))
+    }
+
+    /// Rolls back a planned journal frame whose carrying plan failed
+    /// before the bytes landed. The records requeue ahead of anything
+    /// newer (replay order is preserved), and when the frame was the
+    /// newest reservation the append offset rewinds so the retry lands
+    /// at the same place — no hole, so no later acked record is
+    /// truncated at recovery.
+    pub(crate) fn unplan_journal(
+        &mut self,
+        offset: u64,
+        records: Vec<JournalRecord>,
+        metrics: &mut S4dMetrics,
+    ) {
+        let len = records.len() as u64 * crate::DMT_RECORD_BYTES;
+        if self.journal_offset == offset + len {
+            self.journal_offset = offset;
+        }
+        // When a later frame is already reserved past this one the offset
+        // stays (the hole is a torn tail recovery handles); the records
+        // still requeue so the mutations eventually persist.
+        let mut requeued = records;
+        requeued.append(&mut self.journal_pending);
+        self.journal_pending = requeued;
+        metrics.journal_requeues += 1;
     }
 
     /// Appends `extra` plus every pending record to the journal right now,
@@ -213,7 +259,11 @@ impl DurabilityEngine {
     ///
     /// Returns the [`DurabilityHandle`] that unlocks
     /// [`DurabilityEngine::discard_cache`] for the effects the append
-    /// covers.
+    /// covers, or `None` when the append failed (space exhaustion or a
+    /// media error under the journal region): the records stay pending at
+    /// the *same* offset, the engine is stalled (see
+    /// [`DurabilityEngine::is_stalled`]), and the caller must not perform
+    /// the destructive effect it wanted the proof for.
     pub(crate) fn append_journal_sync(
         &mut self,
         cluster: &mut Cluster,
@@ -221,7 +271,7 @@ impl DurabilityEngine {
         config: &S4dConfig,
         metrics: &mut S4dMetrics,
         extra: &[JournalRecord],
-    ) -> DurabilityHandle {
+    ) -> Option<DurabilityHandle> {
         self.collect_pending_records(dmt, config);
         if !extra.is_empty() {
             if config.record_journal_log {
@@ -230,22 +280,66 @@ impl DurabilityEngine {
             self.journal_pending.extend_from_slice(extra);
         }
         if self.journal_pending.is_empty() {
-            return DurabilityHandle(());
+            self.stalled = false;
+            return Some(DurabilityHandle(()));
         }
         let journal = self.ensure_journal(cluster);
         let records = std::mem::take(&mut self.journal_pending);
         let data = journal::encode_batch(&records);
         let len = data.len() as u64;
         let allowed = self.fuse_consume(CrashSite::SyncAppend, len);
-        let _ = cluster
+        match cluster
             .cpfs_mut()
-            .apply_bytes(journal, self.journal_offset, allowed, Some(&data));
-        // The full reservation is consumed even on a torn write: this
-        // instance is dead then, and recovery works from the cluster.
-        self.journal_offset += len;
-        metrics.journal_writes += 1;
-        metrics.journal_bytes += len;
-        DurabilityHandle(())
+            .apply_bytes(journal, self.journal_offset, allowed, Some(&data))
+        {
+            Ok(()) => {
+                // The full reservation is consumed even on a torn write:
+                // this instance is dead then, and recovery works from the
+                // cluster.
+                self.journal_offset += len;
+                self.stalled = false;
+                metrics.journal_writes += 1;
+                metrics.journal_bytes += len;
+                Some(DurabilityHandle(()))
+            }
+            Err(err) => {
+                // The append had no effect (apply_bytes is all-or-nothing
+                // under injected faults). Requeue the records and do not
+                // advance the offset: a hole in the journal would truncate
+                // every later acked record at recovery. The engine stalls
+                // until a retry at this same offset succeeds.
+                self.journal_pending = records;
+                self.stalled = true;
+                metrics.durability_stalls += 1;
+                match err {
+                    s4d_pfs::PfsError::NoSpace { .. } => metrics.nospace_failures += 1,
+                    s4d_pfs::PfsError::MediaError { .. } => metrics.media_failures += 1,
+                    _ => {}
+                }
+                None
+            }
+        }
+    }
+
+    /// True while a failed synchronous append is waiting to be retried.
+    pub(crate) fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Retries a stalled synchronous append, if any. Returns `true` when
+    /// the engine is unstalled afterwards (including when it never was).
+    pub(crate) fn retry_stall(
+        &mut self,
+        cluster: &mut Cluster,
+        dmt: &mut Dmt,
+        config: &S4dConfig,
+        metrics: &mut S4dMetrics,
+    ) -> bool {
+        if !self.stalled {
+            return true;
+        }
+        self.append_journal_sync(cluster, dmt, config, metrics, &[])
+            .is_some()
     }
 
     /// Discards cache bytes whose removal records the presented handle
@@ -289,7 +383,16 @@ impl DurabilityEngine {
         }
         // Force-drain so the snapshot covers every journaled mutation and
         // the tail past `tail_offset` is an exact record-order suffix.
-        self.append_journal_sync(cluster, dmt, config, metrics, &[]);
+        if self
+            .append_journal_sync(cluster, dmt, config, metrics, &[])
+            .is_none()
+        {
+            // Journal stalled (ENOSPC / media error): a snapshot now would
+            // claim coverage of records that are not durable. Skip; the
+            // previous checkpoint plus the journal tail stay authoritative.
+            metrics.checkpoints_skipped += 1;
+            return;
+        }
         if self.fuse_dead() {
             return;
         }
@@ -328,9 +431,17 @@ impl DurabilityEngine {
         let slot = cluster.cpfs_mut().create_or_open(slot_name);
         let len = data.len() as u64;
         let allowed = self.fuse_consume(CrashSite::CheckpointWrite, len);
-        let _ = cluster
+        if cluster
             .cpfs_mut()
-            .apply_bytes(slot, 0, allowed, Some(&data));
+            .apply_bytes(slot, 0, allowed, Some(&data))
+            .is_err()
+        {
+            // Slot write failed outright (ENOSPC / media error on the
+            // slot's extents): nothing landed, the previous checkpoint
+            // stays authoritative, and we retry on a later poll.
+            metrics.checkpoints_skipped += 1;
+            return;
+        }
         if allowed < len {
             // Torn install: the CRC trailer never landed, so recovery keeps
             // using the previous slot. This instance is dead.

@@ -6,7 +6,9 @@
 //! re-enters this same deterministic procedure, so its discards need no
 //! journal-before-effect ceremony.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use s4d_cost::CostParams;
 use s4d_mpiio::Cluster;
@@ -14,6 +16,7 @@ use s4d_pfs::FileId;
 
 use crate::config::S4dConfig;
 use crate::dmt::Dmt;
+use crate::durability::crash::{CrashFuse, CrashSite};
 use crate::durability::journal;
 use crate::layer::S4dCache;
 use crate::metrics::S4dMetrics;
@@ -93,6 +96,33 @@ impl S4dCache {
         params: CostParams,
         cluster: &mut Cluster,
     ) -> (Self, RecoveryReport) {
+        match Self::recover_from_cluster_fused(config, params, cluster, None) {
+            Some(done) => done,
+            // s4d-lint: allow(panic) — without a fuse no charge can be cut short, so the fused body always completes; panic-path witness: recover_from_cluster → recover_from_cluster_fused
+            None => unreachable!("recovery without a fuse cannot crash"),
+        }
+    }
+
+    /// [`S4dCache::recover_from_cluster`] with a crash fuse gating
+    /// recovery's own destructive effects (the journal-suffix truncate,
+    /// dropped-extent discards, and the orphan sweep). Returns `None` when
+    /// the fuse dies mid-recovery — the partially-recovered instance is
+    /// lost, exactly like a second power failure — after applying only the
+    /// affordable prefix of the interrupted effect. The double-crash
+    /// torture re-enters recovery afterwards and must converge to the same
+    /// state, proving recovery idempotent.
+    pub fn recover_from_cluster_fused(
+        config: S4dConfig,
+        params: CostParams,
+        cluster: &mut Cluster,
+        fuse: Option<Rc<RefCell<CrashFuse>>>,
+    ) -> Option<(Self, RecoveryReport)> {
+        let charge = |site: CrashSite, len: u64| -> u64 {
+            match &fuse {
+                Some(f) => f.borrow_mut().consume(site, len),
+                None => len,
+            }
+        };
         let mut report = RecoveryReport::default();
         let mut snapshot: Option<journal::Checkpoint> = None;
         for slot in [CKPT_SLOT_A, CKPT_SLOT_B] {
@@ -145,11 +175,15 @@ impl S4dCache {
                 if tail.dropped_bytes > 0 {
                     // Truncate the undecodable suffix so future appends
                     // land on clean ground instead of behind a bad frame.
-                    let _ = cluster.cpfs_mut().discard(
-                        journal_file,
-                        journal_offset,
-                        tail.dropped_bytes,
-                    );
+                    let allowed = charge(CrashSite::RecoveryTruncate, tail.dropped_bytes);
+                    if allowed > 0 {
+                        let _ = cluster
+                            .cpfs_mut()
+                            .discard(journal_file, journal_offset, allowed);
+                    }
+                    if allowed < tail.dropped_bytes {
+                        return None;
+                    }
                 }
             }
         }
@@ -174,7 +208,13 @@ impl S4dCache {
                 continue;
             }
             dmt.remove(file, d_off);
-            let _ = cluster.cpfs_mut().discard(c_file, c_off, len);
+            let allowed = charge(CrashSite::RecoveryDrop, len);
+            if allowed > 0 {
+                let _ = cluster.cpfs_mut().discard(c_file, c_off, allowed);
+            }
+            if allowed < len {
+                return None;
+            }
             report.dropped_extents += 1;
             if dirty {
                 report.dirty_bytes_lost += len;
@@ -226,7 +266,13 @@ impl S4dCache {
             for (off, len) in holes {
                 let covered = cluster.cpfs().covered_bytes(f, off, len).unwrap_or(0);
                 if covered > 0 {
-                    let _ = cluster.cpfs_mut().discard(f, off, len);
+                    let allowed = charge(CrashSite::RecoverySweep, len);
+                    if allowed > 0 {
+                        let _ = cluster.cpfs_mut().discard(f, off, allowed);
+                    }
+                    if allowed < len {
+                        return None;
+                    }
                     report.orphan_bytes_discarded += covered;
                 }
             }
@@ -242,6 +288,6 @@ impl S4dCache {
         s.dur.checkpoint_seq = report.used_checkpoint.unwrap_or(0);
         s.dur.records_at_last_ckpt = s.dmt.journal_records_total();
         s.dur.last_recovery = Some(report);
-        (s, report)
+        Some((s, report))
     }
 }

@@ -66,13 +66,26 @@ impl S4dCache {
         // The Removes must be durable before the bytes go away: recovering
         // a mapping to discarded space would serve garbage. (Orphaned bytes
         // from the reverse order are merely swept and discarded.)
-        let proof = self.dur.append_journal_sync(
+        let Some(proof) = self.dur.append_journal_sync(
             cluster,
             &mut self.dmt,
             &self.config,
             &mut self.metrics,
             &[],
-        );
+        ) else {
+            // Journal stalled (ENOSPC / media error): the extents are
+            // already invalidated in memory, but until their Removes are
+            // durable the cache ranges may be neither discarded nor
+            // released for reuse (a crash would recover the old mapping
+            // over fresh bytes). Park the cleanup; `poll_background`
+            // finishes it once the stall clears.
+            self.stalled_discards.extend(
+                doomed
+                    .iter()
+                    .map(|&(_, _, len, c_file, c_off, _)| (c_file, c_off, len)),
+            );
+            return;
+        };
         for &(_, _, len, c_file, c_off, _) in &doomed {
             self.space.release(c_file, c_off, len);
             self.dur.discard_cache(cluster, &proof, c_file, c_off, len);
@@ -111,6 +124,30 @@ impl S4dCache {
                 // gone. Quarantine it and invalidate every extent it held
                 // before anything re-plans against the stale mapping.
                 self.handle_crash(cluster, failure.server, now);
+                ErrorDirective::GiveUp
+            }
+            IoFault::NoSpace => {
+                // The server is healthy, its SSD is just full: retrying
+                // cannot help within this request's lifetime. Give up so
+                // the runner re-plans; admission control degrades new
+                // writes to OPFS while the exhaustion lasts.
+                self.metrics.nospace_failures += 1;
+                ErrorDirective::GiveUp
+            }
+            IoFault::Media => {
+                // A media error is permanent for the sector: retrying the
+                // same range is futile, and a device developing bad
+                // sectors is suspect — count it against the server's
+                // health so repeats quarantine it.
+                self.metrics.media_failures += 1;
+                if self.health.record_failure(
+                    failure.server,
+                    now,
+                    self.config.quarantine_after,
+                    self.config.quarantine_duration,
+                ) {
+                    self.metrics.quarantines += 1;
+                }
                 ErrorDirective::GiveUp
             }
             IoFault::Transient => {

@@ -54,6 +54,14 @@ pub struct S4dCache {
     pub(crate) dur: DurabilityEngine,
     /// Pending state machine, in-flight markers, pins, scrub cursor.
     pub(crate) bg: BackgroundScheduler,
+    /// Cache ranges `(c_file, c_offset, len)` whose extents are already
+    /// invalidated in memory but whose Remove records could not be made
+    /// durable because the journal is stalled (ENOSPC / media error).
+    /// They are neither discarded nor released for reuse until
+    /// `background_poll` clears the stall — discarding first would break
+    /// journal-before-discard, reusing first could resurrect the old
+    /// mapping over fresh bytes at recovery.
+    pub(crate) stalled_discards: Vec<(FileId, u64, u64)>,
 }
 
 impl S4dCache {
@@ -73,6 +81,7 @@ impl S4dCache {
             metrics: S4dMetrics::default(),
             dur: DurabilityEngine::new(),
             bg: BackgroundScheduler::new(),
+            stalled_discards: Vec::new(),
         }
     }
 
@@ -145,6 +154,19 @@ impl S4dCache {
         &self.health
     }
 
+    /// True while a failed synchronous journal append (space exhaustion
+    /// or media error under the journal) is waiting to be retried.
+    pub fn journal_stalled(&self) -> bool {
+        self.dur.is_stalled()
+    }
+
+    /// Cache ranges whose discard/release is parked behind a journal
+    /// stall (see the field docs). Empty in a healthy run; the chaos
+    /// oracle adds these bytes to the space-accounting identity.
+    pub fn stalled_discards(&self) -> &[(FileId, u64, u64)] {
+        &self.stalled_discards
+    }
+
     pub(crate) fn ensure_health(&mut self, cluster: &Cluster) {
         self.health.ensure_servers(cluster.cpfs().server_count());
     }
@@ -177,6 +199,15 @@ impl Middleware for S4dCache {
 
     fn plan_io(&mut self, cluster: &mut Cluster, now: SimTime, req: &AppRequest) -> Plan {
         self.ensure_health(cluster);
+        if self.dur.is_stalled() {
+            // One synchronous retry before planning: a stall often
+            // outlives its fault window (the background retry only runs
+            // so often), and while stalled every write plans in degraded
+            // mode (see `route_write`) because no new record can be made
+            // durable before the ack.
+            self.dur
+                .retry_stall(cluster, &mut self.dmt, &self.config, &mut self.metrics);
+        }
         // Stage 1: classify (Data Identifier).
         let ctx = self.identify(req);
         // Stages 2–3: route (Redirector), then claim space and close the
@@ -278,9 +309,9 @@ impl Middleware for S4dCache {
         self.metrics.shed_admissions
     }
 
-    fn on_plan_failed(&mut self, _cluster: &mut Cluster, _now: SimTime, tag: u64) {
+    fn on_plan_failed(&mut self, cluster: &mut Cluster, _now: SimTime, tag: u64) {
         let action = self.bg.take(tag);
-        self.bg.abandon(&mut self.space, action);
+        self.unwind_failed(cluster, action);
     }
 
     fn durability(&self) -> Option<DurabilityCounts> {

@@ -84,6 +84,39 @@ pub struct S4dMetrics {
     /// Straggling sub-requests abandoned outright (the request was
     /// re-planned around the slow server).
     pub straggler_abandons: u64,
+    /// Space-manager releases that did not match a live allocation
+    /// (double release, over-release, or a range never handed out).
+    /// An accounting bug in the middleware — must stay 0.
+    pub space_over_releases: u64,
+    /// Durable-effect writes failed by scripted space exhaustion
+    /// (`ENOSPC`) on a CServer.
+    pub nospace_failures: u64,
+    /// Durable-effect operations failed by scripted media errors
+    /// (`EIO` on a bad device sector).
+    pub media_failures: u64,
+    /// Synchronous journal appends that failed (space exhaustion or
+    /// media error under the journal) and stalled the durability engine
+    /// until a retry succeeds.
+    pub durability_stalls: u64,
+    /// Checkpoint installs skipped because the slot write failed; the
+    /// previous checkpoint and a longer journal tail stay authoritative.
+    pub checkpoints_skipped: u64,
+    /// Fresh admissions rolled back because their write plan failed
+    /// before the data landed: the dirty mapping to (possibly) unwritten
+    /// cache space is removed and its space released, so the Rebuilder
+    /// can never flush unwritten bytes over good DServer data.
+    pub admission_unwinds: u64,
+    /// Planned journal frames whose carrying plan failed: the records
+    /// requeued and the append reservation rolled back (no hole).
+    pub journal_requeues: u64,
+    /// Admissions denied because the journal was stalled: the Insert
+    /// record could not be made durable before the ack, so the write
+    /// degraded to OPFS (journal-before-ack).
+    pub admission_denied_stall: u64,
+    /// Clean mapped pieces written through (cache and OPFS both updated,
+    /// extent kept clean) because the journal stall blocked the SetDirty
+    /// record a re-dirty would need before the ack.
+    pub stall_writethroughs: u64,
 }
 
 impl S4dMetrics {

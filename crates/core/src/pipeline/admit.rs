@@ -42,6 +42,7 @@ impl S4dCache {
             }
             ok
         };
+        let mut fresh: Vec<(u64, u64)> = Vec::new();
         for &(g_off, g_len) in &gaps {
             // `make_room` guaranteed capacity, so `alloc` should succeed
             // for every admitted gap; degrade to a disk write if not.
@@ -55,6 +56,7 @@ impl S4dCache {
                 for p in pieces {
                     self.dmt
                         .insert(req.file, cursor, p.len, cache, p.c_offset, true);
+                    fresh.push((cursor, p.len));
                     ops.push(self.data_op(
                         Tier::CServers,
                         cache,
@@ -89,7 +91,7 @@ impl S4dCache {
         // crash between the two leaves orphaned cache bytes — swept on
         // recovery — never a mapping to unwritten space.
         let mut journal_ops = Vec::new();
-        self.dur.journal_op(
+        let frame = self.dur.journal_op(
             cluster,
             &mut self.dmt,
             &self.config,
@@ -107,15 +109,30 @@ impl S4dCache {
         }
         // Once the plan completes, seal the cache extents this write
         // filled: the checksum is computed from the bytes then on CPFS,
-        // version-gated against racing overwrites.
+        // version-gated against racing overwrites. If the plan *fails*,
+        // the fresh admissions and the journal reservation unwind
+        // instead (`S4dCache::unwind_failed`).
         let seals: Vec<(FileId, u64, u64)> = self
             .dmt
             .extents_overlapping(req.file, req.offset, req.len)
             .into_iter()
             .map(|(d_off, e)| (req.file, d_off, e.version))
             .collect();
+        let mut actions: Vec<Pending> = Vec::new();
+        if !fresh.is_empty() {
+            actions.push(Pending::Admitted {
+                orig: req.file,
+                ranges: fresh,
+            });
+        }
+        if let Some((offset, records)) = frame {
+            actions.push(Pending::Journal { offset, records });
+        }
         if !seals.is_empty() {
-            plan.tag = self.bg.register(Pending::Seal(seals));
+            actions.push(Pending::Seal(seals));
+        }
+        if !actions.is_empty() {
+            plan.tag = self.bg.register(Pending::Multi(actions));
         }
         plan
     }
@@ -134,17 +151,42 @@ impl S4dCache {
         if victims.is_empty() {
             return self.space.fits(len);
         }
+        if self.config.chaos_bug_skip_journal {
+            // Deliberately broken protocol (chaos-oracle self-test, see
+            // `S4dConfig::chaos_bug_skip_journal`): release the victims'
+            // space for reuse while their Remove records are still only
+            // in memory. A crash before the next group commit resurrects
+            // the stale mappings over whatever the reused space holds by
+            // then — reads through them serve foreign bytes.
+            for (_file, _d_off, ext) in &victims {
+                self.space.release(ext.c_file, ext.c_offset, ext.len);
+                self.metrics.evictions += 1;
+                self.metrics.evicted_bytes += ext.len;
+            }
+            return self.space.fits(len);
+        }
         // `evict_clean_lru_excluding` removed the victims and queued
         // their Remove records; make those durable *before* the bytes
         // go away, so recovery never maps discarded space. The handle
         // is the proof `discard_cache` demands.
-        let proof = self.dur.append_journal_sync(
+        let Some(proof) = self.dur.append_journal_sync(
             cluster,
             &mut self.dmt,
             &self.config,
             &mut self.metrics,
             &[],
-        );
+        ) else {
+            // The journal is stalled (ENOSPC / media error): without a
+            // durable Remove the victims' bytes may be neither discarded
+            // nor reused, so undo the eviction — re-insert each victim
+            // (the queued Remove plus this Insert replay to a no-op) and
+            // deny the admission; the write degrades to OPFS.
+            for (file, d_off, ext) in &victims {
+                self.dmt
+                    .insert(*file, *d_off, ext.len, ext.c_file, ext.c_offset, ext.dirty);
+            }
+            return false;
+        };
         for (_file, _d_off, ext) in &victims {
             self.space.release(ext.c_file, ext.c_offset, ext.len);
             // Dropping the cached bytes is a metadata operation; the data

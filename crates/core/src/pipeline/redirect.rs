@@ -28,8 +28,41 @@ impl S4dCache {
         let view = self.dmt.view(req.file, req.offset, req.len);
         let mut used_cache = false;
 
+        // While the journal is stalled no new record can be made durable
+        // before this write's ack, so the plan must not create any
+        // (journal-before-ack): fresh admissions degrade to OPFS below,
+        // and clean mapped pieces are written *through* — both copies
+        // updated, the extent stays clean — instead of re-dirtied. Dirty
+        // pieces are unaffected: their durable state already says dirty,
+        // and overwriting dirty bytes needs no new record.
+        let stalled = self.dur.is_stalled();
+
         // Mapped parts: the request is already served by CServers (line 22).
         for piece in &view.pieces {
+            if stalled && !piece.dirty {
+                self.dmt.unseal(req.file, piece.d_offset, piece.len);
+                ops.push(self.data_op(
+                    Tier::CServers,
+                    piece.c_file,
+                    IoKind::Write,
+                    piece.c_offset,
+                    piece.len,
+                    piece.d_offset,
+                    req,
+                ));
+                ops.push(self.data_op(
+                    Tier::DServers,
+                    req.file,
+                    IoKind::Write,
+                    piece.d_offset,
+                    piece.len,
+                    piece.d_offset,
+                    req,
+                ));
+                self.metrics.stall_writethroughs += 1;
+                used_cache = true;
+                continue;
+            }
             self.dmt.mark_dirty(req.file, piece.d_offset, piece.len);
             ops.push(self.data_op(
                 Tier::CServers,
@@ -52,6 +85,14 @@ impl S4dCache {
         let mut healthy = !self.health.any_unhealthy(now);
         if ctx.critical && gap_total > 0 && !healthy {
             self.metrics.admission_denied_health += 1;
+        }
+        if stalled {
+            // An admission's Insert record could not be made durable
+            // before the ack; the gaps go straight to OPFS instead.
+            if ctx.critical && gap_total > 0 && healthy {
+                self.metrics.admission_denied_stall += 1;
+            }
+            healthy = false;
         }
         if healthy && self.shed_admission(ctx) {
             if ctx.critical && gap_total > 0 {
@@ -178,17 +219,13 @@ impl S4dCache {
                 }
             }
         }
-        let mut journal_ops = Vec::new();
-        self.dur.journal_op(
-            cluster,
-            &mut self.dmt,
-            &self.config,
-            &mut self.metrics,
-            &mut journal_ops,
-        );
-        if !journal_ops.is_empty() {
-            plan.phases.push(journal_ops);
-        }
+        // Reads plan no durable effects: a journal frame riding a read
+        // plan would make the read's success hinge on a metadata write
+        // (and fail reads under space exhaustion for no data reason).
+        // Any records a read's bookkeeping produced wait for the next
+        // write plan or the background straggler drain.
+        self.dur
+            .collect_pending_records(&mut self.dmt, &self.config);
         plan
     }
 

@@ -30,6 +30,7 @@ pub struct SpaceManager {
     free: HashMap<FileId, Vec<(u64, u64)>>,
     alloc_ops: u64,
     free_ops: u64,
+    over_releases: u64,
 }
 
 impl SpaceManager {
@@ -47,6 +48,7 @@ impl SpaceManager {
             free: HashMap::new(),
             alloc_ops: 0,
             free_ops: 0,
+            over_releases: 0,
         }
     }
 
@@ -141,14 +143,40 @@ impl SpaceManager {
     }
 
     /// Returns an extent to the pool (after eviction or file deletion).
+    ///
+    /// A release that cannot correspond to a live allocation — more
+    /// bytes than are currently allocated, a range beyond the file's
+    /// bump frontier, or overlap with an extent already on the free
+    /// list — is an accounting bug in the caller (a double or
+    /// over-release). Such a release is counted (see
+    /// [`SpaceManager::over_releases`], surfaced as the
+    /// `space_over_releases` metric) and dropped without freeing, so
+    /// the allocator can never hand the same range to two owners; the
+    /// bytes are leaked instead, the recoverable direction.
     pub fn release(&mut self, c_file: FileId, c_offset: u64, len: u64) {
         if len == 0 {
             return;
         }
-        debug_assert!(self.allocated >= len, "releasing more than allocated");
-        self.allocated = self.allocated.saturating_sub(len);
+        let within_bump = c_offset
+            .checked_add(len)
+            .is_some_and(|end| end <= self.bump.get(&c_file).copied().unwrap_or(0));
+        let no_free_overlap = self.free.get(&c_file).is_none_or(|fl| {
+            fl.iter()
+                .all(|&(off, flen)| c_offset + len <= off || off + flen <= c_offset)
+        });
+        if len > self.allocated || !within_bump || !no_free_overlap {
+            self.over_releases += 1;
+            return;
+        }
+        self.allocated -= len;
         self.free.entry(c_file).or_default().push((c_offset, len));
         self.free_ops += 1;
+    }
+
+    /// Releases that failed the double/over-release accounting check and
+    /// were dropped (must stay 0 in a correct run).
+    pub fn over_releases(&self) -> u64 {
+        self.over_releases
     }
 }
 
@@ -237,6 +265,38 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn rejects_zero_capacity() {
         SpaceManager::new(0);
+    }
+
+    #[test]
+    fn double_and_over_releases_are_counted_not_applied() {
+        let mut s = SpaceManager::new(100);
+        s.alloc(CF, 40).unwrap();
+        // Legitimate release works.
+        s.release(CF, 0, 10);
+        assert_eq!(s.allocated(), 30);
+        assert_eq!(s.over_releases(), 0);
+        // Double release of the same range: counted, not freed again.
+        s.release(CF, 0, 10);
+        assert_eq!(s.allocated(), 30, "double release must not free twice");
+        assert_eq!(s.over_releases(), 1);
+        // Partial overlap with a free extent is also a double release.
+        s.release(CF, 5, 10);
+        assert_eq!(s.over_releases(), 2);
+        // Releasing more than is allocated in total.
+        s.release(CF, 10, 31);
+        assert_eq!(s.over_releases(), 3);
+        assert_eq!(s.allocated(), 30);
+        // Releasing a range past the bump frontier (never handed out).
+        s.release(CF, 90, 5);
+        assert_eq!(s.over_releases(), 4);
+        // Releasing in a file that never allocated anything.
+        s.release(FileId(77), 0, 1);
+        assert_eq!(s.over_releases(), 5);
+        // The allocator still works and never double-hands space.
+        let pieces = s.alloc(CF, 20).unwrap();
+        let total: u64 = pieces.iter().map(|p| p.len).sum();
+        assert_eq!(total, 20);
+        assert_eq!(s.allocated(), 50);
     }
 
     #[test]

@@ -24,13 +24,21 @@ pub const RULES: &[&str] = &[
 /// and everything on the simulated I/O path. Wall-clock time, OS
 /// randomness, and OS threads here would silently invalidate the
 /// crash-matrix torture harness and replay-equivalence proptests.
-pub const DETERMINISM_CRATES: &[&str] = &["sim", "core", "pfs", "mpiio"];
+/// `chaos` is included because its whole value proposition is
+/// seed-reproducible runs: the same seed must replay byte-identically,
+/// so ambient entropy or wall-clock reads there are bugs (the one
+/// seeded RNG carries a justified allow at its seeding site).
+pub const DETERMINISM_CRATES: &[&str] = &["sim", "core", "pfs", "mpiio", "chaos"];
 
 /// Crates whose *library* code must be panic-free: the middleware sits on
 /// every I/O path, so a panic is an availability bug (ECI-Cache/LBICA
 /// treat cache-server failure as first-order). `lint` is included for the
 /// macro/`unwrap` checks so the tool holds itself to the bar it enforces.
-pub const PANIC_CRATES: &[&str] = &["core", "pfs", "mpiio", "lint"];
+/// `chaos` is included because the harness must report a violation, not
+/// die: an engine panic inside a scheduled run is itself converted to a
+/// finding (`run_caught`), which only works if the harness around the
+/// catch is panic-free.
+pub const PANIC_CRATES: &[&str] = &["core", "pfs", "mpiio", "lint", "chaos"];
 
 /// Crates additionally checked for panicking slice/array indexing.
 /// Narrower than [`PANIC_CRATES`]: the middleware crates only, per the
@@ -44,6 +52,8 @@ pub const INDEX_CRATES: &[&str] = &["core", "pfs", "mpiio"];
 pub const SERIALIZATION_FILES: &[&str] = &[
     "crates/core/src/durability/journal.rs",
     "crates/mpiio/src/report.rs",
+    "crates/pfs/src/faults.rs",
+    "crates/chaos/src/report.rs",
 ];
 
 /// Function-name fragments that mark a serialization path in the

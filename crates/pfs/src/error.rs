@@ -20,6 +20,19 @@ pub enum PfsError {
         /// Number of servers in the file system.
         count: usize,
     },
+    /// A direct store access (bypass path) hit a server whose store is
+    /// full: the write had no effect on any server.
+    NoSpace {
+        /// The full server's index.
+        server: usize,
+    },
+    /// A direct store access (bypass path) touched a bad device sector on
+    /// a server: the operation had no effect on any server, and the same
+    /// range fails the same way until the fault script changes.
+    MediaError {
+        /// The failing server's index.
+        server: usize,
+    },
 }
 
 impl std::fmt::Display for PfsError {
@@ -31,6 +44,12 @@ impl std::fmt::Display for PfsError {
             PfsError::EmptyRequest => write!(f, "request has zero length"),
             PfsError::BadServer { index, count } => {
                 write!(f, "server index {index} out of range (have {count})")
+            }
+            PfsError::NoSpace { server } => {
+                write!(f, "no space on server {server}")
+            }
+            PfsError::MediaError { server } => {
+                write!(f, "media error on server {server}")
             }
         }
     }
@@ -58,5 +77,11 @@ mod tests {
         assert!(PfsError::BadServer { index: 9, count: 4 }
             .to_string()
             .contains("out of range"));
+        assert!(PfsError::NoSpace { server: 2 }
+            .to_string()
+            .contains("no space on server 2"));
+        assert!(PfsError::MediaError { server: 0 }
+            .to_string()
+            .contains("media error on server 0"));
     }
 }

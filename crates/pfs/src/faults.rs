@@ -33,6 +33,15 @@ pub enum IoFault {
     /// A transient I/O error (controller hiccup, dropped RPC). The
     /// operation had no effect and may be retried.
     Transient,
+    /// The server's store is full (`ENOSPC`): the write had no effect.
+    /// Not retryable against the same server until space frees; reads are
+    /// unaffected.
+    NoSpace,
+    /// A media error (`EIO`): the addressed device range hit a bad
+    /// sector. The operation had no effect, and retrying the same range
+    /// against the same server fails the same way — the data there is
+    /// gone (reads) or unwritable (writes).
+    Media,
 }
 
 impl std::fmt::Display for IoFault {
@@ -40,6 +49,8 @@ impl std::fmt::Display for IoFault {
         match self {
             IoFault::Offline => write!(f, "server offline"),
             IoFault::Transient => write!(f, "transient i/o error"),
+            IoFault::NoSpace => write!(f, "no space on device"),
+            IoFault::Media => write!(f, "media error"),
         }
     }
 }
@@ -107,6 +118,32 @@ pub enum ServerFault {
         probability: f64,
         /// Service-time multiplier on a tail hit (must be ≥ 1).
         factor: f64,
+    },
+    /// In `[from, until)` the server's store is full: every write
+    /// sub-request completes with [`IoFault::NoSpace`] and no store
+    /// effect, while reads stay healthy. Models an SSD cache tier at
+    /// capacity (ECI-Cache's steady-state regime) — the layer above must
+    /// degrade (admit to OPFS, stall the journal) rather than fail.
+    SpaceExhausted {
+        /// Window start.
+        from: SimTime,
+        /// Window end (exclusive; `SimTime::MAX` for "never frees").
+        until: SimTime,
+    },
+    /// From `from` onward, a deterministic set of device sectors is bad:
+    /// any sub-request touching one completes with [`IoFault::Media`] and
+    /// no store effect. The bad-sector map is a pure function of
+    /// `(seed, bad_ppm)` via
+    /// [`s4d_storage::sector_is_bad`],
+    /// so the same seed always corrupts the same ranges. Unlike
+    /// [`ServerFault::Crash`], stored data outside bad sectors survives.
+    MediaErrors {
+        /// Onset instant (bad sectors exist from here on).
+        from: SimTime,
+        /// Seed of the deterministic bad-sector map.
+        seed: u64,
+        /// Bad-sector density in parts per million, in `(0, 1_000_000]`.
+        bad_ppm: u32,
     },
     /// From `since`, operations that *start* do not complete: they park in
     /// the service slot (occupying it, backing up the queue) until
@@ -221,6 +258,15 @@ impl FaultPlan {
                 assert!(
                     factor.is_finite() && factor >= 1.0,
                     "tail factor must be >= 1"
+                );
+            }
+            ServerFault::SpaceExhausted { from, until } => {
+                assert!(until > from, "space-exhaustion window must be non-empty");
+            }
+            ServerFault::MediaErrors { bad_ppm, .. } => {
+                assert!(
+                    bad_ppm > 0 && bad_ppm <= 1_000_000,
+                    "bad_ppm must be in (0, 1_000_000]"
                 );
             }
             ServerFault::Stall { since, release } => {
@@ -365,6 +411,34 @@ impl FaultPlan {
             }
         }
         state
+    }
+
+    /// True if a space-exhaustion window covers `now`: writes fail with
+    /// [`IoFault::NoSpace`], reads are unaffected.
+    pub fn no_space_at(&self, now: SimTime) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, ServerFault::SpaceExhausted { from, until }
+                if *from <= now && now < *until)
+        })
+    }
+
+    /// The active media-error map at `now`, if any: `(seed, bad_ppm)` of
+    /// the earliest-onset [`ServerFault::MediaErrors`] whose `from` has
+    /// passed (media damage is permanent, so there is no window end; the
+    /// earliest onset wins so overlapping scripts stay deterministic).
+    pub fn media_map_at(&self, now: SimTime) -> Option<(u64, u32)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                ServerFault::MediaErrors {
+                    from,
+                    seed,
+                    bad_ppm,
+                } if *from <= now => Some((*from, *seed, *bad_ppm)),
+                _ => None,
+            })
+            .min_by_key(|&(from, seed, ppm)| (from, seed, ppm))
+            .map(|(_, seed, ppm)| (seed, ppm))
     }
 
     /// True if any crash instant lies in `(since, now]` — the caller must
@@ -601,6 +675,55 @@ mod tests {
         });
         assert_eq!(forever.stall_at(t(19)), StallState::Forever);
         assert_eq!(forever.stall_at(t(16)), StallState::Until(t(30)));
+    }
+
+    #[test]
+    fn space_exhaustion_is_windowed() {
+        let p = FaultPlan::new().with(ServerFault::SpaceExhausted {
+            from: t(5),
+            until: t(10),
+        });
+        assert!(!p.no_space_at(t(4)));
+        assert!(p.no_space_at(t(5)));
+        assert!(p.no_space_at(t(9)));
+        assert!(!p.no_space_at(t(10)), "window end is exclusive");
+    }
+
+    #[test]
+    fn media_map_onset_is_permanent_and_earliest_wins() {
+        let p = FaultPlan::new()
+            .with(ServerFault::MediaErrors {
+                from: t(8),
+                seed: 99,
+                bad_ppm: 100,
+            })
+            .with(ServerFault::MediaErrors {
+                from: t(3),
+                seed: 7,
+                bad_ppm: 1000,
+            });
+        assert_eq!(p.media_map_at(t(2)), None);
+        assert_eq!(p.media_map_at(t(3)), Some((7, 1000)));
+        assert_eq!(p.media_map_at(t(100)), Some((7, 1000)), "earliest onset");
+    }
+
+    #[test]
+    #[should_panic(expected = "space-exhaustion window")]
+    fn rejects_empty_space_window() {
+        FaultPlan::new().with(ServerFault::SpaceExhausted {
+            from: t(5),
+            until: t(5),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "bad_ppm")]
+    fn rejects_zero_media_density() {
+        FaultPlan::new().with(ServerFault::MediaErrors {
+            from: t(0),
+            seed: 1,
+            bad_ppm: 0,
+        });
     }
 
     #[test]

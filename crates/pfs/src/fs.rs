@@ -350,7 +350,11 @@ impl Pfs {
     ///
     /// # Errors
     ///
-    /// Returns [`PfsError::UnknownFile`] if the id is not known.
+    /// Returns [`PfsError::UnknownFile`] if the id is not known,
+    /// [`PfsError::NoSpace`] if any involved server sits in a
+    /// space-exhaustion window, and [`PfsError::MediaError`] if the range
+    /// touches a bad device sector — in the fault cases no server store
+    /// is modified and the file size is unchanged (all-or-nothing).
     ///
     /// # Panics
     ///
@@ -362,17 +366,33 @@ impl Pfs {
         len: u64,
         data: Option<&[u8]>,
     ) -> Result<(), PfsError> {
-        let meta = self
-            .files
-            .get_mut(&file)
-            .ok_or(PfsError::UnknownFile(file))?;
+        if !self.files.contains_key(&file) {
+            return Err(PfsError::UnknownFile(file));
+        }
         if len == 0 {
             return Ok(());
         }
         if let Some(d) = data {
             assert!(d.len() as u64 >= len, "data shorter than extent");
         }
-        meta.size = meta.size.max(offset + len);
+        // Gate the whole call on every involved server *before* any
+        // effect, so a scripted ENOSPC/media fault fails it atomically.
+        for sub in self.layout.split(offset, len) {
+            if let Some(s) = self.servers.get(sub.server) {
+                match s.bypass_write_fault(file, sub.local_offset, sub.len) {
+                    Some(crate::faults::IoFault::NoSpace) => {
+                        return Err(PfsError::NoSpace { server: sub.server });
+                    }
+                    Some(_) => {
+                        return Err(PfsError::MediaError { server: sub.server });
+                    }
+                    None => {}
+                }
+            }
+        }
+        if let Some(meta) = self.files.get_mut(&file) {
+            meta.size = meta.size.max(offset + len);
+        }
         for sub in self.layout.split(offset, len) {
             let mut local = sub.local_offset;
             for (file_off, seg_len) in self.layout.file_segments(&sub) {
@@ -395,7 +415,9 @@ impl Pfs {
     ///
     /// # Errors
     ///
-    /// Returns [`PfsError::UnknownFile`] if the id is not known.
+    /// Returns [`PfsError::UnknownFile`] if the id is not known and
+    /// [`PfsError::MediaError`] if the range touches a bad device sector
+    /// on any involved server (the data there is unreadable).
     pub fn read_bytes(
         &self,
         file: FileId,
@@ -410,6 +432,12 @@ impl Pfs {
             let Some(server) = self.servers.get(sub.server) else {
                 continue; // layout splits stay within the server count
             };
+            if server
+                .bypass_read_fault(file, sub.local_offset, sub.len)
+                .is_some()
+            {
+                return Err(PfsError::MediaError { server: sub.server });
+            }
             if server.store_mode() == s4d_storage::StoreMode::Timing {
                 return Ok(None);
             }
@@ -569,6 +597,69 @@ mod tests {
         assert!(p.read_bytes(FileId(99), 0, 1).is_err());
         assert!(p.covered_bytes(FileId(99), 0, 1).is_err());
         assert_eq!(p.iter_files().count(), 1);
+    }
+
+    #[test]
+    fn bypass_paths_fail_atomically_under_enospc_and_media() {
+        use crate::faults::{FaultPlan, ServerFault};
+        use s4d_sim::SimTime;
+        let mut p = Pfs::hdd_cluster(
+            "cpfs",
+            StripeLayout::new(4 * KIB, 3),
+            presets::hdd_seagate_st3250(),
+            NetworkConfig::ideal(),
+            StoreMode::Functional,
+            13,
+        );
+        let f = p.create("a").unwrap();
+        p.apply_bytes(f, 0, 16, Some(&[7u8; 16])).unwrap();
+
+        // ENOSPC on server 0: a striped write crossing it fails whole
+        // with no effect anywhere and no size growth.
+        p.set_fault_plan(
+            0,
+            FaultPlan::new().with(ServerFault::SpaceExhausted {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(100),
+            }),
+        )
+        .unwrap();
+        p.advance_faults(SimTime::from_secs(1));
+        let err = p.apply_bytes(f, 0, 32 * KIB, None).unwrap_err();
+        assert_eq!(err, PfsError::NoSpace { server: 0 });
+        assert_eq!(p.meta(f).unwrap().size, 16, "failed write did not grow");
+        assert_eq!(p.covered_bytes(f, 16, 32 * KIB).unwrap(), 0);
+        // Reads still work under ENOSPC.
+        assert_eq!(
+            p.read_bytes(f, 0, 16).unwrap().unwrap(),
+            vec![7u8; 16],
+            "space exhaustion never fails reads"
+        );
+        // The window ends: writes work again.
+        p.advance_faults(SimTime::from_secs(200));
+        p.apply_bytes(f, 0, 32 * KIB, None).unwrap();
+
+        // Media errors (every sector bad) fail both directions.
+        p.set_fault_plan(
+            1,
+            FaultPlan::new().with(ServerFault::MediaErrors {
+                from: SimTime::ZERO,
+                seed: 5,
+                bad_ppm: 1_000_000,
+            }),
+        )
+        .unwrap();
+        assert_eq!(
+            p.apply_bytes(f, 0, 32 * KIB, None).unwrap_err(),
+            PfsError::MediaError { server: 1 }
+        );
+        assert_eq!(
+            p.read_bytes(f, 4 * KIB, 4 * KIB).unwrap_err(),
+            PfsError::MediaError { server: 1 }
+        );
+        // Ranges entirely on healthy servers are unaffected (stripe 0 of
+        // a 3-wide 4 KiB layout lives on server 0).
+        assert!(p.read_bytes(f, 0, 16).is_ok());
     }
 
     #[test]

@@ -425,8 +425,15 @@ impl FileServer {
     /// forever-stall parks the op: it holds the slot but no completion is
     /// scheduled, and only [`FileServer::abandon`] can free it.
     fn start(&mut self, now: SimTime, req: SubRequest) -> Option<Started> {
+        // Fault precedence is fixed (offline > no-space > media > transient)
+        // so the decision — and the RNG draws it consumes — is a pure
+        // function of the scripted plan, never of fault insertion order.
         let fault = if self.faults.offline_at(now) {
             Some(IoFault::Offline)
+        } else if req.kind.is_write() && self.faults.no_space_at(now) {
+            Some(IoFault::NoSpace)
+        } else if self.media_hit(now, req.file, req.local_offset, req.len) {
+            Some(IoFault::Media)
         } else {
             let rate = self.faults.error_rate_at(now);
             if rate > 0.0 && self.rng.chance(rate) {
@@ -492,6 +499,50 @@ impl FileServer {
         };
         self.current = Some(req);
         Some(started)
+    }
+
+    /// True if `[local_offset, local_offset+len)` of `file` maps onto a
+    /// bad device sector under the media map active at `now`. Media
+    /// damage is keyed by a deterministic per-file device mapping
+    /// (file id × file-region spacing) rather than the dynamically
+    /// assigned service base, so bypass accesses (shared-reference
+    /// reads) and serviced I/O always agree on which ranges are bad.
+    fn media_hit(&self, now: SimTime, file: FileId, local_offset: u64, len: u64) -> bool {
+        let Some((seed, ppm)) = self.faults.media_map_at(now) else {
+            return false;
+        };
+        let cap = self.capacity.max(1);
+        let base = file.0.wrapping_mul(self.file_region) % cap;
+        let lba = base.wrapping_add(local_offset) % cap;
+        s4d_storage::range_has_bad_sector(seed, ppm, lba, len)
+    }
+
+    /// Fault a *bypass* store write ([`FileServer::poke_store`]-shaped
+    /// access) of this range would hit at the server's current fault
+    /// cursor: [`IoFault::NoSpace`] inside a space-exhaustion window,
+    /// [`IoFault::Media`] on a bad sector. Offline is not reported here —
+    /// bypass effects model already-simulated I/O, and a crash already
+    /// wipes stores via [`FileServer::advance_faults`].
+    pub fn bypass_write_fault(&self, file: FileId, local_offset: u64, len: u64) -> Option<IoFault> {
+        let now = self.fault_cursor;
+        if self.faults.no_space_at(now) {
+            return Some(IoFault::NoSpace);
+        }
+        if self.media_hit(now, file, local_offset, len) {
+            return Some(IoFault::Media);
+        }
+        None
+    }
+
+    /// Fault a bypass store read of this range would hit at the server's
+    /// current fault cursor ([`IoFault::Media`] only — space exhaustion
+    /// never fails reads).
+    pub fn bypass_read_fault(&self, file: FileId, local_offset: u64, len: u64) -> Option<IoFault> {
+        if self.media_hit(self.fault_cursor, file, local_offset, len) {
+            Some(IoFault::Media)
+        } else {
+            None
+        }
     }
 
     fn base_for(&mut self, file: FileId) -> u64 {
@@ -840,6 +891,108 @@ mod tests {
         let (freed, next) = s.abandon(t1, SubReqId(4));
         assert!(freed && next.is_none());
         assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn space_exhaustion_fails_writes_but_not_reads() {
+        use crate::faults::{FaultPlan, IoFault, ServerFault};
+        let mut s = hdd_server(StoreMode::Functional);
+        s.set_fault_plan(FaultPlan::new().with(ServerFault::SpaceExhausted {
+            from: SimTime::from_secs(5),
+            until: SimTime::from_secs(50),
+        }));
+        // Healthy write before the window.
+        let mut w = req(1, IoKind::Write, 0, 4, Priority::Normal);
+        w.data = Some(vec![5; 4]);
+        let st = s.submit(SimTime::ZERO, w).unwrap();
+        s.on_complete(st.completes_at);
+        assert_eq!(s.stored_bytes(), 4);
+
+        // Inside the window: the write fails NoSpace with no store effect
+        // and hands its payload back.
+        let t = SimTime::from_secs(10);
+        let mut w = req(2, IoKind::Write, 100, 4, Priority::Normal);
+        w.data = Some(vec![6; 4]);
+        let st = s.submit(t, w).unwrap();
+        let (done, _) = s.on_complete(st.completes_at);
+        assert_eq!(done.error, Some(IoFault::NoSpace));
+        assert_eq!(done.data, Some(vec![6; 4]));
+        assert_eq!(s.stored_bytes(), 4, "failed write had no effect");
+
+        // Reads inside the window still work — the store is full, not gone.
+        let st = s
+            .submit(t, req(3, IoKind::Read, 0, 4, Priority::Normal))
+            .unwrap();
+        let (done, _) = s.on_complete(st.completes_at);
+        assert_eq!(done.error, None);
+        assert_eq!(done.covered_bytes, 4);
+
+        // Bypass query agrees inside, clears outside.
+        assert_eq!(
+            s.bypass_write_fault(FileId(0), 0, 4),
+            Some(IoFault::NoSpace)
+        );
+        s.advance_faults(SimTime::from_secs(60));
+        assert_eq!(s.bypass_write_fault(FileId(0), 0, 4), None);
+    }
+
+    #[test]
+    fn media_errors_hit_the_same_ranges_every_time() {
+        use crate::faults::{FaultPlan, IoFault, ServerFault};
+        let build = || {
+            let mut s = hdd_server(StoreMode::Functional);
+            // All sectors bad: any op from t=5 on fails with Media.
+            s.set_fault_plan(FaultPlan::new().with(ServerFault::MediaErrors {
+                from: SimTime::from_secs(5),
+                seed: 11,
+                bad_ppm: 1_000_000,
+            }));
+            s
+        };
+        let mut s = build();
+        let mut w = req(1, IoKind::Write, 0, 4, Priority::Normal);
+        w.data = Some(vec![8; 4]);
+        let st = s.submit(SimTime::ZERO, w).unwrap();
+        s.on_complete(st.completes_at);
+
+        let t = SimTime::from_secs(10);
+        let st = s
+            .submit(t, req(2, IoKind::Read, 0, 4, Priority::Normal))
+            .unwrap();
+        let (done, _) = s.on_complete(st.completes_at);
+        assert_eq!(done.error, Some(IoFault::Media));
+        assert_eq!(done.covered_bytes, 0);
+        // Retrying the same range fails the same way (permanent damage).
+        let st = s
+            .submit(
+                st.completes_at,
+                req(3, IoKind::Read, 0, 4, Priority::Normal),
+            )
+            .unwrap();
+        let (done, _) = s.on_complete(st.completes_at);
+        assert_eq!(done.error, Some(IoFault::Media));
+        // Data written before the onset is still *stored* (unlike a
+        // crash): a bypass peek sees it even though serviced reads fail.
+        assert_eq!(s.stored_bytes(), 4);
+        // Bypass queries report the hit for both directions.
+        assert_eq!(s.bypass_read_fault(FileId(0), 0, 4), Some(IoFault::Media));
+        assert_eq!(s.bypass_write_fault(FileId(0), 0, 4), Some(IoFault::Media));
+
+        // A sparse map (tiny ppm) usually leaves ranges healthy.
+        let mut sparse = hdd_server(StoreMode::Functional);
+        sparse.set_fault_plan(FaultPlan::new().with(ServerFault::MediaErrors {
+            from: SimTime::ZERO,
+            seed: 11,
+            bad_ppm: 1,
+        }));
+        let st = sparse
+            .submit(
+                SimTime::from_secs(1),
+                req(1, IoKind::Read, 0, 4, Priority::Normal),
+            )
+            .unwrap();
+        let (done, _) = sparse.on_complete(st.completes_at);
+        assert_eq!(done.error, None, "1 ppm almost never hits one sector");
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod ssd;
 mod store;
 
 pub use device::{DeviceKind, DeviceModel, IoKind};
-pub use faults::{Fault, FaultyDevice};
+pub use faults::{range_has_bad_sector, sector_is_bad, Fault, FaultyDevice, MEDIA_SECTOR_BYTES};
 pub use hdd::{HddConfig, HddModel};
 pub use seek::SeekProfile;
 pub use ssd::{SsdConfig, SsdModel};

@@ -1,0 +1,393 @@
+//! Double-crash torture: crash the middleware mid-run, then crash it
+//! *again in the middle of recovery*, and prove recovery is re-enterable
+//! and idempotent.
+//!
+//! Recovery's own destructive effects — truncating the undecodable
+//! journal suffix, discarding dropped (under-covered) extents, and the
+//! orphan sweep — are charged to a [`CrashFuse`] through
+//! [`S4dCache::recover_from_cluster_fused`]. The matrix arms the fuse at
+//! the start and the middle of every recorded recovery step, re-enters
+//! plain recovery after each mid-recovery death, and requires the final
+//! state to be byte-identical to a single uninterrupted recovery.
+
+use std::collections::BTreeSet;
+
+use s4d::cache::{CrashFuse, CrashSite, S4dCache, S4dConfig};
+use s4d::cost::CostParams;
+use s4d::mpiio::{AppRequest, Cluster, Middleware, Plan, Rank};
+use s4d::pfs::FileId;
+use s4d::sim::SimTime;
+use s4d::storage::{presets, IoKind};
+
+const KIB: u64 = 1024;
+const FILE_LEN: u64 = 1024 * KIB;
+const CAPACITY: u64 = 128 * KIB;
+const REQ: u64 = 16 * KIB;
+
+fn params() -> CostParams {
+    CostParams::from_hardware(
+        &presets::hdd_seagate_st3250(),
+        &presets::ssd_ocz_revodrive_x2(),
+        2,
+        1,
+        64 * KIB,
+    )
+    .with_network_bandwidth(117.0e6)
+    .with_cserver_op_overhead(300.0e-6, 16 * KIB)
+}
+
+fn config() -> S4dConfig {
+    S4dConfig::new(CAPACITY).with_journal_batch(1)
+}
+
+fn seed_bytes() -> Vec<u8> {
+    (0..FILE_LEN).map(|i| (i % 241) as u8).collect()
+}
+
+fn write_payload(n: u64) -> Vec<u8> {
+    (0..REQ)
+        .map(|j| ((n * 137 + j * 11 + 29) % 256) as u8)
+        .collect()
+}
+
+/// Executes a plan's write ops against the functional stores, charging
+/// the workload fuse (data vs journal sites).
+fn exec_plan(
+    cluster: &mut Cluster,
+    fuse: &std::rc::Rc<std::cell::RefCell<CrashFuse>>,
+    plan: &Plan,
+) -> bool {
+    for phase in &plan.phases {
+        for op in phase {
+            if fuse.borrow().is_dead() {
+                return false;
+            }
+            if op.kind != IoKind::Write {
+                continue;
+            }
+            let Some(data) = &op.data else {
+                continue;
+            };
+            let site = if op.app_offset.is_some() {
+                CrashSite::DataWrite
+            } else {
+                CrashSite::JournalWrite
+            };
+            let allowed = fuse.borrow_mut().consume(site, op.len);
+            let _ = cluster
+                .pfs_mut(op.tier)
+                .apply_bytes(op.file, op.offset, allowed, Some(data));
+            if allowed < op.len {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Deterministic workload: fill the cache, flush clean, overflow it so
+/// evictions journal synchronously. Crashes when `budget` runs out.
+/// Returns the cluster and the acknowledged shadow content.
+fn run_workload(
+    budget: Option<u64>,
+) -> (Cluster, Vec<u8>, std::rc::Rc<std::cell::RefCell<CrashFuse>>) {
+    let mut cluster = Cluster::paper_testbed_small(41);
+    let mut mw = S4dCache::new(config(), params());
+    let fuse = match budget {
+        Some(b) => CrashFuse::armed(b).shared(),
+        None => CrashFuse::unlimited().shared(),
+    };
+    mw.attach_crash_fuse(fuse.clone());
+    let file = mw.open(&mut cluster, Rank(0), "dc.dat").unwrap();
+    let seed = seed_bytes();
+    cluster
+        .opfs_mut()
+        .apply_bytes(file, 0, FILE_LEN, Some(&seed))
+        .unwrap();
+    let mut shadow = seed;
+    let mut op_no = 0u64;
+    let mut now_s = 0u64;
+    let offsets: Vec<u64> = (0..8)
+        .map(|i| i * REQ)
+        .chain((0..4).map(|i| 512 * KIB + i * REQ))
+        .collect();
+    for (phase, offset) in offsets.into_iter().enumerate() {
+        if phase == 8 {
+            // Flush everything clean so the overflow writes must evict.
+            for _ in 0..40 {
+                now_s += 1;
+                let poll = mw.poll_background(&mut cluster, SimTime::from_secs(now_s));
+                if fuse.borrow().is_dead() {
+                    return (cluster, shadow, fuse);
+                }
+                for plan in &poll.plans {
+                    let done = exec_plan(&mut cluster, &fuse, plan);
+                    if done && plan.tag != 0 {
+                        mw.on_plan_complete(&mut cluster, SimTime::from_secs(now_s), plan.tag);
+                    }
+                    if fuse.borrow().is_dead() {
+                        return (cluster, shadow, fuse);
+                    }
+                }
+                if !poll.work_pending {
+                    break;
+                }
+            }
+        }
+        op_no += 1;
+        let data = write_payload(op_no);
+        let req = AppRequest {
+            rank: Rank(0),
+            file,
+            kind: IoKind::Write,
+            offset,
+            len: REQ,
+            data: Some(data.clone()),
+        };
+        let plan = mw.plan_io(&mut cluster, SimTime::from_secs(now_s), &req);
+        let done = exec_plan(&mut cluster, &fuse, &plan);
+        if done && plan.tag != 0 {
+            mw.on_plan_complete(&mut cluster, SimTime::from_secs(now_s), plan.tag);
+        }
+        if fuse.borrow().is_dead() {
+            return (cluster, shadow, fuse);
+        }
+        shadow[offset as usize..(offset + REQ) as usize].copy_from_slice(&data);
+    }
+    (cluster, shadow, fuse)
+}
+
+/// The workload-crash budget: the middle of the last synchronous append,
+/// so the crashed cluster carries a torn journal suffix for recovery to
+/// truncate.
+fn crash_budget() -> u64 {
+    let (_, _, fuse) = run_workload(None);
+    let steps = fuse.borrow().steps().to_vec();
+    let last_sync = steps
+        .iter()
+        .rev()
+        .find(|s| s.site == CrashSite::SyncAppend)
+        .copied()
+        .expect("workload must journal synchronously (evictions)");
+    // One byte into the batch: the first frame is guaranteed torn, so
+    // recovery always has an undecodable suffix to truncate.
+    last_sync.start + 1
+}
+
+/// Regenerates the crashed cluster and enriches its recovery workload:
+/// orphan bytes no mapping claims (for the sweep) and a mapped extent
+/// with a discarded tail (for coverage-validation drops). Both mutations
+/// are deterministic, derived from `probe` (a plain recovery of an
+/// identical regeneration).
+fn crashed_and_mutated(budget: u64, probe: &(FileId, u64, u64)) -> (Cluster, Vec<u8>) {
+    let (mut cluster, shadow, _) = run_workload(Some(budget));
+    let cache = cluster.cpfs_mut().create_or_open("dc.dat.cache");
+    let size = cluster.cpfs().meta(cache).map(|m| m.size).unwrap_or(0);
+    // Orphan: cache bytes far past every mapping.
+    let orphan = vec![0xEEu8; 4096];
+    cluster
+        .cpfs_mut()
+        .apply_bytes(cache, size + 64 * KIB, 4096, Some(&orphan))
+        .unwrap();
+    // Under-covered extent: punch out the tail of a known clean mapping.
+    let &(c_file, c_off, len) = probe;
+    let hole = (len / 2).max(1);
+    cluster
+        .cpfs_mut()
+        .discard(c_file, c_off + len - hole, hole)
+        .unwrap();
+    (cluster, shadow)
+}
+
+/// Reads the whole file back through a recovered middleware.
+fn read_all(cluster: &mut Cluster, mw: &mut S4dCache) -> Vec<u8> {
+    let file = mw.open(cluster, Rank(0), "dc.dat").unwrap();
+    let mut out = vec![0u8; FILE_LEN as usize];
+    let step = 64 * KIB;
+    for chunk in 0..(FILE_LEN / step) {
+        let offset = chunk * step;
+        let req = AppRequest {
+            rank: Rank(0),
+            file,
+            kind: IoKind::Read,
+            offset,
+            len: step,
+            data: None,
+        };
+        let plan = mw.plan_io(cluster, SimTime::ZERO, &req);
+        for phase in &plan.phases {
+            for op in phase {
+                match op.kind {
+                    IoKind::Read => {
+                        if let Some(app) = op.app_offset {
+                            let bytes = cluster
+                                .pfs(op.tier)
+                                .read_bytes(op.file, op.offset, op.len)
+                                .unwrap()
+                                .expect("functional stores");
+                            let at = app as usize;
+                            out[at..at + op.len as usize].copy_from_slice(&bytes);
+                        }
+                    }
+                    IoKind::Write => {
+                        if let Some(data) = &op.data {
+                            let _ = cluster.pfs_mut(op.tier).apply_bytes(
+                                op.file,
+                                op.offset,
+                                op.len,
+                                Some(data),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if plan.tag != 0 {
+            mw.on_plan_complete(cluster, SimTime::ZERO, plan.tag);
+        }
+    }
+    out
+}
+
+fn extents_of(mw: &S4dCache) -> Vec<(u64, u64, u64, u64, u64, bool)> {
+    let mut v: Vec<_> = mw
+        .dmt()
+        .iter_extents()
+        .map(|(f, o, e)| (f.0, o, e.len, e.c_file.0, e.c_offset, e.dirty))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn check_invariants(cluster: &Cluster, mw: &S4dCache) {
+    let sum: u64 = mw.dmt().iter_extents().map(|(_, _, e)| e.len).sum();
+    assert_eq!(mw.space().allocated(), sum, "space vs mapping");
+    for (f, o, e) in mw.dmt().iter_extents() {
+        let covered = cluster
+            .cpfs()
+            .covered_bytes(e.c_file, e.c_offset, e.len)
+            .unwrap();
+        assert_eq!(covered, e.len, "extent ({f:?},{o}) under-covered");
+    }
+}
+
+#[test]
+fn crash_during_recovery_is_reenterable_and_idempotent() {
+    let budget = crash_budget();
+
+    // Probe: recover a pristine regeneration to learn a clean mapped
+    // extent whose tail the mutation can punch out.
+    let (mut probe_cluster, _, _) = run_workload(Some(budget));
+    let (probe_mw, _) = S4dCache::recover_from_cluster(config(), params(), &mut probe_cluster);
+    let probe = probe_mw
+        .dmt()
+        .iter_extents()
+        .filter(|(_, _, e)| !e.dirty && e.len >= 2)
+        .map(|(_, _, e)| (e.c_file, e.c_offset, e.len))
+        .min()
+        .expect("a clean extent survives the crash");
+
+    // Reference: one uninterrupted (but fully recorded) recovery.
+    let (mut ref_cluster, shadow) = crashed_and_mutated(budget, &probe);
+    let ref_fuse = CrashFuse::unlimited().shared();
+    let (mut ref_mw, ref_report) = S4dCache::recover_from_cluster_fused(
+        config(),
+        params(),
+        &mut ref_cluster,
+        Some(ref_fuse.clone()),
+    )
+    .expect("unlimited fuse cannot die");
+    let steps = ref_fuse.borrow().steps().to_vec();
+    let recorded: BTreeSet<CrashSite> = steps.iter().map(|s| s.site).collect();
+    for site in [
+        CrashSite::RecoveryTruncate,
+        CrashSite::RecoveryDrop,
+        CrashSite::RecoverySweep,
+    ] {
+        assert!(
+            recorded.contains(&site),
+            "recovery never exercised {site:?}; the double-crash matrix would not cover it"
+        );
+    }
+    assert!(ref_report.dropped_extents > 0, "the punched extent drops");
+    assert!(ref_report.orphan_bytes_discarded > 0, "the orphan is swept");
+    assert!(
+        ref_report.dropped_journal_bytes > 0,
+        "the torn tail truncates"
+    );
+    check_invariants(&ref_cluster, &ref_mw);
+    let ref_extents = extents_of(&ref_mw);
+    // A second recovery of the already-recovered reference cluster is the
+    // fixpoint every interrupted history must also converge to. (Its
+    // report re-derives the dropped extent and the journal-hole truncate
+    // from the unchanged journal — both no-op discards — by design.)
+    let (fix_mw, fix_report) = S4dCache::recover_from_cluster(config(), params(), &mut ref_cluster);
+    assert_eq!(extents_of(&fix_mw), ref_extents, "reference not a fixpoint");
+    assert_eq!(
+        fix_report.orphan_bytes_discarded, 0,
+        "the reference recovery left orphan bytes behind"
+    );
+    let ref_bytes = read_all(&mut ref_cluster, &mut ref_mw);
+    // Every acknowledged byte reads back exactly. The crash tore only an
+    // eviction's Remove batch: the victims' discards were suppressed by
+    // the same dead fuse, so the resurrected clean mappings still point
+    // at present bytes that match OPFS, and the in-flight write was never
+    // acknowledged (its payload never landed). The punched extent was
+    // clean, so dropping it re-reads from OPFS losslessly.
+    assert_eq!(ref_bytes, shadow, "reference recovery diverged from acks");
+
+    // Matrix: die at the start and the middle of every recovery step,
+    // then re-enter plain recovery and demand convergence.
+    let mut budgets = BTreeSet::new();
+    for s in &steps {
+        budgets.insert(s.start);
+        if s.len > 1 {
+            budgets.insert(s.start + s.len / 2);
+        }
+    }
+    let total: u64 = steps.iter().map(|s| s.len).sum();
+    let mut died_at: BTreeSet<CrashSite> = BTreeSet::new();
+    for &b in &budgets {
+        assert!(b < total);
+        let (mut cluster, _) = crashed_and_mutated(budget, &probe);
+        let fuse = CrashFuse::armed(b).shared();
+        let first = S4dCache::recover_from_cluster_fused(
+            config(),
+            params(),
+            &mut cluster,
+            Some(fuse.clone()),
+        );
+        assert!(first.is_none(), "budget {b} must die mid-recovery");
+        if let Some(s) = fuse.borrow().steps().last() {
+            died_at.insert(s.site);
+        }
+        // Second crash happened; re-enter recovery on the half-recovered
+        // cluster. It must converge to the reference state.
+        let (mut mw2, _) = S4dCache::recover_from_cluster(config(), params(), &mut cluster);
+        check_invariants(&cluster, &mw2);
+        assert_eq!(
+            extents_of(&mw2),
+            ref_extents,
+            "budget {b}: re-entered recovery diverged from single recovery"
+        );
+        let bytes = read_all(&mut cluster, &mut mw2);
+        assert_eq!(
+            bytes, ref_bytes,
+            "budget {b}: re-entered recovery serves different bytes"
+        );
+        // And a third recovery lands on the exact fixpoint the reference
+        // cluster reached: identical extents AND an identical report,
+        // regardless of where the second crash interrupted the first
+        // recovery.
+        let (mw3, report3) = S4dCache::recover_from_cluster(config(), params(), &mut cluster);
+        assert_eq!(extents_of(&mw3), ref_extents, "budget {b}: not a fixpoint");
+        assert_eq!(report3, fix_report, "budget {b}: fixpoint report differs");
+    }
+    for site in [
+        CrashSite::RecoveryTruncate,
+        CrashSite::RecoveryDrop,
+        CrashSite::RecoverySweep,
+    ] {
+        assert!(died_at.contains(&site), "no budget died at {site:?}");
+    }
+}

@@ -52,8 +52,12 @@ fn workspace_lints_clean() {
 fn workspace_report_matches_the_pinned_snapshot() {
     let report = report();
     assert_eq!(report.errors(), 0, "the workspace is pinned violation-free");
+    // 26 = the long-standing 24 plus the two findings covered by the
+    // reviewed allow(determinism) at the chaos RNG's single seeding
+    // site (crates/chaos/src/rng.rs — a seeded pure generator is the
+    // point of the harness; the seed is the run's identity).
     assert_eq!(
-        report.suppressed, 24,
+        report.suppressed, 26,
         "pragma-suppression count drifted — a pragma was added or \
          retired without updating the pinned snapshot (suppressed = \
          lexical `panic` findings + the site-anchored `panic-path` \
