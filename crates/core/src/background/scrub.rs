@@ -101,8 +101,9 @@ impl S4dCache {
             if budget == 0 {
                 break;
             }
-            // s4d-lint: allow(panic) — index is taken modulo `targets.len()`, which the loop guard keeps non-zero; panic-path witness: run → handle → background_wake → poll_background → background_poll → run_scrub
-            let (f, o) = targets[(start + k) % targets.len()];
+            let Some(&(f, o)) = targets.get((start + k) % targets.len()) else {
+                break; // modulo of a non-empty vec is always in range
+            };
             match self.scrub_extent(cluster, f, o) {
                 None => return,
                 Some(scanned) => {

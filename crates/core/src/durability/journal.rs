@@ -55,8 +55,11 @@ const CRC32_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
-        // s4d-lint: allow(panic) — index is masked to 0xFF, always < the 256-entry table; panic-path witness: pub fn crc32 is itself the API root
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        let e = CRC32_TABLE
+            .get(((crc ^ u32::from(b)) & 0xFF) as usize)
+            .copied()
+            .unwrap_or(0); // masked to 0xFF, always < the 256-entry table
+        crc = (crc >> 8) ^ e;
     }
     !crc
 }

@@ -1,0 +1,992 @@
+//! Per-function control-flow graphs, built over the same shallow token
+//! walk the item parser uses — no expression trees, no types.
+//!
+//! Each [`crate::items::FnItem`] body becomes a graph of [`Block`]s:
+//! straight-line runs of tokens split at `if`/`else` chains, `match`
+//! arms, loops (`loop`/`while`/`for`, with back-edges), `let … else`
+//! divergence, the `?` operator, and `return`/`break`/`continue` early
+//! exits. The function's ordered [`crate::items::Event`]s are attached to
+//! the block executing them, so the dataflow layer ([`crate::dataflow`])
+//! can run must/may analyses over real paths instead of lexical order.
+//!
+//! The builder is deliberately conservative in the same direction as the
+//! rest of the pipeline: anything it does not recognize is treated as
+//! straight-line code in the current block (more paths merged, never an
+//! impossible split), and unreachable blocks (after `return`, `break`,
+//! `continue`) start from the meet identity so dead code can neither
+//! establish nor destroy facts.
+//!
+//! Beyond blocks and edges the builder records the *binding structure*
+//! the typestate rule needs: every `let` / `if let` / `while let` /
+//! `for` pattern and every `match` arm pattern becomes a [`PatBind`]
+//! with its pattern span and its initializer/scrutinee span, and
+//! `matches!(…)` second arguments are recorded as pattern-position
+//! spans. Tokens inside pattern spans are *deconstruction*, not
+//! construction — the rules use [`Cfg::in_pattern`] to tell the two
+//! apart.
+
+use std::ops::Range;
+
+use crate::items::FnItem;
+use crate::source::{match_brace, SourceFile};
+
+/// Index of a block within its function's [`Cfg`].
+pub type BlockId = usize;
+
+/// Sentinel in the token→block map for tokens the walk skipped (nested
+/// `fn` bodies).
+const UNMAPPED: u32 = u32::MAX;
+
+/// One basic block: a straight-line run of tokens with its attached
+/// events and successor edges.
+#[derive(Debug)]
+pub struct Block {
+    /// What split created the block — for path-witness rendering
+    /// (`"entry"`, `"then"`, `"else"`, `"arm"`, `"loop"`, `"join"`, …).
+    pub label: &'static str,
+    /// 1-based line of the block's first attached token (the function's
+    /// own line until a token attaches).
+    pub line: u32,
+    /// Indices into the function's event list, in execution order.
+    pub events: Vec<usize>,
+    /// Successor block ids.
+    pub succs: Vec<BlockId>,
+}
+
+/// One binding pattern with its right-hand side: a `let`/`if let`/
+/// `while let`/`for` pattern, or a `match` arm pattern (whose `init` is
+/// the shared scrutinee span).
+#[derive(Debug)]
+pub struct PatBind {
+    /// Code-token range of the pattern itself.
+    pub span: Range<usize>,
+    /// Code-token range of the initializer / scrutinee / iterated
+    /// expression the pattern destructures.
+    pub init: Range<usize>,
+}
+
+/// The control-flow graph of one function body.
+#[derive(Debug)]
+pub struct Cfg {
+    /// The blocks; `blocks[entry]` is where execution starts.
+    pub blocks: Vec<Block>,
+    /// Entry block id.
+    pub entry: BlockId,
+    /// The single synthetic exit block (every `return`, `?`-propagation,
+    /// and body fallthrough edges here).
+    pub exit: BlockId,
+    /// Code-token range of the body this graph covers.
+    pub body: Range<usize>,
+    /// Block executing each event (parallel to the function's events).
+    pub ev_block: Vec<BlockId>,
+    /// Binding patterns (let / if-let / while-let / for / match arms).
+    pub pats: Vec<PatBind>,
+    /// Pattern-position spans from `matches!(…)` second arguments.
+    pub macro_pats: Vec<Range<usize>>,
+    /// Body-relative token → block map (`UNMAPPED` for skipped tokens).
+    tok_block: Vec<u32>,
+}
+
+impl Cfg {
+    /// Builds the CFG for one function. `nested` is the carve-out list of
+    /// inner `fn` spans (the same ranges the event extractor skips).
+    pub fn build(file: &SourceFile, f: &FnItem, nested: &[Range<usize>]) -> Cfg {
+        Builder::new(file, f, nested).run()
+    }
+
+    /// The block a body token executes in, if the walk mapped it.
+    pub fn block_of_tok(&self, tok: usize) -> Option<BlockId> {
+        if !self.body.contains(&tok) {
+            return None;
+        }
+        match self.tok_block[tok - self.body.start] {
+            UNMAPPED => None,
+            b => Some(b as BlockId),
+        }
+    }
+
+    /// True when `tok` sits in pattern (deconstruction) position: inside
+    /// a binding pattern or a `matches!` pattern argument.
+    pub fn in_pattern(&self, tok: usize) -> bool {
+        self.pats.iter().any(|p| p.span.contains(&tok))
+            || self.macro_pats.iter().any(|r| r.contains(&tok))
+    }
+
+    /// Predecessor lists (derived from the successor edges).
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Blocks reachable from the entry block.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// True when some path leads from `from` to `to` (following edges;
+    /// `from == to` counts only if `from` lies on a cycle — same-block
+    /// ordering is the caller's job, it has the event positions).
+    pub fn reaches(&self, from: BlockId, to: BlockId) -> bool {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack: Vec<BlockId> = self.blocks[from].succs.clone();
+        while let Some(b) = stack.pop() {
+            if b == to {
+                return true;
+            }
+            if !seen[b] {
+                seen[b] = true;
+                stack.extend(self.blocks[b].succs.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Shortest path `from → … → to` through blocks for which `ok` holds
+    /// (the endpoints are exempt from the filter), rendered as block ids.
+    /// Used to materialize a violating path as a witness.
+    pub fn path_via<F: Fn(BlockId) -> bool>(
+        &self,
+        from: BlockId,
+        to: BlockId,
+        ok: F,
+    ) -> Option<Vec<BlockId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut parent = vec![usize::MAX; self.blocks.len()];
+        let mut queue = std::collections::VecDeque::new();
+        parent[from] = from;
+        queue.push_back(from);
+        while let Some(b) = queue.pop_front() {
+            for &s in &self.blocks[b].succs {
+                if parent[s] != usize::MAX {
+                    continue;
+                }
+                if s != to && !ok(s) {
+                    continue;
+                }
+                parent[s] = b;
+                if s == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = parent[cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(s);
+            }
+        }
+        None
+    }
+}
+
+/// One loop context on the builder's stack.
+struct LoopCtx {
+    /// `continue` target (the loop-head block).
+    head: BlockId,
+    /// `break` target (the block after the loop).
+    after: BlockId,
+    /// Loop label, if the loop was written `'name: loop { … }`.
+    label: Option<String>,
+}
+
+struct Builder<'a> {
+    file: &'a SourceFile,
+    f: &'a FnItem,
+    nested: &'a [Range<usize>],
+    blocks: Vec<Block>,
+    exit: BlockId,
+    cur: BlockId,
+    loops: Vec<LoopCtx>,
+    next_ev: usize,
+    ev_block: Vec<BlockId>,
+    pats: Vec<PatBind>,
+    macro_pats: Vec<Range<usize>>,
+    tok_block: Vec<u32>,
+    /// Label waiting to be claimed by the next loop keyword.
+    pending_label: Option<String>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(file: &'a SourceFile, f: &'a FnItem, nested: &'a [Range<usize>]) -> Builder<'a> {
+        let blocks = vec![
+            Block {
+                label: "entry",
+                line: f.line,
+                events: Vec::new(),
+                succs: Vec::new(),
+            },
+            Block {
+                label: "exit",
+                line: f.line,
+                events: Vec::new(),
+                succs: Vec::new(),
+            },
+        ];
+        Builder {
+            file,
+            f,
+            nested,
+            blocks,
+            exit: 1,
+            cur: 0,
+            loops: Vec::new(),
+            next_ev: 0,
+            ev_block: vec![0; f.events.len()],
+            pats: Vec::new(),
+            macro_pats: Vec::new(),
+            tok_block: vec![UNMAPPED; f.body.len()],
+            pending_label: None,
+        }
+    }
+
+    fn run(mut self) -> Cfg {
+        self.walk(self.f.body.clone());
+        let cur = self.cur;
+        self.edge(cur, self.exit);
+        Cfg {
+            blocks: self.blocks,
+            entry: 0,
+            exit: self.exit,
+            body: self.f.body.clone(),
+            ev_block: self.ev_block,
+            pats: self.pats,
+            macro_pats: self.macro_pats,
+            tok_block: self.tok_block,
+        }
+    }
+
+    fn new_block(&mut self, label: &'static str) -> BlockId {
+        self.blocks.push(Block {
+            label,
+            line: 0,
+            events: Vec::new(),
+            succs: Vec::new(),
+        });
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Attaches token `i` (and any events anchored on it) to the current
+    /// block.
+    fn touch(&mut self, i: usize) {
+        if self.f.body.contains(&i) {
+            self.tok_block[i - self.f.body.start] = self.cur as u32;
+        }
+        let line = self.file.line_of(i);
+        if self.blocks[self.cur].line == 0 {
+            self.blocks[self.cur].line = line;
+        }
+        while self.next_ev < self.f.events.len() && self.f.events[self.next_ev].tok <= i {
+            if self.f.events[self.next_ev].tok == i {
+                self.ev_block[self.next_ev] = self.cur;
+                let ev = self.next_ev;
+                self.blocks[self.cur].events.push(ev);
+            }
+            self.next_ev += 1;
+        }
+    }
+
+    /// True when token `i` starts a nested-`fn` carve-out; returns its end.
+    fn nested_end(&self, i: usize) -> Option<usize> {
+        self.nested.iter().find(|n| n.contains(&i)).map(|n| n.end)
+    }
+
+    /// Scans forward from `i` for the first `{` at paren/bracket depth 0
+    /// (the body brace of an `if`/`while`/`for`/`match` header).
+    fn body_brace(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < end {
+            if self.file.punct_is(j, '(') || self.file.punct_is(j, '[') {
+                depth += 1;
+            } else if self.file.punct_is(j, ')') || self.file.punct_is(j, ']') {
+                depth -= 1;
+            } else if self.file.punct_is(j, '{') && depth <= 0 {
+                return j;
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Scans forward for the first `;` at full depth 0 (statement end).
+    fn stmt_end(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < end {
+            if self.file.punct_is(j, '(')
+                || self.file.punct_is(j, '[')
+                || self.file.punct_is(j, '{')
+            {
+                depth += 1;
+            } else if self.file.punct_is(j, ')')
+                || self.file.punct_is(j, ']')
+                || self.file.punct_is(j, '}')
+            {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            } else if (self.file.punct_is(j, ';') || self.file.punct_is(j, ',')) && depth == 0 {
+                return j;
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Records the binding pattern of a `let` (including `if let` /
+    /// `while let`) starting at the `let` keyword. Returns the `=` token
+    /// index, if the statement has an initializer before `limit`.
+    fn record_let_pat(&mut self, let_tok: usize, limit: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut j = let_tok + 1;
+        let mut colon = None;
+        while j < limit {
+            if self.file.punct_is(j, '(')
+                || self.file.punct_is(j, '[')
+                || self.file.punct_is(j, '{')
+            {
+                depth += 1;
+            } else if self.file.punct_is(j, ')')
+                || self.file.punct_is(j, ']')
+                || self.file.punct_is(j, '}')
+            {
+                depth -= 1;
+            } else if depth == 0 && self.file.punct_is(j, ':') && colon.is_none() {
+                // Type annotation: the pattern ends here. `::` paths
+                // inside patterns are two `:` tokens — skip pairs.
+                if self.file.punct_is(j + 1, ':') {
+                    j += 2;
+                    continue;
+                }
+                colon = Some(j);
+            } else if depth == 0 && self.file.punct_is(j, '=') && !self.file.punct_is(j + 1, '=') {
+                let span_end = colon.unwrap_or(j);
+                let init_end = self.stmt_end(j + 1, limit);
+                self.pats.push(PatBind {
+                    span: let_tok + 1..span_end,
+                    init: j + 1..init_end,
+                });
+                return Some(j);
+            } else if depth == 0 && self.file.punct_is(j, ';') {
+                return None;
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// The main walk: processes `range` token by token, splitting blocks
+    /// at control flow, leaving `self.cur` at the fall-through block.
+    fn walk(&mut self, range: Range<usize>) {
+        let mut i = range.start;
+        while i < range.end {
+            if let Some(end) = self.nested_end(i) {
+                i = end;
+                continue;
+            }
+            match self.file.ident(i) {
+                Some("if") => i = self.handle_if(i, range.end),
+                Some("match") => i = self.handle_match(i, range.end),
+                Some("loop") => i = self.handle_loop(i, range.end),
+                Some("while") => i = self.handle_while(i, range.end),
+                Some("for") if self.file.punct_is(i.wrapping_sub(1), '<') => {
+                    // `for<'a>` higher-ranked bound, not a loop.
+                    self.touch(i);
+                    i += 1;
+                }
+                Some("for") => i = self.handle_for(i, range.end),
+                Some("return") => i = self.handle_return(i, range.end),
+                Some("break") => i = self.handle_jump(i, range.end, false),
+                Some("continue") => i = self.handle_jump(i, range.end, true),
+                Some("let") => {
+                    self.touch(i);
+                    self.record_let_pat(i, self.stmt_end(i + 1, range.end));
+                    i += 1;
+                }
+                Some("else") => {
+                    // A bare `else` (the if-handler consumes its own):
+                    // `let … else { diverge }`.
+                    i = self.handle_let_else(i, range.end);
+                }
+                Some("matches") if self.file.punct_is(i + 1, '!') => {
+                    i = self.handle_matches_macro(i, range.end);
+                }
+                _ => {
+                    if self.file.punct_is(i, '?') && self.file.ident(i + 1) != Some("Sized") {
+                        self.touch(i);
+                        let next = self.new_block("after-try");
+                        let cur = self.cur;
+                        self.edge(cur, self.exit);
+                        self.edge(cur, next);
+                        self.cur = next;
+                        i += 1;
+                        continue;
+                    }
+                    // A lifetime immediately before `:` labels the next
+                    // loop (`'outer: loop { … }`).
+                    if let Some(crate::lexer::Tok::Lifetime(name)) =
+                        self.file.code.get(i).map(|t| &t.tok)
+                    {
+                        if self.file.punct_is(i + 1, ':') {
+                            self.pending_label = Some(name.clone());
+                        }
+                    }
+                    self.touch(i);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// `if cond { … } [else if … ] [else { … }]`. Returns the resume
+    /// index past the whole chain.
+    fn handle_if(&mut self, i: usize, end: usize) -> usize {
+        self.touch(i);
+        let brace = self.body_brace(i + 1, end);
+        if self.file.ident(i + 1) == Some("let") {
+            self.record_let_pat(i + 1, brace);
+        }
+        // Condition tokens evaluate in the current block.
+        self.walk(i + 1..brace);
+        if brace >= end {
+            return end;
+        }
+        let head = self.cur;
+        let close = match_brace(&self.file.code, brace);
+        let then = self.new_block("then");
+        self.edge(head, then);
+        self.cur = then;
+        self.touch(brace);
+        self.walk(brace + 1..close.min(end));
+        let then_end = self.cur;
+
+        // `else` / `else if` chain.
+        if close + 1 < end && self.file.ident(close + 1) == Some("else") {
+            if self.file.ident(close + 2) == Some("if") {
+                let cond = self.new_block("else");
+                self.edge(head, cond);
+                self.cur = cond;
+                let resume = self.handle_if(close + 2, end);
+                let chain_end = self.cur;
+                let join = self.new_block("join");
+                self.edge(then_end, join);
+                self.edge(chain_end, join);
+                self.cur = join;
+                return resume;
+            }
+            let eb = self.body_brace(close + 2, end);
+            if eb < end {
+                let eclose = match_brace(&self.file.code, eb);
+                let els = self.new_block("else");
+                self.edge(head, els);
+                self.cur = els;
+                self.touch(eb);
+                self.walk(eb + 1..eclose.min(end));
+                let else_end = self.cur;
+                let join = self.new_block("join");
+                self.edge(then_end, join);
+                self.edge(else_end, join);
+                self.cur = join;
+                return eclose + 1;
+            }
+        }
+        let join = self.new_block("join");
+        self.edge(head, join);
+        self.edge(then_end, join);
+        self.cur = join;
+        close + 1
+    }
+
+    /// `match scrutinee { pat => body, … }` — every arm branches from the
+    /// head; no head→join edge (Rust matches are exhaustive).
+    fn handle_match(&mut self, i: usize, end: usize) -> usize {
+        self.touch(i);
+        let brace = self.body_brace(i + 1, end);
+        let scrutinee = i + 1..brace;
+        self.walk(scrutinee.clone());
+        if brace >= end {
+            return end;
+        }
+        let head = self.cur;
+        self.touch(brace);
+        let close = match_brace(&self.file.code, brace);
+        let join = self.new_block("join");
+        let mut j = brace + 1;
+        let mut any_arm = false;
+        while j < close {
+            // Pattern runs to `=>` (lexed `=` `>`) at depth 0; an `if`
+            // guard splits it.
+            let mut depth = 0i32;
+            let pat_start = j;
+            let mut guard = None;
+            let mut arrow = None;
+            while j < close {
+                if self.file.punct_is(j, '(')
+                    || self.file.punct_is(j, '[')
+                    || self.file.punct_is(j, '{')
+                {
+                    depth += 1;
+                } else if self.file.punct_is(j, ')')
+                    || self.file.punct_is(j, ']')
+                    || self.file.punct_is(j, '}')
+                {
+                    depth -= 1;
+                } else if depth == 0 && self.file.punct_is(j, '=') && self.file.punct_is(j + 1, '>')
+                {
+                    arrow = Some(j);
+                    break;
+                } else if depth == 0 && self.file.ident(j) == Some("if") && guard.is_none() {
+                    guard = Some(j);
+                }
+                j += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let pat_end = guard.unwrap_or(arrow);
+            self.pats.push(PatBind {
+                span: pat_start..pat_end,
+                init: scrutinee.clone(),
+            });
+            let arm = self.new_block("arm");
+            self.edge(head, arm);
+            self.cur = arm;
+            any_arm = true;
+            // Pattern tokens map to the arm block (deconstruction happens
+            // there); guard tokens evaluate there too.
+            self.walk(pat_start..arrow);
+            // Arm body: a brace block runs to its matching `}` (the
+            // trailing comma is optional there); an expression arm runs
+            // to `,` at depth 0 or the match close.
+            let body_end = if self.file.punct_is(arrow + 2, '{') {
+                match_brace(&self.file.code, arrow + 2).min(close)
+            } else {
+                self.stmt_end(arrow + 2, close)
+            };
+            self.walk(arrow + 2..body_end);
+            let arm_end = self.cur;
+            self.edge(arm_end, join);
+            j = body_end + 1;
+            if self.file.punct_is(j, ',') {
+                j += 1;
+            }
+        }
+        if !any_arm {
+            self.edge(head, join);
+        }
+        self.cur = join;
+        close + 1
+    }
+
+    fn claim_label(&mut self) -> Option<String> {
+        self.pending_label.take()
+    }
+
+    /// `loop { … }` — exits only via `break`.
+    fn handle_loop(&mut self, i: usize, end: usize) -> usize {
+        self.touch(i);
+        let label = self.claim_label();
+        let brace = self.body_brace(i + 1, end);
+        if brace >= end {
+            return end;
+        }
+        let close = match_brace(&self.file.code, brace);
+        let cur = self.cur;
+        let head = self.new_block("loop");
+        let after = self.new_block("after-loop");
+        self.edge(cur, head);
+        self.loops.push(LoopCtx { head, after, label });
+        self.cur = head;
+        self.touch(brace);
+        self.walk(brace + 1..close.min(end));
+        let tail = self.cur;
+        self.edge(tail, head);
+        self.loops.pop();
+        self.cur = after;
+        close + 1
+    }
+
+    /// `while cond { … }` / `while let pat = expr { … }` — the condition
+    /// re-evaluates in the head each iteration; false exits to `after`.
+    fn handle_while(&mut self, i: usize, end: usize) -> usize {
+        self.touch(i);
+        let label = self.claim_label();
+        let brace = self.body_brace(i + 1, end);
+        if brace >= end {
+            return end;
+        }
+        let close = match_brace(&self.file.code, brace);
+        let cur = self.cur;
+        let head = self.new_block("loop");
+        self.edge(cur, head);
+        self.cur = head;
+        if self.file.ident(i + 1) == Some("let") {
+            self.record_let_pat(i + 1, brace);
+        }
+        self.walk(i + 1..brace);
+        let head_end = self.cur; // `?` in the condition may have split it
+        let after = self.new_block("after-loop");
+        let body = self.new_block("then");
+        self.edge(head_end, after);
+        self.edge(head_end, body);
+        self.loops.push(LoopCtx { head, after, label });
+        self.cur = body;
+        self.touch(brace);
+        self.walk(brace + 1..close.min(end));
+        let tail = self.cur;
+        self.edge(tail, head);
+        self.loops.pop();
+        self.cur = after;
+        close + 1
+    }
+
+    /// `for pat in iter { … }` — the iterator expression evaluates once
+    /// before the head; zero iterations exit head→after directly.
+    fn handle_for(&mut self, i: usize, end: usize) -> usize {
+        self.touch(i);
+        let label = self.claim_label();
+        let brace = self.body_brace(i + 1, end);
+        if brace >= end {
+            return end;
+        }
+        // Split `pat in iter` at the `in` keyword at depth 0.
+        let mut depth = 0i32;
+        let mut in_pos = None;
+        let mut j = i + 1;
+        while j < brace {
+            if self.file.punct_is(j, '(')
+                || self.file.punct_is(j, '[')
+                || self.file.punct_is(j, '{')
+            {
+                depth += 1;
+            } else if self.file.punct_is(j, ')')
+                || self.file.punct_is(j, ']')
+                || self.file.punct_is(j, '}')
+            {
+                depth -= 1;
+            } else if depth == 0 && self.file.ident(j) == Some("in") {
+                in_pos = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let in_pos = in_pos.unwrap_or(i);
+        self.pats.push(PatBind {
+            span: i + 1..in_pos,
+            init: in_pos + 1..brace,
+        });
+        let close = match_brace(&self.file.code, brace);
+        // Pattern and iterator tokens evaluate before the loop begins.
+        self.walk(i + 1..brace);
+        let cur = self.cur;
+        let head = self.new_block("loop");
+        let after = self.new_block("after-loop");
+        let body = self.new_block("then");
+        self.edge(cur, head);
+        self.edge(head, after);
+        self.edge(head, body);
+        self.loops.push(LoopCtx { head, after, label });
+        self.cur = body;
+        self.touch(brace);
+        self.walk(brace + 1..close.min(end));
+        let tail = self.cur;
+        self.edge(tail, head);
+        self.loops.pop();
+        self.cur = after;
+        close + 1
+    }
+
+    /// `return [expr] ;` — the value expression evaluates first, then the
+    /// edge to exit; what follows starts a fresh unreachable block.
+    fn handle_return(&mut self, i: usize, end: usize) -> usize {
+        self.touch(i);
+        let stop = self.stmt_end(i + 1, end);
+        self.walk(i + 1..stop);
+        let cur = self.cur;
+        self.edge(cur, self.exit);
+        self.cur = self.new_block("dead");
+        stop
+    }
+
+    /// `break ['label] [expr]` / `continue ['label]`.
+    fn handle_jump(&mut self, i: usize, end: usize, is_continue: bool) -> usize {
+        self.touch(i);
+        let label = match self.file.code.get(i + 1).map(|t| &t.tok) {
+            Some(crate::lexer::Tok::Lifetime(name)) => Some(name.clone()),
+            _ => None,
+        };
+        let stop = self.stmt_end(i + 1, end);
+        self.walk(i + 1..stop);
+        let target = self
+            .loops
+            .iter()
+            .rev()
+            .find(|l| label.is_none() || l.label == label)
+            .map(|l| if is_continue { l.head } else { l.after });
+        let cur = self.cur;
+        if let Some(t) = target {
+            self.edge(cur, t);
+            self.cur = self.new_block("dead");
+        }
+        // `break 'label` of a labeled *block* has no loop context: leave
+        // control linear (conservative merge).
+        stop
+    }
+
+    /// `let … else { diverging }` — the happy path skips the else block;
+    /// the else block must diverge, so it does not rejoin.
+    fn handle_let_else(&mut self, i: usize, end: usize) -> usize {
+        self.touch(i);
+        let brace = if self.file.punct_is(i + 1, '{') {
+            i + 1
+        } else {
+            self.body_brace(i + 1, end)
+        };
+        if brace >= end {
+            return end;
+        }
+        let close = match_brace(&self.file.code, brace);
+        let head = self.cur;
+        let els = self.new_block("else");
+        self.edge(head, els);
+        self.cur = els;
+        self.touch(brace);
+        self.walk(brace + 1..close.min(end));
+        let els_end = self.cur;
+        let cont = self.new_block("join");
+        self.edge(head, cont);
+        // A well-formed let-else body diverges (return/break/panic), so
+        // `els_end` is usually a dead block; the edge is harmless then.
+        self.edge(els_end, cont);
+        self.cur = cont;
+        close + 1
+    }
+
+    /// `matches!(expr, pattern)` — the second argument is pattern
+    /// position, recorded so it never reads as a construction.
+    fn handle_matches_macro(&mut self, i: usize, end: usize) -> usize {
+        self.touch(i);
+        if !self.file.punct_is(i + 2, '(') {
+            return i + 1;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut comma = None;
+        while j < end {
+            if self.file.punct_is(j, '(')
+                || self.file.punct_is(j, '[')
+                || self.file.punct_is(j, '{')
+            {
+                depth += 1;
+            } else if self.file.punct_is(j, ')')
+                || self.file.punct_is(j, ']')
+                || self.file.punct_is(j, '}')
+            {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 && self.file.punct_is(j, ',') && comma.is_none() {
+                comma = Some(j);
+            }
+            j += 1;
+        }
+        if let Some(c) = comma {
+            self.macro_pats.push(c + 1..j);
+        }
+        // The macro's tokens still walk normally (the scrutinee may carry
+        // events); only the pattern span is recorded.
+        i + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use std::path::PathBuf;
+
+    fn cfg_of(src: &str, name: &str) -> (SourceFile, Cfg, Vec<crate::items::Event>) {
+        let f = SourceFile::parse(
+            PathBuf::from("crates/core/src/x.rs"),
+            "crates/core/src/x.rs".into(),
+            src,
+        );
+        let idx = items::index(&f);
+        let fi = idx.fns.iter().position(|i| i.name == name).unwrap();
+        let item = &idx.fns[fi];
+        let cfg = Cfg::build(&f, item, &item.nested);
+        let events = item.events.clone();
+        (f, cfg, events)
+    }
+
+    fn block_calling(cfg: &Cfg, events: &[crate::items::Event], callee: &str) -> BlockId {
+        let ev = events
+            .iter()
+            .position(
+                |e| matches!(&e.kind, crate::items::EventKind::Call { name, .. } if name == callee),
+            )
+            .unwrap();
+        cfg.ev_block[ev]
+    }
+
+    #[test]
+    fn straight_line_is_one_block_plus_exit() {
+        let (_, cfg, events) = cfg_of("fn f() { a(); b(); }", "f");
+        let ba = block_calling(&cfg, &events, "a");
+        let bb = block_calling(&cfg, &events, "b");
+        assert_eq!(ba, bb, "straight-line calls share a block");
+        assert!(cfg.blocks[ba].succs.contains(&cfg.exit));
+    }
+
+    #[test]
+    fn if_else_branches_and_rejoins() {
+        let (_, cfg, events) = cfg_of("fn f() { if c() { t(); } else { e(); } j(); }", "f");
+        let bt = block_calling(&cfg, &events, "t");
+        let be = block_calling(&cfg, &events, "e");
+        let bj = block_calling(&cfg, &events, "j");
+        let bc = block_calling(&cfg, &events, "c");
+        assert_ne!(bt, be);
+        assert!(cfg.blocks[bc].succs.contains(&bt));
+        assert!(cfg.blocks[bc].succs.contains(&be));
+        assert!(cfg.reaches(bt, bj) && cfg.reaches(be, bj));
+    }
+
+    #[test]
+    fn if_without_else_keeps_the_skip_edge() {
+        let (_, cfg, events) = cfg_of("fn f() { if c() { t(); } j(); }", "f");
+        let bc = block_calling(&cfg, &events, "c");
+        let bj = block_calling(&cfg, &events, "j");
+        let bt = block_calling(&cfg, &events, "t");
+        assert!(cfg.blocks[bc].succs.contains(&bj), "skip edge");
+        assert!(cfg.reaches(bt, bj));
+    }
+
+    #[test]
+    fn match_arms_do_not_fall_through_the_head() {
+        let (_, cfg, events) = cfg_of("fn f(x: u8) { match s() { 1 => a(), _ => b() } j(); }", "f");
+        let bs = block_calling(&cfg, &events, "s");
+        let ba = block_calling(&cfg, &events, "a");
+        let bb = block_calling(&cfg, &events, "b");
+        let bj = block_calling(&cfg, &events, "j");
+        assert_ne!(ba, bb);
+        assert!(cfg.blocks[bs].succs.contains(&ba));
+        assert!(cfg.blocks[bs].succs.contains(&bb));
+        assert!(
+            !cfg.blocks[bs].succs.contains(&bj),
+            "matches are exhaustive: no head→join edge"
+        );
+        assert!(cfg.reaches(ba, bj) && cfg.reaches(bb, bj));
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_for_has_a_zero_iteration_path() {
+        let (_, cfg, events) = cfg_of("fn f(v: &[u8]) { for x in v.items() { a(); } j(); }", "f");
+        let ba = block_calling(&cfg, &events, "a");
+        let bj = block_calling(&cfg, &events, "j");
+        assert!(cfg.reaches(ba, ba), "loop body reaches itself (back-edge)");
+        let bi = block_calling(&cfg, &events, "items");
+        assert!(
+            cfg.path_via(bi, bj, |b| b != ba).is_some(),
+            "zero-iteration path skips the body"
+        );
+    }
+
+    #[test]
+    fn return_cuts_the_path_and_question_mark_splits() {
+        let (_, cfg, events) = cfg_of(
+            "fn f() -> Option<()> { if c() { return None; } a()?; b(); Some(()) }",
+            "f",
+        );
+        let bc = block_calling(&cfg, &events, "c");
+        let ba = block_calling(&cfg, &events, "a");
+        let bb = block_calling(&cfg, &events, "b");
+        assert!(cfg.reaches(bc, cfg.exit));
+        assert_ne!(ba, bb, "`?` splits the block");
+        assert!(cfg.blocks[ba].succs.contains(&cfg.exit), "`?` may return");
+        assert!(cfg.reaches(ba, bb));
+    }
+
+    #[test]
+    fn break_exits_the_loop() {
+        let (_, cfg, events) = cfg_of("fn f() { loop { if c() { break; } a(); } j(); }", "f");
+        let bj = block_calling(&cfg, &events, "j");
+        let bc = block_calling(&cfg, &events, "c");
+        assert!(cfg.reaches(bc, bj), "break reaches the after-loop block");
+        let (_, cfg2, events2) = cfg_of("fn g() { loop { a(); } }", "g");
+        let ba = block_calling(&cfg2, &events2, "a");
+        assert!(
+            !cfg2.reaches(ba, cfg2.exit),
+            "a loop without break never reaches exit"
+        );
+    }
+
+    #[test]
+    fn let_else_diverges_without_rejoining() {
+        let (_, cfg, events) = cfg_of(
+            "fn f() { let Some(x) = a() else { e(); return; }; b(); }",
+            "f",
+        );
+        let be = block_calling(&cfg, &events, "e");
+        let bb = block_calling(&cfg, &events, "b");
+        assert!(cfg.reaches(be, cfg.exit));
+        let reach = cfg.reachable();
+        assert!(reach[bb], "happy path continues past the let-else");
+    }
+
+    #[test]
+    fn patterns_are_recorded_and_flagged() {
+        let (_, cfg, _) = cfg_of(
+            "fn f(p: P) { let q = P::Make { a: 1 }; match p { P::Make { a } => use_it(a), _ => {} } }",
+            "f",
+        );
+        assert!(cfg.pats.len() >= 3, "let + two arms: {:?}", cfg.pats);
+        // The arm's `P::Make` is pattern position; the let-initializer's
+        // `P::Make` is not.
+        let (f2, cfg2, _) = cfg_of(
+            "fn g(p: P) { if matches!(p, P::Make { .. }) { h(); } }",
+            "g",
+        );
+        let make_toks: Vec<usize> = (0..f2.code.len())
+            .filter(|&i| f2.ident(i) == Some("Make"))
+            .collect();
+        assert!(make_toks.iter().any(|&t| cfg2.in_pattern(t)));
+    }
+
+    #[test]
+    fn while_let_condition_reevaluates_in_the_head() {
+        let (_, cfg, events) = cfg_of(
+            "fn f(it: I) { while let Some(x) = it.step() { a(); } }",
+            "f",
+        );
+        let bs = block_calling(&cfg, &events, "step");
+        let ba = block_calling(&cfg, &events, "a");
+        assert!(cfg.reaches(ba, bs), "back-edge re-runs the condition");
+        assert!(cfg.reaches(bs, cfg.exit));
+    }
+}

@@ -13,6 +13,7 @@ pub const RULES: &[&str] = &[
     "lock-order",
     "lock-across-io",
     "durability",
+    "typestate",
     "file-budget",
     "unbounded-retry",
     // Alias: `allow(retry)` suppresses `unbounded-retry` (see pragma.rs).

@@ -1,0 +1,249 @@
+//! A small worklist dataflow framework over [`crate::cfg::Cfg`]s.
+//!
+//! Analyses are round-robin fixpoint iterations over block facts:
+//!
+//! * **forward** — a block's in-fact is the *meet* of its predecessors'
+//!   out-facts; the transfer function folds the block's events into the
+//!   out-fact. Must-analyses use intersection-like meets ("on every
+//!   path"); may-analyses use union-like meets ("on some path").
+//! * **backward** — the mirror image over successors, answering "what
+//!   will (or may) happen after this block".
+//!
+//! The meet's identity element (`top`) seeds every block except the
+//! boundary one, so unreachable blocks can neither establish nor destroy
+//! facts: a must-fact survives a join with dead code, exactly as it
+//! survives a join with no code. Facts must be drawn from finite
+//! lattices and transfers must be monotone — every analysis here is, so
+//! the iteration terminates; a hard cap guards pathological inputs
+//! anyway. Iteration counts are reported for the `--bench` cost
+//! tracking.
+
+use crate::cfg::{BlockId, Cfg};
+
+/// Result of running one analysis: the per-block *entry* facts (for
+/// forward analyses) or *exit* facts (for backward analyses), plus the
+/// out-facts on the other side, and the iteration count.
+pub struct Solution<F> {
+    /// Fact at the block's analysis entry (block start for forward,
+    /// block end for backward).
+    pub entry: Vec<F>,
+    /// Fact at the block's analysis exit (after the transfer).
+    pub exit: Vec<F>,
+    /// Worklist passes until fixpoint.
+    pub iterations: usize,
+}
+
+/// Runs a forward analysis. `boundary` seeds the entry block, `top` is
+/// the meet identity, `meet` combines predecessor out-facts, and
+/// `transfer(block, fact)` produces the block's out-fact from its
+/// in-fact.
+pub fn forward<F, M, T>(cfg: &Cfg, boundary: F, top: F, meet: M, transfer: T) -> Solution<F>
+where
+    F: Clone + PartialEq,
+    M: Fn(&F, &F) -> F,
+    T: Fn(BlockId, &F) -> F,
+{
+    let preds = cfg.preds();
+    solve(
+        cfg,
+        cfg.entry,
+        |b| preds[b].clone(),
+        boundary,
+        top,
+        meet,
+        transfer,
+    )
+}
+
+/// Runs a backward analysis: `boundary` seeds the exit block and facts
+/// flow against the edges.
+pub fn backward<F, M, T>(cfg: &Cfg, boundary: F, top: F, meet: M, transfer: T) -> Solution<F>
+where
+    F: Clone + PartialEq,
+    M: Fn(&F, &F) -> F,
+    T: Fn(BlockId, &F) -> F,
+{
+    solve(
+        cfg,
+        cfg.exit,
+        |b| cfg.blocks[b].succs.clone(),
+        boundary,
+        top,
+        meet,
+        transfer,
+    )
+}
+
+/// Hard cap on worklist passes — far above any real fixpoint depth (the
+/// facts are monotone over finite lattices), present so a pathological
+/// input degrades to an imprecise answer instead of a hang.
+const MAX_PASSES: usize = 64;
+
+fn solve<F, S, M, T>(
+    cfg: &Cfg,
+    start: BlockId,
+    sources: S,
+    boundary: F,
+    top: F,
+    meet: M,
+    transfer: T,
+) -> Solution<F>
+where
+    F: Clone + PartialEq,
+    S: Fn(BlockId) -> Vec<BlockId>,
+    M: Fn(&F, &F) -> F,
+    T: Fn(BlockId, &F) -> F,
+{
+    let n = cfg.blocks.len();
+    let sources: Vec<Vec<BlockId>> = (0..n).map(&sources).collect();
+    let mut entry: Vec<F> = vec![top.clone(); n];
+    let mut exit: Vec<F> = (0..n).map(|b| transfer(b, &top)).collect();
+    entry[start] = boundary;
+    exit[start] = transfer(start, &entry[start]);
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        // Round-robin pass in block order; block ids are roughly
+        // topological for forward edges, so forward analyses converge in
+        // a handful of passes and back-edges add one more.
+        for b in 0..n {
+            let mut inc = if b == start {
+                entry[start].clone()
+            } else {
+                top.clone()
+            };
+            for &s in &sources[b] {
+                inc = meet(&inc, &exit[s]);
+            }
+            let out = transfer(b, &inc);
+            if inc != entry[b] || out != exit[b] {
+                entry[b] = inc;
+                exit[b] = out;
+                changed = true;
+            }
+        }
+        if !changed || iterations >= MAX_PASSES {
+            break;
+        }
+    }
+    Solution {
+        entry,
+        exit,
+        iterations,
+    }
+}
+
+/// A must-style boolean meet: the fact holds only if it holds on every
+/// incoming edge (`top = true` — the vacuous truth of no paths).
+pub fn must_meet(a: &bool, b: &bool) -> bool {
+    *a && *b
+}
+
+/// A may-style boolean meet: the fact holds if it holds on any incoming
+/// edge (`top = false`).
+pub fn may_meet(a: &bool, b: &bool) -> bool {
+    *a || *b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::items::{self, EventKind};
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn analyzed(src: &str, name: &str) -> (SourceFile, Cfg, Vec<crate::items::Event>) {
+        let f = SourceFile::parse(
+            PathBuf::from("crates/core/src/x.rs"),
+            "crates/core/src/x.rs".into(),
+            src,
+        );
+        let idx = items::index(&f);
+        let k = idx.fns.iter().position(|i| i.name == name).unwrap();
+        let item = &idx.fns[k];
+        let cfg = Cfg::build(&f, item, &item.nested);
+        let events = item.events.clone();
+        (f, cfg, events)
+    }
+
+    /// "Has `mark()` been called on every path?" as a forward must-fact.
+    fn must_marked(cfg: &Cfg, events: &[crate::items::Event]) -> Solution<bool> {
+        forward(cfg, false, true, must_meet, |b, f| {
+            *f || cfg.blocks[b]
+                .events
+                .iter()
+                .any(|&e| matches!(&events[e].kind, EventKind::Call { name, .. } if name == "mark"))
+        })
+    }
+
+    #[test]
+    fn must_fact_dies_at_a_partial_join_and_survives_a_full_one() {
+        let (_, cfg, ev) = analyzed("fn f() { if c() { mark(); } use_it(); }", "f");
+        let sol = must_marked(&cfg, &ev);
+        let use_block = cfg.ev_block[ev
+            .iter()
+            .position(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "use_it"))
+            .unwrap()];
+        assert!(!sol.entry[use_block], "marked on only one branch");
+
+        let (_, cfg2, ev2) = analyzed(
+            "fn g() { if c() { mark(); } else { mark(); } use_it(); }",
+            "g",
+        );
+        let sol2 = must_marked(&cfg2, &ev2);
+        let use2 = cfg2.ev_block[ev2
+            .iter()
+            .position(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "use_it"))
+            .unwrap()];
+        assert!(sol2.entry[use2], "marked on both branches");
+    }
+
+    #[test]
+    fn unreachable_code_does_not_destroy_must_facts() {
+        // The dead block after `return` joins the exit without the mark —
+        // but it is unreachable, so the must-fact must survive at exit.
+        let (_, cfg, ev) = analyzed("fn f() { mark(); return; }", "f");
+        let sol = must_marked(&cfg, &ev);
+        assert!(sol.entry[cfg.exit], "dead fall-through is no path at all");
+    }
+
+    #[test]
+    fn backward_may_sees_future_events() {
+        // "May `mark()` still happen?" — true before the branch, false
+        // in the branch that returns first.
+        let (_, cfg, ev) = analyzed("fn f() { if c() { early(); return; } mark(); }", "f");
+        let sol = backward(&cfg, false, false, may_meet, |b, f| {
+            *f || cfg.blocks[b]
+                .events
+                .iter()
+                .any(|&e| matches!(&ev[e].kind, EventKind::Call { name, .. } if name == "mark"))
+        });
+        let early = cfg.ev_block[ev
+            .iter()
+            .position(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "early"))
+            .unwrap()];
+        let cond = cfg.ev_block[ev
+            .iter()
+            .position(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "c"))
+            .unwrap()];
+        assert!(!sol.exit[early], "the early-return path never marks");
+        assert!(sol.exit[cond], "some path from the condition marks");
+    }
+
+    #[test]
+    fn loops_reach_fixpoint_with_bounded_iterations() {
+        let (_, cfg, ev) = analyzed(
+            "fn f() { for x in xs() { if c() { mark(); } } use_it(); }",
+            "f",
+        );
+        let sol = must_marked(&cfg, &ev);
+        let use_block = cfg.ev_block[ev
+            .iter()
+            .position(|e| matches!(&e.kind, EventKind::Call { name, .. } if name == "use_it"))
+            .unwrap()];
+        assert!(!sol.entry[use_block], "the zero-iteration path never marks");
+        assert!(sol.iterations < 10, "small graph, small fixpoint");
+    }
+}

@@ -23,6 +23,11 @@ pub struct Report {
     pub suppressed: usize,
     /// Number of files checked.
     pub files: usize,
+    /// Number of pragma comment sites across the analysis scope (for the
+    /// budget gate — each site may suppress more than one finding).
+    pub pragmas: usize,
+    /// Analysis cost counters (for `--bench`).
+    pub stats: crate::summary::Stats,
 }
 
 impl Report {
@@ -55,6 +60,7 @@ pub fn lint_files(files: &[SourceFile]) -> Report {
 
     let mut report = Report {
         files: files.len(),
+        stats: analysis.stats,
         ..Report::default()
     };
     let by_path: BTreeMap<&Path, usize> = files
@@ -63,6 +69,7 @@ pub fn lint_files(files: &[SourceFile]) -> Report {
         .map(|(k, f)| (f.path.as_path(), k))
         .collect();
     let prags: Vec<Vec<Pragma>> = files.iter().map(pragmas).collect();
+    report.pragmas = prags.iter().map(Vec::len).sum();
     for d in found {
         let file_prags = by_path
             .get(d.path.as_path())
@@ -97,7 +104,8 @@ fn pragma_hygiene(file: &SourceFile, prags: &[Pragma], report: &mut Report) {
                 message,
                 hint: "format: `// s4d-lint: allow(<rule>) — <justification>`; rules: \
                        determinism, ordered-iter, panic, panic-path, lock-order, \
-                       lock-across-io, durability, file-budget, unbounded-retry",
+                       lock-across-io, durability, typestate, file-budget, \
+                       unbounded-retry",
                 severity,
                 chain: Vec::new(),
             });

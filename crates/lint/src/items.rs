@@ -78,6 +78,10 @@ pub struct FnItem {
     /// Direct events of the body, in source order, with nested function
     /// bodies excluded.
     pub events: Vec<Event>,
+    /// Token spans of inner `fn` items carved out of this body — the
+    /// event extractor skipped them, and the CFG builder
+    /// ([`crate::cfg`]) must skip the same ranges.
+    pub nested: Vec<Range<usize>>,
 }
 
 /// Everything the interprocedural layer needs from one file.
@@ -145,6 +149,7 @@ pub fn index(file: &SourceFile) -> ItemIndex {
             body: s.body.clone(),
             in_test: file.in_test_span(file.line_of(s.sig_start)),
             events,
+            nested,
         });
     }
     ItemIndex { fns, const_spans }

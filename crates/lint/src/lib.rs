@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod cfg;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
 pub mod items;

@@ -14,6 +14,10 @@ USAGE:
     s4d-lint --format=json          one JSON object per finding on stdout
                                     (summary goes to stderr)
     s4d-lint --list-rules           print the rule catalogue
+    s4d-lint --bench[=PATH]         also write analysis cost counters as
+                                    JSON (default: BENCH_lint.json)
+    s4d-lint --check-budget         also enforce crates/lint/pragma_budget.toml
+                                    (pragma-site and pinned-warning ceilings)
 
 EXIT CODES:
     0  clean (warnings allowed)
@@ -36,13 +40,23 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut json = false;
+    let mut bench: Option<PathBuf> = None;
+    let mut check_budget = false;
     let mut unknown = Vec::new();
     for a in args.iter().filter(|a| a.starts_with("--")) {
         match a.as_str() {
             "--workspace" => {}
             "--format=json" => json = true,
             "--format=human" => json = false,
-            _ => unknown.push(a),
+            "--bench" => bench = Some(PathBuf::from("BENCH_lint.json")),
+            "--check-budget" => check_budget = true,
+            other => {
+                if let Some(p) = other.strip_prefix("--bench=") {
+                    bench = Some(PathBuf::from(p));
+                } else {
+                    unknown.push(a);
+                }
+            }
         }
     }
     if !unknown.is_empty() {
@@ -55,6 +69,7 @@ fn main() -> ExitCode {
         .filter(|a| !a.starts_with("--"))
         .map(PathBuf::from)
         .collect();
+    let started = std::time::Instant::now();
     let result = if paths.is_empty() {
         engine::lint_workspace(&root)
     } else {
@@ -95,11 +110,92 @@ fn main() -> ExitCode {
         }
         println!("{summary}");
     }
+    if let Some(path) = bench {
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        // Keys sorted, wall time last: everything before it is
+        // deterministic, so diffs of two runs touch exactly one line.
+        let body = format!(
+            "{{\n  \"blocks\": {},\n  \"dataflow_iterations\": {},\n  \"diagnostics\": {},\n  \
+             \"edges\": {},\n  \"files\": {},\n  \"functions\": {},\n  \
+             \"summary_passes\": {},\n  \"suppressed\": {},\n  \"wall_ms\": {wall_ms:.3}\n}}\n",
+            report.stats.blocks,
+            report.stats.dataflow_iterations.get(),
+            report.diagnostics.len(),
+            report.stats.edges,
+            report.files,
+            report.stats.functions,
+            report.stats.summary_passes,
+            report.suppressed,
+        );
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("s4d-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("s4d-lint: bench counters written to {}", path.display());
+    }
+    if check_budget {
+        match budget_gate(&root, &report) {
+            Ok(msg) => eprintln!("{msg}"),
+            Err(e) => {
+                eprintln!("s4d-lint: budget gate FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if report.errors() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Enforces `crates/lint/pragma_budget.toml`: the number of pragma sites
+/// and pinned warnings may only ratchet down. The file is a flat
+/// `key = value` list (hand-parsed — the workspace is dependency-free).
+fn budget_gate(root: &std::path::Path, report: &engine::Report) -> Result<String, String> {
+    let path = root.join("crates/lint/pragma_budget.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut allow_pragmas: Option<usize> = None;
+    let mut pinned_warnings: Option<usize> = None;
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad value for `{}` in {}", key.trim(), path.display()))?;
+        match key.trim() {
+            "allow_pragmas" => allow_pragmas = Some(value),
+            "pinned_warnings" => pinned_warnings = Some(value),
+            other => return Err(format!("unknown key `{other}` in {}", path.display())),
+        }
+    }
+    let allow = allow_pragmas.ok_or("pragma_budget.toml is missing `allow_pragmas`")?;
+    let pinned = pinned_warnings.ok_or("pragma_budget.toml is missing `pinned_warnings`")?;
+    if report.pragmas > allow {
+        return Err(format!(
+            "{} pragma sites exceed the budget of {allow} — remove a pragma (make the \
+             code provably safe) or, with review, raise the ceiling in {}",
+            report.pragmas,
+            path.display()
+        ));
+    }
+    if report.warnings() > pinned {
+        return Err(format!(
+            "{} warnings exceed the pinned ceiling of {pinned} — fix the new warning \
+             or, with review, raise the ceiling in {}",
+            report.warnings(),
+            path.display()
+        ));
+    }
+    Ok(format!(
+        "s4d-lint: budget gate OK ({}/{allow} pragma sites, {}/{pinned} warnings)",
+        report.pragmas,
+        report.warnings()
+    ))
 }
 
 fn collect(dir: &std::path::Path, out: &mut Vec<PathBuf>) {

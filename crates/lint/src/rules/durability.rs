@@ -1,14 +1,19 @@
 //! `durability`: the DESIGN.md §9 write-ordering protocol, checked along
-//! call paths.
+//! call paths **and along control-flow paths**.
 //!
 //! PR 2's crash-matrix harness proves crash consistency *for the
 //! orderings the code happens to have today*; this rule keeps those
 //! orderings from regressing. Since the component decomposition
 //! (DESIGN.md §12) the protocol steps routinely span functions — the
 //! append lives in `durability/mod.rs` while the discard it must precede
-//! hides in a `pipeline/admit.rs` helper — so the checks walk each
-//! function's events *with callee effect summaries expanded*
-//! ([`crate::summary::Summary`]), not just its own tokens.
+//! hides in a `pipeline/admit.rs` helper — so the checks expand callee
+//! effect summaries ([`crate::summary::Summary`]). Since the
+//! flow-sensitive rewrite they are also **path-aware**: ordering state
+//! is a forward *must*-fact over the function's CFG ("on every path
+//! reaching this point, an append has occurred"), so a `journal.append`
+//! on one `match` arm no longer covers a discard on the opposite arm,
+//! and a branch-guarded append+discard pair on the *same* arm lints
+//! clean without a pragma.
 //!
 //! Scope: library files of `core` that reference a journal primitive
 //! (`append_journal_sync` or the batched `journal_op`) — the middleware
@@ -17,36 +22,40 @@
 //! *before* a journal exists and re-enters recovery on a crash) stay
 //! exempt by construction.
 //!
-//! Per function, four checks over the expanded event order:
+//! Per function, four checks:
 //!
-//! 1. **Remove-before-discard** — on any path that appends to the journal
-//!    synchronously, no discard (direct `.discard(…)`, or a callee whose
-//!    summary leaks an *exposed* discard) may precede the first append:
-//!    the `Remove` records must be durable before the bytes go away, or
-//!    recovery maps freed space. A callee that appends before its own
-//!    discard (`exposed_discard == false`) satisfies the ordering
-//!    internally and is not flagged.
-//! 2. **FlushIntent is synchronous** — a function constructing a
-//!    `FlushIntent` record must append synchronously after it — directly
-//!    or via a callee that appends — before the flush plan reaches the
-//!    runner, or a crash mid-flush loses the re-flush obligation.
-//! 3. **Data before metadata** — once the batched `journal_op(…)` is
-//!    planned (directly or via a callee), no further `data_op(…)` may be
-//!    planned: the journal write describing new mappings must be the
-//!    plan's final phase, or a crash leaves a mapping pointing at
-//!    unwritten space. A callee that builds *both* data and journal
-//!    phases is a **closed plan** — internally complete, contributing
-//!    neither to the caller's ordering state.
+//! 1. **Remove-before-discard** — a discard (direct `.discard(…)`, or a
+//!    callee whose summary leaks an *exposed* discard) is a violation
+//!    when an append does **not** precede it on every path but does
+//!    follow it on some path: the two paths concatenate into a real
+//!    execution where bytes vanish before their `Remove` records are
+//!    durable. A function that never appends leaves the obligation to
+//!    its caller (the exposed-discard summary re-raises it there).
+//! 2. **FlushIntent is synchronous** — from a `FlushIntent` record
+//!    *construction* (pattern-position occurrences are deconstruction
+//!    and exempt), some path must reach a synchronous append — directly
+//!    or via a callee that appends — before the function returns, or a
+//!    crash mid-flush loses the re-flush obligation.
+//! 3. **Data before metadata** — once the batched `journal_op(…)` has
+//!    been planned on a path (directly or via a callee), no further
+//!    `data_op(…)` may be planned on that path. A callee that builds
+//!    *both* data and journal phases is a **closed plan** — internally
+//!    complete, contributing neither to the caller's ordering state.
 //! 4. **Fuse-gated effects** — every durable effect (`apply_bytes`,
 //!    `discard`), direct or leaked by a callee as an *exposed unfused
-//!    effect*, must be preceded by a `fuse_consume(…)` charge on the
-//!    path, so the crash-point torture matrix can crash inside it. An
-//!    ungated effect is an untested crash site.
+//!    effect*, must be preceded by a `fuse_consume(…)` charge on every
+//!    path reaching it, so the crash-point torture matrix can crash
+//!    inside it. An ungated effect is an untested crash site.
 //!
-//! Findings produced through a callee carry the witness call chain.
+//! Findings produced through a callee carry the witness call chain, and
+//! every path-sensitive finding ends its chain with the concrete
+//! violating block trace (`path through fn …: entry@L -> … -> arm@L`),
+//! rendered by [`crate::summary::Analysis::path_trace`].
 
 use crate::callgraph::FnId;
+use crate::cfg::BlockId;
 use crate::config;
+use crate::dataflow;
 use crate::diag::{Diagnostic, Severity};
 use crate::items::EventKind;
 use crate::summary::Analysis;
@@ -83,118 +92,246 @@ pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Walks one function's events in order, expanding callee summaries.
+/// True when event `e` of function `id` performs (or may transitively
+/// perform) a synchronous journal append.
+fn event_appends(a: &Analysis, id: FnId, e: usize) -> bool {
+    let ev = &a.fn_item(id).events[e];
+    let EventKind::Call { name, .. } = &ev.kind else {
+        return false;
+    };
+    if name == config::JOURNAL_SYNC_FN {
+        return true;
+    }
+    crate::summary::call_targets(&a.graph, ev)
+        .iter()
+        .any(|&c| c != id && a.summaries[c].appends)
+}
+
+/// Per-event "an append may still happen strictly after this event on
+/// some path", from a backward may-analysis.
+fn may_append_after(a: &Analysis, id: FnId) -> Vec<bool> {
+    let cfg = &a.cfgs[id];
+    let f = a.fn_item(id);
+    let sol = dataflow::backward(cfg, false, false, dataflow::may_meet, |b, fact| {
+        *fact
+            || cfg.blocks[b]
+                .events
+                .iter()
+                .any(|&e| event_appends(a, id, e))
+    });
+    a.stats.add_iterations(sol.iterations);
+    let mut after = vec![false; f.events.len()];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        // `entry` of a backward solution is the fact at the block's end.
+        let mut fact = sol.entry[b];
+        for &e in blk.events.iter().rev() {
+            after[e] = fact;
+            fact |= event_appends(a, id, e);
+        }
+    }
+    after
+}
+
+/// The violating block trace for an ordering finding: the shortest path
+/// from `from` to the event's block through blocks that do not
+/// establish the covering fact (`covers`), rendered as a chain line.
+fn violating_path<F: Fn(BlockId) -> bool>(
+    a: &Analysis,
+    id: FnId,
+    from: BlockId,
+    to: BlockId,
+    covers: F,
+) -> Option<String> {
+    let cfg = &a.cfgs[id];
+    cfg.path_via(from, to, |b| !covers(b))
+        .map(|p| a.path_trace(id, &p))
+}
+
+/// Walks one function's CFG, checking each event against its path facts.
 fn walk(a: &Analysis, id: FnId, out: &mut Vec<Diagnostic>) {
     let f = a.fn_item(id);
     let file = a.file_of(id);
-    let mut appended = false;
-    let mut fused = false;
-    // Line where the journal phase was (first) planned, if it was.
-    let mut journal_at: Option<u32> = None;
-    // Check-1 candidates: discards seen before any append. They become
-    // violations only if an append follows (a function that never appends
-    // leaves the obligation to its caller, where the exposed-discard
-    // summary re-raises it).
-    let mut pending: Vec<Diagnostic> = Vec::new();
-    let mut intent: Option<u32> = None;
-    let mut intent_covered = false;
-    for ev in &f.events {
+    let cfg = &a.cfgs[id];
+    let facts = &a.facts[id];
+    let append_after = may_append_after(a, id);
+    // Forward may-analysis for check 3: the earliest line a journal op
+    // was planned on some path reaching this point (`None` = no path has
+    // planned one yet; meet keeps the smallest line for determinism).
+    let journal_plans = |e: usize| -> Option<u32> {
+        let ev = &f.events[e];
+        let EventKind::Call { name, .. } = &ev.kind else {
+            return None;
+        };
+        if name == config::JOURNAL_BATCH_FN {
+            return Some(ev.line);
+        }
+        crate::summary::call_targets(&a.graph, ev)
+            .iter()
+            .filter(|&&c| c != id)
+            .find(|&&c| {
+                let s = &a.summaries[c];
+                s.journal_op && !s.data_op
+            })
+            .map(|_| ev.line)
+    };
+    let sol = dataflow::forward(
+        cfg,
+        None,
+        None,
+        |x: &Option<u32>, y: &Option<u32>| match (x, y) {
+            (Some(a), Some(b)) => Some(*a.min(b)),
+            (Some(a), None) => Some(*a),
+            (None, b) => *b,
+        },
+        |b, fact| {
+            let mut fact = *fact;
+            for &e in &cfg.blocks[b].events {
+                if let Some(line) = journal_plans(e) {
+                    fact = Some(fact.map_or(line, |l: u32| l.min(line)));
+                }
+            }
+            fact
+        },
+    );
+    a.stats.add_iterations(sol.iterations);
+
+    // A block "establishes the append" (for path witnesses) when any of
+    // its events appends; same for the fuse.
+    let block_appends = |b: BlockId| {
+        cfg.blocks[b]
+            .events
+            .iter()
+            .any(|&e| event_appends(a, id, e))
+    };
+    let block_fuses = |b: BlockId| {
+        cfg.blocks[b].events.iter().any(|&e| {
+            let ev = &f.events[e];
+            let EventKind::Call { name, .. } = &ev.kind else {
+                return false;
+            };
+            name == config::FUSE_FN
+                || crate::summary::call_targets(&a.graph, ev)
+                    .iter()
+                    .any(|&c| c != id && a.summaries[c].fuse_all)
+        })
+    };
+
+    let mut journal_state: Vec<Option<u32>> = vec![None; f.events.len()];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let mut fact = sol.entry[b];
+        for &e in &blk.events {
+            journal_state[e] = fact;
+            if let Some(line) = journal_plans(e) {
+                fact = Some(fact.map_or(line, |l| l.min(line)));
+            }
+        }
+    }
+
+    for (e, ev) in f.events.iter().enumerate() {
+        if !facts.reachable[e] {
+            continue;
+        }
+        let eb = cfg.ev_block[e];
         match &ev.kind {
             EventKind::Intent => {
-                intent = Some(ev.line);
-                intent_covered = false;
+                // Check 2 — construction only; a `FlushIntent { .. }`
+                // match pattern destructures an already-durable record.
+                if cfg.in_pattern(ev.tok) {
+                    continue;
+                }
+                if !append_after[e] {
+                    let mut chain = Vec::new();
+                    if let Some(trace) = violating_path(a, id, eb, cfg.exit, block_appends) {
+                        chain.push(trace);
+                    }
+                    out.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: ev.line,
+                        rule: "durability",
+                        message: "FlushIntent record constructed without a following \
+                                  synchronous journal append on this path"
+                            .to_string(),
+                        hint: "pass the intents to append_journal_sync (directly or via a \
+                               callee that appends) before the flush plans are returned — \
+                               the intent must be durable before any flush I/O can run \
+                               (DESIGN.md §9 flush ordering)",
+                        severity: Severity::Error,
+                        chain,
+                    });
+                }
             }
             EventKind::Call { name, method } => {
                 let n = name.as_str();
-                if n == config::JOURNAL_SYNC_FN {
-                    appended = true;
-                    intent_covered = true;
-                    out.append(&mut pending);
-                } else if n == config::FUSE_FN {
-                    fused = true;
-                } else if n == config::JOURNAL_BATCH_FN {
-                    journal_at.get_or_insert(ev.line);
-                } else if n == config::DATA_OP_FN {
-                    if let Some(j) = journal_at {
-                        out.push(data_after_metadata(a, id, ev.line, j, Vec::new()));
-                    }
-                } else if *method && config::DURABLE_EFFECT_FNS.contains(&n) {
-                    if !fused {
-                        let what = format!("`{n}(…)`");
-                        out.push(unfused_effect(a, id, ev.line, &what, Vec::new()));
-                    }
-                    if n == "discard" && !appended {
-                        pending.push(discard_before_append(a, id, ev.line, Vec::new()));
-                    }
-                } else if !crate::summary::is_protocol_name(n) {
+                let direct_discard = *method && n == "discard";
+                let direct_effect = *method && config::DURABLE_EFFECT_FNS.contains(&n);
+                // Callee exposures (skip protocol vocabulary).
+                let mut callee_discard = None;
+                let mut callee_unfused = None;
+                if !crate::summary::is_protocol_name(n) && !direct_effect {
                     for &callee in a.graph.resolve(n) {
                         if callee == id {
                             continue;
                         }
                         let c = &a.summaries[callee];
-                        if c.exposed_discard && !appended {
-                            let chain = via(a, id, ev.line, callee, first_exposed_discard, |s| {
-                                s.exposed_discard
-                            });
-                            pending.push(discard_before_append(a, id, ev.line, chain));
+                        if c.exposed_discard && callee_discard.is_none() {
+                            callee_discard = Some(callee);
                         }
-                        if c.exposed_unfused_effect && !fused {
-                            let chain = via(a, id, ev.line, callee, first_unfused_effect, |s| {
-                                s.exposed_unfused_effect
-                            });
-                            out.push(unfused_effect(
-                                a,
-                                id,
-                                ev.line,
-                                "in a callee, see call chain",
-                                chain,
-                            ));
+                        if c.exposed_unfused_effect && callee_unfused.is_none() {
+                            callee_unfused = Some(callee);
                         }
-                        // Closed plan: the callee builds both its data and
-                        // its journal phases — internally complete.
+                        // Check 3 at the call site: a non-closed callee
+                        // planning data ops after a journal op is planned.
                         let closed = c.data_op && c.journal_op;
-                        if !closed {
-                            if c.data_op {
-                                if let Some(j) = journal_at {
-                                    let chain =
-                                        via(a, id, ev.line, callee, first_data_op, |s| s.data_op);
-                                    out.push(data_after_metadata(a, id, ev.line, j, chain));
-                                }
+                        if c.data_op && !closed {
+                            if let Some(j) = journal_state[e] {
+                                let chain =
+                                    via(a, id, ev.line, callee, first_data_op, |s| s.data_op);
+                                out.push(data_after_metadata(a, id, ev.line, j, chain));
                             }
-                            if c.journal_op {
-                                journal_at.get_or_insert(ev.line);
-                            }
-                        }
-                        if c.appends {
-                            appended = true;
-                            intent_covered = true;
-                            out.append(&mut pending);
-                        }
-                        if c.fuse {
-                            fused = true;
                         }
                     }
                 }
+                // Check 3, direct.
+                if n == config::DATA_OP_FN {
+                    if let Some(j) = journal_state[e] {
+                        out.push(data_after_metadata(a, id, ev.line, j, Vec::new()));
+                    }
+                }
+                // Check 1 — discard not must-covered, append follows on
+                // some path: the uncovered prefix and the appending
+                // suffix concatenate into a real violating execution.
+                let discards = direct_discard || callee_discard.is_some();
+                if discards && !facts.appended_before[e] && append_after[e] {
+                    let mut chain = match callee_discard {
+                        Some(callee) => via(a, id, ev.line, callee, first_exposed_discard, |s| {
+                            s.exposed_discard
+                        }),
+                        None => Vec::new(),
+                    };
+                    if let Some(trace) = violating_path(a, id, cfg.entry, eb, block_appends) {
+                        chain.push(trace);
+                    }
+                    out.push(discard_before_append(a, id, ev.line, chain));
+                }
+                // Check 4 — durable effect not must-fused.
+                let unfused = (direct_effect || callee_unfused.is_some()) && !facts.fused_before[e];
+                if unfused {
+                    let (what, mut chain) = match callee_unfused {
+                        Some(callee) if !direct_effect => (
+                            "in a callee, see call chain".to_string(),
+                            via(a, id, ev.line, callee, first_unfused_effect, |s| {
+                                s.exposed_unfused_effect
+                            }),
+                        ),
+                        _ => (format!("`{n}(…)`"), Vec::new()),
+                    };
+                    if let Some(trace) = violating_path(a, id, cfg.entry, eb, block_fuses) {
+                        chain.push(trace);
+                    }
+                    out.push(unfused_effect(a, id, ev.line, &what, chain));
+                }
             }
             _ => {}
-        }
-    }
-    if let Some(line) = intent {
-        if !intent_covered {
-            out.push(Diagnostic {
-                path: file.path.clone(),
-                line,
-                rule: "durability",
-                message: "FlushIntent record constructed without a following synchronous \
-                          journal append on this path"
-                    .to_string(),
-                hint: "pass the intents to append_journal_sync (directly or via a callee \
-                       that appends) before the flush plans are returned — the intent \
-                       must be durable before any flush I/O can run (DESIGN.md §9 flush \
-                       ordering)",
-                severity: Severity::Error,
-                chain: Vec::new(),
-            });
         }
     }
 }
@@ -215,45 +352,45 @@ fn via(
     chain
 }
 
-/// First direct discard that precedes any append contribution, walking
-/// the function's events the same way the summary fixpoint does.
+/// First direct discard not must-covered by an append — the same
+/// per-event facts the summary fixpoint computed.
 fn first_exposed_discard(a: &Analysis, id: FnId) -> Option<u32> {
-    let mut appended = false;
-    for ev in &a.fn_item(id).events {
-        let EventKind::Call { name, method } = &ev.kind else {
-            continue;
-        };
-        if name == config::JOURNAL_SYNC_FN {
-            appended = true;
-        } else if *method && name == "discard" && !appended {
-            return Some(ev.line);
-        } else {
-            for &c in crate::summary::call_targets(&a.graph, ev) {
-                appended |= a.summaries[c].appends;
+    let f = a.fn_item(id);
+    let facts = &a.facts[id];
+    f.events
+        .iter()
+        .enumerate()
+        .find_map(|(e, ev)| match &ev.kind {
+            EventKind::Call { name, method }
+                if *method
+                    && name == "discard"
+                    && facts.reachable[e]
+                    && !facts.appended_before[e] =>
+            {
+                Some(ev.line)
             }
-        }
-    }
-    None
+            _ => None,
+        })
 }
 
-/// First direct durable effect that precedes any fuse charge.
+/// First direct durable effect not must-covered by a fuse charge.
 fn first_unfused_effect(a: &Analysis, id: FnId) -> Option<u32> {
-    let mut fused = false;
-    for ev in &a.fn_item(id).events {
-        let EventKind::Call { name, method } = &ev.kind else {
-            continue;
-        };
-        if name == config::FUSE_FN {
-            fused = true;
-        } else if *method && config::DURABLE_EFFECT_FNS.contains(&name.as_str()) && !fused {
-            return Some(ev.line);
-        } else {
-            for &c in crate::summary::call_targets(&a.graph, ev) {
-                fused |= a.summaries[c].fuse;
+    let f = a.fn_item(id);
+    let facts = &a.facts[id];
+    f.events
+        .iter()
+        .enumerate()
+        .find_map(|(e, ev)| match &ev.kind {
+            EventKind::Call { name, method }
+                if *method
+                    && config::DURABLE_EFFECT_FNS.contains(&name.as_str())
+                    && facts.reachable[e]
+                    && !facts.fused_before[e] =>
+            {
+                Some(ev.line)
             }
-        }
-    }
-    None
+            _ => None,
+        })
 }
 
 /// First direct `data_op(…)` call.

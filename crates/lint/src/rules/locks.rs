@@ -26,6 +26,13 @@
 //!
 //! A guard's extent is its statement, or the rest of the body when
 //! `let`-bound (conservative — justify early drops with a pragma).
+//!
+//! Since the flow-sensitive rewrite the extent is intersected with CFG
+//! **reachability**: an event counts as "inside the hold" only if the
+//! acquisition's block actually reaches the event's block (or they share
+//! one, in token order). A guard taken on one `if`/`match` arm no longer
+//! poisons device I/O on the sibling arm, while loop back-edges keep
+//! loop-carried holds visible.
 
 use crate::callgraph::FnId;
 use crate::config;
@@ -41,25 +48,37 @@ fn rank(name: &str) -> Option<usize> {
 pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
     for id in 0..a.graph.len() {
         let events = &a.fn_item(id).events;
-        let acqs: Vec<&Event> = events
+        let acqs: Vec<(usize, &Event)> = events
             .iter()
-            .filter(|e| matches!(e.kind, EventKind::Acquire { .. }))
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, EventKind::Acquire { .. }))
             .collect();
         if acqs.is_empty() {
             continue;
         }
         check_order(a, id, &acqs, out);
-        for acq in &acqs {
-            check_extent(a, id, acq, out);
+        for &(k, acq) in &acqs {
+            check_extent(a, id, k, acq, out);
         }
     }
 }
 
+/// True when event `from` may still be live when event `to` runs: same
+/// block in token order, or a CFG path from one block to the other.
+fn flows_to(a: &Analysis, id: crate::callgraph::FnId, from: usize, to: usize) -> bool {
+    let cfg = &a.cfgs[id];
+    let (fb, tb) = (cfg.ev_block[from], cfg.ev_block[to]);
+    if fb == tb {
+        return a.fn_item(id).events[from].tok <= a.fn_item(id).events[to].tok;
+    }
+    cfg.reaches(fb, tb)
+}
+
 /// Direct-acquisition order: unknown locks, and pairs acquired against
 /// the declared table order within one function.
-fn check_order(a: &Analysis, id: FnId, acqs: &[&Event], out: &mut Vec<Diagnostic>) {
+fn check_order(a: &Analysis, id: FnId, acqs: &[(usize, &Event)], out: &mut Vec<Diagnostic>) {
     let file = a.file_of(id);
-    for (k, acq) in acqs.iter().enumerate() {
+    for (k, &(ei, acq)) in acqs.iter().enumerate() {
         let EventKind::Acquire { lock, .. } = &acq.kind else {
             continue;
         };
@@ -76,14 +95,15 @@ fn check_order(a: &Analysis, id: FnId, acqs: &[&Event], out: &mut Vec<Diagnostic
             });
             continue;
         };
-        // Any earlier acquisition with a *higher* rank means this path
-        // acquires against the declared order.
-        for b in acqs.iter().take(k) {
+        // Any earlier acquisition with a *higher* rank that actually
+        // flows into this one (same block or a CFG path — not a sibling
+        // branch) means this path acquires against the declared order.
+        for &(bi, b) in acqs.iter().take(k) {
             let EventKind::Acquire { lock: held, .. } = &b.kind else {
                 continue;
             };
             let Some(rb) = rank(held) else { continue };
-            if held != lock && rb > r {
+            if held != lock && rb > r && flows_to(a, id, bi, ei) {
                 out.push(Diagnostic {
                     path: file.path.clone(),
                     line: acq.line,
@@ -104,15 +124,17 @@ fn check_order(a: &Analysis, id: FnId, acqs: &[&Event], out: &mut Vec<Diagnostic
 
 /// Checks everything inside one guard's extent: direct device I/O,
 /// callee device I/O, and callee acquisitions against the held lock.
-fn check_extent(a: &Analysis, id: FnId, acq: &Event, out: &mut Vec<Diagnostic>) {
+/// The extent is intersected with CFG reachability from the
+/// acquisition, so sibling branches are out of the hold.
+fn check_extent(a: &Analysis, id: FnId, ai: usize, acq: &Event, out: &mut Vec<Diagnostic>) {
     let EventKind::Acquire { lock, extent } = &acq.kind else {
         return;
     };
     let file = a.file_of(id);
     let held_rank = rank(lock);
     let mut io_reported = false;
-    for ev in &a.fn_item(id).events {
-        if ev.tok <= acq.tok || !extent.contains(&ev.tok) {
+    for (ei, ev) in a.fn_item(id).events.iter().enumerate() {
+        if ev.tok <= acq.tok || !extent.contains(&ev.tok) || !flows_to(a, id, ai, ei) {
             continue;
         }
         let EventKind::Call { name, .. } = &ev.kind else {

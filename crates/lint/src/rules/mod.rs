@@ -13,6 +13,7 @@ pub mod file_budget;
 pub mod locks;
 pub mod panic_freedom;
 pub mod panic_path;
+pub mod typestate;
 pub mod unbounded_retry;
 
 use crate::diag::Diagnostic;
@@ -32,5 +33,6 @@ pub fn check_graph(a: &Analysis, out: &mut Vec<Diagnostic>) {
     durability::check(a, out);
     locks::check(a, out);
     panic_path::check(a, out);
+    typestate::check(a, out);
     unbounded_retry::check(a, out);
 }

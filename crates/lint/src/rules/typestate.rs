@@ -1,0 +1,315 @@
+//! `typestate`: path-sensitive tracking of the durability protocol's
+//! value-shaped obligations — `DurabilityHandle` proof tokens and
+//! `Pending` background actions.
+//!
+//! The PR 4 decomposition made journal-before-discard a *type-system*
+//! fact: `append_journal_sync` is the only issuer of a
+//! `DurabilityHandle`, and `discard_cache` demands one. But the type
+//! system's guarantee is erased the moment a helper stores, clones, or
+//! stages the value — exactly the shapes this rule re-checks over the
+//! CFG ([`crate::cfg`]):
+//!
+//! * **handle-leak** — a proof bound from `append_journal_sync` (a
+//!   `Some(proof)` pattern over a call that appends) with **no use
+//!   reachable** from the bind: the append was issued for evidence
+//!   nobody presents. A handle is *evidence*, freely re-presentable —
+//!   the loop in `make_room` shows a zero-iteration path is legal — so
+//!   the check demands a reachable use, not a use on every path.
+//! * **pending-leak** — a `Pending` action bound by `let` must reach a
+//!   consuming call (`register`/`chain`/`push`) on **every** path to
+//!   exit; a path that drops it silently abandons the plan's unpin /
+//!   seal / journal-commit obligations. The violating path is reported
+//!   as a block trace.
+//! * **use-after-consume** — a `Pending` value is an *obligation*,
+//!   consumed exactly once: any occurrence after a consuming call on
+//!   some path (double registration, stale re-use) is flagged.
+//!
+//! Bindings come from the CFG builder's [`crate::cfg::PatBind`] records:
+//! a `Some(v)` pattern whose initializer/scrutinee calls
+//! `append_journal_sync` binds a handle; a plain-identifier pattern
+//! whose initializer starts with `Pending::…` binds a pending action.
+//! Pattern-position occurrences (`match` arms, `matches!`) are
+//! deconstruction and never count as constructions or uses. Name
+//! shadowing within one function is merged conservatively (all
+//! same-named occurrences attribute to the one bind) — rename the
+//! shadow if this ever misfires.
+//!
+//! Scope: library functions of `core` — the only crate that owns these
+//! types.
+
+use std::ops::Range;
+
+use crate::callgraph::FnId;
+use crate::cfg::{BlockId, Cfg};
+use crate::config;
+use crate::dataflow;
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+use crate::summary::Analysis;
+
+/// Calls that consume a staged `Pending` action (hand the obligation to
+/// the background scheduler or a staging vector).
+const PENDING_CONSUMERS: &[&str] = &["register", "chain", "push"];
+
+/// Runs the typestate checks over the analyzed workspace.
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for id in 0..a.graph.len() {
+        if a.file_of(id).crate_name != "core" {
+            continue;
+        }
+        check_fn(a, id, out);
+    }
+}
+
+/// Matching close paren for an open `(` at `open`.
+fn match_paren(file: &SourceFile, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < file.code.len() {
+        if file.punct_is(i, '(') {
+            depth += 1;
+        } else if file.punct_is(i, ')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    file.code.len()
+}
+
+/// The bound identifier of a `Some(v)` pattern (allowing `ref`/`mut`).
+fn some_bind(file: &SourceFile, span: &Range<usize>) -> Option<usize> {
+    let toks: Vec<usize> = span.clone().collect();
+    if toks.len() < 4 || toks.len() > 6 {
+        return None;
+    }
+    if file.ident(toks[0]) != Some("Some") || !file.punct_is(toks[1], '(') {
+        return None;
+    }
+    let mut k = 2;
+    while matches!(file.ident(toks[k]), Some("ref" | "mut")) && k + 1 < toks.len() {
+        k += 1;
+    }
+    if file.ident(toks[k]).is_some() && file.punct_is(toks[k + 1], ')') && k + 2 == toks.len() {
+        Some(toks[k])
+    } else {
+        None
+    }
+}
+
+/// The bound identifier of a plain `v` / `mut v` pattern.
+fn ident_bind(file: &SourceFile, span: &Range<usize>) -> Option<usize> {
+    let toks: Vec<usize> = span.clone().collect();
+    match toks.as_slice() {
+        [v] if file.ident(*v).is_some() => Some(*v),
+        [m, v] if file.ident(*m) == Some("mut") && file.ident(*v).is_some() => Some(*v),
+        _ => None,
+    }
+}
+
+/// True when `range` contains a call token of `name` (`name (`).
+fn calls_in(file: &SourceFile, range: &Range<usize>, name: &str) -> bool {
+    range
+        .clone()
+        .any(|i| file.ident(i) == Some(name) && file.punct_is(i + 1, '('))
+}
+
+/// True when the first token of `range` starts a `Pending::…` path.
+fn inits_pending(file: &SourceFile, range: &Range<usize>) -> bool {
+    file.ident(range.start) == Some("Pending")
+        && file.punct_is(range.start + 1, ':')
+        && file.punct_is(range.start + 2, ':')
+}
+
+/// All occurrences of identifier `v` in the body, excluding the binding
+/// token itself and pattern-position tokens, sorted by token index.
+fn occurrences(file: &SourceFile, cfg: &Cfg, name: &str, bind_tok: usize) -> Vec<usize> {
+    cfg.body
+        .clone()
+        .filter(|&i| i != bind_tok && file.ident(i) == Some(name) && !cfg.in_pattern(i))
+        .collect()
+}
+
+/// Token ranges of consuming-call argument lists in the body.
+fn consumer_arg_spans(file: &SourceFile, cfg: &Cfg) -> Vec<Range<usize>> {
+    cfg.body
+        .clone()
+        .filter(|&i| {
+            matches!(file.ident(i), Some(n) if PENDING_CONSUMERS.contains(&n))
+                && file.punct_is(i + 1, '(')
+        })
+        .map(|i| i + 2..match_paren(file, i + 1))
+        .collect()
+}
+
+fn check_fn(a: &Analysis, id: FnId, out: &mut Vec<Diagnostic>) {
+    let file = a.file_of(id);
+    let cfg = &a.cfgs[id];
+    let reach = cfg.reachable();
+    for pat in &cfg.pats {
+        // Handle binds: `Some(proof)` over an appending initializer.
+        if let Some(v) = some_bind(file, &pat.span) {
+            if calls_in(file, &pat.init, config::JOURNAL_SYNC_FN) {
+                check_handle(a, id, v, out);
+            }
+            continue;
+        }
+        // Pending binds: `let v = Pending::…`.
+        if let Some(v) = ident_bind(file, &pat.span) {
+            if inits_pending(file, &pat.init) {
+                check_pending(a, id, v, &reach, out);
+            }
+        }
+    }
+}
+
+/// handle-leak: a bound proof with no reachable use.
+fn check_handle(a: &Analysis, id: FnId, bind_tok: usize, out: &mut Vec<Diagnostic>) {
+    let file = a.file_of(id);
+    let cfg = &a.cfgs[id];
+    let Some(bind_block) = cfg.block_of_tok(bind_tok) else {
+        return;
+    };
+    let name = file.ident(bind_tok).unwrap_or_default().to_string();
+    if name == "_" {
+        return; // an explicit discard of the evidence — the author's call
+    }
+    let used = occurrences(file, cfg, &name, bind_tok).iter().any(|&t| {
+        cfg.block_of_tok(t)
+            .is_some_and(|b| b == bind_block && t > bind_tok || cfg.reaches(bind_block, b))
+    });
+    if !used {
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: file.line_of(bind_tok),
+            rule: "typestate",
+            message: format!(
+                "durability proof `{name}` bound from append_journal_sync but never \
+                 presented on any path"
+            ),
+            hint: "pass the handle to discard_cache (it is the proof the discard \
+                   demands), or bind `_` if the append is evidence-free by design \
+                   (e.g. a group commit whose records carry their own recovery)",
+            severity: Severity::Error,
+            chain: Vec::new(),
+        });
+    }
+}
+
+/// pending-leak + use-after-consume for one bound `Pending` value.
+fn check_pending(
+    a: &Analysis,
+    id: FnId,
+    bind_tok: usize,
+    reach: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    let file = a.file_of(id);
+    let cfg = &a.cfgs[id];
+    let Some(bind_block) = cfg.block_of_tok(bind_tok) else {
+        return;
+    };
+    if !reach[bind_block] {
+        return;
+    }
+    let name = file.ident(bind_tok).unwrap_or_default().to_string();
+    if name == "_" {
+        return;
+    }
+    let occs = occurrences(file, cfg, &name, bind_tok);
+    let arg_spans = consumer_arg_spans(file, cfg);
+    let consuming: Vec<usize> = occs
+        .iter()
+        .copied()
+        .filter(|&t| arg_spans.iter().any(|s| s.contains(&t)))
+        .collect();
+    let consumes_in = |b: BlockId| consuming.iter().any(|&t| cfg.block_of_tok(t) == Some(b));
+
+    // pending-leak: consumption must be inevitable from the bind —
+    // backward must-analysis ("a consuming use lies ahead on every
+    // path"), seeded false at exit.
+    let must = dataflow::backward(cfg, false, true, dataflow::must_meet, |b, fact| {
+        *fact || consumes_in(b)
+    });
+    a.stats.add_iterations(must.iterations);
+    if !must.exit[bind_block] {
+        let mut chain = Vec::new();
+        if let Some(p) = cfg.path_via(bind_block, cfg.exit, |b| !consumes_in(b)) {
+            chain.push(a.path_trace(id, &p));
+        }
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: file.line_of(bind_tok),
+            rule: "typestate",
+            message: format!(
+                "pending background action `{name}` is not handed to the scheduler on \
+                 every path — a path leaks the open plan"
+            ),
+            hint: "every path from the construction must register (or chain/stage) the \
+                   action before returning; a plan that is dropped silently abandons \
+                   its unpin/seal/journal-commit obligations (DESIGN.md §9)",
+            severity: Severity::Error,
+            chain: Vec::new(),
+        });
+        if let Some(trace) = chain.pop() {
+            if let Some(d) = out.last_mut() {
+                d.chain.push(trace);
+            }
+        }
+    }
+
+    // use-after-consume: forward may-analysis ("some path has already
+    // consumed the value"), then a within-block ordered scan.
+    let may = dataflow::forward(cfg, false, false, dataflow::may_meet, |b, fact| {
+        *fact || consumes_in(b)
+    });
+    a.stats.add_iterations(may.iterations);
+    let mut by_block: Vec<(BlockId, usize)> = occs
+        .iter()
+        .filter_map(|&t| cfg.block_of_tok(t).map(|b| (b, t)))
+        .collect();
+    by_block.sort();
+    let mut reported = false;
+    for (b, group) in group_by_block(&by_block) {
+        if !reach[b] {
+            continue;
+        }
+        let mut consumed = may.entry[b];
+        for t in group {
+            if consumed && !reported {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: file.line_of(t),
+                    rule: "typestate",
+                    message: format!(
+                        "pending background action `{name}` used after it was already \
+                         consumed on some path"
+                    ),
+                    hint: "a Pending value is an obligation consumed exactly once — \
+                           registering or touching it twice double-applies the plan's \
+                           effects; restructure so each path consumes it once",
+                    severity: Severity::Error,
+                    chain: Vec::new(),
+                });
+                reported = true;
+            }
+            if consuming.contains(&t) {
+                consumed = true;
+            }
+        }
+    }
+}
+
+/// Groups a block-sorted `(block, tok)` list into per-block slices.
+fn group_by_block(pairs: &[(BlockId, usize)]) -> Vec<(BlockId, Vec<usize>)> {
+    let mut out: Vec<(BlockId, Vec<usize>)> = Vec::new();
+    for &(b, t) in pairs {
+        match out.last_mut() {
+            Some((lb, toks)) if *lb == b => toks.push(t),
+            _ => out.push((b, vec![t])),
+        }
+    }
+    out
+}

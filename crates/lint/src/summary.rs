@@ -1,17 +1,31 @@
-//! Per-function effect summaries, propagated along the call graph.
+//! Per-function effect summaries with a **must/may split**, propagated
+//! along the call graph and grounded on each function's CFG.
 //!
-//! Each function gets a [`Summary`] of what it *may* do, transitively:
-//! append to the journal, discard or apply cache bytes, charge the crash
-//! fuse, perform device I/O, acquire locks, or panic. On top of the may-
-//! sets, two **ordered exposures** capture the §9-relevant shapes a
-//! callee can leak to its caller:
+//! Each function gets a [`Summary`] in two halves:
 //!
-//! * `exposed_discard` — some discard happens with no journal append
-//!   earlier *within the function's own expanded order* (the caller must
-//!   provide the append first, or recovery maps freed space);
-//! * `exposed_unfused_effect` — some durable effect happens with no
-//!   crash-fuse charge earlier (the caller must charge the fuse, or the
-//!   torture matrix cannot crash inside the effect).
+//! * **may-facts** — what *some* path does: append to the journal,
+//!   discard or apply cache bytes, charge the crash fuse, perform device
+//!   I/O, acquire locks, panic. Collected as unions over the reachable
+//!   blocks; unreachable code contributes nothing.
+//! * **must-facts** (`appends_all`, `fuse_all`) — what *every* path
+//!   reaching the function's exit does, computed by a forward
+//!   must-analysis (meet = conjunction) over the CFG
+//!   ([`crate::dataflow`]). At a call site only a callee's must-facts
+//!   establish ordering state for the caller: "this call appends" is
+//!   sound only if the callee appends on all of *its* paths.
+//!
+//! On top of the split, two **ordered exposures** capture the
+//! §9-relevant shapes a callee can leak to its caller:
+//!
+//! * `exposed_discard` — on some path a discard happens with no journal
+//!   append before it (the caller must provide the append first, or
+//!   recovery maps freed space);
+//! * `exposed_unfused_effect` — on some path a durable effect happens
+//!   with no crash-fuse charge before it.
+//!
+//! Alongside the summaries, [`NodeFacts`] records for every event
+//! whether an append/fuse *must* have happened before it on every path —
+//! the per-event facts the durability rule and witness descent consume.
 //!
 //! Summaries are computed to a fixpoint: all facts are monotone booleans
 //! or sets drawn from finite universes, so iteration terminates. Calls to
@@ -25,35 +39,78 @@
 use std::collections::BTreeSet;
 
 use crate::callgraph::{CallGraph, FnId};
+use crate::cfg::{BlockId, Cfg};
 use crate::config;
+use crate::dataflow;
 use crate::items::{Event, EventKind, ItemIndex};
 use crate::source::SourceFile;
 
-/// What one function may do, transitively.
+/// What one function may — and must — do, transitively.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Summary {
-    /// May call `append_journal_sync`.
+    /// May call `append_journal_sync` on some path.
     pub appends: bool,
+    /// Calls `append_journal_sync` on **every** path reaching exit.
+    pub appends_all: bool,
     /// May call the batched `journal_op` planner.
     pub journal_op: bool,
     /// May call the `data_op` plan constructor.
     pub data_op: bool,
     /// May charge the crash fuse.
     pub fuse: bool,
+    /// Charges the crash fuse on **every** path reaching exit.
+    pub fuse_all: bool,
     /// May perform device I/O or a journal append (lock-across-io).
     pub device_io: bool,
     /// Locks this function (or a callee) may acquire.
     pub acquires: BTreeSet<String>,
     /// May panic (unwrap/expect/panic-macro/indexing site reachable).
     pub panics: bool,
-    /// A discard may happen before any journal append in expanded order.
+    /// Some path discards before any journal append covers it.
     pub exposed_discard: bool,
-    /// A durable effect may happen before any fuse charge in expanded
-    /// order.
+    /// Some path performs a durable effect before any fuse charge.
     pub exposed_unfused_effect: bool,
 }
 
-/// The fully analyzed workspace: parsed files, items, graph, summaries.
+/// Per-event must-facts for one function: has an append / fuse charge
+/// happened on **every** path reaching each event? Unreachable events
+/// are vacuously covered (no path reaches them at all).
+#[derive(Debug, Default, Clone)]
+pub struct NodeFacts {
+    /// `append_journal_sync` on every path before event `k`.
+    pub appended_before: Vec<bool>,
+    /// `fuse_consume` on every path before event `k`.
+    pub fused_before: Vec<bool>,
+    /// Event `k` sits in a block reachable from the entry.
+    pub reachable: Vec<bool>,
+}
+
+/// Cost counters for the analysis, reported by `--bench`.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Functions with a CFG (call-graph nodes).
+    pub functions: usize,
+    /// Total basic blocks across all CFGs.
+    pub blocks: usize,
+    /// Total CFG edges.
+    pub edges: usize,
+    /// Outer passes of the interprocedural summary fixpoint.
+    pub summary_passes: usize,
+    /// Worklist iterations across every intra-function dataflow solve
+    /// (summary phase plus the flow-sensitive rules).
+    pub dataflow_iterations: std::cell::Cell<usize>,
+}
+
+impl Stats {
+    /// Adds intra-function worklist iterations to the running total.
+    pub fn add_iterations(&self, n: usize) {
+        self.dataflow_iterations
+            .set(self.dataflow_iterations.get() + n);
+    }
+}
+
+/// The fully analyzed workspace: parsed files, items, CFGs, graph,
+/// summaries, and per-event facts.
 pub struct Analysis<'a> {
     /// The parsed files, in walk order.
     pub files: &'a [SourceFile],
@@ -61,8 +118,14 @@ pub struct Analysis<'a> {
     pub items: &'a [ItemIndex],
     /// The call graph over the non-test library functions.
     pub graph: CallGraph,
+    /// Control-flow graph per graph node.
+    pub cfgs: Vec<Cfg>,
     /// Fixpoint summaries, one per graph node.
     pub summaries: Vec<Summary>,
+    /// Per-event must-facts, one per graph node.
+    pub facts: Vec<NodeFacts>,
+    /// Analysis cost counters.
+    pub stats: Stats,
 }
 
 /// Resolved targets of a call event. Protocol-anchor names resolve to
@@ -87,113 +150,203 @@ pub fn is_protocol_name(name: &str) -> bool {
         || config::DEVICE_IO_FNS.contains(&name)
 }
 
-/// Computes all summaries to fixpoint.
-pub fn compute(items: &[ItemIndex], graph: &CallGraph) -> Vec<Summary> {
+/// Applies one event's effect to a `(appended, fused)` must-fact pair.
+/// Only callee **must**-facts establish state — a callee that appends on
+/// some path establishes nothing for the caller's ordering.
+fn apply_event(
+    id: FnId,
+    ev: &Event,
+    graph: &CallGraph,
+    summaries: &[Summary],
+    fact: (bool, bool),
+) -> (bool, bool) {
+    let (mut appended, mut fused) = fact;
+    if let EventKind::Call { name, .. } = &ev.kind {
+        let n = name.as_str();
+        if n == config::JOURNAL_SYNC_FN {
+            appended = true;
+        } else if n == config::FUSE_FN {
+            fused = true;
+        } else if !is_protocol_name(n) {
+            for &callee in graph.resolve(n) {
+                if callee != id {
+                    appended |= summaries[callee].appends_all;
+                    fused |= summaries[callee].fuse_all;
+                }
+            }
+        }
+    }
+    (appended, fused)
+}
+
+/// Computes all summaries and per-event facts to fixpoint.
+pub fn compute(
+    items: &[ItemIndex],
+    graph: &CallGraph,
+    cfgs: &[Cfg],
+    stats: &mut Stats,
+) -> (Vec<Summary>, Vec<NodeFacts>) {
     let mut summaries = vec![Summary::default(); graph.len()];
+    let mut facts = vec![NodeFacts::default(); graph.len()];
     // Monotone facts over finite universes: iterate until stable. The
     // iteration count is bounded by the number of facts that can flip,
     // but a hard cap keeps pathological inputs from stalling the linter.
     for _ in 0..graph.len().max(4) {
+        stats.summary_passes += 1;
         let mut changed = false;
         for id in 0..graph.len() {
-            let next = recompute(id, items, graph, &summaries);
+            let (next, nf) = recompute(id, items, graph, cfgs, &summaries, stats);
             if next != summaries[id] {
                 summaries[id] = next;
                 changed = true;
             }
+            facts[id] = nf;
         }
         if !changed {
             break;
         }
     }
-    summaries
+    (summaries, facts)
 }
 
-/// One function's summary from its direct events plus current callee
-/// summaries, walked in source order.
-fn recompute(id: FnId, items: &[ItemIndex], graph: &CallGraph, summaries: &[Summary]) -> Summary {
+/// One function's summary from its CFG, direct events, and current
+/// callee summaries.
+fn recompute(
+    id: FnId,
+    items: &[ItemIndex],
+    graph: &CallGraph,
+    cfgs: &[Cfg],
+    summaries: &[Summary],
+    stats: &Stats,
+) -> (Summary, NodeFacts) {
     let (fi, ni) = graph.nodes[id];
     let f = &items[fi].fns[ni];
-    let mut s = Summary::default();
-    // Walk state: has an append / fuse charge happened yet, in expanded
-    // order?
-    let mut appended = false;
-    let mut fused = false;
-    for ev in &f.events {
-        match &ev.kind {
-            EventKind::Acquire { lock, .. } => {
-                s.acquires.insert(lock.clone());
+    let cfg = &cfgs[id];
+    // Forward must-analysis: (appended-on-every-path, fused-on-every-path).
+    let sol = dataflow::forward(
+        cfg,
+        (false, false),
+        (true, true),
+        |a, b| (a.0 && b.0, a.1 && b.1),
+        |b, fact| {
+            let mut fact = *fact;
+            for &e in &cfg.blocks[b].events {
+                fact = apply_event(id, &f.events[e], graph, summaries, fact);
             }
-            EventKind::Panic { .. } => s.panics = true,
-            EventKind::Intent => {}
-            EventKind::Call { name, method } => {
-                if config::DEVICE_IO_FNS.contains(&name.as_str()) {
-                    s.device_io = true;
+            fact
+        },
+    );
+    stats.add_iterations(sol.iterations);
+
+    let reach = cfg.reachable();
+    let mut s = Summary {
+        appends_all: sol.entry[cfg.exit].0,
+        fuse_all: sol.entry[cfg.exit].1,
+        ..Summary::default()
+    };
+    let mut nf = NodeFacts {
+        appended_before: vec![true; f.events.len()],
+        fused_before: vec![true; f.events.len()],
+        reachable: vec![false; f.events.len()],
+    };
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !reach[b] {
+            continue;
+        }
+        let mut fact = sol.entry[b];
+        for &e in &blk.events {
+            let ev = &f.events[e];
+            nf.appended_before[e] = fact.0;
+            nf.fused_before[e] = fact.1;
+            nf.reachable[e] = true;
+            match &ev.kind {
+                EventKind::Acquire { lock, .. } => {
+                    s.acquires.insert(lock.clone());
                 }
-                match name.as_str() {
-                    n if n == config::JOURNAL_SYNC_FN => {
-                        s.appends = true;
-                        appended = true;
+                EventKind::Panic { .. } => s.panics = true,
+                EventKind::Intent => {}
+                EventKind::Call { name, method } => {
+                    let n = name.as_str();
+                    if config::DEVICE_IO_FNS.contains(&n) {
+                        s.device_io = true;
                     }
-                    n if n == config::JOURNAL_BATCH_FN => s.journal_op = true,
-                    n if n == config::DATA_OP_FN => s.data_op = true,
-                    n if n == config::FUSE_FN => {
-                        s.fuse = true;
-                        fused = true;
-                    }
-                    n if *method && config::DURABLE_EFFECT_FNS.contains(&n) => {
-                        if n == "discard" && !appended {
-                            s.exposed_discard = true;
-                        }
-                        if !fused {
-                            s.exposed_unfused_effect = true;
-                        }
-                    }
-                    n if is_protocol_name(n) => {}
-                    n => {
-                        for &callee in graph.resolve(n) {
-                            if callee == id {
-                                continue;
-                            }
-                            let c = &summaries[callee];
-                            if c.exposed_discard && !appended {
+                    match n {
+                        _ if n == config::JOURNAL_SYNC_FN => s.appends = true,
+                        _ if n == config::JOURNAL_BATCH_FN => s.journal_op = true,
+                        _ if n == config::DATA_OP_FN => s.data_op = true,
+                        _ if n == config::FUSE_FN => s.fuse = true,
+                        _ if *method && config::DURABLE_EFFECT_FNS.contains(&n) => {
+                            if n == "discard" && !fact.0 {
                                 s.exposed_discard = true;
                             }
-                            if c.exposed_unfused_effect && !fused {
+                            if !fact.1 {
                                 s.exposed_unfused_effect = true;
                             }
-                            s.appends |= c.appends;
-                            s.journal_op |= c.journal_op;
-                            s.data_op |= c.data_op;
-                            s.device_io |= c.device_io;
-                            s.panics |= c.panics;
-                            for l in &c.acquires {
-                                s.acquires.insert(l.clone());
-                            }
-                            appended |= c.appends;
-                            if c.fuse {
-                                s.fuse = true;
-                                fused = true;
+                        }
+                        _ if is_protocol_name(n) => {}
+                        _ => {
+                            for &callee in graph.resolve(n) {
+                                if callee == id {
+                                    continue;
+                                }
+                                let c = &summaries[callee];
+                                if c.exposed_discard && !fact.0 {
+                                    s.exposed_discard = true;
+                                }
+                                if c.exposed_unfused_effect && !fact.1 {
+                                    s.exposed_unfused_effect = true;
+                                }
+                                s.appends |= c.appends;
+                                s.journal_op |= c.journal_op;
+                                s.data_op |= c.data_op;
+                                s.device_io |= c.device_io;
+                                s.panics |= c.panics;
+                                for l in &c.acquires {
+                                    s.acquires.insert(l.clone());
+                                }
                             }
                         }
                     }
+                    s.fuse |= fact.1;
                 }
             }
+            fact = apply_event(id, ev, graph, summaries, fact);
         }
     }
-    s
+    s.fuse |= s.fuse_all;
+    s.appends |= s.appends_all;
+    (s, nf)
 }
 
 impl<'a> Analysis<'a> {
-    /// Builds graph and summaries over parsed files + items.
+    /// Builds CFGs, graph, summaries, and facts over parsed files + items.
     pub fn build(files: &'a [SourceFile], items: &'a [ItemIndex]) -> Analysis<'a> {
         let graph = CallGraph::build(files, items);
-        let summaries = compute(items, &graph);
+        let mut stats = Stats::default();
+        let cfgs: Vec<Cfg> = graph
+            .nodes
+            .iter()
+            .map(|&(fi, ni)| {
+                let f = &items[fi].fns[ni];
+                Cfg::build(&files[fi], f, &f.nested)
+            })
+            .collect();
+        stats.functions = cfgs.len();
+        stats.blocks = cfgs.iter().map(|c| c.blocks.len()).sum();
+        stats.edges = cfgs
+            .iter()
+            .flat_map(|c| c.blocks.iter())
+            .map(|b| b.succs.len())
+            .sum();
+        let (summaries, facts) = compute(items, &graph, &cfgs, &mut stats);
         Analysis {
             files,
             items,
             graph,
+            cfgs,
             summaries,
+            facts,
+            stats,
         }
     }
 
@@ -215,6 +368,28 @@ impl<'a> Analysis<'a> {
             self.file_of(id).rel,
             line,
             self.fn_item(id).name
+        )
+    }
+
+    /// Renders a block path through one function as a witness line:
+    /// `path through fn name: entry@12 -> then@14 -> exit`.
+    pub fn path_trace(&self, id: FnId, path: &[BlockId]) -> String {
+        let cfg = &self.cfgs[id];
+        let steps: Vec<String> = path
+            .iter()
+            .map(|&b| {
+                let blk = &cfg.blocks[b];
+                if blk.line > 0 {
+                    format!("{}@{}", blk.label, blk.line)
+                } else {
+                    blk.label.to_string()
+                }
+            })
+            .collect();
+        format!(
+            "path through fn {}: {}",
+            self.fn_item(id).name,
+            steps.join(" -> ")
         )
     }
 
@@ -327,6 +502,51 @@ mod tests {
     }
 
     #[test]
+    fn must_facts_require_every_path() {
+        let (files, idx) = analyze(&[(
+            "crates/core/src/a.rs",
+            "fn one_arm(c: &mut C, x: bool) { if x { append_journal_sync(&[]); } }\n\
+             fn both_arms(c: &mut C, x: bool) { if x { append_journal_sync(&[]); } \
+                else { append_journal_sync(&[]); } }\n\
+             fn via_branchy(c: &mut C, x: bool) { one_arm(c, x); c.discard(1, 2, 3); }\n\
+             fn via_total(c: &mut C, x: bool) { both_arms(c, x); c.discard(1, 2, 3); }",
+        )]);
+        let a = Analysis::build(&files, &idx);
+        let one = summary_of(&a, "one_arm");
+        assert!(one.appends && !one.appends_all, "append on some path only");
+        let both = summary_of(&a, "both_arms");
+        assert!(both.appends_all, "append on every path");
+        assert!(
+            summary_of(&a, "via_branchy").exposed_discard,
+            "a some-path append does not cover the discard after the call"
+        );
+        assert!(
+            !summary_of(&a, "via_total").exposed_discard,
+            "an all-paths append covers the discard after the call"
+        );
+    }
+
+    #[test]
+    fn branch_local_append_does_not_cover_the_other_arm() {
+        let (files, idx) = analyze(&[(
+            "crates/core/src/a.rs",
+            "fn hidden(c: &mut C, x: bool) { if x { append_journal_sync(&[]); } \
+                else { c.discard(1, 2, 3); } }\n\
+             fn guarded(c: &mut C, x: bool) { if x { append_journal_sync(&[]); \
+                c.discard(1, 2, 3); } }",
+        )]);
+        let a = Analysis::build(&files, &idx);
+        assert!(
+            summary_of(&a, "hidden").exposed_discard,
+            "the append on the sibling arm covers nothing"
+        );
+        assert!(
+            !summary_of(&a, "guarded").exposed_discard,
+            "append and discard on the same branch are ordered"
+        );
+    }
+
+    #[test]
     fn panic_propagates_and_witness_chains() {
         let (files, idx) = analyze(&[
             ("crates/core/src/a.rs", "pub fn api() { helper_p(); }"),
@@ -355,5 +575,18 @@ mod tests {
         );
         assert_eq!(chain.len(), 3, "api → helper_p → deep_p panic: {chain:?}");
         assert!(chain[2].contains("fn deep_p"));
+    }
+
+    #[test]
+    fn unreachable_effects_are_invisible() {
+        let (files, idx) = analyze(&[(
+            "crates/core/src/a.rs",
+            "fn dead_code(c: &mut C) { return; c.discard(1, 2, 3); }",
+        )]);
+        let a = Analysis::build(&files, &idx);
+        assert!(
+            !summary_of(&a, "dead_code").exposed_discard,
+            "no path reaches the discard"
+        );
     }
 }

@@ -119,6 +119,83 @@ const XFN_CASES: &[(&str, &str, &str, &str, &str, Severity)] = &[
     ),
 ];
 
+/// Branch-sensitivity pairs, one per flow-sensitive rule family:
+/// `(hot fixture, clean fixture, forced rel path, rule)`. The *hot* half
+/// hides its violation on one `match` arm and must be caught; the
+/// *clean* half has the correct branch-guarded ordering and must lint
+/// clean **without a pragma** — the same shapes a path-insensitive
+/// analysis either misses or over-flags.
+const FLOW_CASES: &[(&str, &str, &str, &str)] = &[
+    (
+        "flow_durability_hot.rs",
+        "flow_durability_clean.rs",
+        "crates/core/src/fixture.rs",
+        "durability",
+    ),
+    (
+        "flow_locks_hot.rs",
+        "flow_locks_clean.rs",
+        "crates/sim/src/fixture.rs",
+        "lock-across-io",
+    ),
+    (
+        "flow_typestate_hot.rs",
+        "flow_typestate_clean.rs",
+        "crates/core/src/fixture.rs",
+        "typestate",
+    ),
+];
+
+#[test]
+fn flow_hot_halves_are_caught_despite_the_branch() {
+    for &(hot, _, rel, rule) in FLOW_CASES {
+        let report = lint_fixture(hot, rel);
+        let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            vec![rule],
+            "{hot}: the arm-hidden violation must produce exactly one \
+             `{rule}` finding, got {:?}",
+            report.diagnostics
+        );
+        assert_eq!(report.suppressed, 0, "{hot}");
+    }
+}
+
+#[test]
+fn flow_clean_halves_need_no_pragma() {
+    for &(_, clean, rel, rule) in FLOW_CASES {
+        let report = lint_fixture(clean, rel);
+        assert!(
+            report.diagnostics.is_empty(),
+            "{clean}: branch-guarded correct ordering must be clean \
+             without a pragma (rule `{rule}`): {:?}",
+            report.diagnostics
+        );
+        assert_eq!(report.suppressed, 0, "{clean}: nothing suppressed");
+    }
+}
+
+#[test]
+fn flow_violations_carry_a_block_path_witness() {
+    // The durability and typestate findings are *path* facts; the
+    // diagnostic must name the violating path through the CFG so the
+    // reader can follow it arm by arm.
+    for &(hot, rel) in &[
+        ("flow_durability_hot.rs", "crates/core/src/fixture.rs"),
+        ("flow_typestate_hot.rs", "crates/core/src/fixture.rs"),
+    ] {
+        let report = lint_fixture(hot, rel);
+        assert_eq!(report.diagnostics.len(), 1, "{hot}");
+        let d = &report.diagnostics[0];
+        assert!(
+            d.chain.iter().any(|c| c.contains("path through fn")),
+            "{hot}: expected a block-path witness in the chain, got {:?}",
+            d.chain
+        );
+    }
+}
+
 #[test]
 fn xfn_halves_alone_are_invisible_to_per_file_analysis() {
     // Linting one file by itself is exactly the visibility the old

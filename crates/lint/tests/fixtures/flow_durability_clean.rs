@@ -1,0 +1,18 @@
+//! Flow-sensitivity fixture (clean half): every arm of the `match`
+//! appends before the join, so the discard after the join is covered on
+//! *every* path — the must-analysis joins to "appended" and the function
+//! lints clean without any pragma. A per-arm or path-insensitive
+//! analysis cannot establish this.
+
+pub fn evict_with_per_arm_append(c: &mut Cache, j: &mut Journal) {
+    fuse_consume(CrashSite::Evict, 4096);
+    match plan() {
+        Plan::Eager => {
+            append_journal_sync(j, &[]);
+        }
+        Plan::Batch => {
+            append_journal_sync(j, &[1]);
+        }
+    }
+    c.discard(1, 0, 4096);
+}

@@ -1,0 +1,19 @@
+//! Flow-sensitivity fixture (violating half): the discard is hidden on
+//! one `match` arm while the journal append only happens after the join.
+//! A path through `Plan::Eager` reaches the discard with nothing
+//! appended — the flow-sensitive must-analysis catches it and reports
+//! that path; a lexical scanner that only sees "an append exists in this
+//! function" would not.
+
+pub fn evict_with_arm_hidden_discard(c: &mut Cache, j: &mut Journal) {
+    fuse_consume(CrashSite::Evict, 4096);
+    match plan() {
+        Plan::Eager => {
+            c.discard(1, 0, 4096);
+        }
+        Plan::Batch => {
+            note_deferred();
+        }
+    }
+    append_journal_sync(j, &[]);
+}

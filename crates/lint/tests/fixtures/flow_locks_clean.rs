@@ -1,0 +1,17 @@
+//! Flow-sensitivity fixture (clean half): the guard lives on one `match`
+//! arm and the device I/O on the *sibling* arm. The acquisition's block
+//! never reaches the I/O's block, so the guard is provably not held
+//! there — clean without a pragma. The pre-CFG extent rule ("rest of the
+//! body") would have demanded one.
+
+pub fn poll_with_sibling_arm_io(s: &Server) {
+    match s.mode {
+        Mode::Count => {
+            let g = s.records.lock();
+            tally(&g);
+        }
+        Mode::Flush => {
+            read_bytes(s, 0, 4096);
+        }
+    }
+}

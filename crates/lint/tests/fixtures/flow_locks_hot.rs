@@ -1,0 +1,16 @@
+//! Flow-sensitivity fixture (violating half): the guard is taken before
+//! the `match` and the device I/O hides on one arm — that arm is
+//! reachable from the acquisition, so the hold is real there and the
+//! lint fires.
+
+pub fn poll_with_io_under_guard(s: &Server) {
+    let g = s.records.lock();
+    match s.mode {
+        Mode::Flush => {
+            read_bytes(&g, 0, 4096);
+        }
+        Mode::Idle => {
+            touch_stat(s);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Flow-sensitivity fixture (clean half): every `match` arm consumes the
+//! staged `Pending` action exactly once — one registers it, the other
+//! chains it behind an in-flight tag. No path leaks it and no path can
+//! see it twice (the arms are siblings), so the function lints clean
+//! without a pragma.
+
+pub fn stage_with_per_arm_consume(bg: &mut Background) {
+    let act = Pending::Fetch {
+        file: 1,
+        offset: 0,
+        len: 4096,
+    };
+    match bg.mode {
+        Mode::Busy => {
+            bg.register(act);
+        }
+        Mode::Idle => {
+            bg.chain(7, act);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Flow-sensitivity fixture (violating half): the staged `Pending`
+//! action is handed to the scheduler on one `match` arm only — the
+//! `Mode::Idle` path drops it, silently abandoning the plan's
+//! obligations. The typestate must-analysis reports that path.
+
+pub fn stage_with_leaky_arm(bg: &mut Background) {
+    let act = Pending::Fetch {
+        file: 1,
+        offset: 0,
+        len: 4096,
+    };
+    match bg.mode {
+        Mode::Busy => {
+            bg.register(act);
+        }
+        Mode::Idle => {
+            note_idle(bg);
+        }
+    }
+}
