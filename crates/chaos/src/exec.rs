@@ -93,7 +93,9 @@ pub fn run(schedule: &Schedule, inject_bug: bool) -> ChaosReport {
     let n_servers = cluster.cpfs().server_count();
     let fuse = CrashFuse::unlimited().shared();
     let wl = &schedule.workload;
-    let mut config = S4dConfig::new(wl.capacity).with_journal_batch(1);
+    let mut config = S4dConfig::new(wl.capacity)
+        .with_journal_batch(1)
+        .with_shards(wl.shards);
     if wl.ckpt_records != u64::MAX {
         config = config.with_checkpoint_thresholds(wl.ckpt_records, u64::MAX);
     }
@@ -229,7 +231,9 @@ struct Executor {
 impl Executor {
     fn config(&self) -> S4dConfig {
         let wl = &self.schedule.workload;
-        let mut c = S4dConfig::new(wl.capacity).with_journal_batch(1);
+        let mut c = S4dConfig::new(wl.capacity)
+            .with_journal_batch(1)
+            .with_shards(wl.shards);
         if wl.ckpt_records != u64::MAX {
             c = c.with_checkpoint_thresholds(wl.ckpt_records, u64::MAX);
         }
@@ -336,7 +340,7 @@ impl Executor {
         let file = self.file;
         let doomed: Vec<(u64, u64)> = self
             .mw
-            .dmt()
+            .plane()
             .iter_extents()
             .filter(|(f, _, e)| {
                 Some(*f) == file && e.dirty && {
@@ -737,25 +741,28 @@ impl Executor {
     }
 
     /// Structural invariants of the live instance: space accounting
-    /// matches the mapping, and every mapped cache byte is present.
+    /// matches the mapping, and every mapped cache byte is present. Reads
+    /// the plane's routed aggregates, so the identities hold across every
+    /// shard at any shard count (the shard-0 views would miss mutations
+    /// the router sent elsewhere).
     fn check_structure(&mut self) {
-        let sum: u64 = self.mw.dmt().iter_extents().map(|(_, _, e)| e.len).sum();
-        if sum != self.mw.dmt().mapped_bytes() {
-            let mapped = self.mw.dmt().mapped_bytes();
+        let sum: u64 = self.mw.plane().iter_extents().map(|(_, _, e)| e.len).sum();
+        if sum != self.mw.plane().mapped_bytes() {
+            let mapped = self.mw.plane().mapped_bytes();
             self.oracle.violate(
                 "space-identity",
                 format!("extent sum {sum} != mapped_bytes {mapped}"),
             );
         }
-        if self.mw.space().allocated() != sum {
-            let allocated = self.mw.space().allocated();
+        if self.mw.plane().allocated() != sum {
+            let allocated = self.mw.plane().allocated();
             self.oracle.violate(
                 "space-identity",
                 format!("allocator reports {allocated} allocated but extents sum to {sum}"),
             );
         }
-        if self.mw.space().allocated() > self.mw.space().capacity() {
-            let (a, c) = (self.mw.space().allocated(), self.mw.space().capacity());
+        if self.mw.plane().allocated() > self.mw.plane().capacity() {
+            let (a, c) = (self.mw.plane().allocated(), self.mw.plane().capacity());
             self.oracle.violate(
                 "space-identity",
                 format!("allocated {a} exceeds capacity {c}"),
@@ -763,7 +770,7 @@ impl Executor {
         }
         let extents: Vec<_> = self
             .mw
-            .dmt()
+            .plane()
             .iter_extents()
             .map(|(f, o, e)| (f, o, e.c_file, e.c_offset, e.len))
             .collect();
@@ -921,10 +928,10 @@ impl Executor {
     }
 }
 
-/// The recovered mapping as a comparable value.
+/// The recovered mapping as a comparable value (across every shard).
 fn extents_of(mw: &S4dCache) -> Vec<(u64, u64, u64, u64, u64, bool)> {
     let mut v: Vec<_> = mw
-        .dmt()
+        .plane()
         .iter_extents()
         .map(|(f, o, e)| (f.0, o, e.len, e.c_file.0, e.c_offset, e.dirty))
         .collect();

@@ -22,6 +22,7 @@ struct Args {
     seeds: u64,
     start: u64,
     seed: Option<u64>,
+    shards: u32,
     inject_bug: bool,
     validate_oracle: bool,
     repro: Option<String>,
@@ -30,8 +31,8 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: s4d-chaos [--seeds N] [--start S] [--seed X] [--inject-bug] \
-         [--validate-oracle] [--repro FILE] [--out DIR]"
+        "usage: s4d-chaos [--seeds N] [--start S] [--seed X] [--shards K] \
+         [--inject-bug] [--validate-oracle] [--repro FILE] [--out DIR]"
     );
     ExitCode::from(2)
 }
@@ -41,6 +42,7 @@ fn parse_args() -> Result<Args, ()> {
         seeds: 25,
         start: 0,
         seed: None,
+        shards: 1,
         inject_bug: false,
         validate_oracle: false,
         repro: None,
@@ -52,6 +54,9 @@ fn parse_args() -> Result<Args, ()> {
             "--seeds" => args.seeds = it.next().ok_or(())?.parse().map_err(|_| ())?,
             "--start" => args.start = it.next().ok_or(())?.parse().map_err(|_| ())?,
             "--seed" => args.seed = Some(it.next().ok_or(())?.parse().map_err(|_| ())?),
+            // Metadata-plane shard count for every run in this invocation;
+            // the schedule itself (workload + fault script) is unchanged.
+            "--shards" => args.shards = it.next().ok_or(())?.parse().map_err(|_| ())?,
             "--inject-bug" => args.inject_bug = true,
             "--validate-oracle" => args.validate_oracle = true,
             "--repro" => args.repro = Some(it.next().ok_or(())?),
@@ -63,13 +68,14 @@ fn parse_args() -> Result<Args, ()> {
 }
 
 /// Minimizes a failing seed and writes its repro file under `out`.
-fn write_repro(out: &str, seed: u64, inject_bug: bool) {
-    let schedule = Schedule::generate(seed);
+fn write_repro(out: &str, seed: u64, shards: u32, inject_bug: bool) {
+    let schedule = Schedule::generate_with_shards(seed, shards);
     let Some(min) = minimize(&schedule, inject_bug) else {
         return;
     };
     let repro = Repro {
         seed,
+        shards,
         inject_bug,
         keep: min.kept.clone(),
     };
@@ -122,11 +128,14 @@ fn main() -> ExitCode {
     }
 
     if let Some(seed) = args.seed {
-        let report = run_caught(&Schedule::generate(seed), args.inject_bug);
+        let report = run_caught(
+            &Schedule::generate_with_shards(seed, args.shards),
+            args.inject_bug,
+        );
         println!("{}", report_json(&report));
         if report.failed() {
             if let Some(out) = &args.out {
-                write_repro(out, seed, args.inject_bug);
+                write_repro(out, seed, args.shards, args.inject_bug);
             }
             return ExitCode::from(1);
         }
@@ -136,7 +145,10 @@ fn main() -> ExitCode {
     // Sweep mode.
     let mut reports = Vec::with_capacity(args.seeds as usize);
     for seed in args.start..args.start + args.seeds {
-        let report = run_caught(&Schedule::generate(seed), args.inject_bug);
+        let report = run_caught(
+            &Schedule::generate_with_shards(seed, args.shards),
+            args.inject_bug,
+        );
         if report.failed() {
             eprintln!(
                 "seed {seed}: FAILED ({})",
@@ -147,7 +159,7 @@ fn main() -> ExitCode {
                     .unwrap_or("?")
             );
             if let Some(out) = &args.out {
-                write_repro(out, seed, args.inject_bug);
+                write_repro(out, seed, args.shards, args.inject_bug);
             }
         }
         reports.push(report);
@@ -170,7 +182,7 @@ fn main() -> ExitCode {
 fn validate_oracle(args: &Args) -> ExitCode {
     let scan = if args.seeds == 25 { 64 } else { args.seeds };
     for seed in args.start..args.start + scan {
-        let schedule = Schedule::generate(seed);
+        let schedule = Schedule::generate_with_shards(seed, args.shards);
         let report = run_caught(&schedule, true);
         if !report.failed() {
             continue;
@@ -204,7 +216,7 @@ fn validate_oracle(args: &Args) -> ExitCode {
             return ExitCode::from(1);
         }
         if let Some(out) = &args.out {
-            write_repro(out, seed, true);
+            write_repro(out, seed, args.shards, true);
         }
         return ExitCode::SUCCESS;
     }

@@ -97,6 +97,9 @@ fn finish(schedule: &Schedule, kept: Vec<usize>, report: ChaosReport, runs: u32)
 pub struct Repro {
     /// Schedule seed.
     pub seed: u64,
+    /// Metadata-plane shard count the failure was observed at (1 for
+    /// repro files written before sharding existed).
+    pub shards: u32,
     /// Whether the deliberate durability bug is injected.
     pub inject_bug: bool,
     /// Original event indices to keep.
@@ -108,8 +111,9 @@ impl Repro {
     pub fn to_json(&self) -> String {
         let keep: Vec<String> = self.keep.iter().map(|k| k.to_string()).collect();
         format!(
-            "{{\"seed\":{},\"inject_bug\":{},\"keep\":[{}]}}\n",
+            "{{\"seed\":{},\"shards\":{},\"inject_bug\":{},\"keep\":[{}]}}\n",
             self.seed,
+            self.shards,
             self.inject_bug,
             keep.join(",")
         )
@@ -119,10 +123,14 @@ impl Repro {
     /// writes; whitespace-tolerant, order-insensitive).
     pub fn parse(text: &str) -> Option<Repro> {
         let seed = field_u64(text, "seed")?;
+        // Absent in repro files written before the sharded metadata
+        // plane: those failures were observed at one shard.
+        let shards = field_u64(text, "shards").unwrap_or(1) as u32;
         let inject_bug = field_bool(text, "inject_bug")?;
         let keep = field_u64_array(text, "keep")?;
         Some(Repro {
             seed,
+            shards,
             inject_bug,
             keep: keep.into_iter().map(|k| k as usize).collect(),
         })
@@ -130,7 +138,8 @@ impl Repro {
 
     /// Replays this repro: the minimal schedule and its report.
     pub fn run(&self) -> (Schedule, ChaosReport) {
-        let schedule = Schedule::generate(self.seed).with_events_kept(&self.keep);
+        let schedule =
+            Schedule::generate_with_shards(self.seed, self.shards).with_events_kept(&self.keep);
         let report = run_caught(&schedule, self.inject_bug);
         (schedule, report)
     }
@@ -185,16 +194,34 @@ mod tests {
     fn repro_round_trips() {
         let r = Repro {
             seed: 1234,
+            shards: 16,
             inject_bug: true,
             keep: vec![0, 2, 4],
         };
         assert_eq!(Repro::parse(&r.to_json()), Some(r));
         let empty = Repro {
             seed: 7,
+            shards: 1,
             inject_bug: false,
             keep: vec![],
         };
         assert_eq!(Repro::parse(&empty.to_json()), Some(empty));
+    }
+
+    #[test]
+    fn parse_defaults_missing_shards_to_one() {
+        // Repro files written before the sharded metadata plane have no
+        // "shards" field; they replay at one shard.
+        let text = "{\"seed\":42,\"inject_bug\":false,\"keep\":[1]}";
+        assert_eq!(
+            Repro::parse(text),
+            Some(Repro {
+                seed: 42,
+                shards: 1,
+                inject_bug: false,
+                keep: vec![1],
+            })
+        );
     }
 
     #[test]
@@ -204,6 +231,7 @@ mod tests {
             Repro::parse(text),
             Some(Repro {
                 seed: 99,
+                shards: 1,
                 inject_bug: false,
                 keep: vec![1, 3],
             })

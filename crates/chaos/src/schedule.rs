@@ -134,6 +134,12 @@ pub struct WorkloadSpec {
     pub ckpt_records: u64,
     /// Cluster construction seed.
     pub cluster_seed: u64,
+    /// Metadata-plane shard count handed to the middleware. Set *outside*
+    /// the seeded rng draws (see [`Schedule::generate_with_shards`]), so
+    /// the same seed produces the same workload and fault script at every
+    /// shard count — and the default of 1 leaves historical seed
+    /// fingerprints untouched.
+    pub shards: u32,
 }
 
 /// A complete chaos run description: seed, workload, fault script.
@@ -180,6 +186,7 @@ impl Schedule {
             capacity,
             ckpt_records,
             cluster_seed,
+            shards: 1,
         };
 
         let total_ops = (2 * processes as u64 * per_process) as u32;
@@ -222,6 +229,17 @@ impl Schedule {
             workload,
             events,
         }
+    }
+
+    /// [`Schedule::generate`] with the middleware's metadata plane run at
+    /// `shards` shards. The shard count is applied after every seeded
+    /// draw, so the schedule (workload geometry, fault script, op stream)
+    /// is byte-identical to the unsharded one — only the middleware
+    /// configuration changes.
+    pub fn generate_with_shards(seed: u64, shards: u32) -> Self {
+        let mut s = Self::generate(seed);
+        s.workload.shards = shards.max(1);
+        s
     }
 
     /// The same schedule with only the events at the given (original)
@@ -317,6 +335,22 @@ mod tests {
         let all: Vec<usize> = (0..s.events.len()).collect();
         assert_eq!(s.with_events_kept(&all).events, s.events);
         assert!(s.with_events_kept(&[]).events.is_empty());
+    }
+
+    #[test]
+    fn shard_count_never_perturbs_the_schedule() {
+        for seed in 0..32 {
+            let base = Schedule::generate(seed);
+            for shards in [1u32, 4, 16] {
+                let s = Schedule::generate_with_shards(seed, shards);
+                assert_eq!(s.workload.shards, shards);
+                assert_eq!(s.events, base.events, "seed {seed}: fault script moved");
+                assert_eq!(s.workload.ior, base.workload.ior);
+                assert_eq!(s.workload.capacity, base.workload.capacity);
+                assert_eq!(s.workload.cluster_seed, base.workload.cluster_seed);
+            }
+        }
+        assert_eq!(Schedule::generate(7).workload.shards, 1, "default is 1");
     }
 
     #[test]

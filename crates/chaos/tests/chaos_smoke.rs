@@ -34,6 +34,31 @@ fn same_seed_is_byte_identical() {
     assert_eq!(report_json(&a), report_json(&b), "reports diverged");
 }
 
+/// The sharded metadata plane is an internal reorganization, so every
+/// shard count the nightly sweep exercises must stay green on the same
+/// fixed seed block — same workload, same fault script, only the plane
+/// partitioning differs — and each (seed, shards) pair must be
+/// deterministic across runs.
+#[test]
+fn fixed_seed_block_is_green_at_every_shard_count() {
+    for shards in [4, 16] {
+        for seed in 0..6 {
+            let schedule = Schedule::generate_with_shards(seed, shards);
+            let report = run(&schedule, false);
+            assert!(
+                !report.failed(),
+                "seed {seed} at {shards} shards violated invariants: {:?}",
+                report.violations
+            );
+            let again = run(&schedule, false);
+            assert_eq!(
+                report.fingerprint, again.fingerprint,
+                "seed {seed} at {shards} shards: fingerprint diverged across runs"
+            );
+        }
+    }
+}
+
 /// Oracle self-test: with the journal-before-discard ordering
 /// deliberately broken, some seed in a small scan must trip the oracle,
 /// and ddmin must shrink the schedule to a handful of events while

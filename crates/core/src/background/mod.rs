@@ -21,7 +21,7 @@ use s4d_pfs::{FileId, Priority};
 use s4d_sim::SimTime;
 
 use crate::layer::S4dCache;
-use crate::space::SpaceManager;
+use crate::shard::MetadataPlane;
 
 /// One dirty extent inside a flush group.
 #[derive(Debug, Clone, Copy)]
@@ -109,20 +109,24 @@ pub(crate) struct BackgroundScheduler {
     /// Ranges referenced by in-flight foreground reads; eviction must not
     /// discard them (a queued sub-request would read freed space).
     pins: Vec<(FileId, u64, u64)>,
-    /// Scrub resume position: the last `(file, d_offset)` verified.
-    scrub_cursor: Option<(FileId, u64)>,
+    /// Per-shard scrub resume positions: the last `(file, d_offset)`
+    /// verified in each shard. Independent cursors let every shard make
+    /// scrub progress each wake instead of one global walk starving the
+    /// tail shards.
+    scrub_cursors: Vec<Option<(FileId, u64)>>,
 }
 
 impl BackgroundScheduler {
-    /// A fresh scheduler with nothing pending.
-    pub(crate) fn new() -> Self {
+    /// A fresh scheduler with nothing pending and one scrub cursor per
+    /// metadata shard.
+    pub(crate) fn new(shards: usize) -> Self {
         BackgroundScheduler {
             pending: HashMap::new(),
             next_tag: 1,
             inflight_flush: HashSet::new(),
             inflight_fetch: HashSet::new(),
             pins: Vec::new(),
-            scrub_cursor: None,
+            scrub_cursors: vec![None; shards.max(1)],
         }
     }
 
@@ -173,11 +177,11 @@ impl BackgroundScheduler {
     /// data effects of completion: pins lift, in-flight markers clear,
     /// fetch reservations return to the allocator. Flushed extents stay
     /// dirty and flagged reads stay flagged, so the Rebuilder retries.
-    pub(crate) fn abandon(&mut self, space: &mut SpaceManager, action: Option<Pending>) {
+    pub(crate) fn abandon(&mut self, plane: &mut MetadataPlane, action: Option<Pending>) {
         match action {
             Some(Pending::Multi(actions)) => {
                 for a in actions {
-                    self.abandon(space, Some(a));
+                    self.abandon(plane, Some(a));
                 }
             }
             Some(Pending::Unpin(ranges)) => self.release_pins(ranges),
@@ -191,8 +195,11 @@ impl BackgroundScheduler {
                 cdt_keys,
                 pieces,
             }) => {
-                for (_d_off, len, c_file, c_off) in pieces {
-                    space.release(c_file, c_off, len);
+                for (d_off, len, c_file, c_off) in pieces {
+                    // The reservation came from the shard owning the
+                    // piece's original-file offset; return it there.
+                    let shard = plane.router().shard_of(orig, d_off);
+                    plane.release(shard, c_file, c_off, len);
                 }
                 for (o, l) in cdt_keys {
                     self.inflight_fetch.remove(&(orig, o, l));
@@ -245,19 +252,20 @@ impl S4dCache {
                 }
             }
             Some(Pending::Admitted { orig, ranges }) => {
-                let mut freed: Vec<(FileId, u64, u64)> = Vec::new();
+                let mut freed: Vec<(usize, FileId, u64, u64)> = Vec::new();
                 for (d_offset, len) in ranges {
                     // Only the extent this plan inserted: same start, same
                     // length, still dirty (nothing acked it since).
                     let matches = self
-                        .dmt
+                        .plane
                         .get(orig, d_offset)
                         .is_some_and(|e| e.len == len && e.dirty);
                     if !matches {
                         continue;
                     }
-                    if let Some(e) = self.dmt.remove(orig, d_offset) {
-                        freed.push((e.c_file, e.c_offset, e.len));
+                    let shard = self.plane.router().shard_of(orig, d_offset);
+                    if let Some(e) = self.plane.remove(orig, d_offset) {
+                        freed.push((shard, e.c_file, e.c_offset, e.len));
                         self.metrics.admission_unwinds += 1;
                     }
                 }
@@ -272,14 +280,14 @@ impl S4dCache {
                 // journal-before-discard, through the same proof type.
                 match self.dur.append_journal_sync(
                     cluster,
-                    &mut self.dmt,
+                    &mut self.plane,
                     &self.config,
                     &mut self.metrics,
                     &[],
                 ) {
                     Some(proof) => {
-                        for (c_file, c_off, len) in freed {
-                            self.space.release(c_file, c_off, len);
+                        for (shard, c_file, c_off, len) in freed {
+                            self.plane.release(shard, c_file, c_off, len);
                             self.dur.discard_cache(cluster, &proof, c_file, c_off, len);
                         }
                     }
@@ -292,7 +300,7 @@ impl S4dCache {
             Some(Pending::Journal { offset, records }) => {
                 self.dur.unplan_journal(offset, records, &mut self.metrics);
             }
-            other => self.bg.abandon(&mut self.space, other),
+            other => self.bg.abandon(&mut self.plane, other),
         }
     }
 
@@ -318,18 +326,18 @@ impl S4dCache {
         // parked behind the stall.
         if self.dur.is_stalled() {
             self.dur
-                .retry_stall(cluster, &mut self.dmt, &self.config, &mut self.metrics);
+                .retry_stall(cluster, &mut self.plane, &self.config, &mut self.metrics);
         }
         if !self.dur.is_stalled() && !self.stalled_discards.is_empty() {
             if let Some(proof) = self.dur.append_journal_sync(
                 cluster,
-                &mut self.dmt,
+                &mut self.plane,
                 &self.config,
                 &mut self.metrics,
                 &[],
             ) {
-                for (c_file, c_off, len) in std::mem::take(&mut self.stalled_discards) {
-                    self.space.release(c_file, c_off, len);
+                for (shard, c_file, c_off, len) in std::mem::take(&mut self.stalled_discards) {
+                    self.plane.release(shard, c_file, c_off, len);
                     self.dur.discard_cache(cluster, &proof, c_file, c_off, len);
                 }
             }
@@ -344,11 +352,11 @@ impl S4dCache {
             self.run_scrub(cluster);
         }
         self.dur
-            .maybe_checkpoint(cluster, &mut self.dmt, &self.config, &mut self.metrics);
+            .maybe_checkpoint(cluster, &mut self.plane, &self.config, &mut self.metrics);
         // Persist any straggling journal records with background priority.
         if let Some((op, records)) = self.dur.drain_journal(
             cluster,
-            &mut self.dmt,
+            &mut self.plane,
             &self.config,
             &mut self.metrics,
             Priority::Background,
@@ -361,18 +369,18 @@ impl S4dCache {
             plans.push(plan);
         }
         debug_assert_eq!(
-            self.dmt.pending_records(),
+            self.plane.pending_records(),
             0,
             "poll_background returned with uncollected journal records"
         );
         // Mirror the allocator's accounting-bug counter into the metrics
         // snapshot (monotone, so assignment is safe).
-        self.metrics.space_over_releases = self.space.over_releases();
+        self.metrics.space_over_releases = self.plane.over_releases();
         let work_pending = !plans.is_empty()
             || self.bg.any_blocking()
             || self.dur.is_stalled()
             || !self.stalled_discards.is_empty()
-            || (!self.config.persistent_placement && self.dmt.dirty_bytes() > 0);
+            || (!self.config.persistent_placement && self.plane.dirty_bytes() > 0);
         BackgroundPoll {
             plans,
             next_wake: Some(now + self.config.rebuild_period),

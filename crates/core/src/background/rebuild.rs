@@ -42,7 +42,7 @@ impl S4dCache {
         } else {
             self.config.max_flush_per_wake
         };
-        let mut candidates = self.dmt.dirty_lru(limit);
+        let mut candidates = self.plane.dirty_lru(limit);
         candidates.retain(|(f, d, _)| !self.bg.inflight_flush.contains(&(*f, *d)));
         candidates.sort_by_key(|(f, d, _)| (f.0, *d));
         let plans_base = plans.len();
@@ -133,7 +133,7 @@ impl S4dCache {
             // a crash between the two re-flushes idempotently.
             let durable = self.dur.append_journal_sync(
                 cluster,
-                &mut self.dmt,
+                &mut self.plane,
                 &self.config,
                 &mut self.metrics,
                 &intents,
@@ -147,7 +147,7 @@ impl S4dCache {
                 // an idempotent re-flush.)
                 for plan in plans.drain(plans_base..) {
                     let action = self.bg.take(plan.tag);
-                    self.bg.abandon(&mut self.space, action);
+                    self.bg.abandon(&mut self.plane, action);
                 }
                 self.metrics.flushes = flushes_before;
                 self.metrics.flushed_bytes = flushed_before;
@@ -170,7 +170,7 @@ impl S4dCache {
         if self.health.any_unhealthy(now) {
             return;
         }
-        let mut flagged = self.cdt.flagged(self.config.max_fetch_per_wake);
+        let mut flagged = self.plane.cdt_flagged(self.config.max_fetch_per_wake);
         flagged.retain(|e| !self.bg.inflight_fetch.contains(&(e.file, e.offset, e.len)));
         flagged.sort_by_key(|e| (e.file.0, e.offset));
         let mut i = 0;
@@ -190,18 +190,35 @@ impl S4dCache {
                 }
             }
             i = j;
-            let Some(&cache) = self.cache_file_of.get(&file) else {
+            if !self.cache_file_of.contains_key(&file) {
                 continue;
-            };
-            let view = self.dmt.view(file, start, end - start);
+            }
+            let view = self.plane.view(file, start, end - start);
             if view.fully_covered() {
                 for &(o, l) in &keys {
-                    self.cdt.clear_c_flag(file, o, l);
+                    self.plane.cdt_clear_c_flag(file, o, l);
                 }
                 continue;
             }
             let total: u64 = view.gaps.iter().map(|&(_, l)| l).sum();
-            if !self.make_room(cluster, total) {
+            // Each gap splits into shard segments; every owning shard
+            // must make room before the group's fetch is planned.
+            let mut shard_asks: Vec<u64> = vec![0; self.plane.shard_count()];
+            for &(g_off, g_len) in &view.gaps {
+                for seg in self.plane.router().segments(file, g_off, g_len) {
+                    if let Some(ask) = shard_asks.get_mut(seg.shard) {
+                        *ask += seg.len;
+                    }
+                }
+            }
+            let mut roomy = true;
+            for (shard, &ask) in shard_asks.iter().enumerate() {
+                if ask > 0 && !self.make_room(cluster, shard, ask) {
+                    roomy = false;
+                    break;
+                }
+            }
+            if !roomy {
                 // No clean space to reclaim: stop fetching this wake.
                 break;
             }
@@ -209,33 +226,38 @@ impl S4dCache {
             let mut writes = Vec::new();
             let mut pieces = Vec::new();
             for &(g_off, g_len) in &view.gaps {
-                let Some(allocs) = self.space.alloc(cache, g_len) else {
-                    continue; // make_room guaranteed capacity; skip the gap if not
-                };
-                reads.push(PlannedIo {
-                    tier: Tier::DServers,
-                    file,
-                    kind: IoKind::Read,
-                    offset: g_off,
-                    len: g_len,
-                    priority: Priority::Background,
-                    data: None,
-                    app_offset: None,
-                });
-                let mut cursor = g_off;
-                for p in allocs {
-                    writes.push(PlannedIo {
-                        tier: Tier::CServers,
-                        file: cache,
-                        kind: IoKind::Write,
-                        offset: p.c_offset,
-                        len: p.len,
+                for seg in self.plane.router().segments(file, g_off, g_len) {
+                    let Some(c_file) = self.cache_file_for(file, seg.shard) else {
+                        continue;
+                    };
+                    let Some(allocs) = self.plane.alloc(seg.shard, c_file, seg.len) else {
+                        continue; // make_room guaranteed capacity; skip the segment if not
+                    };
+                    reads.push(PlannedIo {
+                        tier: Tier::DServers,
+                        file,
+                        kind: IoKind::Read,
+                        offset: seg.offset,
+                        len: seg.len,
                         priority: Priority::Background,
                         data: None,
                         app_offset: None,
                     });
-                    pieces.push((cursor, p.len, cache, p.c_offset));
-                    cursor += p.len;
+                    let mut cursor = seg.offset;
+                    for p in allocs {
+                        writes.push(PlannedIo {
+                            tier: Tier::CServers,
+                            file: c_file,
+                            kind: IoKind::Write,
+                            offset: p.c_offset,
+                            len: p.len,
+                            priority: Priority::Background,
+                            data: None,
+                            app_offset: None,
+                        });
+                        pieces.push((cursor, p.len, c_file, p.c_offset));
+                        cursor += p.len;
+                    }
                 }
             }
             for &(o, l) in &keys {
@@ -285,7 +307,7 @@ impl S4dCache {
     /// gate). Timing-mode stores hold no bytes; sealing is skipped there.
     pub(crate) fn finish_seals(&mut self, cluster: &mut Cluster, targets: Vec<(FileId, u64, u64)>) {
         for (orig, d_offset, version) in targets {
-            let Some(e) = self.dmt.get(orig, d_offset) else {
+            let Some(e) = self.plane.get(orig, d_offset) else {
                 continue;
             };
             if e.version != version {
@@ -296,7 +318,7 @@ impl S4dCache {
                 continue;
             };
             let sum = journal::crc32(&bytes);
-            self.dmt.seal_if(orig, d_offset, version, sum);
+            self.plane.seal_if(orig, d_offset, version, sum);
         }
     }
 
@@ -308,7 +330,7 @@ impl S4dCache {
             // space may already hold *other* data. Copying then would
             // corrupt the original file, so the item is skipped; whoever
             // removed the extent accounted for its bytes.
-            let still_there = self.dmt.get(item.orig, item.d_offset).is_some_and(|e| {
+            let still_there = self.plane.get(item.orig, item.d_offset).is_some_and(|e| {
                 e.c_file == item.c_file && e.c_offset == item.c_offset && e.len >= item.len
             });
             if still_there {
@@ -330,7 +352,7 @@ impl S4dCache {
                 // on the same DServer offsets.
                 if allowed == item.len
                     && self
-                        .dmt
+                        .plane
                         .mark_clean_if(item.orig, item.d_offset, item.version)
                 {
                     seals.push((item.orig, item.d_offset, item.version));
@@ -340,7 +362,7 @@ impl S4dCache {
         }
         // Flushing does not change the cached bytes: seal any flushed
         // extent that was still unverified.
-        seals.retain(|&(f, o, _)| self.dmt.get(f, o).is_some_and(|e| e.checksum.is_none()));
+        seals.retain(|&(f, o, _)| self.plane.get(f, o).is_some_and(|e| e.checksum.is_none()));
         self.finish_seals(cluster, seals);
     }
 
@@ -355,8 +377,10 @@ impl S4dCache {
         for (d_off, len, c_file, c_off) in pieces {
             // A foreground write may have mapped (parts of) this range while
             // the fetch was in flight; only fill the still-missing gaps and
-            // return the rest of the reservation.
-            let view = self.dmt.view(orig, d_off, len);
+            // return the rest of the reservation. Pieces are allocated per
+            // shard segment, so the whole piece lives in `d_off`'s shard.
+            let shard = self.plane.router().shard_of(orig, d_off);
+            let view = self.plane.view(orig, d_off, len);
             for &(g_off, g_len) in &view.gaps {
                 let rel = g_off - d_off;
                 let allowed = self.dur.fuse_consume(CrashSite::FetchFill, g_len);
@@ -371,24 +395,24 @@ impl S4dCache {
                 // fill completed. A torn fill leaves orphaned cache bytes
                 // for the recovery sweep, never a mapping to a hole.
                 if allowed == g_len {
-                    self.dmt
+                    self.plane
                         .insert(orig, g_off, g_len, c_file, c_off + rel, false);
-                    if let Some(e) = self.dmt.get(orig, g_off) {
+                    if let Some(e) = self.plane.get(orig, g_off) {
                         seals.push((orig, g_off, e.version));
                     }
                 } else {
-                    self.space.release(c_file, c_off + rel, g_len);
+                    self.plane.release(shard, c_file, c_off + rel, g_len);
                 }
             }
             // Give back the parts of the reservation that a racing write
             // already mapped elsewhere.
             for piece in &view.pieces {
                 let rel = piece.d_offset - d_off;
-                self.space.release(c_file, c_off + rel, piece.len);
+                self.plane.release(shard, c_file, c_off + rel, piece.len);
             }
         }
         for (o, l) in cdt_keys {
-            self.cdt.clear_c_flag(orig, o, l);
+            self.plane.cdt_clear_c_flag(orig, o, l);
             self.bg.inflight_fetch.remove(&(orig, o, l));
         }
         self.finish_seals(cluster, seals);

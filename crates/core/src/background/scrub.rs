@@ -19,7 +19,7 @@ impl S4dCache {
         orig: FileId,
         d_offset: u64,
     ) -> Option<u64> {
-        let Some(e) = self.dmt.get(orig, d_offset).copied() else {
+        let Some(e) = self.plane.get(orig, d_offset).copied() else {
             return Some(0);
         };
         let bytes = match cluster.cpfs().read_bytes(e.c_file, e.c_offset, e.len) {
@@ -43,15 +43,16 @@ impl S4dCache {
                     );
                     self.metrics.scrub_repaired_bytes += e.len;
                 }
-                self.dmt
+                self.plane
                     .seal_if(orig, d_offset, e.version, journal::crc32(&truth));
             }
             (true, Some(expect)) if expect != sum => {
                 // Unrecoverable: the only up-to-date copy is corrupt.
-                self.dmt.remove(orig, d_offset);
+                let shard = self.plane.router().shard_of(orig, d_offset);
+                self.plane.remove(orig, d_offset);
                 match self.dur.append_journal_sync(
                     cluster,
-                    &mut self.dmt,
+                    &mut self.plane,
                     &self.config,
                     &mut self.metrics,
                     &[],
@@ -59,12 +60,13 @@ impl S4dCache {
                     Some(proof) => {
                         self.dur
                             .discard_cache(cluster, &proof, e.c_file, e.c_offset, e.len);
-                        self.space.release(e.c_file, e.c_offset, e.len);
+                        self.plane.release(shard, e.c_file, e.c_offset, e.len);
                     }
                     None => {
                         // Journal stalled: park the discard/release until
                         // the Remove is durable (see `stalled_discards`).
-                        self.stalled_discards.push((e.c_file, e.c_offset, e.len));
+                        self.stalled_discards
+                            .push((shard, e.c_file, e.c_offset, e.len));
                     }
                 }
                 self.metrics.scrub_lost_bytes += e.len;
@@ -79,36 +81,53 @@ impl S4dCache {
         Some(e.len)
     }
 
-    /// One background scrub pass: verifies extents in `(file, offset)`
-    /// order, resuming after the cursor, until the per-wake byte budget is
-    /// spent. Wraps around, so every extent is eventually visited.
+    /// One background scrub pass: each shard's cursor walks that shard's
+    /// extents in `(file, offset)` order until its slice of the per-wake
+    /// byte budget is spent. The budget splits evenly with the remainder
+    /// on shard 0, so at `shard_count = 1` the whole budget drives the
+    /// single cursor — the legacy walk. Wraps around, so every extent is
+    /// eventually visited.
     pub(crate) fn run_scrub(&mut self, cluster: &mut Cluster) {
-        let mut targets: Vec<(FileId, u64)> =
-            self.dmt.iter_extents().map(|(f, o, _)| (f, o)).collect();
-        if targets.is_empty() {
-            return;
-        }
-        targets.sort_unstable_by_key(|&(f, o)| (f.0, o));
-        let start = match self.bg.scrub_cursor {
-            None => 0,
-            Some((cf, co)) => targets
-                .iter()
-                .position(|&(f, o)| (f.0, o) > (cf.0, co))
-                .unwrap_or(0),
-        };
-        let mut budget = self.config.scrub_bytes_per_wake;
-        for k in 0..targets.len() {
-            if budget == 0 {
-                break;
+        let shards = self.plane.shard_count();
+        let mut per_shard: Vec<Vec<(FileId, u64)>> = vec![Vec::new(); shards];
+        for (f, o, _) in self.plane.iter_extents() {
+            let shard = self.plane.router().shard_of(f, o);
+            if let Some(list) = per_shard.get_mut(shard) {
+                list.push((f, o));
             }
-            let Some(&(f, o)) = targets.get((start + k) % targets.len()) else {
-                break; // modulo of a non-empty vec is always in range
+        }
+        let total = self.config.scrub_bytes_per_wake;
+        let base = total / shards as u64;
+        let rem = total % shards as u64;
+        for (shard, targets) in per_shard.iter_mut().enumerate() {
+            if targets.is_empty() {
+                continue;
+            }
+            targets.sort_unstable_by_key(|&(f, o)| (f.0, o));
+            let cursor = self.bg.scrub_cursors.get(shard).copied().flatten();
+            let start = match cursor {
+                None => 0,
+                Some((cf, co)) => targets
+                    .iter()
+                    .position(|&(f, o)| (f.0, o) > (cf.0, co))
+                    .unwrap_or(0),
             };
-            match self.scrub_extent(cluster, f, o) {
-                None => return,
-                Some(scanned) => {
-                    budget = budget.saturating_sub(scanned.max(1));
-                    self.bg.scrub_cursor = Some((f, o));
+            let mut budget = if shard == 0 { base + rem } else { base };
+            for k in 0..targets.len() {
+                if budget == 0 {
+                    break;
+                }
+                let Some(&(f, o)) = targets.get((start + k) % targets.len()) else {
+                    break; // modulo of a non-empty vec is always in range
+                };
+                match self.scrub_extent(cluster, f, o) {
+                    None => return,
+                    Some(scanned) => {
+                        budget = budget.saturating_sub(scanned.max(1));
+                        if let Some(c) = self.bg.scrub_cursors.get_mut(shard) {
+                            *c = Some((f, o));
+                        }
+                    }
                 }
             }
         }
@@ -124,7 +143,7 @@ impl S4dCache {
         len: u64,
     ) {
         let targets: Vec<u64> = self
-            .dmt
+            .plane
             .extents_overlapping(file, offset, len)
             .into_iter()
             .map(|(o, _)| o)

@@ -136,6 +136,18 @@ pub struct S4dConfig {
     /// shed — the marginal, lowest-benefit admissions go first. Under
     /// global overload every admission is shed regardless of benefit.
     pub shed_benefit_margin: f64,
+    /// Number of deterministic metadata-plane shards. Each shard owns a
+    /// disjoint slice of the DMT interval map, the CDT, and the space
+    /// accounting, keyed by `(file, offset / shard_stripe) % shard_count`
+    /// — so independent requests proceed through the
+    /// identify→redirect→admit pipeline without crossing a shared
+    /// serialization point. `1` (the default) is byte- and
+    /// replay-identical to the pre-shard single-writer plane.
+    pub shard_count: u32,
+    /// Stripe width (bytes) of the shard routing function: a file is cut
+    /// into `shard_stripe`-sized tiles and consecutive tiles land on
+    /// consecutive shards. Irrelevant at `shard_count == 1`.
+    pub shard_stripe: u64,
     /// Chaos-oracle self-test ONLY: when set, eviction discards cache
     /// bytes *without* first making the Remove records durable —
     /// deliberately breaking the journal-before-discard protocol so the
@@ -186,6 +198,8 @@ impl S4dConfig {
             backpressure_depth: 16,
             backpressure_tail_ratio: 16.0,
             shed_benefit_margin: 0.0005,
+            shard_count: 1,
+            shard_stripe: 64 * 1024,
             chaos_bug_skip_journal: false,
         }
     }
@@ -366,6 +380,29 @@ impl S4dConfig {
         self.eager_read_fetch = on;
         self
     }
+
+    /// Sets the metadata-plane shard count (`1` = the single-writer
+    /// reference plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        self.shard_count = shards;
+        self
+    }
+
+    /// Sets the shard routing stripe width in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn with_shard_stripe(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "shard stripe must be positive");
+        self.shard_stripe = bytes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -500,5 +537,27 @@ mod tests {
     #[should_panic(expected = "backpressure depth")]
     fn rejects_zero_backpressure_depth() {
         S4dConfig::new(1).with_backpressure_thresholds(0, 2.0, 0.0);
+    }
+
+    #[test]
+    fn shard_knobs_default_to_reference_plane() {
+        let c = S4dConfig::new(1);
+        assert_eq!(c.shard_count, 1, "default must stay replay-identical");
+        assert_eq!(c.shard_stripe, 64 * 1024);
+        let c = c.with_shards(16).with_shard_stripe(128 * 1024);
+        assert_eq!(c.shard_count, 16);
+        assert_eq!(c.shard_stripe, 128 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn rejects_zero_shards() {
+        S4dConfig::new(1).with_shards(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard stripe must be positive")]
+    fn rejects_zero_shard_stripe() {
+        S4dConfig::new(1).with_shard_stripe(0);
     }
 }

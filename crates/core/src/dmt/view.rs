@@ -1,0 +1,183 @@
+//! Range queries over the DMT interval map: coverage views, overlap
+//! enumeration, and the boundary-split primitive shared by the mutation
+//! paths in the parent module.
+
+use s4d_pfs::FileId;
+
+use super::{Dmt, MapExtent};
+
+/// A covered piece of a queried range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoveredPiece {
+    /// Offset in the original file where the piece starts.
+    pub d_offset: u64,
+    /// Piece length.
+    pub len: u64,
+    /// Cache file holding it.
+    pub c_file: FileId,
+    /// Offset of the piece within the cache file.
+    pub c_offset: u64,
+    /// Whether the cached copy is dirty.
+    pub dirty: bool,
+}
+
+/// The result of a range query: covered pieces and uncovered gaps, both in
+/// file order, exactly tiling the queried range.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RangeView {
+    /// Cached pieces.
+    pub pieces: Vec<CoveredPiece>,
+    /// Uncovered `(offset, len)` gaps.
+    pub gaps: Vec<(u64, u64)>,
+}
+
+impl RangeView {
+    /// True if the whole range is cached.
+    pub fn fully_covered(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// True if nothing of the range is cached.
+    pub fn fully_missed(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Bytes covered.
+    pub fn covered_bytes(&self) -> u64 {
+        self.pieces.iter().map(|p| p.len).sum()
+    }
+}
+
+impl Dmt {
+    /// Queries coverage of `[offset, offset+len)`.
+    pub fn view(&self, file: FileId, offset: u64, len: u64) -> RangeView {
+        let mut view = RangeView::default();
+        if len == 0 {
+            return view;
+        }
+        let end = offset + len;
+        let mut cursor = offset;
+        if let Some(map) = self.files.get(&file) {
+            // Start from the extent at or before `offset`.
+            let start_key = map
+                .range(..=offset)
+                .next_back()
+                .filter(|(&s, e)| s + e.len > offset)
+                .map(|(&s, _)| s)
+                .unwrap_or(offset);
+            for (&s, e) in map.range(start_key..end) {
+                let e_end = s + e.len;
+                if e_end <= offset || s >= end {
+                    continue;
+                }
+                let lo = s.max(offset);
+                let hi = e_end.min(end);
+                if lo > cursor {
+                    view.gaps.push((cursor, lo - cursor));
+                }
+                view.pieces.push(CoveredPiece {
+                    d_offset: lo,
+                    len: hi - lo,
+                    c_file: e.c_file,
+                    c_offset: e.c_offset + (lo - s),
+                    dirty: e.dirty,
+                });
+                cursor = hi;
+            }
+        }
+        if cursor < end {
+            view.gaps.push((cursor, end - cursor));
+        }
+        view
+    }
+
+    /// Extents overlapping `[offset, offset+len)`, as
+    /// `(d_offset, extent)` snapshots in file order.
+    pub fn extents_overlapping(
+        &self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Vec<(u64, MapExtent)> {
+        self.overlapping_keys(file, offset, len)
+            .into_iter()
+            .filter_map(|k| self.get(file, k).map(|e| (k, *e)))
+            .collect()
+    }
+
+    pub(super) fn overlapping_keys(&self, file: FileId, offset: u64, len: u64) -> Vec<u64> {
+        let Some(map) = self.files.get(&file) else {
+            return Vec::new();
+        };
+        if len == 0 {
+            return Vec::new();
+        }
+        let end = offset + len;
+        let start_key = map
+            .range(..=offset)
+            .next_back()
+            .filter(|(&s, e)| s + e.len > offset)
+            .map(|(&s, _)| s)
+            .unwrap_or(offset);
+        map.range(start_key..end)
+            .filter(|(&s, e)| s < end && s + e.len > offset)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Splits the extent at `key` so that no extent straddles `lo` or `hi`.
+    pub(super) fn split_off(&mut self, file: FileId, key: u64, lo: u64, hi: u64) {
+        let Some(map) = self.files.get_mut(&file) else {
+            return; // nothing to split
+        };
+        let Some(e) = map.get(&key).copied() else {
+            return; // nothing to split
+        };
+        let e_end = key + e.len;
+        let cut_lo = lo.max(key);
+        let cut_hi = hi.min(e_end);
+        if cut_lo == key && cut_hi == e_end {
+            return; // fully inside, no split needed
+        }
+        // Remove and re-insert up to three pieces.
+        map.remove(&key);
+        self.index(e.dirty).remove(&e.touch);
+        self.entry_count -= 1;
+        self.mapped -= e.len;
+        if e.dirty {
+            self.dirty_total -= e.len;
+        }
+        let mut pieces: Vec<(u64, u64)> = Vec::new();
+        if cut_lo > key {
+            pieces.push((key, cut_lo - key));
+        }
+        pieces.push((cut_lo, cut_hi - cut_lo));
+        if e_end > cut_hi {
+            pieces.push((cut_hi, e_end - cut_hi));
+        }
+        for (p_off, p_len) in pieces {
+            let touch = self.bump();
+            self.index(e.dirty).insert(touch, (file, p_off));
+            self.files.entry(file).or_default().insert(
+                p_off,
+                MapExtent {
+                    len: p_len,
+                    c_file: e.c_file,
+                    c_offset: e.c_offset + (p_off - key),
+                    dirty: e.dirty,
+                    version: e.version,
+                    // A whole-extent checksum does not survive a split.
+                    checksum: None,
+                    touch,
+                },
+            );
+            self.entry_count += 1;
+            self.mapped += p_len;
+            if e.dirty {
+                self.dirty_total += p_len;
+            }
+        }
+        // No journal record: replaying the SetDirty that triggered the
+        // split reproduces it exactly.
+    }
+}

@@ -24,8 +24,13 @@
 use s4d_pfs::FileId;
 use serde::{Deserialize, Serialize};
 
-use crate::dmt::Dmt;
 use crate::{DMT_PAYLOAD_BYTES, DMT_RECORD_BYTES};
+
+pub use super::checkpoint::{
+    decode_checkpoint, encode_checkpoint, Checkpoint, CheckpointError, CHECKPOINT_HEADER_BYTES,
+    CHECKPOINT_MAGIC,
+};
+pub use super::replay::{apply_record_tolerant, replay, replay_tolerant};
 
 /// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
 const CRC32_TABLE: [u32; 256] = {
@@ -229,10 +234,11 @@ impl FrameWriter {
 /// Sequential little-endian reader over a byte slice. Reads past the end
 /// yield zero bytes — callers length-check the frame before decoding, so
 /// that path is never taken on well-formed input and a truncated frame
-/// fails its CRC rather than panicking.
-struct FrameReader<'a> {
-    buf: &'a [u8],
-    at: usize,
+/// fails its CRC rather than panicking. Shared with the checkpoint codec
+/// ([`super::checkpoint`]), which frames its header the same way.
+pub(super) struct FrameReader<'a> {
+    pub(super) buf: &'a [u8],
+    pub(super) at: usize,
 }
 
 impl FrameReader<'_> {
@@ -255,7 +261,7 @@ impl FrameReader<'_> {
         u64::from(a) | u64::from(b) << 8 | u64::from(c) << 16
     }
 
-    fn u32(&mut self) -> u32 {
+    pub(super) fn u32(&mut self) -> u32 {
         u32::from_le_bytes(self.take::<4>())
     }
 
@@ -264,7 +270,7 @@ impl FrameReader<'_> {
         u64::from_le_bytes([a, b, c, d, e, f, 0, 0])
     }
 
-    fn u64(&mut self) -> u64 {
+    pub(super) fn u64(&mut self) -> u64 {
         u64::from_le_bytes(self.take::<8>())
     }
 }
@@ -384,6 +390,27 @@ impl JournalRecord {
             t => Err(JournalError::BadTag(t)),
         }
     }
+
+    /// The durable key `(d_file, d_offset)` of the mutation — the input to
+    /// shard routing. Every record kind carries it, so a group-commit
+    /// batch can be split back into per-shard record runs when a failed
+    /// batch requeues and when recovery replays shard-tagged records.
+    pub fn d_key(&self) -> (FileId, u64) {
+        match *self {
+            JournalRecord::Insert {
+                d_file, d_offset, ..
+            }
+            | JournalRecord::SetDirty {
+                d_file, d_offset, ..
+            }
+            | JournalRecord::SetClean { d_file, d_offset }
+            | JournalRecord::Remove { d_file, d_offset }
+            | JournalRecord::Seal {
+                d_file, d_offset, ..
+            }
+            | JournalRecord::FlushIntent { d_file, d_offset } => (d_file, d_offset),
+        }
+    }
 }
 
 /// Serialises a batch of records into one journal write payload.
@@ -462,213 +489,6 @@ pub fn decode_prefix(bytes: &[u8]) -> RecoveredJournal {
         dropped_bytes: (bytes.len() - at) as u64,
         truncated_by,
     }
-}
-
-/// Rebuilds a Data Mapping Table from a journal record stream — the
-/// recovery path after a middleware crash.
-///
-/// Versions and LRU recency are runtime state and start fresh; the mapping
-/// itself (extents, cache locations, dirty flags) is reconstructed exactly.
-pub fn replay(records: &[JournalRecord]) -> Dmt {
-    let mut dmt = Dmt::new();
-    for r in records {
-        match *r {
-            JournalRecord::Insert {
-                d_file,
-                d_offset,
-                len,
-                c_file,
-                c_offset,
-                dirty,
-            } => dmt.insert(d_file, d_offset, len, c_file, c_offset, dirty),
-            _ => apply_tolerant(&mut dmt, r),
-        }
-    }
-    // Replaying re-recorded every mutation; a recovered table starts with
-    // an empty pending set.
-    let _ = dmt.take_pending_journal();
-    dmt
-}
-
-/// Applies one record to a table that may not be in the exact state the
-/// record was produced against. `Insert` fills only the still-uncovered
-/// gaps of its range (with correspondingly shifted cache offsets); every
-/// other record no-ops when its target extent is absent or mismatched.
-fn apply_tolerant(dmt: &mut Dmt, r: &JournalRecord) {
-    match *r {
-        JournalRecord::Insert {
-            d_file,
-            d_offset,
-            len,
-            c_file,
-            c_offset,
-            dirty,
-        } => {
-            let view = dmt.view(d_file, d_offset, len);
-            for (g_off, g_len) in view.gaps {
-                dmt.insert(
-                    d_file,
-                    g_off,
-                    g_len,
-                    c_file,
-                    c_offset + (g_off - d_offset),
-                    dirty,
-                );
-            }
-        }
-        JournalRecord::SetDirty {
-            d_file,
-            d_offset,
-            len,
-        } => dmt.mark_dirty(d_file, d_offset, len),
-        JournalRecord::SetClean { d_file, d_offset } => {
-            dmt.force_clean(d_file, d_offset);
-        }
-        JournalRecord::Remove { d_file, d_offset } => {
-            dmt.remove(d_file, d_offset);
-        }
-        JournalRecord::Seal {
-            d_file,
-            d_offset,
-            checksum,
-            len,
-        } => {
-            dmt.apply_seal(d_file, d_offset, len, checksum);
-        }
-        JournalRecord::FlushIntent { .. } => {}
-    }
-}
-
-/// Rebuilds a table tolerantly: like [`replay`], but every record — not
-/// just the non-`Insert` kinds — is applied with tolerant (skip, don't
-/// panic) semantics, so a stream whose prefix was already folded into a
-/// checkpoint snapshot (or that lost interior records to a torn journal
-/// region) replays without panicking. On a well-formed exact history the
-/// result is identical to [`replay`].
-pub fn replay_tolerant(dmt: &mut Dmt, records: &[JournalRecord]) {
-    for r in records {
-        apply_tolerant(dmt, r);
-    }
-    let _ = dmt.take_pending_journal();
-}
-
-/// Magic bytes opening every checkpoint snapshot.
-pub const CHECKPOINT_MAGIC: [u8; 8] = *b"S4DSNAP1";
-/// Fixed checkpoint header: magic + sequence + journal tail + record count.
-pub const CHECKPOINT_HEADER_BYTES: usize = 32;
-
-/// A decoded DMT checkpoint snapshot.
-///
-/// On-disk layout: [`CHECKPOINT_MAGIC`] (8 bytes), `covers_seq` u64 LE,
-/// `tail_offset` u64 LE, record count u64 LE, `count` encoded
-/// [`JournalRecord`] frames, then a CRC32 trailer over everything before
-/// it. Decoding is all-or-nothing: a torn install fails the CRC and the
-/// recovery falls back to the other slot. Bytes past the declared length
-/// are ignored, so installing a shorter snapshot over a longer stale one
-/// needs no truncation to stay valid.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Checkpoint {
-    /// Monotonic checkpoint sequence number (slot freshness arbiter).
-    pub covers_seq: u64,
-    /// Journal offset the snapshot covers: recovery replays only records
-    /// at or past this offset on top of the snapshot.
-    pub tail_offset: u64,
-    /// The snapshot itself: one `Insert` (plus `Seal`, when the extent had
-    /// a verified checksum) per live extent.
-    pub records: Vec<JournalRecord>,
-}
-
-/// Failure to decode a checkpoint snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CheckpointError {
-    /// The buffer is shorter than the declared snapshot.
-    TooShort(usize),
-    /// The magic bytes do not match [`CHECKPOINT_MAGIC`].
-    BadMagic,
-    /// The CRC32 trailer does not match the snapshot contents.
-    BadChecksum {
-        /// CRC32 recomputed over the snapshot.
-        expected: u32,
-        /// CRC32 stored in the trailer.
-        found: u32,
-    },
-    /// A snapshot record frame failed to decode.
-    BadRecord(JournalError),
-}
-
-impl std::fmt::Display for CheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckpointError::TooShort(n) => write!(f, "checkpoint truncated at {n} bytes"),
-            CheckpointError::BadMagic => write!(f, "checkpoint magic mismatch"),
-            CheckpointError::BadChecksum { expected, found } => write!(
-                f,
-                "checkpoint checksum mismatch: computed {expected:#010x}, stored {found:#010x}"
-            ),
-            CheckpointError::BadRecord(e) => write!(f, "checkpoint record invalid: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for CheckpointError {}
-
-/// Serialises a checkpoint snapshot (see [`Checkpoint`] for the layout).
-pub fn encode_checkpoint(covers_seq: u64, tail_offset: u64, records: &[JournalRecord]) -> Vec<u8> {
-    let mut out =
-        Vec::with_capacity(CHECKPOINT_HEADER_BYTES + records.len() * DMT_RECORD_BYTES as usize + 4);
-    out.extend_from_slice(&CHECKPOINT_MAGIC);
-    out.extend_from_slice(&covers_seq.to_le_bytes());
-    out.extend_from_slice(&tail_offset.to_le_bytes());
-    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
-    for r in records {
-        out.extend_from_slice(&r.encode());
-    }
-    let crc = crc32(&out);
-    out.extend_from_slice(&crc.to_le_bytes());
-    out
-}
-
-/// Deserialises a checkpoint snapshot, all-or-nothing.
-///
-/// # Errors
-///
-/// Returns [`CheckpointError`] when the buffer is shorter than the
-/// declared snapshot, the magic or CRC do not match, or a record frame is
-/// invalid. Trailing bytes beyond the declared length are ignored.
-pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
-    if bytes.len() < CHECKPOINT_HEADER_BYTES + 4 {
-        return Err(CheckpointError::TooShort(bytes.len()));
-    }
-    if bytes.get(..8) != Some(CHECKPOINT_MAGIC.as_slice()) {
-        return Err(CheckpointError::BadMagic);
-    }
-    let mut header = FrameReader { buf: bytes, at: 8 };
-    let covers_seq = header.u64();
-    let tail_offset = header.u64();
-    let count = header.u64();
-    let body =
-        (CHECKPOINT_HEADER_BYTES as u64).saturating_add(count.saturating_mul(DMT_RECORD_BYTES));
-    let total = body.saturating_add(4);
-    if (bytes.len() as u64) < total {
-        return Err(CheckpointError::TooShort(bytes.len()));
-    }
-    let body = body as usize;
-    let expected = crc32(bytes.get(..body).unwrap_or_default());
-    let mut trailer = FrameReader {
-        buf: bytes,
-        at: body,
-    };
-    let found = trailer.u32();
-    if expected != found {
-        return Err(CheckpointError::BadChecksum { expected, found });
-    }
-    let records = decode_batch(bytes.get(CHECKPOINT_HEADER_BYTES..body).unwrap_or_default())
-        .map_err(CheckpointError::BadRecord)?;
-    Ok(Checkpoint {
-        covers_seq,
-        tail_offset,
-        records,
-    })
 }
 
 #[cfg(test)]
@@ -848,59 +668,7 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn replay_reconstructs_simple_history() {
-        let mut live = Dmt::new();
-        live.insert(F, 0, 100, CF, 0, false);
-        live.mark_dirty(F, 20, 30);
-        live.insert(F, 500, 50, CF, 100, true);
-        let v = live.get(F, 500).unwrap().version;
-        live.mark_clean_if(F, 500, v);
-        live.remove(F, 0); // the [0,20) clean piece after the split
-        let log = live.take_pending_journal();
-        let recovered = replay(&log);
-        // Byte-for-byte identical coverage.
-        let a = live.view(F, 0, 600);
-        let b = recovered.view(F, 0, 600);
-        assert_eq!(a, b);
-        assert_eq!(live.mapped_bytes(), recovered.mapped_bytes());
-        assert_eq!(live.dirty_bytes(), recovered.dirty_bytes());
-    }
-
     proptest! {
-        /// Any sequence of inserts-into-gaps / dirty-markings / removals
-        /// replays to an identical mapping.
-        #[test]
-        fn prop_replay_matches_live(
-            ops in proptest::collection::vec((0u64..300, 1u64..50, 0u8..3), 1..50)
-        ) {
-            let mut live = Dmt::new();
-            let mut next_c = 0u64;
-            for (off, len, kind) in ops {
-                match kind {
-                    0 => {
-                        // Insert the gaps of the range.
-                        let view = live.view(F, off, len);
-                        for (g_off, g_len) in view.gaps {
-                            live.insert(F, g_off, g_len, CF, next_c, false);
-                            next_c += g_len;
-                        }
-                    }
-                    1 => live.mark_dirty(F, off, len),
-                    _ => {
-                        // Remove the extent at the range start, if any.
-                        live.remove(F, off);
-                    }
-                }
-            }
-            let log = live.take_pending_journal();
-            let recovered = replay(&log);
-            prop_assert_eq!(live.view(F, 0, 512), recovered.view(F, 0, 512));
-            prop_assert_eq!(live.mapped_bytes(), recovered.mapped_bytes());
-            prop_assert_eq!(live.dirty_bytes(), recovered.dirty_bytes());
-            prop_assert_eq!(live.entry_count(), recovered.entry_count());
-        }
-
         /// encode/decode is a bijection over the record space.
         #[test]
         fn prop_codec_roundtrip(
@@ -928,137 +696,45 @@ mod tests {
             };
             prop_assert_eq!(JournalRecord::decode(&r.encode()).unwrap(), r);
         }
-
-        /// A checkpoint round-trips, and any single bit flip is detected.
-        #[test]
-        fn prop_checkpoint_roundtrip_and_bitflip(
-            seq in 0u64..1000,
-            tail in 0u64..(1 << 40),
-            n in 0usize..8,
-            flip in any::<u64>(),
-        ) {
-            let records: Vec<JournalRecord> = (0..n as u64)
-                .map(|i| JournalRecord::Insert {
-                    d_file: F, d_offset: i * 100, len: 50,
-                    c_file: CF, c_offset: i * 50, dirty: i % 2 == 0,
-                })
-                .collect();
-            let bytes = encode_checkpoint(seq, tail, &records);
-            let ck = decode_checkpoint(&bytes).unwrap();
-            prop_assert_eq!(ck.covers_seq, seq);
-            prop_assert_eq!(ck.tail_offset, tail);
-            prop_assert_eq!(&ck.records, &records);
-            let mut corrupt = bytes.clone();
-            let bit = (flip % (corrupt.len() as u64 * 8)) as usize;
-            corrupt[bit / 8] ^= 1 << (bit % 8);
-            prop_assert!(decode_checkpoint(&corrupt).is_err(),
-                "bit flip at {} went undetected", bit);
-        }
     }
 
     #[test]
-    fn checkpoint_ignores_trailing_stale_bytes() {
-        let records = vec![JournalRecord::Insert {
-            d_file: F,
-            d_offset: 0,
-            len: 64,
-            c_file: CF,
-            c_offset: 0,
-            dirty: false,
-        }];
-        let mut bytes = encode_checkpoint(7, 1234, &records);
-        // A shorter snapshot installed over a longer stale one leaves the
-        // stale tail in place; decoding must not care.
-        bytes.extend_from_slice(&[0xAB; 300]);
-        let ck = decode_checkpoint(&bytes).unwrap();
-        assert_eq!(ck.covers_seq, 7);
-        assert_eq!(ck.records, records);
-        // But a torn install (prefix only) is rejected.
-        let full = encode_checkpoint(8, 99, &records);
-        for cut in 0..full.len() {
-            assert!(decode_checkpoint(&full[..cut]).is_err(), "cut {cut}");
-        }
-        assert!(matches!(
-            decode_checkpoint(&[0u8; 64]),
-            Err(CheckpointError::BadMagic)
-        ));
-        assert!(CheckpointError::BadMagic.to_string().contains("magic"));
-        assert!(CheckpointError::TooShort(3).to_string().contains('3'));
-        assert!(CheckpointError::BadRecord(JournalError::BadTag(9))
-            .to_string()
-            .contains("tag 9"));
-        assert!(CheckpointError::BadChecksum {
-            expected: 1,
-            found: 2
-        }
-        .to_string()
-        .contains("checksum"));
-    }
-
-    #[test]
-    fn tolerant_replay_of_a_duplicated_suffix_converges() {
-        // A snapshot already contains the effect of records that were still
-        // pending when it was taken; replaying them again on top must be a
-        // no-op overall.
-        let mut live = Dmt::new();
-        live.insert(F, 0, 100, CF, 0, false);
-        live.mark_dirty(F, 20, 30);
-        live.remove(F, 0);
-        let log = live.take_pending_journal();
-        let mut dmt = replay(&log);
-        replay_tolerant(&mut dmt, &log[1..]); // re-apply a suffix
-        assert_eq!(dmt.view(F, 0, 200), live.view(F, 0, 200));
-        assert_eq!(dmt.mapped_bytes(), live.mapped_bytes());
-        assert_eq!(dmt.dirty_bytes(), live.dirty_bytes());
-    }
-
-    #[test]
-    fn tolerant_insert_fills_only_gaps_with_shifted_cache_offsets() {
-        let mut dmt = Dmt::new();
-        dmt.insert(F, 20, 30, CF, 500, true);
-        replay_tolerant(
-            &mut dmt,
-            &[JournalRecord::Insert {
+    fn d_key_is_the_routing_key_of_every_kind() {
+        let records = [
+            JournalRecord::Insert {
                 d_file: F,
-                d_offset: 0,
-                len: 100,
+                d_offset: 11,
+                len: 4,
                 c_file: CF,
-                c_offset: 1000,
+                c_offset: 0,
                 dirty: false,
-            }],
-        );
-        let v = dmt.view(F, 0, 100);
-        assert!(v.fully_covered());
-        // [0,20) and [50,100) filled from the record, shifted; [20,50) kept.
-        assert_eq!(v.pieces[0].c_offset, 1000);
-        assert_eq!(v.pieces[1].c_offset, 500);
-        assert!(v.pieces[1].dirty);
-        assert_eq!(v.pieces[2].c_offset, 1000 + 50);
-    }
-
-    #[test]
-    fn seal_records_survive_replay_and_mismatch_is_dropped() {
-        let mut live = Dmt::new();
-        live.insert(F, 0, 64, CF, 0, false);
-        live.insert(F, 100, 32, CF, 64, false);
-        let v0 = live.get(F, 0).unwrap().version;
-        assert!(live.seal_if(F, 0, v0, 0xFEED_FACE));
-        let log = live.take_pending_journal();
-        let recovered = replay(&log);
-        assert_eq!(recovered.get(F, 0).unwrap().checksum, Some(0xFEED_FACE));
-        assert_eq!(recovered.get(F, 100).unwrap().checksum, None);
-        // A seal whose length no longer matches the extent does not apply.
-        let mut dmt = Dmt::new();
-        dmt.insert(F, 0, 32, CF, 0, false);
-        replay_tolerant(
-            &mut dmt,
-            &[JournalRecord::Seal {
+            },
+            JournalRecord::SetDirty {
                 d_file: F,
-                d_offset: 0,
+                d_offset: 22,
+                len: 4,
+            },
+            JournalRecord::SetClean {
+                d_file: F,
+                d_offset: 33,
+            },
+            JournalRecord::Remove {
+                d_file: F,
+                d_offset: 44,
+            },
+            JournalRecord::Seal {
+                d_file: F,
+                d_offset: 55,
                 checksum: 1,
-                len: 64,
-            }],
-        );
-        assert_eq!(dmt.get(F, 0).unwrap().checksum, None);
+                len: 4,
+            },
+            JournalRecord::FlushIntent {
+                d_file: F,
+                d_offset: 66,
+            },
+        ];
+        let keys: Vec<u64> = records.iter().map(|r| r.d_key().1).collect();
+        assert_eq!(keys, vec![11, 22, 33, 44, 55, 66]);
+        assert!(records.iter().all(|r| r.d_key().0 == F));
     }
 }

@@ -17,9 +17,12 @@
 //! destructive effect without having made the metadata durable first
 //! (DESIGN.md §9, §12).
 
+pub mod checkpoint;
 pub mod crash;
+pub mod group;
 pub mod journal;
 pub(crate) mod recovery;
+mod replay;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -29,11 +32,12 @@ use s4d_pfs::{FileId, Priority};
 use s4d_storage::IoKind;
 
 use crate::config::S4dConfig;
-use crate::dmt::Dmt;
 use crate::metrics::S4dMetrics;
 use crate::names::{CKPT_SLOT_A, CKPT_SLOT_B, JOURNAL_NAME};
+use crate::shard::{MetadataPlane, ShardRouter};
 
 use crash::{CrashFuse, CrashSite};
+use group::GroupCommitQueue;
 use journal::JournalRecord;
 use recovery::RecoveryReport;
 
@@ -55,8 +59,13 @@ pub(crate) struct DurabilityEngine {
     journal_file: Option<FileId>,
     /// Next append offset in the journal file.
     journal_offset: u64,
-    /// Records awaiting the next group-committed journal write.
-    journal_pending: Vec<JournalRecord>,
+    /// Per-shard queues of records awaiting the next group-committed
+    /// journal write. With one shard this is a single queue and the
+    /// batching rule is exactly the pre-shard one.
+    group: GroupCommitQueue,
+    /// The routing function shared with the metadata plane, used to
+    /// requeue a failed batch back to its owning per-shard queues.
+    router: ShardRouter,
     /// Full record log (kept only when the config asks; crash-recovery
     /// tests read it back as "the journal file's contents").
     journal_log: Vec<JournalRecord>,
@@ -85,11 +94,12 @@ pub(crate) struct DurabilityEngine {
 
 impl DurabilityEngine {
     /// A fresh engine: no journal file yet, nothing pending.
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(router: ShardRouter) -> Self {
         DurabilityEngine {
             journal_file: None,
             journal_offset: 0,
-            journal_pending: Vec::new(),
+            group: GroupCommitQueue::new(router.count()),
+            router,
             journal_log: Vec::new(),
             crash_fuse: None,
             checkpoint_seq: 0,
@@ -145,14 +155,24 @@ impl DurabilityEngine {
         }
     }
 
-    /// Moves the DMT's fresh mutation records into the pending batch
-    /// (and the retained log, when configured).
-    pub(crate) fn collect_pending_records(&mut self, dmt: &mut Dmt, config: &S4dConfig) {
-        let fresh = dmt.take_pending_journal();
-        if config.record_journal_log {
-            self.journal_log.extend_from_slice(&fresh);
+    /// Moves every shard's fresh mutation records into that shard's
+    /// group-commit queue (and the retained log, when configured), in
+    /// shard order — with one shard, the exact pre-shard collection order.
+    pub(crate) fn collect_pending_records(
+        &mut self,
+        plane: &mut MetadataPlane,
+        config: &S4dConfig,
+    ) {
+        for shard in 0..plane.shard_count() {
+            let fresh = plane.take_shard_pending(shard);
+            if fresh.is_empty() {
+                continue;
+            }
+            if config.record_journal_log {
+                self.journal_log.extend_from_slice(&fresh);
+            }
+            self.group.extend(shard, fresh);
         }
-        self.journal_pending.extend(fresh);
     }
 
     /// Accumulates pending DMT mutations and appends a journal write to
@@ -165,16 +185,17 @@ impl DurabilityEngine {
     pub(crate) fn journal_op(
         &mut self,
         cluster: &mut Cluster,
-        dmt: &mut Dmt,
+        plane: &mut MetadataPlane,
         config: &S4dConfig,
         metrics: &mut S4dMetrics,
         ops: &mut Vec<PlannedIo>,
     ) -> Option<(u64, Vec<JournalRecord>)> {
-        self.collect_pending_records(dmt, config);
-        if (self.journal_pending.len() as u64) < config.journal_batch_records {
+        self.collect_pending_records(plane, config);
+        if !self.group.any_due(config.journal_batch_records) {
             return None;
         }
-        let (op, records) = self.drain_journal(cluster, dmt, config, metrics, Priority::Normal)?;
+        let (op, records) =
+            self.drain_journal(cluster, plane, config, metrics, Priority::Normal)?;
         let offset = op.offset;
         ops.push(op);
         Some((offset, records))
@@ -189,12 +210,12 @@ impl DurabilityEngine {
     pub(crate) fn drain_journal(
         &mut self,
         cluster: &mut Cluster,
-        dmt: &mut Dmt,
+        plane: &mut MetadataPlane,
         config: &S4dConfig,
         metrics: &mut S4dMetrics,
         priority: Priority,
     ) -> Option<(PlannedIo, Vec<JournalRecord>)> {
-        self.collect_pending_records(dmt, config);
+        self.collect_pending_records(plane, config);
         if self.stalled {
             // A failed sync append owns the current offset; planning a
             // write past it would leave a hole that truncates every later
@@ -202,11 +223,11 @@ impl DurabilityEngine {
             // retry succeeds.
             return None;
         }
-        if self.journal_pending.is_empty() {
+        if self.group.is_empty() {
             return None;
         }
         let journal = self.ensure_journal(cluster);
-        let records = std::mem::take(&mut self.journal_pending);
+        let records = self.group.drain_all();
         let data = journal::encode_batch(&records);
         let len = data.len() as u64;
         let op = PlannedIo {
@@ -222,6 +243,7 @@ impl DurabilityEngine {
         self.journal_offset += len;
         metrics.journal_writes += 1;
         metrics.journal_bytes += len;
+        metrics.journal_records_written += records.len() as u64;
         Some((op, records))
     }
 
@@ -243,10 +265,10 @@ impl DurabilityEngine {
         }
         // When a later frame is already reserved past this one the offset
         // stays (the hole is a torn tail recovery handles); the records
-        // still requeue so the mutations eventually persist.
-        let mut requeued = records;
-        requeued.append(&mut self.journal_pending);
-        self.journal_pending = requeued;
+        // still requeue — at the front of their owning shard queues, so a
+        // later drain reproduces the failed batch's order — and the
+        // mutations eventually persist.
+        self.group.requeue_front(records, &self.router);
         metrics.journal_requeues += 1;
     }
 
@@ -267,24 +289,27 @@ impl DurabilityEngine {
     pub(crate) fn append_journal_sync(
         &mut self,
         cluster: &mut Cluster,
-        dmt: &mut Dmt,
+        plane: &mut MetadataPlane,
         config: &S4dConfig,
         metrics: &mut S4dMetrics,
         extra: &[JournalRecord],
     ) -> Option<DurabilityHandle> {
-        self.collect_pending_records(dmt, config);
+        self.collect_pending_records(plane, config);
         if !extra.is_empty() {
             if config.record_journal_log {
                 self.journal_log.extend_from_slice(extra);
             }
-            self.journal_pending.extend_from_slice(extra);
+            for r in extra {
+                let (f, o) = r.d_key();
+                self.group.push(self.router.shard_of(f, o), *r);
+            }
         }
-        if self.journal_pending.is_empty() {
+        if self.group.is_empty() {
             self.stalled = false;
             return Some(DurabilityHandle(()));
         }
         let journal = self.ensure_journal(cluster);
-        let records = std::mem::take(&mut self.journal_pending);
+        let records = self.group.drain_all();
         let data = journal::encode_batch(&records);
         let len = data.len() as u64;
         let allowed = self.fuse_consume(CrashSite::SyncAppend, len);
@@ -300,6 +325,7 @@ impl DurabilityEngine {
                 self.stalled = false;
                 metrics.journal_writes += 1;
                 metrics.journal_bytes += len;
+                metrics.journal_records_written += records.len() as u64;
                 Some(DurabilityHandle(()))
             }
             Err(err) => {
@@ -308,7 +334,7 @@ impl DurabilityEngine {
                 // advance the offset: a hole in the journal would truncate
                 // every later acked record at recovery. The engine stalls
                 // until a retry at this same offset succeeds.
-                self.journal_pending = records;
+                self.group.requeue_front(records, &self.router);
                 self.stalled = true;
                 metrics.durability_stalls += 1;
                 match err {
@@ -331,14 +357,14 @@ impl DurabilityEngine {
     pub(crate) fn retry_stall(
         &mut self,
         cluster: &mut Cluster,
-        dmt: &mut Dmt,
+        plane: &mut MetadataPlane,
         config: &S4dConfig,
         metrics: &mut S4dMetrics,
     ) -> bool {
         if !self.stalled {
             return true;
         }
-        self.append_journal_sync(cluster, dmt, config, metrics, &[])
+        self.append_journal_sync(cluster, plane, config, metrics, &[])
             .is_some()
     }
 
@@ -368,11 +394,11 @@ impl DurabilityEngine {
     pub(crate) fn maybe_checkpoint(
         &mut self,
         cluster: &mut Cluster,
-        dmt: &mut Dmt,
+        plane: &mut MetadataPlane,
         config: &S4dConfig,
         metrics: &mut S4dMetrics,
     ) {
-        let records_since = dmt
+        let records_since = plane
             .journal_records_total()
             .saturating_sub(self.records_at_last_ckpt);
         let bytes_since = self.journal_offset.saturating_sub(self.last_ckpt_tail);
@@ -384,7 +410,7 @@ impl DurabilityEngine {
         // Force-drain so the snapshot covers every journaled mutation and
         // the tail past `tail_offset` is an exact record-order suffix.
         if self
-            .append_journal_sync(cluster, dmt, config, metrics, &[])
+            .append_journal_sync(cluster, plane, config, metrics, &[])
             .is_none()
         {
             // Journal stalled (ENOSPC / media error): a snapshot now would
@@ -398,9 +424,10 @@ impl DurabilityEngine {
         }
         let tail_offset = self.journal_offset;
         let mut live: Vec<(FileId, u64, crate::dmt::MapExtent)> =
-            dmt.iter_extents().map(|(f, o, e)| (f, o, *e)).collect();
-        // Sorted snapshot order keeps the byte stream — and therefore the
-        // torture harness's crash points — deterministic.
+            plane.iter_extents().map(|(f, o, e)| (f, o, *e)).collect();
+        // Globally sorted snapshot order — independent of shard layout —
+        // keeps the byte stream (and therefore the torture harness's
+        // crash points) deterministic and identical at any shard count.
         live.sort_unstable_by_key(|&(f, o, _)| (f.0, o));
         let mut records = Vec::with_capacity(live.len());
         for (f, o, e) in live {
@@ -460,7 +487,7 @@ impl DurabilityEngine {
         }
         self.checkpoint_seq = seq;
         self.last_ckpt_tail = tail_offset;
-        self.records_at_last_ckpt = dmt.journal_records_total();
+        self.records_at_last_ckpt = plane.journal_records_total();
         self.journal_base = tail_offset;
         metrics.checkpoints += 1;
         metrics.checkpoint_bytes += len;

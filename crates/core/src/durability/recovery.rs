@@ -21,7 +21,6 @@ use crate::durability::journal;
 use crate::layer::S4dCache;
 use crate::metrics::S4dMetrics;
 use crate::names::{CKPT_SLOT_A, CKPT_SLOT_B, JOURNAL_NAME};
-use crate::space::SpaceManager;
 
 /// What crash recovery found and rebuilt — see
 /// [`S4dCache::recover_from_cluster`].
@@ -67,14 +66,13 @@ impl S4dCache {
         records: &[journal::JournalRecord],
     ) -> Self {
         let dmt = journal::replay(records);
-        let space = SpaceManager::rebuild(
-            config.cache_capacity,
-            dmt.iter_extents()
-                .map(|(_, _, e)| (e.c_file, e.c_offset, e.len)),
-        );
+        let capacity = config.cache_capacity;
         let mut s = S4dCache::new(config, params);
-        s.dmt = dmt;
-        s.space = space;
+        // `adopt` redistributes the replayed extents to their owning
+        // shards (the shard of every record is derivable from its d-key,
+        // so the on-disk stream carries no shard tags) and rebuilds each
+        // shard's space ledger from what it now maps.
+        s.plane.adopt(dmt, capacity);
         s
     }
 
@@ -226,12 +224,9 @@ impl S4dCache {
         // The drops above are re-derived deterministically from cluster
         // state on any future recovery; they need no journal records.
         let _ = dmt.take_pending_journal();
-        let space = SpaceManager::rebuild(
-            config.cache_capacity,
-            dmt.iter_extents()
-                .map(|(_, _, e)| (e.c_file, e.c_offset, e.len)),
-        );
-        // Orphan sweep: cache-file bytes no extent maps.
+        // Orphan sweep: cache-file bytes no extent maps. Per-shard cache
+        // files (`*.s<k>.cache`) share the `.cache` suffix, so the sweep
+        // covers every shard's file.
         let mut mapped_ranges: HashMap<FileId, Vec<(u64, u64)>> = HashMap::new();
         for (_, _, e) in dmt.iter_extents() {
             mapped_ranges
@@ -277,16 +272,16 @@ impl S4dCache {
                 }
             }
         }
+        let capacity = config.cache_capacity;
         let mut s = S4dCache::new(config, params);
-        s.dmt = dmt;
-        s.space = space;
+        s.plane.adopt(dmt, capacity);
         s.metrics = metrics;
         s.dur.journal_file = Some(journal_file);
         s.dur.journal_offset = journal_offset;
         s.dur.journal_base = tail_start;
         s.dur.last_ckpt_tail = tail_start;
         s.dur.checkpoint_seq = report.used_checkpoint.unwrap_or(0);
-        s.dur.records_at_last_ckpt = s.dmt.journal_records_total();
+        s.dur.records_at_last_ckpt = s.plane.journal_records_total();
         s.dur.last_recovery = Some(report);
         Some((s, report))
     }

@@ -40,7 +40,7 @@ impl S4dCache {
         let stripe = layout.stripe_size();
         let n = layout.server_count();
         let mut doomed: Vec<(FileId, u64, u64, FileId, u64, bool)> = self
-            .dmt
+            .plane
             .iter_extents()
             .filter(|(_, _, e)| {
                 let first = e.c_offset / stripe;
@@ -61,14 +61,14 @@ impl S4dCache {
                 self.metrics.crash_invalidated_bytes += len;
             }
             // `remove` journals a Remove record, so recovery agrees.
-            self.dmt.remove(file, d_off);
+            self.plane.remove(file, d_off);
         }
         // The Removes must be durable before the bytes go away: recovering
         // a mapping to discarded space would serve garbage. (Orphaned bytes
         // from the reverse order are merely swept and discarded.)
         let Some(proof) = self.dur.append_journal_sync(
             cluster,
-            &mut self.dmt,
+            &mut self.plane,
             &self.config,
             &mut self.metrics,
             &[],
@@ -79,15 +79,17 @@ impl S4dCache {
             // released for reuse (a crash would recover the old mapping
             // over fresh bytes). Park the cleanup; `poll_background`
             // finishes it once the stall clears.
-            self.stalled_discards.extend(
-                doomed
-                    .iter()
-                    .map(|&(_, _, len, c_file, c_off, _)| (c_file, c_off, len)),
-            );
+            let router = self.plane.router();
+            self.stalled_discards.extend(doomed.iter().map(
+                |&(file, d_off, len, c_file, c_off, _)| {
+                    (router.shard_of(file, d_off), c_file, c_off, len)
+                },
+            ));
             return;
         };
-        for &(_, _, len, c_file, c_off, _) in &doomed {
-            self.space.release(c_file, c_off, len);
+        for &(file, d_off, len, c_file, c_off, _) in &doomed {
+            let shard = self.plane.router().shard_of(file, d_off);
+            self.plane.release(shard, c_file, c_off, len);
             self.dur.discard_cache(cluster, &proof, c_file, c_off, len);
         }
     }

@@ -127,7 +127,7 @@ impl S4dCache {
             return HedgeDirective::Wait;
         }
         for &(off, len) in &ctx.app_segments {
-            let view = self.dmt.view(app_file, off, len);
+            let view = self.plane.view(app_file, off, len);
             if view.pieces.iter().any(|p| p.dirty) {
                 // The straggler holds the only copy of dirty bytes:
                 // hedging to OPFS would serve stale data.

@@ -31,6 +31,7 @@ use crate::durability::recovery::RecoveryReport;
 use crate::durability::DurabilityEngine;
 use crate::health::HealthMonitor;
 use crate::metrics::S4dMetrics;
+use crate::shard::{MetadataPlane, ShardRouter};
 use crate::space::SpaceManager;
 
 /// The Smart Selective SSD Cache middleware (the paper's Fig. 3).
@@ -42,26 +43,26 @@ use crate::space::SpaceManager;
 pub struct S4dCache {
     pub(crate) config: S4dConfig,
     pub(crate) evaluator: BenefitEvaluator<(u32, u64)>,
-    pub(crate) cdt: Cdt,
-    pub(crate) dmt: Dmt,
-    pub(crate) space: SpaceManager,
-    /// Original file → its cache file in CPFS.
-    pub(crate) cache_file_of: HashMap<FileId, FileId>,
+    /// The sharded metadata plane: DMT, CDT, and space accounting,
+    /// partitioned into `config.shard_count` deterministic shards.
+    pub(crate) plane: MetadataPlane,
+    /// Original file → its per-shard cache files in CPFS (index = shard).
+    pub(crate) cache_file_of: HashMap<FileId, Vec<FileId>>,
     /// Per-CServer health: failure counts, latency EWMA, quarantine.
     pub(crate) health: HealthMonitor,
     pub(crate) metrics: S4dMetrics,
     /// Journal, checkpoint slots, crash fuse — everything durable.
     pub(crate) dur: DurabilityEngine,
-    /// Pending state machine, in-flight markers, pins, scrub cursor.
+    /// Pending state machine, in-flight markers, pins, scrub cursors.
     pub(crate) bg: BackgroundScheduler,
-    /// Cache ranges `(c_file, c_offset, len)` whose extents are already
-    /// invalidated in memory but whose Remove records could not be made
-    /// durable because the journal is stalled (ENOSPC / media error).
-    /// They are neither discarded nor released for reuse until
+    /// Cache ranges `(shard, c_file, c_offset, len)` whose extents are
+    /// already invalidated in memory but whose Remove records could not
+    /// be made durable because the journal is stalled (ENOSPC / media
+    /// error). They are neither discarded nor released for reuse until
     /// `background_poll` clears the stall — discarding first would break
     /// journal-before-discard, reusing first could resurrect the old
     /// mapping over fresh bytes at recovery.
-    pub(crate) stalled_discards: Vec<(FileId, u64, u64)>,
+    pub(crate) stalled_discards: Vec<(usize, FileId, u64, u64)>,
 }
 
 impl S4dCache {
@@ -69,18 +70,18 @@ impl S4dCache {
     /// parameters (derive the latter from the same device presets the
     /// cluster uses — see [`s4d_cost::CostParams::from_hardware`]).
     pub fn new(config: S4dConfig, params: CostParams) -> Self {
-        let cdt_cap = config.cdt_max_entries;
+        let router = ShardRouter::new(config.shard_count, config.shard_stripe);
+        let plane = MetadataPlane::new(router, config.cache_capacity, config.cdt_max_entries);
+        let bg = BackgroundScheduler::new(router.count());
         S4dCache {
             config,
             evaluator: BenefitEvaluator::new(params),
-            cdt: Cdt::new(cdt_cap),
-            dmt: Dmt::new(),
-            space: SpaceManager::new(1),
+            plane,
             cache_file_of: HashMap::new(),
             health: HealthMonitor::default(),
             metrics: S4dMetrics::default(),
-            dur: DurabilityEngine::new(),
-            bg: BackgroundScheduler::new(),
+            dur: DurabilityEngine::new(router),
+            bg,
             stalled_discards: Vec::new(),
         }
     }
@@ -121,7 +122,7 @@ impl S4dCache {
         // When the log is not retained, the records simply stay pending
         // for the next simulated journal write instead of being dropped.
         self.dur
-            .collect_pending_records(&mut self.dmt, &self.config);
+            .collect_pending_records(&mut self.plane, &self.config);
     }
 
     /// The middleware's counters.
@@ -129,19 +130,27 @@ impl S4dCache {
         &self.metrics
     }
 
-    /// The Critical Data Table (read-only view).
+    /// Shard 0's Critical Data Table — the whole table in the default
+    /// single-shard configuration. Sharded deployments read aggregates
+    /// from [`S4dCache::plane`].
     pub fn cdt(&self) -> &Cdt {
-        &self.cdt
+        self.plane.cdt0()
     }
 
-    /// The Data Mapping Table (read-only view).
+    /// Shard 0's Data Mapping Table (see [`S4dCache::cdt`]).
     pub fn dmt(&self) -> &Dmt {
-        &self.dmt
+        self.plane.dmt0()
     }
 
-    /// The space manager (read-only view).
+    /// Shard 0's space manager (see [`S4dCache::cdt`]).
     pub fn space(&self) -> &SpaceManager {
-        &self.space
+        self.plane.space0()
+    }
+
+    /// The sharded metadata plane: per-shard DMT/CDT/space behind routed
+    /// aggregates that hold at any shard count.
+    pub fn plane(&self) -> &MetadataPlane {
+        &self.plane
     }
 
     /// The configuration.
@@ -163,7 +172,7 @@ impl S4dCache {
     /// Cache ranges whose discard/release is parked behind a journal
     /// stall (see the field docs). Empty in a healthy run; the chaos
     /// oracle adds these bytes to the space-accounting identity.
-    pub fn stalled_discards(&self) -> &[(FileId, u64, u64)] {
+    pub fn stalled_discards(&self) -> &[(usize, FileId, u64, u64)] {
         &self.stalled_discards
     }
 
@@ -172,9 +181,16 @@ impl S4dCache {
     }
 
     pub(crate) fn ensure_space_manager(&mut self) {
-        if self.space.capacity() != self.config.cache_capacity {
-            self.space = SpaceManager::new(self.config.cache_capacity);
+        if self.plane.capacity() != self.config.cache_capacity {
+            self.plane.reset_space(self.config.cache_capacity);
         }
+    }
+
+    /// The cache file backing `shard`'s slice of `orig`'s cached bytes
+    /// (shard 0's file is the legacy `{name}.cache`).
+    pub(crate) fn cache_file_for(&self, orig: FileId, shard: usize) -> Option<FileId> {
+        let files = self.cache_file_of.get(&orig)?;
+        files.get(shard).or_else(|| files.first()).copied()
     }
 }
 
@@ -190,10 +206,18 @@ impl Middleware for S4dCache {
         self.dur.ensure_journal(cluster);
         let orig = cluster.opfs_mut().create_or_open(name);
         // The paper opens a correlating cache file alongside each original
-        // file (MPI_File_open, §IV.B).
+        // file (MPI_File_open, §IV.B). With shards, each shard gets its
+        // own cache file so space accounting and orphan sweeping stay
+        // shard-local; shard 0 keeps the legacy name so the single-shard
+        // layout is byte-identical.
         let cache_name = format!("{name}.cache");
         let cache = cluster.cpfs_mut().create_or_open(&cache_name);
-        self.cache_file_of.insert(orig, cache);
+        let mut files = vec![cache];
+        for k in 1..self.plane.shard_count() {
+            let shard_name = format!("{name}.s{k}.cache");
+            files.push(cluster.cpfs_mut().create_or_open(&shard_name));
+        }
+        self.cache_file_of.insert(orig, files);
         Ok(orig)
     }
 
@@ -206,7 +230,7 @@ impl Middleware for S4dCache {
             // mode (see `route_write`) because no new record can be made
             // durable before the ack.
             self.dur
-                .retry_stall(cluster, &mut self.dmt, &self.config, &mut self.metrics);
+                .retry_stall(cluster, &mut self.plane, &self.config, &mut self.metrics);
         }
         // Stage 1: classify (Data Identifier).
         let ctx = self.identify(req);
@@ -230,7 +254,7 @@ impl Middleware for S4dCache {
         // Journal-before-ack audit: every DMT mutation this operation made
         // is in the journaling pipeline before the plan is handed back.
         debug_assert_eq!(
-            self.dmt.pending_records(),
+            self.plane.pending_records(),
             0,
             "plan_io returned with uncollected journal records"
         );
@@ -255,9 +279,9 @@ impl Middleware for S4dCache {
         // fetch Inserts, Seals) enter the journaling pipeline before the
         // runner regains control.
         self.dur
-            .collect_pending_records(&mut self.dmt, &self.config);
+            .collect_pending_records(&mut self.plane, &self.config);
         debug_assert_eq!(
-            self.dmt.pending_records(),
+            self.plane.pending_records(),
             0,
             "on_plan_complete returned with uncollected journal records"
         );

@@ -62,6 +62,7 @@ mod memcache;
 mod metrics;
 pub mod names;
 mod pipeline;
+mod shard;
 mod space;
 
 // The crash fuse and journal codec live inside the durability engine;
@@ -72,12 +73,14 @@ pub use cdt::{Cdt, CdtEntry};
 pub use config::{AdmissionPolicy, S4dConfig};
 pub use crash::{CrashFuse, CrashSite, CrashStep};
 pub use dmt::{CoveredPiece, Dmt, MapExtent, RangeView};
+pub use durability::group::GroupCommitQueue;
 pub use durability::recovery::RecoveryReport;
 pub use health::{HealthMonitor, P2Quantile, ServerHealth};
 pub use journal::{JournalError, JournalRecord, RecoveredJournal};
 pub use layer::S4dCache;
 pub use memcache::{MemCache, MemCacheMetrics};
 pub use metrics::S4dMetrics;
+pub use shard::{MetadataPlane, ShardRouter, ShardSegment};
 pub use space::SpaceManager;
 
 /// Size in bytes of one persisted DMT record frame.

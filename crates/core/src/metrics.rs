@@ -37,6 +37,9 @@ pub struct S4dMetrics {
     pub journal_writes: u64,
     /// Journal bytes written.
     pub journal_bytes: u64,
+    /// Journal records carried by those writes (group-commit numerator:
+    /// records ÷ writes = appends per fsync).
+    pub journal_records_written: u64,
     /// Cache admissions denied for lack of space (after eviction).
     pub admission_denied_space: u64,
     /// Sub-request retries granted after transient CServer errors.

@@ -35,8 +35,27 @@ impl S4dCache {
             gap_total,
             healthy,
         } = route;
+        // The admission ask is sized per owning shard: each gap splits
+        // into shard segments, and every shard with a non-zero ask must
+        // make room or the whole admission degrades to OPFS. At
+        // `shard_count = 1` this is one segment per gap and one
+        // `make_room` call for `gap_total` — the legacy behaviour.
+        let mut shard_asks: Vec<u64> = vec![0; self.plane.shard_count()];
+        for &(g_off, g_len) in &gaps {
+            for seg in self.plane.router().segments(req.file, g_off, g_len) {
+                if let Some(ask) = shard_asks.get_mut(seg.shard) {
+                    *ask += seg.len;
+                }
+            }
+        }
         let admit = ctx.critical && gap_total > 0 && healthy && {
-            let ok = self.make_room(cluster, gap_total);
+            let mut ok = true;
+            for (shard, &ask) in shard_asks.iter().enumerate() {
+                if ask > 0 && !self.make_room(cluster, shard, ask) {
+                    ok = false;
+                    break;
+                }
+            }
             if !ok {
                 self.metrics.admission_denied_space += 1;
             }
@@ -44,32 +63,7 @@ impl S4dCache {
         };
         let mut fresh: Vec<(u64, u64)> = Vec::new();
         for &(g_off, g_len) in &gaps {
-            // `make_room` guaranteed capacity, so `alloc` should succeed
-            // for every admitted gap; degrade to a disk write if not.
-            let pieces = if admit {
-                self.space.alloc(cache, g_len)
-            } else {
-                None
-            };
-            if let Some(pieces) = pieces {
-                let mut cursor = g_off;
-                for p in pieces {
-                    self.dmt
-                        .insert(req.file, cursor, p.len, cache, p.c_offset, true);
-                    fresh.push((cursor, p.len));
-                    ops.push(self.data_op(
-                        Tier::CServers,
-                        cache,
-                        IoKind::Write,
-                        p.c_offset,
-                        p.len,
-                        cursor,
-                        req,
-                    ));
-                    cursor += p.len;
-                }
-                used_cache = true;
-            } else {
+            if !admit {
                 ops.push(self.data_op(
                     Tier::DServers,
                     req.file,
@@ -79,6 +73,42 @@ impl S4dCache {
                     g_off,
                     req,
                 ));
+                continue;
+            }
+            // `make_room` guaranteed capacity per shard, so `alloc`
+            // should succeed for every admitted segment; degrade the
+            // segment to a disk write if not.
+            for seg in self.plane.router().segments(req.file, g_off, g_len) {
+                let c_file = self.cache_file_for(req.file, seg.shard).unwrap_or(cache);
+                if let Some(pieces) = self.plane.alloc(seg.shard, c_file, seg.len) {
+                    let mut cursor = seg.offset;
+                    for p in pieces {
+                        self.plane
+                            .insert(req.file, cursor, p.len, c_file, p.c_offset, true);
+                        fresh.push((cursor, p.len));
+                        ops.push(self.data_op(
+                            Tier::CServers,
+                            c_file,
+                            IoKind::Write,
+                            p.c_offset,
+                            p.len,
+                            cursor,
+                            req,
+                        ));
+                        cursor += p.len;
+                    }
+                    used_cache = true;
+                } else {
+                    ops.push(self.data_op(
+                        Tier::DServers,
+                        req.file,
+                        IoKind::Write,
+                        seg.offset,
+                        seg.len,
+                        seg.offset,
+                        req,
+                    ));
+                }
             }
         }
         if used_cache {
@@ -93,7 +123,7 @@ impl S4dCache {
         let mut journal_ops = Vec::new();
         let frame = self.dur.journal_op(
             cluster,
-            &mut self.dmt,
+            &mut self.plane,
             &self.config,
             &mut self.metrics,
             &mut journal_ops,
@@ -113,7 +143,7 @@ impl S4dCache {
         // the fresh admissions and the journal reservation unwind
         // instead (`S4dCache::unwind_failed`).
         let seals: Vec<(FileId, u64, u64)> = self
-            .dmt
+            .plane
             .extents_overlapping(req.file, req.offset, req.len)
             .into_iter()
             .map(|(d_off, e)| (req.file, d_off, e.version))
@@ -137,19 +167,24 @@ impl S4dCache {
         plan
     }
 
-    /// Makes room for `len` more cache bytes, evicting clean LRU extents if
-    /// needed (Algorithm 1 lines 4–10). Returns whether the space now fits.
-    pub(crate) fn make_room(&mut self, cluster: &mut Cluster, len: u64) -> bool {
-        if self.space.fits(len) {
+    /// Makes room for `len` more cache bytes on `shard`, evicting its
+    /// clean LRU extents if needed (Algorithm 1 lines 4–10). Returns
+    /// whether the shard's space now fits the ask. Eviction victims come
+    /// only from the owning shard — cross-shard space cannot help,
+    /// because the allocation must land in the shard's own cache file.
+    pub(crate) fn make_room(&mut self, cluster: &mut Cluster, shard: usize, len: u64) -> bool {
+        if self.plane.fits(shard, len) {
             return true;
         }
-        let needed = len - self.space.available();
+        let needed = len - self.plane.shard_available(shard);
         let bg = &self.bg;
         let victims = self
-            .dmt
-            .evict_clean_lru_excluding(needed, |file, off, elen| bg.overlaps_pin(file, off, elen));
+            .plane
+            .evict_clean_lru_excluding(shard, needed, |file, off, elen| {
+                bg.overlaps_pin(file, off, elen)
+            });
         if victims.is_empty() {
-            return self.space.fits(len);
+            return self.plane.fits(shard, len);
         }
         if self.config.chaos_bug_skip_journal {
             // Deliberately broken protocol (chaos-oracle self-test, see
@@ -159,11 +194,11 @@ impl S4dCache {
             // the stale mappings over whatever the reused space holds by
             // then — reads through them serve foreign bytes.
             for (_file, _d_off, ext) in &victims {
-                self.space.release(ext.c_file, ext.c_offset, ext.len);
+                self.plane.release(shard, ext.c_file, ext.c_offset, ext.len);
                 self.metrics.evictions += 1;
                 self.metrics.evicted_bytes += ext.len;
             }
-            return self.space.fits(len);
+            return self.plane.fits(shard, len);
         }
         // `evict_clean_lru_excluding` removed the victims and queued
         // their Remove records; make those durable *before* the bytes
@@ -171,7 +206,7 @@ impl S4dCache {
         // is the proof `discard_cache` demands.
         let Some(proof) = self.dur.append_journal_sync(
             cluster,
-            &mut self.dmt,
+            &mut self.plane,
             &self.config,
             &mut self.metrics,
             &[],
@@ -182,13 +217,13 @@ impl S4dCache {
             // (the queued Remove plus this Insert replay to a no-op) and
             // deny the admission; the write degrades to OPFS.
             for (file, d_off, ext) in &victims {
-                self.dmt
+                self.plane
                     .insert(*file, *d_off, ext.len, ext.c_file, ext.c_offset, ext.dirty);
             }
             return false;
         };
         for (_file, _d_off, ext) in &victims {
-            self.space.release(ext.c_file, ext.c_offset, ext.len);
+            self.plane.release(shard, ext.c_file, ext.c_offset, ext.len);
             // Dropping the cached bytes is a metadata operation; the data
             // still lives on DServers because the extent was clean.
             self.dur
@@ -196,7 +231,7 @@ impl S4dCache {
             self.metrics.evictions += 1;
             self.metrics.evicted_bytes += ext.len;
         }
-        self.space.fits(len)
+        self.plane.fits(shard, len)
     }
 
     /// Eager-fetch ablation: append a second phase writing the missed gaps
@@ -210,30 +245,48 @@ impl S4dCache {
         plan: &mut Plan,
     ) {
         let total: u64 = gaps.iter().map(|&(_, l)| l).sum();
-        if total == 0 || !self.make_room(cluster, total) {
+        let mut shard_asks: Vec<u64> = vec![0; self.plane.shard_count()];
+        for &(g_off, g_len) in gaps {
+            for seg in self.plane.router().segments(req.file, g_off, g_len) {
+                if let Some(ask) = shard_asks.get_mut(seg.shard) {
+                    *ask += seg.len;
+                }
+            }
+        }
+        let mut roomy = total > 0;
+        for (shard, &ask) in shard_asks.iter().enumerate() {
+            if ask > 0 && !self.make_room(cluster, shard, ask) {
+                roomy = false;
+                break;
+            }
+        }
+        if !roomy {
             self.metrics.admission_denied_space += 1;
             return;
         }
         let mut phase = Vec::new();
         let mut pieces = Vec::new();
         for &(g_off, g_len) in gaps {
-            let Some(allocs) = self.space.alloc(cache, g_len) else {
-                continue; // make_room guaranteed capacity; skip the gap if not
-            };
-            let mut cursor = g_off;
-            for p in allocs {
-                phase.push(PlannedIo {
-                    tier: Tier::CServers,
-                    file: cache,
-                    kind: IoKind::Write,
-                    offset: p.c_offset,
-                    len: p.len,
-                    priority: Priority::Normal,
-                    data: None,
-                    app_offset: None,
-                });
-                pieces.push((cursor, p.len, cache, p.c_offset));
-                cursor += p.len;
+            for seg in self.plane.router().segments(req.file, g_off, g_len) {
+                let c_file = self.cache_file_for(req.file, seg.shard).unwrap_or(cache);
+                let Some(allocs) = self.plane.alloc(seg.shard, c_file, seg.len) else {
+                    continue; // make_room guaranteed capacity; skip the segment if not
+                };
+                let mut cursor = seg.offset;
+                for p in allocs {
+                    phase.push(PlannedIo {
+                        tier: Tier::CServers,
+                        file: c_file,
+                        kind: IoKind::Write,
+                        offset: p.c_offset,
+                        len: p.len,
+                        priority: Priority::Normal,
+                        data: None,
+                        app_offset: None,
+                    });
+                    pieces.push((cursor, p.len, c_file, p.c_offset));
+                    cursor += p.len;
+                }
             }
         }
         let fetch = Pending::Fetch {

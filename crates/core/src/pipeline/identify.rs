@@ -27,11 +27,15 @@ impl S4dCache {
         };
         if critical {
             self.metrics.critical += 1;
-            self.cdt.insert(req.file, req.offset, req.len);
+            // Routed by the request's start offset — the same key the
+            // Rebuilder's flagged-candidate scan uses.
+            self.plane.cdt_insert(req.file, req.offset, req.len);
         }
         RequestCtx {
             critical,
-            cache: self.cache_file_of.get(&req.file).copied(),
+            // Shard 0's cache file doubles as the "opened through the
+            // middleware" marker; per-gap files are resolved at admission.
+            cache: self.cache_file_for(req.file, 0),
             benefit_secs: benefit.benefit_secs,
             predicted_secs: benefit.t_d_secs.max(benefit.t_c_secs),
         }

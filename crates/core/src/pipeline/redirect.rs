@@ -25,7 +25,7 @@ impl S4dCache {
         ctx: &RequestCtx,
     ) -> WriteRoute {
         let mut ops: Vec<PlannedIo> = Vec::new();
-        let view = self.dmt.view(req.file, req.offset, req.len);
+        let view = self.plane.view(req.file, req.offset, req.len);
         let mut used_cache = false;
 
         // While the journal is stalled no new record can be made durable
@@ -40,7 +40,7 @@ impl S4dCache {
         // Mapped parts: the request is already served by CServers (line 22).
         for piece in &view.pieces {
             if stalled && !piece.dirty {
-                self.dmt.unseal(req.file, piece.d_offset, piece.len);
+                self.plane.unseal(req.file, piece.d_offset, piece.len);
                 ops.push(self.data_op(
                     Tier::CServers,
                     piece.c_file,
@@ -63,7 +63,7 @@ impl S4dCache {
                 used_cache = true;
                 continue;
             }
-            self.dmt.mark_dirty(req.file, piece.d_offset, piece.len);
+            self.plane.mark_dirty(req.file, piece.d_offset, piece.len);
             ops.push(self.data_op(
                 Tier::CServers,
                 piece.c_file,
@@ -130,8 +130,8 @@ impl S4dCache {
             self.verify_range(cluster, req.file, req.offset, req.len);
         }
         let mut ops: Vec<PlannedIo> = Vec::new();
-        let view = self.dmt.view(req.file, req.offset, req.len);
-        self.dmt.touch_range(req.file, req.offset, req.len);
+        let view = self.plane.view(req.file, req.offset, req.len);
+        self.plane.touch_range(req.file, req.offset, req.len);
         // Graceful degradation: a *clean* cached piece striped over a
         // quarantined CServer is served from OPFS instead (same bytes,
         // none of the risk); under backpressure a congested (deep-queued
@@ -213,7 +213,7 @@ impl S4dCache {
                     self.metrics.shed_admissions += 1;
                 } else if self.config.eager_read_fetch {
                     self.plan_eager_fetch(cluster, req, cache, &view.gaps, &mut plan);
-                } else if self.cdt.set_c_flag(req.file, req.offset, req.len) {
+                } else if self.plane.cdt_set_c_flag(req.file, req.offset, req.len) {
                     // Lazy caching: mark for the Rebuilder (line 18).
                     self.metrics.lazy_marks += 1;
                 }
@@ -225,7 +225,7 @@ impl S4dCache {
         // Any records a read's bookkeeping produced wait for the next
         // write plan or the background straggler drain.
         self.dur
-            .collect_pending_records(&mut self.dmt, &self.config);
+            .collect_pending_records(&mut self.plane, &self.config);
         plan
     }
 

@@ -1,0 +1,170 @@
+//! Deterministic shard routing for the metadata plane.
+//!
+//! A file's byte range is cut into `stripe`-sized tiles and tile `t` of
+//! file `f` is owned by shard `(f + t) % count`. The function is pure
+//! and stateless, so the router can be copied freely: the pipeline, the
+//! durability engine, and crash recovery all route with the same
+//! arithmetic and therefore always agree on which shard owns a record.
+
+use s4d_pfs::FileId;
+
+/// One shard-local slice of a byte range, produced by
+/// [`ShardRouter::segments`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSegment {
+    /// Owning shard index, `< ShardRouter::count()`.
+    pub shard: usize,
+    /// Absolute offset of the slice within the file.
+    pub offset: u64,
+    /// Slice length in bytes (never zero).
+    pub len: u64,
+}
+
+/// Pure routing function mapping `(file, offset)` to a shard.
+///
+/// With `count == 1` every byte routes to shard 0 and
+/// [`ShardRouter::segments`] returns the request as a single segment,
+/// which is what keeps the default configuration byte-identical to the
+/// pre-shard plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    count: usize,
+    stripe: u64,
+}
+
+impl ShardRouter {
+    /// Creates a router over `count` shards with the given stripe width.
+    /// Zero inputs are clamped to 1 rather than rejected — the router is
+    /// used on recovery paths that must stay panic-free.
+    pub fn new(count: u32, stripe: u64) -> Self {
+        ShardRouter {
+            count: (count.max(1)) as usize,
+            stripe: stripe.max(1),
+        }
+    }
+
+    /// Number of shards this router spreads metadata across.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Stripe width in bytes.
+    pub fn stripe(&self) -> u64 {
+        self.stripe
+    }
+
+    /// The shard owning byte `offset` of `file`.
+    pub fn shard_of(&self, file: FileId, offset: u64) -> usize {
+        if self.count == 1 {
+            return 0;
+        }
+        let tile = offset / self.stripe;
+        (file.0.wrapping_add(tile) % self.count as u64) as usize
+    }
+
+    /// Splits `[offset, offset + len)` of `file` into shard-local
+    /// segments in ascending offset order, coalescing consecutive tiles
+    /// that land on the same shard. Returns an empty vector for
+    /// zero-length ranges; with one shard the whole range is a single
+    /// segment.
+    pub fn segments(&self, file: FileId, offset: u64, len: u64) -> Vec<ShardSegment> {
+        if len == 0 {
+            return Vec::new();
+        }
+        if self.count == 1 {
+            return vec![ShardSegment {
+                shard: 0,
+                offset,
+                len,
+            }];
+        }
+        let end = offset.saturating_add(len);
+        let mut out: Vec<ShardSegment> = Vec::new();
+        let mut cursor = offset;
+        while cursor < end {
+            let tile_end = ((cursor / self.stripe) + 1).saturating_mul(self.stripe);
+            let piece_end = tile_end.min(end);
+            let shard = self.shard_of(file, cursor);
+            match out.last_mut() {
+                Some(last) if last.shard == shard && last.offset + last.len == cursor => {
+                    last.len += piece_end - cursor;
+                }
+                _ => out.push(ShardSegment {
+                    shard,
+                    offset: cursor,
+                    len: piece_end - cursor,
+                }),
+            }
+            cursor = piece_end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_is_identity() {
+        let r = ShardRouter::new(1, 64 * 1024);
+        assert_eq!(r.shard_of(FileId(7), 123456789), 0);
+        let segs = r.segments(FileId(7), 1000, 5_000_000);
+        assert_eq!(
+            segs,
+            vec![ShardSegment {
+                shard: 0,
+                offset: 1000,
+                len: 5_000_000
+            }]
+        );
+    }
+
+    #[test]
+    fn zero_inputs_clamp() {
+        let r = ShardRouter::new(0, 0);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.stripe(), 1);
+    }
+
+    #[test]
+    fn tiles_rotate_across_shards() {
+        let r = ShardRouter::new(4, 100);
+        // file 0: tile t -> shard t % 4.
+        assert_eq!(r.shard_of(FileId(0), 0), 0);
+        assert_eq!(r.shard_of(FileId(0), 99), 0);
+        assert_eq!(r.shard_of(FileId(0), 100), 1);
+        assert_eq!(r.shard_of(FileId(0), 399), 3);
+        assert_eq!(r.shard_of(FileId(0), 400), 0);
+        // The file id offsets the rotation so files spread too.
+        assert_eq!(r.shard_of(FileId(1), 0), 1);
+    }
+
+    #[test]
+    fn segments_tile_exactly_and_stay_shard_local() {
+        let r = ShardRouter::new(3, 64);
+        let segs = r.segments(FileId(2), 50, 300);
+        let mut cursor = 50;
+        for s in &segs {
+            assert_eq!(s.offset, cursor, "segments tile contiguously");
+            assert!(s.len > 0);
+            // Every byte of a segment routes to the segment's shard.
+            for b in [s.offset, s.offset + s.len - 1] {
+                assert_eq!(r.shard_of(FileId(2), b), s.shard);
+            }
+            cursor = s.offset + s.len;
+        }
+        assert_eq!(cursor, 350, "segments cover the whole range");
+        assert!(r.segments(FileId(2), 10, 0).is_empty());
+    }
+
+    #[test]
+    fn segments_coalesce_same_shard_neighbours() {
+        // count == 1 coalesces everything; larger counts rotate so
+        // neighbours differ — both directions must hold.
+        let r1 = ShardRouter::new(1, 64);
+        assert_eq!(r1.segments(FileId(0), 0, 640).len(), 1);
+        let r4 = ShardRouter::new(4, 64);
+        assert_eq!(r4.segments(FileId(0), 0, 640).len(), 10);
+    }
+}

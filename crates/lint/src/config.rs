@@ -18,6 +18,7 @@ pub const RULES: &[&str] = &[
     "unbounded-retry",
     // Alias: `allow(retry)` suppresses `unbounded-retry` (see pragma.rs).
     "retry",
+    "shard-discipline",
     "pragma",
 ];
 
@@ -188,6 +189,55 @@ pub const RETRY_CALL_PATTERNS: &[&str] = &["retry", "hedge", "replan", "resubmit
 /// bounded: an iteration cap, an attempt counter, or a budget/deadline
 /// check somewhere in the enclosing function or the retry helper.
 pub const RETRY_BOUND_PATTERNS: &[&str] = &["max", "attempt", "budget", "cap", "limit", "deadline"];
+
+/// Files allowed to touch the raw metadata components (`Dmt`,
+/// `SpaceManager`, `Cdt`) directly: the shard plane and router that own
+/// them, the component implementations themselves, and the
+/// replay/recovery paths that rebuild a `Dmt` before it is adopted into
+/// a plane. Everywhere else in `core`, DMT/space/CDT mutations must go
+/// through the plane's routed API (`shard-discipline`) — a direct
+/// component mutation bypasses shard routing and silently breaks the
+/// shard-count-invariance guarantee.
+pub const SHARD_OWNER_FILES: &[&str] = &[
+    "crates/core/src/shard/mod.rs",
+    "crates/core/src/shard/router.rs",
+    "crates/core/src/shard/plane.rs",
+    "crates/core/src/dmt/mod.rs",
+    "crates/core/src/dmt/view.rs",
+    "crates/core/src/space.rs",
+    "crates/core/src/cdt.rs",
+    "crates/core/src/durability/replay.rs",
+    "crates/core/src/durability/recovery.rs",
+];
+
+/// Receiver identifiers that denote a raw metadata component (a field or
+/// local named after the component) for the `shard-discipline` rule.
+pub const SHARD_COMPONENT_RECEIVERS: &[&str] = &["dmt", "space", "cdt"];
+
+/// Component methods that mutate metadata or space state. A call
+/// `dmt.insert(…)` / `space.release(…)` / `cdt.set_c_flag(…)` outside
+/// [`SHARD_OWNER_FILES`] is a `shard-discipline` finding.
+pub const SHARD_MUTATOR_FNS: &[&str] = &[
+    "insert",
+    "remove",
+    "mark_dirty",
+    "mark_clean",
+    "mark_clean_if",
+    "seal",
+    "seal_if",
+    "unseal",
+    "force_clean",
+    "touch_range",
+    "apply_seal",
+    "clear_dirty_checksums",
+    "take_pending_journal",
+    "evict_clean_lru_excluding",
+    "alloc",
+    "release",
+    "rebuild",
+    "set_c_flag",
+    "clear_c_flag",
+];
 
 /// Maximum non-test code lines per library module (`file-budget`).
 /// `#[cfg(test)]` / `#[test]` spans and files under `tests/`, `examples/`,

@@ -105,7 +105,7 @@ fn pragma_hygiene(file: &SourceFile, prags: &[Pragma], report: &mut Report) {
                 hint: "format: `// s4d-lint: allow(<rule>) — <justification>`; rules: \
                        determinism, ordered-iter, panic, panic-path, lock-order, \
                        lock-across-io, durability, typestate, file-budget, \
-                       unbounded-retry",
+                       unbounded-retry, shard-discipline",
                 severity,
                 chain: Vec::new(),
             });

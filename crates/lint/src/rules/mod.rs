@@ -13,6 +13,7 @@ pub mod file_budget;
 pub mod locks;
 pub mod panic_freedom;
 pub mod panic_path;
+pub mod shard_discipline;
 pub mod typestate;
 pub mod unbounded_retry;
 
@@ -26,6 +27,7 @@ pub fn check_file(file: &SourceFile, items: &ItemIndex, out: &mut Vec<Diagnostic
     determinism::check(file, out);
     panic_freedom::check(file, items, out);
     file_budget::check(file, out);
+    shard_discipline::check(file, out);
 }
 
 /// Runs the interprocedural rule families over the analyzed workspace.

@@ -1,0 +1,73 @@
+//! `shard-discipline`: DMT, space, and CDT mutations in `core` must go
+//! through the shard plane's routed API.
+//!
+//! The sharded metadata plane (DESIGN.md §15) guarantees that
+//! `shard_count = 1` is byte- and replay-identical to the pre-shard
+//! middleware, and that every mutation lands in the shard that owns its
+//! d-key. Both properties hold only if mutations flow through
+//! [`MetadataPlane`]'s routed methods: a direct call on a raw component —
+//! `dmt.insert(…)`, `space.release(…)`, `cdt.set_c_flag(…)` — bypasses
+//! the router, mutates state the owning shard never sees, and silently
+//! breaks shard-count invariance (the cross-count equivalence proptests
+//! compare byte-level coverage, so a bypassed mutation shows up as a
+//! divergence long after the offending line).
+//!
+//! The rule is lexical: a receiver identifier naming a raw component
+//! ([`config::SHARD_COMPONENT_RECEIVERS`]) followed by a mutating method
+//! ([`config::SHARD_MUTATOR_FNS`]) is a finding, except in the files that
+//! *own* the components ([`config::SHARD_OWNER_FILES`]): the plane and
+//! router themselves, the component implementations, and the
+//! replay/recovery paths that rebuild a `Dmt` before handing it to
+//! [`MetadataPlane::adopt`]. Test code is exempt — tests legitimately
+//! build and drive raw components to state invariants.
+//!
+//! [`MetadataPlane`]: ../../../core/src/shard/plane.rs
+//! [`MetadataPlane::adopt`]: ../../../core/src/shard/plane.rs
+
+use crate::config;
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Runs the `shard-discipline` rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.crate_name != "core" || config::SHARD_OWNER_FILES.contains(&file.rel.as_str()) {
+        return;
+    }
+    if file.kind.is_test_like() {
+        return;
+    }
+    for i in 0..file.code.len() {
+        let Some(recv) = file.ident(i) else { continue };
+        if !config::SHARD_COMPONENT_RECEIVERS.contains(&recv) {
+            continue;
+        }
+        if !file.punct_is(i + 1, '.') {
+            continue;
+        }
+        let Some(method) = file.ident(i + 2) else {
+            continue;
+        };
+        if !config::SHARD_MUTATOR_FNS.contains(&method) || !file.punct_is(i + 3, '(') {
+            continue;
+        }
+        let line = file.line_of(i);
+        if file.in_test_span(line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line,
+            rule: "shard-discipline",
+            message: format!(
+                "`{recv}.{method}(…)` mutates a raw metadata component outside \
+                 the shard plane's owner files"
+            ),
+            hint: "route the mutation through MetadataPlane (e.g. plane.insert / \
+                   plane.release(shard, …) / plane.cdt_insert) so it lands in the \
+                   shard that owns the d-key; only the plane, the components, and \
+                   replay/recovery may touch dmt/space/cdt directly",
+            severity: Severity::Error,
+            chain: Vec::new(),
+        });
+    }
+}

@@ -144,6 +144,12 @@ const FLOW_CASES: &[(&str, &str, &str, &str)] = &[
         "crates/core/src/fixture.rs",
         "typestate",
     ),
+    (
+        "flow_group_commit_hot.rs",
+        "flow_group_commit_clean.rs",
+        "crates/core/src/fixture.rs",
+        "durability",
+    ),
 ];
 
 #[test]
@@ -380,6 +386,71 @@ fn determinism_is_report_only_in_test_code() {
     assert_eq!(d.severity, Severity::Warning);
     assert_eq!(report.errors(), 0);
     assert_eq!(report.warnings(), 1);
+}
+
+#[test]
+fn shard_discipline_catches_raw_component_mutation() {
+    let report = lint_fixture("shard_discipline_hot.rs", "crates/core/src/fixture.rs");
+    let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(
+        rules,
+        vec!["shard-discipline"],
+        "raw dmt.insert outside the owner files must produce exactly one \
+         finding: {:?}",
+        report.diagnostics
+    );
+    let d = &report.diagnostics[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("dmt.insert"), "message names the call");
+}
+
+#[test]
+fn shard_discipline_clean_when_routed_through_the_plane() {
+    let report = lint_fixture("shard_discipline_clean.rs", "crates/core/src/fixture.rs");
+    assert!(
+        report.diagnostics.is_empty(),
+        "plane-routed mutations and raw reads must be clean: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn shard_discipline_exempts_owners_tests_and_other_crates() {
+    let src = fixture_source("shard_discipline_hot.rs");
+    // The replay path legitimately rebuilds a raw Dmt before adoption.
+    for rel in [
+        "crates/core/src/durability/replay.rs",
+        "crates/core/src/shard/plane.rs",
+        "crates/core/tests/fixture.rs",
+        "crates/pfs/src/fixture.rs",
+    ] {
+        let report = lint_fixture_src(&src, rel);
+        let tripped: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "shard-discipline")
+            .collect();
+        assert!(
+            tripped.is_empty(),
+            "{rel}: owner files, test dirs, and other crates are exempt: {tripped:?}"
+        );
+    }
+}
+
+#[test]
+fn shard_discipline_pragma_suppresses_with_justification() {
+    let src = fixture_source("shard_discipline_hot.rs").replace(
+        "    dmt.insert",
+        "    // s4d-lint: allow(shard-discipline) — fixture-local proof for the self-test\n    \
+         dmt.insert",
+    );
+    let report = lint_fixture_src(&src, "crates/core/src/fixture.rs");
+    assert!(
+        report.diagnostics.is_empty(),
+        "justified allow(shard-discipline) must suppress: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed, 1);
 }
 
 /// `lines` trivial, rule-silent code lines — oversized-module input for

@@ -1,0 +1,18 @@
+//! Group-commit ordering fixture (clean half): every data phase is
+//! planned before the `match`, and the batched `journal_op` is the final
+//! phase on the arm that batches. No path plans data after the journal
+//! op, so the function lints clean without a pragma — the group-commit
+//! admission shape (data phases first, one coalesced journal write last)
+//! is exactly this.
+
+pub fn build_plan_with_final_journal_phase(plan: &mut Plan) {
+    data_op(plan, 1, 0, 4096);
+    match admit_mode() {
+        Mode::Batched => {
+            journal_op(plan, &[]);
+        }
+        Mode::Direct => {
+            note_direct_admit();
+        }
+    }
+}

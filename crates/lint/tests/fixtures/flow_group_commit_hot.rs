@@ -1,0 +1,19 @@
+//! Group-commit ordering fixture (violating half): the batched
+//! `journal_op` is planned on one `match` arm, then a `data_op` is
+//! planned after the join. The path through `Mode::Batched` makes the
+//! mapping record durable before its cache bytes exist — the
+//! flow-sensitive data-before-metadata check catches the arm-hidden
+//! ordering; a lexical scan of "journal_op appears after data_op in the
+//! source" would not (source order here is journal first).
+
+pub fn build_plan_with_late_data_phase(plan: &mut Plan) {
+    match admit_mode() {
+        Mode::Batched => {
+            journal_op(plan, &[]);
+        }
+        Mode::Direct => {
+            note_direct_admit();
+        }
+    }
+    data_op(plan, 1, 0, 4096);
+}

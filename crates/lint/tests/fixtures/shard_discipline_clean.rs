@@ -1,0 +1,11 @@
+//! Shard-discipline fixture (clean half): the same mutation routed
+//! through the shard plane's API, plus a raw *read* — reads do not move
+//! state between shards and are not findings. Must lint clean without a
+//! pragma.
+
+pub fn routed_insert(plane: &mut MetadataPlane, dmt: &Dmt, file: FileId) {
+    // Reads on a raw component are fine; only mutations are disciplined.
+    let _ = dmt.view(file, 0, 4096);
+    // The routed path: the plane derives the owning shard from the d-key.
+    plane.insert(file, 0, 4096, FileId(9), 0, true);
+}

@@ -1,0 +1,10 @@
+//! Shard-discipline fixture (violating half): a pipeline helper mutates
+//! the raw DMT directly instead of routing through the shard plane. The
+//! insert lands in whatever `Dmt` the caller handed over — the owning
+//! shard's router never sees it, so the mutation silently breaks the
+//! shard-count-invariance guarantee (DESIGN.md §15).
+
+pub fn sneak_insert_past_the_router(dmt: &mut Dmt, file: FileId) {
+    // One raw mutator call: exactly one `shard-discipline` finding.
+    dmt.insert(file, 0, 4096, FileId(9), 0, true);
+}
