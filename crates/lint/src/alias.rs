@@ -1,0 +1,463 @@
+//! Shard-state alias layer: routing **provenance** for every shard-owned
+//! state access inside one function.
+//!
+//! The sharded metadata plane (DESIGN.md §15) owns its DMT/CDT/space
+//! state per shard, and the only sanctioned way to pick a shard is the
+//! `ShardRouter` dispatch (`shard_of(file, offset)` / `segments(…)`).
+//! Under per-shard tasks (ROADMAP items 4–5) an access that reaches shard
+//! state *without* passing through the router is a data race waiting to
+//! happen: two tasks agree on ownership only because they agree on the
+//! dispatch. This layer classifies, per function, every expression that
+//! selects shard state — accessor indices (`shard_mut(idx)`), bare
+//! receivers destructured from shard iterators, and the first argument of
+//! the plane's index-taking methods — into a [`Provenance`]:
+//!
+//! * `Routed` — a router dispatch is visible in the expression itself or
+//!   in a dominating binding initializer;
+//! * `Static` — a literal index, or the always-present `shard0` (the
+//!   single-shard fast path; shard 0 exists at every count);
+//! * `Param` — the index is a function parameter: routed **by contract**
+//!   (callers are checked at their call sites instead);
+//! * `Carried` — the value was destructured from a `for` pattern or a
+//!   tuple/struct pattern (an all-shards iterator step, or a collection
+//!   whose elements were built with routed shards): routed by
+//!   construction, trusted at the destructuring site;
+//! * `Flow` — a local rebound along the way: at least one assignment is
+//!   routed, so whether the access is safe is a *path* question the
+//!   `shard-affinity` rule answers with a must-dataflow;
+//! * `Unrouted` — no dispatch anywhere in sight.
+//!
+//! **Degradation direction:** unlike the call graph (which degrades
+//! toward fewer edges), this analysis degrades toward **flagging** — an
+//! index expression it cannot prove routed is reported. A race detector
+//! that shrugs at complex expressions would miss exactly the clever code
+//! most likely to be wrong; the escape hatch is a justified
+//! `allow(shard-affinity)` pragma with its witness, counted by the
+//! pragma ratchet.
+
+use std::ops::Range;
+
+use crate::cfg::Cfg;
+use crate::config;
+use crate::items::FnItem;
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+/// How a shard-selecting expression relates to the router dispatch.
+#[derive(Debug, Clone)]
+pub enum Provenance {
+    /// Dispatch visible in the expression (or `.shard` field of a routed
+    /// segment).
+    Routed,
+    /// Literal index or the always-present `self.shard0`.
+    Static,
+    /// A function parameter — routed by contract.
+    Param,
+    /// Destructured from a `for`/tuple pattern — routed by construction.
+    Carried,
+    /// A local with assignment history; `events` are `(token, routed)`
+    /// rebindings in source order, for the rule's must-dataflow.
+    Flow {
+        /// The local's name.
+        ident: String,
+        /// `(anchor token, initializer contains a dispatch)` per binding
+        /// or assignment, in source order.
+        events: Vec<(usize, bool)>,
+    },
+    /// No dispatch anywhere on the way to this access.
+    Unrouted,
+}
+
+/// One shard-state access with its provenance.
+#[derive(Debug)]
+pub struct Access {
+    /// Code-token index anchoring the access.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rendered access shape for the diagnostic message.
+    pub what: String,
+    /// How the shard was selected.
+    pub prov: Provenance,
+}
+
+/// Collects every shard-state access in `f`'s body with its provenance:
+/// accessor-indexed component mutations, bare-receiver component
+/// mutations, and plane-indexed calls.
+pub fn shard_accesses(file: &SourceFile, f: &FnItem, cfg: &Cfg) -> Vec<Access> {
+    let ctx = Ctx {
+        file,
+        f,
+        cfg,
+        params: param_names(file, f),
+    };
+    let mut out = Vec::new();
+    let mut i = f.body.start;
+    'walk: while i < f.body.end {
+        for n in &f.nested {
+            if n.contains(&i) {
+                i = n.end;
+                continue 'walk;
+            }
+        }
+        accessor_access(&ctx, i, &mut out);
+        receiver_access(&ctx, i, &mut out);
+        plane_indexed_access(&ctx, i, &mut out);
+        i += 1;
+    }
+    out
+}
+
+struct Ctx<'a> {
+    file: &'a SourceFile,
+    f: &'a FnItem,
+    cfg: &'a Cfg,
+    params: Vec<String>,
+}
+
+/// `….shard_mut(IDX).dmt.insert(…)` / `….shard(IDX).space = …`: the
+/// accessor's index argument must be routed.
+fn accessor_access(ctx: &Ctx, i: usize, out: &mut Vec<Access>) {
+    let file = ctx.file;
+    let Some(name) = file.ident(i) else { return };
+    if !config::SHARD_ACCESSOR_FNS.contains(&name)
+        || !file.punct_is(i.wrapping_sub(1), '.')
+        || !file.punct_is(i + 1, '(')
+    {
+        return;
+    }
+    let Some(close) = match_paren(file, i + 1) else {
+        return;
+    };
+    if !file.punct_is(close + 1, '.') {
+        return;
+    }
+    let Some(comp) = file.ident(close + 2) else {
+        return;
+    };
+    if !config::SHARD_COMPONENT_RECEIVERS.contains(&comp) {
+        return;
+    }
+    let Some(mutation) = mutation_after(file, close + 2) else {
+        return;
+    };
+    out.push(Access {
+        tok: i,
+        line: file.line_of(i),
+        what: format!("`{name}(…).{comp}{mutation}`"),
+        prov: classify_index(ctx, i + 2..close),
+    });
+}
+
+/// `RECV.dmt.insert(…)` / `RECV.space = …` where `RECV` is a bare local,
+/// `self.shard0`, or an unrecognized chain: the receiver itself must be a
+/// routed shard value.
+fn receiver_access(ctx: &Ctx, i: usize, out: &mut Vec<Access>) {
+    let file = ctx.file;
+    let Some(comp) = file.ident(i) else { return };
+    if !config::SHARD_COMPONENT_RECEIVERS.contains(&comp) || !file.punct_is(i.wrapping_sub(1), '.')
+    {
+        return;
+    }
+    let Some(mutation) = mutation_after(file, i) else {
+        return;
+    };
+    let base = i.wrapping_sub(2);
+    // `….shard_mut(…).dmt` is the accessor shape, anchored there instead.
+    if file.punct_is(base, ')') {
+        if let Some(open) = match_paren_back(file, base) {
+            if let Some(m) = open.checked_sub(1).and_then(|k| file.ident(k)) {
+                if config::SHARD_ACCESSOR_FNS.contains(&m) {
+                    return; // handled by `accessor_access`
+                }
+            }
+        }
+        out.push(Access {
+            tok: i,
+            line: file.line_of(i),
+            what: format!("`(…).{comp}{mutation}`"),
+            prov: Provenance::Unrouted,
+        });
+        return;
+    }
+    let Some(recv) = file.ident(base) else { return };
+    let prov = if recv == "self" {
+        // `self.dmt.insert(…)` — raw pre-shard plane internals.
+        Provenance::Unrouted
+    } else if recv == "shard0"
+        && file.punct_is(base.wrapping_sub(1), '.')
+        && file.ident(base.wrapping_sub(2)) == Some("self")
+    {
+        Provenance::Static
+    } else if file.punct_is(base.wrapping_sub(1), '.') {
+        // Some other chain (`x.y.dmt`) — not a recognized shard value.
+        Provenance::Unrouted
+    } else {
+        classify_ident(ctx, recv)
+    };
+    out.push(Access {
+        tok: i,
+        line: file.line_of(i),
+        what: format!(
+            "`{recv_or}{comp}{mutation}`",
+            recv_or = render_recv(file, base)
+        ),
+        prov,
+    });
+}
+
+/// `plane.alloc(IDX, …)` / `self.plane.release(IDX, …)`: the first
+/// argument goes straight to per-shard state, so it must be routed.
+fn plane_indexed_access(ctx: &Ctx, i: usize, out: &mut Vec<Access>) {
+    let file = ctx.file;
+    let Some(m) = file.ident(i) else { return };
+    if !config::PLANE_INDEXED_FNS.contains(&m)
+        || !file.punct_is(i.wrapping_sub(1), '.')
+        || file.ident(i.wrapping_sub(2)) != Some(config::PLANE_RECEIVER)
+        || !file.punct_is(i + 1, '(')
+    {
+        return;
+    }
+    let Some(close) = match_paren(file, i + 1) else {
+        return;
+    };
+    // First argument: up to the first comma at paren depth 0.
+    let mut end = close;
+    let mut depth = 0i32;
+    for k in i + 2..close {
+        match file.code.get(k).map(|t| &t.tok) {
+            Some(Tok::Punct('(' | '[' | '{')) => depth += 1,
+            Some(Tok::Punct(')' | ']' | '}')) => depth -= 1,
+            Some(Tok::Punct(',')) if depth == 0 => {
+                end = k;
+                break;
+            }
+            _ => {}
+        }
+    }
+    if i + 2 >= end {
+        return; // zero-argument call — not an indexed use
+    }
+    out.push(Access {
+        tok: i,
+        line: file.line_of(i),
+        what: format!("`plane.{m}(…)` shard index"),
+        prov: classify_index(ctx, i + 2..end),
+    });
+}
+
+/// Renders the receiver prefix for the message (`shard.` or `self.shard0.`).
+fn render_recv(file: &SourceFile, base: usize) -> String {
+    match file.ident(base) {
+        Some(r) if file.punct_is(base.wrapping_sub(1), '.') => format!("self.{r}."),
+        Some(r) => format!("{r}."),
+        None => String::new(),
+    }
+}
+
+/// The mutation suffix after a component token, if the access mutates:
+/// `.mutator(…)` or an `=` assignment (not `==`).
+fn mutation_after(file: &SourceFile, comp: usize) -> Option<String> {
+    if file.punct_is(comp + 1, '.') {
+        let m = file.ident(comp + 2)?;
+        if config::SHARD_MUTATOR_FNS.contains(&m) && file.punct_is(comp + 3, '(') {
+            return Some(format!(".{m}(…)"));
+        }
+        return None;
+    }
+    if file.punct_is(comp + 1, '=') && !file.punct_is(comp + 2, '=') {
+        return Some(" = …".to_string());
+    }
+    None
+}
+
+/// Classifies an index-expression token span.
+fn classify_index(ctx: &Ctx, span: Range<usize>) -> Provenance {
+    let file = ctx.file;
+    if span_has_dispatch(file, span.clone()) {
+        return Provenance::Routed;
+    }
+    // `seg.shard` — the routed-segment field (excluding `.shard(…)`).
+    for k in span.clone() {
+        if file.punct_is(k, '.') && file.ident(k + 1) == Some("shard") && !file.punct_is(k + 2, '(')
+        {
+            return Provenance::Routed;
+        }
+    }
+    if span.len() == 1 {
+        match file.code.get(span.start).map(|t| &t.tok) {
+            Some(Tok::Number) => return Provenance::Static,
+            Some(Tok::Ident(w)) => return classify_ident(ctx, w.clone().as_str()),
+            _ => {}
+        }
+    }
+    Provenance::Unrouted
+}
+
+/// Classifies a bare local: parameter, pattern-destructured, or rebound
+/// (the `Flow` case the rule resolves with a must-dataflow).
+fn classify_ident(ctx: &Ctx, name: &str) -> Provenance {
+    if ctx.params.iter().any(|p| p == name) {
+        return Provenance::Param;
+    }
+    let mut events: Vec<(usize, bool)> = Vec::new();
+    for p in &ctx.cfg.pats {
+        let idents: Vec<&str> = p
+            .span
+            .clone()
+            .filter_map(|k| ctx.file.ident(k))
+            .filter(|w| !matches!(*w, "mut" | "ref" | "Some" | "Ok" | "Err" | "None"))
+            .collect();
+        if !idents.contains(&name) {
+            continue;
+        }
+        if idents.len() >= 2 {
+            // Tuple/struct destructuring: the element's provenance was
+            // fixed where the collection was built — trusted here.
+            return Provenance::Carried;
+        }
+        events.push((p.init.start, span_has_dispatch(ctx.file, p.init.clone())));
+    }
+    events.extend(assignments(ctx, name));
+    events.sort_unstable_by_key(|&(t, _)| t);
+    if events.is_empty() {
+        return Provenance::Unrouted;
+    }
+    Provenance::Flow {
+        ident: name.to_string(),
+        events,
+    }
+}
+
+/// Raw `name = RHS;` reassignments of `name` in the body (excluding
+/// `let` bindings — those come through the CFG patterns — and `==`/`=>`).
+fn assignments(ctx: &Ctx, name: &str) -> Vec<(usize, bool)> {
+    let file = ctx.file;
+    let mut out = Vec::new();
+    let mut j = ctx.f.body.start;
+    'walk: while j < ctx.f.body.end {
+        for n in &ctx.f.nested {
+            if n.contains(&j) {
+                j = n.end;
+                continue 'walk;
+            }
+        }
+        if file.ident(j) == Some(name)
+            && file.punct_is(j + 1, '=')
+            && !file.punct_is(j + 2, '=')
+            && !file.punct_is(j + 2, '>')
+            && file.ident(j.wrapping_sub(1)) != Some("let")
+            && !file.punct_is(j.wrapping_sub(1), '.')
+        {
+            let mut end = j + 2;
+            let mut depth = 0i32;
+            while end < ctx.f.body.end {
+                match file.code.get(end).map(|t| &t.tok) {
+                    Some(Tok::Punct('(' | '[' | '{')) => depth += 1,
+                    Some(Tok::Punct(')' | ']' | '}')) => depth -= 1,
+                    Some(Tok::Punct(';')) if depth == 0 => break,
+                    None => break,
+                    _ => {}
+                }
+                if depth < 0 {
+                    break;
+                }
+                end += 1;
+            }
+            out.push((j, span_has_dispatch(file, j + 2..end)));
+        }
+        j += 1;
+    }
+    out
+}
+
+/// True when a token span contains router-dispatch evidence: a dispatch
+/// call, an all-shards iterator, a shard accessor, a shard-count sweep,
+/// or the routed `.shard` segment field.
+fn span_has_dispatch(file: &SourceFile, span: Range<usize>) -> bool {
+    for k in span {
+        if let Some(w) = file.ident(k) {
+            if config::ROUTER_DISPATCH_FNS.contains(&w)
+                || config::SHARD_ITER_FNS.contains(&w)
+                || config::SHARD_ACCESSOR_FNS.contains(&w)
+                || config::SHARD_SWEEP_FNS.contains(&w)
+            {
+                return true;
+            }
+            if w == "shard" && file.punct_is(k.wrapping_sub(1), '.') && !file.punct_is(k + 1, '(') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The function's parameter names, recovered by scanning the signature
+/// between the `fn` keyword and the body brace.
+fn param_names(file: &SourceFile, f: &FnItem) -> Vec<String> {
+    // Find the `fn` keyword introducing this body.
+    let mut fn_tok = None;
+    let mut k = f.body.start;
+    while k > 0 {
+        k -= 1;
+        if file.ident(k) == Some("fn") && file.ident(k + 1) == Some(f.name.as_str()) {
+            fn_tok = Some(k);
+            break;
+        }
+    }
+    let Some(fn_tok) = fn_tok else {
+        return Vec::new();
+    };
+    // Parameters: idents directly followed by `:` at paren depth 1.
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    for j in fn_tok..f.body.start {
+        match file.code.get(j).map(|t| &t.tok) {
+            Some(Tok::Punct('(')) => depth += 1,
+            Some(Tok::Punct(')')) => depth -= 1,
+            Some(Tok::Ident(w)) if depth == 1 && file.punct_is(j + 1, ':') => {
+                out.push(w.clone());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Matching `)` for the `(` at `open`.
+fn match_paren(file: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in open..file.code.len() {
+        match file.code.get(k).map(|t| &t.tok) {
+            Some(Tok::Punct('(')) => depth += 1,
+            Some(Tok::Punct(')')) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Matching `(` for the `)` at `close`.
+fn match_paren_back(file: &SourceFile, close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = close + 1;
+    while k > 0 {
+        k -= 1;
+        match file.code.get(k).map(|t| &t.tok) {
+            Some(Tok::Punct(')')) => depth += 1,
+            Some(Tok::Punct('(')) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

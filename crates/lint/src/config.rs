@@ -1,7 +1,6 @@
 //! Rule scoping tables — which crates, files, and symbols each rule
-//! family covers, and the declared lock-order table. This is the single
-//! place the workspace's invariants are spelled out; DESIGN.md §10 is the
-//! prose twin of this file.
+//! family covers. This is the single place the workspace's invariants are
+//! spelled out; DESIGN.md §10 is the prose twin of this file.
 
 /// Every rule id the engine knows. An allow-pragma naming anything else
 /// is itself a violation (a typo must never suppress).
@@ -10,7 +9,7 @@ pub const RULES: &[&str] = &[
     "ordered-iter",
     "panic",
     "panic-path",
-    "lock-order",
+    "lock-graph",
     "lock-across-io",
     "durability",
     "typestate",
@@ -19,6 +18,9 @@ pub const RULES: &[&str] = &[
     // Alias: `allow(retry)` suppresses `unbounded-retry` (see pragma.rs).
     "retry",
     "shard-discipline",
+    "shard-affinity",
+    "async-ready",
+    "hot-alloc",
     "pragma",
 ];
 
@@ -62,16 +64,6 @@ pub const SERIALIZATION_FILES: &[&str] = &[
 /// determinism crates even outside [`SERIALIZATION_FILES`].
 pub const SERIALIZATION_FN_PATTERNS: &[&str] =
     &["journal", "checkpoint", "serialize", "snapshot", "report"];
-
-/// The declared lock-order table: locks may only be acquired top-to-bottom
-/// within one call path. Every `.lock()`/`.read()`/`.write()` acquisition
-/// on a named struct field must name a lock listed here; acquiring an
-/// earlier lock while holding a later one is a `lock-order` violation.
-///
-/// The workspace currently holds exactly one lock: the trace collector's
-/// record buffer. New locks must be added here (and to DESIGN.md §10)
-/// before the linter accepts them.
-pub const LOCK_ORDER: &[&str] = &["records"];
 
 /// Calls that perform (simulated) device I/O or journal appends. Holding
 /// any lock across one of these stalls every thread contending for the
@@ -238,6 +230,91 @@ pub const SHARD_MUTATOR_FNS: &[&str] = &[
     "set_c_flag",
     "clear_c_flag",
 ];
+
+/// Router dispatch calls: an index expression containing one of these is
+/// **routed** — it came out of the `ShardRouter` that defines shard
+/// ownership (`shard_of(file, offset)`, or the `segments(…)` iterator
+/// whose items carry a `.shard` field). The `shard-affinity` alias
+/// analysis accepts shard-state access only through such provenance.
+pub const ROUTER_DISPATCH_FNS: &[&str] = &["shard_of", "segments"];
+
+/// The plane's internal shard accessors: `shard(idx)` / `shard_mut(idx)`
+/// select one shard's state by index, so the *index* argument must carry
+/// routed provenance.
+pub const SHARD_ACCESSOR_FNS: &[&str] = &["shard", "shard_mut"];
+
+/// All-shards iterators: a binding destructured from one of these visits
+/// every shard uniformly — routed by construction (each iteration step
+/// owns exactly the shard it holds).
+pub const SHARD_ITER_FNS: &[&str] = &["shards", "shards_mut"];
+
+/// Identifier fragments accepted in an index-binding initializer as
+/// evidence of a uniform all-shards sweep (`for shard in
+/// 0..plane.shard_count()`).
+pub const SHARD_SWEEP_FNS: &[&str] = &["shard_count"];
+
+/// `MetadataPlane` methods taking a shard index as their **first**
+/// argument. A call `plane.alloc(idx, …)` hands `idx` straight to the
+/// per-shard state, so the caller-side index expression must be routed.
+pub const PLANE_INDEXED_FNS: &[&str] = &[
+    "alloc",
+    "release",
+    "fits",
+    "shard_available",
+    "evict_clean_lru_excluding",
+    "take_shard_pending",
+];
+
+/// The receiver identifier that marks a plane-indexed call site
+/// (`self.plane.alloc(…)`, `plane.release(…)`). Inside the plane itself
+/// the receiver is `self` and the accessor checks apply instead.
+pub const PLANE_RECEIVER: &str = "plane";
+
+/// Calls that block the calling thread on (simulated or real) device
+/// latency: device I/O, fsync-class persistence barriers, and the
+/// synchronous journal append. The `async-ready` rule reports any of
+/// these reachable while a lock may be held in a function on the future
+/// service entry surface — the classic async-runtime pitfall (a blocked
+/// executor thread stalls every task scheduled on it).
+pub const BLOCKING_FNS: &[&str] = &[
+    "append_journal_sync",
+    "apply_bytes",
+    "read_bytes",
+    "discard",
+    "submit",
+    "sync_all",
+    "sync_data",
+    "fsync",
+];
+
+/// Crates whose unrestricted `pub fn`s form the future service entry
+/// surface (`async-ready` roots): the same public API the tokio front
+/// end (ROADMAP item 5) will call from executor threads.
+pub const SERVICE_SURFACE_CRATES: &[&str] = &["core", "mpiio"];
+
+/// Hot-path modules under the allocation lint (`hot-alloc`): the
+/// identify→redirect→admit pipeline, the shard plane, the group-commit
+/// queue, and the runner's exec/drain stages — the code ROADMAP item 2
+/// commits to making allocation-free. Matched as a path prefix for
+/// directories and exactly for files.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/pipeline/",
+    "crates/core/src/shard/",
+    "crates/core/src/durability/group.rs",
+    "crates/mpiio/src/runner/exec.rs",
+    "crates/mpiio/src/runner/drain.rs",
+];
+
+/// True when a workspace-relative path lies in the hot-path set.
+pub fn is_hot_path(rel: &str) -> bool {
+    HOT_PATH_FILES.iter().any(|p| {
+        if p.ends_with('/') {
+            rel.starts_with(p)
+        } else {
+            rel == *p
+        }
+    })
+}
 
 /// Maximum non-test code lines per library module (`file-budget`).
 /// `#[cfg(test)]` / `#[test]` spans and files under `tests/`, `examples/`,

@@ -103,9 +103,10 @@ fn pragma_hygiene(file: &SourceFile, prags: &[Pragma], report: &mut Report) {
                 rule: "pragma",
                 message,
                 hint: "format: `// s4d-lint: allow(<rule>) — <justification>`; rules: \
-                       determinism, ordered-iter, panic, panic-path, lock-order, \
+                       determinism, ordered-iter, panic, panic-path, lock-graph, \
                        lock-across-io, durability, typestate, file-budget, \
-                       unbounded-retry, shard-discipline",
+                       unbounded-retry, shard-discipline, shard-affinity, \
+                       async-ready, hot-alloc",
                 severity,
                 chain: Vec::new(),
             });

@@ -14,8 +14,9 @@
 //! |-------------|-----|-----|
 //! | determinism | `determinism`, `ordered-iter` | the crash-matrix harness and replay proptests compare byte-for-byte |
 //! | panic-freedom | `panic`, `panic-path` | the middleware sits on every I/O path; `panic` flags sites lexically, `panic-path` reports the transitive panic surface of the public API with witness call chains |
-//! | lock discipline | `lock-order`, `lock-across-io` | cycles and device-latency lock holds are availability bugs — held-lock sets propagate through callees |
+//! | lock discipline | `lock-graph`, `lock-across-io` | deadlock cycles in the computed lock-acquisition graph and device-latency lock holds are availability bugs — held-lock sets propagate through callees |
 //! | durability protocol | `durability` | DESIGN.md §9 write ordering keeps crashes recoverable — checked along call paths via effect summaries |
+//! | concurrency readiness | `shard-affinity`, `async-ready`, `hot-alloc` | ROADMAP items 2/4/5: shard mutations must be router-dominated ([`alias`]), blocking-under-lock on the service surface and hot-path allocations are ratcheted before real concurrency lands |
 //! | file budget | `file-budget` | a module past 800 non-test lines means a missed component seam (DESIGN.md §12) |
 //!
 //! Plus `pragma` for allow-pragma hygiene. Run with:
@@ -31,13 +32,13 @@
 //! // s4d-lint: allow(panic) — index is the loop bound, < len by construction
 //! ```
 //!
-//! See `DESIGN.md` §10 for the full rule catalogue, the declared
-//! lock-order table, and the conservative-resolution caveats (mirrored in
-//! [`config`]).
+//! See `DESIGN.md` §10 for the full rule catalogue and the
+//! conservative-resolution caveats (mirrored in [`config`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alias;
 pub mod callgraph;
 pub mod cfg;
 pub mod config;

@@ -18,6 +18,8 @@ USAGE:
                                     JSON (default: BENCH_lint.json)
     s4d-lint --check-budget         also enforce crates/lint/pragma_budget.toml
                                     (pragma-site and pinned-warning ceilings)
+                                    and crates/lint/alloc_budget.toml (per-file
+                                    hot-path allocation ceilings)
 
 EXIT CODES:
     0  clean (warnings allowed)
@@ -115,15 +117,21 @@ fn main() -> ExitCode {
         // Keys sorted, wall time last: everything before it is
         // deterministic, so diffs of two runs touch exactly one line.
         let body = format!(
-            "{{\n  \"blocks\": {},\n  \"dataflow_iterations\": {},\n  \"diagnostics\": {},\n  \
-             \"edges\": {},\n  \"files\": {},\n  \"functions\": {},\n  \
-             \"summary_passes\": {},\n  \"suppressed\": {},\n  \"wall_ms\": {wall_ms:.3}\n}}\n",
+            "{{\n  \"alias_facts\": {},\n  \"blocks\": {},\n  \"cycle_checks\": {},\n  \
+             \"dataflow_iterations\": {},\n  \"diagnostics\": {},\n  \"edges\": {},\n  \
+             \"files\": {},\n  \"functions\": {},\n  \"lock_graph_edges\": {},\n  \
+             \"lock_graph_nodes\": {},\n  \"summary_passes\": {},\n  \"suppressed\": {},\n  \
+             \"wall_ms\": {wall_ms:.3}\n}}\n",
+            report.stats.alias_facts.get(),
             report.stats.blocks,
+            report.stats.cycle_checks.get(),
             report.stats.dataflow_iterations.get(),
             report.diagnostics.len(),
             report.stats.edges,
             report.files,
             report.stats.functions,
+            report.stats.lock_graph_edges.get(),
+            report.stats.lock_graph_nodes.get(),
             report.stats.summary_passes,
             report.suppressed,
         );
@@ -138,6 +146,13 @@ fn main() -> ExitCode {
             Ok(msg) => eprintln!("{msg}"),
             Err(e) => {
                 eprintln!("s4d-lint: budget gate FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match alloc_gate(&root, &report) {
+            Ok(msg) => eprintln!("{msg}"),
+            Err(e) => {
+                eprintln!("s4d-lint: alloc budget gate FAILED: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -183,18 +198,86 @@ fn budget_gate(root: &std::path::Path, report: &engine::Report) -> Result<String
             path.display()
         ));
     }
-    if report.warnings() > pinned {
+    // `hot-alloc` warnings are governed by their own census
+    // (alloc_budget.toml); the pinned ceiling covers everything else.
+    let pinned_actual = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == s4d_lint::Severity::Warning && d.rule != "hot-alloc")
+        .count();
+    if pinned_actual > pinned {
         return Err(format!(
-            "{} warnings exceed the pinned ceiling of {pinned} — fix the new warning \
-             or, with review, raise the ceiling in {}",
-            report.warnings(),
+            "{pinned_actual} warnings exceed the pinned ceiling of {pinned} — fix the new \
+             warning or, with review, raise the ceiling in {}",
             path.display()
         ));
     }
     Ok(format!(
-        "s4d-lint: budget gate OK ({}/{allow} pragma sites, {}/{pinned} warnings)",
+        "s4d-lint: budget gate OK ({}/{allow} pragma sites, {pinned_actual}/{pinned} warnings)",
         report.pragmas,
-        report.warnings()
+    ))
+}
+
+/// Enforces `crates/lint/alloc_budget.toml`: per-file ceilings on
+/// `hot-alloc` findings, plus a `total`. The census may only ratchet
+/// down — a hot file above its recorded count fails the gate, and a hot
+/// file not in the census at all has a ceiling of zero.
+fn alloc_gate(root: &std::path::Path, report: &engine::Report) -> Result<String, String> {
+    let path = root.join("crates/lint/alloc_budget.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut total: Option<usize> = None;
+    let mut per_file: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad value for `{key}` in {}", path.display()))?;
+        if key == "total" {
+            total = Some(value);
+        } else {
+            per_file.insert(key.to_string(), value);
+        }
+    }
+    let total = total.ok_or("alloc_budget.toml is missing `total`")?;
+    let mut actual: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for d in &report.diagnostics {
+        if d.rule != "hot-alloc" {
+            continue;
+        }
+        let rel = d
+            .path
+            .strip_prefix(root)
+            .unwrap_or(&d.path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        *actual.entry(rel).or_insert(0) += 1;
+    }
+    let actual_total: usize = actual.values().sum();
+    for (rel, &n) in &actual {
+        let ceiling = per_file.get(rel).copied().unwrap_or(0);
+        if n > ceiling {
+            return Err(format!(
+                "{rel} has {n} hot-path allocation sites, ceiling {ceiling} — remove the \
+                 new allocation (reuse a buffer) or, with review, raise its line in {}",
+                path.display()
+            ));
+        }
+    }
+    if actual_total > total {
+        return Err(format!(
+            "{actual_total} hot-path allocation sites exceed the total budget of {total} \
+             — the census in {} only ratchets down",
+            path.display()
+        ));
+    }
+    Ok(format!(
+        "s4d-lint: alloc budget gate OK ({actual_total}/{total} hot-path allocation sites)"
     ))
 }
 

@@ -1,0 +1,160 @@
+//! `shard-affinity`: every mutation of shard-owned DMT/CDT/space state
+//! must be dominated by a `ShardRouter` dispatch for that shard.
+//!
+//! PR 9 sharded the metadata plane; ROADMAP items 4–5 will drive it from
+//! concurrent middlewares and per-shard tasks. At that point the only
+//! thing standing between two tasks and a data race is that both picked
+//! their shard through the router — the dispatch *is* the ownership
+//! protocol. This rule proves the protocol lexically and along paths:
+//!
+//! * the alias layer ([`crate::alias`]) classifies every shard-state
+//!   access in a function — accessor indices (`shard_mut(idx)`), bare
+//!   receivers (`shard.dmt.insert(…)`), and the plane's index-taking
+//!   methods (`plane.release(shard, …)`) — by routing provenance;
+//! * `Routed`/`Static`/`Param`/`Carried` accesses pass outright;
+//! * `Flow` accesses (a rebound local) run a forward **must-routed**
+//!   dataflow over the CFG: the index must carry a router dispatch on
+//!   *every* path into the access (meet = conjunction, an unrouted
+//!   rebinding kills the fact). A violating path is materialized as a
+//!   block-path witness, like the PR 8 flow rules;
+//! * `Unrouted` accesses — `self.dmt` plane internals, unrecognized
+//!   chains, indices with no dispatch in their history — are flagged
+//!   unconditionally.
+//!
+//! Severity is **error**: a cross-shard touch that becomes a data race
+//! under per-shard tasks is not a style preference. The analysis scope
+//! is the `core` crate's library functions (the plane and everything
+//! that drives it); trusted provenances (`Param`, `Carried`) encode the
+//! routing-by-contract boundaries documented in DESIGN.md §10.
+
+use crate::alias::{self, Provenance};
+use crate::diag::{Diagnostic, Severity};
+use crate::summary::Analysis;
+
+/// Runs shard-affinity checking over the analyzed workspace.
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for id in 0..a.graph.len() {
+        let file = a.file_of(id);
+        if file.crate_name != "core" {
+            continue;
+        }
+        let f = a.fn_item(id);
+        let cfg = &a.cfgs[id];
+        let accesses = alias::shard_accesses(file, f, cfg);
+        a.stats.add_alias_facts(accesses.len());
+        for acc in accesses {
+            match acc.prov {
+                Provenance::Routed
+                | Provenance::Static
+                | Provenance::Param
+                | Provenance::Carried => {}
+                Provenance::Unrouted => out.push(unrouted(a, id, &acc, None)),
+                Provenance::Flow {
+                    ref ident,
+                    ref events,
+                } => {
+                    check_flow(a, id, &acc, ident, events, out);
+                }
+            }
+        }
+    }
+}
+
+/// Must-routed dataflow for a rebound local: the fact is "the index
+/// carries a router dispatch", true only when every path into the use
+/// ends with a routed rebinding.
+fn check_flow(
+    a: &Analysis,
+    id: crate::callgraph::FnId,
+    acc: &alias::Access,
+    ident: &str,
+    events: &[(usize, bool)],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !events.iter().any(|&(_, routed)| routed) {
+        out.push(unrouted(a, id, acc, Some(ident)));
+        return;
+    }
+    let cfg = &a.cfgs[id];
+    // Last rebinding per block decides its out-fact; blocks without a
+    // rebinding pass the in-fact through.
+    let final_in = |b: usize| -> Option<bool> {
+        events
+            .iter()
+            .rfind(|&&(t, _)| cfg.block_of_tok(t) == Some(b))
+            .map(|&(_, routed)| routed)
+    };
+    let sol = crate::dataflow::forward(
+        cfg,
+        false,
+        true,
+        |x, y| *x && *y,
+        |b, fact| final_in(b).unwrap_or(*fact),
+    );
+    a.stats.add_iterations(sol.iterations);
+    let Some(ub) = cfg.block_of_tok(acc.tok) else {
+        return;
+    };
+    // Same-block rebindings before the use override the entry fact.
+    let mut routed = sol.entry[ub];
+    for &(t, r) in events {
+        if cfg.block_of_tok(t) == Some(ub) && t < acc.tok {
+            routed = r;
+        }
+    }
+    if routed {
+        return;
+    }
+    // Materialize a violating path: entry to the use through blocks
+    // whose final rebinding is not a routed one.
+    let chain = cfg
+        .path_via(cfg.entry, ub, |b| final_in(b) != Some(true))
+        .map(|p| vec![a.path_trace(id, &p)])
+        .unwrap_or_default();
+    out.push(Diagnostic {
+        path: a.file_of(id).path.clone(),
+        line: acc.line,
+        rule: "shard-affinity",
+        message: format!(
+            "{} uses shard index `{ident}` that is not router-derived on every \
+             incoming path",
+            acc.what
+        ),
+        hint: "derive the index from `router.shard_of(file, offset)` (or a routed \
+               segment) on every path before touching shard state; a cross-shard \
+               touch becomes a data race under per-shard tasks",
+        severity: Severity::Error,
+        chain,
+    });
+}
+
+/// A shard-state access with no routing evidence at all.
+fn unrouted(
+    a: &Analysis,
+    id: crate::callgraph::FnId,
+    acc: &alias::Access,
+    ident: Option<&str>,
+) -> Diagnostic {
+    let message = match ident {
+        Some(w) => format!(
+            "{} uses shard index `{w}` with no router dispatch in its history",
+            acc.what
+        ),
+        None => format!(
+            "{} touches shard-owned state without a router dispatch",
+            acc.what
+        ),
+    };
+    Diagnostic {
+        path: a.file_of(id).path.clone(),
+        line: acc.line,
+        rule: "shard-affinity",
+        message,
+        hint: "route every shard-state access through \
+               `router.shard_of(…)`/`router.segments(…)` (or the shards \
+               iterators); the dispatch is the ownership protocol that makes \
+               per-shard tasks sound",
+        severity: Severity::Error,
+        chain: Vec::new(),
+    }
+}

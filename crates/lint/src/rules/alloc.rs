@@ -1,0 +1,92 @@
+//! `hot-alloc`: allocation sites in the designated hot modules —
+//! report-only, ratcheted by `crates/lint/alloc_budget.toml`.
+//!
+//! ROADMAP item 2 wants the identify→redirect→admit pipeline and the
+//! exec/drain runner paths allocation-free: under burst load (the
+//! LBICA/MIDAS scenario) every transient `Vec` is a malloc in the
+//! latency-critical window, and Rust makes them easy to write without
+//! noticing (`.collect()`, `.clone()`, `format!`). This rule makes the
+//! count visible and one-directional: every allocation site in a hot
+//! module ([`crate::config::HOT_PATH_FILES`]) is a warning, the census
+//! lives in `alloc_budget.toml`, and `--check-budget` fails when a file
+//! exceeds its recorded ceiling — so the count can only go down.
+//!
+//! Detected shapes (anchored at the name token, one finding per site):
+//! `Vec::new(…)`, `vec![…]`, `Box::new(…)`, `.clone()`, `.collect()` /
+//! `.collect::<…>()`, `.to_vec()`, `String::from(…)`, and `format!(…)`.
+//! The lexical matcher cannot see through user wrappers that allocate
+//! internally — the census is a floor, not a proof — and it deliberately
+//! does not exempt cold branches inside hot files: the budget file is
+//! where "this one is fine" lives, with the count to show for it.
+
+use crate::config;
+use crate::diag::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Runs allocation-site detection over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !config::is_hot_path(&file.rel) || file.kind.is_test_like() {
+        return;
+    }
+    for i in 0..file.code.len() {
+        let Some(what) = alloc_site(file, i) else {
+            continue;
+        };
+        let line = file.line_of(i);
+        if file.in_test_span(line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line,
+            rule: "hot-alloc",
+            message: format!("allocation in the hot path: {what}"),
+            hint: "reuse a buffer held by the owning struct (clear + extend), or \
+                   restructure to borrow; the census in crates/lint/alloc_budget.toml \
+                   only ratchets down (ROADMAP item 2)",
+            severity: Severity::Warning,
+            chain: Vec::new(),
+        });
+    }
+}
+
+/// Classifies token `i` as an allocation site, if it is one.
+fn alloc_site(file: &SourceFile, i: usize) -> Option<&'static str> {
+    let name = file.ident(i)?;
+    match name {
+        // Path constructors: `Type :: ctor (`.
+        "Vec" | "Box" | "String"
+            if file.punct_is(i + 1, ':')
+                && file.punct_is(i + 2, ':')
+                && file.punct_is(i + 4, '(') =>
+        {
+            match (name, file.ident(i + 3)) {
+                ("Vec", Some("new")) => return Some("`Vec::new()`"),
+                ("Vec", Some("with_capacity")) => return Some("`Vec::with_capacity(…)`"),
+                ("Box", Some("new")) => return Some("`Box::new(…)`"),
+                ("String", Some("from")) => return Some("`String::from(…)`"),
+                ("String", Some("new")) => return Some("`String::new()`"),
+                _ => {}
+            }
+        }
+        // Allocating macros.
+        "vec" if file.punct_is(i + 1, '!') => return Some("`vec![…]`"),
+        "format" if file.punct_is(i + 1, '!') => return Some("`format!(…)`"),
+        // Allocating method calls: `. name (` or `. name :: < … > (`.
+        "clone" | "collect" | "to_vec" | "to_string" | "to_owned"
+            if file.punct_is(i.wrapping_sub(1), '.')
+                && (file.punct_is(i + 1, '(')
+                    || (file.punct_is(i + 1, ':') && file.punct_is(i + 2, ':'))) =>
+        {
+            return Some(match name {
+                "clone" => "`.clone()`",
+                "collect" => "`.collect()`",
+                "to_vec" => "`.to_vec()`",
+                "to_string" => "`.to_string()`",
+                _ => "`.to_owned()`",
+            });
+        }
+        _ => {}
+    }
+    None
+}

@@ -1,0 +1,141 @@
+//! `async-ready`: blocking calls under a held lock on the future service
+//! entry surface — report-only.
+//!
+//! ROADMAP item 5 puts a tokio front end over the middleware: every
+//! unrestricted `pub fn` of the `core`/`mpiio` crates becomes code that
+//! may run on an executor thread. The classic way that goes wrong is a
+//! blocking operation — device I/O, an fsync, a synchronous journal
+//! append — issued while a lock is held: the executor thread stalls for
+//! a device-latency bound *and* every other task contending on the lock
+//! stalls behind it, which is how a handful of slow fsyncs turns into a
+//! stalled runtime.
+//!
+//! Mechanics: BFS reachability over the call graph from the public roots
+//! (exactly like `panic-path`), then for every reached function, every
+//! [`crate::config::BLOCKING_FNS`] call — direct, or anywhere inside a
+//! callee via the summary's `device_io` bit — inside a guard's
+//! may-held extent (intersected with CFG reachability) is one warning,
+//! carrying the root-to-site chain.
+//!
+//! Severity is **warning** by design: the service does not exist yet, so
+//! nothing is broken today — the rule is the ratchet that keeps the
+//! surface clean until it does. `lock-across-io` remains the hard error
+//! for the device-I/O subset; this rule covers the wider blocking
+//! vocabulary and anchors it to the entry surface.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{FnId, ROOT_PARENT};
+use crate::config;
+use crate::diag::{Diagnostic, Severity};
+use crate::items::EventKind;
+use crate::summary::Analysis;
+
+/// Runs blocking-under-lock detection from the service entry surface.
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let roots: Vec<FnId> = (0..a.graph.len())
+        .filter(|&id| {
+            a.fn_item(id).is_pub
+                && config::SERVICE_SURFACE_CRATES.contains(&a.file_of(id).crate_name.as_str())
+        })
+        .collect();
+    let parents = a.graph.reach(&roots);
+    // One finding per (file, line): one site may sit inside several
+    // guards' extents and be reached from several roots.
+    let mut seen: BTreeSet<(String, u32)> = BTreeSet::new();
+    for id in 0..a.graph.len() {
+        if parents[id].is_none() {
+            continue;
+        }
+        let events = &a.fn_item(id).events;
+        for (ai, acq) in events.iter().enumerate() {
+            let EventKind::Acquire { lock, extent } = &acq.kind else {
+                continue;
+            };
+            for (ei, ev) in events.iter().enumerate() {
+                if ev.tok <= acq.tok || !extent.contains(&ev.tok) || !flows_to(a, id, ai, ei) {
+                    continue;
+                }
+                let EventKind::Call { name, .. } = &ev.kind else {
+                    continue;
+                };
+                let (what, descent) = if config::BLOCKING_FNS.contains(&name.as_str()) {
+                    (format!("`{name}`"), Vec::new())
+                } else if !crate::summary::is_protocol_name(name) {
+                    let Some(&callee) = a
+                        .graph
+                        .resolve(name)
+                        .iter()
+                        .find(|&&c| c != id && a.summaries[c].device_io)
+                    else {
+                        continue;
+                    };
+                    (
+                        "device I/O in a callee".to_string(),
+                        a.witness(callee, first_blocking, |s| s.device_io),
+                    )
+                } else {
+                    continue;
+                };
+                let file = a.file_of(id);
+                if !seen.insert((file.rel.clone(), ev.line)) {
+                    continue;
+                }
+                let mut chain = chain_to(a, &parents, id, ev.line);
+                chain.extend(descent);
+                let root = chain.first().cloned().unwrap_or_default();
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: ev.line,
+                    rule: "async-ready",
+                    message: format!(
+                        "blocking {what} while lock `{lock}` may be held, reachable \
+                         from the service entry surface ({root})"
+                    ),
+                    hint: "the tokio front end (ROADMAP item 5) will run this on an \
+                           executor thread: move the blocking call off the lock, or \
+                           hand it to a blocking pool; report-only until the service \
+                           lands",
+                    severity: Severity::Warning,
+                    chain,
+                });
+            }
+        }
+    }
+}
+
+/// True when event `from` may still be live when event `to` runs.
+fn flows_to(a: &Analysis, id: FnId, from: usize, to: usize) -> bool {
+    let cfg = &a.cfgs[id];
+    let (fb, tb) = (cfg.ev_block[from], cfg.ev_block[to]);
+    if fb == tb {
+        return a.fn_item(id).events[from].tok <= a.fn_item(id).events[to].tok;
+    }
+    cfg.reaches(fb, tb)
+}
+
+/// First direct blocking call in a function (witness descent).
+fn first_blocking(a: &Analysis, id: FnId) -> Option<u32> {
+    a.fn_item(id).events.iter().find_map(|ev| match &ev.kind {
+        EventKind::Call { name, .. } if config::BLOCKING_FNS.contains(&name.as_str()) => {
+            Some(ev.line)
+        }
+        _ => None,
+    })
+}
+
+/// Root-to-site chain from the BFS parent pointers (as in `panic-path`).
+fn chain_to(a: &Analysis, parents: &[Option<(FnId, u32)>], id: FnId, line: u32) -> Vec<String> {
+    let mut rev: Vec<(FnId, u32)> = Vec::new();
+    let mut cur = id;
+    while let Some((p, call_line)) = parents[cur] {
+        if p == ROOT_PARENT {
+            break;
+        }
+        rev.push((p, call_line));
+        cur = p;
+    }
+    let mut chain: Vec<String> = rev.iter().rev().map(|&(n, l)| a.step(n, l)).collect();
+    chain.push(a.step(id, line));
+    chain
+}

@@ -1,0 +1,203 @@
+//! `lock-graph`: deadlock freedom by computed lock-acquisition graph,
+//! replacing the old declared lock-order table.
+//!
+//! The declared table (PR 5) had two weaknesses: it had to be maintained
+//! by hand, and it only caught *declared* pairs — a lock missing from
+//! the table produced an error about the table, not about a cycle. This
+//! rule computes the real graph from the same PR 8 may-held machinery
+//! the `lock-across-io` rule uses:
+//!
+//! * **nodes** are name-class locks (every field named `records` is one
+//!   lock — the same approximation the acquisition extractor makes);
+//! * **edges** `A → B` mean *lock A is held while B is acquired on some
+//!   path*: a direct acquisition inside A's guard extent (intersected
+//!   with CFG reachability, so sibling branches don't fabricate holds),
+//!   or a call made while A is held into a callee whose transitive
+//!   summary acquires B — edges cross function boundaries for free
+//!   because the summaries already do;
+//! * **cycles** in the graph are potential deadlocks: `A → B → A` means
+//!   one thread can hold A wanting B while another holds B wanting A. A
+//!   self-loop `A → A` is a re-entry deadlock on a non-reentrant mutex.
+//!
+//! Each edge carries the witness chain that created it (call-site steps
+//! down to the acquisition), so a cycle report shows a concrete
+//! interleaving, one hop per edge. Determinism: edges live in a
+//! `BTreeMap` keyed by name pair, the first witness (node-id order) is
+//! kept, and cycles are enumerated from lexicographically-least start
+//! nodes — so the same workspace always renders the same report.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::FnId;
+use crate::diag::{Diagnostic, Severity};
+use crate::items::EventKind;
+use crate::summary::Analysis;
+
+/// One held-while-acquiring edge with the witness that created it.
+struct Edge {
+    /// Node the edge was discovered in (for the diagnostic anchor).
+    fn_id: FnId,
+    /// Line of the acquisition (or the call leading to it).
+    line: u32,
+    /// Rendered steps: the site in the holder, then the descent to the
+    /// acquisition when it happens in a callee.
+    chain: Vec<String>,
+}
+
+/// Runs lock-graph cycle detection over the analyzed workspace.
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    for id in 0..a.graph.len() {
+        let events = &a.fn_item(id).events;
+        for (ai, acq) in events.iter().enumerate() {
+            let EventKind::Acquire { lock, extent } = &acq.kind else {
+                continue;
+            };
+            nodes.insert(lock.clone());
+            for (ei, ev) in events.iter().enumerate() {
+                if ev.tok <= acq.tok || !extent.contains(&ev.tok) || !flows_to(a, id, ai, ei) {
+                    continue;
+                }
+                match &ev.kind {
+                    EventKind::Acquire { lock: b, .. } => {
+                        add_edge(
+                            &mut edges,
+                            lock,
+                            b,
+                            Edge {
+                                fn_id: id,
+                                line: ev.line,
+                                chain: vec![a.step(id, ev.line)],
+                            },
+                        );
+                    }
+                    EventKind::Call { name, .. } => {
+                        if crate::summary::is_protocol_name(name) {
+                            continue;
+                        }
+                        for &callee in a.graph.resolve(name) {
+                            if callee == id {
+                                continue;
+                            }
+                            for b in &a.summaries[callee].acquires {
+                                let mut chain = vec![a.step(id, ev.line)];
+                                chain.extend(a.witness(
+                                    callee,
+                                    |a, n| first_acquire(a, n, b),
+                                    |s| s.acquires.contains(b),
+                                ));
+                                add_edge(
+                                    &mut edges,
+                                    lock,
+                                    b,
+                                    Edge {
+                                        fn_id: id,
+                                        line: ev.line,
+                                        chain,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    a.stats.set_lock_graph(nodes.len(), edges.len());
+
+    for cycle in cycles(a, &edges) {
+        // Anchor at the first edge's witness site; the chain walks the
+        // whole cycle, one edge at a time.
+        let first = &edges[&(cycle[0].clone(), cycle[1 % cycle.len()].clone())];
+        let mut ring: Vec<&str> = cycle.iter().map(String::as_str).collect();
+        ring.push(&cycle[0]);
+        let mut chain = Vec::new();
+        for w in cycle.iter().enumerate().map(|(k, from)| {
+            let to = &cycle[(k + 1) % cycle.len()];
+            &edges[&(from.clone(), to.clone())]
+        }) {
+            chain.extend(w.chain.iter().cloned());
+        }
+        out.push(Diagnostic {
+            path: a.file_of(first.fn_id).path.clone(),
+            line: first.line,
+            rule: "lock-graph",
+            message: format!(
+                "lock-acquisition cycle: {}",
+                ring.iter()
+                    .map(|l| format!("`{l}`"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            ),
+            hint: "two threads walking this ring from different entry points \
+                   deadlock; break the cycle by acquiring these locks in one \
+                   global order on every path, or drop the first guard before \
+                   taking the second",
+            severity: Severity::Error,
+            chain,
+        });
+    }
+}
+
+/// True when event `from` may still be live when event `to` runs: same
+/// block in token order, or a CFG path between their blocks.
+fn flows_to(a: &Analysis, id: FnId, from: usize, to: usize) -> bool {
+    let cfg = &a.cfgs[id];
+    let (fb, tb) = (cfg.ev_block[from], cfg.ev_block[to]);
+    if fb == tb {
+        return a.fn_item(id).events[from].tok <= a.fn_item(id).events[to].tok;
+    }
+    cfg.reaches(fb, tb)
+}
+
+/// First direct acquisition of `lock` in a function (witness descent).
+fn first_acquire(a: &Analysis, id: FnId, lock: &str) -> Option<u32> {
+    a.fn_item(id).events.iter().find_map(|ev| match &ev.kind {
+        EventKind::Acquire { lock: l, .. } if l == lock => Some(ev.line),
+        _ => None,
+    })
+}
+
+fn add_edge(edges: &mut BTreeMap<(String, String), Edge>, from: &str, to: &str, e: Edge) {
+    edges.entry((from.to_string(), to.to_string())).or_insert(e);
+}
+
+/// Elementary cycles of the edge set, each rendered canonically as the
+/// node list starting at its lexicographically-least lock. The DFS from
+/// each start node only visits nodes `>=` the start, so every cycle is
+/// found exactly once, at its least node.
+fn cycles(a: &Analysis, edges: &BTreeMap<(String, String), Edge>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut found: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in adj.keys().collect::<Vec<_>>().iter() {
+        let mut path: Vec<&str> = vec![start];
+        dfs(a, start, start, &adj, &mut path, &mut found);
+    }
+    found.into_iter().collect()
+}
+
+fn dfs<'e>(
+    a: &Analysis,
+    start: &'e str,
+    cur: &'e str,
+    adj: &BTreeMap<&'e str, Vec<&'e str>>,
+    path: &mut Vec<&'e str>,
+    found: &mut BTreeSet<Vec<String>>,
+) {
+    let Some(nexts) = adj.get(cur) else { return };
+    for &next in nexts {
+        a.stats.add_cycle_checks(1);
+        if next == start {
+            found.insert(path.iter().map(|s| s.to_string()).collect());
+        } else if next > start && !path.contains(&next) {
+            path.push(next);
+            dfs(a, start, next, adj, path, found);
+            path.pop();
+        }
+    }
+}

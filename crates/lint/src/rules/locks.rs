@@ -1,5 +1,5 @@
-//! `lock-order` and `lock-across-io`: lock discipline, with held-lock
-//! sets propagated through callees.
+//! `lock-across-io`: device I/O issued while a lock may be held, with
+//! held-lock sets propagated through callees.
 //!
 //! Acquisitions are the [`crate::items::EventKind::Acquire`] events the
 //! item parser extracts: `.lock()`, `.read()`, or `.write()` —
@@ -7,22 +7,17 @@
 //! calls never match — on a named struct field or binding
 //! (`self.records.lock()`, `handle.records.lock()`, `records.lock()`).
 //! Lock identity is **name-class** based: every acquisition of a field
-//! named `records` is treated as the same lock, the same approximation
-//! the declared order table itself makes.
+//! named `records` is treated as the same lock — the same approximation
+//! the computed lock-acquisition graph ([`crate::rules::lockgraph`])
+//! makes.
 //!
-//! * `lock-order` — every acquired lock must appear in the declared
-//!   lock-order table ([`crate::config::LOCK_ORDER`]), and within one
-//!   call path locks must be acquired in table order. Direct
-//!   acquisitions are checked in sequence as before; additionally, a
-//!   call made while a guard may be held is expanded through the
-//!   callee's transitive `acquires` set — a callee acquiring a lock
-//!   ranked *at or before* a held one is a potential cycle (or same-lock
-//!   re-entry deadlock) and is flagged at the call site with the witness
-//!   chain.
-//! * `lock-across-io` — device I/O or a journal append issued while a
-//!   guard may be held — directly, or anywhere inside a callee (the
-//!   summary's `device_io` bit) — stalls every contending thread for a
-//!   device-latency bound.
+//! Device I/O or a journal append issued while a guard may be held —
+//! directly, or anywhere inside a callee (the summary's `device_io`
+//! bit) — stalls every contending thread for a device-latency bound.
+//! Deadlock freedom itself is the `lock-graph` rule's job: it computes
+//! the global held-while-acquiring graph from the same extents and
+//! callee summaries used here and reports its cycles, replacing the
+//! declared lock-order table of PR 5.
 //!
 //! A guard's extent is its statement, or the rest of the body when
 //! `let`-bound (conservative — justify early drops with a pragma).
@@ -40,11 +35,7 @@ use crate::diag::{Diagnostic, Severity};
 use crate::items::{Event, EventKind};
 use crate::summary::Analysis;
 
-fn rank(name: &str) -> Option<usize> {
-    config::LOCK_ORDER.iter().position(|l| *l == name)
-}
-
-/// Runs the lock-discipline family over the analyzed workspace.
+/// Runs the lock-across-io check over the analyzed workspace.
 pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
     for id in 0..a.graph.len() {
         let events = &a.fn_item(id).events;
@@ -53,10 +44,6 @@ pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
             .enumerate()
             .filter(|(_, e)| matches!(e.kind, EventKind::Acquire { .. }))
             .collect();
-        if acqs.is_empty() {
-            continue;
-        }
-        check_order(a, id, &acqs, out);
         for &(k, acq) in &acqs {
             check_extent(a, id, k, acq, out);
         }
@@ -74,66 +61,19 @@ fn flows_to(a: &Analysis, id: crate::callgraph::FnId, from: usize, to: usize) ->
     cfg.reaches(fb, tb)
 }
 
-/// Direct-acquisition order: unknown locks, and pairs acquired against
-/// the declared table order within one function.
-fn check_order(a: &Analysis, id: FnId, acqs: &[(usize, &Event)], out: &mut Vec<Diagnostic>) {
-    let file = a.file_of(id);
-    for (k, &(ei, acq)) in acqs.iter().enumerate() {
-        let EventKind::Acquire { lock, .. } = &acq.kind else {
-            continue;
-        };
-        let Some(r) = rank(lock) else {
-            out.push(Diagnostic {
-                path: file.path.clone(),
-                line: acq.line,
-                rule: "lock-order",
-                message: format!("lock `{lock}` is not in the declared lock-order table"),
-                hint: "add the lock to LOCK_ORDER in crates/lint/src/config.rs (and \
-                       DESIGN.md §10) at the position matching its acquisition order",
-                severity: Severity::Error,
-                chain: Vec::new(),
-            });
-            continue;
-        };
-        // Any earlier acquisition with a *higher* rank that actually
-        // flows into this one (same block or a CFG path — not a sibling
-        // branch) means this path acquires against the declared order.
-        for &(bi, b) in acqs.iter().take(k) {
-            let EventKind::Acquire { lock: held, .. } = &b.kind else {
-                continue;
-            };
-            let Some(rb) = rank(held) else { continue };
-            if held != lock && rb > r && flows_to(a, id, bi, ei) {
-                out.push(Diagnostic {
-                    path: file.path.clone(),
-                    line: acq.line,
-                    rule: "lock-order",
-                    message: format!(
-                        "lock `{lock}` acquired after `{held}`, against the declared lock \
-                         order (cycle risk with any path acquiring in table order)"
-                    ),
-                    hint: "acquire locks in LOCK_ORDER table order, or drop the first \
-                           guard before taking the second",
-                    severity: Severity::Error,
-                    chain: Vec::new(),
-                });
-            }
-        }
-    }
-}
-
-/// Checks everything inside one guard's extent: direct device I/O,
-/// callee device I/O, and callee acquisitions against the held lock.
-/// The extent is intersected with CFG reachability from the
-/// acquisition, so sibling branches are out of the hold.
+/// Checks everything inside one guard's extent for device I/O — direct,
+/// or via a callee's transitive `device_io` bit. The extent is
+/// intersected with CFG reachability from the acquisition, so sibling
+/// branches are out of the hold.
 fn check_extent(a: &Analysis, id: FnId, ai: usize, acq: &Event, out: &mut Vec<Diagnostic>) {
     let EventKind::Acquire { lock, extent } = &acq.kind else {
         return;
     };
-    let file = a.file_of(id);
-    let held_rank = rank(lock);
     let mut io_reported = false;
     for (ei, ev) in a.fn_item(id).events.iter().enumerate() {
+        if io_reported {
+            break;
+        }
         if ev.tok <= acq.tok || !extent.contains(&ev.tok) || !flows_to(a, id, ai, ei) {
             continue;
         }
@@ -141,10 +81,8 @@ fn check_extent(a: &Analysis, id: FnId, ai: usize, acq: &Event, out: &mut Vec<Di
             continue;
         };
         if config::DEVICE_IO_FNS.contains(&name.as_str()) {
-            if !io_reported {
-                out.push(across_io(a, id, ev.line, name, lock, Vec::new()));
-                io_reported = true;
-            }
+            out.push(across_io(a, id, ev.line, name, lock, Vec::new()));
+            io_reported = true;
             continue;
         }
         if crate::summary::is_protocol_name(name) {
@@ -154,8 +92,7 @@ fn check_extent(a: &Analysis, id: FnId, ai: usize, acq: &Event, out: &mut Vec<Di
             if callee == id {
                 continue;
             }
-            let c = &a.summaries[callee];
-            if c.device_io && !io_reported {
+            if a.summaries[callee].device_io && !io_reported {
                 let mut chain = vec![a.step(id, ev.line)];
                 chain.extend(a.witness(callee, first_device_io, |s| s.device_io));
                 out.push(across_io(
@@ -168,44 +105,6 @@ fn check_extent(a: &Analysis, id: FnId, ai: usize, acq: &Event, out: &mut Vec<Di
                 ));
                 io_reported = true;
             }
-            if let Some(hr) = held_rank {
-                for acquired in &c.acquires {
-                    let ra = rank(acquired);
-                    // Unknown callee locks are flagged at the callee's
-                    // own definition; here only the ordering matters.
-                    if ra.is_some_and(|ra| ra <= hr) {
-                        let mut chain = vec![a.step(id, ev.line)];
-                        chain.extend(a.witness(
-                            callee,
-                            |a, n| first_acquire(a, n, acquired),
-                            |s| s.acquires.contains(acquired),
-                        ));
-                        let what = if acquired == lock {
-                            format!(
-                                "lock `{acquired}` re-acquired in a callee while `{lock}` \
-                                 may already be held (self-deadlock on a non-reentrant \
-                                 mutex)"
-                            )
-                        } else {
-                            format!(
-                                "lock `{acquired}` acquired in a callee while `{lock}` is \
-                                 held, against the declared lock order"
-                            )
-                        };
-                        out.push(Diagnostic {
-                            path: file.path.clone(),
-                            line: ev.line,
-                            rule: "lock-order",
-                            message: what,
-                            hint: "drop the guard before the call, or restructure so \
-                                   locks are taken in LOCK_ORDER table order on every \
-                                   call path",
-                            severity: Severity::Error,
-                            chain,
-                        });
-                    }
-                }
-            }
         }
     }
 }
@@ -216,14 +115,6 @@ fn first_device_io(a: &Analysis, id: FnId) -> Option<u32> {
         EventKind::Call { name, .. } if config::DEVICE_IO_FNS.contains(&name.as_str()) => {
             Some(ev.line)
         }
-        _ => None,
-    })
-}
-
-/// First direct acquisition of `lock` in a function (witness descent).
-fn first_acquire(a: &Analysis, id: FnId, lock: &str) -> Option<u32> {
-    a.fn_item(id).events.iter().find_map(|ev| match &ev.kind {
-        EventKind::Acquire { lock: l, .. } if l == lock => Some(ev.line),
         _ => None,
     })
 }

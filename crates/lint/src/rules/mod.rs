@@ -7,9 +7,13 @@
 //!
 //! The engine runs both tiers, then applies pragmas per file.
 
+pub mod affinity;
+pub mod alloc;
+pub mod asyncready;
 pub mod determinism;
 pub mod durability;
 pub mod file_budget;
+pub mod lockgraph;
 pub mod locks;
 pub mod panic_freedom;
 pub mod panic_path;
@@ -28,12 +32,16 @@ pub fn check_file(file: &SourceFile, items: &ItemIndex, out: &mut Vec<Diagnostic
     panic_freedom::check(file, items, out);
     file_budget::check(file, out);
     shard_discipline::check(file, out);
+    alloc::check(file, out);
 }
 
 /// Runs the interprocedural rule families over the analyzed workspace.
 pub fn check_graph(a: &Analysis, out: &mut Vec<Diagnostic>) {
     durability::check(a, out);
     locks::check(a, out);
+    lockgraph::check(a, out);
+    affinity::check(a, out);
+    asyncready::check(a, out);
     panic_path::check(a, out);
     typestate::check(a, out);
     unbounded_retry::check(a, out);

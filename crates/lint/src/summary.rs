@@ -99,6 +99,15 @@ pub struct Stats {
     /// Worklist iterations across every intra-function dataflow solve
     /// (summary phase plus the flow-sensitive rules).
     pub dataflow_iterations: std::cell::Cell<usize>,
+    /// Shard-state accesses classified by the alias layer
+    /// ([`crate::alias`]) across all functions.
+    pub alias_facts: std::cell::Cell<usize>,
+    /// Distinct locks in the computed lock-acquisition graph.
+    pub lock_graph_nodes: std::cell::Cell<usize>,
+    /// Held-while-acquiring edges in the lock-acquisition graph.
+    pub lock_graph_edges: std::cell::Cell<usize>,
+    /// Edge expansions performed by the cycle search.
+    pub cycle_checks: std::cell::Cell<usize>,
 }
 
 impl Stats {
@@ -106,6 +115,22 @@ impl Stats {
     pub fn add_iterations(&self, n: usize) {
         self.dataflow_iterations
             .set(self.dataflow_iterations.get() + n);
+    }
+
+    /// Adds alias-layer access classifications to the running total.
+    pub fn add_alias_facts(&self, n: usize) {
+        self.alias_facts.set(self.alias_facts.get() + n);
+    }
+
+    /// Records the lock-acquisition graph's size.
+    pub fn set_lock_graph(&self, nodes: usize, edges: usize) {
+        self.lock_graph_nodes.set(nodes);
+        self.lock_graph_edges.set(edges);
+    }
+
+    /// Adds cycle-search edge expansions to the running total.
+    pub fn add_cycle_checks(&self, n: usize) {
+        self.cycle_checks.set(self.cycle_checks.get() + n);
     }
 }
 

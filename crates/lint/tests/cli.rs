@@ -164,10 +164,13 @@ fn list_rules_includes_the_interprocedural_family() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     for rule in [
         "durability",
-        "lock-order",
+        "lock-graph",
         "lock-across-io",
         "panic",
         "panic-path",
+        "shard-affinity",
+        "async-ready",
+        "hot-alloc",
     ] {
         assert!(
             stdout.lines().any(|l| l == rule),

@@ -57,7 +57,6 @@ const CASES: &[(&str, &str, &str)] = &[
         "ordered-iter",
     ),
     ("panic.rs", "crates/pfs/src/fixture.rs", "panic"),
-    ("lock_order.rs", "crates/sim/src/fixture.rs", "lock-order"),
     (
         "lock_across_io.rs",
         "crates/sim/src/fixture.rs",
@@ -117,6 +116,14 @@ const XFN_CASES: &[(&str, &str, &str, &str, &str, Severity)] = &[
         "unbounded-retry",
         Severity::Warning,
     ),
+    (
+        "xfn_lockgraph_caller.rs",
+        "crates/sim/src/xfn_caller.rs",
+        "xfn_lockgraph_helper.rs",
+        "crates/sim/src/xfn_helper.rs",
+        "lock-graph",
+        Severity::Error,
+    ),
 ];
 
 /// Branch-sensitivity pairs, one per flow-sensitive rule family:
@@ -149,6 +156,30 @@ const FLOW_CASES: &[(&str, &str, &str, &str)] = &[
         "flow_group_commit_clean.rs",
         "crates/core/src/fixture.rs",
         "durability",
+    ),
+    (
+        "flow_affinity_hot.rs",
+        "flow_affinity_clean.rs",
+        "crates/core/src/shard/plane.rs",
+        "shard-affinity",
+    ),
+    (
+        "flow_lockgraph_hot.rs",
+        "flow_lockgraph_clean.rs",
+        "crates/sim/src/fixture.rs",
+        "lock-graph",
+    ),
+    (
+        "flow_asyncready_hot.rs",
+        "flow_asyncready_clean.rs",
+        "crates/mpiio/src/fixture.rs",
+        "async-ready",
+    ),
+    (
+        "flow_alloc_hot.rs",
+        "flow_alloc_clean.rs",
+        "crates/core/src/pipeline/fixture.rs",
+        "hot-alloc",
     ),
 ];
 
@@ -184,12 +215,13 @@ fn flow_clean_halves_need_no_pragma() {
 
 #[test]
 fn flow_violations_carry_a_block_path_witness() {
-    // The durability and typestate findings are *path* facts; the
-    // diagnostic must name the violating path through the CFG so the
+    // The durability, typestate, and affinity findings are *path* facts;
+    // the diagnostic must name the violating path through the CFG so the
     // reader can follow it arm by arm.
     for &(hot, rel) in &[
         ("flow_durability_hot.rs", "crates/core/src/fixture.rs"),
         ("flow_typestate_hot.rs", "crates/core/src/fixture.rs"),
+        ("flow_affinity_hot.rs", "crates/core/src/shard/plane.rs"),
     ] {
         let report = lint_fixture(hot, rel);
         assert_eq!(report.diagnostics.len(), 1, "{hot}");

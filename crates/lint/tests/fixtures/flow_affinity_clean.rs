@@ -1,0 +1,28 @@
+//! Shard-affinity fixture (clean half): every access is routed — the
+//! index is router-derived *before* the branch (so it dominates the
+//! mutation on every path), a parameter index is routed by contract, and
+//! a destructured all-shards sweep is routed by construction. Clean
+//! without a pragma.
+
+pub fn reroute_seal_routed(p: &mut MetadataPlane, file: FileId, off: u64) {
+    let idx = p.router.shard_of(file, off);
+    match off % 2 {
+        0 => {
+            note_even(p);
+        }
+        _ => {
+            note_odd(p);
+        }
+    }
+    p.shard_mut(idx).dmt.apply_seal(file, off);
+}
+
+pub fn seal_on(p: &mut MetadataPlane, shard: usize, file: FileId, off: u64) {
+    p.shard_mut(shard).dmt.apply_seal(file, off);
+}
+
+pub fn sweep_all(p: &mut MetadataPlane, file: FileId) {
+    for (i, shard) in p.shards_mut().enumerate() {
+        shard.dmt.remove(file, i as u64);
+    }
+}

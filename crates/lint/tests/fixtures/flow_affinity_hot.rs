@@ -1,0 +1,18 @@
+//! Shard-affinity fixture (violating half): the shard index starts as a
+//! caller-chosen fallback and is router-derived only on one `match` arm.
+//! On the other arm the stale fallback reaches `shard_mut(…)` — exactly
+//! the cross-shard touch that becomes a data race under per-shard tasks.
+//! The must-routed dataflow catches the unrouted path and names it.
+
+pub fn reroute_seal(p: &mut MetadataPlane, file: FileId, off: u64, alt: usize) {
+    let mut idx = alt;
+    match off % 2 {
+        0 => {
+            idx = p.router.shard_of(file, off);
+        }
+        _ => {
+            note_skip(p);
+        }
+    }
+    p.shard_mut(idx).dmt.apply_seal(file, off);
+}

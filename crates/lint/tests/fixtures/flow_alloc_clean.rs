@@ -1,0 +1,16 @@
+//! Hot-alloc fixture (clean half): the same shape reuses the buffer the
+//! planner already owns — clear + extend, no allocation once the buffer
+//! has reached its high-water capacity. Clean without a pragma; this is
+//! the rewrite the rule's hint asks for (ROADMAP item 2).
+
+pub fn plan_segments_reused(p: &mut Planner, req: &Request) {
+    match req.kind {
+        Kind::Large => {
+            p.scratch.clear();
+            p.scratch.extend_from_slice(&req.header);
+        }
+        Kind::Small => {
+            note_small(p, req);
+        }
+    }
+}

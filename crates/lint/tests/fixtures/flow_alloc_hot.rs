@@ -1,0 +1,15 @@
+//! Hot-alloc fixture (violating half): a pipeline helper allocates a
+//! fresh scratch vector on one `match` arm. In a hot module every such
+//! site is a malloc in the latency-critical window — one `hot-alloc`
+//! finding, counted against the census in alloc_budget.toml.
+
+pub fn plan_segments(p: &mut Planner, req: &Request) {
+    match req.kind {
+        Kind::Large => {
+            p.scratch = vec![0u8; 4096];
+        }
+        Kind::Small => {
+            note_small(p, req);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Async-readiness fixture (clean half): the guard lives on one `match`
+//! arm and the `sync_all` on the *sibling* arm — the acquisition's block
+//! never reaches the fsync's block, so the lock is provably not held
+//! across the blocking call. Clean without a pragma; a lexical
+//! rest-of-body extent would have flagged it.
+
+pub fn settle_or_sync(s: &mut Server) {
+    match s.mode {
+        Mode::Count => {
+            let rec_guard = s.records.lock();
+            tally(&rec_guard);
+        }
+        Mode::Flush => {
+            s.dev.sync_all();
+        }
+    }
+}

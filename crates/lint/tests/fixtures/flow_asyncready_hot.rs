@@ -1,0 +1,18 @@
+//! Async-readiness fixture (violating half): a public middleware entry
+//! point takes the record guard, then — on one `match` arm — issues an
+//! `sync_all` with the guard still held. On the future tokio service
+//! surface that stalls the executor thread *and* every task contending
+//! on the lock. The arm is reachable from the acquisition, so hiding
+//! the fsync on a branch does not help.
+
+pub fn settle_and_sync(s: &mut Server) {
+    let rec_guard = s.records.lock();
+    match s.mode {
+        Mode::Flush => {
+            s.dev.sync_all();
+        }
+        Mode::Idle => {
+            tally(&rec_guard);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Lock-graph fixture (clean half): the two guards live on *sibling*
+//! `match` arms, so neither is ever held while the other is acquired —
+//! no `records -> wal` edge exists, and the one real edge
+//! (`wal -> records` in the second function) forms no cycle. The old
+//! lexical "rest of the body" extent would have fabricated the reverse
+//! edge and reported a phantom deadlock; the CFG-grounded graph is
+//! clean without a pragma.
+
+pub fn tally_or_scan(s: &Server) {
+    match s.mode {
+        Mode::Count => {
+            let rec_guard = s.records.lock();
+            tally(&rec_guard);
+        }
+        Mode::Flush => {
+            let wal_guard = s.wal.lock();
+            scan(&wal_guard);
+        }
+    }
+}
+
+pub fn drain_then_tally(s: &Server) {
+    let wal_guard = s.wal.lock();
+    let rec_guard = s.records.lock();
+    merge(&wal_guard, &rec_guard);
+}

@@ -1,0 +1,25 @@
+//! Lock-graph fixture (violating half): one function takes `wal` and —
+//! on one `match` arm only — acquires `records` under it; another takes
+//! them in the opposite order. The computed acquisition graph gets both
+//! edges (`wal -> records` and `records -> wal`) and reports the cycle;
+//! hiding one edge on a branch does not help, because the arm is
+//! reachable from the acquisition.
+
+pub fn drain_then_tally(s: &Server) {
+    let wal_guard = s.wal.lock();
+    match s.mode {
+        Mode::Flush => {
+            let rec_guard = s.records.lock();
+            tally(&wal_guard, &rec_guard);
+        }
+        Mode::Idle => {
+            touch_stat(s);
+        }
+    }
+}
+
+pub fn tally_then_drain(s: &Server) {
+    let rec_guard = s.records.lock();
+    let wal_guard = s.wal.lock();
+    merge(&rec_guard, &wal_guard);
+}

@@ -1,0 +1,22 @@
+//! Seeded cross-function violation — caller half of the lock-graph pair.
+//!
+//! `flush_records` holds the `records` guard across a call into
+//! `xfn_lockgraph_helper.rs`, whose `merge_wal` acquires `wal`; the
+//! helper's `reindex` holds `wal` across a call back into this file's
+//! `count_records`, which acquires `records`. Each file alone shows at
+//! most one lock per hold, so the per-file view is silent; the computed
+//! lock-acquisition graph sees both edges through the callee `acquires`
+//! summaries and reports the `records -> wal -> records` cycle with the
+//! per-edge witness chains.
+
+/// Flushes the trace records — while still holding their guard.
+pub fn flush_records(t: &Tracer) {
+    let rec_guard = t.records.lock();
+    merge_wal(t, &rec_guard);
+}
+
+/// Counts the records; called by the helper with the WAL guard held.
+pub fn count_records(t: &Tracer, wal: &WalBuf) {
+    let rec_guard = t.records.lock();
+    count(&rec_guard, wal);
+}

@@ -1,0 +1,18 @@
+//! Seeded cross-function violation — helper half of the lock-graph pair.
+//!
+//! `merge_wal` acquires `wal` (called from the caller half with
+//! `records` held: edge `records -> wal`); `reindex` holds `wal` across
+//! a call into the caller half's `count_records`, which acquires
+//! `records` (edge `wal -> records`). No single file shows a cycle.
+
+/// Merges the WAL into the record buffer.
+pub fn merge_wal(t: &Tracer, rec: &RecordBuf) {
+    let wal_guard = t.wal.lock();
+    blend(&wal_guard, rec);
+}
+
+/// Rebuilds the WAL index — while still holding the WAL guard.
+pub fn reindex(t: &Tracer) {
+    let wal_guard = t.wal.lock();
+    count_records(t, &wal_guard);
+}

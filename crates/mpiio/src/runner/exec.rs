@@ -234,8 +234,10 @@ impl<M: Middleware> State<M> {
             len,
             data,
         };
-        let data = req.data.clone();
         let plan = self.middleware.plan_io(&mut self.cluster, now, &req);
+        // Move the payload out of the request (plan_io only borrowed it)
+        // instead of cloning the write buffer on the hot path.
+        let data = req.data;
         let owner = PlanOwner::Process {
             index: i,
             issued: now,
